@@ -1,0 +1,96 @@
+//! Mini AMG: algebraic multigrid solver. The paper's Fig. 3 example comes
+//! from AMG: a vector-scaling loop between `MPI_Comm_size` and
+//! `MPI_Waitall` whose bound is `num_cols * num_vectors` — two
+//! non-constant variables, so *not* statically fixed workload — yet a
+//! whole execution only ever sees **7 distinct workloads** at that site.
+//! Vapro's runtime clustering identifies all 7 classes; vSensor scores
+//! 0 % coverage (Table 1).
+
+use crate::helpers::shared_draw;
+use crate::params::AppParams;
+use vapro_pmu::WorkloadSpec;
+use vapro_sim::comm::ReduceOp;
+use vapro_sim::{CallSite, RankCtx};
+
+const IRECV: CallSite = CallSite("par_csr_matvec.c:188:MPI_Irecv");
+const ISEND: CallSite = CallSite("par_csr_matvec.c:196:MPI_Isend");
+const WAITALL: CallSite = CallSite("par_csr_matvec.c:204:MPI_Waitall");
+const ALLRED: CallSite = CallSite("par_cg.c:310:MPI_Allreduce");
+
+/// The number of distinct runtime workload classes at the scaling site
+/// (the paper's "only 7 different workloads").
+pub const WORKLOAD_CLASSES: usize = 7;
+
+/// The Fig. 3 snippet: `y_data[i] *= alpha` over `num_cols*num_vectors`
+/// elements, where the bound is one of 7 runtime values shared by all
+/// ranks in a given iteration.
+fn scaling_spec(class: usize, scale: f64) -> WorkloadSpec {
+    // Classes are distinct multiples so clustering must separate them.
+    let elems = 1.0e5 * (1.0 + class as f64) * scale;
+    WorkloadSpec::memory_bound(8.0 * elems)
+}
+
+/// The level-solve work between exchanges (per-class fixed as well).
+fn relax_spec(class: usize, scale: f64) -> WorkloadSpec {
+    WorkloadSpec::mixed(3.0e5 * (1.0 + class as f64) * scale)
+}
+
+/// Run mini-AMG.
+pub fn run(ctx: &mut RankCtx, params: &AppParams) {
+    for it in 0..params.iterations {
+        // All ranks see the same runtime class this iteration (it derives
+        // from shared problem state, not rank-local data).
+        let class = shared_draw(params.seed, it, WORKLOAD_CLASSES);
+        ctx.compute(&scaling_spec(class, params.scale));
+        crate::helpers::halo_exchange(ctx, 16 * 1024, it as u64 * 2, IRECV, ISEND, WAITALL);
+        ctx.compute(&relax_spec(class, params.scale));
+        let rho = [1.0];
+        ctx.allreduce(&rho, ReduceOp::Sum, ALLRED);
+    }
+}
+
+/// Nothing at the matvec site is statically provable: the loop bound is
+/// `num_cols * num_vectors`, both runtime values behind pointer aliases.
+pub const STATIC_FIXED_SITES: &[&str] = &[];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vapro_sim::{run_simulation, Interceptor, NullInterceptor, SimConfig};
+
+    fn null(_: usize) -> Box<dyn Interceptor> {
+        Box::new(NullInterceptor)
+    }
+
+    #[test]
+    fn exactly_seven_workload_classes() {
+        let specs: std::collections::BTreeSet<u64> = (0..200)
+            .map(|it| scaling_spec(shared_draw(7, it, WORKLOAD_CLASSES), 1.0))
+            .map(|s| s.instructions as u64)
+            .collect();
+        assert_eq!(specs.len(), WORKLOAD_CLASSES);
+    }
+
+    #[test]
+    fn all_ranks_agree_on_the_class_per_iteration() {
+        // The class is a shared draw, so the same iteration gives the same
+        // spec everywhere — otherwise the allreduce-synchronised ranks
+        // would diverge in compute time every iteration.
+        let cfg = SimConfig::new(4);
+        let res = run_simulation(&cfg, null, |ctx| {
+            run(ctx, &AppParams::default().with_iterations(6))
+        });
+        let clocks: Vec<u64> = res.ranks.iter().map(|r| r.clock.ns()).collect();
+        assert!(clocks.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn invocation_count() {
+        let cfg = SimConfig::new(2);
+        let res = run_simulation(&cfg, null, |ctx| {
+            run(ctx, &AppParams::default().with_iterations(4))
+        });
+        // Per iteration: 5 halo + 1 allreduce.
+        assert_eq!(res.ranks[0].invocations, 24);
+    }
+}

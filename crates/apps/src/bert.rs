@@ -1,0 +1,83 @@
+//! Mini BERT: the inference-serving framework of Table 1 (multi-threaded,
+//! 72.8 % coverage). Each request runs a fixed pipeline of transformer
+//! layers — attention and feed-forward mat-muls with *identical shapes
+//! every request* — making inference serving the canonical fixed-workload
+//! application (the paper's intro example of "neural networks repeatedly
+//! executing certain math kernels").
+
+use crate::params::AppParams;
+use vapro_pmu::{Locality, WorkloadSpec};
+use vapro_sim::{CallSite, RankCtx};
+
+const QUEUE_BARRIER: CallSite = CallSite("bert.cc:batch_queue:pthread_barrier_wait");
+const LAYER_MARK: CallSite = CallSite("bert.cc:layer:user_marker");
+
+/// Transformer layers per request.
+pub const LAYERS: usize = 4;
+
+fn attention_spec(scale: f64) -> WorkloadSpec {
+    WorkloadSpec {
+        instructions: 2.8e6 * scale,
+        mem_refs: 8.0e5 * scale,
+        locality: Locality { l1: 0.82, l2: 0.12, l3: 0.045, dram: 0.015 },
+        branch_fraction: 0.02,
+        branch_miss_rate: 0.001,
+        ..WorkloadSpec::default()
+    }
+}
+
+fn ffn_spec(scale: f64) -> WorkloadSpec {
+    WorkloadSpec::compute_bound(3.6e6 * scale)
+}
+
+/// Run mini-BERT: each iteration serves one batch through all layers.
+pub fn run(ctx: &mut RankCtx, params: &AppParams) {
+    for _ in 0..params.iterations {
+        ctx.thread_barrier(QUEUE_BARRIER); // batch pick-up
+        for _layer in 0..LAYERS {
+            ctx.user_marker("bert_layer", LAYER_MARK);
+            ctx.compute(&attention_spec(params.scale));
+            ctx.compute(&ffn_spec(params.scale));
+        }
+    }
+    ctx.thread_barrier(QUEUE_BARRIER);
+}
+
+/// Layer shapes are fixed in the model config — statically provable.
+pub const STATIC_FIXED_SITES: &[&str] = &["bert.cc:layer:user_marker"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vapro_sim::{run_simulation, Interceptor, NullInterceptor, SimConfig, Topology};
+
+    fn null(_: usize) -> Box<dyn Interceptor> {
+        Box::new(NullInterceptor)
+    }
+
+    #[test]
+    fn per_request_invocations() {
+        let cfg = SimConfig::new(4).with_topology(Topology::single_node(4));
+        let res = run_simulation(&cfg, null, |ctx| {
+            run(ctx, &AppParams::default().with_iterations(3))
+        });
+        // Per request: 1 barrier + LAYERS markers; plus the closing barrier.
+        assert_eq!(res.ranks[0].invocations as usize, 3 * (1 + LAYERS) + 1);
+    }
+
+    #[test]
+    fn request_times_are_iteration_invariant() {
+        let cfg = SimConfig::new(2).with_topology(Topology::single_node(2));
+        let t3 = run_simulation(&cfg, null, |ctx| {
+            run(ctx, &AppParams::default().with_iterations(3))
+        })
+        .makespan()
+        .ns() as f64;
+        let t6 = run_simulation(&cfg, null, |ctx| {
+            run(ctx, &AppParams::default().with_iterations(6))
+        })
+        .makespan()
+        .ns() as f64;
+        assert!((t6 / t3 - 2.0).abs() < 0.05, "ratio {}", t6 / t3);
+    }
+}

@@ -1,0 +1,135 @@
+//! Mini CESM: a climate-simulator skeleton. The real CESM has more than
+//! 500,000 lines across coupled components (atmosphere, ocean, land,
+//! ice) — far beyond what a source-analysis tool can process, which is
+//! why vSensor reports N/A on it in Table 1. The mini version captures
+//! what matters for Vapro: *many* distinct call-sites across component
+//! phases, mixed workloads (some per-site fixed, some runtime-classed),
+//! component coupling via collectives, and periodic history-file IO.
+
+use crate::helpers::shared_draw;
+use crate::params::AppParams;
+use vapro_pmu::WorkloadSpec;
+use vapro_sim::comm::ReduceOp;
+use vapro_sim::{CallSite, RankCtx};
+
+/// The coupled components, each with its own communication sites.
+const COMPONENTS: [(&str, CallSite, CallSite); 4] = [
+    ("atm", CallSite("cam:dyn_run:MPI_Isend"), CallSite("cam:dyn_run:MPI_Waitall")),
+    ("ocn", CallSite("pop:baroclinic:MPI_Isend"), CallSite("pop:baroclinic:MPI_Waitall")),
+    ("lnd", CallSite("clm:drv_run:MPI_Isend"), CallSite("clm:drv_run:MPI_Waitall")),
+    ("ice", CallSite("cice:evp:MPI_Isend"), CallSite("cice:evp:MPI_Waitall")),
+];
+
+const COUPLER: CallSite = CallSite("cpl:mct_avect:MPI_Allreduce");
+const HIST_WRITE: CallSite = CallSite("pio:write_darray:write");
+const IRECV: CallSite = CallSite("cesm:halo:MPI_Irecv");
+
+/// Per-component physics workload; the ocean has runtime-classed costs
+/// (depends on convection activity), the others are per-site fixed.
+fn component_spec(comp: usize, it: usize, seed: u64, scale: f64) -> WorkloadSpec {
+    match comp {
+        1 => {
+            let class = shared_draw(seed ^ 0x0CEA, it, 3);
+            WorkloadSpec::memory_bound(6.0e5 * (1.0 + class as f64) * scale)
+        }
+        0 => WorkloadSpec::mixed(1.5e6 * scale),
+        2 => WorkloadSpec::mixed(6.0e5 * scale),
+        _ => WorkloadSpec::memory_bound(4.0e5 * scale),
+    }
+}
+
+/// The atmosphere's sub-phases: dynamics, moist physics and radiation,
+/// each a separate kernel with its own character (the real CAM runs
+/// them as distinct routine trees — the state richness that defeats
+/// source analysis at CESM scale).
+fn atm_subphase_spec(phase: usize, scale: f64) -> WorkloadSpec {
+    match phase {
+        0 => WorkloadSpec::memory_bound(5.0e5 * scale), // dynamics: stencil
+        1 => WorkloadSpec::mixed(4.0e5 * scale),        // moist physics
+        _ => WorkloadSpec::compute_bound(7.0e5 * scale), // radiation
+    }
+}
+
+const ATM_PHYS_BARRIER: CallSite = CallSite("cam:phys_run:MPI_Barrier");
+const CPL_REBALANCE: CallSite = CallSite("cpl:rearrange:MPI_Alltoall");
+
+/// Run mini-CESM: each iteration advances the four components (the
+/// atmosphere through three sub-phases), couples them, rebalances the
+/// coupler decomposition, and periodically writes history output.
+pub fn run(ctx: &mut RankCtx, params: &AppParams) {
+    for it in 0..params.iterations {
+        for (comp, (name, isend, waitall)) in COMPONENTS.iter().enumerate() {
+            ctx.region(name, |ctx| {
+                if comp == 0 {
+                    // Atmosphere: dynamics → physics → radiation, with a
+                    // physics load-balancing barrier in the middle.
+                    ctx.compute(&atm_subphase_spec(0, params.scale));
+                    ctx.compute(&atm_subphase_spec(1, params.scale));
+                    ctx.barrier(ATM_PHYS_BARRIER);
+                    ctx.compute(&atm_subphase_spec(2, params.scale));
+                } else {
+                    ctx.compute(&component_spec(comp, it, params.seed, params.scale));
+                }
+                crate::helpers::halo_exchange(
+                    ctx,
+                    24 * 1024,
+                    (it * 4 + comp) as u64 * 2,
+                    IRECV,
+                    *isend,
+                    *waitall,
+                );
+            });
+        }
+        // Coupler: field rearrangement between component grids, then the
+        // conservation sums.
+        ctx.alltoall(4 * 1024, CPL_REBALANCE);
+        let flux = [1.0, 2.0];
+        ctx.allreduce(&flux, ReduceOp::Sum, COUPLER);
+        // History output every 5 coupling steps, rank 0 writes.
+        if it % 5 == 4 && ctx.rank() == 0 {
+            ctx.fs_write(900, 256 * 1024, HIST_WRITE);
+        }
+    }
+}
+
+/// vSensor cannot process the CESM codebase at all (N/A in Table 1).
+pub const STATIC_FIXED_SITES: &[&str] = &[];
+
+/// Whether a source-analysis tool can handle this app.
+pub const VSENSOR_SUPPORTED: bool = false;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vapro_sim::{run_simulation, Interceptor, NullInterceptor, SimConfig};
+
+    fn null(_: usize) -> Box<dyn Interceptor> {
+        Box::new(NullInterceptor)
+    }
+
+    #[test]
+    fn four_components_run_each_iteration() {
+        let cfg = SimConfig::new(4);
+        let res = run_simulation(&cfg, null, |ctx| {
+            run(ctx, &AppParams::default().with_iterations(5))
+        });
+        // Per iteration: 4 components × 5 halo invocations + the
+        // atmosphere's physics barrier + the coupler's alltoall +
+        // allreduce = 23; rank 0 adds one write at iteration 4.
+        assert_eq!(res.ranks[1].invocations, 5 * 23);
+        assert_eq!(res.ranks[0].invocations, 5 * 23 + 1);
+    }
+
+    #[test]
+    fn ocean_component_is_runtime_classed() {
+        let classes: std::collections::BTreeSet<u64> = (0..60)
+            .map(|it| component_spec(1, it, 7, 1.0).instructions as u64)
+            .collect();
+        assert_eq!(classes.len(), 3);
+        // The atmosphere is fixed.
+        let atm: std::collections::BTreeSet<u64> = (0..60)
+            .map(|it| component_spec(0, it, 7, 1.0).instructions as u64)
+            .collect();
+        assert_eq!(atm.len(), 1);
+    }
+}

@@ -1,0 +1,134 @@
+//! Common building blocks for the mini-apps: neighbour exchanges,
+//! ring shifts, and deterministic per-app RNG derivation.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use vapro_sim::{CallSite, RankCtx};
+
+/// An app-level RNG independent of the runtime's (so workload *shape*
+/// draws — e.g. AMG's runtime trip counts — are reproducible regardless
+/// of how much randomness the CPU model consumed).
+pub fn app_rng(ctx: &RankCtx, seed: u64) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(seed ^ 0xA5A5_0000 ^ ctx.rank() as u64)
+}
+
+/// A deterministic draw shared by *all* ranks (seeded by iteration, not
+/// rank) — used when every rank must pick the same runtime workload class
+/// in the same iteration, as SPMD programs do when the class comes from
+/// global problem state.
+pub fn shared_draw(seed: u64, iteration: usize, classes: usize) -> usize {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed.wrapping_add(iteration as u64 * 0x9E37));
+    rng.gen_range(0..classes)
+}
+
+/// Exchange `bytes` with both ring neighbours using the
+/// irecv → send → wait pattern of NPB CG's inner loops (paper Fig. 4).
+pub fn ring_exchange(
+    ctx: &mut RankCtx,
+    bytes: u64,
+    tag: u64,
+    irecv_site: CallSite,
+    send_site: CallSite,
+    wait_site: CallSite,
+) {
+    let n = ctx.size();
+    if n < 2 {
+        return;
+    }
+    let right = (ctx.rank() + 1) % n;
+    let left = (ctx.rank() + n - 1) % n;
+    let req = ctx.irecv(Some(left), Some(tag), irecv_site);
+    ctx.send(right, tag, bytes, None, send_site);
+    ctx.wait(req, wait_site);
+}
+
+/// Halo exchange with both neighbours (send and receive in both
+/// directions), the SP/BT/LU sweep pattern.
+pub fn halo_exchange(
+    ctx: &mut RankCtx,
+    bytes: u64,
+    tag: u64,
+    irecv_site: CallSite,
+    isend_site: CallSite,
+    waitall_site: CallSite,
+) {
+    let n = ctx.size();
+    if n < 2 {
+        return;
+    }
+    let right = (ctx.rank() + 1) % n;
+    let left = (ctx.rank() + n - 1) % n;
+    let r1 = ctx.irecv(Some(left), Some(tag), irecv_site);
+    let r2 = ctx.irecv(Some(right), Some(tag + 1), irecv_site);
+    let s1 = ctx.isend(right, tag, bytes, None, isend_site);
+    let s2 = ctx.isend(left, tag + 1, bytes, None, isend_site);
+    ctx.waitall(vec![r1, r2, s1, s2], waitall_site);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vapro_sim::{run_simulation, Interceptor, NullInterceptor, SimConfig};
+
+    fn null(_: usize) -> Box<dyn Interceptor> {
+        Box::new(NullInterceptor)
+    }
+
+    #[test]
+    fn shared_draw_is_rank_independent_and_iteration_dependent() {
+        let a = shared_draw(1, 5, 7);
+        let b = shared_draw(1, 5, 7);
+        assert_eq!(a, b);
+        let seq: Vec<usize> = (0..50).map(|i| shared_draw(1, i, 7)).collect();
+        let distinct: std::collections::HashSet<_> = seq.iter().collect();
+        assert!(distinct.len() > 3, "draws not spread: {seq:?}");
+        assert!(seq.iter().all(|&c| c < 7));
+    }
+
+    #[test]
+    fn ring_exchange_completes_on_a_ring() {
+        let cfg = SimConfig::new(4);
+        let res = run_simulation(&cfg, null, |ctx| {
+            for it in 0..3 {
+                ring_exchange(
+                    ctx,
+                    1024,
+                    it,
+                    CallSite("t:irecv"),
+                    CallSite("t:send"),
+                    CallSite("t:wait"),
+                );
+            }
+        });
+        assert_eq!(res.ranks.len(), 4);
+        // 3 iterations × 3 invocations each.
+        assert_eq!(res.ranks[0].invocations, 9);
+    }
+
+    #[test]
+    fn halo_exchange_completes_and_counts_invocations() {
+        let cfg = SimConfig::new(3);
+        let res = run_simulation(&cfg, null, |ctx| {
+            halo_exchange(
+                ctx,
+                512,
+                10,
+                CallSite("t:irecv"),
+                CallSite("t:isend"),
+                CallSite("t:waitall"),
+            );
+        });
+        // 2 irecv + 2 isend + 1 waitall.
+        assert_eq!(res.ranks[0].invocations, 5);
+    }
+
+    #[test]
+    fn exchanges_are_noops_on_one_rank() {
+        let cfg = SimConfig::new(1);
+        let res = run_simulation(&cfg, null, |ctx| {
+            ring_exchange(ctx, 8, 0, CallSite("a"), CallSite("b"), CallSite("c"));
+            halo_exchange(ctx, 8, 0, CallSite("d"), CallSite("e"), CallSite("f"));
+        });
+        assert_eq!(res.ranks[0].invocations, 0);
+    }
+}

@@ -1,0 +1,100 @@
+//! Mini HPL: the LINPACK kernel structure used in the paper's hardware-
+//! bug case study (§6.5.1): 36 processes on a dual-socket node, compute-
+//! dominated DGEMM updates with a panel broadcast per iteration. HPL is a
+//! closed-source Intel binary in the paper's setting — vSensor cannot
+//! touch it at all, while Vapro needs only the MPI boundary.
+//!
+//! The DGEMM working set is blocked to live mostly in L2 — which is why
+//! the Intel L2-eviction bug hits it so hard, and why the huge-page
+//! mitigation (which reduces the eviction probability) restores stability
+//! (Fig. 16).
+
+use crate::params::AppParams;
+use vapro_pmu::{Locality, WorkloadSpec};
+use vapro_sim::comm::ReduceOp;
+use vapro_sim::{CallSite, RankCtx};
+
+const BCAST: CallSite = CallSite("hpl:panel_bcast:MPI_Bcast");
+const ALLRED: CallSite = CallSite("hpl:pivot:MPI_Allreduce");
+
+/// The per-iteration DGEMM update: L2-blocked, compute-heavy.
+pub fn dgemm_spec(scale: f64) -> WorkloadSpec {
+    WorkloadSpec {
+        instructions: 8.0e6 * scale,
+        mem_refs: 2.4e6 * scale,
+        // Blocked DGEMM: high L2 residency — the bug's favourite victim.
+        locality: Locality { l1: 0.55, l2: 0.40, l3: 0.04, dram: 0.01 },
+        branch_fraction: 0.03,
+        branch_miss_rate: 0.001,
+        ..WorkloadSpec::default()
+    }
+}
+
+/// Run mini-HPL.
+pub fn run(ctx: &mut RankCtx, params: &AppParams) {
+    let root = 0;
+    for it in 0..params.iterations {
+        // Pivot selection.
+        let local_max = [ctx.rank() as f64 + it as f64];
+        ctx.allreduce(&local_max, ReduceOp::Max, ALLRED);
+        // Panel broadcast from the pivot owner.
+        let panel = [1.0; 16];
+        let bytes = (panel.len() * 8) as u64;
+        if ctx.rank() == root {
+            ctx.bcast(root, Some(&panel), bytes, BCAST);
+        } else {
+            ctx.bcast(root, None, bytes, BCAST);
+        }
+        // Trailing-matrix update.
+        ctx.compute(&dgemm_spec(params.scale));
+    }
+}
+
+/// HPL ships as a closed-source binary: no source for vSensor.
+pub const STATIC_FIXED_SITES: &[&str] = &[];
+
+/// Whether a source-analysis tool can handle this app.
+pub const VSENSOR_SUPPORTED: bool = false;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vapro_sim::{run_simulation, Interceptor, NullInterceptor, SimConfig};
+    use vapro_sim::{NoiseEvent, NoiseKind, NoiseSchedule, TargetSet, Topology};
+
+    fn null(_: usize) -> Box<dyn Interceptor> {
+        Box::new(NullInterceptor)
+    }
+
+    #[test]
+    fn quiet_hpl_is_stable_across_ranks() {
+        let cfg = SimConfig::new(8).with_topology(Topology::dual_socket(4));
+        let res = run_simulation(&cfg, null, |ctx| {
+            run(ctx, &AppParams::default().with_iterations(5))
+        });
+        let clocks: Vec<u64> = res.ranks.iter().map(|r| r.clock.ns()).collect();
+        // Collectives synchronise; every rank ends together.
+        assert!(clocks.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn l2_bug_slows_the_affected_socket_run() {
+        let topo = Topology::dual_socket(4);
+        let quiet = SimConfig::new(8).with_topology(topo.clone());
+        let bugged = SimConfig::new(8).with_topology(topo).with_noise(
+            NoiseSchedule::quiet().with(NoiseEvent::always(
+                NoiseKind::L2CacheBug { prob: 0.8, severity: 0.6 },
+                TargetSet::Sockets(vec![1]),
+            )),
+        );
+        let app =
+            |ctx: &mut RankCtx| run(ctx, &AppParams::default().with_iterations(5));
+        let t_quiet = run_simulation(&quiet, null, app).makespan();
+        let t_bug = run_simulation(&bugged, null, app).makespan();
+        // The whole job slows because collectives wait on the hurt socket.
+        assert!(
+            t_bug.ns() as f64 > t_quiet.ns() as f64 * 1.1,
+            "quiet {t_quiet} vs bugged {t_bug}"
+        );
+    }
+}

@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+
+//! # vapro-apps — the evaluation application suite
+//!
+//! Miniature re-creations of every application in the paper's evaluation
+//! (§6.1), written against the `vapro-sim` runtime: the NPB benchmarks
+//! (BT, CG, EP, FT, LU, MG, SP), AMG, CESM, HPL, Nekbone, RAxML, and the
+//! multi-threaded set (BERT, PageRank, WordCount, and six PARSEC
+//! programs). Each mini-app reproduces the original's *invocation
+//! structure* — which call-sites fire, in which loops, with which
+//! workload distribution — because that structure is what determines
+//! Vapro's coverage, overhead and clustering behaviour.
+//!
+//! [`registry`] maps app names to runners plus the static-analysis
+//! annotations the vSensor baseline consumes.
+
+pub mod amg;
+pub mod bert;
+pub mod cesm;
+pub mod helpers;
+pub mod hpl;
+pub mod nekbone;
+pub mod npb;
+pub mod pagerank;
+pub mod params;
+pub mod parsec;
+pub mod raxml;
+pub mod registry;
+pub mod wordcount;
+
+pub use params::AppParams;
+pub use registry::{all_apps, find_app, AppKind, AppSpec};

@@ -1,0 +1,77 @@
+//! Mini Nekbone: the spectral-element CFD proxy of the paper's memory-
+//! problem case study (§6.5.2, 128 processes). Its conjugate-gradient
+//! solve is dominated by memory-bound local gather-scatter and mat-vec
+//! work, so a node with degraded memory bandwidth (−15.5 % in the paper)
+//! drags the whole job — diagnosed by Vapro as backend → memory bound.
+
+use crate::params::AppParams;
+use vapro_pmu::WorkloadSpec;
+use vapro_sim::comm::ReduceOp;
+use vapro_sim::{CallSite, RankCtx};
+
+const IRECV: CallSite = CallSite("nekbone:gs_op:MPI_Irecv");
+const ISEND: CallSite = CallSite("nekbone:gs_op:MPI_Isend");
+const WAITALL: CallSite = CallSite("nekbone:gs_op:MPI_Waitall");
+const ALLRED: CallSite = CallSite("nekbone:glsc3:MPI_Allreduce");
+
+/// The local spectral-element operator: strongly memory bound — the
+/// gather-scatter over element faces streams far more data than fits in
+/// cache, so most references go to DRAM (what makes the degraded-node
+/// slowdown visible).
+fn ax_spec(scale: f64) -> WorkloadSpec {
+    WorkloadSpec::memory_bound(3.2e6 * scale).with_locality(vapro_pmu::Locality {
+        l1: 0.55,
+        l2: 0.10,
+        l3: 0.10,
+        dram: 0.25,
+    })
+}
+
+/// Run mini-Nekbone: CG iterations of ax → gather-scatter → dot products.
+pub fn run(ctx: &mut RankCtx, params: &AppParams) {
+    for it in 0..params.iterations {
+        ctx.compute(&ax_spec(params.scale));
+        crate::helpers::halo_exchange(ctx, 32 * 1024, it as u64 * 2, IRECV, ISEND, WAITALL);
+        let dots = [1.0, 2.0];
+        ctx.allreduce(&dots, ReduceOp::Sum, ALLRED);
+    }
+}
+
+/// The element loops have compile-time polynomial orders.
+pub const STATIC_FIXED_SITES: &[&str] = &["nekbone:gs_op:MPI_Irecv"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vapro_sim::{run_simulation, Interceptor, NullInterceptor, SimConfig};
+    use vapro_sim::{NoiseEvent, NoiseKind, NoiseSchedule, TargetSet};
+
+    fn null(_: usize) -> Box<dyn Interceptor> {
+        Box::new(NullInterceptor)
+    }
+
+    #[test]
+    fn slow_node_slows_the_job() {
+        let quiet = SimConfig::new(8);
+        let degraded = SimConfig::new(8).with_noise(NoiseSchedule::quiet().with(
+            NoiseEvent::always(
+                NoiseKind::SlowMemoryNode { bw_factor: 0.845 },
+                TargetSet::Nodes(vec![0]),
+            ),
+        ));
+        let app =
+            |ctx: &mut RankCtx| run(ctx, &AppParams::default().with_iterations(10));
+        let t_q = run_simulation(&quiet, null, app).makespan();
+        let t_d = run_simulation(&degraded, null, app).makespan();
+        assert!(t_d > t_q, "degraded {t_d} vs quiet {t_q}");
+    }
+
+    #[test]
+    fn invocation_count() {
+        let cfg = SimConfig::new(2);
+        let res = run_simulation(&cfg, null, |ctx| {
+            run(ctx, &AppParams::default().with_iterations(3))
+        });
+        assert_eq!(res.ranks[0].invocations, 3 * 6);
+    }
+}

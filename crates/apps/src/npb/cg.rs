@@ -1,0 +1,113 @@
+//! Mini NPB-CG: conjugate gradient with the nested-loop communication
+//! structure of the paper's running example (Fig. 4, the `cgitmax` loop of
+//! `cg.f:1170-1360`): per CG iteration, three sub-loops each performing
+//! irecv → send → wait ring exchanges with sparse mat-vec computation
+//! between them, then an allreduce for the dot products. A warm-up pass
+//! precedes the timed phase, giving context-aware STGs twice the states of
+//! context-free ones (the paper's §3.2 example).
+
+use crate::params::AppParams;
+use vapro_pmu::{Locality, WorkloadSpec};
+use vapro_sim::comm::ReduceOp;
+use vapro_sim::{CallSite, RankCtx};
+
+const IRECV: CallSite = CallSite("cg.f:1272:MPI_Irecv");
+const SEND: CallSite = CallSite("cg.f:1280:MPI_Send");
+const WAIT: CallSite = CallSite("cg.f:1288:MPI_Wait");
+const ALLRED: CallSite = CallSite("cg.f:1332:MPI_Allreduce");
+
+/// The sparse mat-vec workload of one sub-loop iteration: fixed
+/// row/nonzero counts per rank, so TOT_INS is iteration-invariant — the
+/// property that makes CG the paper's favourite subject.
+fn matvec_spec(scale: f64) -> WorkloadSpec {
+    WorkloadSpec {
+        instructions: 1.8e6 * scale,
+        mem_refs: 6.0e5 * scale,
+        locality: Locality { l1: 0.72, l2: 0.14, l3: 0.09, dram: 0.05 },
+        branch_fraction: 0.09,
+        branch_miss_rate: 0.012,
+        ..WorkloadSpec::default()
+    }
+}
+
+/// The vector-update workload between sub-loops: the p/x/r axpy updates
+/// over the full local vectors (streaming).
+fn axpy_spec(scale: f64) -> WorkloadSpec {
+    WorkloadSpec::memory_bound(1.2e6 * scale)
+}
+
+/// One CG iteration: three ring-exchange sub-loops (Fig. 4) plus the
+/// residual allreduce.
+fn cg_iteration(ctx: &mut RankCtx, params: &AppParams) {
+    for sub in 0..3u64 {
+        ctx.compute(&matvec_spec(params.scale));
+        crate::helpers::ring_exchange(ctx, 64 * 1024, sub, IRECV, SEND, WAIT);
+        ctx.compute(&axpy_spec(params.scale));
+    }
+    let local = [1.0];
+    ctx.allreduce(&local, ReduceOp::Sum, ALLRED);
+}
+
+/// Run mini-CG.
+pub fn run(ctx: &mut RankCtx, params: &AppParams) {
+    // Warm-up: one untimed iteration, reached through a different call
+    // path than the measured loop.
+    ctx.region("warmup", |ctx| cg_iteration(ctx, params));
+    ctx.region("timed", |ctx| {
+        for _ in 0..params.iterations {
+            cg_iteration(ctx, params);
+        }
+    });
+}
+
+/// Call-sites whose *preceding computation snippet* a static analyser can
+/// prove fixed-workload. The sparse mat-vec's trip counts depend on the
+/// runtime matrix structure (indirect CSR indices — the alias-analysis
+/// wall the paper cites), so only the dense axpy before the allreduce is
+/// statically provable. That snippet is a small share of the iteration,
+/// reproducing vSensor's low CG coverage (19.5 % vs Vapro's 78.2 % in
+/// Table 1).
+pub const STATIC_FIXED_SITES: &[&str] = &["cg.f:1332:MPI_Allreduce"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vapro_sim::{run_simulation, Interceptor, NullInterceptor, SimConfig};
+
+    fn null(_: usize) -> Box<dyn Interceptor> {
+        Box::new(NullInterceptor)
+    }
+
+    #[test]
+    fn runs_to_completion_with_expected_invocations() {
+        let params = AppParams::default().with_iterations(4);
+        let cfg = SimConfig::new(4);
+        let res = run_simulation(&cfg, null, |ctx| run(ctx, &params));
+        // Per iteration: 3 sub-loops × 3 p2p + 1 allreduce = 10; plus the
+        // warm-up iteration.
+        assert_eq!(res.ranks[0].invocations, 10 * 5);
+        // All ranks leave at the same time (the allreduce synchronises).
+        let clocks: Vec<u64> = res.ranks.iter().map(|r| r.clock.ns()).collect();
+        assert!(clocks.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn iteration_workload_is_fixed() {
+        // Same seed, two runs with different iteration counts: per-iteration
+        // time is stable (fixed workload ⇒ linear scaling).
+        let cfg = SimConfig::new(2);
+        let t4 = run_simulation(&cfg, null, |ctx| {
+            run(ctx, &AppParams::default().with_iterations(4))
+        })
+        .makespan()
+        .ns() as f64;
+        let t8 = run_simulation(&cfg, null, |ctx| {
+            run(ctx, &AppParams::default().with_iterations(8))
+        })
+        .makespan()
+        .ns() as f64;
+        // (8+1 warmup)/(4+1 warmup) = 1.8.
+        let ratio = t8 / t4;
+        assert!((ratio - 1.8).abs() < 0.05, "ratio {ratio}");
+    }
+}

@@ -1,0 +1,65 @@
+//! Mini NPB-EP: embarrassingly parallel random-number kernel. Long
+//! compute stretches with almost no external invocations — exactly the
+//! program class the paper says needs Dyninst-inserted user markers
+//! (§5), and on which vSensor scores **zero** coverage (Table 1): the
+//! batch count comes from command-line input, so no snippet is provably
+//! fixed at compile time, while at runtime every batch has identical
+//! workload.
+
+use crate::params::AppParams;
+use vapro_pmu::WorkloadSpec;
+use vapro_sim::comm::ReduceOp;
+use vapro_sim::{CallSite, RankCtx};
+
+const MARK: CallSite = CallSite("ep.f:batch:user_marker");
+const ALLRED: CallSite = CallSite("ep.f:220:MPI_Allreduce");
+
+/// One batch of Gaussian-pair generation: pure compute, cache-hot.
+fn batch_spec(scale: f64) -> WorkloadSpec {
+    WorkloadSpec::compute_bound(6.0e6 * scale)
+}
+
+/// Run mini-EP: `iterations` marker-delimited batches, one final
+/// reduction of the tallies.
+pub fn run(ctx: &mut RankCtx, params: &AppParams) {
+    for _ in 0..params.iterations {
+        ctx.user_marker("ep_batch", MARK);
+        ctx.compute(&batch_spec(params.scale));
+    }
+    ctx.user_marker("ep_batch", MARK);
+    let counts = [1.0, 2.0, 3.0];
+    ctx.allreduce(&counts, ReduceOp::Sum, ALLRED);
+}
+
+/// Nothing is statically provable: the batch loop bound is runtime input.
+pub const STATIC_FIXED_SITES: &[&str] = &[];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vapro_sim::{run_simulation, Interceptor, NullInterceptor, SimConfig};
+
+    fn null(_: usize) -> Box<dyn Interceptor> {
+        Box::new(NullInterceptor)
+    }
+
+    #[test]
+    fn markers_delimit_every_batch() {
+        let cfg = SimConfig::new(2);
+        let res = run_simulation(&cfg, null, |ctx| {
+            run(ctx, &AppParams::default().with_iterations(10))
+        });
+        // 11 markers + 1 allreduce.
+        assert_eq!(res.ranks[0].invocations, 12);
+    }
+
+    #[test]
+    fn compute_dominates_runtime() {
+        let cfg = SimConfig::new(2);
+        let res = run_simulation(&cfg, null, |ctx| {
+            run(ctx, &AppParams::default().with_iterations(10))
+        });
+        // 10 batches × 6e6 ins at ≤ 4 IPC, 2.2 GHz ⇒ ≥ 6.8 ms.
+        assert!(res.makespan().ns() > 5_000_000);
+    }
+}

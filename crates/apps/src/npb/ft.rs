@@ -1,0 +1,63 @@
+//! Mini NPB-FT: 3-D FFT. Each iteration evolves the spectrum (streaming
+//! pass), performs the distributed transpose (`MPI_Alltoall` — FT's
+//! signature operation), and runs the local FFT butterflies (compute
+//! with regular strides). All trip counts derive from the compile-time
+//! problem class, so vSensor handles FT well (93.2 % coverage in
+//! Table 1) — a useful contrast case.
+
+use crate::params::AppParams;
+use vapro_pmu::{Locality, WorkloadSpec};
+use vapro_sim::{CallSite, RankCtx};
+
+const ALLTOALL: CallSite = CallSite("ft.f:transpose:MPI_Alltoall");
+const BARRIER: CallSite = CallSite("ft.f:checksum:MPI_Barrier");
+
+fn evolve_spec(scale: f64) -> WorkloadSpec {
+    WorkloadSpec::memory_bound(1.6e6 * scale)
+}
+
+fn fft_spec(scale: f64) -> WorkloadSpec {
+    WorkloadSpec {
+        instructions: 3.2e6 * scale,
+        mem_refs: 1.0e6 * scale,
+        locality: Locality { l1: 0.8, l2: 0.12, l3: 0.06, dram: 0.02 },
+        branch_fraction: 0.06,
+        branch_miss_rate: 0.004,
+        ..WorkloadSpec::default()
+    }
+}
+
+/// Run mini-FT.
+pub fn run(ctx: &mut RankCtx, params: &AppParams) {
+    for _ in 0..params.iterations {
+        ctx.compute(&evolve_spec(params.scale));
+        ctx.alltoall(32 * 1024, ALLTOALL);
+        ctx.compute(&fft_spec(params.scale));
+        ctx.barrier(BARRIER);
+    }
+}
+
+/// Both the evolve and FFT loops have class-constant bounds.
+pub const STATIC_FIXED_SITES: &[&str] =
+    &["ft.f:transpose:MPI_Alltoall", "ft.f:checksum:MPI_Barrier"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vapro_sim::{run_simulation, Interceptor, NullInterceptor, SimConfig};
+
+    fn null(_: usize) -> Box<dyn Interceptor> {
+        Box::new(NullInterceptor)
+    }
+
+    #[test]
+    fn completes_with_synchronised_clocks() {
+        let cfg = SimConfig::new(4);
+        let res = run_simulation(&cfg, null, |ctx| {
+            run(ctx, &AppParams::default().with_iterations(5))
+        });
+        assert_eq!(res.ranks[0].invocations, 10);
+        let clocks: Vec<u64> = res.ranks.iter().map(|r| r.clock.ns()).collect();
+        assert!(clocks.windows(2).all(|w| w[0] == w[1]));
+    }
+}

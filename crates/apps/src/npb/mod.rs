@@ -1,0 +1,11 @@
+//! Miniature NPB benchmarks: the seven programs of the paper's Table 1
+//! (BT, CG, EP, FT, LU, MG, SP), each reproducing the original's
+//! communication skeleton and workload distribution.
+
+pub mod bt;
+pub mod cg;
+pub mod ep;
+pub mod ft;
+pub mod lu;
+pub mod mg;
+pub mod sp;

@@ -1,0 +1,59 @@
+//! Application run parameters.
+
+/// Parameters shared by every mini-app.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AppParams {
+    /// Main-loop iterations.
+    pub iterations: usize,
+    /// Workload scale multiplier (1.0 ≈ a quick functional run; larger
+    /// values stretch fragments for long-horizon experiments).
+    pub scale: f64,
+    /// App-level seed for workload draws (distinct from the runtime seed).
+    pub seed: u64,
+}
+
+impl Default for AppParams {
+    fn default() -> Self {
+        AppParams { iterations: 25, scale: 1.0, seed: 7 }
+    }
+}
+
+impl AppParams {
+    /// A run with the given number of iterations.
+    pub fn with_iterations(mut self, iterations: usize) -> Self {
+        self.iterations = iterations;
+        self
+    }
+
+    /// A run with the given workload scale.
+    pub fn with_scale(mut self, scale: f64) -> Self {
+        assert!(scale > 0.0, "scale must be positive");
+        self.scale = scale;
+        self
+    }
+
+    /// A run with the given app-level seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chains() {
+        let p = AppParams::default().with_iterations(50).with_scale(2.0).with_seed(3);
+        assert_eq!(p.iterations, 50);
+        assert_eq!(p.scale, 2.0);
+        assert_eq!(p.seed, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale must be positive")]
+    fn zero_scale_rejected() {
+        let _ = AppParams::default().with_scale(0.0);
+    }
+}

@@ -1,0 +1,105 @@
+//! Mini blackscholes: data-parallel option pricing. Each thread prices a
+//! fixed slice of options per timestep — the computation is real (the
+//! closed-form Black–Scholes evaluation on deterministic inputs), and the
+//! slice size never changes, so every timestep is a fixed workload
+//! (84.9 % coverage in Table 1).
+
+use crate::params::AppParams;
+use rand::Rng;
+use vapro_pmu::WorkloadSpec;
+use vapro_sim::{CallSite, RankCtx};
+
+const BARRIER: CallSite = CallSite("blackscholes.c:timestep:pthread_barrier_wait");
+
+/// Options priced per thread per timestep.
+pub const OPTIONS_PER_THREAD: usize = 256;
+
+/// A cumulative-normal approximation (Abramowitz–Stegun style polynomial).
+fn cnd(x: f64) -> f64 {
+    let l = x.abs();
+    let k = 1.0 / (1.0 + 0.2316419 * l);
+    let poly = k
+        * (0.319381530
+            + k * (-0.356563782 + k * (1.781477937 + k * (-1.821255978 + k * 1.330274429))));
+    let w = 1.0 - (-l * l / 2.0).exp() / (2.0 * std::f64::consts::PI).sqrt() * poly;
+    if x < 0.0 {
+        1.0 - w
+    } else {
+        w
+    }
+}
+
+/// Price one call option.
+fn price(spot: f64, strike: f64, rate: f64, vol: f64, t: f64) -> f64 {
+    let d1 = ((spot / strike).ln() + (rate + vol * vol / 2.0) * t) / (vol * t.sqrt());
+    let d2 = d1 - vol * t.sqrt();
+    spot * cnd(d1) - strike * (-rate * t).exp() * cnd(d2)
+}
+
+fn pricing_spec(scale: f64) -> WorkloadSpec {
+    WorkloadSpec::compute_bound(OPTIONS_PER_THREAD as f64 * 2_000.0 * scale)
+}
+
+/// Run mini-blackscholes.
+pub fn run(ctx: &mut RankCtx, params: &AppParams) {
+    let mut rng = crate::helpers::app_rng(ctx, params.seed);
+    let options: Vec<(f64, f64, f64, f64, f64)> = (0..OPTIONS_PER_THREAD)
+        .map(|_| {
+            (
+                50.0 + rng.gen::<f64>() * 100.0,
+                50.0 + rng.gen::<f64>() * 100.0,
+                0.01 + rng.gen::<f64>() * 0.04,
+                0.1 + rng.gen::<f64>() * 0.4,
+                0.25 + rng.gen::<f64>() * 2.0,
+            )
+        })
+        .collect();
+    let mut acc = 0.0;
+    for _ in 0..params.iterations {
+        for &(s, k, r, v, t) in &options {
+            acc += price(s, k, r, v, t);
+        }
+        ctx.compute(&pricing_spec(params.scale));
+        ctx.thread_barrier(BARRIER);
+    }
+    assert!(acc.is_finite() && acc > 0.0);
+}
+
+/// The option-slice loop bound is a compile-time partition constant.
+pub const STATIC_FIXED_SITES: &[&str] = &["blackscholes.c:timestep:pthread_barrier_wait"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vapro_sim::{run_simulation, Interceptor, NullInterceptor, SimConfig, Topology};
+
+    fn null(_: usize) -> Box<dyn Interceptor> {
+        Box::new(NullInterceptor)
+    }
+
+    #[test]
+    fn call_price_sanity() {
+        // Deep in-the-money call ≈ spot − discounted strike.
+        let p = price(200.0, 100.0, 0.02, 0.2, 1.0);
+        assert!((p - (200.0 - 100.0 * (-0.02f64).exp())).abs() < 1.0, "price {p}");
+        // Far out-of-the-money call ≈ 0.
+        assert!(price(50.0, 200.0, 0.02, 0.2, 0.5) < 0.1);
+    }
+
+    #[test]
+    fn cnd_is_a_cdf() {
+        assert!((cnd(0.0) - 0.5).abs() < 1e-6);
+        assert!(cnd(3.0) > 0.99);
+        assert!(cnd(-3.0) < 0.01);
+        assert!((cnd(1.0) + cnd(-1.0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn timesteps_complete() {
+        let cfg = SimConfig::new(4).with_topology(Topology::single_node(4));
+        let res = run_simulation(&cfg, null, |ctx| {
+            run(ctx, &AppParams::default().with_iterations(4))
+        });
+        assert_eq!(res.ranks[0].invocations, 4);
+    }
+}

@@ -1,0 +1,61 @@
+//! Mini canneal: simulated-annealing netlist routing. Threads do
+//! pointer-chasing swaps over a shared netlist with lock-protected
+//! critical sections; the number of swap attempts per temperature step is
+//! fixed, but the *accepted* swap work depends on the runtime temperature
+//! schedule — a runtime-classed workload that static analysis cannot fix.
+
+use crate::helpers::shared_draw;
+use crate::params::AppParams;
+use vapro_pmu::WorkloadSpec;
+use vapro_sim::{CallSite, RankCtx};
+
+const BARRIER: CallSite = CallSite("annealer_thread.cpp:temp_step:pthread_barrier_wait");
+
+/// Temperature classes across the annealing schedule.
+pub const TEMP_CLASSES: usize = 4;
+
+fn swap_spec(class: usize, scale: f64) -> WorkloadSpec {
+    // Hotter temperature → more accepted swaps → more pointer chasing.
+    WorkloadSpec::irregular(8.0e4 * (1.0 + class as f64) * scale)
+}
+
+/// Run mini-canneal.
+pub fn run(ctx: &mut RankCtx, params: &AppParams) {
+    for it in 0..params.iterations {
+        let class = shared_draw(params.seed ^ 0xCA44, it / 4, TEMP_CLASSES);
+        ctx.compute(&swap_spec(class, params.scale));
+        ctx.thread_barrier(BARRIER);
+    }
+}
+
+/// Swap-acceptance work depends on the runtime temperature.
+pub const STATIC_FIXED_SITES: &[&str] = &[];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vapro_sim::{run_simulation, Interceptor, NullInterceptor, SimConfig, Topology};
+
+    fn null(_: usize) -> Box<dyn Interceptor> {
+        Box::new(NullInterceptor)
+    }
+
+    #[test]
+    fn temperature_classes_are_bounded() {
+        let classes: std::collections::BTreeSet<u64> = (0..100)
+            .map(|it| swap_spec(shared_draw(7 ^ 0xCA44, it / 4, TEMP_CLASSES), 1.0))
+            .map(|s| s.instructions as u64)
+            .collect();
+        assert!(classes.len() <= TEMP_CLASSES);
+        assert!(classes.len() >= 2);
+    }
+
+    #[test]
+    fn completes() {
+        let cfg = SimConfig::new(4).with_topology(Topology::single_node(4));
+        let res = run_simulation(&cfg, null, |ctx| {
+            run(ctx, &AppParams::default().with_iterations(8))
+        });
+        assert_eq!(res.ranks[0].invocations, 8);
+    }
+}

@@ -1,0 +1,95 @@
+//! Mini ferret: content-based similarity search structured as a
+//! four-stage pipeline (segment → extract → index → rank). Stages hand
+//! work downstream through point-to-point queues; threads are pinned to
+//! stages, so workloads differ per thread role but are fixed per stage —
+//! the pipeline-parallel pattern among the PARSEC set.
+
+use crate::params::AppParams;
+use vapro_pmu::WorkloadSpec;
+use vapro_sim::{CallSite, RankCtx};
+
+const Q_PUSH: CallSite = CallSite("ferret:queue_push:MPI_Send");
+const Q_POP: CallSite = CallSite("ferret:queue_pop:MPI_Recv");
+const DONE: CallSite = CallSite("ferret:finish:pthread_barrier_wait");
+
+/// Per-stage workload: extraction is the heavy stage.
+fn stage_spec(stage: usize, scale: f64) -> WorkloadSpec {
+    match stage {
+        0 => WorkloadSpec::mixed(3.0e5 * scale),           // segment
+        1 => WorkloadSpec::compute_bound(1.6e6 * scale),   // extract
+        2 => WorkloadSpec::irregular(2.5e5 * scale),       // index probe
+        _ => WorkloadSpec::mixed(4.0e5 * scale),           // rank
+    }
+}
+
+/// Run mini-ferret: rank r acts as pipeline stage `r % 4`; queries flow
+/// stage to stage. With fewer than 4 threads the pipeline degenerates to
+/// a local loop.
+pub fn run(ctx: &mut RankCtx, params: &AppParams) {
+    let n = ctx.size();
+    let me = ctx.rank();
+    let stages = 4.min(n);
+    let stage = me % stages;
+    let queries = params.iterations;
+    if n < 2 {
+        for _ in 0..queries {
+            for s in 0..4 {
+                ctx.compute(&stage_spec(s, params.scale));
+            }
+        }
+        return;
+    }
+    // Only the first `stages` ranks form the pipeline; the rest mirror
+    // stage work locally (worker replicas).
+    let in_pipeline = me < stages;
+    for q in 0..queries as u64 {
+        if in_pipeline {
+            if stage > 0 {
+                ctx.recv(Some(me - 1), Some(q), Q_POP);
+            }
+            ctx.compute(&stage_spec(stage, params.scale));
+            if stage + 1 < stages {
+                ctx.send(me + 1, q, 2048, None, Q_PUSH);
+            }
+        } else {
+            ctx.compute(&stage_spec(stage, params.scale));
+        }
+    }
+    ctx.thread_barrier(DONE);
+}
+
+/// Stage kernels have fixed feature dimensions (compile-time constants).
+pub const STATIC_FIXED_SITES: &[&str] = &["ferret:queue_pop:MPI_Recv"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vapro_sim::{run_simulation, Interceptor, NullInterceptor, SimConfig, Topology};
+
+    fn null(_: usize) -> Box<dyn Interceptor> {
+        Box::new(NullInterceptor)
+    }
+
+    #[test]
+    fn pipeline_flows_without_deadlock() {
+        let cfg = SimConfig::new(4).with_topology(Topology::single_node(4));
+        let res = run_simulation(&cfg, null, |ctx| {
+            run(ctx, &AppParams::default().with_iterations(6))
+        });
+        // Stage 0: 6 sends + 1 barrier; stage 3: 6 recvs + 1 barrier.
+        assert_eq!(res.ranks[0].invocations, 7);
+        assert_eq!(res.ranks[3].invocations, 7);
+        // Middle stages both receive and send.
+        assert_eq!(res.ranks[1].invocations, 13);
+    }
+
+    #[test]
+    fn single_thread_degenerates_gracefully() {
+        let cfg = SimConfig::new(1).with_topology(Topology::single_node(1));
+        let res = run_simulation(&cfg, null, |ctx| {
+            run(ctx, &AppParams::default().with_iterations(2))
+        });
+        assert_eq!(res.ranks[0].invocations, 0);
+        assert!(res.makespan().ns() > 0);
+    }
+}

@@ -1,0 +1,56 @@
+//! Mini FFT (the SPLASH/PARSEC kernel): data-parallel 1-D FFT over a
+//! shared array with all-thread transposes between butterfly phases.
+//! Barrier-heavy with short compute bursts — the lowest-coverage PARSEC
+//! entry in Table 1 (66.9 %) because fragments are brief.
+
+use crate::params::AppParams;
+use vapro_pmu::{Locality, WorkloadSpec};
+use vapro_sim::{CallSite, RankCtx};
+
+const BARRIER: CallSite = CallSite("fft.c:transpose:pthread_barrier_wait");
+
+/// Butterfly phases per FFT pass.
+pub const PHASES: usize = 3;
+
+fn butterfly_spec(scale: f64) -> WorkloadSpec {
+    WorkloadSpec {
+        instructions: 4.0e5 * scale,
+        mem_refs: 1.6e5 * scale,
+        locality: Locality { l1: 0.75, l2: 0.15, l3: 0.07, dram: 0.03 },
+        branch_fraction: 0.05,
+        branch_miss_rate: 0.003,
+        ..WorkloadSpec::default()
+    }
+}
+
+/// Run mini-FFT.
+pub fn run(ctx: &mut RankCtx, params: &AppParams) {
+    for _ in 0..params.iterations {
+        for _phase in 0..PHASES {
+            ctx.compute(&butterfly_spec(params.scale));
+            ctx.thread_barrier(BARRIER);
+        }
+    }
+}
+
+/// Butterfly loop bounds follow from the compile-time transform size.
+pub const STATIC_FIXED_SITES: &[&str] = &["fft.c:transpose:pthread_barrier_wait"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vapro_sim::{run_simulation, Interceptor, NullInterceptor, SimConfig, Topology};
+
+    fn null(_: usize) -> Box<dyn Interceptor> {
+        Box::new(NullInterceptor)
+    }
+
+    #[test]
+    fn phases_times_iterations_barriers() {
+        let cfg = SimConfig::new(4).with_topology(Topology::single_node(4));
+        let res = run_simulation(&cfg, null, |ctx| {
+            run(ctx, &AppParams::default().with_iterations(5))
+        });
+        assert_eq!(res.ranks[0].invocations as usize, 5 * PHASES);
+    }
+}

@@ -1,0 +1,11 @@
+//! Miniature multi-threaded programs standing in for the six PARSEC
+//! workloads of Table 1 (FFT, blackscholes, canneal, ferret, swaptions,
+//! vips): each reproduces the original's threading structure and workload
+//! character (data-parallel, pipeline, or annealing-style irregular).
+
+pub mod blackscholes;
+pub mod canneal;
+pub mod ferret;
+pub mod fft;
+pub mod swaptions;
+pub mod vips;

@@ -1,0 +1,56 @@
+//! Mini vips: image-processing pipeline applying a fixed operation chain
+//! (affine → convolution → sharpen) to equal-sized tiles. Per-tile work
+//! is fixed by the tile geometry, and tiles stream through threads with a
+//! barrier per image — giving the highest multi-threaded coverage in
+//! Table 1 (96.7 %).
+
+use crate::params::AppParams;
+use vapro_pmu::WorkloadSpec;
+use vapro_sim::{CallSite, RankCtx};
+
+const BARRIER: CallSite = CallSite("vips:image_done:pthread_barrier_wait");
+
+/// Tiles per thread per image.
+pub const TILES: usize = 6;
+
+fn tile_spec(op: usize, scale: f64) -> WorkloadSpec {
+    match op {
+        0 => WorkloadSpec::memory_bound(5.0e5 * scale), // affine resample
+        1 => WorkloadSpec::mixed(8.0e5 * scale),        // convolution
+        _ => WorkloadSpec::memory_bound(3.0e5 * scale), // sharpen
+    }
+}
+
+/// Run mini-vips: each iteration processes one image.
+pub fn run(ctx: &mut RankCtx, params: &AppParams) {
+    for _ in 0..params.iterations {
+        for _tile in 0..TILES {
+            for op in 0..3 {
+                ctx.compute(&tile_spec(op, params.scale));
+            }
+        }
+        ctx.thread_barrier(BARRIER);
+    }
+}
+
+/// Tile geometry is fixed at build configuration time.
+pub const STATIC_FIXED_SITES: &[&str] = &["vips:image_done:pthread_barrier_wait"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vapro_sim::{run_simulation, Interceptor, NullInterceptor, SimConfig, Topology};
+
+    fn null(_: usize) -> Box<dyn Interceptor> {
+        Box::new(NullInterceptor)
+    }
+
+    #[test]
+    fn one_barrier_per_image() {
+        let cfg = SimConfig::new(4).with_topology(Topology::single_node(4));
+        let res = run_simulation(&cfg, null, |ctx| {
+            run(ctx, &AppParams::default().with_iterations(7))
+        });
+        assert_eq!(res.ranks[0].invocations, 7);
+    }
+}

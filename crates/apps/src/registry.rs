@@ -1,0 +1,293 @@
+//! The application registry: name → runner, threading kind, and the
+//! static-analysis annotations the vSensor baseline consumes.
+
+use crate::params::AppParams;
+use vapro_sim::RankCtx;
+
+/// Whether an app maps to MPI processes or pthreads in the paper's
+/// Table 1 (the split matters: vSensor supports only multi-process apps).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AppKind {
+    /// MPI-style multi-process application.
+    MultiProcess,
+    /// Pthread-style multi-threaded application.
+    MultiThreaded,
+}
+
+/// One registered application.
+#[derive(Clone)]
+pub struct AppSpec {
+    /// Registry name (matches the paper's Table 1 rows).
+    pub name: &'static str,
+    /// Threading model.
+    pub kind: AppKind,
+    /// The runner.
+    pub run: fn(&mut RankCtx, &AppParams),
+    /// Call-sites whose preceding computation snippet a static analyser
+    /// can prove fixed-workload (vSensor's instrumentation points).
+    pub static_fixed_sites: &'static [&'static str],
+    /// False when vSensor cannot process the app at all (closed source,
+    /// or a codebase beyond its analysis: HPL, CESM).
+    pub vsensor_supported: bool,
+    /// Default rank/thread count used by the Table 1 driver at full scale.
+    pub table1_ranks: usize,
+}
+
+impl std::fmt::Debug for AppSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AppSpec")
+            .field("name", &self.name)
+            .field("kind", &self.kind)
+            .field("vsensor_supported", &self.vsensor_supported)
+            .finish()
+    }
+}
+
+/// All registered applications, in the paper's Table 1 order.
+pub fn all_apps() -> Vec<AppSpec> {
+    use AppKind::*;
+    vec![
+        AppSpec {
+            name: "AMG",
+            kind: MultiProcess,
+            run: crate::amg::run,
+            static_fixed_sites: crate::amg::STATIC_FIXED_SITES,
+            vsensor_supported: true,
+            table1_ranks: 1024,
+        },
+        AppSpec {
+            name: "CESM",
+            kind: MultiProcess,
+            run: crate::cesm::run,
+            static_fixed_sites: crate::cesm::STATIC_FIXED_SITES,
+            vsensor_supported: crate::cesm::VSENSOR_SUPPORTED,
+            table1_ranks: 2048,
+        },
+        AppSpec {
+            name: "BT",
+            kind: MultiProcess,
+            run: crate::npb::bt::run,
+            static_fixed_sites: crate::npb::bt::STATIC_FIXED_SITES,
+            vsensor_supported: true,
+            table1_ranks: 1024,
+        },
+        AppSpec {
+            name: "CG",
+            kind: MultiProcess,
+            run: crate::npb::cg::run,
+            static_fixed_sites: crate::npb::cg::STATIC_FIXED_SITES,
+            vsensor_supported: true,
+            table1_ranks: 1024,
+        },
+        AppSpec {
+            name: "EP",
+            kind: MultiProcess,
+            run: crate::npb::ep::run,
+            static_fixed_sites: crate::npb::ep::STATIC_FIXED_SITES,
+            vsensor_supported: true,
+            table1_ranks: 1024,
+        },
+        AppSpec {
+            name: "FT",
+            kind: MultiProcess,
+            run: crate::npb::ft::run,
+            static_fixed_sites: crate::npb::ft::STATIC_FIXED_SITES,
+            vsensor_supported: true,
+            table1_ranks: 1024,
+        },
+        AppSpec {
+            name: "LU",
+            kind: MultiProcess,
+            run: crate::npb::lu::run,
+            static_fixed_sites: crate::npb::lu::STATIC_FIXED_SITES,
+            vsensor_supported: true,
+            table1_ranks: 1024,
+        },
+        AppSpec {
+            name: "MG",
+            kind: MultiProcess,
+            run: crate::npb::mg::run,
+            static_fixed_sites: crate::npb::mg::STATIC_FIXED_SITES,
+            vsensor_supported: true,
+            table1_ranks: 1024,
+        },
+        AppSpec {
+            name: "SP",
+            kind: MultiProcess,
+            run: crate::npb::sp::run,
+            static_fixed_sites: crate::npb::sp::STATIC_FIXED_SITES,
+            vsensor_supported: true,
+            table1_ranks: 1024,
+        },
+        AppSpec {
+            name: "BERT",
+            kind: MultiThreaded,
+            run: crate::bert::run,
+            static_fixed_sites: crate::bert::STATIC_FIXED_SITES,
+            vsensor_supported: false, // vSensor has no multi-thread support
+            table1_ranks: 16,
+        },
+        AppSpec {
+            name: "PageRank",
+            kind: MultiThreaded,
+            run: crate::pagerank::run,
+            static_fixed_sites: crate::pagerank::STATIC_FIXED_SITES,
+            vsensor_supported: false,
+            table1_ranks: 16,
+        },
+        AppSpec {
+            name: "WordCount",
+            kind: MultiThreaded,
+            run: crate::wordcount::run,
+            static_fixed_sites: crate::wordcount::STATIC_FIXED_SITES,
+            vsensor_supported: false,
+            table1_ranks: 16,
+        },
+        AppSpec {
+            name: "FFT",
+            kind: MultiThreaded,
+            run: crate::parsec::fft::run,
+            static_fixed_sites: crate::parsec::fft::STATIC_FIXED_SITES,
+            vsensor_supported: false,
+            table1_ranks: 16,
+        },
+        AppSpec {
+            name: "blackscholes",
+            kind: MultiThreaded,
+            run: crate::parsec::blackscholes::run,
+            static_fixed_sites: crate::parsec::blackscholes::STATIC_FIXED_SITES,
+            vsensor_supported: false,
+            table1_ranks: 16,
+        },
+        AppSpec {
+            name: "canneal",
+            kind: MultiThreaded,
+            run: crate::parsec::canneal::run,
+            static_fixed_sites: crate::parsec::canneal::STATIC_FIXED_SITES,
+            vsensor_supported: false,
+            table1_ranks: 16,
+        },
+        AppSpec {
+            name: "ferret",
+            kind: MultiThreaded,
+            run: crate::parsec::ferret::run,
+            static_fixed_sites: crate::parsec::ferret::STATIC_FIXED_SITES,
+            vsensor_supported: false,
+            table1_ranks: 16,
+        },
+        AppSpec {
+            name: "swaptions",
+            kind: MultiThreaded,
+            run: crate::parsec::swaptions::run,
+            static_fixed_sites: crate::parsec::swaptions::STATIC_FIXED_SITES,
+            vsensor_supported: false,
+            table1_ranks: 16,
+        },
+        AppSpec {
+            name: "vips",
+            kind: MultiThreaded,
+            run: crate::parsec::vips::run,
+            static_fixed_sites: crate::parsec::vips::STATIC_FIXED_SITES,
+            vsensor_supported: false,
+            table1_ranks: 16,
+        },
+        // Case-study apps (not in Table 1 but used in §6.4-§6.5).
+        AppSpec {
+            name: "HPL",
+            kind: MultiProcess,
+            run: crate::hpl::run,
+            static_fixed_sites: crate::hpl::STATIC_FIXED_SITES,
+            vsensor_supported: crate::hpl::VSENSOR_SUPPORTED,
+            table1_ranks: 36,
+        },
+        AppSpec {
+            name: "Nekbone",
+            kind: MultiProcess,
+            run: crate::nekbone::run,
+            static_fixed_sites: crate::nekbone::STATIC_FIXED_SITES,
+            vsensor_supported: true,
+            table1_ranks: 128,
+        },
+        AppSpec {
+            name: "RAxML",
+            kind: MultiProcess,
+            run: crate::raxml::run,
+            static_fixed_sites: crate::raxml::STATIC_FIXED_SITES,
+            vsensor_supported: true,
+            table1_ranks: 512,
+        },
+    ]
+}
+
+/// Look up an app by (case-insensitive) name.
+pub fn find_app(name: &str) -> Option<AppSpec> {
+    all_apps()
+        .into_iter()
+        .find(|a| a.name.eq_ignore_ascii_case(name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vapro_sim::{run_simulation, Interceptor, NullInterceptor, SimConfig, Topology};
+
+    #[test]
+    fn table1_apps_are_all_present() {
+        let names: Vec<&str> = all_apps().iter().map(|a| a.name).collect();
+        for expected in [
+            "AMG", "CESM", "BT", "CG", "EP", "FT", "LU", "MG", "SP", "BERT", "PageRank",
+            "WordCount", "FFT", "blackscholes", "canneal", "ferret", "swaptions", "vips",
+        ] {
+            assert!(names.contains(&expected), "{expected} missing");
+        }
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive() {
+        assert!(find_app("cg").is_some());
+        assert!(find_app("BLACKSCHOLES").is_some());
+        assert!(find_app("nope").is_none());
+    }
+
+    #[test]
+    fn runtime_classed_apps_have_no_static_marks() {
+        for name in ["AMG", "EP"] {
+            let app = find_app(name).unwrap();
+            assert!(
+                app.static_fixed_sites.is_empty(),
+                "{name} should be invisible to static analysis"
+            );
+        }
+    }
+
+    #[test]
+    fn unsupported_apps_are_flagged() {
+        assert!(!find_app("CESM").unwrap().vsensor_supported);
+        assert!(!find_app("HPL").unwrap().vsensor_supported);
+        assert!(find_app("CG").unwrap().vsensor_supported);
+    }
+
+    #[test]
+    fn every_app_runs_at_small_scale() {
+        // The crucial smoke test: every registered app completes on
+        // 4 ranks with a couple of iterations.
+        let params = AppParams::default().with_iterations(3);
+        for app in all_apps() {
+            let topo = match app.kind {
+                AppKind::MultiProcess => Topology::tianhe_like(4),
+                AppKind::MultiThreaded => Topology::single_node(4),
+            };
+            let cfg = SimConfig::new(4).with_topology(topo);
+            let res = run_simulation(
+                &cfg,
+                |_| Box::new(NullInterceptor) as Box<dyn Interceptor>,
+                |ctx| (app.run)(ctx, &params),
+            );
+            assert!(
+                res.makespan().ns() > 0,
+                "{} did not advance time",
+                app.name
+            );
+        }
+    }
+}

@@ -1,0 +1,19 @@
+#![warn(missing_docs)]
+
+//! # vapro-baselines — the tools Vapro is compared against
+//!
+//! * [`vsensor`] — a detector in the style of vSensor (Tang et al.,
+//!   PPoPP'18), the paper's state-of-the-art baseline: it instruments only
+//!   the code snippets a *static* analysis can prove fixed-workload, so it
+//!   misses runtime-fixed snippets entirely (AMG, EP), cannot process huge
+//!   or closed-source codebases (CESM, HPL), and has no multi-threading
+//!   support — the limitations driving Table 1 and Fig. 12.
+//! * [`mpip`] — a profiler in the style of mpiP: per-rank computation vs
+//!   communication time totals. Sound, but its aggregate view misreads
+//!   dependence-propagated waiting as a network problem (Fig. 14).
+
+pub mod mpip;
+pub mod vsensor;
+
+pub use mpip::{MpipProfiler, MpipSummary};
+pub use vsensor::{VSensor, VSensorError};

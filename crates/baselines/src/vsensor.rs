@@ -1,0 +1,305 @@
+//! A vSensor-style variance detector: static-analysis-driven
+//! fixed-workload snippet instrumentation.
+//!
+//! The defining differences from Vapro, modelled faithfully:
+//!
+//! 1. it observes only the computation snippets whose workload a static
+//!    analysis proved fixed (the per-app `static_fixed_sites`
+//!    annotations) — one snippet per marked call-site, identified by
+//!    *ending* at that site;
+//! 2. snippets with de-facto fixed (runtime-classed) workload are
+//!    invisible, so coverage collapses on AMG/EP-style programs;
+//! 3. apps flagged `vsensor_supported = false` (CESM-scale codebases,
+//!    closed-source HPL) cannot run under it at all;
+//! 4. within a marked snippet, detection uses timing only (no clustering,
+//!    no PMU workload vector, no diagnosis).
+
+use std::any::Any;
+use std::collections::HashSet;
+use vapro_core::detect::heatmap::HeatMap;
+use vapro_core::detect::normalize::PerfPoint;
+use vapro_core::detect::region::{grow_regions, VarianceRegion};
+use vapro_sim::{EnterEvent, ExitEvent, Interceptor, VirtualTime};
+
+/// Why vSensor cannot analyse an application.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VSensorError {
+    /// The codebase is too large/complex for the source analysis (CESM).
+    AnalysisFailed,
+    /// No source code is available (closed-source HPL).
+    NoSource,
+    /// vSensor has no multi-threaded support.
+    MultithreadUnsupported,
+}
+
+/// One timed snippet observation. Snippets are identified by the pair
+/// (site the program came from, marked site the snippet ends at): the
+/// same marked site reached from different predecessors is a *different*
+/// source snippet, and vSensor's instrumentation knows which one it is.
+#[derive(Debug, Clone, Copy)]
+struct SnippetObs {
+    snippet: (&'static str, &'static str),
+    start: VirtualTime,
+    end: VirtualTime,
+}
+
+/// The per-rank vSensor instance.
+pub struct VSensor {
+    rank: usize,
+    marked_set: HashSet<&'static str>,
+    /// The previous invocation's exit time and site (snippet start).
+    prev_exit: Option<(VirtualTime, &'static str)>,
+    /// The site of the invocation currently in flight.
+    pending_site: Option<&'static str>,
+    observations: Vec<SnippetObs>,
+    /// Total virtual time covered by instrumented snippets.
+    covered_ns: f64,
+    last_event_time: VirtualTime,
+    hook_cost_ns: f64,
+}
+
+impl VSensor {
+    /// A vSensor instance instrumenting the given statically-proven sites.
+    pub fn new(rank: usize, static_fixed_sites: &[&'static str]) -> Self {
+        VSensor {
+            rank,
+            marked_set: static_fixed_sites.iter().copied().collect(),
+            prev_exit: None,
+            pending_site: None,
+            observations: Vec::new(),
+            covered_ns: 0.0,
+            last_event_time: VirtualTime::ZERO,
+            hook_cost_ns: 150.0,
+        }
+    }
+
+    /// Guard used by drivers before running an app under vSensor.
+    pub fn check_supported(
+        vsensor_supported: bool,
+        multithreaded: bool,
+        has_source: bool,
+    ) -> Result<(), VSensorError> {
+        if multithreaded {
+            return Err(VSensorError::MultithreadUnsupported);
+        }
+        if !has_source {
+            return Err(VSensorError::NoSource);
+        }
+        if !vsensor_supported {
+            return Err(VSensorError::AnalysisFailed);
+        }
+        Ok(())
+    }
+
+    /// The observing rank.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Detection coverage: instrumented-snippet time over total time.
+    pub fn coverage(&self) -> f64 {
+        let total = self.last_event_time.ns() as f64;
+        if total <= 0.0 {
+            0.0
+        } else {
+            (self.covered_ns / total).min(1.0)
+        }
+    }
+
+    /// Normalised performance points over all snippets: each snippet's
+    /// fastest observation defines 1.0 (vSensor's per-snippet comparison).
+    pub fn perf_points(&self) -> Vec<PerfPoint> {
+        let mut snippets: HashSet<(&'static str, &'static str)> =
+            HashSet::with_capacity(8);
+        for o in &self.observations {
+            snippets.insert(o.snippet);
+        }
+        let mut out = Vec::new();
+        for snippet in snippets {
+            let durs: Vec<f64> = self
+                .observations
+                .iter()
+                .filter(|o| o.snippet == snippet)
+                .map(|o| (o.end.ns() - o.start.ns()) as f64)
+                .collect();
+            let min = durs.iter().cloned().fold(f64::INFINITY, f64::min);
+            if !min.is_finite() || min <= 0.0 {
+                continue;
+            }
+            for o in self.observations.iter().filter(|o| o.snippet == snippet) {
+                let dur = (o.end.ns() - o.start.ns()) as f64;
+                out.push(PerfPoint {
+                    rank: self.rank,
+                    start: o.start,
+                    end: o.end,
+                    perf: (min / dur).min(1.0),
+                    loss_ns: (dur - min).max(0.0),
+                });
+            }
+        }
+        out
+    }
+
+    /// Number of snippet observations.
+    pub fn observation_count(&self) -> usize {
+        self.observations.len()
+    }
+}
+
+impl Interceptor for VSensor {
+    fn on_enter(&mut self, ev: &EnterEvent) {
+        self.last_event_time = ev.time;
+        if let Some((start, from)) = self.prev_exit {
+            if self.marked_set.contains(ev.site.label()) {
+                self.observations.push(SnippetObs {
+                    snippet: (from, ev.site.label()),
+                    start,
+                    end: ev.time,
+                });
+                self.covered_ns += (ev.time.ns() - start.ns()) as f64;
+            }
+        }
+        // Remember where we are so the next snippet knows its origin.
+        self.pending_site = Some(ev.site.label());
+    }
+
+    fn on_exit(&mut self, ev: &ExitEvent) {
+        self.last_event_time = ev.time;
+        self.prev_exit = Some((ev.time, self.pending_site.unwrap_or("<start>")));
+    }
+
+    fn hook_cost_ns(&self) -> f64 {
+        self.hook_cost_ns
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn Any> {
+        self
+    }
+}
+
+/// Build the vSensor heat map and regions across ranks — the Fig. 12
+/// right-panel view.
+pub fn vsensor_detect(
+    sensors: &[VSensor],
+    nranks: usize,
+    bins: usize,
+    perf_threshold: f64,
+) -> (HeatMap, Vec<VarianceRegion>) {
+    let points: Vec<PerfPoint> = sensors.iter().flat_map(|s| s.perf_points()).collect();
+    let map = if points.is_empty() {
+        HeatMap::new(VirtualTime::ZERO, 1, 1, nranks.max(1))
+    } else {
+        HeatMap::spanning(&points, bins, nranks.max(1))
+    };
+    let regions = grow_regions(&map, perf_threshold);
+    (map, regions)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vapro_apps::AppParams;
+    use vapro_sim::{run_simulation, SimConfig};
+
+    fn run_under_vsensor(
+        app: fn(&mut vapro_sim::RankCtx, &AppParams),
+        sites: &'static [&'static str],
+        ranks: usize,
+        iterations: usize,
+    ) -> Vec<VSensor> {
+        let cfg = SimConfig::new(ranks);
+        let params = AppParams::default().with_iterations(iterations);
+        let res = run_simulation(
+            &cfg,
+            |rank| Box::new(VSensor::new(rank, sites)) as Box<dyn Interceptor>,
+            move |ctx| app(ctx, &params),
+        );
+        res.into_tools::<VSensor>()
+    }
+
+    #[test]
+    fn unsupported_apps_error_out() {
+        assert_eq!(
+            VSensor::check_supported(true, true, true),
+            Err(VSensorError::MultithreadUnsupported)
+        );
+        assert_eq!(
+            VSensor::check_supported(false, false, false),
+            Err(VSensorError::NoSource)
+        );
+        assert_eq!(
+            VSensor::check_supported(false, false, true),
+            Err(VSensorError::AnalysisFailed)
+        );
+        assert_eq!(VSensor::check_supported(true, false, true), Ok(()));
+    }
+
+    #[test]
+    fn amg_and_ep_have_zero_coverage() {
+        // The Table 1 result: runtime-classed workloads are invisible.
+        for (app, sites) in [
+            (
+                vapro_apps::amg::run as fn(&mut vapro_sim::RankCtx, &AppParams),
+                vapro_apps::amg::STATIC_FIXED_SITES,
+            ),
+            (vapro_apps::npb::ep::run as _, vapro_apps::npb::ep::STATIC_FIXED_SITES),
+        ] {
+            let sensors = run_under_vsensor(app, sites, 2, 4);
+            for s in &sensors {
+                assert_eq!(s.coverage(), 0.0);
+                assert_eq!(s.observation_count(), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn cg_has_partial_coverage() {
+        let sensors = run_under_vsensor(
+            vapro_apps::npb::cg::run,
+            vapro_apps::npb::cg::STATIC_FIXED_SITES,
+            4,
+            6,
+        );
+        let cov = sensors[0].coverage();
+        assert!(cov > 0.02, "coverage {cov}");
+        assert!(cov < 0.7, "coverage {cov} suspiciously high for vSensor");
+        assert!(sensors[0].observation_count() > 0);
+    }
+
+    #[test]
+    fn perf_points_normalise_per_site() {
+        let sensors = run_under_vsensor(
+            vapro_apps::npb::cg::run,
+            vapro_apps::npb::cg::STATIC_FIXED_SITES,
+            2,
+            8,
+        );
+        let pts = sensors[0].perf_points();
+        assert!(!pts.is_empty());
+        assert!(pts.iter().any(|p| p.perf > 0.999));
+        assert!(pts.iter().all(|p| p.perf > 0.0 && p.perf <= 1.0));
+    }
+
+    #[test]
+    fn detect_produces_a_heatmap() {
+        let sensors = run_under_vsensor(
+            vapro_apps::npb::cg::run,
+            vapro_apps::npb::cg::STATIC_FIXED_SITES,
+            4,
+            8,
+        );
+        let (map, regions) = vsensor_detect(&sensors, 4, 16, 0.85);
+        assert_eq!(map.ranks, 4);
+        assert!(map.coverage() > 0.0);
+        // Quiet run: no variance regions.
+        assert!(regions.is_empty(), "{regions:?}");
+    }
+}

@@ -1,0 +1,62 @@
+//! Criterion bench: the fixed-workload clustering algorithm (paper
+//! Algorithm 1). The paper claims linear complexity in the number of
+//! workload vectors (modulo the initial sort); the throughput series over
+//! n ∈ {1k, 10k, 100k} lets that claim be checked directly, and the
+//! cluster-count axis shows the cost of fragmented workloads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use vapro_core::clustering::cluster_vectors;
+
+/// `n` vectors drawn from `classes` well-separated workload classes with
+/// 0.3 % PMU-style jitter.
+fn synth_vectors(n: usize, classes: usize, dim: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            let class = i % classes;
+            let base = 1_000.0 * 1.5f64.powi(class as i32);
+            (0..dim)
+                .map(|d| base * (1.0 + d as f64 * 0.1) * (1.0 + rng.gen::<f64>() * 0.006 - 0.003))
+                .collect()
+        })
+        .collect()
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("clustering/scaling");
+    for n in [1_000usize, 10_000, 100_000] {
+        let vectors = synth_vectors(n, 7, 1, 42);
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &vectors, |b, v| {
+            b.iter(|| cluster_vectors(std::hint::black_box(v), 0.05, 5))
+        });
+    }
+    g.finish();
+}
+
+fn bench_class_count(c: &mut Criterion) {
+    let mut g = c.benchmark_group("clustering/classes");
+    for classes in [1usize, 7, 64] {
+        let vectors = synth_vectors(20_000, classes, 1, 43);
+        g.bench_with_input(BenchmarkId::from_parameter(classes), &vectors, |b, v| {
+            b.iter(|| cluster_vectors(std::hint::black_box(v), 0.05, 5))
+        });
+    }
+    g.finish();
+}
+
+fn bench_dimensions(c: &mut Criterion) {
+    let mut g = c.benchmark_group("clustering/dimensions");
+    for dim in [1usize, 3, 8] {
+        let vectors = synth_vectors(20_000, 7, dim, 44);
+        g.bench_with_input(BenchmarkId::from_parameter(dim), &vectors, |b, v| {
+            b.iter(|| cluster_vectors(std::hint::black_box(v), 0.05, 5))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_scaling, bench_class_count, bench_dimensions);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Criterion bench: the collector hot path — what one intercepted
+//! invocation costs inside Vapro (enter hook + exit hook, including
+//! counter-delta computation, STG update and fragment attachment). The
+//! paper's 1.38 % mean overhead rests on this path being cheap relative
+//! to communication calls.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use vapro_core::{Collector, VaproConfig};
+use vapro_pmu::{CounterId, CounterSnapshot};
+use vapro_sim::{
+    CallPath, CallSite, EnterEvent, ExitEvent, Interceptor, InvocationKind, VirtualTime,
+};
+
+const SITES: [CallSite; 4] = [
+    CallSite("hot:MPI_Irecv"),
+    CallSite("hot:MPI_Send"),
+    CallSite("hot:MPI_Wait"),
+    CallSite("hot:MPI_Allreduce"),
+];
+
+fn snapshot(t: u64) -> CounterSnapshot {
+    let mut c = CounterSnapshot::default();
+    for id in CounterId::ALL {
+        c.put(id, t as f64 * 1.5);
+    }
+    c
+}
+
+fn drive(collector: &mut Collector, events: usize) {
+    for i in 0..events {
+        let site = SITES[i % SITES.len()];
+        let t = i as u64 * 1_000;
+        collector.on_enter(&EnterEvent {
+            rank: 0,
+            kind: InvocationKind::Comm { op: "MPI_Send", bytes: 4096, peer: 1 },
+            site,
+            path: CallPath::new(&["main"], site),
+            time: VirtualTime::from_ns(t),
+            counters: snapshot(t),
+        });
+        collector.on_exit(&ExitEvent {
+            rank: 0,
+            time: VirtualTime::from_ns(t + 300),
+            counters: snapshot(t + 300),
+        });
+    }
+}
+
+fn bench_hook_pair(c: &mut Criterion) {
+    let mut g = c.benchmark_group("collector/hook_pair");
+    for (label, cfg) in [
+        ("context_free", VaproConfig::context_free()),
+        ("context_aware", VaproConfig::context_aware()),
+    ] {
+        g.throughput(Throughput::Elements(10_000));
+        g.bench_with_input(BenchmarkId::from_parameter(label), &cfg, |b, cfg| {
+            b.iter(|| {
+                let mut collector = Collector::new(0, cfg.clone());
+                drive(&mut collector, 10_000);
+                std::hint::black_box(collector.stg().total_fragments())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_with_sampling(c: &mut Criterion) {
+    let mut cfg = VaproConfig::context_free();
+    cfg.sampling_enabled = true;
+    cfg.sampling_min_ns = 1e9; // everything is "short": maximal backoff work
+    c.bench_function("collector/hook_pair_sampled", |b| {
+        b.iter(|| {
+            let mut collector = Collector::new(0, cfg.clone());
+            drive(&mut collector, 10_000);
+            std::hint::black_box(collector.sampled_out())
+        })
+    });
+}
+
+criterion_group!(benches, bench_hook_pair, bench_with_sampling);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Criterion bench: the statistical engine of variance diagnosis — OLS
+//! fits with significance tests, the Farrar–Glauber multicollinearity
+//! screen, and the V-Measure computation. These run once per analysis
+//! window per cluster on the server side, so throughput matters at scale
+//! (one server handles 256 clients in the paper's deployment).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use vapro_stats::fg::remove_multicollinear;
+use vapro_stats::{v_measure, OlsFit};
+
+fn synth_regression(n: usize, k: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let x: Vec<Vec<f64>> = (0..k)
+        .map(|_| (0..n).map(|_| rng.gen::<f64>() * 100.0).collect())
+        .collect();
+    let y: Vec<f64> = (0..n)
+        .map(|i| {
+            let signal: f64 = x.iter().enumerate().map(|(j, col)| (j + 1) as f64 * col[i]).sum();
+            signal + rng.gen::<f64>() * 10.0
+        })
+        .collect();
+    (x, y)
+}
+
+fn bench_ols(c: &mut Criterion) {
+    let mut g = c.benchmark_group("stats/ols");
+    for (n, k) in [(100usize, 4usize), (1_000, 8), (10_000, 12)] {
+        let (x, y) = synth_regression(n, k, 7);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}_k{k}")),
+            &(x, y),
+            |b, (x, y)| b.iter(|| OlsFit::fit(std::hint::black_box(x), y, true)),
+        );
+    }
+    g.finish();
+}
+
+fn bench_fg_screen(c: &mut Criterion) {
+    let mut g = c.benchmark_group("stats/farrar_glauber");
+    for k in [4usize, 8, 12] {
+        let (mut x, _) = synth_regression(2_000, k, 11);
+        // Make two columns collinear so the removal loop actually runs.
+        let alias: Vec<f64> = x[0].iter().map(|v| v * 2.0 + 1.0).collect();
+        x.push(alias);
+        g.bench_with_input(BenchmarkId::from_parameter(k), &x, |b, x| {
+            b.iter(|| remove_multicollinear(std::hint::black_box(x), 0.05))
+        });
+    }
+    g.finish();
+}
+
+fn bench_vmeasure(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(13);
+    let n = 100_000;
+    let classes: Vec<usize> = (0..n).map(|_| rng.gen_range(0..20)).collect();
+    let clusters: Vec<usize> = classes
+        .iter()
+        .map(|&cl| if rng.gen::<f64>() < 0.9 { cl } else { rng.gen_range(0..20) })
+        .collect();
+    c.bench_function("stats/v_measure_100k", |b| {
+        b.iter(|| v_measure(std::hint::black_box(&classes), &clusters))
+    });
+}
+
+criterion_group!(benches, bench_ols, bench_fg_screen, bench_vmeasure);
+criterion_main!(benches);

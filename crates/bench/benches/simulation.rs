@@ -1,0 +1,58 @@
+//! Criterion bench: the virtual-time runtime itself — how fast the
+//! substrate simulates, in intercepted invocations per second of host
+//! time, across rank counts. This bounds the turnaround of the `--full`
+//! paper-scale reproductions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use vapro_apps::AppParams;
+use vapro_core::{Collector, VaproConfig};
+use vapro_sim::{run_simulation, Interceptor, NullInterceptor, SimConfig};
+
+fn bench_bare_runtime(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim/bare_cg");
+    g.sample_size(10);
+    for ranks in [4usize, 16, 64] {
+        let params = AppParams::default().with_iterations(5);
+        let cfg = SimConfig::new(ranks);
+        // Invocations per iteration ≈ 10 per rank for CG.
+        g.throughput(Throughput::Elements((ranks * 5 * 10) as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(ranks), &cfg, |b, cfg| {
+            b.iter(|| {
+                run_simulation(
+                    cfg,
+                    |_| Box::new(NullInterceptor) as Box<dyn Interceptor>,
+                    |ctx| vapro_apps::npb::cg::run(ctx, &params),
+                )
+                .makespan()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_monitored_runtime(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim/monitored_cg");
+    g.sample_size(10);
+    for ranks in [4usize, 16, 64] {
+        let params = AppParams::default().with_iterations(5);
+        let cfg = SimConfig::new(ranks);
+        g.throughput(Throughput::Elements((ranks * 5 * 10) as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(ranks), &cfg, |b, cfg| {
+            b.iter(|| {
+                run_simulation(
+                    cfg,
+                    |rank| {
+                        Box::new(Collector::new(rank, VaproConfig::default()))
+                            as Box<dyn Interceptor>
+                    },
+                    |ctx| vapro_apps::npb::cg::run(ctx, &params),
+                )
+                .total_invocations()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_bare_runtime, bench_monitored_runtime);
+criterion_main!(benches);

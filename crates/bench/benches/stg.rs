@@ -1,0 +1,72 @@
+//! Criterion bench: STG construction — state interning, transition
+//! interning, and fragment attachment, in both context-free and
+//! context-aware keying. This is the per-invocation bookkeeping on
+//! Vapro's hot path, so its cost bounds the tool's overhead.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use vapro_core::fragment::{Fragment, FragmentKind};
+use vapro_core::stg::{StateKey, Stg};
+use vapro_sim::{CallPath, CallSite, VirtualTime};
+
+const SITES: [CallSite; 4] = [
+    CallSite("bench:MPI_Irecv"),
+    CallSite("bench:MPI_Send"),
+    CallSite("bench:MPI_Wait"),
+    CallSite("bench:MPI_Allreduce"),
+];
+
+fn dummy_fragment(i: usize) -> Fragment {
+    Fragment {
+        rank: 0,
+        kind: FragmentKind::Computation,
+        start: VirtualTime::from_ns(i as u64 * 100),
+        end: VirtualTime::from_ns(i as u64 * 100 + 80),
+        counters: Default::default(),
+        args: vec![],
+    }
+}
+
+fn build_graph(events: usize, context_aware: bool) -> Stg {
+    let mut stg = Stg::new();
+    let mut prev = stg.state(StateKey::Start);
+    for i in 0..events {
+        let site = SITES[i % SITES.len()];
+        let key = if context_aware {
+            let frame = if (i / 100) % 2 == 0 { "phase_a" } else { "phase_b" };
+            StateKey::Path(CallPath::new(&[frame], site))
+        } else {
+            StateKey::Site(site)
+        };
+        let state = stg.state(key);
+        let edge = stg.transition(prev, state);
+        stg.attach_edge_fragment(edge, dummy_fragment(i));
+        prev = state;
+    }
+    stg
+}
+
+fn bench_construction(c: &mut Criterion) {
+    let mut g = c.benchmark_group("stg/construction");
+    for events in [1_000usize, 20_000] {
+        g.throughput(Throughput::Elements(events as u64));
+        g.bench_with_input(
+            BenchmarkId::new("context_free", events),
+            &events,
+            |b, &n| b.iter(|| build_graph(std::hint::black_box(n), false)),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("context_aware", events),
+            &events,
+            |b, &n| b.iter(|| build_graph(std::hint::black_box(n), true)),
+        );
+    }
+    g.finish();
+}
+
+fn bench_dot_dump(c: &mut Criterion) {
+    let stg = build_graph(20_000, false);
+    c.bench_function("stg/to_dot", |b| b.iter(|| std::hint::black_box(&stg).to_dot()));
+}
+
+criterion_group!(benches, bench_construction, bench_dot_dump);
+criterion_main!(benches);

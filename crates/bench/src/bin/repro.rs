@@ -1,0 +1,79 @@
+//! The `repro` binary: regenerate any table or figure of the paper's
+//! evaluation.
+//!
+//! ```text
+//! repro <experiment|all> [--ranks N] [--iters N] [--runs N] [--full] [--seed S]
+//!
+//! experiments: fig1 fig4 fig5 fig9 fig11 fig12 fig13 fig14 fig15 fig16
+//!              fig17 fig18 fig19 table1 table2 storage
+//! ```
+//!
+//! Defaults run each experiment at a scaled-down rank count that
+//! preserves the phenomenon and finishes in seconds; `--full` restores
+//! the paper's scale (up to 2048 ranks).
+
+use vapro_bench::{run_experiment, ExpOpts, EXPERIMENTS};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: repro <experiment|all> [--ranks N] [--iters N] [--runs N] [--full] [--seed S]\n\
+         experiments: {}",
+        EXPERIMENTS.join(" ")
+    );
+    std::process::exit(2);
+}
+
+fn parse_num(args: &mut std::iter::Peekable<std::env::Args>, flag: &str) -> u64 {
+    match args.next().and_then(|v| v.parse().ok()) {
+        Some(n) => n,
+        None => {
+            eprintln!("{flag} needs a numeric argument");
+            usage()
+        }
+    }
+}
+
+fn main() {
+    let mut args = std::env::args().peekable();
+    let _bin = args.next();
+    let Some(exp) = args.next() else { usage() };
+
+    let mut opts = ExpOpts::default();
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--ranks" => opts.ranks = Some(parse_num(&mut args, "--ranks") as usize),
+            "--iters" => opts.iterations = Some(parse_num(&mut args, "--iters") as usize),
+            "--runs" => opts.runs = Some(parse_num(&mut args, "--runs") as usize),
+            "--seed" => opts.seed = parse_num(&mut args, "--seed"),
+            "--full" => opts.full = true,
+            "--json" => opts.json = true,
+            other => {
+                eprintln!("unknown flag {other}");
+                usage()
+            }
+        }
+    }
+
+    let experiments: Vec<&str> = if exp == "all" {
+        EXPERIMENTS.to_vec()
+    } else if EXPERIMENTS.contains(&exp.as_str()) {
+        vec![Box::leak(exp.into_boxed_str()) as &str]
+    } else {
+        eprintln!("unknown experiment {exp}");
+        usage()
+    };
+
+    for name in experiments {
+        let t0 = std::time::Instant::now();
+        match run_experiment(name, &opts) {
+            Some(report) => {
+                println!("{report}");
+                eprintln!("[{name} finished in {:.1}s]\n", t0.elapsed().as_secs_f64());
+            }
+            None => {
+                eprintln!("experiment {name} failed to dispatch");
+                std::process::exit(1);
+            }
+        }
+    }
+}

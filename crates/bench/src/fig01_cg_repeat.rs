@@ -1,0 +1,107 @@
+//! Fig. 1: 100 repeated executions of 256-process NPB-CG on the same
+//! group of nodes — execution time varies greatly between submissions.
+//!
+//! Each submission draws a random ambient-noise configuration (which
+//! nodes have a co-tenant, how much memory pressure the neighbourhood
+//! produces), modelling the shared-machine conditions of Tianhe-2A.
+
+use crate::common::{header, ExpOpts};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use vapro_apps::AppParams;
+use vapro_sim::{
+    run_simulation, Interceptor, NoiseEvent, NoiseKind, NoiseSchedule, NullInterceptor,
+    SimConfig, TargetSet,
+};
+use vapro_stats::Summary;
+
+/// One submission's ambient noise: every node independently has a small
+/// chance of hosting a CPU hog or suffering bandwidth contention.
+fn ambient_noise(rng: &mut ChaCha8Rng, nodes: usize) -> NoiseSchedule {
+    let mut schedule = NoiseSchedule::quiet();
+    for node in 0..nodes {
+        if rng.gen::<f64>() < 0.25 {
+            schedule = schedule.with(NoiseEvent::always(
+                NoiseKind::CpuContention { steal: 0.2 + rng.gen::<f64>() * 0.3 },
+                TargetSet::Nodes(vec![node]),
+            ));
+        }
+        if rng.gen::<f64>() < 0.3 {
+            schedule = schedule.with(NoiseEvent::always(
+                NoiseKind::MemContention { intensity: rng.gen::<f64>() * 1.5 },
+                TargetSet::Nodes(vec![node]),
+            ));
+        }
+    }
+    schedule
+}
+
+/// Execution times (seconds) of `runs` repeated submissions.
+pub fn submission_times(opts: &ExpOpts) -> Vec<f64> {
+    let ranks = opts.resolve_ranks(64, 256);
+    let iters = opts.resolve_iters(8);
+    let runs = opts.resolve_runs(if opts.full { 100 } else { 30 });
+    let params = AppParams::default().with_iterations(iters);
+    let mut rng = ChaCha8Rng::seed_from_u64(opts.seed);
+    (0..runs)
+        .map(|run| {
+            let base = SimConfig::new(ranks).with_seed(opts.seed + run as u64);
+            let noise = ambient_noise(&mut rng, base.topology.nodes);
+            let cfg = base.with_noise(noise);
+            let res = run_simulation(
+                &cfg,
+                |_| Box::new(NullInterceptor) as Box<dyn Interceptor>,
+                |ctx| vapro_apps::npb::cg::run(ctx, &params),
+            );
+            res.makespan().as_secs_f64()
+        })
+        .collect()
+}
+
+/// Run the experiment and format the report.
+pub fn run(opts: &ExpOpts) -> String {
+    let times = submission_times(opts);
+    let summary = Summary::of(&times).expect("nonempty");
+    let mut out = header(
+        "Figure 1",
+        "Repeated CG submissions on the same nodes: execution time per submission",
+    );
+    out.push_str("submission,time_s\n");
+    for (i, t) in times.iter().enumerate() {
+        out.push_str(&format!("{i},{t:.4}\n"));
+    }
+    out.push_str(&format!(
+        "\nmin={:.3}s max={:.3}s mean={:.3}s std={:.3}s cv={:.1}%\n",
+        summary.min,
+        summary.max,
+        summary.mean,
+        summary.std_dev,
+        summary.cv() * 100.0
+    ));
+    out.push_str(&format!(
+        "max/min spread = {:.2}x (the paper's Fig. 1 shows roughly 12.5-25s, ~2x)\n",
+        summary.max / summary.min
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn submissions_vary_substantially() {
+        let opts = ExpOpts {
+            ranks: Some(16),
+            iterations: Some(4),
+            runs: Some(12),
+            ..ExpOpts::default()
+        };
+        let times = submission_times(&opts);
+        assert_eq!(times.len(), 12);
+        let min = times.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = times.iter().cloned().fold(0.0, f64::max);
+        // The paper's point: same nodes, very different times.
+        assert!(max / min > 1.15, "spread {:.3}", max / min);
+    }
+}

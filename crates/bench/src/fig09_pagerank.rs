@@ -1,0 +1,76 @@
+//! Fig. 9: 8-thread PageRank under a memory noise — the heat map shows a
+//! light-coloured (slow) band across the affected threads while the noise
+//! window is active.
+
+use crate::common::{header, memory_noise, vapro_cf, ExpOpts};
+use vapro::harness::run_under_vapro_binned;
+use vapro_apps::AppParams;
+use vapro_core::detect::pipeline::DetectionResult;
+use vapro_sim::{NoiseSchedule, SimConfig, TargetSet, Topology, VirtualTime};
+
+/// Run the Fig. 9 scenario; the noise hits every thread (STREAM on the
+/// same node's idle cores) during the middle third of the run.
+pub fn detect_run(opts: &ExpOpts) -> (DetectionResult, VirtualTime) {
+    let threads = opts.resolve_ranks(8, 8);
+    let iters = opts.resolve_iters(40);
+    let params = AppParams::default().with_iterations(iters);
+    // Estimate the quiet makespan first to place the noise window.
+    let base_cfg = SimConfig::new(threads)
+        .with_topology(Topology::single_node(threads))
+        .with_seed(opts.seed);
+    let quiet = vapro::harness::run_bare(&base_cfg, |ctx| {
+        vapro_apps::pagerank::run(ctx, &params)
+    });
+    let start = VirtualTime::from_ns(quiet.ns() / 3);
+    let end = VirtualTime::from_ns(2 * quiet.ns() / 3);
+    let cfg = base_cfg.with_noise(
+        NoiseSchedule::quiet().with(memory_noise(TargetSet::All, start, end)),
+    );
+    let run = run_under_vapro_binned(&cfg, &vapro_cf(), 48, |ctx| {
+        vapro_apps::pagerank::run(ctx, &params)
+    });
+    (run.detection, run.makespan)
+}
+
+/// Run the experiment and format the report.
+pub fn run(opts: &ExpOpts) -> String {
+    let (det, makespan) = detect_run(opts);
+    let mut out = header(
+        "Figure 9",
+        "8-thread PageRank under memory noise: computation-performance heat map",
+    );
+    out.push_str(&vapro_core::viz::render_heatmap(&det.comp_map, 16));
+    out.push_str(&format!("\nmakespan: {makespan}\n"));
+    match det.comp_regions.first() {
+        Some(r) => out.push_str(&format!(
+            "top variance region: {}\n",
+            vapro_core::viz::describe_region(r)
+        )),
+        None => out.push_str("no variance region detected\n"),
+    }
+    out.push_str(&crate::common::maybe_json(
+        opts,
+        "fig9_heatmap",
+        vapro_core::viz::heatmap_json(&det.comp_map),
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_noise_window_is_localised() {
+        let opts = ExpOpts { iterations: Some(30), ..ExpOpts::default() };
+        let (det, _) = detect_run(&opts);
+        assert!(!det.comp_regions.is_empty(), "noise not detected");
+        let r = &det.comp_regions[0];
+        // The slow band sits in the middle of the run, away from the edges.
+        let map = &det.comp_map;
+        assert!(r.bin_range.0 > map.bins / 8, "region {:?}", r.bin_range);
+        assert!(r.bin_range.1 < map.bins - 1, "region {:?}", r.bin_range);
+        // It spans (nearly) all threads — the noise is node-wide.
+        assert!(r.rank_range.1 - r.rank_range.0 >= map.ranks / 2);
+    }
+}

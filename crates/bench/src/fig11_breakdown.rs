@@ -1,0 +1,205 @@
+//! Fig. 11 (plus the §4.2 OLS-vs-formula check): variance breakdown of
+//! fixed-workload CG fragments under concurrent computing noise and
+//! memory contention. Each fragment becomes a point in
+//! (backend-bound excess, suspension excess) space; its marker is the
+//! major factor behind its slowdown.
+
+use crate::common::{header, vapro_cf, ExpOpts};
+use vapro::harness::run_under_vapro;
+use vapro_apps::AppParams;
+use vapro_core::diagnose::{
+    analyze_contributions, factor_value, ols_impacts, Factor, FactorValues,
+};
+use vapro_core::fragment::Fragment;
+use vapro_sim::{NoiseEvent, NoiseKind, NoiseSchedule, SimConfig, TargetSet, VirtualTime};
+
+/// One scatter point of the breakdown plot.
+#[derive(Debug, Clone, Copy)]
+pub struct BreakdownPoint {
+    /// Backend-bound excess over the normal reference (ns).
+    pub backend_excess: f64,
+    /// Suspension excess over the normal reference (ns).
+    pub suspension_excess: f64,
+    /// Classification: "BE", "SP", "BE+SP" or "Normal".
+    pub label: &'static str,
+}
+
+/// Output of the Fig. 11 analysis.
+pub struct BreakdownRun {
+    /// Scatter points.
+    pub points: Vec<BreakdownPoint>,
+    /// Formula-based share of the slowdown: (backend, suspension).
+    pub formula_shares: (f64, f64),
+    /// OLS-based share of the slowdown: (backend, suspension).
+    pub ols_shares: (f64, f64),
+}
+
+/// Collect the fixed-workload fragments of CG's hottest edge under both
+/// noises active at once, with the S2-backend counter set live.
+fn noisy_fragments(opts: &ExpOpts) -> Vec<Fragment> {
+    let ranks = opts.resolve_ranks(8, 16);
+    let iters = opts.resolve_iters(30);
+    let params = AppParams::default().with_iterations(iters);
+    // Noise alternates in windows so both noisy and clean fragments exist.
+    let window = VirtualTime::from_ms(40);
+    let mut schedule = NoiseSchedule::quiet();
+    // The two noise sources fluctuate independently (as real co-tenants
+    // do): windows cycle quiet → memory-only → CPU-only → both. The
+    // paper's mix skews toward the memory side, so backend bound ends up
+    // with most of the slowdown (~89 % in the paper) and suspension with
+    // a small share (~5 %); the independent variation is also what lets
+    // OLS separate the two factors.
+    for w in 0..200u64 {
+        let start = VirtualTime::from_ns(w * window.ns());
+        let end = VirtualTime::from_ns((w + 1) * window.ns());
+        if w % 4 == 1 || w % 4 == 3 {
+            schedule = schedule.with(NoiseEvent::during(
+                NoiseKind::MemContention { intensity: 2.5 },
+                TargetSet::Ranks(vec![0]),
+                start,
+                end,
+            ));
+        }
+        if w % 4 == 2 || w % 4 == 3 {
+            schedule = schedule.with(NoiseEvent::during(
+                NoiseKind::CpuContention { steal: 0.15 },
+                TargetSet::Ranks(vec![0]),
+                start,
+                end,
+            ));
+        }
+    }
+    let cfg = SimConfig::new(ranks).with_noise(schedule).with_seed(opts.seed);
+    let vapro_cfg = vapro_cf().with_counters(vapro_pmu::events::s2_backend_set());
+    let run = run_under_vapro(&cfg, &vapro_cfg, |ctx| {
+        vapro_apps::npb::cg::run(ctx, &params)
+    });
+    let stg = &run.stgs[0];
+    let edge = stg.hottest_edge().expect("CG has edges");
+    edge.fragments.clone()
+}
+
+/// Run the breakdown analysis.
+pub fn analyze(opts: &ExpOpts) -> BreakdownRun {
+    let fragments = noisy_fragments(opts);
+    let refs: Vec<&Fragment> = fragments.iter().collect();
+    let factors = [Factor::BackendBound, Factor::Suspension];
+    let fv = FactorValues::compute(&refs, &factors).expect("counters present");
+    let report =
+        analyze_contributions(&fv, 1.2, 0.25).expect("both noisy and clean fragments");
+
+    // Reference values (mean over normal fragments) for the scatter.
+    let min_dur = fv.durations.iter().cloned().fold(f64::INFINITY, f64::min);
+    let normal: Vec<usize> = (0..fv.len())
+        .filter(|&i| fv.durations[i] <= 1.2 * min_dur)
+        .collect();
+    let ref_be: f64 =
+        normal.iter().map(|&i| fv.values[i][0]).sum::<f64>() / normal.len() as f64;
+    let ref_sp: f64 =
+        normal.iter().map(|&i| fv.values[i][1]).sum::<f64>() / normal.len() as f64;
+
+    let points = (0..fv.len())
+        .map(|i| {
+            let be = fv.values[i][0] - ref_be;
+            let sp = fv.values[i][1] - ref_sp;
+            let abnormal = fv.durations[i] > 1.2 * min_dur;
+            let slow = (fv.durations[i] - min_dur).max(1.0);
+            let label = if !abnormal {
+                "Normal"
+            } else {
+                let be_major = be > 0.25 * slow;
+                let sp_major = sp > 0.25 * slow;
+                match (be_major, sp_major) {
+                    (true, true) => "BE+SP",
+                    (true, false) => "BE",
+                    (false, true) => "SP",
+                    (false, false) => "BE", // residual goes to the larger
+                }
+            };
+            BreakdownPoint { backend_excess: be, suspension_excess: sp, label }
+        })
+        .collect();
+
+    // Formula-based shares.
+    let be_share = report.of(Factor::BackendBound).map_or(0.0, |c| c.impact_share);
+    let sp_share = report.of(Factor::Suspension).map_or(0.0, |c| c.impact_share);
+
+    // OLS-based shares: regress duration on the two factor times.
+    let (impacts, _r2) = ols_impacts(&fv, 0.05).expect("enough fragments");
+    let be_ols = impacts
+        .iter()
+        .find(|i| i.factor == Factor::BackendBound)
+        .map_or(0.0, |i| i.impact_ns);
+    let sp_ols = impacts
+        .iter()
+        .find(|i| i.factor == Factor::Suspension)
+        .map_or(0.0, |i| i.impact_ns);
+    let total_ols = (be_ols + sp_ols).max(1e-9);
+
+    BreakdownRun {
+        points,
+        formula_shares: (be_share, sp_share),
+        ols_shares: (be_ols / total_ols, sp_ols / total_ols),
+    }
+}
+
+/// Run the experiment and format the report.
+pub fn run(opts: &ExpOpts) -> String {
+    let r = analyze(opts);
+    let mut out = header(
+        "Figure 11 (+ §4.2 verification)",
+        "Breakdown of CG fragments under combined computing + memory noise",
+    );
+    out.push_str("backend_excess_ns,suspension_excess_ns,label\n");
+    for p in &r.points {
+        out.push_str(&format!(
+            "{:.0},{:.0},{}\n",
+            p.backend_excess, p.suspension_excess, p.label
+        ));
+    }
+    out.push_str(&format!(
+        "\nformula-based shares: backend {:.1}%  suspension {:.1}%\n",
+        r.formula_shares.0 * 100.0,
+        r.formula_shares.1 * 100.0
+    ));
+    out.push_str(&format!(
+        "OLS-based shares:     backend {:.1}%  suspension {:.1}%\n",
+        r.ols_shares.0 * 100.0,
+        r.ols_shares.1 * 100.0
+    ));
+    out.push_str(
+        "(paper §4.2: formula 89.4%/4.9% vs OLS 86.6%/3.1% — the two methods agree)\n",
+    );
+    out
+}
+
+/// Evaluate a single factor on a fragment — re-exported for the example
+/// binaries.
+pub fn factor_of(frag: &Fragment, f: Factor) -> Option<f64> {
+    factor_value(frag, f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_factor_classes_appear_and_methods_agree() {
+        let opts = ExpOpts { ranks: Some(4), iterations: Some(25), ..ExpOpts::default() };
+        let r = analyze(&opts);
+        let normal = r.points.iter().filter(|p| p.label == "Normal").count();
+        let abnormal = r.points.len() - normal;
+        assert!(normal > 3, "normals {normal}");
+        assert!(abnormal > 3, "abnormals {abnormal}");
+        // Backend dominates (the memory noise is the heavier of the two
+        // on this memory-leaning workload), suspension is present.
+        let (be_f, sp_f) = r.formula_shares;
+        assert!(be_f > sp_f, "backend {be_f} vs suspension {sp_f}");
+        assert!(sp_f > 0.0);
+        // The two estimation methods agree on the ranking.
+        let (be_o, sp_o) = r.ols_shares;
+        assert!(be_o > sp_o, "OLS backend {be_o} vs suspension {sp_o}");
+        // And roughly on magnitude (the paper's consistency check).
+        assert!((be_f - be_o).abs() < 0.3, "formula {be_f} vs OLS {be_o}");
+    }
+}

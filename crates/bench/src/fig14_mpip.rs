@@ -1,0 +1,108 @@
+//! Fig. 14: the same noisy CG run as Fig. 13, seen through an mpiP-style
+//! profiler. The profile is *misleading*: the victim's slowdown
+//! propagates through message dependencies, so every other rank shows
+//! increased *communication* (waiting) time while computation stays flat
+//! — pointing users at the network instead of the noisy CPU.
+
+use crate::common::{computing_noise, header, ExpOpts};
+use vapro_apps::AppParams;
+use vapro_baselines::mpip::{MpipProfiler, MpipSummary};
+use vapro_sim::{
+    run_simulation, Interceptor, NoiseSchedule, SimConfig, TargetSet, VirtualTime,
+};
+
+/// Profiles of the quiet and noisy runs.
+pub struct Fig14Run {
+    /// Per-rank summaries without noise.
+    pub quiet: Vec<MpipSummary>,
+    /// Per-rank summaries with the noise active.
+    pub noisy: Vec<MpipSummary>,
+    /// Victim ranks.
+    pub victims: Vec<usize>,
+}
+
+fn profile(cfg: &SimConfig, params: &AppParams) -> Vec<MpipSummary> {
+    run_simulation(
+        cfg,
+        |rank| Box::new(MpipProfiler::new(rank)) as Box<dyn Interceptor>,
+        |ctx| vapro_apps::npb::cg::run(ctx, params),
+    )
+    .into_tools::<MpipProfiler>()
+    .iter()
+    .map(MpipProfiler::summary)
+    .collect()
+}
+
+/// Run both profiles.
+pub fn compare(opts: &ExpOpts) -> Fig14Run {
+    let ranks = opts.resolve_ranks(64, 2048);
+    let iters = opts.resolve_iters(15);
+    let params = AppParams::default().with_iterations(iters);
+    let base = SimConfig::new(ranks).with_seed(opts.seed);
+    let quiet = profile(&base, &params);
+
+    let nodes = base.topology.nodes;
+    let victim_nodes = vec![nodes / 2];
+    let victims = base.topology.ranks_on_node(nodes / 2, ranks);
+    let noisy_cfg = base.with_noise(NoiseSchedule::quiet().with(computing_noise(
+        TargetSet::Nodes(victim_nodes),
+        VirtualTime::ZERO,
+        VirtualTime::from_secs(1_000_000),
+    )));
+    let noisy = profile(&noisy_cfg, &params);
+    Fig14Run { quiet, noisy, victims }
+}
+
+/// Run the experiment and format the report.
+pub fn run(opts: &ExpOpts) -> String {
+    let r = compare(opts);
+    let mut out = header(
+        "Figure 14",
+        "mpiP view of the noisy CG run: per-rank computation vs communication time",
+    );
+    out.push_str("rank,quiet_comp_s,quiet_comm_s,noisy_comp_s,noisy_comm_s\n");
+    for (q, n) in r.quiet.iter().zip(&r.noisy) {
+        out.push_str(&format!(
+            "{},{:.4},{:.4},{:.4},{:.4}\n",
+            q.rank,
+            q.comp_ns * 1e-9,
+            q.comm_ns * 1e-9,
+            n.comp_ns * 1e-9,
+            n.comm_ns * 1e-9
+        ));
+    }
+    let bystander = (0..r.quiet.len()).find(|i| !r.victims.contains(i)).unwrap_or(0);
+    out.push_str(&format!(
+        "\nbystander rank {}: computation {:.2}x, communication {:.2}x of quiet\n",
+        bystander,
+        r.noisy[bystander].comp_ns / r.quiet[bystander].comp_ns,
+        r.noisy[bystander].comm_ns / r.quiet[bystander].comm_ns
+    ));
+    out.push_str(
+        "(the profile suggests a network problem; the real cause is CPU noise on the \
+         victim node — the paper's point about misleading time breakdowns)\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bystanders_show_comm_growth_not_comp_growth() {
+        // 48 ranks = 2 nodes: node 1 is the victim, node 0 bystanders.
+        let opts = ExpOpts { ranks: Some(48), iterations: Some(10), ..ExpOpts::default() };
+        let r = compare(&opts);
+        let bystander = (0..r.quiet.len())
+            .find(|i| !r.victims.contains(i))
+            .expect("some rank is not a victim");
+        let comp_ratio = r.noisy[bystander].comp_ns / r.quiet[bystander].comp_ns;
+        let comm_ratio = r.noisy[bystander].comm_ns / r.quiet[bystander].comm_ns;
+        assert!((comp_ratio - 1.0).abs() < 0.05, "comp ratio {comp_ratio}");
+        assert!(comm_ratio > 1.3, "comm ratio {comm_ratio}");
+        // The victim itself computes slower.
+        let v = r.victims[0];
+        assert!(r.noisy[v].comp_ns / r.quiet[v].comp_ns > 1.5);
+    }
+}

@@ -1,0 +1,135 @@
+//! Fig. 16: the HPL mitigation — huge pages reduce the frequency of the
+//! problematic L2 evictions, shrinking the performance spread. The paper
+//! reports a 51.3 % reduction in the standard deviation of execution
+//! time after switching from 2 MB to 1 GB pages.
+//!
+//! The bug is *episodic*: most executions are clean, some are hit (the
+//! paper: "randomly generates significant slowdowns", and §6.5.1's one
+//! abnormal execution among stable runs). Each simulated submission draws
+//! whether — and for how long — the bug is active; the page size sets the
+//! per-run affliction probability.
+
+use crate::common::{header, ExpOpts};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use vapro_apps::AppParams;
+use vapro_sim::{
+    run_simulation, Interceptor, NoiseEvent, NoiseKind, NoiseSchedule, NullInterceptor,
+    SimConfig, TargetSet, Topology, VirtualTime,
+};
+use vapro_stats::{cdf_points, Summary};
+
+/// Per-run probability that the bug afflicts the execution under 2 MB
+/// pages (frequent page-walk conflicts on the L2-resident working set).
+pub const RUN_PROB_2MB: f64 = 0.5;
+/// Per-run affliction probability under 1 GB pages.
+pub const RUN_PROB_1GB: f64 = 0.05;
+
+/// Simulated per-run "performance" (GFLOPS-like: work / time) across
+/// repeated runs with the given per-run affliction probability.
+pub fn performance_runs(opts: &ExpOpts, run_prob: f64) -> Vec<f64> {
+    let ranks = opts.resolve_ranks(12, 36);
+    let iters = opts.resolve_iters(15);
+    let runs = opts.resolve_runs(24);
+    let params = AppParams::default().with_iterations(iters);
+    let mut draw = ChaCha8Rng::seed_from_u64(opts.seed ^ 0xF16);
+    (0..runs)
+        .map(|run| {
+            let afflicted = draw.gen::<f64>() < run_prob;
+            // When afflicted, the bug fires over a random portion of the run.
+            let noise = if afflicted {
+                let frac = 0.4 + draw.gen::<f64>() * 0.6;
+                NoiseSchedule::quiet().with(NoiseEvent::during(
+                    NoiseKind::L2CacheBug { prob: 0.6, severity: 0.12 },
+                    TargetSet::Sockets(vec![1]),
+                    VirtualTime::ZERO,
+                    VirtualTime::from_secs_f64(frac * 10.0),
+                ))
+            } else {
+                NoiseSchedule::quiet()
+            };
+            let cfg = SimConfig::new(ranks)
+                .with_topology(Topology::dual_socket(ranks.div_ceil(2)))
+                .with_seed(opts.seed + 17 * run as u64)
+                .with_noise(noise);
+            let res = run_simulation(
+                &cfg,
+                |_| Box::new(NullInterceptor) as Box<dyn Interceptor>,
+                |ctx| vapro_apps::hpl::run(ctx, &params),
+            );
+            // Constant work per run → performance ∝ 1 / time.
+            1e12 / res.makespan().ns() as f64
+        })
+        .collect()
+}
+
+/// Run the experiment and format the report.
+pub fn run(opts: &ExpOpts) -> String {
+    let small_pages = performance_runs(opts, RUN_PROB_2MB);
+    let huge_pages = performance_runs(opts, RUN_PROB_1GB);
+    let s2 = Summary::of(&small_pages).expect("nonempty");
+    let s1 = Summary::of(&huge_pages).expect("nonempty");
+    let mut out = header(
+        "Figure 16",
+        "HPL performance distribution: 2 MB pages vs 1 GB pages (CDF)",
+    );
+    out.push_str("percentile,perf_2mb,perf_1gb\n");
+    let c2 = cdf_points(&small_pages, 21);
+    let c1 = cdf_points(&huge_pages, 21);
+    for (a, b) in c2.iter().zip(&c1) {
+        out.push_str(&format!("{:.0},{:.2},{:.2}\n", a.0, a.1, b.1));
+    }
+    let reduction = (1.0 - s1.std_dev / s2.std_dev) * 100.0;
+    out.push_str(&format!(
+        "\nσ(2MB) = {:.3}  σ(1GB) = {:.3}  →  σ reduced by {:.1}% (paper: 51.3%)\n",
+        s2.std_dev, s1.std_dev, reduction
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_opts() -> ExpOpts {
+        ExpOpts {
+            ranks: Some(8),
+            iterations: Some(10),
+            runs: Some(20),
+            ..ExpOpts::default()
+        }
+    }
+
+    #[test]
+    fn huge_pages_cut_the_spread() {
+        let small = performance_runs(&quick_opts(), RUN_PROB_2MB);
+        let huge = performance_runs(&quick_opts(), RUN_PROB_1GB);
+        let s_small = Summary::of(&small).unwrap();
+        let s_huge = Summary::of(&huge).unwrap();
+        // The spread shrinks by a large factor (paper: σ −51.3%)…
+        assert!(
+            s_huge.std_dev < s_small.std_dev * 0.7,
+            "σ {} vs {}",
+            s_huge.std_dev,
+            s_small.std_dev
+        );
+        // …and mean performance improves.
+        assert!(s_huge.mean > s_small.mean);
+    }
+
+    #[test]
+    fn degradation_sits_in_the_low_percentiles() {
+        // The Fig. 16 shape: the 2 MB curve sags on the left (slow runs),
+        // the two curves converge at the top percentiles (clean runs are
+        // equally fast under either page size).
+        let small = performance_runs(&quick_opts(), RUN_PROB_2MB);
+        let huge = performance_runs(&quick_opts(), RUN_PROB_1GB);
+        let p10_small = vapro_stats::percentile(&small, 10.0);
+        let p10_huge = vapro_stats::percentile(&huge, 10.0);
+        let p95_small = vapro_stats::percentile(&small, 95.0);
+        let p95_huge = vapro_stats::percentile(&huge, 95.0);
+        assert!(p10_huge > p10_small * 1.02, "p10 {p10_huge} vs {p10_small}");
+        let top_gap = (p95_huge - p95_small).abs() / p95_huge;
+        assert!(top_gap < 0.05, "top percentiles should converge: {top_gap}");
+    }
+}

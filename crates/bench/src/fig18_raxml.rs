@@ -1,0 +1,142 @@
+//! Fig. 18 (case study §6.5.3): 512-process RAxML on a shared distributed
+//! filesystem. Computation and communication are stable, but rank 0 —
+//! which merges many small files — shows large IO performance variance.
+//! The report also reproduces the mitigation result: the client-side file
+//! buffer cuts the run-time standard deviation (paper: −73.5 %) and
+//! speeds the run up (paper: +17.5 %).
+
+use crate::common::{header, vapro_cf, ExpOpts};
+use vapro::harness::run_under_vapro_binned;
+use vapro_apps::AppParams;
+use vapro_sim::{run_simulation, Interceptor, NoiseKind, NullInterceptor, SimConfig, TargetSet};
+use vapro_stats::Summary;
+
+/// The Fig. 18 analysis output.
+pub struct Fig18Run {
+    /// IO-performance heat map.
+    pub io_map: vapro_core::HeatMap,
+    /// Did the top IO region cover rank 0?
+    pub rank0_flagged: bool,
+    /// Were computation and communication clean?
+    pub comp_clean: bool,
+    /// Unbuffered run times (s) across repeats.
+    pub unbuffered_s: Vec<f64>,
+    /// Buffered run times (s).
+    pub buffered_s: Vec<f64>,
+}
+
+fn fs_noise() -> vapro_sim::NoiseSchedule {
+    crate::common::always(
+        NoiseKind::FsInterference { max_slowdown: 12.0 },
+        TargetSet::All,
+    )
+}
+
+/// Per-run congestion level of the shared filesystem: on a production
+/// machine the FS load differs between submissions (other tenants), so
+/// each repeat draws its own interference ceiling. This coarse,
+/// run-level variation — not the per-operation tail alone — is what
+/// makes RAxML's *total* run time vary from 41.1 to 68.0 s in the paper.
+fn fs_noise_for_run(run: u64, seed: u64) -> vapro_sim::NoiseSchedule {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed ^ (run * 0x9E37) ^ 0xF5);
+    let level = 2.0 + rng.gen::<f64>() * 22.0;
+    crate::common::always(
+        NoiseKind::FsInterference { max_slowdown: level },
+        TargetSet::All,
+    )
+}
+
+/// Run the detection plus the buffered-vs-unbuffered repeat study.
+pub fn analyze(opts: &ExpOpts) -> Fig18Run {
+    let ranks = opts.resolve_ranks(16, 512);
+    let iters = opts.resolve_iters(40);
+    let runs = opts.resolve_runs(10);
+    let params = AppParams::default().with_iterations(iters);
+
+    let cfg = SimConfig::new(ranks).with_noise(fs_noise()).with_seed(opts.seed);
+    let run = run_under_vapro_binned(&cfg, &vapro_cf(), 40, |ctx| {
+        vapro_apps::raxml::run(ctx, &params)
+    });
+    let rank0_flagged = run
+        .detection
+        .io_regions
+        .first()
+        .is_some_and(|r| r.covers_rank(0));
+    let comp_clean =
+        run.detection.comp_regions.is_empty() && run.detection.comm_regions.is_empty();
+
+    let times = |buffered: bool| -> Vec<f64> {
+        (0..runs)
+            .map(|r| {
+                let mut c = SimConfig::new(ranks)
+                    .with_noise(fs_noise_for_run(r as u64, opts.seed))
+                    .with_seed(opts.seed + 31 * r as u64);
+                c.fs_buffered = buffered;
+                run_simulation(
+                    &c,
+                    |_| Box::new(NullInterceptor) as Box<dyn Interceptor>,
+                    |ctx| vapro_apps::raxml::run(ctx, &params),
+                )
+                .makespan()
+                .as_secs_f64()
+            })
+            .collect()
+    };
+
+    Fig18Run {
+        io_map: run.detection.io_map,
+        rank0_flagged,
+        comp_clean,
+        unbuffered_s: times(false),
+        buffered_s: times(true),
+    }
+}
+
+/// Run the experiment and format the report.
+pub fn run(opts: &ExpOpts) -> String {
+    let r = analyze(opts);
+    let mut out = header(
+        "Figure 18 (§6.5.3 IO case study)",
+        "RAxML on a contended shared filesystem: IO-performance heat map",
+    );
+    out.push_str(&vapro_core::viz::render_heatmap(&r.io_map, 16));
+    out.push_str(&format!(
+        "\nrank 0 flagged as the IO-variance victim: {}\ncomputation/communication clean: {}\n",
+        r.rank0_flagged, r.comp_clean
+    ));
+    let su = Summary::of(&r.unbuffered_s).expect("nonempty");
+    let sb = Summary::of(&r.buffered_s).expect("nonempty");
+    out.push_str(&format!(
+        "\nfile-buffer fix over {} repeats:\n  σ: {:.4}s → {:.4}s ({:.1}% reduction; paper: 73.5%)\n  mean: {:.3}s → {:.3}s ({:.1}% speedup; paper: 17.5%)\n",
+        r.unbuffered_s.len(),
+        su.std_dev,
+        sb.std_dev,
+        (1.0 - sb.std_dev / su.std_dev) * 100.0,
+        su.mean,
+        sb.mean,
+        (su.mean / sb.mean - 1.0) * 100.0
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank0_io_variance_is_flagged_and_buffer_fixes_it() {
+        let opts = ExpOpts {
+            ranks: Some(8),
+            iterations: Some(30),
+            runs: Some(8),
+            ..ExpOpts::default()
+        };
+        let r = analyze(&opts);
+        assert!(r.rank0_flagged, "rank 0 IO variance not flagged");
+        let su = Summary::of(&r.unbuffered_s).unwrap();
+        let sb = Summary::of(&r.buffered_s).unwrap();
+        assert!(sb.std_dev < su.std_dev * 0.8, "σ {} vs {}", sb.std_dev, su.std_dev);
+        assert!(sb.mean < su.mean, "mean {} vs {}", sb.mean, su.mean);
+    }
+}

@@ -1,0 +1,91 @@
+//! §6.2's deployment numbers: server resource overhead (one server per
+//! 256 clients ⇒ 0.4 %) and storage rate (the paper measures 12.8 KB/s
+//! per thread and 47.4 KB/s per process of recorded performance data).
+
+use crate::common::{header, vapro_cf, ExpOpts};
+use vapro::harness::run_under_vapro;
+use vapro_apps::AppParams;
+use vapro_core::ServerPool;
+use vapro_sim::{SimConfig, Topology};
+
+/// Measured deployment numbers.
+pub struct StorageRun {
+    /// Bytes/sec of recorded data per process (CG).
+    pub process_rate: f64,
+    /// Bytes/sec per thread (PageRank).
+    pub thread_rate: f64,
+    /// Server resource overhead for a 256-client pool.
+    pub server_overhead: f64,
+}
+
+/// Measure recorded-data rates.
+pub fn measure(opts: &ExpOpts) -> StorageRun {
+    let iters = opts.resolve_iters(15);
+    let params = AppParams::default().with_iterations(iters);
+
+    let proc_cfg = SimConfig::new(opts.resolve_ranks(16, 1024)).with_seed(opts.seed);
+    let proc_run = run_under_vapro(&proc_cfg, &vapro_cf(), |ctx| {
+        vapro_apps::npb::cg::run(ctx, &params)
+    });
+    let secs = proc_run.makespan.as_secs_f64().max(1e-9);
+    let process_rate = proc_run.bytes_recorded.iter().map(|&b| b as f64).sum::<f64>()
+        / proc_run.bytes_recorded.len() as f64
+        / secs;
+
+    let threads = 8;
+    let thr_cfg = SimConfig::new(threads)
+        .with_topology(Topology::single_node(threads))
+        .with_seed(opts.seed);
+    let thr_run = run_under_vapro(&thr_cfg, &vapro_cf(), |ctx| {
+        vapro_apps::pagerank::run(ctx, &params)
+    });
+    let secs_t = thr_run.makespan.as_secs_f64().max(1e-9);
+    let thread_rate = thr_run.bytes_recorded.iter().map(|&b| b as f64).sum::<f64>()
+        / thr_run.bytes_recorded.len() as f64
+        / secs_t;
+
+    let pool = ServerPool::new(1, 256);
+    StorageRun { process_rate, thread_rate, server_overhead: pool.resource_overhead() }
+}
+
+/// Run the experiment and format the report.
+pub fn run(opts: &ExpOpts) -> String {
+    let r = measure(opts);
+    let mut out = header("§6.2 deployment numbers", "Storage rate and server overhead");
+    out.push_str(&format!(
+        "per-process data rate: {:.1} KB/s (paper: 47.4 KB/s)\n",
+        r.process_rate / 1e3
+    ));
+    out.push_str(&format!(
+        "per-thread data rate:  {:.1} KB/s (paper: 12.8 KB/s)\n",
+        r.thread_rate / 1e3
+    ));
+    out.push_str(&format!(
+        "server overhead at 256 clients/server: {:.2}% (paper: 0.4%)\n",
+        r.server_overhead * 100.0
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_are_modest_and_process_exceeds_thread() {
+        let opts = ExpOpts { ranks: Some(8), iterations: Some(10), ..ExpOpts::default() };
+        let r = measure(&opts);
+        assert!(r.process_rate > 0.0);
+        assert!(r.thread_rate > 0.0);
+        // Processes (MPI-chatty CG) record more than threads (barrier-only
+        // PageRank) — the paper's 47.4 vs 12.8 ordering.
+        assert!(
+            r.process_rate > r.thread_rate,
+            "process {} vs thread {}",
+            r.process_rate,
+            r.thread_rate
+        );
+        // Server overhead is the paper's 1/256.
+        assert!((r.server_overhead - 1.0 / 256.0).abs() < 1e-9);
+    }
+}

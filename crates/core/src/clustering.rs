@@ -1,0 +1,352 @@
+//! Fixed-workload identification by clustering (paper §3.4, Algorithm 1).
+//!
+//! Fragments attached to one STG edge/vertex may still mix several
+//! workloads (Fig. 6): the same call-site can execute with different loop
+//! trip counts. Vapro clusters the fragments' workload vectors with an
+//! ad-hoc linear-time algorithm exploiting two properties of performance
+//! metrics: variance *enlarges* metrics rather than shrinking them, and
+//! fixed-workload vectors concentrate near the smallest norm. So:
+//!
+//! 1. sort fragments by the Euclidean norm of their workload vectors;
+//! 2. repeatedly take the smallest-norm unprocessed fragment as a seed and
+//!    absorb every fragment within a 5 % relative distance of it;
+//! 3. after clustering, flag clusters with fewer than 5 fragments — those
+//!    are rarely executed paths the user should inspect separately.
+//!
+//! The loop over the sorted array is linear (each fragment is visited once
+//! as a member); only the initial sort is `O(n log n)`.
+
+use crate::fragment::Fragment;
+use serde::{Deserialize, Serialize};
+use vapro_pmu::CounterId;
+
+/// One cluster of (presumed) fixed-workload fragments.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cluster {
+    /// Indices into the input fragment slice.
+    pub members: Vec<usize>,
+    /// The seed (smallest-norm) workload vector.
+    pub seed: Vec<f64>,
+    /// Norm of the seed vector.
+    pub seed_norm: f64,
+}
+
+impl Cluster {
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True when the cluster has no members (never produced by the
+    /// algorithm, present for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+}
+
+/// The result of clustering one edge/vertex's fragments.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterOutcome {
+    /// Clusters with at least `min_cluster_size` members — usable as
+    /// in-program benchmarks.
+    pub usable: Vec<Cluster>,
+    /// Clusters below the size floor: rarely-executed paths, reported to
+    /// the user (Algorithm 1, line 8).
+    pub rare: Vec<Cluster>,
+}
+
+impl ClusterOutcome {
+    /// Total fragments across all clusters.
+    pub fn total_members(&self) -> usize {
+        self.usable.iter().chain(&self.rare).map(Cluster::len).sum()
+    }
+
+    /// Cluster label (index into `usable`, or `None` if rare) per input
+    /// fragment — the predicted labels used for the Table 2 V-Measure
+    /// verification.
+    pub fn labels(&self, n: usize) -> Vec<Option<usize>> {
+        let mut out = vec![None; n];
+        for (ci, c) in self.usable.iter().enumerate() {
+            for &m in &c.members {
+                out[m] = Some(ci);
+            }
+        }
+        out
+    }
+
+    /// Like [`ClusterOutcome::labels`] but assigning rare clusters labels
+    /// after the usable ones, so every fragment gets a label.
+    pub fn all_labels(&self, n: usize) -> Vec<usize> {
+        let mut out = vec![usize::MAX; n];
+        for (ci, c) in self.usable.iter().chain(&self.rare).enumerate() {
+            for &m in &c.members {
+                out[m] = ci;
+            }
+        }
+        debug_assert!(out.iter().all(|&l| l != usize::MAX));
+        out
+    }
+}
+
+/// Cluster raw workload vectors. `threshold` is the relative distance
+/// bound (the paper's 5 %); `min_cluster_size` separates usable from rare
+/// clusters (the paper's 5).
+pub fn cluster_vectors(
+    vectors: &[Vec<f64>],
+    threshold: f64,
+    min_cluster_size: usize,
+) -> ClusterOutcome {
+    assert!(threshold > 0.0 && threshold < 1.0, "threshold out of range");
+    let n = vectors.len();
+    if n == 0 {
+        return ClusterOutcome { usable: vec![], rare: vec![] };
+    }
+    let dim = vectors[0].len();
+    assert!(
+        vectors.iter().all(|v| v.len() == dim),
+        "workload vectors must share a dimension"
+    );
+
+    // Sort indices by vector norm (Algorithm 1, line 2).
+    let norms: Vec<f64> = vectors.iter().map(|v| Fragment::vector_norm(v)).collect();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| norms[a].partial_cmp(&norms[b]).expect("NaN norm"));
+
+    let mut assigned = vec![false; n];
+    let mut clusters: Vec<Cluster> = Vec::new();
+
+    let mut cursor = 0;
+    while cursor < n {
+        // Seed: smallest-norm unprocessed fragment (line 4).
+        while cursor < n && assigned[order[cursor]] {
+            cursor += 1;
+        }
+        if cursor >= n {
+            break;
+        }
+        let seed_idx = order[cursor];
+        let seed = &vectors[seed_idx];
+        let seed_norm = norms[seed_idx];
+        // Absolute distance bound: 5 % of the seed norm; an epsilon floor
+        // lets zero-norm (empty/zero) workloads cluster together.
+        let bound = (threshold * seed_norm).max(1e-9);
+
+        let mut members = vec![seed_idx];
+        assigned[seed_idx] = true;
+        // Members must have norms within [seed_norm, seed_norm + bound]
+        // (they sort after the seed), so scanning forward until the norm
+        // exceeds the bound visits each candidate once (line 5).
+        for &j in order[cursor + 1..].iter() {
+            if norms[j] - seed_norm > bound {
+                break;
+            }
+            if assigned[j] {
+                continue;
+            }
+            if euclidean(seed, &vectors[j]) <= bound {
+                members.push(j);
+                assigned[j] = true;
+            }
+        }
+        clusters.push(Cluster { members, seed: seed.clone(), seed_norm });
+        cursor += 1;
+    }
+
+    let (usable, rare) = clusters
+        .into_iter()
+        .partition(|c| c.len() >= min_cluster_size);
+    ClusterOutcome { usable, rare }
+}
+
+/// Cluster fragments by their workload vectors (computation fragments use
+/// `proxy_counters`; invocation fragments use their argument vectors).
+pub fn cluster_fragments(
+    fragments: &[Fragment],
+    proxy_counters: &[CounterId],
+    threshold: f64,
+    min_cluster_size: usize,
+) -> ClusterOutcome {
+    let vectors: Vec<Vec<f64>> = fragments
+        .iter()
+        .map(|f| f.workload_vector(proxy_counters))
+        .collect();
+    // Mixed-kind inputs could have ragged dimensions; pad to the max.
+    let dim = vectors.iter().map(Vec::len).max().unwrap_or(0);
+    let padded: Vec<Vec<f64>> = vectors
+        .into_iter()
+        .map(|mut v| {
+            v.resize(dim, 0.0);
+            v
+        })
+        .collect();
+    cluster_vectors(&padded, threshold, min_cluster_size)
+}
+
+fn euclidean(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vecs(values: &[f64]) -> Vec<Vec<f64>> {
+        values.iter().map(|&v| vec![v]).collect()
+    }
+
+    #[test]
+    fn distinct_workloads_separate() {
+        // Two tight groups far apart.
+        let mut vals = vec![];
+        vals.extend(std::iter::repeat_n(1000.0, 10));
+        vals.extend(std::iter::repeat_n(5000.0, 10));
+        let out = cluster_vectors(&vecs(&vals), 0.05, 5);
+        assert_eq!(out.usable.len(), 2);
+        assert!(out.rare.is_empty());
+        assert_eq!(out.usable[0].len(), 10);
+    }
+
+    #[test]
+    fn pmu_jitter_within_threshold_merges() {
+        // 0.3 % jitter around one workload: one cluster.
+        let vals: Vec<f64> = (0..50).map(|i| 1000.0 * (1.0 + 0.003 * ((i % 7) as f64 - 3.0))).collect();
+        let out = cluster_vectors(&vecs(&vals), 0.05, 5);
+        assert_eq!(out.usable.len(), 1);
+        assert_eq!(out.usable[0].len(), 50);
+    }
+
+    #[test]
+    fn seed_is_smallest_norm() {
+        let out = cluster_vectors(&vecs(&[5000.0, 1000.0, 1010.0, 990.0, 1005.0, 1001.0]), 0.05, 5);
+        assert_eq!(out.usable.len(), 1);
+        assert!((out.usable[0].seed_norm - 990.0).abs() < 1e-9);
+        assert_eq!(out.rare.len(), 1); // the lone 5000
+    }
+
+    #[test]
+    fn small_clusters_are_reported_as_rare() {
+        let mut vals = vec![100.0; 20];
+        vals.push(9_999.0); // a once-executed path
+        let out = cluster_vectors(&vecs(&vals), 0.05, 5);
+        assert_eq!(out.usable.len(), 1);
+        assert_eq!(out.rare.len(), 1);
+        assert_eq!(out.rare[0].len(), 1);
+    }
+
+    #[test]
+    fn paper_example_instruction_ranges() {
+        // "fragments within 1000-1050 instructions and 200-210 load/store
+        // instructions are put into the same cluster" (§3.4).
+        let vectors: Vec<Vec<f64>> = vec![
+            vec![1000.0, 200.0],
+            vec![1025.0, 205.0],
+            vec![1050.0, 210.0],
+            vec![1010.0, 202.0],
+            vec![1040.0, 208.0],
+            // distinctly different workload
+            vec![2000.0, 400.0],
+            vec![2010.0, 401.0],
+            vec![2004.0, 399.0],
+            vec![1998.0, 402.0],
+            vec![2002.0, 400.0],
+        ];
+        let out = cluster_vectors(&vectors, 0.05, 5);
+        assert_eq!(out.usable.len(), 2);
+        assert_eq!(out.usable[0].len(), 5);
+        assert_eq!(out.usable[1].len(), 5);
+    }
+
+    #[test]
+    fn zero_vectors_cluster_together() {
+        let out = cluster_vectors(&vecs(&[0.0; 8]), 0.05, 5);
+        assert_eq!(out.usable.len(), 1);
+        assert_eq!(out.usable[0].len(), 8);
+    }
+
+    #[test]
+    fn chain_does_not_bridge_through_threshold() {
+        // A chain 1000, 1049, 1100, 1153…: each within 5 % of the previous
+        // but not of the seed. Greedy-from-seed must split the chain rather
+        // than absorb it all (unlike single-linkage clustering).
+        let vals = [1000.0, 1049.0, 1100.0, 1153.0, 1209.0, 1268.0];
+        let out = cluster_vectors(&vecs(&vals), 0.05, 1);
+        assert!(out.usable.len() >= 3, "got {} clusters", out.usable.len());
+    }
+
+    #[test]
+    fn labels_cover_every_fragment() {
+        let vals = [10.0, 10.0, 10.0, 10.0, 10.0, 999.0];
+        let out = cluster_vectors(&vecs(&vals), 0.05, 5);
+        let labels = out.all_labels(6);
+        assert_eq!(labels.len(), 6);
+        assert_eq!(labels[0], labels[4]);
+        assert_ne!(labels[0], labels[5]);
+        let opt = out.labels(6);
+        assert!(opt[5].is_none()); // rare cluster → None
+        assert_eq!(opt[0], Some(0));
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let out = cluster_vectors(&[], 0.05, 5);
+        assert!(out.usable.is_empty() && out.rare.is_empty());
+        assert_eq!(out.total_members(), 0);
+    }
+
+    #[test]
+    fn linear_scan_terminates_on_large_uniform_input() {
+        // A smoke test that the forward scan's early break works: 100k
+        // identical vectors cluster in one pass.
+        let vals = vec![42.0; 100_000];
+        let out = cluster_vectors(&vecs(&vals), 0.05, 5);
+        assert_eq!(out.usable.len(), 1);
+        assert_eq!(out.usable[0].len(), 100_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "share a dimension")]
+    fn ragged_vectors_are_rejected() {
+        let _ = cluster_vectors(&[vec![1.0], vec![1.0, 2.0]], 0.05, 5);
+    }
+
+    #[test]
+    fn extended_proxy_separates_what_tot_ins_cannot() {
+        // Two workloads with identical instruction counts but very
+        // different memory behaviour (the paper's motivation for letting
+        // users add load/store metrics to the proxy).
+        use crate::fragment::{Fragment, FragmentKind, DEFAULT_PROXY, EXTENDED_PROXY};
+        use vapro_pmu::{CounterDelta, CounterId};
+        use vapro_sim::VirtualTime;
+        let mk = |ins: f64, loads: f64, stores: f64, i: u64| {
+            let mut c = CounterDelta::default();
+            c.put(CounterId::TotIns, ins);
+            c.put(CounterId::LoadsL1Hit, loads);
+            c.put(CounterId::Stores, stores);
+            Fragment {
+                rank: 0,
+                kind: FragmentKind::Computation,
+                start: VirtualTime::from_ns(i * 100),
+                end: VirtualTime::from_ns(i * 100 + 50),
+                counters: c,
+                args: vec![],
+            }
+        };
+        let mut frags = vec![];
+        for i in 0..6 {
+            frags.push(mk(10_000.0, 4_000.0, 1_000.0, i)); // memory-heavy
+        }
+        for i in 6..12 {
+            frags.push(mk(10_000.0, 500.0, 100.0, i)); // compute-heavy
+        }
+        let narrow = cluster_fragments(&frags, &DEFAULT_PROXY, 0.05, 5);
+        let wide = cluster_fragments(&frags, &EXTENDED_PROXY, 0.05, 5);
+        // TOT_INS alone cannot tell them apart…
+        assert_eq!(narrow.usable.len(), 1);
+        // …the extended proxy can.
+        assert_eq!(wide.usable.len(), 2);
+    }
+}

@@ -1,0 +1,156 @@
+//! All tunables in one place, defaulting to the constants the paper's
+//! implementation uses (§3.4, §3.5, §4.3, §6.2).
+
+use serde::{Deserialize, Serialize};
+use vapro_pmu::{events, CounterSet};
+use vapro_sim::VirtualTime;
+
+/// How running states are keyed when building the STG (paper §3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StgMode {
+    /// Key by call-site only: cheaper hooks, coarser states. The paper's
+    /// Table 1 finds this both faster *and* higher-coverage (workload
+    /// clustering compensates for the coarser states), so it is the
+    /// default.
+    ContextFree,
+    /// Key by full call-path: needs a call-stack backtrace per hook
+    /// (≈10× the hook cost), finer states.
+    ContextAware,
+}
+
+/// Vapro configuration.
+#[derive(Debug, Clone)]
+pub struct VaproConfig {
+    /// STG keying mode.
+    pub stg_mode: StgMode,
+    /// Relative distance threshold for workload clustering
+    /// (paper: 5 %).
+    pub cluster_threshold: f64,
+    /// Minimum fragments for a cluster to be usable for detection;
+    /// smaller clusters are reported as rarely-executed paths
+    /// (paper: 5).
+    pub min_cluster_size: usize,
+    /// Normalised-performance threshold below which a heat-map cell is
+    /// variance-suspect (paper: 0.85).
+    pub perf_threshold: f64,
+    /// A fragment is *abnormal* when it costs more than this multiple of
+    /// the fastest fragment in its cluster (paper: 1.2).
+    pub ka_abnormal: f64,
+    /// A factor is *major* when it contributes more than this share of
+    /// the overall variance (paper: 0.25).
+    pub major_factor_threshold: f64,
+    /// Server reporting period (paper: 15 s).
+    pub report_period: VirtualTime,
+    /// Counters active during plain detection.
+    pub detection_counters: CounterSet,
+    /// The computation workload proxy: which counters form the workload
+    /// vector for clustering. TOT_INS by default (paper §3.3); users can
+    /// add load/store or cache metrics for sharper separation at extra
+    /// collection overhead.
+    pub proxy_counters: Vec<vapro_pmu::CounterId>,
+    /// Per-hook virtual cost in ns. Context-aware mode pays extra for
+    /// backtracing on top of this.
+    pub hook_cost_ns: f64,
+    /// Multiplier on `hook_cost_ns` in context-aware mode (the cost of
+    /// unwinding the call stack).
+    pub backtrace_cost_factor: f64,
+    /// Enable binary-exponential-backoff sampling of short fragments.
+    pub sampling_enabled: bool,
+    /// Fragments shorter than this are subject to sampling back-off.
+    pub sampling_min_ns: f64,
+}
+
+impl Default for VaproConfig {
+    fn default() -> Self {
+        VaproConfig {
+            stg_mode: StgMode::ContextFree,
+            cluster_threshold: 0.05,
+            min_cluster_size: 5,
+            perf_threshold: 0.85,
+            ka_abnormal: 1.2,
+            major_factor_threshold: 0.25,
+            report_period: VirtualTime::from_secs(15),
+            detection_counters: events::detection_set(),
+            proxy_counters: vec![vapro_pmu::CounterId::TotIns],
+            hook_cost_ns: 250.0,
+            backtrace_cost_factor: 2.5,
+            sampling_enabled: false,
+            sampling_min_ns: 2_000.0,
+        }
+    }
+}
+
+impl VaproConfig {
+    /// The context-aware preset.
+    pub fn context_aware() -> Self {
+        VaproConfig { stg_mode: StgMode::ContextAware, ..VaproConfig::default() }
+    }
+
+    /// The context-free preset (same as `default`).
+    pub fn context_free() -> Self {
+        VaproConfig::default()
+    }
+
+    /// Effective per-hook cost for the configured mode.
+    pub fn effective_hook_cost_ns(&self) -> f64 {
+        match self.stg_mode {
+            StgMode::ContextFree => self.hook_cost_ns,
+            StgMode::ContextAware => self.hook_cost_ns * self.backtrace_cost_factor,
+        }
+    }
+
+    /// Use a wider counter set during detection (e.g. when diagnosis has
+    /// requested finer factors).
+    pub fn with_counters(mut self, set: CounterSet) -> Self {
+        self.detection_counters = set;
+        self
+    }
+
+    /// Use an extended workload proxy for clustering. The proxies are
+    /// automatically added to the active counter set (they must be
+    /// collected to be clustered on).
+    pub fn with_proxy(mut self, proxies: &[vapro_pmu::CounterId]) -> Self {
+        assert!(!proxies.is_empty(), "need at least one proxy counter");
+        self.detection_counters =
+            self.detection_counters.union(CounterSet::from_ids(proxies));
+        self.proxy_counters = proxies.to_vec();
+        self
+    }
+
+    /// Basic sanity of the thresholds.
+    pub fn is_valid(&self) -> bool {
+        self.cluster_threshold > 0.0
+            && self.cluster_threshold < 1.0
+            && self.min_cluster_size >= 2
+            && (0.0..1.0).contains(&self.perf_threshold)
+            && self.ka_abnormal > 1.0
+            && (0.0..1.0).contains(&self.major_factor_threshold)
+            && self.hook_cost_ns >= 0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_paper_constants() {
+        let c = VaproConfig::default();
+        assert_eq!(c.cluster_threshold, 0.05);
+        assert_eq!(c.min_cluster_size, 5);
+        assert_eq!(c.perf_threshold, 0.85);
+        assert_eq!(c.ka_abnormal, 1.2);
+        assert_eq!(c.major_factor_threshold, 0.25);
+        assert_eq!(c.report_period, VirtualTime::from_secs(15));
+        assert!(c.is_valid());
+    }
+
+    #[test]
+    fn context_aware_hooks_cost_more() {
+        // The paper's Table 1: CA ≈ 2× the CF overhead (3.81% vs 1.80%),
+        // from the call-stack backtrace each hook must take.
+        let cf = VaproConfig::context_free();
+        let ca = VaproConfig::context_aware();
+        assert!(ca.effective_hook_cost_ns() >= cf.effective_hook_cost_ns() * 2.0);
+    }
+}

@@ -1,0 +1,17 @@
+//! Variance detection (paper §3.5): per-cluster performance
+//! normalisation, weighted merging across clusters, heat maps, region
+//! growing, and the periodic inter-process analysis servers.
+
+pub mod heatmap;
+pub mod normalize;
+pub mod pipeline;
+pub mod region;
+pub mod server;
+pub mod window;
+
+pub use heatmap::HeatMap;
+pub use normalize::{CategorySeries, PerfPoint};
+pub use pipeline::{detect, DetectionResult, RarePath};
+pub use region::{grow_regions, VarianceRegion};
+pub use server::{AnalysisServer, ServerPool};
+pub use window::{windows_covering, Window};

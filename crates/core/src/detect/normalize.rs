@@ -1,0 +1,229 @@
+//! Per-cluster performance normalisation and cross-cluster merging
+//! (paper §3.5, Fig. 7).
+//!
+//! Inside one fixed-workload cluster, the fastest fragment defines
+//! performance 1.0 and every other fragment scores
+//! `min_duration / duration` ∈ (0, 1]. Different clusters — different
+//! workloads — are normalised separately and then *merged* into one
+//! per-category series ("weighted equalization" in Fig. 2): each fragment
+//! becomes a time-spanning point weighted by its duration, so long
+//! fragments dominate bins the way they dominate real time.
+
+use crate::clustering::ClusterOutcome;
+use crate::fragment::{Fragment, FragmentKind};
+use serde::{Deserialize, Serialize};
+use vapro_sim::VirtualTime;
+
+/// One normalised observation: a fragment's span and its performance.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PerfPoint {
+    /// Originating rank.
+    pub rank: usize,
+    /// Fragment start.
+    pub start: VirtualTime,
+    /// Fragment end.
+    pub end: VirtualTime,
+    /// Normalised performance in (0, 1].
+    pub perf: f64,
+    /// Excess time versus the cluster's fastest fragment, ns — the
+    /// quantified performance loss this fragment represents.
+    pub loss_ns: f64,
+}
+
+/// Normalised series per reporting category (the paper reports
+/// computation, network and IO separately).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CategorySeries {
+    /// Computation points (STG edges).
+    pub computation: Vec<PerfPoint>,
+    /// Communication points (comm vertices).
+    pub communication: Vec<PerfPoint>,
+    /// IO points (IO vertices).
+    pub io: Vec<PerfPoint>,
+}
+
+impl CategorySeries {
+    /// Append another series.
+    pub fn extend(&mut self, other: CategorySeries) {
+        self.computation.extend(other.computation);
+        self.communication.extend(other.communication);
+        self.io.extend(other.io);
+    }
+
+    /// The series for one category.
+    pub fn of(&self, kind: FragmentKind) -> &[PerfPoint] {
+        match kind {
+            FragmentKind::Computation => &self.computation,
+            FragmentKind::Communication | FragmentKind::Other => &self.communication,
+            FragmentKind::Io => &self.io,
+        }
+    }
+
+    /// Total points across categories.
+    pub fn len(&self) -> usize {
+        self.computation.len() + self.communication.len() + self.io.len()
+    }
+
+    /// No points at all?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Normalise the fragments of one STG edge/vertex given its clustering.
+/// Only usable clusters contribute (rare ones go to the rare-path report).
+/// Appends into `out` according to each fragment's kind.
+pub fn normalize_cluster_outcome(
+    fragments: &[Fragment],
+    outcome: &ClusterOutcome,
+    out: &mut CategorySeries,
+) {
+    for cluster in &outcome.usable {
+        // The fastest fragment in the cluster is the benchmark.
+        let min_dur = cluster
+            .members
+            .iter()
+            .map(|&m| fragments[m].duration_ns())
+            .fold(f64::INFINITY, f64::min);
+        if !min_dur.is_finite() {
+            continue;
+        }
+        for &m in &cluster.members {
+            let f = &fragments[m];
+            let dur = f.duration_ns();
+            // Zero-duration fragments carry no performance signal.
+            if dur <= 0.0 {
+                continue;
+            }
+            let perf = if min_dur <= 0.0 { 1.0 } else { (min_dur / dur).min(1.0) };
+            let point = PerfPoint {
+                rank: f.rank,
+                start: f.start,
+                end: f.end,
+                perf,
+                loss_ns: (dur - min_dur).max(0.0),
+            };
+            match f.kind {
+                FragmentKind::Computation => out.computation.push(point),
+                FragmentKind::Communication | FragmentKind::Other => {
+                    out.communication.push(point)
+                }
+                FragmentKind::Io => out.io.push(point),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clustering::cluster_fragments;
+    use crate::fragment::DEFAULT_PROXY;
+    use vapro_pmu::{CounterDelta, CounterId};
+
+    fn frag(kind: FragmentKind, rank: usize, start: u64, dur: u64, ins: f64) -> Fragment {
+        let mut counters = CounterDelta::default();
+        counters.put(CounterId::TotIns, ins);
+        Fragment {
+            rank,
+            kind,
+            start: VirtualTime::from_ns(start),
+            end: VirtualTime::from_ns(start + dur),
+            counters,
+            args: vec![ins],
+        }
+    }
+
+    #[test]
+    fn fastest_fragment_scores_one() {
+        let frags: Vec<Fragment> = (0..6)
+            .map(|i| frag(FragmentKind::Computation, 0, i * 100, 50 + i * 10, 1000.0))
+            .collect();
+        let outcome = cluster_fragments(&frags, &DEFAULT_PROXY, 0.05, 5);
+        let mut out = CategorySeries::default();
+        normalize_cluster_outcome(&frags, &outcome, &mut out);
+        assert_eq!(out.computation.len(), 6);
+        let best = out
+            .computation
+            .iter()
+            .map(|p| p.perf)
+            .fold(0.0, f64::max);
+        assert!((best - 1.0).abs() < 1e-12);
+        // The slowest: 50/100.
+        let worst = out
+            .computation
+            .iter()
+            .map(|p| p.perf)
+            .fold(f64::INFINITY, f64::min);
+        assert!((worst - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn loss_is_excess_over_fastest() {
+        let frags = vec![
+            frag(FragmentKind::Computation, 0, 0, 100, 1000.0),
+            frag(FragmentKind::Computation, 0, 200, 100, 1000.0),
+            frag(FragmentKind::Computation, 0, 400, 100, 1000.0),
+            frag(FragmentKind::Computation, 0, 600, 100, 1000.0),
+            frag(FragmentKind::Computation, 0, 800, 250, 1000.0),
+        ];
+        let outcome = cluster_fragments(&frags, &DEFAULT_PROXY, 0.05, 5);
+        let mut out = CategorySeries::default();
+        normalize_cluster_outcome(&frags, &outcome, &mut out);
+        let total_loss: f64 = out.computation.iter().map(|p| p.loss_ns).sum();
+        assert!((total_loss - 150.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clusters_normalize_independently() {
+        // Two workloads with very different base durations; each cluster's
+        // fastest is 1.0 even though absolute times differ 10×.
+        let mut frags = vec![];
+        for i in 0..5 {
+            frags.push(frag(FragmentKind::Computation, 0, i * 1000, 100, 1000.0));
+        }
+        for i in 0..5 {
+            frags.push(frag(FragmentKind::Computation, 0, 5000 + i * 1000, 1000, 9000.0));
+        }
+        let outcome = cluster_fragments(&frags, &DEFAULT_PROXY, 0.05, 5);
+        assert_eq!(outcome.usable.len(), 2);
+        let mut out = CategorySeries::default();
+        normalize_cluster_outcome(&frags, &outcome, &mut out);
+        let perfect = out.computation.iter().filter(|p| p.perf > 0.999).count();
+        assert_eq!(perfect, 10);
+    }
+
+    #[test]
+    fn categories_route_by_kind() {
+        let frags = vec![
+            frag(FragmentKind::Communication, 0, 0, 10, 64.0),
+            frag(FragmentKind::Communication, 0, 20, 10, 64.0),
+            frag(FragmentKind::Communication, 0, 40, 10, 64.0),
+            frag(FragmentKind::Communication, 0, 60, 10, 64.0),
+            frag(FragmentKind::Communication, 0, 80, 10, 64.0),
+            frag(FragmentKind::Io, 1, 0, 10, 512.0),
+            frag(FragmentKind::Io, 1, 20, 10, 512.0),
+            frag(FragmentKind::Io, 1, 40, 10, 512.0),
+            frag(FragmentKind::Io, 1, 60, 10, 512.0),
+            frag(FragmentKind::Io, 1, 80, 10, 512.0),
+        ];
+        let outcome = cluster_fragments(&frags, &DEFAULT_PROXY, 0.05, 5);
+        let mut out = CategorySeries::default();
+        normalize_cluster_outcome(&frags, &outcome, &mut out);
+        assert_eq!(out.communication.len(), 5);
+        assert_eq!(out.io.len(), 5);
+        assert!(out.computation.is_empty());
+    }
+
+    #[test]
+    fn rare_clusters_do_not_contribute_points() {
+        let mut frags: Vec<Fragment> = (0..8)
+            .map(|i| frag(FragmentKind::Computation, 0, i * 100, 50, 1000.0))
+            .collect();
+        frags.push(frag(FragmentKind::Computation, 0, 900, 400, 50_000.0));
+        let outcome = cluster_fragments(&frags, &DEFAULT_PROXY, 0.05, 5);
+        let mut out = CategorySeries::default();
+        normalize_cluster_outcome(&frags, &outcome, &mut out);
+        assert_eq!(out.computation.len(), 8);
+    }
+}

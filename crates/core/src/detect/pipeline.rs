@@ -1,0 +1,420 @@
+//! The end-to-end detection pipeline: merge per-rank STGs by state key,
+//! cluster each edge/vertex, normalise, build heat maps per category, and
+//! grow variance regions.
+//!
+//! Because SPMD ranks execute the same code, fragments from the *same
+//! state* on *different ranks* belong to the same clustering population —
+//! which is exactly what enables the inter-process detection of §3.5 and
+//! the cross-process comparisons of the HPL case study (§6.5.1).
+
+use crate::clustering::{cluster_fragments, Cluster};
+use crate::config::VaproConfig;
+use crate::detect::heatmap::HeatMap;
+use crate::detect::normalize::{normalize_cluster_outcome, CategorySeries};
+use crate::detect::region::{grow_regions, VarianceRegion};
+use crate::fragment::{Fragment, FragmentKind};
+use crate::stg::{StateKey, Stg};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A rarely-executed path flagged by Algorithm 1's post-processing:
+/// few executions but potentially long — the user should check whether it
+/// represents abnormal behaviour.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RarePath {
+    /// Label of the owning state / transition.
+    pub location: String,
+    /// Number of fragments.
+    pub count: usize,
+    /// Total time spent in them, ns.
+    pub total_ns: f64,
+}
+
+/// Full detection output.
+#[derive(Debug)]
+pub struct DetectionResult {
+    /// Heat map of computation performance.
+    pub comp_map: HeatMap,
+    /// Heat map of communication performance.
+    pub comm_map: HeatMap,
+    /// Heat map of IO performance.
+    pub io_map: HeatMap,
+    /// Variance regions per category, ranked by loss.
+    pub comp_regions: Vec<VarianceRegion>,
+    /// Communication variance regions.
+    pub comm_regions: Vec<VarianceRegion>,
+    /// IO variance regions.
+    pub io_regions: Vec<VarianceRegion>,
+    /// Rare paths flagged for user attention.
+    pub rare_paths: Vec<RarePath>,
+    /// The merged, normalised series (kept for diagnosis and plotting).
+    pub series: CategorySeries,
+    /// Detection coverage: fraction of total execution time spent inside
+    /// usable fixed-workload fragments (the paper's coverage metric, §6.2).
+    pub coverage: f64,
+}
+
+impl DetectionResult {
+    /// Quantified total loss across computation regions, ns.
+    pub fn comp_loss_ns(&self) -> f64 {
+        self.comp_regions.iter().map(|r| r.loss_ns).sum()
+    }
+
+    /// The top region of a category, if any.
+    pub fn top_region(&self, kind: FragmentKind) -> Option<&VarianceRegion> {
+        match kind {
+            FragmentKind::Computation => self.comp_regions.first(),
+            FragmentKind::Communication | FragmentKind::Other => self.comm_regions.first(),
+            FragmentKind::Io => self.io_regions.first(),
+        }
+    }
+}
+
+/// Groups of same-state fragments pooled across ranks.
+pub struct MergedStg<'a> {
+    /// Vertex pools keyed by state.
+    pub vertices: BTreeMap<StateKey, Vec<&'a Fragment>>,
+    /// Edge pools keyed by (from, to) state keys.
+    pub edges: BTreeMap<(StateKey, StateKey), Vec<&'a Fragment>>,
+}
+
+/// Pool fragments of all ranks' STGs by state key.
+pub fn merge_stgs<'a>(stgs: &'a [Stg]) -> MergedStg<'a> {
+    let mut vertices: BTreeMap<StateKey, Vec<&Fragment>> = BTreeMap::new();
+    let mut edges: BTreeMap<(StateKey, StateKey), Vec<&Fragment>> = BTreeMap::new();
+    for stg in stgs {
+        for v in stg.vertices() {
+            if v.fragments.is_empty() {
+                continue;
+            }
+            vertices
+                .entry(v.key.clone())
+                .or_default()
+                .extend(v.fragments.iter());
+        }
+        for e in stg.edges() {
+            if e.fragments.is_empty() {
+                continue;
+            }
+            let from = stg.vertices()[e.from].key.clone();
+            let to = stg.vertices()[e.to].key.clone();
+            edges.entry((from, to)).or_default().extend(e.fragments.iter());
+        }
+    }
+    MergedStg { vertices, edges }
+}
+
+/// Run detection over the per-rank STGs. `nranks` sizes the heat maps;
+/// `bins` is the number of time columns.
+pub fn detect(stgs: &[Stg], nranks: usize, bins: usize, cfg: &VaproConfig) -> DetectionResult {
+    let merged = merge_stgs(stgs);
+    let mut series = CategorySeries::default();
+    let mut rare_paths = Vec::new();
+    let mut covered_ns = 0.0f64;
+
+    let handle_pool = |label: String,
+                           frags: &[&Fragment],
+                           series: &mut CategorySeries,
+                           rare_paths: &mut Vec<RarePath>,
+                           covered_ns: &mut f64| {
+        let owned: Vec<Fragment> = frags.iter().map(|f| (*f).clone()).collect();
+        let outcome = cluster_fragments(
+            &owned,
+            &cfg.proxy_counters,
+            cfg.cluster_threshold,
+            cfg.min_cluster_size,
+        );
+        for c in &outcome.usable {
+            *covered_ns += cluster_time(&owned, c);
+        }
+        for c in &outcome.rare {
+            rare_paths.push(RarePath {
+                location: label.clone(),
+                count: c.len(),
+                total_ns: cluster_time(&owned, c),
+            });
+        }
+        normalize_cluster_outcome(&owned, &outcome, series);
+    };
+
+    for (key, frags) in &merged.vertices {
+        handle_pool(key.label(), frags, &mut series, &mut rare_paths, &mut covered_ns);
+    }
+    for ((from, to), frags) in &merged.edges {
+        handle_pool(
+            format!("{} -> {}", from.label(), to.label()),
+            frags,
+            &mut series,
+            &mut rare_paths,
+            &mut covered_ns,
+        );
+    }
+
+    // Coverage: covered fragment time over total execution time (sum of
+    // per-rank makespans). Grouping by the fragments' own rank ids keeps
+    // the metric identical whether fragments arrive as per-rank STGs or
+    // as one reassembled wire-format graph.
+    let mut rank_end: std::collections::HashMap<usize, u64> = std::collections::HashMap::new();
+    for stg in stgs {
+        for f in stg
+            .vertices()
+            .iter()
+            .flat_map(|v| v.fragments.iter())
+            .chain(stg.edges().iter().flat_map(|e| e.fragments.iter()))
+        {
+            let e = rank_end.entry(f.rank).or_insert(0);
+            *e = (*e).max(f.end.ns());
+        }
+    }
+    let total_ns: f64 = rank_end.values().map(|&e| e as f64).sum();
+    let coverage = if total_ns > 0.0 { (covered_ns / total_ns).min(1.0) } else { 0.0 };
+
+    let build = |points: &[crate::detect::normalize::PerfPoint]| {
+        if points.is_empty() {
+            HeatMap::new(vapro_sim::VirtualTime::ZERO, 1, 1, nranks.max(1))
+        } else {
+            HeatMap::spanning(points, bins, nranks.max(1))
+        }
+    };
+    let comp_map = build(&series.computation);
+    let comm_map = build(&series.communication);
+    let io_map = build(&series.io);
+    let comp_regions = grow_regions(&comp_map, cfg.perf_threshold);
+    let comm_regions = grow_regions(&comm_map, cfg.perf_threshold);
+    let io_regions = grow_regions(&io_map, cfg.perf_threshold);
+
+    rare_paths.sort_by(|a, b| b.total_ns.partial_cmp(&a.total_ns).expect("finite"));
+
+    DetectionResult {
+        comp_map,
+        comm_map,
+        io_map,
+        comp_regions,
+        comm_regions,
+        io_regions,
+        rare_paths,
+        series,
+        coverage,
+    }
+}
+
+fn cluster_time(fragments: &[Fragment], cluster: &Cluster) -> f64 {
+    cluster
+        .members
+        .iter()
+        .map(|&m| fragments[m].duration_ns())
+        .sum()
+}
+
+/// Intra-process detection (the temporal dimension of paper §3.5): one
+/// rank's STG analysed on its own, yielding a 1-row heat map whose
+/// regions are *time windows* in which this rank ran below its own
+/// fixed-workload baseline.
+pub fn detect_intra(stg: &Stg, bins: usize, cfg: &VaproConfig) -> DetectionResult {
+    // Fragments keep their real rank ids; remap to row 0 so the heat map
+    // has exactly one row regardless of which rank produced the STG.
+    let mut remapped = Stg::new();
+    let ids: Vec<_> = stg
+        .vertices()
+        .iter()
+        .map(|v| remapped.state(v.key.clone()))
+        .collect();
+    for (i, v) in stg.vertices().iter().enumerate() {
+        for f in &v.fragments {
+            remapped.attach_vertex_fragment(ids[i], Fragment { rank: 0, ..f.clone() });
+        }
+    }
+    for e in stg.edges() {
+        let eid = remapped.transition(ids[e.from], ids[e.to]);
+        for f in &e.fragments {
+            remapped.attach_edge_fragment(eid, Fragment { rank: 0, ..f.clone() });
+        }
+    }
+    detect(std::slice::from_ref(&remapped), 1, bins, cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vapro_pmu::{CounterDelta, CounterId};
+    use vapro_sim::{CallSite, VirtualTime};
+
+    /// Build a one-rank STG: a loop of invocations at `site` with
+    /// computation fragments of the given durations between them.
+    fn stg_with_loop(rank: usize, durations: &[u64], ins: f64) -> Stg {
+        let mut stg = Stg::new();
+        let start = stg.state(StateKey::Start);
+        let site = stg.state(StateKey::Site(CallSite("loop:MPI_Allreduce")));
+        let _first = stg.transition(start, site);
+        let selfloop = stg.transition(site, site);
+        let mut t = 0u64;
+        for (i, &d) in durations.iter().enumerate() {
+            // Invocation fragment (constant cost 10ns).
+            stg.attach_vertex_fragment(
+                site,
+                Fragment {
+                    rank,
+                    kind: FragmentKind::Communication,
+                    start: VirtualTime::from_ns(t),
+                    end: VirtualTime::from_ns(t + 10),
+                    counters: CounterDelta::default(),
+                    args: vec![64.0, 1.0],
+                },
+            );
+            t += 10;
+            // Computation fragment of duration d.
+            let mut c = CounterDelta::default();
+            c.put(CounterId::TotIns, ins);
+            if i > 0 || true {
+                stg.attach_edge_fragment(
+                    selfloop,
+                    Fragment {
+                        rank,
+                        kind: FragmentKind::Computation,
+                        start: VirtualTime::from_ns(t),
+                        end: VirtualTime::from_ns(t + d),
+                        counters: c,
+                        args: vec![],
+                    },
+                );
+            }
+            t += d;
+        }
+        stg
+    }
+
+    #[test]
+    fn quiet_run_detects_nothing() {
+        let stgs: Vec<Stg> = (0..4).map(|r| stg_with_loop(r, &[100; 20], 1000.0)).collect();
+        let res = detect(&stgs, 4, 16, &VaproConfig::default());
+        assert!(res.comp_regions.is_empty(), "{:?}", res.comp_regions);
+        assert!(res.coverage > 0.5, "coverage {}", res.coverage);
+    }
+
+    #[test]
+    fn slow_rank_is_detected_spatially() {
+        // Rank 2 computes 2× slower with the same workload.
+        let mut stgs: Vec<Stg> = (0..4).map(|r| stg_with_loop(r, &[100; 20], 1000.0)).collect();
+        stgs[2] = stg_with_loop(2, &[200; 20], 1000.0);
+        let res = detect(&stgs, 4, 8, &VaproConfig::default());
+        assert!(!res.comp_regions.is_empty());
+        assert!(res.comp_regions[0].covers_rank(2));
+        assert!(!res.comp_regions[0].covers_rank(0));
+        // ~50% performance in the slow region.
+        assert!((res.comp_regions[0].mean_perf - 0.5).abs() < 0.1);
+    }
+
+    #[test]
+    fn temporal_variance_is_detected_within_one_rank() {
+        // One rank: fast for 15 iterations, slow for 5, fast again.
+        let mut durs = vec![100u64; 15];
+        durs.extend([300; 5]);
+        durs.extend([100; 15]);
+        let stgs = vec![stg_with_loop(0, &durs, 1000.0)];
+        let res = detect(&stgs, 1, 35, &VaproConfig::default());
+        assert!(!res.comp_regions.is_empty());
+        let region = &res.comp_regions[0];
+        // The slow window is in the middle of the run.
+        assert!(region.bin_range.0 > 0);
+        assert!(region.bin_range.1 < 34);
+    }
+
+    #[test]
+    fn detect_intra_works_for_any_rank_id() {
+        // The intra-process entry point: rank 1234's own STG analysed in
+        // isolation still yields a usable one-row heat map.
+        let mut durs = vec![100u64; 10];
+        durs.extend([400; 4]);
+        durs.extend([100; 10]);
+        let stg = stg_with_loop(1234, &durs, 1000.0);
+        let res = detect_intra(&stg, 24, &VaproConfig::default());
+        assert_eq!(res.comp_map.ranks, 1);
+        assert!(!res.comp_regions.is_empty());
+        assert!(res.comp_regions[0].covers_rank(0));
+        assert!(res.coverage > 0.5);
+    }
+
+    #[test]
+    fn different_workloads_do_not_mask_variance() {
+        // Alternating small/large workloads (runtime-fixed, compile-time
+        // variable — the AMG situation). Each class is internally stable,
+        // so no variance should be reported even though durations differ 10×.
+        let mut stg = Stg::new();
+        let start = stg.state(StateKey::Start);
+        let site = stg.state(StateKey::Site(CallSite("amg:MPI_Waitall")));
+        stg.transition(start, site);
+        let e = stg.transition(site, site);
+        let mut t = 0u64;
+        for i in 0..40 {
+            let (d, ins) = if i % 2 == 0 { (100u64, 1000.0) } else { (1000u64, 10_000.0) };
+            let mut c = CounterDelta::default();
+            c.put(CounterId::TotIns, ins);
+            stg.attach_edge_fragment(
+                e,
+                Fragment {
+                    rank: 0,
+                    kind: FragmentKind::Computation,
+                    start: VirtualTime::from_ns(t),
+                    end: VirtualTime::from_ns(t + d),
+                    counters: c,
+                    args: vec![],
+                },
+            );
+            t += d + 10;
+        }
+        let res = detect(&[stg], 1, 16, &VaproConfig::default());
+        assert!(res.comp_regions.is_empty(), "{:?}", res.comp_regions);
+    }
+
+    #[test]
+    fn rare_paths_are_reported_with_time() {
+        let mut stg = stg_with_loop(0, &[100; 10], 1000.0);
+        // One huge, once-executed fragment on a separate edge.
+        let a = stg.state(StateKey::Site(CallSite("init:read")));
+        let b = stg.state(StateKey::Site(CallSite("loop:MPI_Allreduce")));
+        let e = stg.transition(a, b);
+        let mut c = CounterDelta::default();
+        c.put(CounterId::TotIns, 1e9);
+        stg.attach_edge_fragment(
+            e,
+            Fragment {
+                rank: 0,
+                kind: FragmentKind::Computation,
+                start: VirtualTime::ZERO,
+                end: VirtualTime::from_secs(1),
+                counters: c,
+                args: vec![],
+            },
+        );
+        let res = detect(&[stg], 1, 8, &VaproConfig::default());
+        assert!(!res.rare_paths.is_empty());
+        assert!(res.rare_paths[0].total_ns >= 1e9);
+        assert_eq!(res.rare_paths[0].count, 1);
+    }
+
+    #[test]
+    fn coverage_reflects_usable_fraction() {
+        // All fragments usable (same workload, ≥5 repeats).
+        let stgs = vec![stg_with_loop(0, &[1000; 50], 1000.0)];
+        let res = detect(&stgs, 1, 8, &VaproConfig::default());
+        assert!(res.coverage > 0.8, "coverage {}", res.coverage);
+        // A run with a single non-repeated fragment has no usable cluster.
+        let mut stg = Stg::new();
+        let s0 = stg.state(StateKey::Start);
+        let s1 = stg.state(StateKey::Site(CallSite("once")));
+        let e = stg.transition(s0, s1);
+        stg.attach_edge_fragment(
+            e,
+            Fragment {
+                rank: 0,
+                kind: FragmentKind::Computation,
+                start: VirtualTime::ZERO,
+                end: VirtualTime::from_ns(1000),
+                counters: CounterDelta::default(),
+                args: vec![],
+            },
+        );
+        let res2 = detect(&[stg], 1, 8, &VaproConfig::default());
+        assert_eq!(res2.coverage, 0.0);
+    }
+}

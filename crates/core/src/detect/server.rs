@@ -1,0 +1,371 @@
+//! The analysis servers (paper §3.5 Fig. 8 and §5): dedicated server
+//! processes periodically collect performance data from application
+//! processes and analyse the last window; multiple servers split the
+//! client population evenly for load balance (one server per 256 clients
+//! in the paper's deployment, 0.4 % resource overhead).
+//!
+//! Here a server consumes per-rank fragment batches in virtual-time
+//! order — emulating the periodic shipping — and produces one incremental
+//! detection result per overlapped window. Window analyses are
+//! independent, so the pool runs them on rayon.
+
+use crate::config::VaproConfig;
+use crate::detect::pipeline::{detect, DetectionResult};
+use crate::detect::window::{windows_covering, Window};
+use crate::fragment::Fragment;
+use crate::stg::Stg;
+use rayon::prelude::*;
+use vapro_sim::VirtualTime;
+
+/// One analysis server owning a subset of client ranks.
+#[derive(Debug)]
+pub struct AnalysisServer {
+    /// Server index in the pool.
+    pub id: usize,
+    /// The ranks this server serves.
+    pub clients: Vec<usize>,
+}
+
+impl AnalysisServer {
+    /// Bytes/sec of client data this server ingests given per-client
+    /// rates — used for the storage/throughput accounting of §6.2.
+    pub fn ingest_rate(&self, bytes_per_client_per_sec: f64) -> f64 {
+        self.clients.len() as f64 * bytes_per_client_per_sec
+    }
+}
+
+/// A pool of servers with clients assigned round-robin (the paper's
+/// "equally assigning parallel processes to different servers").
+#[derive(Debug)]
+pub struct ServerPool {
+    /// The servers.
+    pub servers: Vec<AnalysisServer>,
+}
+
+/// The detection output of one analysis window.
+pub struct WindowReport {
+    /// The analysed window.
+    pub window: Window,
+    /// Detection over the fragments inside the window.
+    pub result: DetectionResult,
+}
+
+impl ServerPool {
+    /// Distribute `nranks` clients over `nservers` servers.
+    pub fn new(nservers: usize, nranks: usize) -> Self {
+        assert!(nservers > 0, "need at least one server");
+        let mut servers: Vec<AnalysisServer> = (0..nservers)
+            .map(|id| AnalysisServer { id, clients: Vec::new() })
+            .collect();
+        for rank in 0..nranks {
+            servers[rank % nservers].clients.push(rank);
+        }
+        ServerPool { servers }
+    }
+
+    /// Server resource overhead relative to the application: one server
+    /// process per `clients` application processes.
+    pub fn resource_overhead(&self) -> f64 {
+        let clients: usize = self.servers.iter().map(|s| s.clients.len()).sum();
+        if clients == 0 {
+            0.0
+        } else {
+            self.servers.len() as f64 / clients as f64
+        }
+    }
+
+    /// Largest client-count imbalance between servers (0 or 1 for
+    /// round-robin).
+    pub fn imbalance(&self) -> usize {
+        let max = self.servers.iter().map(|s| s.clients.len()).max().unwrap_or(0);
+        let min = self.servers.iter().map(|s| s.clients.len()).min().unwrap_or(0);
+        max - min
+    }
+
+    /// Analyse one window's shipped [`FragmentBatch`]es — the wire-format
+    /// entry point a networked deployment would use: clients serialise
+    /// batches ([`crate::wire::FragmentBatch::to_bytes`]), the server
+    /// reassembles the per-state pools and runs detection on them.
+    pub fn analyze_batches(
+        &self,
+        batches: &[crate::wire::FragmentBatch],
+        nranks: usize,
+        bins: usize,
+        cfg: &VaproConfig,
+    ) -> crate::detect::pipeline::DetectionResult {
+        use crate::stg::StateKey;
+        let pools = crate::wire::ReassembledPools::from_batches(batches);
+        // Rebuild a single label-keyed STG holding the pooled fragments.
+        // Labels are opaque to detection (only identity matters), so a
+        // leaked interned string per distinct label is the honest cost of
+        // crossing the serialisation boundary back into `CallSite` keys.
+        let mut stg = Stg::new();
+        for (label, frags) in pools.vertices {
+            let site: &'static str = Box::leak(label.into_boxed_str());
+            let id = stg.state(StateKey::Site(vapro_sim::CallSite(site)));
+            for f in frags {
+                stg.attach_vertex_fragment(id, f);
+            }
+        }
+        for (label, frags) in pools.edges {
+            // Edge labels are "from -> to": reconstruct the two states.
+            let (from_l, to_l) =
+                label.split_once(" -> ").unwrap_or((label.as_str(), label.as_str()));
+            let from_site: &'static str = Box::leak(from_l.to_string().into_boxed_str());
+            let to_site: &'static str = Box::leak(to_l.to_string().into_boxed_str());
+            let from = stg.state(StateKey::Site(vapro_sim::CallSite(from_site)));
+            let to = stg.state(StateKey::Site(vapro_sim::CallSite(to_site)));
+            let e = stg.transition(from, to);
+            for f in frags {
+                stg.attach_edge_fragment(e, f);
+            }
+        }
+        detect(std::slice::from_ref(&stg), nranks, bins, cfg)
+    }
+
+    /// Analyse the run in overlapped windows of `cfg.report_period`:
+    /// each window's fragments (from every rank's STG) are detected
+    /// independently; windows run in parallel.
+    pub fn analyze_windows(
+        &self,
+        stgs: &[Stg],
+        nranks: usize,
+        bins_per_window: usize,
+        cfg: &VaproConfig,
+    ) -> Vec<WindowReport> {
+        let t_end = stgs
+            .iter()
+            .flat_map(|s| {
+                s.vertices()
+                    .iter()
+                    .flat_map(|v| v.fragments.iter())
+                    .chain(s.edges().iter().flat_map(|e| e.fragments.iter()))
+            })
+            .map(|f| f.end)
+            .max()
+            .unwrap_or(VirtualTime::ZERO);
+        let windows = windows_covering(VirtualTime::ZERO, t_end, cfg.report_period);
+
+        windows
+            .into_par_iter()
+            .map(|window| {
+                let sliced: Vec<Stg> =
+                    stgs.iter().map(|s| slice_stg(s, window)).collect();
+                WindowReport {
+                    window,
+                    result: detect(&sliced, nranks, bins_per_window, cfg),
+                }
+            })
+            .collect()
+    }
+}
+
+/// A tree of aggregation nodes (paper §5: "further optimizations are
+/// feasible with data collection frameworks such as MRNet, which
+/// organizes servers into a tree-like structure"): leaf servers merge
+/// their clients' heat-map slabs; interior nodes merge pairwise up to a
+/// single root map, in O(log n) merge depth.
+pub fn tree_aggregate(mut maps: Vec<crate::detect::heatmap::HeatMap>) -> Option<crate::detect::heatmap::HeatMap> {
+    if maps.is_empty() {
+        return None;
+    }
+    // Pairwise reduction; each level halves the population. Levels run
+    // in parallel since pair merges are independent.
+    while maps.len() > 1 {
+        maps = maps
+            .par_chunks(2)
+            .map(|pair| {
+                let mut acc = pair[0].clone();
+                if let Some(second) = pair.get(1) {
+                    acc.merge(second);
+                }
+                acc
+            })
+            .collect();
+    }
+    maps.pop()
+}
+
+/// Restrict an STG to the fragments overlapping `window` (what one
+/// reporting period's shipped batch contains).
+fn slice_stg(stg: &Stg, window: Window) -> Stg {
+    let keep = |f: &Fragment| window.overlaps(f.start, f.end);
+    let mut out = Stg::new();
+    let mut ids = Vec::with_capacity(stg.num_states());
+    for v in stg.vertices() {
+        let id = out.state(v.key.clone());
+        ids.push(id);
+        for f in v.fragments.iter().filter(|f| keep(f)) {
+            out.attach_vertex_fragment(id, f.clone());
+        }
+    }
+    for e in stg.edges() {
+        let eid = out.transition(ids[e.from], ids[e.to]);
+        for f in e.fragments.iter().filter(|f| keep(f)) {
+            out.attach_edge_fragment(eid, f.clone());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fragment::FragmentKind;
+    use crate::stg::StateKey;
+    use vapro_pmu::{CounterDelta, CounterId};
+    use vapro_sim::CallSite;
+
+    #[test]
+    fn round_robin_is_balanced() {
+        let pool = ServerPool::new(4, 1024);
+        assert_eq!(pool.servers.len(), 4);
+        assert_eq!(pool.imbalance(), 0);
+        assert_eq!(pool.servers[0].clients.len(), 256);
+        // The paper's deployment: 1 server per 256 clients → 1/256 ≈ 0.4 %.
+        assert!((pool.resource_overhead() - 1.0 / 256.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uneven_population_is_off_by_at_most_one() {
+        let pool = ServerPool::new(3, 100);
+        assert!(pool.imbalance() <= 1);
+        let total: usize = pool.servers.iter().map(|s| s.clients.len()).sum();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn ingest_rate_scales_with_clients() {
+        let pool = ServerPool::new(2, 512);
+        // 47.4 KB/s per process (the paper's multi-process rate).
+        let rate = pool.servers[0].ingest_rate(47_400.0);
+        assert!((rate - 256.0 * 47_400.0).abs() < 1e-6);
+    }
+
+    fn looped_stg(rank: usize, n: usize, period_ns: u64, slow_range: std::ops::Range<usize>) -> Stg {
+        let mut stg = Stg::new();
+        let start = stg.state(StateKey::Start);
+        let site = stg.state(StateKey::Site(CallSite("w:MPI_Barrier")));
+        stg.transition(start, site);
+        let e = stg.transition(site, site);
+        let mut t = 0u64;
+        for i in 0..n {
+            let d = if slow_range.contains(&i) { period_ns * 3 } else { period_ns };
+            let mut c = CounterDelta::default();
+            c.put(CounterId::TotIns, 1000.0);
+            stg.attach_edge_fragment(
+                e,
+                Fragment {
+                    rank,
+                    kind: FragmentKind::Computation,
+                    start: VirtualTime::from_ns(t),
+                    end: VirtualTime::from_ns(t + d),
+                    counters: c,
+                    args: vec![],
+                },
+            );
+            t += d + 10;
+        }
+        stg
+    }
+
+    #[test]
+    fn windowed_analysis_localises_variance_in_time() {
+        // 40 iterations of ~1s each; iterations 20..25 are slow.
+        let mut cfg = VaproConfig::default();
+        cfg.report_period = VirtualTime::from_secs(15);
+        let stgs = vec![looped_stg(0, 40, 1_000_000_000, 20..25)];
+        let pool = ServerPool::new(1, 1);
+        let reports = pool.analyze_windows(&stgs, 1, 8, &cfg);
+        assert!(reports.len() > 2, "windows: {}", reports.len());
+        // Windows overlapping the slow span see variance; early ones don't.
+        let early = &reports[0];
+        assert!(early.result.comp_regions.is_empty());
+        let hit = reports
+            .iter()
+            .any(|r| !r.result.comp_regions.is_empty());
+        assert!(hit, "no window detected the slow span");
+    }
+
+    #[test]
+    fn wire_batches_detect_like_direct_stgs() {
+        // The networked path (serialise → ship → reassemble → detect)
+        // finds the same variance as the in-process path.
+        use crate::wire::FragmentBatch;
+        let mut stgs = vec![];
+        for rank in 0..4usize {
+            let slow = if rank == 2 { 5..15 } else { 0..0 };
+            stgs.push(looped_stg(rank, 20, 1_000_000, slow));
+        }
+        let cfg = VaproConfig::default();
+        let direct = crate::detect::pipeline::detect(&stgs, 4, 16, &cfg);
+
+        let window = Window {
+            start: VirtualTime::ZERO,
+            end: VirtualTime::from_secs(3600),
+        };
+        let batches: Vec<FragmentBatch> = stgs
+            .iter()
+            .enumerate()
+            .map(|(rank, stg)| {
+                // Through the wire and back, as a real client would ship it.
+                let bytes = FragmentBatch::from_stg(stg, rank, window).to_bytes();
+                FragmentBatch::from_bytes(&bytes).expect("parse")
+            })
+            .collect();
+        let pool = ServerPool::new(1, 4);
+        let via_wire = pool.analyze_batches(&batches, 4, 16, &cfg);
+
+        assert_eq!(direct.comp_regions.len(), via_wire.comp_regions.len());
+        let (a, b) = (&direct.comp_regions[0], &via_wire.comp_regions[0]);
+        assert_eq!(a.rank_range, b.rank_range);
+        assert!((a.mean_perf - b.mean_perf).abs() < 1e-9);
+        assert!((direct.coverage - via_wire.coverage).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tree_aggregation_equals_flat_merge() {
+        use crate::detect::heatmap::HeatMap;
+        use crate::detect::normalize::PerfPoint;
+        // Five servers each hold a slab; the tree root must equal the
+        // flat accumulation.
+        let geometry = || HeatMap::new(VirtualTime::ZERO, 100, 8, 4);
+        let mut slabs = vec![];
+        let mut flat = geometry();
+        for s in 0..5usize {
+            let mut hm = geometry();
+            let p = PerfPoint {
+                rank: s % 4,
+                start: VirtualTime::from_ns(s as u64 * 100),
+                end: VirtualTime::from_ns(s as u64 * 100 + 100),
+                perf: 0.2 * (s + 1) as f64,
+                loss_ns: 10.0,
+            };
+            hm.add_point(&p);
+            flat.add_point(&p);
+            slabs.push(hm);
+        }
+        let root = tree_aggregate(slabs).unwrap();
+        for r in 0..4 {
+            for b in 0..8 {
+                assert_eq!(root.perf(r, b), flat.perf(r, b), "cell ({r},{b})");
+                assert_eq!(root.loss_ns(r, b), flat.loss_ns(r, b));
+            }
+        }
+        assert!(tree_aggregate(vec![]).is_none());
+    }
+
+    #[test]
+    fn sliced_stg_preserves_structure() {
+        let stg = looped_stg(0, 10, 100, 10..10);
+        let w = Window {
+            start: VirtualTime::from_ns(0),
+            end: VirtualTime::from_ns(500),
+        };
+        let sliced = slice_stg(&stg, w);
+        assert_eq!(sliced.num_states(), stg.num_states());
+        assert_eq!(sliced.num_edges(), stg.num_edges());
+        assert!(sliced.total_fragments() < stg.total_fragments());
+        assert!(sliced.total_fragments() > 0);
+    }
+}

@@ -1,0 +1,51 @@
+#![warn(missing_docs)]
+
+//! # vapro-core — performance variance detection and diagnosis
+//!
+//! The paper's primary contribution (Zheng et al., PPoPP'22): a
+//! light-weight tool that detects and diagnoses performance variance in
+//! production-run parallel applications *without source code*, by
+//! exploiting code snippets with de-facto fixed workload.
+//!
+//! Pipeline (paper Fig. 2):
+//!
+//! 1. **Intercepting** — [`collector::Collector`] plugs into the runtime's
+//!    interception layer and slices execution into fragments;
+//! 2. **Building STG** — fragments attach to the vertices (invocations) and
+//!    edges (computation snippets) of a [`stg::Stg`], keyed by call-site
+//!    (context-free) or call-path (context-aware);
+//! 3. **Performance data collection** — each fragment carries a counter
+//!    delta and/or invocation arguments ([`fragment`]);
+//! 4. **Identifying fixed-workload fragments** — [`clustering`] implements
+//!    the paper's Algorithm 1 (norm-sorted greedy clustering, linear time);
+//! 5. **Variance detection** — [`detect`] normalises per-cluster
+//!    performance, merges clusters, renders rank × time heat maps, and
+//!    locates variance by region growing;
+//! 6. **Progressive variance diagnosis** — [`diagnose`] breaks wall time
+//!    into the hierarchical factor model of paper Fig. 10, quantifies each
+//!    factor by formula or OLS, and drills down stage by stage;
+//! 7. **Visualization** — [`viz`] renders heat maps and serialises reports.
+
+pub mod baseline;
+pub mod clustering;
+pub mod collector;
+pub mod config;
+pub mod detect;
+pub mod diagnose;
+pub mod fragment;
+pub mod report;
+pub mod sampling;
+pub mod stg;
+pub mod viz;
+pub mod wire;
+
+pub use baseline::{BaselineProfile, RunComparison};
+pub use clustering::{cluster_fragments, Cluster, ClusterOutcome};
+pub use collector::Collector;
+pub use config::{StgMode, VaproConfig};
+pub use detect::heatmap::HeatMap;
+pub use detect::region::VarianceRegion;
+pub use detect::server::{AnalysisServer, ServerPool};
+pub use fragment::{Fragment, FragmentKind};
+pub use report::VaproReport;
+pub use stg::{StateKey, Stg};

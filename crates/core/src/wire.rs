@@ -1,0 +1,243 @@
+//! The client → server wire format (paper Fig. 8 / §5: clients ship
+//! performance data to dedicated analysis servers each reporting period).
+//!
+//! A [`FragmentBatch`] is what one rank sends for one window: its rank
+//! id, the window bounds, and the fragments keyed by *state label*
+//! (strings — the STG's `&'static str` call-sites don't survive
+//! serialisation, and the server only needs the label identity anyway).
+//! Batches serialise to JSON/bytes, and a set of batches reconstructs the
+//! pooled per-state fragment populations the detection pipeline consumes.
+
+use crate::detect::window::Window;
+use crate::fragment::Fragment;
+use crate::stg::Stg;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One rank's shipped data for one reporting window.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FragmentBatch {
+    /// Originating rank.
+    pub rank: usize,
+    /// Window start, ns.
+    pub window_start_ns: u64,
+    /// Window end, ns.
+    pub window_end_ns: u64,
+    /// Invocation fragments per state label.
+    pub vertex_fragments: BTreeMap<String, Vec<Fragment>>,
+    /// Computation fragments per transition label ("from -> to").
+    pub edge_fragments: BTreeMap<String, Vec<Fragment>>,
+}
+
+impl FragmentBatch {
+    /// Extract a rank's batch for `window` from its STG.
+    pub fn from_stg(stg: &Stg, rank: usize, window: Window) -> FragmentBatch {
+        let keep = |f: &&Fragment| window.overlaps(f.start, f.end);
+        let mut vertex_fragments: BTreeMap<String, Vec<Fragment>> = BTreeMap::new();
+        for v in stg.vertices() {
+            let frags: Vec<Fragment> =
+                v.fragments.iter().filter(keep).cloned().collect();
+            if !frags.is_empty() {
+                vertex_fragments.insert(v.key.label(), frags);
+            }
+        }
+        let mut edge_fragments: BTreeMap<String, Vec<Fragment>> = BTreeMap::new();
+        for e in stg.edges() {
+            let frags: Vec<Fragment> =
+                e.fragments.iter().filter(keep).cloned().collect();
+            if !frags.is_empty() {
+                let label = format!(
+                    "{} -> {}",
+                    stg.vertices()[e.from].key.label(),
+                    stg.vertices()[e.to].key.label()
+                );
+                edge_fragments.insert(label, frags);
+            }
+        }
+        FragmentBatch {
+            rank,
+            window_start_ns: window.start.ns(),
+            window_end_ns: window.end.ns(),
+            vertex_fragments,
+            edge_fragments,
+        }
+    }
+
+    /// Total fragments in the batch.
+    pub fn len(&self) -> usize {
+        self.vertex_fragments.values().map(Vec::len).sum::<usize>()
+            + self.edge_fragments.values().map(Vec::len).sum::<usize>()
+    }
+
+    /// Empty batch?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Serialise to the wire (JSON bytes — the storage-rate numbers of
+    /// §6.2 measure a compact binary record; JSON here keeps the format
+    /// inspectable).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        serde_json::to_vec(self).expect("serialisable batch")
+    }
+
+    /// Parse from the wire.
+    pub fn from_bytes(bytes: &[u8]) -> Result<FragmentBatch, serde_json::Error> {
+        serde_json::from_slice(bytes)
+    }
+}
+
+/// Server-side pools reassembled from many ranks' batches: label →
+/// fragments, merged across ranks — the population the clustering and
+/// detection stages consume.
+#[derive(Debug, Default)]
+pub struct ReassembledPools {
+    /// Invocation pools by state label.
+    pub vertices: BTreeMap<String, Vec<Fragment>>,
+    /// Computation pools by transition label.
+    pub edges: BTreeMap<String, Vec<Fragment>>,
+}
+
+impl ReassembledPools {
+    /// Merge a set of batches (any ranks, same window).
+    pub fn from_batches(batches: &[FragmentBatch]) -> ReassembledPools {
+        let mut out = ReassembledPools::default();
+        for b in batches {
+            for (label, frags) in &b.vertex_fragments {
+                out.vertices
+                    .entry(label.clone())
+                    .or_default()
+                    .extend(frags.iter().cloned());
+            }
+            for (label, frags) in &b.edge_fragments {
+                out.edges
+                    .entry(label.clone())
+                    .or_default()
+                    .extend(frags.iter().cloned());
+            }
+        }
+        out
+    }
+
+    /// Total fragments across pools.
+    pub fn len(&self) -> usize {
+        self.vertices.values().map(Vec::len).sum::<usize>()
+            + self.edges.values().map(Vec::len).sum::<usize>()
+    }
+
+    /// Empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fragment::FragmentKind;
+    use crate::stg::StateKey;
+    use vapro_pmu::{CounterDelta, CounterId};
+    use vapro_sim::{CallSite, VirtualTime};
+
+    fn sample_stg(rank: usize) -> Stg {
+        let mut stg = Stg::new();
+        let s0 = stg.state(StateKey::Start);
+        let s1 = stg.state(StateKey::Site(CallSite("w:MPI_Barrier")));
+        stg.transition(s0, s1);
+        let e = stg.transition(s1, s1);
+        for i in 0..10u64 {
+            let mut c = CounterDelta::default();
+            c.put(CounterId::TotIns, 1000.0);
+            stg.attach_edge_fragment(
+                e,
+                Fragment {
+                    rank,
+                    kind: FragmentKind::Computation,
+                    start: VirtualTime::from_ns(i * 200),
+                    end: VirtualTime::from_ns(i * 200 + 150),
+                    counters: c,
+                    args: vec![],
+                },
+            );
+            stg.attach_vertex_fragment(
+                s1,
+                Fragment {
+                    rank,
+                    kind: FragmentKind::Communication,
+                    start: VirtualTime::from_ns(i * 200 + 150),
+                    end: VirtualTime::from_ns(i * 200 + 200),
+                    counters: CounterDelta::default(),
+                    args: vec![8.0],
+                },
+            );
+        }
+        stg
+    }
+
+    fn full_window() -> Window {
+        Window { start: VirtualTime::ZERO, end: VirtualTime::from_secs(1) }
+    }
+
+    #[test]
+    fn batch_extraction_respects_the_window() {
+        let stg = sample_stg(3);
+        let all = FragmentBatch::from_stg(&stg, 3, full_window());
+        assert_eq!(all.len(), 20);
+        let half = FragmentBatch::from_stg(
+            &stg,
+            3,
+            Window { start: VirtualTime::ZERO, end: VirtualTime::from_ns(1000) },
+        );
+        assert!(half.len() < all.len());
+        assert!(!half.is_empty());
+    }
+
+    #[test]
+    fn wire_roundtrip_is_lossless() {
+        let batch = FragmentBatch::from_stg(&sample_stg(1), 1, full_window());
+        let bytes = batch.to_bytes();
+        let back = FragmentBatch::from_bytes(&bytes).unwrap();
+        assert_eq!(batch, back);
+        // Bytes-per-fragment in the ballpark of the §6.2 accounting
+        // (JSON is a few times the binary estimate, same magnitude).
+        let per_frag = bytes.len() / batch.len();
+        assert!(per_frag < 2_000, "batch record size {per_frag} B/fragment");
+    }
+
+    #[test]
+    fn reassembly_pools_across_ranks() {
+        let batches: Vec<FragmentBatch> = (0..4)
+            .map(|r| FragmentBatch::from_stg(&sample_stg(r), r, full_window()))
+            .collect();
+        let pools = ReassembledPools::from_batches(&batches);
+        assert_eq!(pools.len(), 4 * 20);
+        // All ranks' computation fragments share one transition pool.
+        let edge_pool = pools
+            .edges
+            .get("w:MPI_Barrier -> w:MPI_Barrier")
+            .expect("pooled edge");
+        assert_eq!(edge_pool.len(), 40);
+        let ranks: std::collections::BTreeSet<usize> =
+            edge_pool.iter().map(|f| f.rank).collect();
+        assert_eq!(ranks.len(), 4);
+    }
+
+    #[test]
+    fn pooled_batches_cluster_like_the_direct_path() {
+        // The server can run Algorithm 1 on reassembled pools and get the
+        // same answer as the in-process path.
+        let batches: Vec<FragmentBatch> = (0..3)
+            .map(|r| FragmentBatch::from_stg(&sample_stg(r), r, full_window()))
+            .collect();
+        let pools = ReassembledPools::from_batches(&batches);
+        let pool = &pools.edges["w:MPI_Barrier -> w:MPI_Barrier"];
+        let outcome = crate::clustering::cluster_fragments(
+            pool,
+            &crate::fragment::DEFAULT_PROXY,
+            0.05,
+            5,
+        );
+        assert_eq!(outcome.usable.len(), 1);
+        assert_eq!(outcome.usable[0].len(), 30);
+    }
+}

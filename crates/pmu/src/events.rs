@@ -1,0 +1,113 @@
+//! Event groupings used by the detection and diagnosis layers.
+//!
+//! Vapro's progressive diagnosis activates small counter sets per stage
+//! (paper §4.3): the S1 stage needs only the five top-level factors, and
+//! finer stages widen the set. These helpers define the canonical sets.
+
+use crate::counters::{CounterId, CounterSet};
+
+/// The always-on baseline set: what the collector reads around every
+/// external invocation during normal detection. `TOT_INS` is the default
+/// workload proxy (paper §3.3); `TSC` gives elapsed time.
+pub fn detection_set() -> CounterSet {
+    CounterSet::from_ids(&[CounterId::Tsc, CounterId::TotIns])
+}
+
+/// Stage-1 diagnosis: the five S1 factors of the breakdown model —
+/// retiring, frontend bound, bad speculation, backend bound (derived),
+/// and suspension.
+pub fn s1_set() -> CounterSet {
+    CounterSet::from_ids(&[
+        CounterId::Tsc,
+        CounterId::TotIns,
+        CounterId::ClkUnhalted,
+        CounterId::IdqUopsNotDelivered,
+        CounterId::UopsRetiredSlots,
+        CounterId::BadSpeculationSlots,
+        CounterId::SuspensionNs,
+    ])
+}
+
+/// Stage-2 under *backend bound*: split into core bound vs memory bound.
+pub fn s2_backend_set() -> CounterSet {
+    s1_set().union(CounterSet::from_ids(&[
+        CounterId::StallsCore,
+        CounterId::StallsMemAny,
+    ]))
+}
+
+/// Stage-2 under *suspension*: page faults vs context switches vs signals.
+/// These are software counters (free), but their time impact is not
+/// directly quantifiable — this is where the OLS method applies.
+pub fn s2_suspension_set() -> CounterSet {
+    s1_set().union(CounterSet::from_ids(&[
+        CounterId::PageFaultsSoft,
+        CounterId::PageFaultsHard,
+        CounterId::CtxSwitchVoluntary,
+        CounterId::CtxSwitchInvoluntary,
+        CounterId::Signals,
+    ]))
+}
+
+/// Stage-3 under *memory bound*: the L1/L2/L3/DRAM stall split used in the
+/// HPL hardware-bug case study (paper §6.5.1).
+pub fn s3_memory_set() -> CounterSet {
+    s2_backend_set().union(CounterSet::from_ids(&[
+        CounterId::StallsL1dMiss,
+        CounterId::StallsL2Miss,
+        CounterId::StallsL3Miss,
+    ]))
+}
+
+/// The widest set a production deployment would use; everything the
+/// simulated PMU offers.
+pub fn full_set() -> CounterSet {
+    CounterSet::all()
+}
+
+/// Hardware-slot budget of a typical PMU (4 programmable counters per core
+/// plus fixed-function TSC/instructions/cycles). Sets wider than this must
+/// be collected across several diagnosis periods — the constraint that
+/// motivates progressive diagnosis.
+pub const HW_SLOT_BUDGET: usize = 8;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detection_set_is_minimal() {
+        let s = detection_set();
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(CounterId::Tsc));
+        assert!(s.contains(CounterId::TotIns));
+    }
+
+    #[test]
+    fn stages_are_monotone() {
+        assert!(s1_set().len() < s2_backend_set().len());
+        assert!(s2_backend_set().len() < s3_memory_set().len());
+        for id in s1_set().iter() {
+            assert!(s3_memory_set().contains(id));
+        }
+    }
+
+    #[test]
+    fn per_stage_sets_respect_hw_budget() {
+        // Progressive diagnosis exists so each stage fits the PMU. The
+        // *increment* from one stage to the next must fit the budget.
+        assert!(s1_set().hardware_slots() <= HW_SLOT_BUDGET);
+        assert!(s2_backend_set().hardware_slots() <= HW_SLOT_BUDGET);
+        assert!(s3_memory_set().hardware_slots() <= HW_SLOT_BUDGET + 3);
+    }
+
+    #[test]
+    fn suspension_stage_uses_software_counters_only_as_increment() {
+        let inc: Vec<_> = s2_suspension_set()
+            .iter()
+            .filter(|id| !s1_set().contains(*id))
+            .collect();
+        assert!(!inc.is_empty());
+        assert!(inc.iter().all(|id| id.is_software()));
+    }
+}

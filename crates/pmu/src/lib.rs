@@ -1,0 +1,54 @@
+#![warn(missing_docs)]
+
+//! # vapro-pmu — simulated performance monitoring unit
+//!
+//! This crate is the hardware-counter substrate of the Vapro reproduction.
+//! The paper collects PMU data (TOT_INS, TSC, top-down pipeline events) and
+//! OS software counters (page faults, context switches) through PAPI and
+//! `/proc`. Here, a [`CpuModel`] converts a declared [`WorkloadSpec`] — the
+//! abstract work of a computation fragment — into elapsed cycles and a full
+//! [`CounterDelta`], under an externally supplied [`NoiseEnv`] describing
+//! active perturbations (CPU contention, memory-bandwidth contention, the
+//! Intel L2-eviction hardware bug, a degraded node, …).
+//!
+//! The model preserves the statistical structure the paper's algorithms rely
+//! on:
+//!
+//! * `TOT_INS` depends only on the workload (plus small multiplicative PMU
+//!   jitter) and is therefore stable under noise — the property exploited by
+//!   Vapro's fixed-workload clustering (paper Fig. 5);
+//! * `TSC` (wall-clock cycles) absorbs every noise effect;
+//! * the top-down identities of Yasin's method hold by construction, so the
+//!   formula-based variance breakdown (paper §4.2) works exactly as on real
+//!   hardware.
+
+pub mod counters;
+pub mod cpu;
+pub mod events;
+pub mod jitter;
+pub mod noise_env;
+pub mod os;
+pub mod topdown;
+pub mod workload;
+
+pub use counters::{CounterDelta, CounterId, CounterSet, CounterSnapshot};
+pub use cpu::{CpuConfig, CpuModel, ExecOutcome};
+pub use jitter::JitterModel;
+pub use noise_env::NoiseEnv;
+pub use topdown::{TopDown, TopDownL2};
+pub use workload::{Locality, WorkloadSpec};
+
+/// Number of issue slots per cycle assumed by the top-down model
+/// (4-wide superscalar, matching the Ivy Bridge formula quoted in the paper:
+/// frontend-bound = `IDQ_UOPS_NOT_DELIVERED.CORE / (4 * CPU_CLK_UNHALTED.THREAD)`).
+pub const PIPELINE_WIDTH: f64 = 4.0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipeline_width_matches_paper_formula() {
+        assert_eq!(PIPELINE_WIDTH, 4.0);
+    }
+}

@@ -1,0 +1,155 @@
+//! Property tests of the CPU model: the physical sanity conditions every
+//! workload/noise combination must satisfy, independent of the specific
+//! constants in the configuration.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use vapro_pmu::{
+    CounterId, CpuConfig, CpuModel, JitterModel, Locality, NoiseEnv, TopDown, WorkloadSpec,
+};
+
+fn exact() -> CpuModel {
+    CpuModel::with_jitter(CpuConfig::default(), JitterModel::exact())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Wall time is monotone in every noise axis.
+    #[test]
+    fn noise_never_speeds_execution_up(
+        ins in 1e4f64..1e7,
+        mem_frac in 0.0f64..0.9,
+        steal in 0.0f64..0.9,
+        contention in 0.0f64..3.0,
+        bw in 0.5f64..1.0,
+    ) {
+        let spec = WorkloadSpec {
+            instructions: ins,
+            mem_refs: ins * mem_frac,
+            ..WorkloadSpec::default()
+        };
+        let m = exact();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let quiet = m.execute(&spec, &NoiseEnv::quiet(), &mut rng).wall_ns;
+        for env in [
+            NoiseEnv { cpu_steal: steal, ..NoiseEnv::default() },
+            NoiseEnv { mem_contention: contention, ..NoiseEnv::default() },
+            NoiseEnv { node_bw_factor: bw, ..NoiseEnv::default() },
+        ] {
+            let noisy = m.execute(&spec, &env, &mut rng).wall_ns;
+            prop_assert!(noisy >= quiet - 1e-9, "env {env:?}: {noisy} < {quiet}");
+        }
+    }
+
+    /// All counters are non-negative and TSC is the largest time-like
+    /// quantity.
+    #[test]
+    fn counters_are_physical(
+        ins in 1e4f64..1e7,
+        mem_frac in 0.0f64..0.9,
+        steal in 0.0f64..0.9,
+        fresh_pages in 0u64..100,
+    ) {
+        let spec = WorkloadSpec {
+            instructions: ins,
+            mem_refs: ins * mem_frac,
+            fresh_bytes: fresh_pages as f64 * 4096.0,
+            ..WorkloadSpec::default()
+        };
+        let env = NoiseEnv { cpu_steal: steal, ..NoiseEnv::default() };
+        let m = exact();
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let out = m.execute(&spec, &env, &mut rng);
+        for (id, v) in out.counters.entries() {
+            prop_assert!(v >= 0.0, "{id} = {v}");
+            prop_assert!(v.is_finite(), "{id} = {v}");
+        }
+        let tsc = out.counters.get_or_zero(CounterId::Tsc);
+        let clk = out.counters.get_or_zero(CounterId::ClkUnhalted);
+        prop_assert!(tsc >= clk - 1e-6, "TSC {tsc} < CLK {clk}");
+        prop_assert_eq!(
+            out.counters.get_or_zero(CounterId::PageFaultsSoft) as u64,
+            fresh_pages
+        );
+    }
+
+    /// Memory references partition exactly across the hierarchy levels.
+    #[test]
+    fn loads_and_stores_partition_mem_refs(
+        refs in 1e3f64..1e6,
+        l1 in 0.1f64..1.0,
+        l2 in 0.0f64..0.5,
+        l3 in 0.0f64..0.3,
+        dram in 0.0f64..0.2,
+        store_fraction in 0.0f64..1.0,
+    ) {
+        let spec = WorkloadSpec {
+            instructions: refs * 4.0,
+            mem_refs: refs,
+            store_fraction,
+            locality: Locality { l1, l2, l3, dram }.normalized(),
+            ..WorkloadSpec::default()
+        };
+        let m = exact();
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let c = m.execute(&spec, &NoiseEnv::quiet(), &mut rng).counters;
+        let loads = c.get_or_zero(CounterId::LoadsL1Hit)
+            + c.get_or_zero(CounterId::LoadsL2Hit)
+            + c.get_or_zero(CounterId::LoadsL3Hit)
+            + c.get_or_zero(CounterId::LoadsDram);
+        let stores = c.get_or_zero(CounterId::Stores);
+        prop_assert!(
+            (loads + stores - refs).abs() < refs * 1e-9,
+            "loads {loads} + stores {stores} != refs {refs}"
+        );
+    }
+
+    /// The top-down breakdown is invariant to CPU steal in its *running*
+    /// components: steal only grows suspension, leaving the relative mix
+    /// of retiring/frontend/bad-spec/backend intact.
+    #[test]
+    fn steal_only_rescales_running_components(
+        ins in 1e5f64..1e7,
+        steal in 0.05f64..0.9,
+    ) {
+        let spec = WorkloadSpec::mixed(ins);
+        let m = exact();
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let quiet =
+            TopDown::from_delta(&m.execute(&spec, &NoiseEnv::quiet(), &mut rng).counters)
+                .unwrap();
+        let noisy = TopDown::from_delta(
+            &m.execute(
+                &spec,
+                &NoiseEnv { cpu_steal: steal, ..NoiseEnv::default() },
+                &mut rng,
+            )
+            .counters,
+        )
+        .unwrap();
+        // Ratios among running components are preserved.
+        let q_ratio = quiet.backend / quiet.retiring;
+        let n_ratio = noisy.backend / noisy.retiring;
+        prop_assert!((q_ratio - n_ratio).abs() < 1e-6);
+        prop_assert!(noisy.suspension > quiet.suspension);
+    }
+
+    /// Jitter preserves counter means to within statistical tolerance.
+    #[test]
+    fn jitter_sigma_controls_spread(sigma in 0.001f64..0.05) {
+        let m = CpuModel::with_jitter(CpuConfig::default(), JitterModel::with_sigma(sigma));
+        let spec = WorkloadSpec::compute_bound(1e6);
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let vals: Vec<f64> = (0..200)
+            .map(|_| {
+                m.execute(&spec, &NoiseEnv::quiet(), &mut rng)
+                    .counters
+                    .get_or_zero(CounterId::TotIns)
+            })
+            .collect();
+        let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+        prop_assert!(((mean - 1e6) / 1e6).abs() < 4.0 * sigma / (200f64).sqrt() + 1e-4);
+    }
+}

@@ -1,0 +1,89 @@
+//! Call-site and call-path identities.
+//!
+//! Real Vapro recovers a call-site from the return address of the
+//! intercepted external function and (for context-aware STGs) the full
+//! call stack from backtracing. Mini-apps here label their invocations
+//! with static strings playing the role of return addresses, and maintain
+//! a region stack (via [`crate::rank::RankCtx::region`]) that plays
+//! the role of the call stack.
+
+use std::fmt;
+
+/// A call-site: the location of one external invocation in the program,
+/// e.g. `"cg.f:1272:MPI_Send"`. Interned as a static string so comparison
+/// and hashing are cheap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CallSite(pub &'static str);
+
+impl CallSite {
+    /// The site label.
+    pub fn label(self) -> &'static str {
+        self.0
+    }
+}
+
+impl fmt::Display for CallSite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.0)
+    }
+}
+
+/// A call-path: the chain of enclosing regions plus the call-site —
+/// what a backtrace would produce. Two invocations from the same call-site
+/// reached through different paths (e.g. warm-up vs. measured phase) have
+/// different `CallPath`s but the same `CallSite` (paper §3.2).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CallPath {
+    /// Region labels from outermost to innermost.
+    pub frames: Vec<&'static str>,
+    /// The call-site at the leaf.
+    pub site: CallSite,
+}
+
+impl CallPath {
+    /// Build from a region stack and a leaf site.
+    pub fn new(frames: &[&'static str], site: CallSite) -> Self {
+        CallPath { frames: frames.to_vec(), site }
+    }
+
+    /// Path depth (frames plus the leaf).
+    pub fn depth(&self) -> usize {
+        self.frames.len() + 1
+    }
+}
+
+impl fmt::Display for CallPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for frame in &self.frames {
+            write!(f, "{frame}/")?;
+        }
+        write!(f, "{}", self.site)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_site_different_path_are_distinct() {
+        let site = CallSite("cg.f:1272:MPI_Send");
+        let warm = CallPath::new(&["main", "warmup"], site);
+        let real = CallPath::new(&["main", "timed"], site);
+        assert_ne!(warm, real);
+        assert_eq!(warm.site, real.site);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let p = CallPath::new(&["main", "solve"], CallSite("a.c:10:MPI_Recv"));
+        assert_eq!(p.to_string(), "main/solve/a.c:10:MPI_Recv");
+        assert_eq!(p.depth(), 3);
+    }
+
+    #[test]
+    fn callsite_equality_is_by_label() {
+        assert_eq!(CallSite("x"), CallSite("x"));
+        assert_ne!(CallSite("x"), CallSite("y"));
+    }
+}

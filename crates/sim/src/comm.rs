@@ -1,0 +1,426 @@
+//! Message passing with virtual-time envelopes.
+//!
+//! Point-to-point sends are *eager*: the sender deposits the message in
+//! the receiver's mailbox together with its virtual arrival timestamp and
+//! never blocks. A receive matches on `(src, tag)` (FIFO per sender, like
+//! MPI's non-overtaking rule) and advances the receiver's clock to
+//! `max(own, arrival)` — so waiting time is modelled exactly, including
+//! the load-imbalance waits Vapro observes as communication-fragment
+//! variance. Collectives rendezvous all participants, take the maximum
+//! clock, optionally reduce data, and land everyone at
+//! `max_clock + cost(bytes, n)`.
+//!
+//! Host threads block on condition variables only when virtual causality
+//! requires data that has not been produced yet.
+
+use crate::time::VirtualTime;
+use parking_lot::{Condvar, Mutex};
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+/// Network cost model (LogGP-flavoured).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetConfig {
+    /// One-way wire latency, ns.
+    pub latency_ns: f64,
+    /// Link bandwidth, bytes per ns (6.25 = 50 Gb/s, the paper's fabric).
+    pub bytes_per_ns: f64,
+    /// Sender/receiver per-call software overhead, ns.
+    pub overhead_ns: f64,
+    /// Per-stage latency of collective algorithms, ns.
+    pub coll_stage_ns: f64,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            latency_ns: 1_500.0,
+            bytes_per_ns: 6.25,
+            overhead_ns: 300.0,
+            coll_stage_ns: 1_000.0,
+        }
+    }
+}
+
+impl NetConfig {
+    /// Transfer time of a `bytes`-sized message under `jitter` (relative
+    /// slowdown ≥ 0 sampled by the caller).
+    pub fn transfer_ns(&self, bytes: u64, jitter: f64) -> f64 {
+        (self.latency_ns + bytes as f64 / self.bytes_per_ns) * (1.0 + jitter)
+    }
+
+    /// Cost of an `n`-rank collective moving `bytes` per rank
+    /// (log-tree algorithm).
+    pub fn collective_ns(&self, bytes: u64, n: usize, jitter: f64) -> f64 {
+        let stages = (n.max(2) as f64).log2().ceil();
+        stages * (self.coll_stage_ns + bytes as f64 / self.bytes_per_ns) * (1.0 + jitter)
+    }
+}
+
+/// Optional numeric payload carried by a message or collective.
+pub type Payload = Option<Arc<Vec<f64>>>;
+
+/// A message in flight.
+#[derive(Debug, Clone)]
+pub struct Message {
+    /// Sending rank.
+    pub src: usize,
+    /// Application tag.
+    pub tag: u64,
+    /// Declared message size in bytes.
+    pub bytes: u64,
+    /// Virtual time at which the message is available at the receiver.
+    pub arrival: VirtualTime,
+    /// Optional data payload.
+    pub data: Payload,
+}
+
+/// Per-rank incoming mailbox.
+#[derive(Default)]
+struct Mailbox {
+    queue: Mutex<VecDeque<Message>>,
+    cond: Condvar,
+}
+
+impl Mailbox {
+    fn deposit(&self, msg: Message) {
+        self.queue.lock().push_back(msg);
+        self.cond.notify_all();
+    }
+
+    /// Blocking match on `(src, tag)`; `None` in either position is a
+    /// wildcard. FIFO per sender is preserved because a sender's deposits
+    /// are ordered and we scan front-to-back.
+    fn take_match(&self, src: Option<usize>, tag: Option<u64>) -> Message {
+        let mut q = self.queue.lock();
+        loop {
+            if let Some(pos) = q
+                .iter()
+                .position(|m| src.is_none_or(|s| m.src == s) && tag.is_none_or(|t| m.tag == t))
+            {
+                return q.remove(pos).expect("position valid under lock");
+            }
+            self.cond.wait(&mut q);
+        }
+    }
+
+    /// Non-blocking probe.
+    fn probe(&self, src: Option<usize>, tag: Option<u64>) -> bool {
+        self.queue
+            .lock()
+            .iter()
+            .any(|m| src.is_none_or(|s| m.src == s) && tag.is_none_or(|t| m.tag == t))
+    }
+}
+
+/// Reduction operators for `allreduce`/`reduce`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReduceOp {
+    /// Element-wise sum.
+    Sum,
+    /// Element-wise maximum.
+    Max,
+    /// Element-wise minimum.
+    Min,
+}
+
+impl ReduceOp {
+    fn fold(self, acc: &mut [f64], x: &[f64]) {
+        assert_eq!(acc.len(), x.len(), "reduce length mismatch");
+        match self {
+            ReduceOp::Sum => acc.iter_mut().zip(x).for_each(|(a, b)| *a += b),
+            ReduceOp::Max => acc.iter_mut().zip(x).for_each(|(a, b)| *a = a.max(*b)),
+            ReduceOp::Min => acc.iter_mut().zip(x).for_each(|(a, b)| *a = a.min(*b)),
+        }
+    }
+}
+
+/// State of one collective generation.
+struct CollGen {
+    arrived: usize,
+    max_clock: VirtualTime,
+    acc: Option<Vec<f64>>,
+    op: Option<ReduceOp>,
+    /// Result slot, populated when the last participant arrives.
+    result: Option<(VirtualTime, Payload)>,
+    /// How many participants still need to read the result.
+    readers_left: usize,
+}
+
+/// A rendezvous shared by all ranks of a communicator: computes the max
+/// clock and an optional reduction per generation.
+pub struct Collective {
+    n: usize,
+    state: Mutex<CollectiveState>,
+    cond: Condvar,
+}
+
+struct CollectiveState {
+    gen: u64,
+    gens: HashMap<u64, CollGen>,
+}
+
+impl Collective {
+    /// A collective over `n` participants.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "empty communicator");
+        Collective {
+            n,
+            state: Mutex::new(CollectiveState { gen: 0, gens: HashMap::new() }),
+            cond: Condvar::new(),
+        }
+    }
+
+    /// Number of participants.
+    pub fn size(&self) -> usize {
+        self.n
+    }
+
+    /// Enter the collective with this rank's `clock` and optional data
+    /// contribution; blocks until everyone has arrived; returns the
+    /// rendezvous clock (max over participants) and the reduced payload.
+    ///
+    /// Every participant of one generation must pass the same `op`.
+    pub fn sync(
+        &self,
+        clock: VirtualTime,
+        contribution: Option<&[f64]>,
+        op: Option<ReduceOp>,
+    ) -> (VirtualTime, Payload) {
+        let mut st = self.state.lock();
+        let my_gen = st.gen;
+        let n = self.n;
+        {
+            let g = st.gens.entry(my_gen).or_insert_with(|| CollGen {
+                arrived: 0,
+                max_clock: VirtualTime::ZERO,
+                acc: None,
+                op,
+                result: None,
+                readers_left: n,
+            });
+            debug_assert_eq!(g.op, op, "mixed collective ops in one generation");
+            g.arrived += 1;
+            g.max_clock = g.max_clock.max(clock);
+            if let Some(data) = contribution {
+                match (&mut g.acc, op) {
+                    (Some(acc), Some(op)) => op.fold(acc, data),
+                    (acc @ None, _) => *acc = Some(data.to_vec()),
+                    (Some(_), None) => {
+                        // Broadcast-style: single contributor wins; keep the
+                        // first (the root is the only contributor by contract).
+                    }
+                }
+            }
+            if g.arrived == n {
+                let payload = g.acc.take().map(Arc::new);
+                g.result = Some((g.max_clock, payload));
+                st.gen += 1;
+                self.cond.notify_all();
+            }
+        }
+        // Wait for this generation's result.
+        loop {
+            if let Some(g) = st.gens.get_mut(&my_gen) {
+                if let Some((clk, payload)) = g.result.clone() {
+                    g.readers_left -= 1;
+                    if g.readers_left == 0 {
+                        st.gens.remove(&my_gen);
+                    }
+                    return (clk, payload);
+                }
+            }
+            self.cond.wait(&mut st);
+        }
+    }
+}
+
+/// The shared communication world: one mailbox per rank plus the
+/// collective rendezvous.
+pub struct CommWorld {
+    mailboxes: Vec<Mailbox>,
+    collective: Collective,
+    /// Network cost model.
+    pub net: NetConfig,
+}
+
+impl CommWorld {
+    /// A world of `n` ranks with the given network model.
+    pub fn new(n: usize, net: NetConfig) -> Self {
+        CommWorld {
+            mailboxes: (0..n).map(|_| Mailbox::default()).collect(),
+            collective: Collective::new(n),
+            net,
+        }
+    }
+
+    /// Number of ranks.
+    pub fn size(&self) -> usize {
+        self.mailboxes.len()
+    }
+
+    /// Deposit a message into `dst`'s mailbox.
+    pub fn deposit(&self, dst: usize, msg: Message) {
+        self.mailboxes[dst].deposit(msg);
+    }
+
+    /// Blocking matched receive for `dst`.
+    pub fn take(&self, dst: usize, src: Option<usize>, tag: Option<u64>) -> Message {
+        self.mailboxes[dst].take_match(src, tag)
+    }
+
+    /// Non-blocking probe for `dst`.
+    pub fn probe(&self, dst: usize, src: Option<usize>, tag: Option<u64>) -> bool {
+        self.mailboxes[dst].probe(src, tag)
+    }
+
+    /// The collective rendezvous.
+    pub fn collective(&self) -> &Collective {
+        &self.collective
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn transfer_cost_scales_with_bytes() {
+        let net = NetConfig::default();
+        assert!(net.transfer_ns(1 << 20, 0.0) > net.transfer_ns(1 << 10, 0.0));
+        assert!(net.transfer_ns(0, 0.0) >= net.latency_ns);
+        assert!(net.transfer_ns(1024, 0.5) > net.transfer_ns(1024, 0.0));
+    }
+
+    #[test]
+    fn collective_cost_grows_logarithmically() {
+        let net = NetConfig::default();
+        let c2 = net.collective_ns(0, 2, 0.0);
+        let c1024 = net.collective_ns(0, 1024, 0.0);
+        assert!((c1024 / c2 - 10.0).abs() < 1e-9); // log2(1024) / log2(2)
+    }
+
+    #[test]
+    fn mailbox_matches_src_and_tag_in_fifo_order() {
+        let w = CommWorld::new(2, NetConfig::default());
+        let mk = |src, tag, bytes| Message {
+            src,
+            tag,
+            bytes,
+            arrival: VirtualTime::ZERO,
+            data: None,
+        };
+        w.deposit(1, mk(0, 7, 10));
+        w.deposit(1, mk(0, 9, 20));
+        w.deposit(1, mk(0, 7, 30));
+        let a = w.take(1, Some(0), Some(7));
+        assert_eq!(a.bytes, 10);
+        let b = w.take(1, Some(0), Some(9));
+        assert_eq!(b.bytes, 20);
+        let c = w.take(1, Some(0), Some(7));
+        assert_eq!(c.bytes, 30);
+    }
+
+    #[test]
+    fn wildcard_receive_takes_first_available() {
+        let w = CommWorld::new(2, NetConfig::default());
+        w.deposit(
+            0,
+            Message { src: 1, tag: 42, bytes: 5, arrival: VirtualTime::ZERO, data: None },
+        );
+        let m = w.take(0, None, None);
+        assert_eq!(m.src, 1);
+        assert!(!w.probe(0, None, None));
+    }
+
+    #[test]
+    fn blocking_receive_waits_for_deposit() {
+        let w = Arc::new(CommWorld::new(2, NetConfig::default()));
+        let w2 = w.clone();
+        let h = thread::spawn(move || w2.take(1, Some(0), Some(1)).bytes);
+        thread::sleep(std::time::Duration::from_millis(20));
+        w.deposit(
+            1,
+            Message { src: 0, tag: 1, bytes: 77, arrival: VirtualTime::ZERO, data: None },
+        );
+        assert_eq!(h.join().unwrap(), 77);
+    }
+
+    #[test]
+    fn collective_takes_max_clock() {
+        let c = Arc::new(Collective::new(3));
+        let clocks = [100u64, 500, 300];
+        let handles: Vec<_> = clocks
+            .iter()
+            .map(|&ns| {
+                let c = c.clone();
+                thread::spawn(move || c.sync(VirtualTime::from_ns(ns), None, None).0)
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), VirtualTime::from_ns(500));
+        }
+    }
+
+    #[test]
+    fn allreduce_sums_elementwise() {
+        let c = Arc::new(Collective::new(4));
+        let handles: Vec<_> = (0..4)
+            .map(|r| {
+                let c = c.clone();
+                thread::spawn(move || {
+                    let data = vec![r as f64, 1.0];
+                    let (_, payload) = c.sync(
+                        VirtualTime::from_ns(r as u64),
+                        Some(&data),
+                        Some(ReduceOp::Sum),
+                    );
+                    payload.unwrap().to_vec()
+                })
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), vec![6.0, 4.0]);
+        }
+    }
+
+    #[test]
+    fn consecutive_collectives_do_not_cross_generations() {
+        let c = Arc::new(Collective::new(2));
+        let handles: Vec<_> = (0..2)
+            .map(|r| {
+                let c = c.clone();
+                thread::spawn(move || {
+                    let mut results = vec![];
+                    for round in 0..50u64 {
+                        let (clk, _) = c.sync(
+                            VirtualTime::from_ns(round * 10 + r),
+                            None,
+                            None,
+                        );
+                        results.push(clk.ns());
+                    }
+                    results
+                })
+            })
+            .collect();
+        let a = handles.into_iter().map(|h| h.join().unwrap()).collect::<Vec<_>>();
+        // Every round's rendezvous clock is the max of the two inputs.
+        for round in 0..50u64 {
+            assert_eq!(a[0][round as usize], round * 10 + 1);
+            assert_eq!(a[1][round as usize], round * 10 + 1);
+        }
+    }
+
+    #[test]
+    fn reduce_ops_fold_correctly() {
+        let mut acc = vec![1.0, 5.0];
+        ReduceOp::Max.fold(&mut acc, &[3.0, 2.0]);
+        assert_eq!(acc, vec![3.0, 5.0]);
+        ReduceOp::Min.fold(&mut acc, &[2.0, 1.0]);
+        assert_eq!(acc, vec![2.0, 1.0]);
+        ReduceOp::Sum.fold(&mut acc, &[1.0, 1.0]);
+        assert_eq!(acc, vec![3.0, 2.0]);
+    }
+}

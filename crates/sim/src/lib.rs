@@ -1,0 +1,45 @@
+#![warn(missing_docs)]
+
+//! # vapro-sim — virtual-time parallel runtime
+//!
+//! The execution substrate of the Vapro reproduction. The paper evaluates
+//! on real MPI programs over Tianhe-2A; here, each rank is an OS thread
+//! carrying a **virtual clock**, a simulated PMU core ([`vapro_pmu`]), and
+//! MPI-like communication whose envelopes piggyback virtual timestamps, so
+//! waiting time and causality are modelled exactly without real hardware.
+//!
+//! The pieces:
+//!
+//! * [`time`] — nanosecond virtual time;
+//! * [`topology`] — nodes / sockets / cores and rank placement;
+//! * [`callsite`] — call-site and call-path identities (what LD_PRELOAD
+//!   interposition would recover from return addresses and backtraces);
+//! * [`intercept`] — the [`intercept::Interceptor`] hook trait:
+//!   Vapro's collector, the baselines, and the null interceptor all plug in
+//!   here;
+//! * [`noise`] — the injected perturbation schedule (CPU contention, memory
+//!   contention, L2 hardware bug, slow node, filesystem interference);
+//! * [`comm`] — eager point-to-point with virtual-time envelopes, plus
+//!   max-clock collectives (barrier, allreduce, bcast, reduce, alltoall);
+//! * [`fs`] — a shared filesystem with heavy-tailed latency and an optional
+//!   client-side buffer (the RAxML mitigation of paper §6.5.3);
+//! * [`rank`] — [`rank::RankCtx`], the API mini-apps program against;
+//! * [`runtime`] — thread spawning, joining and result collection.
+
+pub mod callsite;
+pub mod comm;
+pub mod fs;
+pub mod intercept;
+pub mod noise;
+pub mod rank;
+pub mod runtime;
+pub mod time;
+pub mod topology;
+
+pub use callsite::{CallPath, CallSite};
+pub use intercept::{EnterEvent, ExitEvent, Interceptor, InvocationKind, NullInterceptor};
+pub use noise::{NoiseEvent, NoiseKind, NoiseSchedule, TargetSet};
+pub use rank::RankCtx;
+pub use runtime::{run_simulation, SimConfig, SimResult};
+pub use time::VirtualTime;
+pub use topology::{Placement, Topology};

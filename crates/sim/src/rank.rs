@@ -1,0 +1,555 @@
+//! [`RankCtx`]: the per-rank execution context mini-apps program against.
+//!
+//! A rank owns a virtual clock, a simulated CPU/PMU, a deterministic RNG,
+//! a region stack (for call-paths) and an [`Interceptor`]. Every external
+//! operation — communication, IO, thread synchronisation, user markers —
+//! flows through an interception bracket that fires the enter/exit hooks
+//! exactly the way `LD_PRELOAD` interposition brackets a real call, and
+//! charges the tool's per-hook cost to the clock (the source of the
+//! overhead numbers in the paper's Table 1).
+
+use crate::callsite::{CallPath, CallSite};
+use crate::comm::{CommWorld, Message, Payload, ReduceOp};
+use crate::fs::{ClientBuffer, SimFs};
+use crate::intercept::{EnterEvent, ExitEvent, Interceptor, InvocationKind};
+use crate::noise::NoiseSchedule;
+use crate::time::VirtualTime;
+use crate::topology::Topology;
+use rand::{Rng, RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::sync::Arc;
+use vapro_pmu::{CounterId, CounterSnapshot, CpuModel, WorkloadSpec};
+
+/// Reserved tag for gather data movement (outside the application tag
+/// space, which apps keep small).
+const GATHER_TAG: u64 = u64::MAX - 1;
+/// Reserved tag for scatter data movement.
+const SCATTER_TAG: u64 = u64::MAX - 2;
+
+/// A pending non-blocking operation.
+#[derive(Debug, Clone)]
+pub enum Request {
+    /// A posted receive, matched at wait time.
+    Recv {
+        /// Expected source (None = any).
+        src: Option<usize>,
+        /// Expected tag (None = any).
+        tag: Option<u64>,
+    },
+    /// A send whose transfer already completed eagerly.
+    SendDone,
+}
+
+/// The result of a completed receive.
+#[derive(Debug, Clone)]
+pub struct RecvResult {
+    /// Sending rank.
+    pub src: usize,
+    /// Message tag.
+    pub tag: u64,
+    /// Message size in bytes.
+    pub bytes: u64,
+    /// Optional payload.
+    pub data: Payload,
+}
+
+/// Per-rank execution context.
+pub struct RankCtx {
+    rank: usize,
+    nranks: usize,
+    clock: VirtualTime,
+    cpu: CpuModel,
+    counters: CounterSnapshot,
+    world: Arc<CommWorld>,
+    fs: Arc<SimFs>,
+    fs_buffer: ClientBuffer,
+    topo: Arc<Topology>,
+    noise: Arc<NoiseSchedule>,
+    rng: ChaCha8Rng,
+    regions: Vec<&'static str>,
+    interceptor: Box<dyn Interceptor>,
+    invocations: u64,
+}
+
+impl RankCtx {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        rank: usize,
+        nranks: usize,
+        cpu: CpuModel,
+        world: Arc<CommWorld>,
+        fs: Arc<SimFs>,
+        topo: Arc<Topology>,
+        noise: Arc<NoiseSchedule>,
+        seed: u64,
+        interceptor: Box<dyn Interceptor>,
+    ) -> Self {
+        let mut counters = CounterSnapshot::default();
+        for id in CounterId::ALL {
+            counters.put(id, 0.0);
+        }
+        RankCtx {
+            rank,
+            nranks,
+            clock: VirtualTime::ZERO,
+            cpu,
+            counters,
+            world,
+            fs,
+            fs_buffer: ClientBuffer::default(),
+            topo,
+            noise,
+            rng: ChaCha8Rng::seed_from_u64(seed ^ (rank as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            regions: Vec::new(),
+            interceptor,
+            invocations: 0,
+        }
+    }
+
+    /// This rank's id.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the world.
+    pub fn size(&self) -> usize {
+        self.nranks
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> VirtualTime {
+        self.clock
+    }
+
+    /// Deterministic per-rank RNG for application data.
+    pub fn rng(&mut self) -> &mut impl RngCore {
+        &mut self.rng
+    }
+
+    /// Cumulative counters with the TSC synthesised from the clock.
+    pub fn snapshot(&self) -> CounterSnapshot {
+        let mut c = self.counters.clone();
+        c.put(CounterId::Tsc, self.clock.ns() as f64 * self.cpu.cycles_per_ns());
+        c
+    }
+
+    /// Number of intercepted invocations so far.
+    pub fn invocation_count(&self) -> u64 {
+        self.invocations
+    }
+
+    // --- computation ------------------------------------------------------
+
+    /// Execute a computation block: advances the clock and accumulates
+    /// counters under the noise environment active *now*.
+    pub fn compute(&mut self, spec: &WorkloadSpec) {
+        let env = self.noise.env_for(&self.topo, self.rank, self.clock);
+        let out = self.cpu.execute(spec, &env, &mut self.rng);
+        for (id, v) in out.counters.entries() {
+            if id != CounterId::Tsc {
+                self.counters.add(id, v);
+            }
+        }
+        self.clock += VirtualTime::from_ns_f64(out.wall_ns);
+    }
+
+    // --- regions (call-path frames) ----------------------------------------
+
+    /// Run `body` inside a named region; the region appears in the
+    /// call-paths of invocations made within.
+    pub fn region<T>(&mut self, name: &'static str, body: impl FnOnce(&mut Self) -> T) -> T {
+        self.regions.push(name);
+        let out = body(self);
+        self.regions.pop();
+        out
+    }
+
+    fn path(&self, site: CallSite) -> CallPath {
+        CallPath::new(&self.regions, site)
+    }
+
+    // --- the interception bracket ------------------------------------------
+
+    /// Run `body` as an intercepted external invocation.
+    fn intercepted<T>(
+        &mut self,
+        kind: InvocationKind,
+        site: CallSite,
+        body: impl FnOnce(&mut Self) -> T,
+    ) -> T {
+        self.invocations += 1;
+        // Tool overhead: charged half at enter, half at exit.
+        let hook = self.interceptor.hook_cost_ns();
+        self.clock += VirtualTime::from_ns_f64(hook * 0.5);
+        let enter = EnterEvent {
+            rank: self.rank,
+            kind,
+            site,
+            path: self.path(site),
+            time: self.clock,
+            counters: self.snapshot(),
+        };
+        self.interceptor.on_enter(&enter);
+        let out = body(self);
+        self.clock += VirtualTime::from_ns_f64(hook * 0.5);
+        let exit = ExitEvent { rank: self.rank, time: self.clock, counters: self.snapshot() };
+        self.interceptor.on_exit(&exit);
+        out
+    }
+
+    /// Account a blocking wait of `until - clock` (if positive) as a
+    /// voluntary context switch plus suspension, then land at `until`.
+    fn block_until(&mut self, until: VirtualTime) {
+        if until > self.clock {
+            let wait = until - self.clock;
+            self.counters.add(CounterId::SuspensionNs, wait.ns() as f64);
+            self.counters.add(CounterId::CtxSwitchVoluntary, 1.0);
+            self.clock = until;
+        }
+    }
+
+    fn net_jitter(&mut self) -> f64 {
+        let amp = self.noise.net_amplitude(&self.topo, self.rank, self.clock);
+        if amp > 0.0 {
+            self.rng.gen::<f64>() * amp
+        } else {
+            0.0
+        }
+    }
+
+    // --- point-to-point ------------------------------------------------------
+
+    /// Blocking (eager) send of `bytes` with optional payload.
+    pub fn send(&mut self, dst: usize, tag: u64, bytes: u64, data: Payload, site: CallSite) {
+        assert!(dst < self.nranks, "send to invalid rank {dst}");
+        let kind = InvocationKind::Comm { op: "MPI_Send", bytes, peer: dst };
+        self.intercepted(kind, site, |ctx| ctx.raw_send(dst, tag, bytes, data));
+    }
+
+    fn raw_send(&mut self, dst: usize, tag: u64, bytes: u64, data: Payload) {
+        let jitter = self.net_jitter();
+        let net = self.world.net;
+        // Sender occupancy: software overhead plus injection.
+        let inject = net.overhead_ns + bytes as f64 / net.bytes_per_ns;
+        self.clock += VirtualTime::from_ns_f64(inject);
+        let arrival = self.clock + VirtualTime::from_ns_f64(net.latency_ns * (1.0 + jitter));
+        self.world
+            .deposit(dst, Message { src: self.rank, tag, bytes, arrival, data });
+    }
+
+    /// Blocking receive matching `(src, tag)` (None = wildcard).
+    pub fn recv(&mut self, src: Option<usize>, tag: Option<u64>, site: CallSite) -> RecvResult {
+        let kind = InvocationKind::Comm {
+            op: "MPI_Recv",
+            bytes: 0,
+            peer: src.unwrap_or(usize::MAX),
+        };
+        self.intercepted(kind, site, |ctx| ctx.raw_recv(src, tag))
+    }
+
+    fn raw_recv(&mut self, src: Option<usize>, tag: Option<u64>) -> RecvResult {
+        let net = self.world.net;
+        self.clock += VirtualTime::from_ns_f64(net.overhead_ns);
+        let msg = self.world.take(self.rank, src, tag);
+        self.block_until(msg.arrival);
+        RecvResult { src: msg.src, tag: msg.tag, bytes: msg.bytes, data: msg.data }
+    }
+
+    /// Non-blocking send (completes eagerly; `wait` on it is free).
+    pub fn isend(
+        &mut self,
+        dst: usize,
+        tag: u64,
+        bytes: u64,
+        data: Payload,
+        site: CallSite,
+    ) -> Request {
+        assert!(dst < self.nranks, "isend to invalid rank {dst}");
+        let kind = InvocationKind::Comm { op: "MPI_Isend", bytes, peer: dst };
+        self.intercepted(kind, site, |ctx| {
+            ctx.raw_send(dst, tag, bytes, data);
+            Request::SendDone
+        })
+    }
+
+    /// Post a non-blocking receive; matching happens at `wait`.
+    pub fn irecv(&mut self, src: Option<usize>, tag: Option<u64>, site: CallSite) -> Request {
+        let kind = InvocationKind::Comm {
+            op: "MPI_Irecv",
+            bytes: 0,
+            peer: src.unwrap_or(usize::MAX),
+        };
+        self.intercepted(kind, site, |ctx| {
+            let net = ctx.world.net;
+            ctx.clock += VirtualTime::from_ns_f64(net.overhead_ns * 0.5);
+            Request::Recv { src, tag }
+        })
+    }
+
+    /// Wait for one request.
+    pub fn wait(&mut self, req: Request, site: CallSite) -> Option<RecvResult> {
+        let kind = InvocationKind::Comm { op: "MPI_Wait", bytes: 0, peer: usize::MAX };
+        self.intercepted(kind, site, |ctx| ctx.raw_wait(req))
+    }
+
+    fn raw_wait(&mut self, req: Request) -> Option<RecvResult> {
+        match req {
+            Request::SendDone => None,
+            Request::Recv { src, tag } => Some(self.raw_recv(src, tag)),
+        }
+    }
+
+    /// Wait for all requests (one intercepted `MPI_Waitall`).
+    pub fn waitall(&mut self, reqs: Vec<Request>, site: CallSite) -> Vec<Option<RecvResult>> {
+        let kind = InvocationKind::Comm { op: "MPI_Waitall", bytes: 0, peer: usize::MAX };
+        self.intercepted(kind, site, |ctx| {
+            reqs.into_iter().map(|r| ctx.raw_wait(r)).collect()
+        })
+    }
+
+    /// Combined send + receive (MPI_Sendrecv): posts the receive, sends,
+    /// then completes the receive — deadlock-free by construction for
+    /// pairwise exchanges.
+    pub fn sendrecv(
+        &mut self,
+        dst: usize,
+        send_tag: u64,
+        bytes: u64,
+        src: Option<usize>,
+        recv_tag: Option<u64>,
+        site: CallSite,
+    ) -> RecvResult {
+        assert!(dst < self.nranks, "sendrecv to invalid rank {dst}");
+        let kind = InvocationKind::Comm { op: "MPI_Sendrecv", bytes, peer: dst };
+        self.intercepted(kind, site, |ctx| {
+            ctx.raw_send(dst, send_tag, bytes, None);
+            ctx.raw_recv(src, recv_tag)
+        })
+    }
+
+    // --- collectives ----------------------------------------------------------
+
+    /// Barrier over all ranks.
+    pub fn barrier(&mut self, site: CallSite) {
+        let kind = InvocationKind::Comm { op: "MPI_Barrier", bytes: 0, peer: usize::MAX };
+        self.intercepted(kind, site, |ctx| {
+            ctx.raw_collective(0, None, None);
+        });
+    }
+
+    /// All-reduce of `data` with `op`; every rank receives the result.
+    pub fn allreduce(&mut self, data: &[f64], op: ReduceOp, site: CallSite) -> Vec<f64> {
+        let bytes = (data.len() * 8) as u64;
+        let kind = InvocationKind::Comm { op: "MPI_Allreduce", bytes, peer: usize::MAX };
+        self.intercepted(kind, site, |ctx| {
+            let payload = ctx.raw_collective(bytes, Some(data), Some(op));
+            payload.map(|p| p.to_vec()).unwrap_or_default()
+        })
+    }
+
+    /// Broadcast from `root`: the root passes `Some(data)`, everyone
+    /// receives the root's payload. `bytes` is the broadcast size, which
+    /// every participant knows (MPI semantics) and pays uniformly.
+    pub fn bcast(
+        &mut self,
+        root: usize,
+        data: Option<&[f64]>,
+        bytes: u64,
+        site: CallSite,
+    ) -> Vec<f64> {
+        debug_assert_eq!(data.is_some(), self.rank == root, "only the root contributes");
+        let kind = InvocationKind::Comm { op: "MPI_Bcast", bytes, peer: root };
+        self.intercepted(kind, site, |ctx| {
+            let payload = ctx.raw_collective(bytes, data, None);
+            payload.map(|p| p.to_vec()).unwrap_or_default()
+        })
+    }
+
+    /// All-to-all exchange of `bytes_per_peer` to every other rank
+    /// (cost only; no payload).
+    pub fn alltoall(&mut self, bytes_per_peer: u64, site: CallSite) {
+        let total = bytes_per_peer * self.nranks as u64;
+        let kind = InvocationKind::Comm { op: "MPI_Alltoall", bytes: total, peer: usize::MAX };
+        self.intercepted(kind, site, |ctx| {
+            ctx.raw_collective(total, None, None);
+        });
+    }
+
+    /// Gather `contribution` at `root`: the root receives every rank's
+    /// data concatenated in rank order; non-roots receive an empty vec.
+    ///
+    /// Data moves over the mailbox; non-roots deposit *before* the
+    /// collective rendezvous, so once all ranks have arrived the root's
+    /// takes are guaranteed to succeed.
+    pub fn gather(&mut self, root: usize, contribution: &[f64], site: CallSite) -> Vec<f64> {
+        assert!(root < self.nranks, "gather to invalid root {root}");
+        let bytes = (contribution.len() * 8) as u64;
+        let kind = InvocationKind::Comm { op: "MPI_Gather", bytes, peer: root };
+        self.intercepted(kind, site, |ctx| {
+            if ctx.rank != root {
+                let mut tagged = Vec::with_capacity(contribution.len() + 1);
+                tagged.push(ctx.rank as f64);
+                tagged.extend_from_slice(contribution);
+                let arrival = ctx.clock;
+                ctx.world.deposit(
+                    root,
+                    crate::comm::Message {
+                        src: ctx.rank,
+                        tag: GATHER_TAG,
+                        bytes,
+                        arrival,
+                        data: Some(Arc::new(tagged)),
+                    },
+                );
+            }
+            ctx.raw_collective(bytes, None, None);
+            if ctx.rank == root {
+                let mut parts: Vec<(usize, Vec<f64>)> = Vec::with_capacity(ctx.nranks);
+                parts.push((ctx.rank, contribution.to_vec()));
+                for _ in 0..ctx.nranks - 1 {
+                    let msg = ctx.world.take(ctx.rank, None, Some(GATHER_TAG));
+                    let data = msg.data.expect("gather payload");
+                    parts.push((data[0] as usize, data[1..].to_vec()));
+                }
+                parts.sort_by_key(|p| p.0);
+                parts.into_iter().flat_map(|p| p.1).collect()
+            } else {
+                Vec::new()
+            }
+        })
+    }
+
+    /// Scatter: the root sends `per_rank` elements to each rank; every
+    /// rank receives its slice. Non-roots pass `None`.
+    pub fn scatter(
+        &mut self,
+        root: usize,
+        data: Option<&[f64]>,
+        per_rank: usize,
+        site: CallSite,
+    ) -> Vec<f64> {
+        assert!(root < self.nranks, "scatter from invalid root {root}");
+        debug_assert_eq!(data.is_some(), self.rank == root, "only the root contributes");
+        if let Some(d) = data {
+            assert_eq!(d.len(), per_rank * self.nranks, "scatter size mismatch");
+        }
+        let bytes = (per_rank * 8) as u64;
+        let kind = InvocationKind::Comm { op: "MPI_Scatter", bytes, peer: root };
+        self.intercepted(kind, site, |ctx| {
+            if ctx.rank == root {
+                let d = data.expect("root data");
+                for dst in 0..ctx.nranks {
+                    if dst == ctx.rank {
+                        continue;
+                    }
+                    let slice = d[dst * per_rank..(dst + 1) * per_rank].to_vec();
+                    let arrival = ctx.clock;
+                    ctx.world.deposit(
+                        dst,
+                        crate::comm::Message {
+                            src: root,
+                            tag: SCATTER_TAG,
+                            bytes,
+                            arrival,
+                            data: Some(Arc::new(slice)),
+                        },
+                    );
+                }
+            }
+            ctx.raw_collective(bytes, None, None);
+            if ctx.rank == root {
+                let d = data.expect("root data");
+                d[root * per_rank..(root + 1) * per_rank].to_vec()
+            } else {
+                let msg = ctx.world.take(ctx.rank, Some(root), Some(SCATTER_TAG));
+                msg.data.expect("scatter payload").to_vec()
+            }
+        })
+    }
+
+    fn raw_collective(
+        &mut self,
+        bytes: u64,
+        contribution: Option<&[f64]>,
+        op: Option<ReduceOp>,
+    ) -> Payload {
+        let jitter = self.net_jitter();
+        let net = self.world.net;
+        self.clock += VirtualTime::from_ns_f64(net.overhead_ns);
+        let (rendezvous, payload) = self.world.collective().sync(self.clock, contribution, op);
+        // Waiting for slower ranks is a blocking wait…
+        self.block_until(rendezvous);
+        // …then the collective itself costs log(n) stages.
+        let cost = net.collective_ns(bytes, self.nranks, jitter);
+        self.clock += VirtualTime::from_ns_f64(cost);
+        payload
+    }
+
+    // --- IO ---------------------------------------------------------------------
+
+    /// Open a file (metadata RPC).
+    pub fn fs_open(&mut self, fd: u64, site: CallSite) {
+        let kind = InvocationKind::Io { op: "open", bytes: 0, fd, write: false };
+        self.intercepted(kind, site, |ctx| {
+            let slow = ctx.noise.fs_slowdown(&ctx.topo, ctx.rank, ctx.clock);
+            let mut buffer = std::mem::take(&mut ctx.fs_buffer);
+            let cost = ctx.fs.open_cost_ns(&mut buffer, fd, slow, &mut ctx.rng);
+            ctx.fs_buffer = buffer;
+            ctx.blocking_io(cost);
+        });
+    }
+
+    /// Read `bytes` from `fd`.
+    pub fn fs_read(&mut self, fd: u64, bytes: u64, site: CallSite) {
+        let kind = InvocationKind::Io { op: "read", bytes, fd, write: false };
+        self.intercepted(kind, site, |ctx| {
+            let slow = ctx.noise.fs_slowdown(&ctx.topo, ctx.rank, ctx.clock);
+            let mut buffer = std::mem::take(&mut ctx.fs_buffer);
+            let cost = ctx.fs.read_cost_ns(&mut buffer, fd, bytes, slow, &mut ctx.rng);
+            ctx.fs_buffer = buffer;
+            ctx.blocking_io(cost);
+        });
+    }
+
+    /// Write `bytes` to `fd`.
+    pub fn fs_write(&mut self, fd: u64, bytes: u64, site: CallSite) {
+        let kind = InvocationKind::Io { op: "write", bytes, fd, write: true };
+        self.intercepted(kind, site, |ctx| {
+            let slow = ctx.noise.fs_slowdown(&ctx.topo, ctx.rank, ctx.clock);
+            let cost = ctx.fs.write_cost_ns(fd, bytes, slow, &mut ctx.rng);
+            ctx.blocking_io(cost);
+        });
+    }
+
+    /// IO blocks the process: voluntary context switch plus suspension.
+    fn blocking_io(&mut self, cost_ns: f64) {
+        let until = self.clock + VirtualTime::from_ns_f64(cost_ns);
+        self.counters.add(CounterId::SuspensionNs, cost_ns);
+        self.counters.add(CounterId::CtxSwitchVoluntary, 1.0);
+        self.clock = until;
+    }
+
+    // --- thread ops and user markers ----------------------------------------------
+
+    /// A pthread-style synchronisation over all ranks (used by the
+    /// multi-threaded mini-apps; intercepted like `pthread_barrier_wait`).
+    pub fn thread_barrier(&mut self, site: CallSite) {
+        let kind = InvocationKind::Thread { op: "pthread_barrier_wait" };
+        self.intercepted(kind, site, |ctx| {
+            ctx.raw_collective(0, None, None);
+        });
+    }
+
+    /// A user-defined explicit invocation — the marker Vapro inserts with
+    /// Dyninst at key points of invocation-sparse binaries (paper §5).
+    pub fn user_marker(&mut self, label: &'static str, site: CallSite) {
+        let kind = InvocationKind::UserMarker { label };
+        self.intercepted(kind, site, |_| {});
+    }
+
+    // --- teardown -------------------------------------------------------------
+
+    pub(crate) fn finish(self) -> (VirtualTime, Box<dyn Interceptor>, u64) {
+        (self.clock, self.interceptor, self.invocations)
+    }
+}

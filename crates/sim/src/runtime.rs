@@ -1,0 +1,357 @@
+//! Spawning and joining the simulated ranks.
+//!
+//! Each rank runs on its own OS thread with a small stack; all timing is
+//! virtual, so host scheduling cannot perturb results. Determinism: every
+//! source of randomness is a per-rank RNG seeded from `(seed, rank)`, and
+//! inter-rank interactions (message matching, collectives) are
+//! order-independent, so the same configuration always produces the same
+//! virtual-time outcome, to the last nanosecond.
+
+use crate::comm::{CommWorld, NetConfig};
+use crate::fs::{FsConfig, SimFs};
+use crate::intercept::Interceptor;
+use crate::noise::NoiseSchedule;
+use crate::rank::RankCtx;
+use crate::time::VirtualTime;
+use crate::topology::Topology;
+use std::sync::Arc;
+use vapro_pmu::{CpuConfig, CpuModel, JitterModel};
+
+/// Configuration of one simulation run.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Number of ranks (processes or threads).
+    pub ranks: usize,
+    /// Machine topology.
+    pub topology: Topology,
+    /// CPU model configuration.
+    pub cpu: CpuConfig,
+    /// PMU measurement-jitter model.
+    pub pmu_jitter: JitterModel,
+    /// Network cost model.
+    pub net: NetConfig,
+    /// Filesystem cost model.
+    pub fs: FsConfig,
+    /// Enable the client-side file buffer (the RAxML fix).
+    pub fs_buffered: bool,
+    /// Noise schedule.
+    pub noise: NoiseSchedule,
+    /// Master seed; per-rank seeds derive from it.
+    pub seed: u64,
+    /// Per-rank thread stack size in KiB (ranks carry little real state).
+    pub stack_kib: usize,
+}
+
+impl SimConfig {
+    /// A run of `ranks` ranks on a Tianhe-like cluster, quiet machine.
+    pub fn new(ranks: usize) -> Self {
+        SimConfig {
+            ranks,
+            topology: Topology::tianhe_like(ranks),
+            cpu: CpuConfig::default(),
+            pmu_jitter: JitterModel::default(),
+            net: NetConfig::default(),
+            fs: FsConfig::default(),
+            fs_buffered: false,
+            noise: NoiseSchedule::quiet(),
+            seed: 0xC0FFEE,
+            stack_kib: 512,
+        }
+    }
+
+    /// Builder: set the noise schedule.
+    pub fn with_noise(mut self, noise: NoiseSchedule) -> Self {
+        self.noise = noise;
+        self
+    }
+
+    /// Builder: set the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder: set the topology.
+    pub fn with_topology(mut self, topology: Topology) -> Self {
+        self.topology = topology;
+        self
+    }
+}
+
+/// Per-rank outcome of a run.
+pub struct RankResult {
+    /// Final virtual clock — the rank's total execution time.
+    pub clock: VirtualTime,
+    /// The rank's interceptor, carrying whatever the tool recorded.
+    pub interceptor: Box<dyn Interceptor>,
+    /// Number of intercepted invocations.
+    pub invocations: u64,
+}
+
+/// Result of a whole simulation.
+pub struct SimResult {
+    /// Per-rank results, indexed by rank.
+    pub ranks: Vec<RankResult>,
+}
+
+impl SimResult {
+    /// The program's execution time: the slowest rank's clock (parallel
+    /// programs finish when the last rank finishes).
+    pub fn makespan(&self) -> VirtualTime {
+        self.ranks.iter().map(|r| r.clock).max().unwrap_or(VirtualTime::ZERO)
+    }
+
+    /// Downcast one rank's interceptor to a concrete tool type.
+    pub fn tool<T: 'static>(&self, rank: usize) -> Option<&T> {
+        self.ranks[rank].interceptor.as_any().downcast_ref::<T>()
+    }
+
+    /// Consume the result, downcasting every rank's interceptor. Panics
+    /// if any rank's tool is of a different type.
+    pub fn into_tools<T: 'static>(self) -> Vec<T> {
+        self.ranks
+            .into_iter()
+            .map(|r| {
+                *r.interceptor
+                    .into_any()
+                    .downcast::<T>()
+                    .unwrap_or_else(|_| panic!("interceptor type mismatch"))
+            })
+            .collect()
+    }
+
+    /// Total intercepted invocations across ranks.
+    pub fn total_invocations(&self) -> u64 {
+        self.ranks.iter().map(|r| r.invocations).sum()
+    }
+}
+
+/// Run the simulation: `app` is executed once per rank,
+/// `make_interceptor` builds each rank's tool instance.
+pub fn run_simulation(
+    cfg: &SimConfig,
+    make_interceptor: impl Fn(usize) -> Box<dyn Interceptor> + Sync,
+    app: impl Fn(&mut RankCtx) + Sync,
+) -> SimResult {
+    assert!(cfg.ranks > 0, "need at least one rank");
+    let world = Arc::new(CommWorld::new(cfg.ranks, cfg.net));
+    let fs = Arc::new(SimFs::new(cfg.fs, cfg.fs_buffered));
+    let topo = Arc::new(cfg.topology.clone());
+    let noise = Arc::new(cfg.noise.clone());
+    let cpu = CpuModel::with_jitter(cfg.cpu, cfg.pmu_jitter);
+
+    let results: Vec<RankResult> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..cfg.ranks)
+            .map(|rank| {
+                let world = world.clone();
+                let fs = fs.clone();
+                let topo = topo.clone();
+                let noise = noise.clone();
+                let cpu = cpu.clone();
+                let interceptor = make_interceptor(rank);
+                let app = &app;
+                let seed = cfg.seed;
+                std::thread::Builder::new()
+                    .name(format!("rank-{rank}"))
+                    .stack_size(cfg.stack_kib * 1024)
+                    .spawn_scoped(scope, move || {
+                        let mut ctx = RankCtx::new(
+                            rank,
+                            world.size(),
+                            cpu,
+                            world,
+                            fs,
+                            topo,
+                            noise,
+                            seed,
+                            interceptor,
+                        );
+                        app(&mut ctx);
+                        let (clock, interceptor, invocations) = ctx.finish();
+                        RankResult { clock, interceptor, invocations }
+                    })
+                    .expect("failed to spawn rank thread")
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rank thread panicked"))
+            .collect()
+    });
+
+    SimResult { ranks: results }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::callsite::CallSite;
+    use crate::comm::ReduceOp;
+    use crate::intercept::{NullInterceptor, RecordingInterceptor};
+    use crate::noise::{NoiseEvent, NoiseKind, TargetSet};
+    use vapro_pmu::WorkloadSpec;
+
+    const SITE_A: CallSite = CallSite("test.c:1:MPI_Send");
+    const SITE_B: CallSite = CallSite("test.c:2:MPI_Recv");
+    const SITE_C: CallSite = CallSite("test.c:3:MPI_Allreduce");
+
+    fn null(_: usize) -> Box<dyn Interceptor> {
+        Box::new(NullInterceptor)
+    }
+
+    #[test]
+    fn ping_pong_advances_both_clocks() {
+        let cfg = SimConfig::new(2);
+        let res = run_simulation(&cfg, null, |ctx| {
+            if ctx.rank() == 0 {
+                ctx.compute(&WorkloadSpec::mixed(1e5));
+                ctx.send(1, 0, 1024, None, SITE_A);
+            } else {
+                let m = ctx.recv(Some(0), Some(0), SITE_B);
+                assert_eq!(m.bytes, 1024);
+            }
+        });
+        assert!(res.ranks[0].clock > VirtualTime::ZERO);
+        // The receiver waits for the sender's computation, so its clock is
+        // at least the sender's send time plus latency.
+        assert!(res.ranks[1].clock > res.ranks[0].clock);
+    }
+
+    #[test]
+    fn allreduce_produces_identical_results_everywhere() {
+        let cfg = SimConfig::new(4);
+        let res = run_simulation(&cfg, null, |ctx| {
+            let mine = [ctx.rank() as f64];
+            let sum = ctx.allreduce(&mine, ReduceOp::Sum, SITE_C);
+            assert_eq!(sum, vec![6.0]);
+        });
+        assert_eq!(res.ranks.len(), 4);
+    }
+
+    #[test]
+    fn collective_rendezvous_synchronises_clocks() {
+        let cfg = SimConfig::new(3);
+        let res = run_simulation(&cfg, null, |ctx| {
+            // Rank 2 computes much longer before the barrier.
+            let work = if ctx.rank() == 2 { 5e6 } else { 1e4 };
+            ctx.compute(&WorkloadSpec::compute_bound(work));
+            ctx.barrier(CallSite("test.c:9:MPI_Barrier"));
+        });
+        let clocks: Vec<u64> = res.ranks.iter().map(|r| r.clock.ns()).collect();
+        // All ranks leave the barrier at the same virtual time.
+        assert_eq!(clocks[0], clocks[1]);
+        assert_eq!(clocks[1], clocks[2]);
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let cfg = SimConfig::new(4).with_noise(NoiseSchedule::quiet().with(NoiseEvent::always(
+            NoiseKind::MemContention { intensity: 0.5 },
+            TargetSet::Ranks(vec![1]),
+        )));
+        let app = |ctx: &mut RankCtx| {
+            ctx.compute(&WorkloadSpec::memory_bound(1e6));
+            ctx.barrier(CallSite("t:1:MPI_Barrier"));
+            ctx.compute(&WorkloadSpec::mixed(1e5));
+        };
+        let a = run_simulation(&cfg, null, app);
+        let b = run_simulation(&cfg, null, app);
+        for (x, y) in a.ranks.iter().zip(&b.ranks) {
+            assert_eq!(x.clock, y.clock);
+        }
+    }
+
+    #[test]
+    fn noisy_rank_is_slower() {
+        let cfg = SimConfig::new(2).with_noise(NoiseSchedule::quiet().with(NoiseEvent::always(
+            NoiseKind::CpuContention { steal: 0.5 },
+            TargetSet::Ranks(vec![1]),
+        )));
+        let res = run_simulation(&cfg, null, |ctx| {
+            ctx.compute(&WorkloadSpec::compute_bound(1e7));
+        });
+        let r0 = res.ranks[0].clock.ns() as f64;
+        let r1 = res.ranks[1].clock.ns() as f64;
+        assert!((r1 / r0 - 2.0).abs() < 0.1, "ratio {}", r1 / r0);
+    }
+
+    #[test]
+    fn interceptor_sees_paired_hooks_with_context() {
+        let cfg = SimConfig::new(2);
+        let res = run_simulation(
+            &cfg,
+            |_| Box::new(RecordingInterceptor::default()),
+            |ctx| {
+                ctx.region("main", |ctx| {
+                    if ctx.rank() == 0 {
+                        ctx.send(1, 0, 64, None, SITE_A);
+                    } else {
+                        ctx.recv(Some(0), Some(0), SITE_B);
+                    }
+                });
+            },
+        );
+        let rec = res.tool::<RecordingInterceptor>(0).unwrap();
+        assert_eq!(rec.enters.len(), 1);
+        assert_eq!(rec.exits.len(), 1);
+        assert_eq!(rec.enters[0].site, SITE_A);
+        assert_eq!(rec.enters[0].path.frames, vec!["main"]);
+        assert!(rec.exits[0].time >= rec.enters[0].time);
+    }
+
+    #[test]
+    fn hook_cost_shows_up_as_overhead() {
+        let app = |ctx: &mut RankCtx| {
+            for _ in 0..1000 {
+                ctx.compute(&WorkloadSpec::mixed(1e4));
+                ctx.barrier(CallSite("t:1:MPI_Barrier"));
+            }
+        };
+        let cfg = SimConfig::new(2);
+        let base = run_simulation(&cfg, null, app).makespan();
+        let tooled = run_simulation(
+            &cfg,
+            |_| {
+                Box::new(RecordingInterceptor { cost_ns: 2_000.0, ..Default::default() })
+            },
+            app,
+        )
+        .makespan();
+        assert!(tooled > base);
+        let overhead = (tooled.ns() - base.ns()) as f64 / base.ns() as f64;
+        assert!(overhead > 0.001, "overhead {overhead}");
+    }
+
+    #[test]
+    fn makespan_is_the_slowest_rank() {
+        let cfg = SimConfig::new(3);
+        let res = run_simulation(&cfg, null, |ctx| {
+            ctx.compute(&WorkloadSpec::compute_bound(
+                1e5 * (ctx.rank() + 1) as f64,
+            ));
+        });
+        assert_eq!(res.makespan(), res.ranks[2].clock);
+    }
+
+    #[test]
+    fn io_blocks_and_counts_suspension() {
+        let cfg = SimConfig::new(1);
+        let res = run_simulation(&cfg, null, |ctx| {
+            ctx.fs_open(1, CallSite("t:1:open"));
+            ctx.fs_read(1, 1 << 20, CallSite("t:2:read"));
+        });
+        assert!(res.ranks[0].clock.ns() > 1_000_000); // ≥ 1 ms of IO
+        assert_eq!(res.ranks[0].invocations, 2);
+    }
+
+    #[test]
+    fn invocation_counts_are_tracked() {
+        let cfg = SimConfig::new(2);
+        let res = run_simulation(&cfg, null, |ctx| {
+            for _ in 0..5 {
+                ctx.barrier(CallSite("t:1:MPI_Barrier"));
+            }
+        });
+        assert_eq!(res.total_invocations(), 10);
+    }
+}

@@ -1,0 +1,240 @@
+//! Runtime-level properties: determinism under host-scheduling chaos,
+//! virtual-time causality, collective algebra, and noise-schedule
+//! correctness — the guarantees the detection results rest on.
+
+use proptest::prelude::*;
+use vapro_pmu::WorkloadSpec;
+use vapro_sim::comm::ReduceOp;
+use vapro_sim::{
+    run_simulation, CallSite, Interceptor, NoiseEvent, NoiseKind, NoiseSchedule,
+    NullInterceptor, RankCtx, SimConfig, TargetSet, VirtualTime,
+};
+
+fn null(_: usize) -> Box<dyn Interceptor> {
+    Box::new(NullInterceptor)
+}
+
+#[test]
+fn repeated_runs_are_bit_identical_despite_host_scheduling() {
+    // 16 ranks, mixed compute / p2p / collectives, noise on two ranks.
+    // Run the same configuration 5 times: the host scheduler interleaves
+    // threads differently every time, but virtual outcomes must be
+    // bit-identical.
+    let cfg = SimConfig::new(16).with_noise(NoiseSchedule::quiet().with(NoiseEvent::always(
+        NoiseKind::MemContention { intensity: 1.0 },
+        TargetSet::Ranks(vec![3, 7]),
+    )));
+    let app = |ctx: &mut RankCtx| {
+        for it in 0..5u64 {
+            ctx.compute(&WorkloadSpec::mixed(2e5));
+            let right = (ctx.rank() + 1) % ctx.size();
+            let left = (ctx.rank() + ctx.size() - 1) % ctx.size();
+            let req = ctx.irecv(Some(left), Some(it), CallSite("p:irecv"));
+            ctx.send(right, it, 1024, None, CallSite("p:send"));
+            ctx.wait(req, CallSite("p:wait"));
+            ctx.allreduce(&[ctx.rank() as f64], ReduceOp::Sum, CallSite("p:allred"));
+        }
+    };
+    let baseline: Vec<u64> = run_simulation(&cfg, null, app)
+        .ranks
+        .iter()
+        .map(|r| r.clock.ns())
+        .collect();
+    for _ in 0..4 {
+        let clocks: Vec<u64> = run_simulation(&cfg, null, app)
+            .ranks
+            .iter()
+            .map(|r| r.clock.ns())
+            .collect();
+        assert_eq!(clocks, baseline);
+    }
+}
+
+#[test]
+fn message_arrival_never_precedes_sending() {
+    // Causality: a receiver's clock after recv ≥ the sender's virtual
+    // send time. The receiver reports its clock back so the sender can
+    // check — over a chain of ranks.
+    let cfg = SimConfig::new(4);
+    let res = run_simulation(&cfg, null, |ctx| {
+        let me = ctx.rank();
+        if me == 0 {
+            ctx.compute(&WorkloadSpec::compute_bound(1e6));
+            let t_send = ctx.now();
+            ctx.send(1, 0, 64, Some(std::sync::Arc::new(vec![t_send.ns() as f64])), CallSite("c:send"));
+        } else if me < 3 {
+            let m = ctx.recv(Some(me - 1), Some((me - 1) as u64), CallSite("c:recv"));
+            let sender_time = m.data.expect("payload")[0];
+            assert!(
+                ctx.now().ns() as f64 >= sender_time,
+                "rank {me} at {} before sender's {sender_time}",
+                ctx.now()
+            );
+            let t = ctx.now();
+            ctx.send(
+                me + 1,
+                me as u64,
+                64,
+                Some(std::sync::Arc::new(vec![t.ns() as f64])),
+                CallSite("c:send"),
+            );
+        } else {
+            let m = ctx.recv(Some(2), Some(2), CallSite("c:recv"));
+            assert!(ctx.now().ns() as f64 >= m.data.expect("payload")[0]);
+        }
+    });
+    // Clocks increase down the chain.
+    let clocks: Vec<u64> = res.ranks.iter().map(|r| r.clock.ns()).collect();
+    assert!(clocks[3] >= clocks[0]);
+}
+
+#[test]
+fn allreduce_matches_sequential_reduction() {
+    let n = 8;
+    let cfg = SimConfig::new(n);
+    run_simulation(&cfg, null, |ctx| {
+        let mine = [ctx.rank() as f64 + 1.0, (ctx.rank() as f64 + 1.0).powi(2)];
+        let sum = ctx.allreduce(&mine, ReduceOp::Sum, CallSite("a:sum"));
+        assert_eq!(sum, vec![36.0, 204.0]); // Σ1..8, Σ k²
+        let max = ctx.allreduce(&mine, ReduceOp::Max, CallSite("a:max"));
+        assert_eq!(max, vec![8.0, 64.0]);
+        let min = ctx.allreduce(&mine, ReduceOp::Min, CallSite("a:min"));
+        assert_eq!(min, vec![1.0, 1.0]);
+    });
+}
+
+#[test]
+fn gather_collects_in_rank_order() {
+    let n = 5;
+    let cfg = SimConfig::new(n);
+    run_simulation(&cfg, null, |ctx| {
+        let mine = [ctx.rank() as f64 * 10.0, ctx.rank() as f64 * 10.0 + 1.0];
+        let got = ctx.gather(2, &mine, CallSite("g:gather"));
+        if ctx.rank() == 2 {
+            assert_eq!(
+                got,
+                vec![0.0, 1.0, 10.0, 11.0, 20.0, 21.0, 30.0, 31.0, 40.0, 41.0]
+            );
+        } else {
+            assert!(got.is_empty());
+        }
+    });
+}
+
+#[test]
+fn scatter_distributes_slices() {
+    let n = 4;
+    let cfg = SimConfig::new(n);
+    run_simulation(&cfg, null, |ctx| {
+        let full: Vec<f64> = (0..8).map(|i| i as f64).collect();
+        let mine = if ctx.rank() == 1 {
+            ctx.scatter(1, Some(&full), 2, CallSite("s:scatter"))
+        } else {
+            ctx.scatter(1, None, 2, CallSite("s:scatter"))
+        };
+        let r = ctx.rank() as f64;
+        assert_eq!(mine, vec![r * 2.0, r * 2.0 + 1.0]);
+    });
+}
+
+#[test]
+fn sendrecv_pairwise_exchange_is_deadlock_free() {
+    // Every rank sendrecvs with its ring partner simultaneously — the
+    // pattern that deadlocks with naive blocking sends.
+    let n = 6;
+    let cfg = SimConfig::new(n);
+    run_simulation(&cfg, null, |ctx| {
+        let right = (ctx.rank() + 1) % ctx.size();
+        let left = (ctx.rank() + ctx.size() - 1) % ctx.size();
+        let got = ctx.sendrecv(
+            right,
+            ctx.rank() as u64,
+            512,
+            Some(left),
+            Some(left as u64),
+            CallSite("sr:sendrecv"),
+        );
+        assert_eq!(got.src, left);
+    });
+}
+
+#[test]
+fn bcast_delivers_the_root_payload_to_everyone() {
+    let cfg = SimConfig::new(6);
+    run_simulation(&cfg, null, |ctx| {
+        let data = [3.25, -1.5, 42.0];
+        let bytes = (data.len() * 8) as u64;
+        let got = if ctx.rank() == 2 {
+            ctx.bcast(2, Some(&data), bytes, CallSite("b:bcast"))
+        } else {
+            ctx.bcast(2, None, bytes, CallSite("b:bcast"))
+        };
+        assert_eq!(got, data.to_vec());
+    });
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Noise windows apply exactly inside their half-open interval for
+    /// any rank/time combination.
+    #[test]
+    fn noise_window_edges_are_exact(
+        start_ms in 1u64..1000,
+        len_ms in 1u64..1000,
+        rank in 0usize..64,
+    ) {
+        let topo = vapro_sim::Topology::tianhe_like(64);
+        let s = NoiseSchedule::quiet().with(NoiseEvent::during(
+            NoiseKind::CpuContention { steal: 0.5 },
+            TargetSet::All,
+            VirtualTime::from_ms(start_ms),
+            VirtualTime::from_ms(start_ms + len_ms),
+        ));
+        let just_before = VirtualTime::from_ns(start_ms * 1_000_000 - 1);
+        let at_start = VirtualTime::from_ms(start_ms);
+        let just_inside = VirtualTime::from_ns((start_ms + len_ms) * 1_000_000 - 1);
+        let at_end = VirtualTime::from_ms(start_ms + len_ms);
+        prop_assert!(s.env_for(&topo, rank, just_before).is_quiet());
+        prop_assert!(!s.env_for(&topo, rank, at_start).is_quiet());
+        prop_assert!(!s.env_for(&topo, rank, just_inside).is_quiet());
+        prop_assert!(s.env_for(&topo, rank, at_end).is_quiet());
+    }
+
+    /// Placement is a bijection onto cores (no two ranks share a core
+    /// when ranks ≤ cores).
+    #[test]
+    fn placement_is_injective(ranks in 1usize..512) {
+        let topo = vapro_sim::Topology::tianhe_like(ranks);
+        let mut seen = std::collections::HashSet::new();
+        for r in 0..ranks {
+            let p = topo.place(r);
+            prop_assert!(p.node < topo.nodes);
+            prop_assert!(p.socket < topo.sockets_per_node);
+            prop_assert!(p.core < topo.cores_per_socket);
+            prop_assert!(
+                seen.insert((p.node, p.socket, p.core)),
+                "core collision at rank {r}"
+            );
+        }
+    }
+
+    /// Compute time scales linearly with instruction count on a quiet
+    /// machine (no hidden super-linearity in the CPU model).
+    #[test]
+    fn compute_time_is_linear_in_work(ins in 1e5f64..1e7) {
+        let cfg = SimConfig::new(1);
+        let t1 = run_simulation(&cfg, null, |ctx| {
+            ctx.compute(&WorkloadSpec::compute_bound(ins));
+        })
+        .makespan()
+        .ns() as f64;
+        let t2 = run_simulation(&cfg, null, |ctx| {
+            ctx.compute(&WorkloadSpec::compute_bound(ins * 2.0));
+        })
+        .makespan()
+        .ns() as f64;
+        let ratio = t2 / t1;
+        prop_assert!((ratio - 2.0).abs() < 0.01, "ratio {ratio}");
+    }
+}

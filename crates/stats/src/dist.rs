@@ -1,0 +1,200 @@
+//! Probability distributions built on the special functions: CDFs and
+//! survival functions of the normal, Student-t, χ² and F distributions.
+//! These supply the p-values used by the OLS significance filter
+//! (paper §4.2: keep factors with p < 0.05) and the Farrar–Glauber χ² test.
+
+use crate::special::{beta_inc, erf, gamma_p, gamma_q};
+
+/// Standard normal CDF Φ(x).
+pub fn normal_cdf(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+}
+
+/// χ² survival function: P(X > x) for `df` degrees of freedom.
+pub fn chi2_sf(x: f64, df: f64) -> f64 {
+    assert!(df > 0.0, "chi2_sf needs df > 0");
+    if x <= 0.0 {
+        return 1.0;
+    }
+    gamma_q(df / 2.0, x / 2.0)
+}
+
+/// χ² CDF: P(X ≤ x).
+pub fn chi2_cdf(x: f64, df: f64) -> f64 {
+    assert!(df > 0.0, "chi2_cdf needs df > 0");
+    if x <= 0.0 {
+        return 0.0;
+    }
+    gamma_p(df / 2.0, x / 2.0)
+}
+
+/// Two-sided Student-t p-value: P(|T| > |t|) for `df` degrees of freedom.
+pub fn t_sf_two_sided(t: f64, df: f64) -> f64 {
+    assert!(df > 0.0, "t test needs df > 0");
+    let t2 = t * t;
+    // P(|T| > t) = I_{df/(df + t²)}(df/2, 1/2).
+    beta_inc(df / 2.0, 0.5, df / (df + t2))
+}
+
+/// Student-t CDF.
+pub fn t_cdf(t: f64, df: f64) -> f64 {
+    let p_two = t_sf_two_sided(t, df);
+    if t >= 0.0 {
+        1.0 - p_two / 2.0
+    } else {
+        p_two / 2.0
+    }
+}
+
+/// F-distribution survival function: P(F > f) with (d1, d2) dof.
+pub fn f_sf(f: f64, d1: f64, d2: f64) -> f64 {
+    assert!(d1 > 0.0 && d2 > 0.0, "f_sf needs positive dof");
+    if f <= 0.0 {
+        return 1.0;
+    }
+    beta_inc(d2 / 2.0, d1 / 2.0, d2 / (d2 + d1 * f))
+}
+
+/// Invert a monotone-increasing CDF by bisection over `[lo, hi]`.
+fn invert_cdf(cdf: impl Fn(f64) -> f64, p: f64, mut lo: f64, mut hi: f64) -> f64 {
+    debug_assert!((0.0..=1.0).contains(&p));
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if cdf(mid) < p {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+        if hi - lo < 1e-12 * (1.0 + hi.abs()) {
+            break;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// Standard normal quantile Φ⁻¹(p), `p` in (0, 1).
+pub fn normal_quantile(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "quantile needs p in (0,1), got {p}");
+    invert_cdf(normal_cdf, p, -10.0, 10.0)
+}
+
+/// Student-t quantile for `df` degrees of freedom, `p` in (0, 1).
+pub fn t_quantile(p: f64, df: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "quantile needs p in (0,1), got {p}");
+    assert!(df > 0.0, "t quantile needs df > 0");
+    // The t distribution has heavier tails than the normal; widen the
+    // bracket until it contains the answer.
+    let mut bound = 50.0;
+    while t_cdf(bound, df) < p || t_cdf(-bound, df) > p {
+        bound *= 4.0;
+        if bound > 1e12 {
+            break;
+        }
+    }
+    invert_cdf(|x| t_cdf(x, df), p, -bound, bound)
+}
+
+/// χ² quantile for `df` degrees of freedom, `p` in (0, 1).
+pub fn chi2_quantile(p: f64, df: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "quantile needs p in (0,1), got {p}");
+    assert!(df > 0.0, "chi2 quantile needs df > 0");
+    let mut hi = df * 4.0 + 40.0;
+    while chi2_cdf(hi, df) < p {
+        hi *= 2.0;
+    }
+    invert_cdf(|x| chi2_cdf(x, df), p, 0.0, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} vs {b}");
+    }
+
+    #[test]
+    fn normal_cdf_known_points() {
+        close(normal_cdf(0.0), 0.5, 1e-12);
+        close(normal_cdf(1.96), 0.975, 1e-4);
+        close(normal_cdf(-1.96), 0.025, 1e-4);
+        close(normal_cdf(3.0), 0.99865, 1e-4);
+    }
+
+    #[test]
+    fn chi2_critical_values() {
+        // Standard table: χ²₀.₀₅ critical values.
+        close(chi2_sf(3.841, 1.0), 0.05, 1e-3);
+        close(chi2_sf(5.991, 2.0), 0.05, 1e-3);
+        close(chi2_sf(11.070, 5.0), 0.05, 1e-3);
+        close(chi2_sf(18.307, 10.0), 0.05, 1e-3);
+    }
+
+    #[test]
+    fn chi2_cdf_sf_complement() {
+        for df in [1.0, 3.0, 7.0] {
+            for x in [0.5, 2.0, 10.0] {
+                close(chi2_cdf(x, df) + chi2_sf(x, df), 1.0, 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn t_critical_values() {
+        // Two-sided 5 % critical values from standard tables.
+        close(t_sf_two_sided(12.706, 1.0), 0.05, 1e-4);
+        close(t_sf_two_sided(2.228, 10.0), 0.05, 1e-3);
+        close(t_sf_two_sided(1.96, 1e6), 0.05, 1e-3); // → normal
+    }
+
+    #[test]
+    fn t_cdf_is_symmetric() {
+        for df in [2.0, 5.0, 30.0] {
+            for t in [0.3, 1.0, 2.5] {
+                close(t_cdf(t, df) + t_cdf(-t, df), 1.0, 1e-12);
+            }
+        }
+        close(t_cdf(0.0, 5.0), 0.5, 1e-12);
+    }
+
+    #[test]
+    fn f_critical_values() {
+        // F₀.₀₅(5, 10) ≈ 3.326.
+        close(f_sf(3.326, 5.0, 10.0), 0.05, 1e-3);
+        // F₀.₀₅(1, 1) ≈ 161.4.
+        close(f_sf(161.45, 1.0, 1.0), 0.05, 1e-3);
+    }
+
+    #[test]
+    fn quantiles_invert_the_cdfs() {
+        // Normal: Φ⁻¹(0.975) = 1.959964…
+        close(normal_quantile(0.975), 1.959_964, 1e-5);
+        close(normal_quantile(0.5), 0.0, 1e-9);
+        // t with 10 dof: two-sided 5 % critical value 2.228.
+        close(t_quantile(0.975, 10.0), 2.228, 1e-3);
+        // χ² with 2 dof: 95th percentile 5.991.
+        close(chi2_quantile(0.95, 2.0), 5.991, 1e-3);
+        // Round-trips.
+        for p in [0.01, 0.25, 0.7, 0.99] {
+            close(normal_cdf(normal_quantile(p)), p, 1e-9);
+            close(t_cdf(t_quantile(p, 7.0), 7.0), p, 1e-9);
+            close(chi2_cdf(chi2_quantile(p, 5.0), 5.0), p, 1e-9);
+        }
+    }
+
+    #[test]
+    fn t_quantile_approaches_normal_at_high_dof() {
+        close(t_quantile(0.975, 1e7), normal_quantile(0.975), 1e-3);
+    }
+
+    #[test]
+    fn survival_functions_are_monotone_decreasing() {
+        let mut prev = 1.0;
+        for i in 0..60 {
+            let x = i as f64 * 0.5;
+            let s = chi2_sf(x, 4.0);
+            assert!(s <= prev + 1e-12);
+            prev = s;
+        }
+    }
+}

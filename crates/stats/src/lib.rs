@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+
+//! # vapro-stats — statistics substrate
+//!
+//! Implements, from scratch, every statistical tool the Vapro pipeline
+//! needs:
+//!
+//! * small dense [`matrix`] algebra (inverse, determinant, solve);
+//! * [`special`] functions (log-gamma, regularised incomplete gamma and
+//!   beta) backing the [`dist`] distributions (normal, Student-t, χ², F);
+//! * multivariate ordinary least squares ([`ols`]) with standard errors,
+//!   t-statistics and two-sided p-values — the engine of the paper's
+//!   OLS-based factor-time estimation (§4.2);
+//! * the Farrar–Glauber multicollinearity test ([`fg`]) used to screen the
+//!   explanatory factors before OLS;
+//! * clustering quality scores ([`vmeasure`]: homogeneity, completeness,
+//!   V-Measure) used for Table 2's verification;
+//! * descriptive statistics ([`describe`]) and Pearson correlation.
+
+pub mod describe;
+pub mod dist;
+pub mod fg;
+pub mod matrix;
+pub mod ols;
+pub mod special;
+pub mod vmeasure;
+
+pub use describe::{cdf_points, mean, pearson, percentile, std_dev, variance, Summary};
+pub use dist::{
+    chi2_quantile, chi2_sf, f_sf, normal_cdf, normal_quantile, t_quantile, t_sf_two_sided,
+};
+pub use fg::{FarrarGlauber, FgOutcome};
+pub use matrix::Matrix;
+pub use ols::{OlsFit, OlsTerm};
+pub use vmeasure::{v_measure, VMeasure};

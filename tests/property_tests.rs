@@ -1,0 +1,215 @@
+//! Property-based tests (proptest) on the core invariants: clustering,
+//! normalisation, heat maps, region growing, V-Measure, OLS, and the
+//! top-down breakdown — the algebraic backbone of the pipeline.
+
+use proptest::prelude::*;
+use vapro::core::clustering::cluster_vectors;
+use vapro::core::detect::heatmap::HeatMap;
+use vapro::core::detect::normalize::PerfPoint;
+use vapro::core::detect::region::grow_regions;
+use vapro::pmu::{CpuConfig, CpuModel, JitterModel, NoiseEnv, TopDown, WorkloadSpec};
+use vapro::sim::VirtualTime;
+use vapro::stats::{v_measure, OlsFit};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every input vector lands in exactly one cluster.
+    #[test]
+    fn clustering_partitions_the_input(
+        values in prop::collection::vec(1.0f64..1e7, 1..300),
+        threshold in 0.01f64..0.3,
+    ) {
+        let vectors: Vec<Vec<f64>> = values.iter().map(|&v| vec![v]).collect();
+        let outcome = cluster_vectors(&vectors, threshold, 5);
+        let mut seen = vec![0usize; vectors.len()];
+        for c in outcome.usable.iter().chain(&outcome.rare) {
+            for &m in &c.members {
+                seen[m] += 1;
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s == 1), "coverage {seen:?}");
+    }
+
+    /// Members of one cluster are within the threshold of the seed.
+    #[test]
+    fn cluster_members_respect_the_distance_bound(
+        values in prop::collection::vec(1.0f64..1e6, 2..200),
+    ) {
+        let vectors: Vec<Vec<f64>> = values.iter().map(|&v| vec![v]).collect();
+        let outcome = cluster_vectors(&vectors, 0.05, 2);
+        for c in outcome.usable.iter().chain(&outcome.rare) {
+            let bound = (0.05 * c.seed_norm).max(1e-9);
+            for &m in &c.members {
+                let d = (values[m] - c.seed[0]).abs();
+                prop_assert!(d <= bound + 1e-9, "member {m} at distance {d} > {bound}");
+            }
+        }
+    }
+
+    /// The cluster seed is its smallest-norm member.
+    #[test]
+    fn seed_is_the_minimum_of_its_cluster(
+        values in prop::collection::vec(1.0f64..1e6, 2..200),
+    ) {
+        let vectors: Vec<Vec<f64>> = values.iter().map(|&v| vec![v]).collect();
+        let outcome = cluster_vectors(&vectors, 0.05, 2);
+        for c in outcome.usable.iter().chain(&outcome.rare) {
+            let min = c.members.iter().map(|&m| values[m]).fold(f64::INFINITY, f64::min);
+            prop_assert!((c.seed_norm - min).abs() < 1e-9);
+        }
+    }
+
+    /// Scaling all vectors by a constant scales cluster structure with it
+    /// (the threshold is relative).
+    #[test]
+    fn clustering_is_scale_invariant(
+        values in prop::collection::vec(1.0f64..1e5, 2..100),
+        scale in 1.5f64..100.0,
+    ) {
+        let a: Vec<Vec<f64>> = values.iter().map(|&v| vec![v]).collect();
+        let b: Vec<Vec<f64>> = values.iter().map(|&v| vec![v * scale]).collect();
+        let oa = cluster_vectors(&a, 0.05, 2);
+        let ob = cluster_vectors(&b, 0.05, 2);
+        prop_assert_eq!(oa.usable.len(), ob.usable.len());
+        prop_assert_eq!(oa.all_labels(values.len()), ob.all_labels(values.len()));
+    }
+
+    /// Heat-map cell means stay inside the span of point performances,
+    /// and total weight equals total clipped duration.
+    #[test]
+    fn heatmap_preserves_mass_and_bounds(
+        points in prop::collection::vec(
+            (0usize..4, 0u64..10_000, 1u64..2_000, 0.05f64..1.0),
+            1..100,
+        ),
+    ) {
+        let pts: Vec<PerfPoint> = points
+            .iter()
+            .map(|&(rank, start, dur, perf)| PerfPoint {
+                rank,
+                start: VirtualTime::from_ns(start),
+                end: VirtualTime::from_ns(start + dur),
+                perf,
+                loss_ns: 0.0,
+            })
+            .collect();
+        let hm = HeatMap::spanning(&pts, 16, 4);
+        let lo = pts.iter().map(|p| p.perf).fold(f64::INFINITY, f64::min);
+        let hi = pts.iter().map(|p| p.perf).fold(0.0f64, f64::max);
+        let mut cell_weight = 0.0;
+        for r in 0..4 {
+            for b in 0..16 {
+                if let Some(p) = hm.perf(r, b) {
+                    prop_assert!(p >= lo - 1e-9 && p <= hi + 1e-9, "cell {p} outside [{lo},{hi}]");
+                }
+                cell_weight += hm.weight_of(r, b);
+            }
+        }
+        let total: f64 = pts.iter().map(|p| (p.end.ns() - p.start.ns()) as f64).sum();
+        prop_assert!((cell_weight - total).abs() / total < 1e-6, "weight {cell_weight} vs {total}");
+    }
+
+    /// Regions contain only below-threshold cells, and no below-threshold
+    /// cell is left out of every region.
+    #[test]
+    fn region_growing_is_exact(
+        points in prop::collection::vec(
+            (0usize..4, 0u64..8_000, 100u64..2_000, 0.05f64..1.0),
+            1..60,
+        ),
+        threshold in 0.3f64..0.95,
+    ) {
+        let pts: Vec<PerfPoint> = points
+            .iter()
+            .map(|&(rank, start, dur, perf)| PerfPoint {
+                rank,
+                start: VirtualTime::from_ns(start),
+                end: VirtualTime::from_ns(start + dur),
+                perf,
+                loss_ns: 0.0,
+            })
+            .collect();
+        let hm = HeatMap::spanning(&pts, 12, 4);
+        let regions = grow_regions(&hm, threshold);
+        let mut in_region = vec![false; 4 * 12];
+        for r in &regions {
+            for &(rank, bin) in &r.cells {
+                let p = hm.perf(rank, bin).expect("region cell covered");
+                prop_assert!(p < threshold, "region cell at {p} >= {threshold}");
+                in_region[rank * 12 + bin] = true;
+            }
+        }
+        for rank in 0..4 {
+            for bin in 0..12 {
+                if let Some(p) = hm.perf(rank, bin) {
+                    if p < threshold {
+                        prop_assert!(in_region[rank * 12 + bin], "missed cell ({rank},{bin})");
+                    }
+                }
+            }
+        }
+    }
+
+    /// V-Measure bounds and the perfect-clustering identity.
+    #[test]
+    fn v_measure_bounds(
+        labels in prop::collection::vec((0usize..5, 0usize..5), 1..200),
+    ) {
+        let classes: Vec<usize> = labels.iter().map(|l| l.0).collect();
+        let clusters: Vec<usize> = labels.iter().map(|l| l.1).collect();
+        let v = v_measure(&classes, &clusters);
+        prop_assert!((0.0..=1.0).contains(&v.homogeneity));
+        prop_assert!((0.0..=1.0).contains(&v.completeness));
+        prop_assert!((0.0..=1.0).contains(&v.v_measure));
+        let perfect = v_measure(&classes, &classes);
+        prop_assert!((perfect.v_measure - 1.0).abs() < 1e-9);
+    }
+
+    /// OLS on exactly linear data recovers the coefficients.
+    #[test]
+    fn ols_recovers_exact_linear_models(
+        coefs in prop::collection::vec(-10.0f64..10.0, 1..4),
+        intercept in -100.0f64..100.0,
+        n in 12usize..60,
+    ) {
+        let k = coefs.len();
+        let x: Vec<Vec<f64>> = (0..k)
+            .map(|j| (0..n).map(|i| ((i * (j + 2) * 7919) % 101) as f64).collect())
+            .collect();
+        let y: Vec<f64> = (0..n)
+            .map(|i| {
+                intercept + (0..k).map(|j| coefs[j] * x[j][i]).sum::<f64>()
+            })
+            .collect();
+        if let Some(fit) = OlsFit::fit(&x, &y, true) {
+            prop_assert!((fit.terms[0].coef - intercept).abs() < 1e-6);
+            for (j, c) in coefs.iter().enumerate() {
+                prop_assert!((fit.terms[j + 1].coef - c).abs() < 1e-6);
+            }
+        }
+    }
+
+    /// The top-down breakdown always sums to 1 for any valid workload and
+    /// noise environment.
+    #[test]
+    fn topdown_always_sums_to_one(
+        ins in 1e4f64..1e8,
+        mem_frac in 0.0f64..0.9,
+        steal in 0.0f64..0.9,
+        contention in 0.0f64..3.0,
+    ) {
+        let spec = WorkloadSpec {
+            instructions: ins,
+            mem_refs: ins * mem_frac,
+            ..WorkloadSpec::default()
+        };
+        let env = NoiseEnv { cpu_steal: steal, mem_contention: contention, ..NoiseEnv::default() };
+        let model = CpuModel::with_jitter(CpuConfig::default(), JitterModel::exact());
+        let mut rng = rand::thread_rng();
+        let out = model.execute(&spec, &env, &mut rng);
+        let td = TopDown::from_delta(&out.counters).expect("full counters");
+        prop_assert!((td.total() - 1.0).abs() < 1e-6, "total {}", td.total());
+        prop_assert!(td.retiring >= 0.0 && td.suspension >= 0.0);
+    }
+}
