@@ -1,0 +1,33 @@
+# Convenience targets. The container has no registry access, so every
+# cargo invocation runs --offline against the vendored dependencies.
+
+CARGO := cargo
+OFFLINE := --offline
+
+.PHONY: check test perf bench clippy clean
+
+# The full gate: release build, tests, clippy with warnings denied.
+check:
+	$(CARGO) build --release $(OFFLINE)
+	$(CARGO) test -q $(OFFLINE)
+	$(CARGO) clippy $(OFFLINE) -- -D warnings
+
+test:
+	$(CARGO) test -q $(OFFLINE) --workspace
+
+clippy:
+	$(CARGO) clippy $(OFFLINE) --workspace --all-targets -- -D warnings
+
+# Criterion microbenches plus the detection-throughput harness; the
+# harness compares against the previous BENCH_detect.json (warning on
+# >20% throughput drops) before overwriting it.
+perf: bench
+	$(CARGO) run --release $(OFFLINE) -p vapro-bench --bin perf
+
+bench:
+	$(CARGO) bench $(OFFLINE) -p vapro-bench --bench clustering
+	$(CARGO) bench $(OFFLINE) -p vapro-bench --bench detection
+	$(CARGO) bench $(OFFLINE) -p vapro-bench --bench stg
+
+clean:
+	$(CARGO) clean

@@ -7,7 +7,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
-use vapro_core::clustering::cluster_vectors;
+use vapro_core::clustering::{cluster_vectors, cluster_vectors_unpruned};
 
 /// `n` vectors drawn from `classes` well-separated workload classes with
 /// 0.3 % PMU-style jitter.
@@ -58,5 +58,30 @@ fn bench_dimensions(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_scaling, bench_class_count, bench_dimensions);
+/// Norm-pruned scan vs the exhaustive reference: the gap is widest when
+/// many clusters share the norm axis (the `O(n·k)` case the skip
+/// pointers and the norm window exist for).
+fn bench_pruned_vs_unpruned(c: &mut Criterion) {
+    let mut g = c.benchmark_group("clustering/pruned_vs_unpruned");
+    let n = 20_000usize;
+    for classes in [7usize, 64] {
+        let vectors = synth_vectors(n, classes, 1, 45);
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("pruned", classes), &vectors, |b, v| {
+            b.iter(|| cluster_vectors(std::hint::black_box(v), 0.05, 5))
+        });
+        g.bench_with_input(BenchmarkId::new("unpruned", classes), &vectors, |b, v| {
+            b.iter(|| cluster_vectors_unpruned(std::hint::black_box(v), 0.05, 5))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_scaling,
+    bench_class_count,
+    bench_dimensions,
+    bench_pruned_vs_unpruned
+);
 criterion_main!(benches);

@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use vapro::harness::run_under_vapro;
 use vapro_apps::AppParams;
-use vapro_core::detect::pipeline::detect;
+use vapro_core::detect::pipeline::{detect, detect_seq};
 use vapro_core::{ServerPool, Stg, VaproConfig};
 use vapro_sim::SimConfig;
 
@@ -45,7 +45,7 @@ fn bench_region_growing(c: &mut Criterion) {
                 rank: r,
                 start: VirtualTime::from_ns(bi * 1_000),
                 end: VirtualTime::from_ns(bi * 1_000 + 900),
-                perf: if (r + bi as usize) % 9 == 0 { 0.4 } else { 1.0 },
+                perf: if (r + bi as usize).is_multiple_of(9) { 0.4 } else { 1.0 },
                 loss_ns: 0.0,
             });
         }
@@ -67,5 +67,28 @@ fn bench_windowed_server(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_detection, bench_region_growing, bench_windowed_server);
+/// The rayon fan-out against its sequential reference on the harness's
+/// synthetic 4-rank/8k-fragment STG. Meaningful speedup needs a
+/// multi-core runner; the outputs are identical either way.
+fn bench_seq_vs_par(c: &mut Criterion) {
+    let stgs = vapro_bench::perf::synthetic_stgs(4, 2000, 32, 0xBE7C);
+    let cfg = VaproConfig::default();
+    let mut g = c.benchmark_group("detect/seq_vs_par");
+    g.sample_size(10);
+    g.bench_function("sequential", |b| {
+        b.iter(|| detect_seq(std::hint::black_box(&stgs), 4, 64, &cfg))
+    });
+    g.bench_function("parallel", |b| {
+        b.iter(|| detect(std::hint::black_box(&stgs), 4, 64, &cfg))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_detection,
+    bench_region_growing,
+    bench_windowed_server,
+    bench_seq_vs_par
+);
 criterion_main!(benches);

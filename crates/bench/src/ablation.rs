@@ -45,7 +45,8 @@ pub fn threshold_sweep(opts: &ExpOpts) -> Vec<ThresholdRow> {
     let merged = merge_stgs(&run.stgs);
     let pool: Vec<_> = merged
         .edges
-        .values()
+        .iter()
+        .map(|(_, v)| v)
         .max_by_key(|v| v.iter().map(|f| f.duration().ns()).sum::<u64>())
         .expect("AMG has edges")
         .iter()

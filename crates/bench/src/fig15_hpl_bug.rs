@@ -72,7 +72,8 @@ pub fn analyze(opts: &ExpOpts) -> Fig15Run {
     let merged = vapro_core::detect::pipeline::merge_stgs(&run.stgs);
     let dgemm_pool: Option<Vec<Fragment>> = merged
         .edges
-        .values()
+        .iter()
+        .map(|(_, v)| v)
         .max_by_key(|v| v.iter().map(|f| f.duration().ns()).sum::<u64>())
         .map(|v| v.iter().map(|f| (*f).clone()).collect());
     let diagnosis = dgemm_pool.and_then(|pool| {

@@ -54,7 +54,8 @@ pub fn analyze(opts: &ExpOpts) -> Fig17Run {
     let merged = vapro_core::detect::pipeline::merge_stgs(&run.stgs);
     let pool: Option<Vec<Fragment>> = merged
         .edges
-        .values()
+        .iter()
+        .map(|(_, v)| v)
         .max_by_key(|v| v.iter().map(|f| f.duration().ns()).sum::<u64>())
         .map(|v| v.iter().map(|f| (*f).clone()).collect());
     let diagnosis = pool.and_then(|pool| {

@@ -1,0 +1,271 @@
+//! Detection-throughput harness: the numbers behind `BENCH_detect.json`.
+//!
+//! Measures the end-to-end `detect` pipeline — sequential reference vs
+//! the rayon fan-out — on a synthetic multi-rank STG whose size and
+//! location count are controlled, plus the clustering kernel's pruned vs
+//! unpruned throughput. The `perf` binary writes the result as
+//! `BENCH_detect.json`; [`crate::regression`] compares a fresh run
+//! against the previous file and warns on >20 % throughput drops.
+//!
+//! The parallel numbers scale with `threads` (recorded in the report):
+//! on a single-core runner the fan-out degenerates to a work queue
+//! drained by two threads on one CPU and the speedup hovers around 1×,
+//! so regression gating keys on the *sequential* throughput while the
+//! speedup is informative only on multi-core machines.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+use vapro_core::clustering::{cluster_vectors, cluster_vectors_unpruned};
+use vapro_core::detect::pipeline::{detect, detect_seq};
+use vapro_core::{Fragment, FragmentKind, StateKey, Stg, VaproConfig};
+use vapro_pmu::{CounterDelta, CounterId};
+use vapro_sim::{CallSite, VirtualTime};
+
+/// One harness run, serialised to `BENCH_detect.json`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DetectPerf {
+    /// Harness identifier (always `"detect"`).
+    pub bench: String,
+    /// Worker threads available to the fan-out.
+    pub threads: usize,
+    /// Ranks in the synthetic run.
+    pub ranks: usize,
+    /// Total fragments across all ranks' STGs.
+    pub fragments: usize,
+    /// Merged STG locations (vertices + edges) the fan-out distributes.
+    pub locations: usize,
+    /// Best-of-reps wall time of the sequential pipeline, ns.
+    pub seq_ns: f64,
+    /// Best-of-reps wall time of the parallel pipeline, ns.
+    pub par_ns: f64,
+    /// Sequential throughput, fragments/second.
+    pub seq_fragments_per_sec: f64,
+    /// Parallel throughput, fragments/second.
+    pub par_fragments_per_sec: f64,
+    /// `seq_ns / par_ns`.
+    pub speedup: f64,
+    /// Vectors in the clustering kernel measurement.
+    pub cluster_vectors: usize,
+    /// Norm-pruned clustering throughput, vectors/second.
+    pub cluster_vectors_per_sec: f64,
+    /// Exhaustive-reference clustering throughput, vectors/second.
+    pub unpruned_cluster_vectors_per_sec: f64,
+    /// Pruned over unpruned throughput.
+    pub pruned_speedup: f64,
+}
+
+/// Build per-rank STGs for the throughput measurement: `sites` call
+/// sites per rank, each a self-loop carrying computation fragments of a
+/// site-specific workload class (±0.3 % PMU-style jitter), with an
+/// invocation fragment every few iterations. One rank runs 2× slower in
+/// the middle third so region growing has real work to do.
+pub fn synthetic_stgs(nranks: usize, frags_per_rank: usize, sites: usize, seed: u64) -> Vec<Stg> {
+    let sites = sites.max(1);
+    let names: Vec<&'static str> = (0..sites)
+        .map(|j| &*Box::leak(format!("perf:site{j:02}").into_boxed_str()))
+        .collect();
+    (0..nranks)
+        .map(|rank| {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed ^ (rank as u64).wrapping_mul(0x9E37));
+            let mut stg = Stg::new();
+            let start = stg.state(StateKey::Start);
+            let states: Vec<_> = names
+                .iter()
+                .map(|&n| stg.state(StateKey::Site(CallSite(n))))
+                .collect();
+            let loops: Vec<_> = states.iter().map(|&s| stg.transition(s, s)).collect();
+            stg.transition(start, states[0]);
+            let mut t = 0u64;
+            for i in 0..frags_per_rank {
+                let j = i % sites;
+                let base_ins = 1_000.0 * 1.3f64.powi(j as i32);
+                let jitter = 1.0 + rng.gen_range(-0.003..0.003);
+                let ins = base_ins * jitter;
+                let mut base_dur = (base_ins / 10.0) * jitter;
+                // The slow window: rank `nranks-1`, middle third of its
+                // iterations, computing at half speed.
+                if rank == nranks - 1 && (frags_per_rank / 3..2 * frags_per_rank / 3).contains(&i)
+                {
+                    base_dur *= 2.0;
+                }
+                let dur = base_dur.max(1.0) as u64;
+                let mut c = CounterDelta::default();
+                c.put(CounterId::TotIns, ins);
+                stg.attach_edge_fragment(
+                    loops[j],
+                    Fragment {
+                        rank,
+                        kind: FragmentKind::Computation,
+                        start: VirtualTime::from_ns(t),
+                        end: VirtualTime::from_ns(t + dur),
+                        counters: c,
+                        args: vec![],
+                    },
+                );
+                t += dur;
+                if i % 8 == 0 {
+                    stg.attach_vertex_fragment(
+                        states[j],
+                        Fragment {
+                            rank,
+                            kind: FragmentKind::Communication,
+                            start: VirtualTime::from_ns(t),
+                            end: VirtualTime::from_ns(t + 10),
+                            counters: CounterDelta::default(),
+                            args: vec![64.0, 1.0],
+                        },
+                    );
+                    t += 10;
+                }
+            }
+            stg
+        })
+        .collect()
+}
+
+/// Workload vectors with `classes` well-separated classes — the
+/// clustering-kernel input (mirrors the criterion bench's generator).
+pub fn synthetic_vectors(n: usize, classes: usize, dim: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            let class = i % classes.max(1);
+            let base = 1_000.0 * 1.5f64.powi(class as i32);
+            (0..dim.max(1))
+                .map(|_| base * (1.0 + rng.gen_range(-0.003..0.003)))
+                .collect()
+        })
+        .collect()
+}
+
+fn best_of_ns<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let t = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(t.elapsed().as_nanos() as f64);
+    }
+    best
+}
+
+/// Run the full measurement. `frags_per_rank × nranks` is the fragment
+/// budget; `reps` is best-of repetitions per timed pipeline.
+pub fn measure(
+    nranks: usize,
+    frags_per_rank: usize,
+    sites: usize,
+    bins: usize,
+    reps: usize,
+    cluster_n: usize,
+) -> DetectPerf {
+    let cfg = VaproConfig::default();
+    let stgs = synthetic_stgs(nranks, frags_per_rank, sites, 0xBE7C);
+    let fragments: usize = stgs.iter().map(Stg::total_fragments).sum();
+    let merged = vapro_core::merge_stgs(&stgs);
+    let locations = merged.vertices.len() + merged.edges.len();
+    drop(merged);
+
+    // Determinism sanity: the fan-out must reproduce the sequential
+    // output exactly before its timing means anything.
+    let seq_out = detect_seq(&stgs, nranks, bins, &cfg);
+    let par_out = detect(&stgs, nranks, bins, &cfg);
+    assert_eq!(seq_out.series, par_out.series, "parallel detect diverged");
+    assert_eq!(seq_out.rare_paths, par_out.rare_paths, "parallel detect diverged");
+
+    let seq_ns = best_of_ns(reps, || detect_seq(&stgs, nranks, bins, &cfg));
+    let par_ns = best_of_ns(reps, || detect(&stgs, nranks, bins, &cfg));
+
+    let vectors = synthetic_vectors(cluster_n, 16, 3, 0x5EED);
+    let pruned_ns = best_of_ns(reps, || cluster_vectors(&vectors, 0.05, 5));
+    let unpruned_ns = best_of_ns(reps, || cluster_vectors_unpruned(&vectors, 0.05, 5));
+
+    let per_sec = |count: usize, ns: f64| count as f64 / (ns / 1e9);
+    DetectPerf {
+        bench: "detect".to_string(),
+        threads: rayon::current_num_threads(),
+        ranks: nranks,
+        fragments,
+        locations,
+        seq_ns,
+        par_ns,
+        seq_fragments_per_sec: per_sec(fragments, seq_ns),
+        par_fragments_per_sec: per_sec(fragments, par_ns),
+        speedup: seq_ns / par_ns,
+        cluster_vectors: cluster_n,
+        cluster_vectors_per_sec: per_sec(cluster_n, pruned_ns),
+        unpruned_cluster_vectors_per_sec: per_sec(cluster_n, unpruned_ns),
+        pruned_speedup: unpruned_ns / pruned_ns,
+    }
+}
+
+/// The defaults the acceptance measurement uses: 4 ranks × 2000
+/// fragments/rank (8k total), 32 sites, 64 heat-map bins, best of 3.
+pub fn measure_default() -> DetectPerf {
+    measure(4, 2000, 32, 64, 3, 100_000)
+}
+
+/// Human summary of one report.
+pub fn summary(p: &DetectPerf) -> String {
+    format!(
+        "detect: {} fragments / {} ranks / {} locations / {} threads\n\
+         sequential: {:>10.0} fragments/s ({:.2} ms)\n\
+         parallel:   {:>10.0} fragments/s ({:.2} ms)  speedup {:.2}x\n\
+         clustering: {:>10.0} vectors/s pruned, {:.0} vectors/s unpruned ({:.2}x)\n",
+        p.fragments,
+        p.ranks,
+        p.locations,
+        p.threads,
+        p.seq_fragments_per_sec,
+        p.seq_ns / 1e6,
+        p.par_fragments_per_sec,
+        p.par_ns / 1e6,
+        p.speedup,
+        p.cluster_vectors_per_sec,
+        p.unpruned_cluster_vectors_per_sec,
+        p.pruned_speedup,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_stgs_hit_the_fragment_budget() {
+        let stgs = synthetic_stgs(4, 160, 8, 1);
+        assert_eq!(stgs.len(), 4);
+        let total: usize = stgs.iter().map(Stg::total_fragments).sum();
+        // 160 computation + 20 invocation fragments per rank.
+        assert_eq!(total, 4 * 180);
+        // All ranks share the same states, so merging pools across ranks.
+        let merged = vapro_core::merge_stgs(&stgs);
+        for (_, pool) in &merged.vertices {
+            assert!(pool.iter().map(|f| f.rank).collect::<std::collections::HashSet<_>>().len() > 1);
+        }
+    }
+
+    #[test]
+    fn measure_produces_consistent_throughput() {
+        let p = measure(2, 120, 4, 8, 1, 1_500);
+        assert_eq!(p.ranks, 2);
+        assert!(p.fragments >= 240);
+        assert!(p.locations >= 4);
+        assert!(p.seq_fragments_per_sec > 0.0);
+        assert!(p.par_fragments_per_sec > 0.0);
+        assert!(p.speedup > 0.0);
+        assert!(p.cluster_vectors_per_sec > 0.0);
+        assert!(p.threads >= 1);
+    }
+
+    #[test]
+    fn report_roundtrips_through_json() {
+        let p = measure(2, 60, 4, 8, 1, 500);
+        let json = serde_json::to_string(&p).expect("serialisable");
+        let back: DetectPerf = serde_json::from_str(&json).expect("parses");
+        assert_eq!(p.bench, back.bench);
+        assert_eq!(p.fragments, back.fragments);
+        assert!((p.seq_fragments_per_sec - back.seq_fragments_per_sec).abs() < 1.0);
+    }
+}

@@ -92,6 +92,67 @@ pub fn run(opts: &ExpOpts) -> String {
     out
 }
 
+// ---------------------------------------------------------------------
+// Harness-throughput regression gate: the same idea applied to the tool
+// itself. The `perf` binary records `BENCH_detect.json`; a later run is
+// compared against the previous file and any throughput metric that
+// dropped by more than `PERF_REGRESSION_TOLERANCE` is reported.
+
+use crate::perf::DetectPerf;
+
+/// Relative throughput drop beyond which a warning is emitted (20 %).
+pub const PERF_REGRESSION_TOLERANCE: f64 = 0.20;
+
+/// Load the previous harness report, if a readable one exists at `path`.
+pub fn load_previous_perf(path: &str) -> Option<DetectPerf> {
+    let text = std::fs::read_to_string(path).ok()?;
+    serde_json::from_str(&text).ok()
+}
+
+/// Compare a fresh report against the previous one. Returns one warning
+/// line per throughput metric that regressed by more than
+/// [`PERF_REGRESSION_TOLERANCE`]; empty means no regression.
+///
+/// Only the thread-count-independent metrics gate by default; the
+/// parallel throughput is compared too but annotated when the thread
+/// counts differ (a 1-thread runner is not slower *code* than an
+/// 8-thread one).
+pub fn perf_regression_warnings(previous: &DetectPerf, current: &DetectPerf) -> Vec<String> {
+    let mut warnings = Vec::new();
+    let mut check = |metric: &str, prev: f64, cur: f64, note: &str| {
+        if prev > 0.0 && cur < prev * (1.0 - PERF_REGRESSION_TOLERANCE) {
+            warnings.push(format!(
+                "{metric} regressed {:.0}%: {cur:.0}/s vs previous {prev:.0}/s{note}",
+                (1.0 - cur / prev) * 100.0
+            ));
+        }
+    };
+    check(
+        "sequential detect throughput",
+        previous.seq_fragments_per_sec,
+        current.seq_fragments_per_sec,
+        "",
+    );
+    check(
+        "clustering throughput",
+        previous.cluster_vectors_per_sec,
+        current.cluster_vectors_per_sec,
+        "",
+    );
+    let note = if previous.threads != current.threads {
+        " (thread counts differ — likely environmental)"
+    } else {
+        ""
+    };
+    check(
+        "parallel detect throughput",
+        previous.par_fragments_per_sec,
+        current.par_fragments_per_sec,
+        note,
+    );
+    warnings
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -117,5 +178,60 @@ mod tests {
                 assert_eq!(r.regressions, 0, "{r:?}");
             }
         }
+    }
+
+    fn perf_fixture(seq: f64, par: f64, cluster: f64, threads: usize) -> DetectPerf {
+        DetectPerf {
+            bench: "detect".to_string(),
+            threads,
+            ranks: 4,
+            fragments: 8000,
+            locations: 64,
+            seq_ns: 1.0,
+            par_ns: 1.0,
+            seq_fragments_per_sec: seq,
+            par_fragments_per_sec: par,
+            speedup: seq / par,
+            cluster_vectors: 100_000,
+            cluster_vectors_per_sec: cluster,
+            unpruned_cluster_vectors_per_sec: cluster / 2.0,
+            pruned_speedup: 2.0,
+        }
+    }
+
+    #[test]
+    fn perf_gate_warns_only_beyond_tolerance() {
+        let prev = perf_fixture(1_000_000.0, 2_000_000.0, 5_000_000.0, 4);
+        // 10 % slower: within tolerance, silent.
+        let ok = perf_fixture(900_000.0, 1_900_000.0, 4_600_000.0, 4);
+        assert!(perf_regression_warnings(&prev, &ok).is_empty());
+        // 30 % slower sequential + clustering: two warnings.
+        let bad = perf_fixture(700_000.0, 1_900_000.0, 3_400_000.0, 4);
+        let warnings = perf_regression_warnings(&prev, &bad);
+        assert_eq!(warnings.len(), 2, "{warnings:?}");
+        assert!(warnings[0].contains("sequential detect throughput"));
+        assert!(warnings[1].contains("clustering throughput"));
+    }
+
+    #[test]
+    fn perf_gate_annotates_thread_count_changes() {
+        let prev = perf_fixture(1_000_000.0, 4_000_000.0, 5_000_000.0, 8);
+        let single_core = perf_fixture(1_000_000.0, 1_000_000.0, 5_000_000.0, 1);
+        let warnings = perf_regression_warnings(&prev, &single_core);
+        assert_eq!(warnings.len(), 1);
+        assert!(warnings[0].contains("thread counts differ"), "{warnings:?}");
+    }
+
+    #[test]
+    fn previous_perf_loads_from_json_and_tolerates_absence() {
+        assert!(load_previous_perf("/nonexistent/BENCH_detect.json").is_none());
+        let dir = std::env::temp_dir().join("vapro_perf_gate_test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("BENCH_detect.json");
+        let prev = perf_fixture(1.0, 2.0, 3.0, 4);
+        std::fs::write(&path, serde_json::to_string(&prev).expect("serialises"))
+            .expect("writes");
+        let loaded = load_previous_perf(path.to_str().expect("utf8 path")).expect("loads");
+        assert_eq!(loaded, prev);
     }
 }

@@ -57,7 +57,7 @@ fn evaluate(name: &'static str, truth: Truth, opts: &ExpOpts) -> Table2Row {
     let mut label_base = 0usize;
     let mut cluster_base = 0usize;
 
-    for (state_idx, frags) in merged.edges.values().enumerate() {
+    for (state_idx, (_, frags)) in merged.edges.iter().enumerate() {
         let comp: Vec<_> = frags
             .iter()
             .filter(|f| f.kind == FragmentKind::Computation)

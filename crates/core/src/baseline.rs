@@ -10,7 +10,7 @@
 //! best-time ratio — so a *regression* (this submission is slower than
 //! the fleet's baseline) is distinguished from in-run variance.
 
-use crate::clustering::cluster_fragments;
+use crate::clustering::cluster_fragment_refs;
 use crate::config::VaproConfig;
 use crate::detect::pipeline::merge_stgs;
 use crate::fragment::Fragment;
@@ -94,9 +94,8 @@ fn signatures_of(
     cfg: &VaproConfig,
     out: &mut BTreeMap<String, Vec<ClusterSignature>>,
 ) {
-    let owned: Vec<Fragment> = frags.iter().map(|f| (*f).clone()).collect();
-    let outcome = cluster_fragments(
-        &owned,
+    let outcome = cluster_fragment_refs(
+        frags,
         &cfg.proxy_counters,
         cfg.cluster_threshold,
         cfg.min_cluster_size,
@@ -104,7 +103,7 @@ fn signatures_of(
     let mut sigs = Vec::new();
     for c in &outcome.usable {
         let mut durs: Vec<f64> =
-            c.members.iter().map(|&m| owned[m].duration_ns()).collect();
+            c.members.iter().map(|&m| frags[m].duration_ns()).collect();
         durs.sort_by(|a, b| a.partial_cmp(b).expect("finite duration"));
         sigs.push(ClusterSignature {
             seed: c.seed.clone(),
@@ -123,10 +122,10 @@ impl BaselineProfile {
     pub fn build(stgs: &[Stg], cfg: &VaproConfig) -> BaselineProfile {
         let merged = merge_stgs(stgs);
         let mut states = BTreeMap::new();
-        for (key, frags) in &merged.vertices {
+        for (key, frags) in merged.vertex_pools() {
             signatures_of(key.label(), frags, cfg, &mut states);
         }
-        for ((from, to), frags) in &merged.edges {
+        for (from, to, frags) in merged.edge_pools() {
             signatures_of(
                 format!("{} -> {}", from.label(), to.label()),
                 frags,

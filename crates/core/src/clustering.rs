@@ -88,80 +88,171 @@ impl ClusterOutcome {
     }
 }
 
+/// Sort indices and norms shared by the pruned and unpruned scans, and
+/// the per-seed distance bound (5 % of the seed norm, with an epsilon
+/// floor letting zero-norm workloads cluster together).
+fn sorted_by_norm(vectors: &[Vec<f64>]) -> (Vec<f64>, Vec<usize>) {
+    let n = vectors.len();
+    let norms: Vec<f64> = vectors.iter().map(|v| Fragment::vector_norm(v)).collect();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| norms[a].partial_cmp(&norms[b]).expect("NaN norm"));
+    (norms, order)
+}
+
+fn check_dimensions(vectors: &[Vec<f64>], threshold: f64) {
+    assert!(threshold > 0.0 && threshold < 1.0, "threshold out of range");
+    if let Some(first) = vectors.first() {
+        let dim = first.len();
+        assert!(
+            vectors.iter().all(|v| v.len() == dim),
+            "workload vectors must share a dimension"
+        );
+    }
+}
+
+/// Follow the skip chain from sorted position `i` to the next position
+/// that may still be unassigned, compressing the path on the way (a
+/// single-parent union-find over sorted positions).
+fn skip_to(skip: &mut [u32], start: u32) -> u32 {
+    let mut root = start;
+    while skip[root as usize] != root {
+        root = skip[root as usize];
+    }
+    let mut i = start;
+    while skip[i as usize] != root {
+        let next = skip[i as usize];
+        skip[i as usize] = root;
+        i = next;
+    }
+    root
+}
+
 /// Cluster raw workload vectors. `threshold` is the relative distance
 /// bound (the paper's 5 %); `min_cluster_size` separates usable from rare
 /// clusters (the paper's 5).
+///
+/// The scan exploits the norm-sorted order twice:
+///
+/// * **Norm pruning** — members of a cluster seeded at norm `s` must have
+///   norms in `[s, s + threshold·s]` (the reverse triangle inequality:
+///   `|‖v‖ − ‖seed‖| ≤ ‖v − seed‖`), so each seed's absorb scan breaks at
+///   the first candidate past that window instead of visiting the tail.
+/// * **Skip pointers** — already-absorbed positions are bridged by a
+///   path-compressed next-pointer chain, so overlapping clusters never
+///   re-scan each other's members. Together these make the many-small-
+///   clusters case near-linear after the initial `O(n log n)` sort.
 pub fn cluster_vectors(
     vectors: &[Vec<f64>],
     threshold: f64,
     min_cluster_size: usize,
 ) -> ClusterOutcome {
-    assert!(threshold > 0.0 && threshold < 1.0, "threshold out of range");
+    check_dimensions(vectors, threshold);
     let n = vectors.len();
     if n == 0 {
         return ClusterOutcome { usable: vec![], rare: vec![] };
     }
-    let dim = vectors[0].len();
-    assert!(
-        vectors.iter().all(|v| v.len() == dim),
-        "workload vectors must share a dimension"
-    );
+    let (norms, order) = sorted_by_norm(vectors);
 
-    // Sort indices by vector norm (Algorithm 1, line 2).
-    let norms: Vec<f64> = vectors.iter().map(|v| Fragment::vector_norm(v)).collect();
-    let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&a, &b| norms[a].partial_cmp(&norms[b]).expect("NaN norm"));
+    // skip[p] = next possibly-unassigned sorted position ≥ p.
+    let mut skip: Vec<u32> = (0..=n as u32).collect();
+    let mut clusters: Vec<Cluster> = Vec::new();
+
+    let mut pos = 0u32;
+    loop {
+        // Seed: smallest-norm unprocessed fragment (Algorithm 1, line 4).
+        pos = skip_to(&mut skip, pos);
+        if pos as usize >= n {
+            break;
+        }
+        let seed_idx = order[pos as usize];
+        let seed = &vectors[seed_idx];
+        let seed_norm = norms[seed_idx];
+        let bound = (threshold * seed_norm).max(1e-9);
+        let bound_sq = bound * bound;
+        // Break margin: the norm prune must only drop candidates that are
+        // *certainly* out of range, so the distance predicate — shared
+        // with the unpruned reference — stays the sole decision maker
+        // even at floating-point boundaries.
+        let norm_cutoff = bound + (seed_norm + seed_norm * threshold) * 1e-12;
+
+        let mut members = vec![seed_idx];
+        skip[pos as usize] = pos + 1;
+        let mut j = skip_to(&mut skip, pos + 1);
+        while (j as usize) < n {
+            let cand = order[j as usize];
+            if norms[cand] - seed_norm > norm_cutoff {
+                break;
+            }
+            if dist_sq(seed, &vectors[cand]) <= bound_sq {
+                members.push(cand);
+                skip[j as usize] = j + 1;
+            }
+            j = skip_to(&mut skip, j + 1);
+        }
+        clusters.push(Cluster { members, seed: seed.clone(), seed_norm });
+    }
+
+    split_by_size(clusters, min_cluster_size)
+}
+
+/// Reference implementation of Algorithm 1 without the norm prune or the
+/// skip pointers: every seed's absorb scan visits every remaining
+/// candidate. `O(n·k)` for `k` clusters — kept for the property tests
+/// (`cluster_vectors` must produce the identical [`ClusterOutcome`]) and
+/// the clustering benchmark's pruned-vs-unpruned comparison.
+pub fn cluster_vectors_unpruned(
+    vectors: &[Vec<f64>],
+    threshold: f64,
+    min_cluster_size: usize,
+) -> ClusterOutcome {
+    check_dimensions(vectors, threshold);
+    let n = vectors.len();
+    if n == 0 {
+        return ClusterOutcome { usable: vec![], rare: vec![] };
+    }
+    let (norms, order) = sorted_by_norm(vectors);
 
     let mut assigned = vec![false; n];
     let mut clusters: Vec<Cluster> = Vec::new();
-
-    let mut cursor = 0;
-    while cursor < n {
-        // Seed: smallest-norm unprocessed fragment (line 4).
-        while cursor < n && assigned[order[cursor]] {
-            cursor += 1;
-        }
-        if cursor >= n {
-            break;
-        }
+    for cursor in 0..n {
         let seed_idx = order[cursor];
+        if assigned[seed_idx] {
+            continue;
+        }
         let seed = &vectors[seed_idx];
         let seed_norm = norms[seed_idx];
-        // Absolute distance bound: 5 % of the seed norm; an epsilon floor
-        // lets zero-norm (empty/zero) workloads cluster together.
         let bound = (threshold * seed_norm).max(1e-9);
-
+        let bound_sq = bound * bound;
         let mut members = vec![seed_idx];
         assigned[seed_idx] = true;
-        // Members must have norms within [seed_norm, seed_norm + bound]
-        // (they sort after the seed), so scanning forward until the norm
-        // exceeds the bound visits each candidate once (line 5).
         for &j in order[cursor + 1..].iter() {
-            if norms[j] - seed_norm > bound {
-                break;
-            }
             if assigned[j] {
                 continue;
             }
-            if euclidean(seed, &vectors[j]) <= bound {
+            if dist_sq(seed, &vectors[j]) <= bound_sq {
                 members.push(j);
                 assigned[j] = true;
             }
         }
         clusters.push(Cluster { members, seed: seed.clone(), seed_norm });
-        cursor += 1;
     }
 
+    split_by_size(clusters, min_cluster_size)
+}
+
+fn split_by_size(clusters: Vec<Cluster>, min_cluster_size: usize) -> ClusterOutcome {
     let (usable, rare) = clusters
         .into_iter()
         .partition(|c| c.len() >= min_cluster_size);
     ClusterOutcome { usable, rare }
 }
 
-/// Cluster fragments by their workload vectors (computation fragments use
-/// `proxy_counters`; invocation fragments use their argument vectors).
-pub fn cluster_fragments(
-    fragments: &[Fragment],
+/// Cluster borrowed fragments by their workload vectors (computation
+/// fragments use `proxy_counters`; invocation fragments use their
+/// argument vectors). This is the pipeline's zero-copy entry point:
+/// pooled fragments stay where their STG owns them.
+pub fn cluster_fragment_refs(
+    fragments: &[&Fragment],
     proxy_counters: &[CounterId],
     threshold: f64,
     min_cluster_size: usize,
@@ -182,12 +273,19 @@ pub fn cluster_fragments(
     cluster_vectors(&padded, threshold, min_cluster_size)
 }
 
-fn euclidean(a: &[f64], b: &[f64]) -> f64 {
-    a.iter()
-        .zip(b)
-        .map(|(x, y)| (x - y) * (x - y))
-        .sum::<f64>()
-        .sqrt()
+/// Cluster owned fragments — see [`cluster_fragment_refs`].
+pub fn cluster_fragments(
+    fragments: &[Fragment],
+    proxy_counters: &[CounterId],
+    threshold: f64,
+    min_cluster_size: usize,
+) -> ClusterOutcome {
+    let refs: Vec<&Fragment> = fragments.iter().collect();
+    cluster_fragment_refs(&refs, proxy_counters, threshold, min_cluster_size)
+}
+
+fn dist_sq(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>()
 }
 
 #[cfg(test)]
@@ -311,6 +409,58 @@ mod tests {
     #[should_panic(expected = "share a dimension")]
     fn ragged_vectors_are_rejected() {
         let _ = cluster_vectors(&[vec![1.0], vec![1.0, 2.0]], 0.05, 5);
+    }
+
+    #[test]
+    fn pruned_matches_unpruned_on_interleaved_clusters() {
+        // Many clusters whose norm windows interleave — the case the skip
+        // pointers exist for. The pruned scan must produce the identical
+        // outcome to the exhaustive reference.
+        let mut vals = vec![];
+        for c in 0..40 {
+            let base = 100.0 * 1.07f64.powi(c);
+            for i in 0..7 {
+                vals.push(base * (1.0 + 0.004 * (i as f64 - 3.0)));
+            }
+        }
+        // Shuffle deterministically so input order ≠ norm order.
+        let mut state = 0x9E3779B97F4A7C15u64;
+        for i in (1..vals.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (state >> 33) as usize % (i + 1);
+            vals.swap(i, j);
+        }
+        let vecs = vecs(&vals);
+        assert_eq!(
+            cluster_vectors(&vecs, 0.05, 5),
+            cluster_vectors_unpruned(&vecs, 0.05, 5)
+        );
+    }
+
+    #[test]
+    fn refs_and_owned_entry_points_agree() {
+        use crate::fragment::{FragmentKind, DEFAULT_PROXY};
+        use vapro_pmu::{CounterDelta, CounterId};
+        use vapro_sim::VirtualTime;
+        let frags: Vec<Fragment> = (0..12)
+            .map(|i| {
+                let mut c = CounterDelta::default();
+                c.put(CounterId::TotIns, if i % 2 == 0 { 1000.0 } else { 5000.0 });
+                Fragment {
+                    rank: 0,
+                    kind: FragmentKind::Computation,
+                    start: VirtualTime::from_ns(i * 100),
+                    end: VirtualTime::from_ns(i * 100 + 50),
+                    counters: c,
+                    args: vec![],
+                }
+            })
+            .collect();
+        let refs: Vec<&Fragment> = frags.iter().collect();
+        assert_eq!(
+            cluster_fragments(&frags, &DEFAULT_PROXY, 0.05, 5),
+            cluster_fragment_refs(&refs, &DEFAULT_PROXY, 0.05, 5)
+        );
     }
 
     #[test]

@@ -353,9 +353,11 @@ mod tests {
 
     #[test]
     fn sampling_drops_short_computation_fragments() {
-        let mut cfg = VaproConfig::default();
-        cfg.sampling_enabled = true;
-        cfg.sampling_min_ns = 1_000_000.0; // everything here is "short"
+        let cfg = VaproConfig {
+            sampling_enabled: true,
+            sampling_min_ns: 1_000_000.0, // everything here is "short"
+            ..VaproConfig::default()
+        };
         let mut c = Collector::new(0, cfg);
         let a = CallSite("hot");
         let mut t = 0;

@@ -70,13 +70,17 @@ impl CategorySeries {
     }
 }
 
-/// Normalise the fragments of one STG edge/vertex given its clustering.
-/// Only usable clusters contribute (rare ones go to the rare-path report).
-/// Appends into `out` according to each fragment's kind.
-pub fn normalize_cluster_outcome(
-    fragments: &[Fragment],
+/// Normalise the borrowed fragments of one STG edge/vertex given its
+/// clustering. Only usable clusters contribute (rare ones go to the
+/// rare-path report). Appends into `out` according to each fragment's
+/// kind. `rank_override` replaces every point's rank (the intra-process
+/// path folds a single rank's STG onto heat-map row 0 without rebuilding
+/// the graph).
+pub fn normalize_cluster_outcome_refs(
+    fragments: &[&Fragment],
     outcome: &ClusterOutcome,
     out: &mut CategorySeries,
+    rank_override: Option<usize>,
 ) {
     for cluster in &outcome.usable {
         // The fastest fragment in the cluster is the benchmark.
@@ -89,7 +93,7 @@ pub fn normalize_cluster_outcome(
             continue;
         }
         for &m in &cluster.members {
-            let f = &fragments[m];
+            let f = fragments[m];
             let dur = f.duration_ns();
             // Zero-duration fragments carry no performance signal.
             if dur <= 0.0 {
@@ -97,7 +101,7 @@ pub fn normalize_cluster_outcome(
             }
             let perf = if min_dur <= 0.0 { 1.0 } else { (min_dur / dur).min(1.0) };
             let point = PerfPoint {
-                rank: f.rank,
+                rank: rank_override.unwrap_or(f.rank),
                 start: f.start,
                 end: f.end,
                 perf,
@@ -112,6 +116,16 @@ pub fn normalize_cluster_outcome(
             }
         }
     }
+}
+
+/// Normalise owned fragments — see [`normalize_cluster_outcome_refs`].
+pub fn normalize_cluster_outcome(
+    fragments: &[Fragment],
+    outcome: &ClusterOutcome,
+    out: &mut CategorySeries,
+) {
+    let refs: Vec<&Fragment> = fragments.iter().collect();
+    normalize_cluster_outcome_refs(&refs, outcome, out, None)
 }
 
 #[cfg(test)]

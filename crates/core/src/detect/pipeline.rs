@@ -7,15 +7,17 @@
 //! which is exactly what enables the inter-process detection of §3.5 and
 //! the cross-process comparisons of the HPL case study (§6.5.1).
 
-use crate::clustering::{cluster_fragments, Cluster};
+use crate::clustering::{cluster_fragment_refs, Cluster};
 use crate::config::VaproConfig;
 use crate::detect::heatmap::HeatMap;
-use crate::detect::normalize::{normalize_cluster_outcome, CategorySeries};
+use crate::detect::normalize::{normalize_cluster_outcome_refs, CategorySeries};
 use crate::detect::region::{grow_regions, VarianceRegion};
 use crate::fragment::{Fragment, FragmentKind};
+use crate::intern::{Sym, SymbolTable};
 use crate::stg::{StateKey, Stg};
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::collections::HashMap;
 
 /// A rarely-executed path flagged by Algorithm 1's post-processing:
 /// few executions but potentially long — the user should check whether it
@@ -70,91 +72,205 @@ impl DetectionResult {
     }
 }
 
-/// Groups of same-state fragments pooled across ranks.
+/// Groups of same-state fragments pooled across ranks, keyed by interned
+/// symbols. Pools hold *borrowed* fragments — merging never clones a
+/// fragment or a [`StateKey`].
+///
+/// Both pool lists are sorted by key order (`StateKey`'s `Ord`), so
+/// iteration order — and therefore every downstream label, series and
+/// rare-path ordering — matches what the previous `BTreeMap`-backed
+/// representation produced.
 pub struct MergedStg<'a> {
-    /// Vertex pools keyed by state.
-    pub vertices: BTreeMap<StateKey, Vec<&'a Fragment>>,
-    /// Edge pools keyed by (from, to) state keys.
-    pub edges: BTreeMap<(StateKey, StateKey), Vec<&'a Fragment>>,
+    /// The key ↔ symbol table shared by both pool lists.
+    pub symbols: SymbolTable<'a>,
+    /// Vertex pools `(state, fragments)`, sorted by state key.
+    pub vertices: Vec<(Sym, Vec<&'a Fragment>)>,
+    /// Edge pools `((from, to), fragments)`, sorted by key pair.
+    pub edges: Vec<((Sym, Sym), Vec<&'a Fragment>)>,
+}
+
+impl<'a> MergedStg<'a> {
+    /// Resolve a symbol back to its state key.
+    pub fn key(&self, sym: Sym) -> &'a StateKey {
+        self.symbols.key(sym)
+    }
+
+    /// Iterate vertex pools as `(key, fragments)`.
+    pub fn vertex_pools(&self) -> impl Iterator<Item = (&'a StateKey, &[&'a Fragment])> + '_ {
+        self.vertices.iter().map(|(s, p)| (self.symbols.key(*s), p.as_slice()))
+    }
+
+    /// Iterate edge pools as `(from, to, fragments)`.
+    pub fn edge_pools(
+        &self,
+    ) -> impl Iterator<Item = (&'a StateKey, &'a StateKey, &[&'a Fragment])> + '_ {
+        self.edges
+            .iter()
+            .map(|((f, t), p)| (self.symbols.key(*f), self.symbols.key(*t), p.as_slice()))
+    }
 }
 
 /// Pool fragments of all ranks' STGs by state key.
+///
+/// Keys are interned once per distinct state (one hash lookup per vertex
+/// per rank); edges resolve their endpoints through the precomputed
+/// per-STG `StateId → Sym` map instead of cloning two keys per edge.
 pub fn merge_stgs<'a>(stgs: &'a [Stg]) -> MergedStg<'a> {
-    let mut vertices: BTreeMap<StateKey, Vec<&Fragment>> = BTreeMap::new();
-    let mut edges: BTreeMap<(StateKey, StateKey), Vec<&Fragment>> = BTreeMap::new();
+    let mut symbols = SymbolTable::new();
+    let mut vertex_pools: Vec<Vec<&Fragment>> = Vec::new();
+    let mut edge_pools: HashMap<(Sym, Sym), Vec<&Fragment>> = HashMap::new();
     for stg in stgs {
-        for v in stg.vertices() {
-            if v.fragments.is_empty() {
-                continue;
+        let syms: Vec<Sym> = stg
+            .vertices()
+            .iter()
+            .map(|v| {
+                let s = symbols.intern(&v.key);
+                if s as usize >= vertex_pools.len() {
+                    vertex_pools.resize_with(s as usize + 1, Vec::new);
+                }
+                s
+            })
+            .collect();
+        for (v, &s) in stg.vertices().iter().zip(&syms) {
+            if !v.fragments.is_empty() {
+                vertex_pools[s as usize].extend(v.fragments.iter());
             }
-            vertices
-                .entry(v.key.clone())
-                .or_default()
-                .extend(v.fragments.iter());
         }
         for e in stg.edges() {
-            if e.fragments.is_empty() {
-                continue;
+            if !e.fragments.is_empty() {
+                edge_pools
+                    .entry((syms[e.from], syms[e.to]))
+                    .or_default()
+                    .extend(e.fragments.iter());
             }
-            let from = stg.vertices()[e.from].key.clone();
-            let to = stg.vertices()[e.to].key.clone();
-            edges.entry((from, to)).or_default().extend(e.fragments.iter());
         }
     }
-    MergedStg { vertices, edges }
+    let mut vertices: Vec<(Sym, Vec<&Fragment>)> = vertex_pools
+        .into_iter()
+        .enumerate()
+        .filter(|(_, pool)| !pool.is_empty())
+        .map(|(s, pool)| (s as Sym, pool))
+        .collect();
+    vertices.sort_by(|a, b| symbols.key(a.0).cmp(symbols.key(b.0)));
+    let mut edges: Vec<((Sym, Sym), Vec<&Fragment>)> = edge_pools.into_iter().collect();
+    edges.sort_by(|a, b| {
+        (symbols.key(a.0 .0), symbols.key(a.0 .1)).cmp(&(symbols.key(b.0 .0), symbols.key(b.0 .1)))
+    });
+    MergedStg { symbols, vertices, edges }
 }
 
-/// Run detection over the per-rank STGs. `nranks` sizes the heat maps;
-/// `bins` is the number of time columns.
-pub fn detect(stgs: &[Stg], nranks: usize, bins: usize, cfg: &VaproConfig) -> DetectionResult {
+/// One pooled location to analyse: a vertex or an edge of the merged STG.
+#[derive(Clone, Copy)]
+enum Location {
+    Vertex(Sym),
+    Edge(Sym, Sym),
+}
+
+/// The per-location analysis output, accumulated sequentially in
+/// location order after the (possibly parallel) fan-out.
+struct LocationAnalysis {
+    covered_ns: f64,
+    /// `(count, total_ns)` per rare cluster; labelled during the fold.
+    rare: Vec<(usize, f64)>,
+    series: CategorySeries,
+}
+
+/// Cluster → rare-path → normalise chain for one location's pool. Pure
+/// over its inputs, which is what makes the fan-out safe.
+fn analyze_pool(
+    frags: &[&Fragment],
+    cfg: &VaproConfig,
+    rank_override: Option<usize>,
+) -> LocationAnalysis {
+    let outcome = cluster_fragment_refs(
+        frags,
+        &cfg.proxy_counters,
+        cfg.cluster_threshold,
+        cfg.min_cluster_size,
+    );
+    let mut covered_ns = 0.0f64;
+    for c in &outcome.usable {
+        covered_ns += cluster_time(frags, c);
+    }
+    let rare = outcome
+        .rare
+        .iter()
+        .map(|c| (c.len(), cluster_time(frags, c)))
+        .collect();
+    let mut series = CategorySeries::default();
+    normalize_cluster_outcome_refs(frags, &outcome, &mut series, rank_override);
+    LocationAnalysis { covered_ns, rare, series }
+}
+
+/// Shared body of [`detect`], [`detect_seq`] and [`detect_intra`].
+///
+/// Locations (merged vertices, then merged edges, both in key order) are
+/// analysed independently — in parallel when `parallel` is set — and the
+/// per-location results are folded *sequentially in location order*, so
+/// the output is identical whichever path ran.
+fn detect_impl(
+    stgs: &[Stg],
+    nranks: usize,
+    bins: usize,
+    cfg: &VaproConfig,
+    parallel: bool,
+    rank_override: Option<usize>,
+) -> DetectionResult {
     let merged = merge_stgs(stgs);
+    let locations: Vec<(Location, &[&Fragment])> = merged
+        .vertices
+        .iter()
+        .map(|(s, pool)| (Location::Vertex(*s), pool.as_slice()))
+        .chain(
+            merged
+                .edges
+                .iter()
+                .map(|((f, t), pool)| (Location::Edge(*f, *t), pool.as_slice())),
+        )
+        .collect();
+
+    // Fan out: each location's cluster → normalise chain is independent.
+    // Results come back in input order either way.
+    let analyses: Vec<LocationAnalysis> = if parallel && locations.len() > 1 {
+        locations
+            .par_iter()
+            .map(|(_, pool)| analyze_pool(pool, cfg, rank_override))
+            .collect()
+    } else {
+        locations
+            .iter()
+            .map(|(_, pool)| analyze_pool(pool, cfg, rank_override))
+            .collect()
+    };
+
+    // Sequential in-order fold: series points, rare paths and the covered
+    // time accumulate exactly as a fully sequential pass would produce
+    // them. Rare-path labels are built lazily — only locations that
+    // actually have rare clusters pay for label formatting.
     let mut series = CategorySeries::default();
     let mut rare_paths = Vec::new();
     let mut covered_ns = 0.0f64;
-
-    let handle_pool = |label: String,
-                           frags: &[&Fragment],
-                           series: &mut CategorySeries,
-                           rare_paths: &mut Vec<RarePath>,
-                           covered_ns: &mut f64| {
-        let owned: Vec<Fragment> = frags.iter().map(|f| (*f).clone()).collect();
-        let outcome = cluster_fragments(
-            &owned,
-            &cfg.proxy_counters,
-            cfg.cluster_threshold,
-            cfg.min_cluster_size,
-        );
-        for c in &outcome.usable {
-            *covered_ns += cluster_time(&owned, c);
+    for ((loc, _), analysis) in locations.iter().zip(analyses) {
+        covered_ns += analysis.covered_ns;
+        if !analysis.rare.is_empty() {
+            let label = match loc {
+                Location::Vertex(s) => merged.key(*s).label(),
+                Location::Edge(f, t) => {
+                    format!("{} -> {}", merged.key(*f).label(), merged.key(*t).label())
+                }
+            };
+            for (count, total_ns) in analysis.rare {
+                rare_paths.push(RarePath { location: label.clone(), count, total_ns });
+            }
         }
-        for c in &outcome.rare {
-            rare_paths.push(RarePath {
-                location: label.clone(),
-                count: c.len(),
-                total_ns: cluster_time(&owned, c),
-            });
-        }
-        normalize_cluster_outcome(&owned, &outcome, series);
-    };
-
-    for (key, frags) in &merged.vertices {
-        handle_pool(key.label(), frags, &mut series, &mut rare_paths, &mut covered_ns);
-    }
-    for ((from, to), frags) in &merged.edges {
-        handle_pool(
-            format!("{} -> {}", from.label(), to.label()),
-            frags,
-            &mut series,
-            &mut rare_paths,
-            &mut covered_ns,
-        );
+        series.extend(analysis.series);
     }
 
     // Coverage: covered fragment time over total execution time (sum of
     // per-rank makespans). Grouping by the fragments' own rank ids keeps
     // the metric identical whether fragments arrive as per-rank STGs or
     // as one reassembled wire-format graph.
-    let mut rank_end: std::collections::HashMap<usize, u64> = std::collections::HashMap::new();
+    let mut rank_end: HashMap<usize, u64> = HashMap::new();
     for stg in stgs {
         for f in stg
             .vertices()
@@ -162,7 +278,7 @@ pub fn detect(stgs: &[Stg], nranks: usize, bins: usize, cfg: &VaproConfig) -> De
             .flat_map(|v| v.fragments.iter())
             .chain(stg.edges().iter().flat_map(|e| e.fragments.iter()))
         {
-            let e = rank_end.entry(f.rank).or_insert(0);
+            let e = rank_end.entry(rank_override.unwrap_or(f.rank)).or_insert(0);
             *e = (*e).max(f.end.ns());
         }
     }
@@ -198,7 +314,21 @@ pub fn detect(stgs: &[Stg], nranks: usize, bins: usize, cfg: &VaproConfig) -> De
     }
 }
 
-fn cluster_time(fragments: &[Fragment], cluster: &Cluster) -> f64 {
+/// Run detection over the per-rank STGs. `nranks` sizes the heat maps;
+/// `bins` is the number of time columns. Locations fan out across the
+/// thread pool; output is identical to [`detect_seq`].
+pub fn detect(stgs: &[Stg], nranks: usize, bins: usize, cfg: &VaproConfig) -> DetectionResult {
+    detect_impl(stgs, nranks, bins, cfg, true, None)
+}
+
+/// Single-threaded reference of [`detect`]: same pipeline, no fan-out.
+/// Exists for the equivalence property tests and as the sequential
+/// baseline of the benchmark harness.
+pub fn detect_seq(stgs: &[Stg], nranks: usize, bins: usize, cfg: &VaproConfig) -> DetectionResult {
+    detect_impl(stgs, nranks, bins, cfg, false, None)
+}
+
+fn cluster_time(fragments: &[&Fragment], cluster: &Cluster) -> f64 {
     cluster
         .members
         .iter()
@@ -210,27 +340,12 @@ fn cluster_time(fragments: &[Fragment], cluster: &Cluster) -> f64 {
 /// rank's STG analysed on its own, yielding a 1-row heat map whose
 /// regions are *time windows* in which this rank ran below its own
 /// fixed-workload baseline.
+///
+/// The rank-to-row-0 folding happens inside the pipeline (every point and
+/// coverage entry takes rank 0), so no remapped copy of the STG — and no
+/// `Fragment` clone — is ever built.
 pub fn detect_intra(stg: &Stg, bins: usize, cfg: &VaproConfig) -> DetectionResult {
-    // Fragments keep their real rank ids; remap to row 0 so the heat map
-    // has exactly one row regardless of which rank produced the STG.
-    let mut remapped = Stg::new();
-    let ids: Vec<_> = stg
-        .vertices()
-        .iter()
-        .map(|v| remapped.state(v.key.clone()))
-        .collect();
-    for (i, v) in stg.vertices().iter().enumerate() {
-        for f in &v.fragments {
-            remapped.attach_vertex_fragment(ids[i], Fragment { rank: 0, ..f.clone() });
-        }
-    }
-    for e in stg.edges() {
-        let eid = remapped.transition(ids[e.from], ids[e.to]);
-        for f in &e.fragments {
-            remapped.attach_edge_fragment(eid, Fragment { rank: 0, ..f.clone() });
-        }
-    }
-    detect(std::slice::from_ref(&remapped), 1, bins, cfg)
+    detect_impl(std::slice::from_ref(stg), 1, bins, cfg, true, Some(0))
 }
 
 #[cfg(test)]
@@ -248,7 +363,7 @@ mod tests {
         let _first = stg.transition(start, site);
         let selfloop = stg.transition(site, site);
         let mut t = 0u64;
-        for (i, &d) in durations.iter().enumerate() {
+        for &d in durations {
             // Invocation fragment (constant cost 10ns).
             stg.attach_vertex_fragment(
                 site,
@@ -265,19 +380,17 @@ mod tests {
             // Computation fragment of duration d.
             let mut c = CounterDelta::default();
             c.put(CounterId::TotIns, ins);
-            if i > 0 || true {
-                stg.attach_edge_fragment(
-                    selfloop,
-                    Fragment {
-                        rank,
-                        kind: FragmentKind::Computation,
-                        start: VirtualTime::from_ns(t),
-                        end: VirtualTime::from_ns(t + d),
-                        counters: c,
-                        args: vec![],
-                    },
-                );
-            }
+            stg.attach_edge_fragment(
+                selfloop,
+                Fragment {
+                    rank,
+                    kind: FragmentKind::Computation,
+                    start: VirtualTime::from_ns(t),
+                    end: VirtualTime::from_ns(t + d),
+                    counters: c,
+                    args: vec![],
+                },
+            );
             t += d;
         }
         stg
@@ -390,6 +503,45 @@ mod tests {
         assert!(!res.rare_paths.is_empty());
         assert!(res.rare_paths[0].total_ns >= 1e9);
         assert_eq!(res.rare_paths[0].count, 1);
+    }
+
+    #[test]
+    fn parallel_and_sequential_paths_are_identical() {
+        let mut stgs: Vec<Stg> = (0..4).map(|r| stg_with_loop(r, &[100; 20], 1000.0)).collect();
+        stgs[1] = stg_with_loop(1, &[250; 20], 1000.0);
+        let cfg = VaproConfig::default();
+        let par = detect(&stgs, 4, 16, &cfg);
+        let seq = detect_seq(&stgs, 4, 16, &cfg);
+        assert_eq!(par.series, seq.series);
+        assert_eq!(par.rare_paths, seq.rare_paths);
+        assert_eq!(par.comp_map, seq.comp_map);
+        assert_eq!(par.comm_map, seq.comm_map);
+        assert_eq!(par.io_map, seq.io_map);
+        assert_eq!(par.comp_regions, seq.comp_regions);
+        assert_eq!(par.comm_regions, seq.comm_regions);
+        assert_eq!(par.io_regions, seq.io_regions);
+        assert_eq!(par.coverage.to_bits(), seq.coverage.to_bits());
+    }
+
+    #[test]
+    fn merged_pools_are_sorted_by_state_key() {
+        let stgs: Vec<Stg> = (0..3).map(|r| stg_with_loop(r, &[100; 4], 1000.0)).collect();
+        let merged = merge_stgs(&stgs);
+        let vkeys: Vec<_> = merged.vertex_pools().map(|(k, _)| k.clone()).collect();
+        let mut sorted = vkeys.clone();
+        sorted.sort();
+        assert_eq!(vkeys, sorted);
+        let ekeys: Vec<_> = merged
+            .edge_pools()
+            .map(|(f, t, _)| (f.clone(), t.clone()))
+            .collect();
+        let mut esorted = ekeys.clone();
+        esorted.sort();
+        assert_eq!(ekeys, esorted);
+        // Cross-rank pooling: each vertex pool holds all 3 ranks' fragments.
+        for (_, pool) in merged.vertex_pools() {
+            assert_eq!(pool.len(), 3 * 4);
+        }
     }
 
     #[test]

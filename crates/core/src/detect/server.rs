@@ -272,8 +272,10 @@ mod tests {
     #[test]
     fn windowed_analysis_localises_variance_in_time() {
         // 40 iterations of ~1s each; iterations 20..25 are slow.
-        let mut cfg = VaproConfig::default();
-        cfg.report_period = VirtualTime::from_secs(15);
+        let cfg = VaproConfig {
+            report_period: VirtualTime::from_secs(15),
+            ..VaproConfig::default()
+        };
         let stgs = vec![looped_stg(0, 40, 1_000_000_000, 20..25)];
         let pool = ServerPool::new(1, 1);
         let reports = pool.analyze_windows(&stgs, 1, 8, &cfg);

@@ -9,7 +9,7 @@
 //! the inter-process comparison of the HPL case study), and runs the
 //! progressive drill-down over that population.
 
-use crate::clustering::cluster_fragments;
+use crate::clustering::cluster_fragment_refs;
 use crate::config::VaproConfig;
 use crate::detect::pipeline::merge_stgs;
 use crate::detect::region::VarianceRegion;
@@ -60,25 +60,26 @@ pub fn diagnose_region(
     let merged = merge_stgs(stgs);
 
     // Find the edge pool with the most in-region time.
-    let mut best: Option<(Vec<&Fragment>, u64)> = None;
-    for pool in merged.edges.values() {
+    let mut best: Option<(&[&Fragment], u64)> = None;
+    for (_, pool) in &merged.edges {
         let in_region: u64 = pool
             .iter()
             .filter(|f| f.kind == FragmentKind::Computation && roi.covers(f))
             .map(|f| f.duration().ns())
             .sum();
         if in_region > 0 && best.as_ref().is_none_or(|(_, t)| in_region > *t) {
-            best = Some((pool.clone(), in_region));
+            best = Some((pool.as_slice(), in_region));
         }
     }
     let (pool, _) = best?;
 
     // The diagnosis population: the whole pool's dominant cluster — it
     // contains the region's abnormal fragments plus the out-of-region /
-    // other-rank normal ones that give the reference values.
-    let owned: Vec<Fragment> = pool.iter().map(|f| (*f).clone()).collect();
-    let outcome = cluster_fragments(
-        &owned,
+    // other-rank normal ones that give the reference values. Only the
+    // chosen cluster's members are ever cloned (the provider below has to
+    // re-project their counter sets).
+    let outcome = cluster_fragment_refs(
+        pool,
         &cfg.proxy_counters,
         cfg.cluster_threshold,
         cfg.min_cluster_size,
@@ -88,7 +89,7 @@ pub fn diagnose_region(
         .iter()
         .max_by_key(|c| c.members.len())?;
     let population: Vec<Fragment> =
-        cluster.members.iter().map(|&m| owned[m].clone()).collect();
+        cluster.members.iter().map(|&m| pool[m].clone()).collect();
 
     let mut provider = move |set: CounterSet| -> Vec<Fragment> {
         population

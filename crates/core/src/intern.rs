@@ -1,0 +1,105 @@
+//! State-key interning for the detection pipeline.
+//!
+//! Merging per-rank STGs used to clone every [`StateKey`] it touched —
+//! once per vertex and twice per edge, per rank. Keys are cheap for
+//! context-free sites but a context-aware [`StateKey::Path`] owns a full
+//! call-path vector, so the clones dominated `merge_stgs` on deep call
+//! trees. The [`SymbolTable`] instead borrows each distinct key once and
+//! hands out dense `u32` symbols; everything downstream (pooling, sorting,
+//! labelling) works on symbols and resolves back to the borrowed key only
+//! when a label is actually needed.
+
+use crate::stg::StateKey;
+use std::collections::HashMap;
+
+/// Dense id of an interned [`StateKey`].
+pub type Sym = u32;
+
+/// Interns borrowed state keys to dense [`Sym`] ids.
+///
+/// The table never clones a key: it stores one `&StateKey` per distinct
+/// key, borrowed from the STG that first mentioned it.
+#[derive(Debug, Default)]
+pub struct SymbolTable<'a> {
+    map: HashMap<&'a StateKey, Sym>,
+    keys: Vec<&'a StateKey>,
+}
+
+impl<'a> SymbolTable<'a> {
+    /// An empty table.
+    pub fn new() -> SymbolTable<'a> {
+        SymbolTable::default()
+    }
+
+    /// Intern a key, returning its symbol (stable across repeat calls).
+    pub fn intern(&mut self, key: &'a StateKey) -> Sym {
+        if let Some(&sym) = self.map.get(key) {
+            return sym;
+        }
+        let sym = Sym::try_from(self.keys.len()).expect("more than u32::MAX distinct states");
+        self.keys.push(key);
+        self.map.insert(key, sym);
+        sym
+    }
+
+    /// Resolve a symbol back to its key.
+    pub fn key(&self, sym: Sym) -> &'a StateKey {
+        self.keys[sym as usize]
+    }
+
+    /// Look up a key's symbol without interning it.
+    pub fn find(&self, key: &StateKey) -> Option<Sym> {
+        self.map.get(key).copied()
+    }
+
+    /// Number of distinct keys interned.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vapro_sim::CallSite;
+
+    #[test]
+    fn interning_is_idempotent_and_dense() {
+        let a = StateKey::Site(CallSite("a"));
+        let b = StateKey::Site(CallSite("b"));
+        let mut t = SymbolTable::new();
+        let sa = t.intern(&a);
+        let sb = t.intern(&b);
+        assert_eq!(t.intern(&a), sa);
+        assert_ne!(sa, sb);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.key(sa), &a);
+        assert_eq!(t.key(sb), &b);
+    }
+
+    #[test]
+    fn equal_keys_from_different_owners_share_a_symbol() {
+        // Two separately-allocated but equal keys intern to one symbol —
+        // exactly the cross-rank pooling situation.
+        let k1 = StateKey::Site(CallSite("loop:MPI_Allreduce"));
+        let k2 = StateKey::Site(CallSite("loop:MPI_Allreduce"));
+        let mut t = SymbolTable::new();
+        assert_eq!(t.intern(&k1), t.intern(&k2));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn find_does_not_intern() {
+        let a = StateKey::Start;
+        let mut t = SymbolTable::new();
+        assert_eq!(t.find(&a), None);
+        let s = t.intern(&a);
+        assert_eq!(t.find(&a), Some(s));
+        assert_eq!(t.len(), 1);
+    }
+}

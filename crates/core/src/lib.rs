@@ -33,6 +33,7 @@ pub mod config;
 pub mod detect;
 pub mod diagnose;
 pub mod fragment;
+pub mod intern;
 pub mod report;
 pub mod sampling;
 pub mod stg;
@@ -40,7 +41,12 @@ pub mod viz;
 pub mod wire;
 
 pub use baseline::{BaselineProfile, RunComparison};
-pub use clustering::{cluster_fragments, Cluster, ClusterOutcome};
+pub use clustering::{
+    cluster_fragment_refs, cluster_fragments, cluster_vectors, cluster_vectors_unpruned, Cluster,
+    ClusterOutcome,
+};
+pub use detect::pipeline::{detect, detect_intra, detect_seq, merge_stgs, DetectionResult};
+pub use intern::{Sym, SymbolTable};
 pub use collector::Collector;
 pub use config::{StgMode, VaproConfig};
 pub use detect::heatmap::HeatMap;

@@ -127,9 +127,11 @@ fn sampling_enabled_detection_still_localises_noise() {
         VirtualTime::from_secs(1_000),
     ));
     let cfg = SimConfig::new(6).with_noise(noise);
-    let mut vcfg = VaproConfig::default();
-    vcfg.sampling_enabled = true;
-    vcfg.sampling_min_ns = 40_000.0;
+    let vcfg = VaproConfig {
+        sampling_enabled: true,
+        sampling_min_ns: 40_000.0,
+        ..VaproConfig::default()
+    };
     let run = run_under_vapro_binned(&cfg, &vcfg, 32, |ctx| {
         vapro::apps::npb::cg::run(ctx, &params)
     });

@@ -1,0 +1,328 @@
+//! Vendored minimal `proptest` (offline stub).
+//!
+//! Random-case property testing with the proptest macro surface this
+//! workspace uses: the [`proptest!`] block macro, `prop_assert!` /
+//! `prop_assert_eq!`, `ProptestConfig::with_cases`, range and tuple
+//! strategies, and `prop::collection::vec`. Differences from the real
+//! crate: no shrinking (a failing case reports its inputs verbatim) and
+//! a fixed deterministic seed per test body.
+
+use std::fmt;
+use std::ops::Range;
+
+/// Runner configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A failed property case.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    msg: String,
+}
+
+impl TestCaseError {
+    /// Record a failure with a message.
+    pub fn fail(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+/// Deterministic test RNG (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeded construction.
+    pub fn new(seed: u64) -> TestRng {
+        TestRng { state: seed ^ 0x5DEE_CE66_D1CE_CAFE }
+    }
+
+    /// Next raw 64-bit word.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A value generator.
+pub trait Strategy {
+    /// The generated type.
+    type Value: fmt::Debug;
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end - self.start) as u64;
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+    )*};
+}
+int_strategy!(u8, u16, u32, u64, usize, i32, i64);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        self.start + (rng.unit_f64() as f32) * (self.end - self.start)
+    }
+}
+
+/// A constant strategy (`Just` in real proptest).
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + fmt::Debug>(pub T);
+
+impl<T: Clone + fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Strategy),+> Strategy for ($($t,)+) {
+            type Value = ($($t::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$n.generate(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+}
+
+/// The `prop::` namespace.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::{Strategy, TestRng};
+        use std::fmt;
+        use std::ops::Range;
+
+        /// Strategy for `Vec<T>` with a length drawn from `len`.
+        #[derive(Debug)]
+        pub struct VecStrategy<S> {
+            element: S,
+            len: Range<usize>,
+        }
+
+        /// `Vec` of values from `element`, length in `len`.
+        pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, len }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S>
+        where
+            S::Value: fmt::Debug,
+        {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let n = self.len.clone().generate(rng);
+                (0..n).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+}
+
+/// Run one property: `cases` random draws, each executing `body`; panics
+/// with the case inputs on the first failure.
+pub fn run_property<S: Strategy>(
+    name: &str,
+    config: &ProptestConfig,
+    strategy: &S,
+    mut body: impl FnMut(S::Value) -> Result<(), TestCaseError>,
+) {
+    // Seed from the test name so distinct properties explore distinct
+    // streams but every run of one property is reproducible.
+    let seed = name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ b as u64).wrapping_mul(0x100_0000_01b3)
+    });
+    let mut rng = TestRng::new(seed);
+    for case in 0..config.cases {
+        let value = strategy.generate(&mut rng);
+        let debug = format!("{value:?}");
+        if let Err(e) = body(value) {
+            panic!("property {name} failed at case {case}/{}: {e}\ninput: {debug}", config.cases);
+        }
+    }
+}
+
+/// The proptest prelude.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig, Strategy,
+        TestCaseError,
+    };
+}
+
+/// Assert inside a property body (records the failure instead of
+/// panicking, like real proptest).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Assert equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, "assertion failed: {:?} != {:?}", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, $($fmt)*);
+    }};
+}
+
+/// Assert inequality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a != b, "assertion failed: {:?} == {:?}", a, b);
+    }};
+}
+
+/// Define property tests: each `fn` runs its body over random draws of
+/// its argument strategies.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                let strategy = ($($strat,)+);
+                $crate::run_property(
+                    stringify!($name),
+                    &config,
+                    &strategy,
+                    |($($arg,)+)| {
+                        $body
+                        ::core::result::Result::Ok(())
+                    },
+                );
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name ( $($arg in $strat),+ ) $body
+            )*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Range strategies stay in range.
+        #[test]
+        fn ranges_hold(
+            x in 3usize..17,
+            f in -2.0f64..2.0,
+            v in prop::collection::vec(0u64..100, 1..20),
+        ) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&f));
+            prop_assert!(!v.is_empty() && v.len() < 20);
+            prop_assert!(v.iter().all(|&e| e < 100));
+        }
+
+        /// Tuple strategies compose.
+        #[test]
+        fn tuples_compose(pair in (0usize..4, 0.5f64..1.0)) {
+            prop_assert!(pair.0 < 4);
+            prop_assert_eq!(pair.0, pair.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property")]
+    fn failures_report_inputs() {
+        crate::run_property(
+            "always_fails",
+            &ProptestConfig::with_cases(4),
+            &(0u32..10),
+            |_x| Err(TestCaseError::fail("nope")),
+        );
+    }
+}

@@ -1,0 +1,181 @@
+//! Vendored minimal `rayon` (offline stub).
+//!
+//! Real data parallelism over std scoped threads: a shared work queue
+//! fans items out to `available_parallelism()` workers, and results are
+//! reassembled **in input order**, so `collect()` output is identical to
+//! the sequential map. The API skin covers what the workspace uses:
+//! `par_iter()`, `into_par_iter()`, `par_chunks()`, `map`, `collect`,
+//! [`join`], and [`current_num_threads`].
+//!
+//! Items are materialised into a `Vec` up front; this trades rayon's
+//! splitting machinery for simplicity, which is fine at the coarse task
+//! granularity (one STG location, one analysis window) used here.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Number of worker threads the pool will use.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+fn parallel_map<T, U, F>(items: Vec<T>, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let n = items.len();
+    if n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let workers = current_num_threads().min(n).max(2);
+    let queue: Mutex<VecDeque<(usize, T)>> = Mutex::new(items.into_iter().enumerate().collect());
+    let done: Mutex<Vec<(usize, U)>> = Mutex::new(Vec::with_capacity(n));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let next = queue.lock().expect("queue lock").pop_front();
+                match next {
+                    Some((i, item)) => {
+                        let out = f(item);
+                        done.lock().expect("result lock").push((i, out));
+                    }
+                    None => break,
+                }
+            });
+        }
+    });
+    let mut out = done.into_inner().expect("results");
+    out.sort_by_key(|(i, _)| *i);
+    out.into_iter().map(|(_, u)| u).collect()
+}
+
+/// A materialised parallel iterator.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Parallel map; evaluation is deferred until `collect`.
+    pub fn map<U, F>(self, f: F) -> ParMap<T, F>
+    where
+        U: Send,
+        F: Fn(T) -> U + Sync,
+    {
+        ParMap { items: self.items, f }
+    }
+
+    /// Collect the items themselves.
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+}
+
+/// A mapped parallel iterator: runs on `collect`.
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T, F> ParMap<T, F>
+where
+    T: Send,
+{
+    /// Execute the map across the thread pool, preserving input order.
+    pub fn collect<U, C>(self) -> C
+    where
+        U: Send,
+        F: Fn(T) -> U + Sync,
+        C: FromIterator<U>,
+    {
+        parallel_map(self.items, self.f).into_iter().collect()
+    }
+}
+
+/// Conversion into a parallel iterator (by value).
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item: Send;
+    /// Materialise into a [`ParIter`].
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter { items: self.collect() }
+    }
+}
+
+/// Parallel views over slices.
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator over `&T`.
+    fn par_iter(&self) -> ParIter<&T>;
+    /// Parallel iterator over non-overlapping chunks.
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<&[T]>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<&T> {
+        ParIter { items: self.iter().collect() }
+    }
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<&[T]> {
+        ParIter { items: self.chunks(chunk_size).collect() }
+    }
+}
+
+/// Run two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    std::thread::scope(|scope| {
+        let hb = scope.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("join closure panicked"))
+    })
+}
+
+/// The rayon prelude: traits needed for `.par_iter()` etc.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelSlice};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn collect_preserves_input_order() {
+        let input: Vec<usize> = (0..500).collect();
+        let seq: Vec<usize> = input.iter().map(|&x| x * 3).collect();
+        let par: Vec<usize> = input.into_par_iter().map(|x| x * 3).collect();
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn par_chunks_matches_sequential_chunks() {
+        let xs: Vec<u32> = (0..101).collect();
+        let seq: Vec<u32> = xs.chunks(2).map(|c| c.iter().sum()).collect();
+        let par: Vec<u32> = xs.par_chunks(2).map(|c| c.iter().sum()).collect();
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = super::join(|| 2 + 2, || "x".repeat(3));
+        assert_eq!(a, 4);
+        assert_eq!(b, "xxx");
+    }
+}

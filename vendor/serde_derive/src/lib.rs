@@ -1,0 +1,377 @@
+//! Minimal vendored `serde_derive` (offline stub).
+//!
+//! Generates `serde::Serialize` / `serde::Deserialize` impls against the
+//! vendored serde's tree data model (`serde::Value`). Supports the shapes
+//! this workspace actually uses:
+//!
+//! * structs with named fields
+//! * tuple structs (newtype and n-ary)
+//! * unit structs
+//! * enums with unit, tuple and struct variants
+//!
+//! No `#[serde(...)]` attributes, no generics — the workspace uses
+//! neither. Parsing is done directly on the `proc_macro` token stream
+//! (no `syn`/`quote`: this stub must build with nothing but std).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Fields {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Shape {
+    Struct { name: String, fields: Fields },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+/// Skip one attribute (`#` already consumed positionally: we peek).
+fn skip_attrs(iter: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) {
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                // Either `#[...]` or `#![...]` — consume up to the group.
+                if let Some(TokenTree::Punct(p)) = iter.peek() {
+                    if p.as_char() == '!' {
+                        iter.next();
+                    }
+                }
+                iter.next(); // the [...] group
+            }
+            _ => return,
+        }
+    }
+}
+
+fn skip_visibility(iter: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) {
+    if let Some(TokenTree::Ident(id)) = iter.peek() {
+        if id.to_string() == "pub" {
+            iter.next();
+            if let Some(TokenTree::Group(g)) = iter.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    iter.next(); // pub(crate) / pub(super)
+                }
+            }
+        }
+    }
+}
+
+/// Parse the fields of a brace group: named fields `a: T, b: U`.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut iter = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        skip_attrs(&mut iter);
+        skip_visibility(&mut iter);
+        match iter.next() {
+            Some(TokenTree::Ident(id)) => fields.push(id.to_string()),
+            None => break,
+            other => panic!("unexpected token in named fields: {other:?}"),
+        }
+        // expect ':'
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected ':' after field name, got {other:?}"),
+        }
+        // consume the type: until a ',' at angle-bracket depth 0
+        let mut depth = 0i32;
+        loop {
+            match iter.peek() {
+                None => break,
+                Some(TokenTree::Punct(p)) => {
+                    let c = p.as_char();
+                    if c == '<' {
+                        depth += 1;
+                    } else if c == '>' {
+                        depth -= 1;
+                    } else if c == ',' && depth == 0 {
+                        iter.next();
+                        break;
+                    }
+                    iter.next();
+                }
+                Some(_) => {
+                    iter.next();
+                }
+            }
+        }
+    }
+    fields
+}
+
+/// Count the fields of a paren group (tuple struct / tuple variant).
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut depth = 0i32;
+    let mut any = false;
+    let mut count = 0usize;
+    for tok in stream {
+        any = true;
+        if let TokenTree::Punct(p) = &tok {
+            let c = p.as_char();
+            if c == '<' {
+                depth += 1;
+            } else if c == '>' {
+                depth -= 1;
+            } else if c == ',' && depth == 0 {
+                count += 1;
+            }
+        }
+    }
+    if !any {
+        0
+    } else {
+        count + 1
+    }
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut iter = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attrs(&mut iter);
+        let name = match iter.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("unexpected token in enum body: {other:?}"),
+        };
+        let fields = match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                iter.next();
+                Fields::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = parse_named_fields(g.stream());
+                iter.next();
+                Fields::Named(f)
+            }
+            _ => Fields::Unit,
+        };
+        variants.push(Variant { name, fields });
+        // consume to the ',' separating variants (skips `= discr` if ever present)
+        loop {
+            match iter.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' => break,
+                None => break,
+                _ => {}
+            }
+        }
+    }
+    variants
+}
+
+fn parse_shape(input: TokenStream) -> Shape {
+    let mut iter = input.into_iter().peekable();
+    skip_attrs(&mut iter);
+    skip_visibility(&mut iter);
+    let kind = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected struct/enum, got {other:?}"),
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected type name, got {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() == '<' {
+            panic!("vendored serde_derive does not support generic types ({name})");
+        }
+    }
+    match kind.as_str() {
+        "struct" => match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Shape::Struct {
+                name,
+                fields: Fields::Named(parse_named_fields(g.stream())),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::Struct { name, fields: Fields::Tuple(count_tuple_fields(g.stream())) }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                Shape::Struct { name, fields: Fields::Unit }
+            }
+            other => panic!("unexpected struct body: {other:?}"),
+        },
+        "enum" => match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum { name, variants: parse_variants(g.stream()) }
+            }
+            other => panic!("unexpected enum body: {other:?}"),
+        },
+        other => panic!("expected struct or enum, got {other}"),
+    }
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = parse_shape(input);
+    let src = match &shape {
+        Shape::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => "::serde::Value::Null".to_string(),
+                Fields::Named(fs) => {
+                    let mut b = String::from(
+                        "{ let mut __m = ::serde::Map::new();\n",
+                    );
+                    for f in fs {
+                        b.push_str(&format!(
+                            "__m.insert(\"{f}\".to_string(), ::serde::Serialize::serialize_value(&self.{f}));\n"
+                        ));
+                    }
+                    b.push_str("::serde::Value::Object(__m) }");
+                    b
+                }
+                Fields::Tuple(1) => {
+                    "::serde::Serialize::serialize_value(&self.0)".to_string()
+                }
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Serialize::serialize_value(&self.{i})"))
+                        .collect();
+                    format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                }
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n fn serialize_value(&self) -> ::serde::Value {{ {body} }}\n}}\n"
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::String(\"{vn}\".to_string()),\n"
+                    )),
+                    Fields::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vn}(__a0) => ::serde::variant_value(\"{vn}\", ::serde::Serialize::serialize_value(__a0)),\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__a{i}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::serialize_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => ::serde::variant_value(\"{vn}\", ::serde::Value::Array(vec![{}])),\n",
+                            binds.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                    Fields::Named(fs) => {
+                        let binds = fs.join(", ");
+                        let mut body = String::from("{ let mut __m = ::serde::Map::new();\n");
+                        for f in fs {
+                            body.push_str(&format!(
+                                "__m.insert(\"{f}\".to_string(), ::serde::Serialize::serialize_value({f}));\n"
+                            ));
+                        }
+                        body.push_str("::serde::Value::Object(__m) }");
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {binds} }} => ::serde::variant_value(\"{vn}\", {body}),\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n fn serialize_value(&self) -> ::serde::Value {{ match self {{ {arms} }} }}\n}}\n"
+            )
+        }
+    };
+    src.parse().expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = parse_shape(input);
+    let src = match &shape {
+        Shape::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => format!("let _ = __v; Ok({name})"),
+                Fields::Named(fs) => {
+                    let mut b = format!(
+                        "let __m = __v.as_object_or_err(\"{name}\")?;\n"
+                    );
+                    for f in fs {
+                        b.push_str(&format!(
+                            "let {f} = ::serde::Deserialize::deserialize_value(__m.get(\"{f}\").ok_or_else(|| ::serde::DeError::missing_field(\"{name}\", \"{f}\"))?)?;\n"
+                        ));
+                    }
+                    b.push_str(&format!("Ok({name} {{ {} }})", fs.join(", ")));
+                    b
+                }
+                Fields::Tuple(1) => format!(
+                    "Ok({name}(::serde::Deserialize::deserialize_value(__v)?))"
+                ),
+                Fields::Tuple(n) => {
+                    let mut b = format!(
+                        "let __a = __v.as_array_or_err(\"{name}\", {n})?;\n"
+                    );
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Deserialize::deserialize_value(&__a[{i}])?"))
+                        .collect();
+                    b.push_str(&format!("Ok({name}({}))", items.join(", ")));
+                    b
+                }
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n fn deserialize_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{ {body} }}\n}}\n"
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => unit_arms.push_str(&format!(
+                        "\"{vn}\" => return Ok({name}::{vn}),\n"
+                    )),
+                    Fields::Tuple(1) => data_arms.push_str(&format!(
+                        "\"{vn}\" => return Ok({name}::{vn}(::serde::Deserialize::deserialize_value(__payload)?)),\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| {
+                                format!("::serde::Deserialize::deserialize_value(&__a[{i}])?")
+                            })
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => {{ let __a = __payload.as_array_or_err(\"{name}::{vn}\", {n})?; return Ok({name}::{vn}({})); }}\n",
+                            items.join(", ")
+                        ));
+                    }
+                    Fields::Named(fs) => {
+                        let mut b = format!(
+                            "{{ let __m = __payload.as_object_or_err(\"{name}::{vn}\")?;\n"
+                        );
+                        for f in fs {
+                            b.push_str(&format!(
+                                "let {f} = ::serde::Deserialize::deserialize_value(__m.get(\"{f}\").ok_or_else(|| ::serde::DeError::missing_field(\"{name}::{vn}\", \"{f}\"))?)?;\n"
+                            ));
+                        }
+                        b.push_str(&format!(
+                            "return Ok({name}::{vn} {{ {} }}); }}\n",
+                            fs.join(", ")
+                        ));
+                        data_arms.push_str(&format!("\"{vn}\" => {b}\n"));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n fn deserialize_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 if let ::serde::Value::String(__s) = __v {{ match __s.as_str() {{ {unit_arms} _ => {{}} }} }}\n\
+                 if let Some((__tag, __payload)) = __v.as_variant() {{ match __tag {{ {data_arms} _ => {{}} }} }}\n\
+                 Err(::serde::DeError::custom(format!(\"invalid value for enum {name}: {{:?}}\", __v)))\n\
+                 }}\n}}\n"
+            )
+        }
+    };
+    src.parse().expect("generated Deserialize impl parses")
+}
