@@ -4,13 +4,17 @@
 CARGO := cargo
 OFFLINE := --offline
 
-.PHONY: check test perf bench clippy clean
+.PHONY: check test perf ingest-perf bench clippy clean
 
-# The full gate: release build, tests, clippy with warnings denied.
+# The full gate: release build, tests, workspace clippy with warnings
+# denied, then both throughput harnesses (each compares against its
+# previous BENCH_*.json and warns on >20% drops).
 check:
 	$(CARGO) build --release $(OFFLINE)
 	$(CARGO) test -q $(OFFLINE)
-	$(CARGO) clippy $(OFFLINE) -- -D warnings
+	$(CARGO) clippy $(OFFLINE) --workspace -- -D warnings
+	$(CARGO) run --release $(OFFLINE) -p vapro-bench --bin perf
+	$(CARGO) run --release $(OFFLINE) -p vapro-bench --bin ingest_perf
 
 test:
 	$(CARGO) test -q $(OFFLINE) --workspace
@@ -23,6 +27,12 @@ clippy:
 # >20% throughput drops) before overwriting it.
 perf: bench
 	$(CARGO) run --release $(OFFLINE) -p vapro-bench --bin perf
+
+# Wire-format + windowed-ingestion harness: writes BENCH_ingest.json and
+# enforces the release-mode wire targets (>=4x smaller, >=5x faster
+# decode than JSON).
+ingest-perf:
+	$(CARGO) run --release $(OFFLINE) -p vapro-bench --bin ingest_perf
 
 bench:
 	$(CARGO) bench $(OFFLINE) -p vapro-bench --bench clustering

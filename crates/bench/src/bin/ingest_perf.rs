@@ -1,0 +1,95 @@
+//! The `ingest_perf` binary: run the wire-format + windowed-ingestion
+//! harness, compare it against the previous run, and write
+//! `BENCH_ingest.json`.
+//!
+//! ```text
+//! ingest_perf [--out PATH] [--fragments N] [--ranks N] [--periods N] [--reps N]
+//! ```
+//!
+//! Defaults measure the acceptance configuration: a 4-rank synthetic run
+//! with 8000 computation fragments shipped over 12 reporting periods. If
+//! a previous `BENCH_ingest.json` exists at the output path, throughput
+//! drops beyond 20 % are reported as warnings before the file is
+//! overwritten. The release-mode wire-format targets (≥4× smaller than
+//! JSON, ≥5× faster decode) are checked and failed loudly.
+
+use vapro_bench::{ingest, regression};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: ingest_perf [--out PATH] [--fragments N] [--ranks N] [--periods N] [--reps N]"
+    );
+    std::process::exit(2);
+}
+
+fn num_arg(args: &mut impl Iterator<Item = String>, flag: &str) -> usize {
+    match args.next().and_then(|v| v.parse().ok()) {
+        Some(n) => n,
+        None => {
+            eprintln!("{flag} needs a numeric argument");
+            usage()
+        }
+    }
+}
+
+fn main() {
+    let mut out = String::from("BENCH_ingest.json");
+    let mut fragments = 8000usize;
+    let mut ranks = 4usize;
+    let mut periods = 12usize;
+    let mut reps = 3usize;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--out" => match args.next() {
+                Some(p) => out = p,
+                None => usage(),
+            },
+            "--fragments" => fragments = num_arg(&mut args, "--fragments"),
+            "--ranks" => ranks = num_arg(&mut args, "--ranks").max(1),
+            "--periods" => periods = num_arg(&mut args, "--periods").max(1),
+            "--reps" => reps = num_arg(&mut args, "--reps").max(1),
+            _ => usage(),
+        }
+    }
+
+    let report = ingest::measure(ranks, fragments.max(ranks) / ranks, 32, periods, reps);
+    print!("{}", ingest::summary(&report));
+
+    // The wire-format acceptance targets, enforced on optimised builds
+    // only — debug-mode codec ratios are not meaningful.
+    if !cfg!(debug_assertions) {
+        let mut failed = false;
+        if report.size_ratio < 4.0 {
+            eprintln!("FAIL: binary is only {:.2}x smaller than JSON (target >= 4x)", report.size_ratio);
+            failed = true;
+        }
+        if report.decode_speedup < 5.0 {
+            eprintln!("FAIL: binary decode only {:.2}x faster than JSON (target >= 5x)", report.decode_speedup);
+            failed = true;
+        }
+        if failed {
+            std::process::exit(1);
+        }
+    }
+
+    if let Some(previous) = regression::load_previous_ingest(&out) {
+        let warnings = regression::ingest_regression_warnings(&previous, &report);
+        if warnings.is_empty() {
+            println!("no throughput regression vs previous {out}");
+        }
+        for w in &warnings {
+            eprintln!("WARNING: {w}");
+        }
+    }
+
+    let json = serde_json::to_string(&report).expect("serialisable report");
+    match std::fs::write(&out, &json) {
+        Ok(()) => println!("wrote {out}"),
+        Err(e) => {
+            eprintln!("cannot write {out}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

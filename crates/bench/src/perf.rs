@@ -140,7 +140,14 @@ pub fn synthetic_vectors(n: usize, classes: usize, dim: usize, seed: u64) -> Vec
         .collect()
 }
 
-fn best_of_ns<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
+/// Detected hardware parallelism, recorded in every BENCH json so the
+/// regression gate can tell a code regression from a smaller runner.
+/// Queried once per report via `std::thread::available_parallelism`.
+pub fn detected_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+pub(crate) fn best_of_ns<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
     let mut best = f64::INFINITY;
     for _ in 0..reps.max(1) {
         let t = Instant::now();
@@ -184,7 +191,7 @@ pub fn measure(
     let per_sec = |count: usize, ns: f64| count as f64 / (ns / 1e9);
     DetectPerf {
         bench: "detect".to_string(),
-        threads: rayon::current_num_threads(),
+        threads: detected_threads(),
         ranks: nranks,
         fragments,
         locations,

@@ -98,6 +98,7 @@ pub fn run(opts: &ExpOpts) -> String {
 // compared against the previous file and any throughput metric that
 // dropped by more than `PERF_REGRESSION_TOLERANCE` is reported.
 
+use crate::ingest::IngestPerf;
 use crate::perf::DetectPerf;
 
 /// Relative throughput drop beyond which a warning is emitted (20 %).
@@ -109,47 +110,96 @@ pub fn load_previous_perf(path: &str) -> Option<DetectPerf> {
     serde_json::from_str(&text).ok()
 }
 
-/// Compare a fresh report against the previous one. Returns one warning
-/// line per throughput metric that regressed by more than
+/// Load the previous ingest report, if a readable one exists at `path`.
+pub fn load_previous_ingest(path: &str) -> Option<IngestPerf> {
+    let text = std::fs::read_to_string(path).ok()?;
+    serde_json::from_str(&text).ok()
+}
+
+/// One throughput comparison: warn when `cur` dropped more than
+/// [`PERF_REGRESSION_TOLERANCE`] below `prev`.
+fn check_drop(warnings: &mut Vec<String>, metric: &str, prev: f64, cur: f64) {
+    if prev > 0.0 && cur < prev * (1.0 - PERF_REGRESSION_TOLERANCE) {
+        warnings.push(format!(
+            "{metric} regressed {:.0}%: {cur:.0}/s vs previous {prev:.0}/s",
+            (1.0 - cur / prev) * 100.0
+        ));
+    }
+}
+
+/// Parallel throughput is only comparable between runs with the same
+/// hardware parallelism: a 1-thread runner is not slower *code* than an
+/// 8-thread one. Both BENCH files record `threads`
+/// (`std::thread::available_parallelism` at measurement time); when the
+/// counts differ the parallel metrics are skipped rather than flagged.
+fn threads_comparable(prev: usize, cur: usize) -> bool {
+    prev == cur
+}
+
+/// Compare a fresh detection report against the previous one. Returns
+/// one warning line per throughput metric that regressed by more than
 /// [`PERF_REGRESSION_TOLERANCE`]; empty means no regression.
-///
-/// Only the thread-count-independent metrics gate by default; the
-/// parallel throughput is compared too but annotated when the thread
-/// counts differ (a 1-thread runner is not slower *code* than an
-/// 8-thread one).
 pub fn perf_regression_warnings(previous: &DetectPerf, current: &DetectPerf) -> Vec<String> {
     let mut warnings = Vec::new();
-    let mut check = |metric: &str, prev: f64, cur: f64, note: &str| {
-        if prev > 0.0 && cur < prev * (1.0 - PERF_REGRESSION_TOLERANCE) {
-            warnings.push(format!(
-                "{metric} regressed {:.0}%: {cur:.0}/s vs previous {prev:.0}/s{note}",
-                (1.0 - cur / prev) * 100.0
-            ));
-        }
-    };
-    check(
+    check_drop(
+        &mut warnings,
         "sequential detect throughput",
         previous.seq_fragments_per_sec,
         current.seq_fragments_per_sec,
-        "",
     );
-    check(
+    check_drop(
+        &mut warnings,
         "clustering throughput",
         previous.cluster_vectors_per_sec,
         current.cluster_vectors_per_sec,
-        "",
     );
-    let note = if previous.threads != current.threads {
-        " (thread counts differ — likely environmental)"
-    } else {
-        ""
-    };
-    check(
-        "parallel detect throughput",
-        previous.par_fragments_per_sec,
-        current.par_fragments_per_sec,
-        note,
+    if threads_comparable(previous.threads, current.threads) {
+        check_drop(
+            &mut warnings,
+            "parallel detect throughput",
+            previous.par_fragments_per_sec,
+            current.par_fragments_per_sec,
+        );
+    }
+    warnings
+}
+
+/// Compare a fresh ingest report against the previous one, same
+/// tolerance. Codec throughput and the wire format's size advantage are
+/// thread-independent and always gate; the end-to-end ingest rate
+/// (windows analysed on rayon) only gates between same-parallelism runs.
+pub fn ingest_regression_warnings(previous: &IngestPerf, current: &IngestPerf) -> Vec<String> {
+    let mut warnings = Vec::new();
+    check_drop(
+        &mut warnings,
+        "wire encode throughput",
+        previous.encode_fragments_per_sec,
+        current.encode_fragments_per_sec,
     );
+    check_drop(
+        &mut warnings,
+        "wire decode throughput",
+        previous.decode_fragments_per_sec,
+        current.decode_fragments_per_sec,
+    );
+    // The size advantage regresses when the ratio *shrinks* — same 20 %
+    // tolerance, applied to json-bytes-over-binary-bytes.
+    if previous.size_ratio > 0.0
+        && current.size_ratio < previous.size_ratio * (1.0 - PERF_REGRESSION_TOLERANCE)
+    {
+        warnings.push(format!(
+            "wire size advantage regressed: {:.1}x smaller than JSON vs previous {:.1}x",
+            current.size_ratio, previous.size_ratio
+        ));
+    }
+    if threads_comparable(previous.threads, current.threads) {
+        check_drop(
+            &mut warnings,
+            "end-to-end ingest throughput",
+            previous.ingest_fragments_per_sec,
+            current.ingest_fragments_per_sec,
+        );
+    }
     warnings
 }
 
@@ -214,12 +264,58 @@ mod tests {
     }
 
     #[test]
-    fn perf_gate_annotates_thread_count_changes() {
+    fn perf_gate_skips_parallel_metrics_across_thread_counts() {
+        // An 8-thread baseline replayed on a 1-core runner: the parallel
+        // throughput collapse is environmental, not a code regression —
+        // no warning. With equal thread counts the same drop gates.
         let prev = perf_fixture(1_000_000.0, 4_000_000.0, 5_000_000.0, 8);
         let single_core = perf_fixture(1_000_000.0, 1_000_000.0, 5_000_000.0, 1);
-        let warnings = perf_regression_warnings(&prev, &single_core);
+        assert!(perf_regression_warnings(&prev, &single_core).is_empty());
+        let same_threads = perf_fixture(1_000_000.0, 1_000_000.0, 5_000_000.0, 8);
+        let warnings = perf_regression_warnings(&prev, &same_threads);
         assert_eq!(warnings.len(), 1);
-        assert!(warnings[0].contains("thread counts differ"), "{warnings:?}");
+        assert!(warnings[0].contains("parallel detect throughput"), "{warnings:?}");
+    }
+
+    fn ingest_fixture(encode: f64, decode: f64, ratio: f64, e2e: f64, threads: usize) -> IngestPerf {
+        IngestPerf {
+            bench: "ingest".to_string(),
+            threads,
+            ranks: 4,
+            fragments: 8000,
+            batches: 48,
+            windows: 24,
+            binary_bytes: 300_000,
+            json_bytes: (300_000.0 * ratio) as usize,
+            binary_bytes_per_fragment: 37.5,
+            json_bytes_per_fragment: 37.5 * ratio,
+            size_ratio: ratio,
+            encode_fragments_per_sec: encode,
+            decode_fragments_per_sec: decode,
+            json_encode_fragments_per_sec: encode / 10.0,
+            json_decode_fragments_per_sec: decode / 8.0,
+            decode_speedup: 8.0,
+            ingest_fragments_per_sec: e2e,
+        }
+    }
+
+    #[test]
+    fn ingest_gate_covers_codec_size_and_e2e() {
+        let prev = ingest_fixture(9e6, 8e6, 6.0, 2e6, 8);
+        // Within tolerance on everything: silent.
+        assert!(ingest_regression_warnings(&prev, &ingest_fixture(8e6, 7e6, 5.5, 1.8e6, 8))
+            .is_empty());
+        // Decode 40 % down + ratio collapsed to 3×: two warnings.
+        let bad = ingest_fixture(9e6, 4.8e6, 3.0, 2e6, 8);
+        let warnings = ingest_regression_warnings(&prev, &bad);
+        assert_eq!(warnings.len(), 2, "{warnings:?}");
+        assert!(warnings[0].contains("wire decode throughput"));
+        assert!(warnings[1].contains("size advantage"));
+        // E2E drop gates on same-thread runs only.
+        let slow_e2e = ingest_fixture(9e6, 8e6, 6.0, 1e6, 8);
+        assert_eq!(ingest_regression_warnings(&prev, &slow_e2e).len(), 1);
+        let other_runner = ingest_fixture(9e6, 8e6, 6.0, 1e6, 2);
+        assert!(ingest_regression_warnings(&prev, &other_runner).is_empty());
     }
 
     #[test]

@@ -22,6 +22,7 @@ use crate::config::VaproConfig;
 use crate::fragment::{Fragment, FragmentKind};
 use crate::sampling::BackoffSampler;
 use crate::stg::{StateId, StateKey, Stg};
+use crate::wire::fragment_wire_bytes;
 use std::any::Any;
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
@@ -58,10 +59,6 @@ struct Inflight {
     args: Vec<f64>,
     time: VirtualTime,
 }
-
-/// Approximate serialized size of one fragment record (timestamps, state
-/// id, a handful of counters) — drives the storage-overhead estimate.
-const FRAGMENT_RECORD_BYTES: u64 = 48;
 
 impl Collector {
     /// A collector for `rank` under `cfg`.
@@ -148,18 +145,19 @@ impl Interceptor for Collector {
                         .delta_since(&p.counters)
                         .project(self.cfg.detection_counters);
                     let edge = self.stg_transition(p.state, state);
-                    self.stg.attach_edge_fragment(
-                        edge,
-                        Fragment {
-                            rank: self.rank,
-                            kind: FragmentKind::Computation,
-                            start: p.time,
-                            end: ev.time,
-                            counters: delta,
-                            args: Vec::new(),
-                        },
-                    );
-                    self.bytes_recorded += FRAGMENT_RECORD_BYTES;
+                    let frag = Fragment {
+                        rank: self.rank,
+                        kind: FragmentKind::Computation,
+                        start: p.time,
+                        end: ev.time,
+                        counters: delta,
+                        args: Vec::new(),
+                    };
+                    // Storage accounting charges what this fragment costs
+                    // on the wire (§6.2) — sizes vary with the active
+                    // counter set, so compute per fragment.
+                    self.bytes_recorded += fragment_wire_bytes(&frag);
+                    self.stg.attach_edge_fragment(edge, frag);
                 } else {
                     self.sampled_out += 1;
                     // The transition itself is still part of the STG.
@@ -192,18 +190,16 @@ impl Interceptor for Collector {
         // (paper §3.3), so we store an empty-projection of the deltas and
         // keep args authoritative.
         let _ = counters;
-        self.stg.attach_vertex_fragment(
-            inflight.state,
-            Fragment {
-                rank: self.rank,
-                kind: inflight.kind,
-                start: inflight.time,
-                end: ev.time,
-                counters: Default::default(),
-                args: inflight.args,
-            },
-        );
-        self.bytes_recorded += FRAGMENT_RECORD_BYTES;
+        let frag = Fragment {
+            rank: self.rank,
+            kind: inflight.kind,
+            start: inflight.time,
+            end: ev.time,
+            counters: Default::default(),
+            args: inflight.args,
+        };
+        self.bytes_recorded += fragment_wire_bytes(&frag);
+        self.stg.attach_vertex_fragment(inflight.state, frag);
         self.prev = Some(PrevExit {
             state: inflight.state,
             time: ev.time,
@@ -349,6 +345,34 @@ mod tests {
         c.on_enter(&enter(a, 40, 0.0));
         c.on_exit(&exit(50, 0.0));
         assert!(c.bytes_recorded() > one);
+    }
+
+    #[test]
+    fn byte_accounting_matches_encoded_batch_size() {
+        use crate::detect::window::Window;
+        use crate::wire::FragmentBatch;
+        // The collector's running byte counter must track what the data
+        // actually costs on the binary wire: encode everything it
+        // collected as one batch and compare. The batch adds a fixed
+        // header + label dictionary, so with enough fragments the two
+        // agree within 5 %.
+        let mut c = Collector::new(0, VaproConfig::default());
+        let sites = [CallSite("a"), CallSite("b")];
+        let mut t = 0u64;
+        for i in 0..500usize {
+            c.on_enter(&enter(sites[i % 2], t + 10, (i * 100) as f64));
+            c.on_exit(&exit(t + 25, (i * 100) as f64));
+            t += 40;
+        }
+        let window = Window {
+            start: VirtualTime::ZERO,
+            end: VirtualTime::from_ns(u64::MAX),
+        };
+        let encoded = FragmentBatch::from_stg(c.stg(), 0, window).encode();
+        let recorded = c.bytes_recorded() as f64;
+        let actual = encoded.len() as f64;
+        let err = (recorded - actual).abs() / actual;
+        assert!(err < 0.05, "recorded {recorded} B vs encoded {actual} B ({:.1} % off)", err * 100.0);
     }
 
     #[test]

@@ -13,5 +13,5 @@ pub use heatmap::HeatMap;
 pub use normalize::{CategorySeries, PerfPoint};
 pub use pipeline::{detect, DetectionResult, RarePath};
 pub use region::{grow_regions, VarianceRegion};
-pub use server::{AnalysisServer, ServerPool};
+pub use server::{AnalysisServer, IngestArena, ServerPool, WindowReport, WindowedIngestor};
 pub use window::{windows_covering, Window};

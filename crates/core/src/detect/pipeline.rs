@@ -12,12 +12,13 @@ use crate::config::VaproConfig;
 use crate::detect::heatmap::HeatMap;
 use crate::detect::normalize::{normalize_cluster_outcome_refs, CategorySeries};
 use crate::detect::region::{grow_regions, VarianceRegion};
+use crate::detect::window::Window;
 use crate::fragment::{Fragment, FragmentKind};
 use crate::intern::{Sym, SymbolTable};
 use crate::stg::{StateKey, Stg};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// A rarely-executed path flagged by Algorithm 1's post-processing:
 /// few executions but potentially long — the user should check whether it
@@ -82,7 +83,7 @@ impl DetectionResult {
 /// representation produced.
 pub struct MergedStg<'a> {
     /// The key ↔ symbol table shared by both pool lists.
-    pub symbols: SymbolTable<'a>,
+    pub symbols: SymbolTable<&'a StateKey>,
     /// Vertex pools `(state, fragments)`, sorted by state key.
     pub vertices: Vec<(Sym, Vec<&'a Fragment>)>,
     /// Edge pools `((from, to), fragments)`, sorted by key pair.
@@ -97,7 +98,7 @@ impl<'a> MergedStg<'a> {
 
     /// Iterate vertex pools as `(key, fragments)`.
     pub fn vertex_pools(&self) -> impl Iterator<Item = (&'a StateKey, &[&'a Fragment])> + '_ {
-        self.vertices.iter().map(|(s, p)| (self.symbols.key(*s), p.as_slice()))
+        self.vertices.iter().map(|(s, p)| (self.key(*s), p.as_slice()))
     }
 
     /// Iterate edge pools as `(from, to, fragments)`.
@@ -106,7 +107,13 @@ impl<'a> MergedStg<'a> {
     ) -> impl Iterator<Item = (&'a StateKey, &'a StateKey, &[&'a Fragment])> + '_ {
         self.edges
             .iter()
-            .map(|((f, t), p)| (self.symbols.key(*f), self.symbols.key(*t), p.as_slice()))
+            .map(|((f, t), p)| (self.key(*f), self.key(*t), p.as_slice()))
+    }
+
+    /// Total fragments across all pools.
+    pub fn total_fragments(&self) -> usize {
+        self.vertices.iter().map(|(_, p)| p.len()).sum::<usize>()
+            + self.edges.iter().map(|(_, p)| p.len()).sum::<usize>()
     }
 }
 
@@ -116,6 +123,20 @@ impl<'a> MergedStg<'a> {
 /// per rank); edges resolve their endpoints through the precomputed
 /// per-STG `StateId → Sym` map instead of cloning two keys per edge.
 pub fn merge_stgs<'a>(stgs: &'a [Stg]) -> MergedStg<'a> {
+    merge_stgs_filtered(stgs, |_| true)
+}
+
+/// Pool only the fragments overlapping `window` — the per-window *view*
+/// of the windowed ingestion path. Pure borrows: building a view never
+/// clones a [`Fragment`], unlike the old per-window STG slicing.
+pub fn merge_stgs_window<'a>(stgs: &'a [Stg], window: Window) -> MergedStg<'a> {
+    merge_stgs_filtered(stgs, |f| window.overlaps(f.start, f.end))
+}
+
+fn merge_stgs_filtered<'a>(
+    stgs: &'a [Stg],
+    keep: impl Fn(&Fragment) -> bool,
+) -> MergedStg<'a> {
     let mut symbols = SymbolTable::new();
     let mut vertex_pools: Vec<Vec<&Fragment>> = Vec::new();
     let mut edge_pools: HashMap<(Sym, Sym), Vec<&Fragment>> = HashMap::new();
@@ -132,16 +153,12 @@ pub fn merge_stgs<'a>(stgs: &'a [Stg]) -> MergedStg<'a> {
             })
             .collect();
         for (v, &s) in stg.vertices().iter().zip(&syms) {
-            if !v.fragments.is_empty() {
-                vertex_pools[s as usize].extend(v.fragments.iter());
-            }
+            vertex_pools[s as usize].extend(v.fragments.iter().filter(|f| keep(f)));
         }
         for e in stg.edges() {
-            if !e.fragments.is_empty() {
-                edge_pools
-                    .entry((syms[e.from], syms[e.to]))
-                    .or_default()
-                    .extend(e.fragments.iter());
+            let mut kept = e.fragments.iter().filter(|f| keep(f)).peekable();
+            if kept.peek().is_some() {
+                edge_pools.entry((syms[e.from], syms[e.to])).or_default().extend(kept);
             }
         }
     }
@@ -203,11 +220,6 @@ fn analyze_pool(
 }
 
 /// Shared body of [`detect`], [`detect_seq`] and [`detect_intra`].
-///
-/// Locations (merged vertices, then merged edges, both in key order) are
-/// analysed independently — in parallel when `parallel` is set — and the
-/// per-location results are folded *sequentially in location order*, so
-/// the output is identical whichever path ran.
 fn detect_impl(
     stgs: &[Stg],
     nranks: usize,
@@ -216,7 +228,35 @@ fn detect_impl(
     parallel: bool,
     rank_override: Option<usize>,
 ) -> DetectionResult {
-    let merged = merge_stgs(stgs);
+    detect_merged_impl(&merge_stgs(stgs), nranks, bins, cfg, parallel, rank_override)
+}
+
+/// Run detection over pre-pooled populations — the borrow path the
+/// windowed server ingestion feeds: callers build a [`MergedStg`] view
+/// (e.g. with [`merge_stgs_window`] or from a decoded batch arena)
+/// without cloning a single [`Fragment`], and get the same output as
+/// [`detect`] over equivalent STGs.
+pub fn detect_merged(
+    merged: &MergedStg<'_>,
+    nranks: usize,
+    bins: usize,
+    cfg: &VaproConfig,
+) -> DetectionResult {
+    detect_merged_impl(merged, nranks, bins, cfg, true, None)
+}
+
+/// Locations (merged vertices, then merged edges, both in key order) are
+/// analysed independently — in parallel when `parallel` is set — and the
+/// per-location results are folded *sequentially in location order*, so
+/// the output is identical whichever path ran.
+pub(crate) fn detect_merged_impl(
+    merged: &MergedStg<'_>,
+    nranks: usize,
+    bins: usize,
+    cfg: &VaproConfig,
+    parallel: bool,
+    rank_override: Option<usize>,
+) -> DetectionResult {
     let locations: Vec<(Location, &[&Fragment])> = merged
         .vertices
         .iter()
@@ -269,15 +309,12 @@ fn detect_impl(
     // Coverage: covered fragment time over total execution time (sum of
     // per-rank makespans). Grouping by the fragments' own rank ids keeps
     // the metric identical whether fragments arrive as per-rank STGs or
-    // as one reassembled wire-format graph.
-    let mut rank_end: HashMap<usize, u64> = HashMap::new();
-    for stg in stgs {
-        for f in stg
-            .vertices()
-            .iter()
-            .flat_map(|v| v.fragments.iter())
-            .chain(stg.edges().iter().flat_map(|e| e.fragments.iter()))
-        {
+    // as one reassembled wire-format graph. Every fragment is in exactly
+    // one pool, so walking the pools visits the same population the old
+    // STG walk did; the BTreeMap keeps the f64 summation order fixed.
+    let mut rank_end: BTreeMap<usize, u64> = BTreeMap::new();
+    for (_, pool) in locations.iter() {
+        for f in pool.iter() {
             let e = rank_end.entry(rank_override.unwrap_or(f.rank)).or_insert(0);
             *e = (*e).max(f.end.ns());
         }

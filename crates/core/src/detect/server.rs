@@ -4,18 +4,31 @@
 //! client population evenly for load balance (one server per 256 clients
 //! in the paper's deployment, 0.4 % resource overhead).
 //!
-//! Here a server consumes per-rank fragment batches in virtual-time
-//! order — emulating the periodic shipping — and produces one incremental
-//! detection result per overlapped window. Window analyses are
-//! independent, so the pool runs them on rayon.
+//! Ingestion is incremental and zero-copy past the decode step:
+//!
+//! * [`IngestArena`] decodes each shipped [`FragmentBatch`] **once** into
+//!   per-location fragment pools (fragments are *moved* out of the batch,
+//!   never cloned);
+//! * a per-window *view* ([`IngestArena::window_view`]) borrows the
+//!   overlapping fragments as a [`MergedStg`] of `&Fragment` pools — no
+//!   `Fragment` is cloned per window, unlike the old per-window STG
+//!   slicing;
+//! * [`WindowedIngestor`] tracks the observed time watermark and analyses
+//!   windows on rayon as they close, instead of re-pooling everything at
+//!   every report.
 
 use crate::config::VaproConfig;
-use crate::detect::pipeline::{detect, DetectionResult};
+use crate::detect::pipeline::{
+    detect_merged, merge_stgs_window, DetectionResult, MergedStg,
+};
 use crate::detect::window::{windows_covering, Window};
 use crate::fragment::Fragment;
-use crate::stg::Stg;
+use crate::intern::{Sym, SymbolTable};
+use crate::stg::{StateKey, Stg};
+use crate::wire::{leak_label, FragmentBatch, WireError};
 use rayon::prelude::*;
-use vapro_sim::VirtualTime;
+use std::collections::HashMap;
+use vapro_sim::{CallSite, VirtualTime};
 
 /// One analysis server owning a subset of client ranks.
 #[derive(Debug)]
@@ -84,48 +97,26 @@ impl ServerPool {
 
     /// Analyse one window's shipped [`FragmentBatch`]es — the wire-format
     /// entry point a networked deployment would use: clients serialise
-    /// batches ([`crate::wire::FragmentBatch::to_bytes`]), the server
-    /// reassembles the per-state pools and runs detection on them.
+    /// batches ([`FragmentBatch::encode`]), the server decodes them into
+    /// an [`IngestArena`] and runs detection on the borrowed pools.
     pub fn analyze_batches(
         &self,
-        batches: &[crate::wire::FragmentBatch],
+        batches: &[FragmentBatch],
         nranks: usize,
         bins: usize,
         cfg: &VaproConfig,
-    ) -> crate::detect::pipeline::DetectionResult {
-        use crate::stg::StateKey;
-        let pools = crate::wire::ReassembledPools::from_batches(batches);
-        // Rebuild a single label-keyed STG holding the pooled fragments.
-        // Labels are opaque to detection (only identity matters), so a
-        // leaked interned string per distinct label is the honest cost of
-        // crossing the serialisation boundary back into `CallSite` keys.
-        let mut stg = Stg::new();
-        for (label, frags) in pools.vertices {
-            let site: &'static str = Box::leak(label.into_boxed_str());
-            let id = stg.state(StateKey::Site(vapro_sim::CallSite(site)));
-            for f in frags {
-                stg.attach_vertex_fragment(id, f);
-            }
+    ) -> DetectionResult {
+        let mut arena = IngestArena::new();
+        for b in batches {
+            arena.push_batch(b.clone());
         }
-        for (label, frags) in pools.edges {
-            // Edge labels are "from -> to": reconstruct the two states.
-            let (from_l, to_l) =
-                label.split_once(" -> ").unwrap_or((label.as_str(), label.as_str()));
-            let from_site: &'static str = Box::leak(from_l.to_string().into_boxed_str());
-            let to_site: &'static str = Box::leak(to_l.to_string().into_boxed_str());
-            let from = stg.state(StateKey::Site(vapro_sim::CallSite(from_site)));
-            let to = stg.state(StateKey::Site(vapro_sim::CallSite(to_site)));
-            let e = stg.transition(from, to);
-            for f in frags {
-                stg.attach_edge_fragment(e, f);
-            }
-        }
-        detect(std::slice::from_ref(&stg), nranks, bins, cfg)
+        detect_merged(&arena.full_view(), nranks, bins, cfg)
     }
 
     /// Analyse the run in overlapped windows of `cfg.report_period`:
     /// each window's fragments (from every rank's STG) are detected
-    /// independently; windows run in parallel.
+    /// independently; windows run in parallel. Per-window populations are
+    /// borrowed views ([`merge_stgs_window`]) — zero `Fragment` clones.
     pub fn analyze_windows(
         &self,
         stgs: &[Stg],
@@ -148,15 +139,279 @@ impl ServerPool {
 
         windows
             .into_par_iter()
-            .map(|window| {
-                let sliced: Vec<Stg> =
-                    stgs.iter().map(|s| slice_stg(s, window)).collect();
-                WindowReport {
-                    window,
-                    result: detect(&sliced, nranks, bins_per_window, cfg),
-                }
+            .map(|window| WindowReport {
+                window,
+                result: detect_merged(
+                    &merge_stgs_window(stgs, window),
+                    nranks,
+                    bins_per_window,
+                    cfg,
+                ),
             })
             .collect()
+    }
+}
+
+/// Server-side fragment storage: shipped batches decoded **once** into
+/// per-location pools. Locations are keyed by state (for invocation
+/// pools) or state pair (for computation pools); state identity comes
+/// from the batch label dictionary, so labels containing `" -> "` are
+/// handled like any other.
+#[derive(Debug, Default)]
+pub struct IngestArena {
+    /// Arena state keys; pool entries index into this.
+    keys: Vec<StateKey>,
+    key_ids: HashMap<&'static str, usize>,
+    vertex_pools: HashMap<usize, Vec<Fragment>>,
+    edge_pools: HashMap<(usize, usize), Vec<Fragment>>,
+    fragments: usize,
+    max_end_ns: u64,
+}
+
+impl IngestArena {
+    /// An empty arena.
+    pub fn new() -> IngestArena {
+        IngestArena::default()
+    }
+
+    fn key_id(&mut self, label: &str) -> usize {
+        let leaked = leak_label(label);
+        *self.key_ids.entry(leaked).or_insert_with(|| {
+            self.keys.push(StateKey::Site(CallSite(leaked)));
+            self.keys.len() - 1
+        })
+    }
+
+    /// Absorb one decoded batch, *moving* its fragments into the pools.
+    pub fn push_batch(&mut self, batch: FragmentBatch) {
+        let FragmentBatch { labels, vertex_groups, edge_groups, .. } = batch;
+        let ids: Vec<usize> = labels.iter().map(|l| self.key_id(l)).collect();
+        for g in vertex_groups {
+            self.absorb(g.fragments, |arena, frags| {
+                arena.vertex_pools.entry(ids[g.label as usize]).or_default().extend(frags)
+            });
+        }
+        for g in edge_groups {
+            let key = (ids[g.from as usize], ids[g.to as usize]);
+            self.absorb(g.fragments, |arena, frags| {
+                arena.edge_pools.entry(key).or_default().extend(frags)
+            });
+        }
+    }
+
+    fn absorb(
+        &mut self,
+        frags: Vec<Fragment>,
+        place: impl FnOnce(&mut Self, std::vec::IntoIter<Fragment>),
+    ) {
+        self.fragments += frags.len();
+        for f in &frags {
+            self.max_end_ns = self.max_end_ns.max(f.end.ns());
+        }
+        place(self, frags.into_iter());
+    }
+
+    /// Decode one binary frame and absorb it.
+    pub fn push_encoded(&mut self, bytes: &[u8]) -> Result<(), WireError> {
+        self.push_batch(FragmentBatch::decode(bytes)?);
+        Ok(())
+    }
+
+    /// Total fragments held.
+    pub fn len(&self) -> usize {
+        self.fragments
+    }
+
+    /// Nothing ingested yet?
+    pub fn is_empty(&self) -> bool {
+        self.fragments == 0
+    }
+
+    /// Latest fragment end observed, ns — the arena's time watermark.
+    pub fn max_end_ns(&self) -> u64 {
+        self.max_end_ns
+    }
+
+    fn view(&self, window: Option<Window>) -> MergedStg<'_> {
+        let keep = |f: &&Fragment| match window {
+            Some(w) => w.overlaps(f.start, f.end),
+            None => true,
+        };
+        let mut symbols: SymbolTable<&StateKey> = SymbolTable::new();
+        let mut vertices: Vec<(Sym, Vec<&Fragment>)> = Vec::new();
+        for (&id, pool) in &self.vertex_pools {
+            let kept: Vec<&Fragment> = pool.iter().filter(keep).collect();
+            if !kept.is_empty() {
+                vertices.push((symbols.intern(&self.keys[id]), kept));
+            }
+        }
+        let mut edges: Vec<((Sym, Sym), Vec<&Fragment>)> = Vec::new();
+        for (&(from, to), pool) in &self.edge_pools {
+            let kept: Vec<&Fragment> = pool.iter().filter(keep).collect();
+            if !kept.is_empty() {
+                edges.push((
+                    (symbols.intern(&self.keys[from]), symbols.intern(&self.keys[to])),
+                    kept,
+                ));
+            }
+        }
+        // Pools sort by (rank, time): results don't depend on batch
+        // arrival order, and the order equals what `merge_stgs` produces
+        // from rank-indexed STGs — which is what makes the incremental
+        // reports bit-identical to the one-shot windowed analysis.
+        for pool in vertices
+            .iter_mut()
+            .map(|(_, p)| p)
+            .chain(edges.iter_mut().map(|(_, p)| p))
+        {
+            pool.sort_by_key(|f| (f.rank, f.start.ns(), f.end.ns()));
+        }
+        // Key-sorted pool order, matching `merge_stgs` exactly.
+        vertices.sort_by(|a, b| symbols.key(a.0).cmp(symbols.key(b.0)));
+        edges.sort_by(|a, b| {
+            (symbols.key(a.0 .0), symbols.key(a.0 .1))
+                .cmp(&(symbols.key(b.0 .0), symbols.key(b.0 .1)))
+        });
+        MergedStg { symbols, vertices, edges }
+    }
+
+    /// Borrow the fragments overlapping `window` as pooled populations.
+    /// Building a view clones no `Fragment` — it is index slices over the
+    /// arena — and feeds [`detect_merged`] directly.
+    pub fn window_view(&self, window: Window) -> MergedStg<'_> {
+        self.view(Some(window))
+    }
+
+    /// Borrow everything ingested so far, regardless of time.
+    pub fn full_view(&self) -> MergedStg<'_> {
+        self.view(None)
+    }
+}
+
+/// Incremental windowed ingestion: push batches as clients ship them;
+/// half-overlapped analysis windows are detected on rayon **as they
+/// close**, rather than re-pooling the whole run at every report.
+///
+/// A window closes when *every* rank has shipped past its end. Each
+/// batch's `window_end_ns` declares "this rank has reported every
+/// fragment starting before here" (start-partitioned shipping,
+/// [`FragmentBatch::from_stg_starting_in`]); the minimum of those
+/// per-rank marks is the shipping low-watermark, and a window whose end
+/// it passes can no longer gain fragments — one fast client racing ahead
+/// never closes a window that slower clients still owe data to.
+///
+/// When clients ship exactly their data span, the union of all reports
+/// (stream + [`WindowedIngestor::finish`]) is bit-identical to the
+/// one-shot [`ServerPool::analyze_windows`] over the same STGs.
+pub struct WindowedIngestor {
+    arena: IngestArena,
+    nranks: usize,
+    bins_per_window: usize,
+    cfg: VaproConfig,
+    /// Windows emitted so far; window `k` spans
+    /// `[k·step, k·step + period)` with `step = period/2`.
+    closed: usize,
+    /// Per-rank shipping marks: `rank_shipped_ns[r]` is the largest
+    /// `window_end_ns` rank `r` has shipped.
+    rank_shipped_ns: Vec<u64>,
+}
+
+impl WindowedIngestor {
+    /// A fresh ingestor analysing windows of `cfg.report_period` for a
+    /// population of `nranks` clients.
+    pub fn new(nranks: usize, bins_per_window: usize, cfg: VaproConfig) -> WindowedIngestor {
+        assert!(cfg.report_period.ns() > 0, "zero analysis period");
+        assert!(nranks > 0, "need at least one client");
+        WindowedIngestor {
+            arena: IngestArena::new(),
+            nranks,
+            bins_per_window,
+            cfg,
+            closed: 0,
+            rank_shipped_ns: vec![0; nranks],
+        }
+    }
+
+    fn window(&self, k: usize) -> Window {
+        let step = (self.cfg.report_period.ns() / 2).max(1);
+        let start = k as u64 * step;
+        Window {
+            start: VirtualTime::from_ns(start),
+            end: VirtualTime::from_ns(start + self.cfg.report_period.ns()),
+        }
+    }
+
+    /// The arena accumulated so far.
+    pub fn arena(&self) -> &IngestArena {
+        &self.arena
+    }
+
+    /// Absorb one batch and analyse every window it closed. Batches past
+    /// a rank's last fragment (even empty ones) still advance its
+    /// shipping mark.
+    pub fn push(&mut self, batch: FragmentBatch) -> Vec<WindowReport> {
+        assert!(batch.rank < self.nranks, "batch from unknown rank {}", batch.rank);
+        let mark = &mut self.rank_shipped_ns[batch.rank];
+        *mark = (*mark).max(batch.window_end_ns);
+        self.arena.push_batch(batch);
+        self.close_ready()
+    }
+
+    /// Decode one binary frame, absorb it, analyse closed windows.
+    pub fn push_encoded(&mut self, bytes: &[u8]) -> Result<Vec<WindowReport>, WireError> {
+        self.arena.push_encoded(bytes)?;
+        Ok(self.close_ready())
+    }
+
+    fn analyze(&self, windows: Vec<Window>) -> Vec<WindowReport> {
+        windows
+            .into_par_iter()
+            .map(|window| WindowReport {
+                window,
+                result: detect_merged(
+                    &self.arena.window_view(window),
+                    self.nranks,
+                    self.bins_per_window,
+                    &self.cfg,
+                ),
+            })
+            .collect()
+    }
+
+    fn close_ready(&mut self) -> Vec<WindowReport> {
+        // A window is closeable once no rank owes it fragments (its end
+        // is behind every rank's shipping mark) and it intersects the
+        // data actually seen (no empty reports past the run's end).
+        let low = self.rank_shipped_ns.iter().copied().min().unwrap_or(0);
+        let seen = self.arena.max_end_ns();
+        let mut ready = Vec::new();
+        loop {
+            let w = self.window(self.closed);
+            if w.end.ns() > low || w.start.ns() >= seen {
+                break;
+            }
+            ready.push(w);
+            self.closed += 1;
+        }
+        self.analyze(ready)
+    }
+
+    /// End of stream: analyse the remaining windows. The union of all
+    /// reports equals exactly what [`ServerPool::analyze_windows`] —
+    /// i.e. [`windows_covering`] up to the data watermark — produces.
+    /// An ingestor that saw no fragments reports nothing.
+    pub fn finish(mut self) -> Vec<WindowReport> {
+        let t_end = self.arena.max_end_ns();
+        let mut remaining = Vec::new();
+        // Emit up to and including the first window whose end reaches
+        // `t_end`, mirroring `windows_covering(0, t_end, period)`.
+        while t_end > 0
+            && (self.closed == 0 || self.window(self.closed - 1).end.ns() < t_end)
+        {
+            remaining.push(self.window(self.closed));
+            self.closed += 1;
+        }
+        self.analyze(remaining)
     }
 }
 
@@ -186,31 +441,10 @@ pub fn tree_aggregate(mut maps: Vec<crate::detect::heatmap::HeatMap>) -> Option<
     maps.pop()
 }
 
-/// Restrict an STG to the fragments overlapping `window` (what one
-/// reporting period's shipped batch contains).
-fn slice_stg(stg: &Stg, window: Window) -> Stg {
-    let keep = |f: &Fragment| window.overlaps(f.start, f.end);
-    let mut out = Stg::new();
-    let mut ids = Vec::with_capacity(stg.num_states());
-    for v in stg.vertices() {
-        let id = out.state(v.key.clone());
-        ids.push(id);
-        for f in v.fragments.iter().filter(|f| keep(f)) {
-            out.attach_vertex_fragment(id, f.clone());
-        }
-    }
-    for e in stg.edges() {
-        let eid = out.transition(ids[e.from], ids[e.to]);
-        for f in e.fragments.iter().filter(|f| keep(f)) {
-            out.attach_edge_fragment(eid, f.clone());
-        }
-    }
-    out
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::detect::pipeline::{detect, detect_merged_impl};
     use crate::fragment::FragmentKind;
     use crate::stg::StateKey;
     use vapro_pmu::{CounterDelta, CounterId};
@@ -289,18 +523,195 @@ mod tests {
         assert!(hit, "no window detected the slow span");
     }
 
+    /// The pre-refactor reference: restrict an STG to the fragments
+    /// overlapping `window` by *cloning* them into a fresh graph.
+    fn slice_stg(stg: &Stg, window: Window) -> Stg {
+        let keep = |f: &Fragment| window.overlaps(f.start, f.end);
+        let mut out = Stg::new();
+        let mut ids = Vec::with_capacity(stg.num_states());
+        for v in stg.vertices() {
+            let id = out.state(v.key.clone());
+            ids.push(id);
+            for f in v.fragments.iter().filter(|f| keep(f)) {
+                out.attach_vertex_fragment(id, f.clone());
+            }
+        }
+        for e in stg.edges() {
+            let eid = out.transition(ids[e.from], ids[e.to]);
+            for f in e.fragments.iter().filter(|f| keep(f)) {
+                out.attach_edge_fragment(eid, f.clone());
+            }
+        }
+        out
+    }
+
+    fn assert_results_identical(a: &DetectionResult, b: &DetectionResult) {
+        assert_eq!(a.series, b.series);
+        assert_eq!(a.rare_paths, b.rare_paths);
+        assert_eq!(a.comp_map, b.comp_map);
+        assert_eq!(a.comm_map, b.comm_map);
+        assert_eq!(a.io_map, b.io_map);
+        assert_eq!(a.comp_regions, b.comp_regions);
+        assert_eq!(a.comm_regions, b.comm_regions);
+        assert_eq!(a.io_regions, b.io_regions);
+        assert_eq!(a.coverage.to_bits(), b.coverage.to_bits());
+    }
+
+    #[test]
+    fn window_views_are_bit_identical_to_cloned_slices() {
+        // The zero-copy window path must reproduce the old
+        // slice-and-clone pooling exactly, window by window.
+        let cfg = VaproConfig {
+            report_period: VirtualTime::from_secs(5),
+            ..VaproConfig::default()
+        };
+        let mut stgs: Vec<Stg> = (0..3)
+            .map(|r| looped_stg(r, 30, 1_000_000_000, 0..0))
+            .collect();
+        stgs[1] = looped_stg(1, 30, 1_000_000_000, 10..16);
+        let pool = ServerPool::new(1, 3);
+        let reports = pool.analyze_windows(&stgs, 3, 8, &cfg);
+        let t_end = VirtualTime::from_ns(stgs.iter().flat_map(|s| s.edges()).flat_map(|e| e.fragments.iter()).map(|f| f.end.ns()).max().unwrap());
+        let windows = windows_covering(VirtualTime::ZERO, t_end, cfg.report_period);
+        assert_eq!(reports.len(), windows.len());
+        for (report, window) in reports.iter().zip(windows) {
+            assert_eq!(report.window, window);
+            let sliced: Vec<Stg> = stgs.iter().map(|s| slice_stg(s, window)).collect();
+            let reference = detect(&sliced, 3, 8, &cfg);
+            assert_results_identical(&report.result, &reference);
+        }
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn window_views_clone_no_fragments() {
+        use crate::fragment::clone_count;
+        let cfg = VaproConfig {
+            report_period: VirtualTime::from_secs(5),
+            ..VaproConfig::default()
+        };
+        let stgs: Vec<Stg> = (0..2)
+            .map(|r| looped_stg(r, 20, 1_000_000_000, 5..9))
+            .collect();
+        let windows =
+            windows_covering(VirtualTime::ZERO, VirtualTime::from_secs(25), cfg.report_period);
+        // Run the whole per-window pipeline single-threaded on this
+        // thread: the thread-local clone counter must not move.
+        let before = clone_count::on_this_thread();
+        for window in windows {
+            let view = merge_stgs_window(&stgs, window);
+            let _ = detect_merged_impl(&view, 2, 8, &cfg, false, None);
+        }
+        assert_eq!(clone_count::on_this_thread(), before, "fragment cloned on window path");
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn arena_window_views_clone_no_fragments() {
+        use crate::fragment::clone_count;
+        let cfg = VaproConfig::default();
+        let stg = looped_stg(0, 20, 1_000_000, 0..0);
+        let window = Window { start: VirtualTime::ZERO, end: VirtualTime::from_secs(1) };
+        let encoded = FragmentBatch::from_stg(&stg, 0, window).encode();
+        let mut arena = IngestArena::new();
+        // Decoding constructs fragments (it doesn't clone), pushing moves
+        // them, and every window view after that is borrows only.
+        let before = clone_count::on_this_thread();
+        arena.push_encoded(&encoded).unwrap();
+        for k in 0..4u64 {
+            let w = Window {
+                start: VirtualTime::from_ns(k * 5_000_000),
+                end: VirtualTime::from_ns(k * 5_000_000 + 10_000_000),
+            };
+            let _ = detect_merged_impl(&arena.window_view(w), 1, 8, &cfg, false, None);
+        }
+        assert_eq!(clone_count::on_this_thread(), before, "fragment cloned on ingest path");
+    }
+
+    #[test]
+    fn incremental_ingestor_matches_batch_windowing() {
+        // Clients ship start-partitioned per-period batches through the
+        // binary wire; the incremental ingestor's reports must equal the
+        // one-shot windowed analysis of the same STGs.
+        let cfg = VaproConfig {
+            report_period: VirtualTime::from_secs(5),
+            ..VaproConfig::default()
+        };
+        let mut stgs: Vec<Stg> = (0..3)
+            .map(|r| looped_stg(r, 30, 1_000_000_000, 0..0))
+            .collect();
+        stgs[2] = looped_stg(2, 30, 1_000_000_000, 12..18);
+        let pool = ServerPool::new(1, 3);
+        let reference = pool.analyze_windows(&stgs, 3, 8, &cfg);
+
+        // Period-major shipping (every rank ships period k before any
+        // rank ships k+1) — the paper's reporting pattern. Pool views
+        // sort by (rank, time), so arrival order doesn't matter for the
+        // bit-exactness.
+        let mut ingestor = WindowedIngestor::new(3, 8, cfg.clone());
+        let mut reports = Vec::new();
+        for k in 0..20u64 {
+            let period = Window {
+                start: VirtualTime::from_secs(5 * k),
+                end: VirtualTime::from_secs(5 * (k + 1)),
+            };
+            for (rank, stg) in stgs.iter().enumerate() {
+                let batch = FragmentBatch::from_stg_starting_in(stg, rank, period);
+                if batch.is_empty() {
+                    continue;
+                }
+                reports.extend(
+                    ingestor.push_encoded(&batch.encode()).expect("valid frame"),
+                );
+            }
+        }
+        reports.extend(ingestor.finish());
+
+        assert_eq!(reports.len(), reference.len());
+        for (got, want) in reports.iter().zip(&reference) {
+            assert_eq!(got.window, want.window);
+            assert_results_identical(&got.result, &want.result);
+        }
+        // And the variance was actually found in some window.
+        assert!(reports.iter().any(|r| !r.result.comp_regions.is_empty()));
+    }
+
+    #[test]
+    fn ingestor_closes_windows_incrementally() {
+        let cfg = VaproConfig {
+            report_period: VirtualTime::from_secs(5),
+            ..VaproConfig::default()
+        };
+        let stg = looped_stg(0, 30, 1_000_000_000, 0..0);
+        let mut ingestor = WindowedIngestor::new(1, 8, cfg);
+        let mut closed_during_stream = 0;
+        for k in 0..6u64 {
+            let period = Window {
+                start: VirtualTime::from_secs(5 * k),
+                end: VirtualTime::from_secs(5 * (k + 1)),
+            };
+            let batch = FragmentBatch::from_stg_starting_in(&stg, 0, period);
+            let reports = ingestor.push(batch);
+            closed_during_stream += reports.len();
+        }
+        // Most windows close while the stream is still flowing — that is
+        // the "analyse as they close" property.
+        assert!(closed_during_stream >= 4, "only {closed_during_stream} closed early");
+        let tail = ingestor.finish();
+        assert!(tail.len() <= 2, "{} windows left to finish", tail.len());
+    }
+
     #[test]
     fn wire_batches_detect_like_direct_stgs() {
         // The networked path (serialise → ship → reassemble → detect)
         // finds the same variance as the in-process path.
-        use crate::wire::FragmentBatch;
         let mut stgs = vec![];
         for rank in 0..4usize {
             let slow = if rank == 2 { 5..15 } else { 0..0 };
             stgs.push(looped_stg(rank, 20, 1_000_000, slow));
         }
         let cfg = VaproConfig::default();
-        let direct = crate::detect::pipeline::detect(&stgs, 4, 16, &cfg);
+        let direct = detect(&stgs, 4, 16, &cfg);
 
         let window = Window {
             start: VirtualTime::ZERO,
@@ -310,9 +721,10 @@ mod tests {
             .iter()
             .enumerate()
             .map(|(rank, stg)| {
-                // Through the wire and back, as a real client would ship it.
-                let bytes = FragmentBatch::from_stg(stg, rank, window).to_bytes();
-                FragmentBatch::from_bytes(&bytes).expect("parse")
+                // Through the binary wire and back, as a real client
+                // would ship it.
+                let bytes = FragmentBatch::from_stg(stg, rank, window).encode();
+                FragmentBatch::decode(&bytes).expect("parse")
             })
             .collect();
         let pool = ServerPool::new(1, 4);
@@ -355,19 +767,5 @@ mod tests {
             }
         }
         assert!(tree_aggregate(vec![]).is_none());
-    }
-
-    #[test]
-    fn sliced_stg_preserves_structure() {
-        let stg = looped_stg(0, 10, 100, 10..10);
-        let w = Window {
-            start: VirtualTime::from_ns(0),
-            end: VirtualTime::from_ns(500),
-        };
-        let sliced = slice_stg(&stg, w);
-        assert_eq!(sliced.num_states(), stg.num_states());
-        assert_eq!(sliced.num_edges(), stg.num_edges());
-        assert!(sliced.total_fragments() < stg.total_fragments());
-        assert!(sliced.total_fragments() > 0);
     }
 }

@@ -27,8 +27,32 @@ pub enum FragmentKind {
     Other,
 }
 
+/// Counts [`Fragment`] clones in debug builds — the instrument behind
+/// the zero-copy guarantees of the merge and windowed-ingestion paths.
+/// Release builds compile the counter out entirely.
+#[cfg(debug_assertions)]
+pub mod clone_count {
+    use std::cell::Cell;
+
+    thread_local! {
+        static CLONES: Cell<u64> = const { Cell::new(0) };
+    }
+
+    /// Fragment clones performed *by the current thread* so far. Tests
+    /// snapshot this, run a single-threaded pipeline, and assert the
+    /// delta — the thread-local keeps concurrently-running tests from
+    /// polluting each other's counts.
+    pub fn on_this_thread() -> u64 {
+        CLONES.with(Cell::get)
+    }
+
+    pub(super) fn record() {
+        CLONES.with(|c| c.set(c.get() + 1));
+    }
+}
+
 /// One observed fragment.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, PartialEq, Serialize, Deserialize)]
 pub struct Fragment {
     /// Originating rank.
     pub rank: usize,
@@ -42,6 +66,21 @@ pub struct Fragment {
     pub counters: CounterDelta,
     /// Invocation arguments (empty for computation fragments).
     pub args: Vec<f64>,
+}
+
+impl Clone for Fragment {
+    fn clone(&self) -> Fragment {
+        #[cfg(debug_assertions)]
+        clone_count::record();
+        Fragment {
+            rank: self.rank,
+            kind: self.kind,
+            start: self.start,
+            end: self.end,
+            counters: self.counters.clone(),
+            args: self.args.clone(),
+        }
+    }
 }
 
 impl Fragment {

@@ -1,54 +1,68 @@
-//! State-key interning for the detection pipeline.
+//! Interning for the detection pipeline and the wire format.
 //!
 //! Merging per-rank STGs used to clone every [`StateKey`] it touched —
 //! once per vertex and twice per edge, per rank. Keys are cheap for
 //! context-free sites but a context-aware [`StateKey::Path`] owns a full
 //! call-path vector, so the clones dominated `merge_stgs` on deep call
-//! trees. The [`SymbolTable`] instead borrows each distinct key once and
+//! trees. The [`SymbolTable`] instead stores each distinct key once and
 //! hands out dense `u32` symbols; everything downstream (pooling, sorting,
-//! labelling) works on symbols and resolves back to the borrowed key only
+//! labelling) works on symbols and resolves back to the stored key only
 //! when a label is actually needed.
+//!
+//! The table is generic over the key type: the detection pipeline interns
+//! `&StateKey` borrowed from the STGs (never cloning a key), and the wire
+//! format ([`crate::wire`]) interns owned `String` labels to build the
+//! per-batch label dictionary.
+//!
+//! [`StateKey`]: crate::stg::StateKey
 
-use crate::stg::StateKey;
 use std::collections::HashMap;
+use std::hash::Hash;
 
-/// Dense id of an interned [`StateKey`].
+/// Dense id of an interned key.
 pub type Sym = u32;
 
-/// Interns borrowed state keys to dense [`Sym`] ids.
+/// Interns keys to dense [`Sym`] ids.
 ///
-/// The table never clones a key: it stores one `&StateKey` per distinct
-/// key, borrowed from the STG that first mentioned it.
-#[derive(Debug, Default)]
-pub struct SymbolTable<'a> {
-    map: HashMap<&'a StateKey, Sym>,
-    keys: Vec<&'a StateKey>,
+/// Each distinct key is stored once in insertion order; `Sym`s index that
+/// order. For borrowed keys (`K = &T`) the table never clones the
+/// underlying value.
+#[derive(Debug)]
+pub struct SymbolTable<K> {
+    map: HashMap<K, Sym>,
+    keys: Vec<K>,
 }
 
-impl<'a> SymbolTable<'a> {
+impl<K> Default for SymbolTable<K> {
+    fn default() -> Self {
+        SymbolTable { map: HashMap::new(), keys: Vec::new() }
+    }
+}
+
+impl<K: Eq + Hash + Clone> SymbolTable<K> {
     /// An empty table.
-    pub fn new() -> SymbolTable<'a> {
+    pub fn new() -> SymbolTable<K> {
         SymbolTable::default()
     }
 
     /// Intern a key, returning its symbol (stable across repeat calls).
-    pub fn intern(&mut self, key: &'a StateKey) -> Sym {
-        if let Some(&sym) = self.map.get(key) {
+    pub fn intern(&mut self, key: K) -> Sym {
+        if let Some(&sym) = self.map.get(&key) {
             return sym;
         }
-        let sym = Sym::try_from(self.keys.len()).expect("more than u32::MAX distinct states");
-        self.keys.push(key);
+        let sym = Sym::try_from(self.keys.len()).expect("more than u32::MAX distinct keys");
+        self.keys.push(key.clone());
         self.map.insert(key, sym);
         sym
     }
 
     /// Resolve a symbol back to its key.
-    pub fn key(&self, sym: Sym) -> &'a StateKey {
-        self.keys[sym as usize]
+    pub fn key(&self, sym: Sym) -> &K {
+        &self.keys[sym as usize]
     }
 
     /// Look up a key's symbol without interning it.
-    pub fn find(&self, key: &StateKey) -> Option<Sym> {
+    pub fn find(&self, key: &K) -> Option<Sym> {
         self.map.get(key).copied()
     }
 
@@ -61,11 +75,22 @@ impl<'a> SymbolTable<'a> {
     pub fn is_empty(&self) -> bool {
         self.keys.is_empty()
     }
+
+    /// The interned keys in symbol order; `Sym` indexes this slice.
+    pub fn keys(&self) -> &[K] {
+        &self.keys
+    }
+
+    /// Consume the table, returning the keys in symbol order.
+    pub fn into_keys(self) -> Vec<K> {
+        self.keys
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::stg::StateKey;
     use vapro_sim::CallSite;
 
     #[test]
@@ -78,8 +103,8 @@ mod tests {
         assert_eq!(t.intern(&a), sa);
         assert_ne!(sa, sb);
         assert_eq!(t.len(), 2);
-        assert_eq!(t.key(sa), &a);
-        assert_eq!(t.key(sb), &b);
+        assert_eq!(*t.key(sa), &a);
+        assert_eq!(*t.key(sb), &b);
     }
 
     #[test]
@@ -97,9 +122,22 @@ mod tests {
     fn find_does_not_intern() {
         let a = StateKey::Start;
         let mut t = SymbolTable::new();
-        assert_eq!(t.find(&a), None);
+        assert_eq!(t.find(&&a), None);
         let s = t.intern(&a);
-        assert_eq!(t.find(&a), Some(s));
+        assert_eq!(t.find(&&a), Some(s));
         assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn owned_string_keys_build_a_dictionary() {
+        // The wire-format use: intern owned labels, read them back in
+        // symbol order as the batch dictionary.
+        let mut t: SymbolTable<String> = SymbolTable::new();
+        let a = t.intern("alpha".to_string());
+        let b = t.intern("beta".to_string());
+        assert_eq!(t.intern("alpha".to_string()), a);
+        assert_eq!(t.keys(), &["alpha".to_string(), "beta".to_string()]);
+        assert_eq!(t.into_keys(), vec!["alpha".to_string(), "beta".to_string()]);
+        let _ = b;
     }
 }

@@ -45,13 +45,19 @@ pub use clustering::{
     cluster_fragment_refs, cluster_fragments, cluster_vectors, cluster_vectors_unpruned, Cluster,
     ClusterOutcome,
 };
-pub use detect::pipeline::{detect, detect_intra, detect_seq, merge_stgs, DetectionResult};
+pub use detect::pipeline::{
+    detect, detect_intra, detect_merged, detect_seq, merge_stgs, merge_stgs_window,
+    DetectionResult, MergedStg,
+};
 pub use intern::{Sym, SymbolTable};
 pub use collector::Collector;
 pub use config::{StgMode, VaproConfig};
 pub use detect::heatmap::HeatMap;
 pub use detect::region::VarianceRegion;
-pub use detect::server::{AnalysisServer, ServerPool};
+pub use detect::server::{
+    AnalysisServer, IngestArena, ServerPool, WindowReport, WindowedIngestor,
+};
 pub use fragment::{Fragment, FragmentKind};
 pub use report::VaproReport;
 pub use stg::{StateKey, Stg};
+pub use wire::{FragmentBatch, ReassembledPools, WireError};

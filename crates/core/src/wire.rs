@@ -1,18 +1,81 @@
 //! The client → server wire format (paper Fig. 8 / §5: clients ship
 //! performance data to dedicated analysis servers each reporting period).
 //!
-//! A [`FragmentBatch`] is what one rank sends for one window: its rank
-//! id, the window bounds, and the fragments keyed by *state label*
-//! (strings — the STG's `&'static str` call-sites don't survive
-//! serialisation, and the server only needs the label identity anyway).
-//! Batches serialise to JSON/bytes, and a set of batches reconstructs the
-//! pooled per-state fragment populations the detection pipeline consumes.
+//! A [`FragmentBatch`] is what one rank sends for one reporting period:
+//! its rank id, the window bounds, a **label dictionary** (each distinct
+//! state label appears once, referenced by dense `u32` id — reusing the
+//! [`SymbolTable`] interner), and the fragments grouped per STG location.
+//! Edges are `(from, to)` id pairs, so a state label containing `" -> "`
+//! can never collide with a transition label.
+//!
+//! Two serialisations exist:
+//!
+//! * [`FragmentBatch::encode`] — the production path: a compact
+//!   **columnar (SoA) binary layout** with length-prefixed framing
+//!   (see the module constants and `DESIGN.md` §“Wire format”). Fragments
+//!   are written as contiguous columns (ranks, kinds, starts, ends,
+//!   counter sets, counter values, argument vectors), which is both
+//!   several times smaller and several times faster to decode than JSON.
+//! * [`FragmentBatch::to_json_bytes`] — a JSON fallback kept for
+//!   debugging; it serialises the same structure via serde.
+//!
+//! ```text
+//! frame   := payload_len:u32 payload
+//! payload := magic "VPRW" | version:u8 (=1)
+//!          | rank:u32 | window_start_ns:u64 | window_end_ns:u64
+//!          | nlabels:u32 | nlabels × (len:u32, utf-8 bytes)
+//!          | nvgroups:u32 | nvgroups × (label:u32, count:u32)
+//!          | negroups:u32 | negroups × (from:u32, to:u32, count:u32)
+//!          | nfrags:u32            -- Σ counts, vertex groups then edge
+//!          | ranks:   nfrags × u32    groups, fragments in group order
+//!          | kinds:   nfrags × u8
+//!          | starts:  nfrags × u64
+//!          | ends:    nfrags × u64
+//!          | csets:   nfrags × u32    -- CounterSet bitmask over ALL
+//!          | ncvals:u32 | cvals: ncvals × f64   -- active counters only
+//!          | nargcs:  nfrags × u16
+//!          | nargs:u32  | args:  nargs × f64
+//! ```
+//!
+//! All integers and floats are little-endian.
 
 use crate::detect::window::Window;
-use crate::fragment::Fragment;
+use crate::fragment::{Fragment, FragmentKind};
+use crate::intern::{Sym, SymbolTable};
 use crate::stg::Stg;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashSet};
+use std::fmt;
+use std::sync::{Mutex, OnceLock};
+use vapro_pmu::{CounterDelta, CounterId};
+use vapro_sim::VirtualTime;
+
+/// Frame magic: identifies a Vapro wire payload.
+pub const WIRE_MAGIC: [u8; 4] = *b"VPRW";
+/// Current wire-format version byte.
+pub const WIRE_VERSION: u8 = 1;
+
+/// The invocation fragments of one state (STG vertex), by dictionary id.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VertexGroup {
+    /// Dictionary id of the state label.
+    pub label: Sym,
+    /// Invocation fragments observed in this state.
+    pub fragments: Vec<Fragment>,
+}
+
+/// The computation fragments of one transition (STG edge), by endpoint
+/// dictionary ids — never a formatted `"from -> to"` string, so labels
+/// containing `" -> "` cannot collide.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EdgeGroup {
+    /// Dictionary id of the source state label.
+    pub from: Sym,
+    /// Dictionary id of the destination state label.
+    pub to: Sym,
+    /// Computation fragments observed on this transition.
+    pub fragments: Vec<Fragment>,
+}
 
 /// One rank's shipped data for one reporting window.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -23,50 +86,206 @@ pub struct FragmentBatch {
     pub window_start_ns: u64,
     /// Window end, ns.
     pub window_end_ns: u64,
-    /// Invocation fragments per state label.
-    pub vertex_fragments: BTreeMap<String, Vec<Fragment>>,
-    /// Computation fragments per transition label ("from -> to").
-    pub edge_fragments: BTreeMap<String, Vec<Fragment>>,
+    /// Label dictionary: each distinct state label once; groups refer to
+    /// labels by index.
+    pub labels: Vec<String>,
+    /// Invocation fragments per state.
+    pub vertex_groups: Vec<VertexGroup>,
+    /// Computation fragments per transition.
+    pub edge_groups: Vec<EdgeGroup>,
+}
+
+/// Decoding failure of a binary wire frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer ended before the frame did.
+    Truncated,
+    /// The payload does not start with [`WIRE_MAGIC`].
+    BadMagic,
+    /// The version byte is newer than this decoder.
+    UnsupportedVersion(u8),
+    /// A dictionary label is not valid UTF-8.
+    BadUtf8,
+    /// A fragment-kind byte outside the known range.
+    BadKind(u8),
+    /// A group references a label id outside the dictionary.
+    BadLabelId(Sym),
+    /// Column lengths disagree with the group counts.
+    CountMismatch,
+    /// Bytes left over after a single-frame decode.
+    TrailingBytes,
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "truncated wire frame"),
+            WireError::BadMagic => write!(f, "bad wire magic"),
+            WireError::UnsupportedVersion(v) => write!(f, "unsupported wire version {v}"),
+            WireError::BadUtf8 => write!(f, "dictionary label is not UTF-8"),
+            WireError::BadKind(k) => write!(f, "unknown fragment kind byte {k}"),
+            WireError::BadLabelId(id) => write!(f, "label id {id} outside dictionary"),
+            WireError::CountMismatch => write!(f, "column length does not match group counts"),
+            WireError::TrailingBytes => write!(f, "trailing bytes after frame"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+fn kind_to_byte(kind: FragmentKind) -> u8 {
+    match kind {
+        FragmentKind::Computation => 0,
+        FragmentKind::Communication => 1,
+        FragmentKind::Io => 2,
+        FragmentKind::Other => 3,
+    }
+}
+
+fn kind_from_byte(b: u8) -> Result<FragmentKind, WireError> {
+    Ok(match b {
+        0 => FragmentKind::Computation,
+        1 => FragmentKind::Communication,
+        2 => FragmentKind::Io,
+        3 => FragmentKind::Other,
+        other => return Err(WireError::BadKind(other)),
+    })
+}
+
+fn counter_set_bits(c: &CounterDelta) -> u32 {
+    let mut bits = 0u32;
+    for (id, _) in c.entries() {
+        bits |= 1 << id.index();
+    }
+    bits
+}
+
+/// Exact wire cost of one fragment record in the columnar layout:
+/// rank (4) + kind (1) + start (8) + end (8) + counter set (4) +
+/// 8 bytes per active counter + arg count (2) + 8 bytes per argument.
+/// This is what the collector's storage-overhead accounting charges per
+/// recorded fragment (the framing, header and dictionary amortise to
+/// noise over a reporting period).
+pub fn fragment_wire_bytes(f: &Fragment) -> u64 {
+    let counters = f.counters.entries().count() as u64;
+    4 + 1 + 8 + 8 + 4 + 8 * counters + 2 + 8 * f.args.len() as u64
+}
+
+// --------------------------------------------------------------------
+// Little-endian cursor helpers. Encoding writes into one growing Vec;
+// decoding advances a borrowed slice. Both are branch-light and never
+// allocate beyond the output collections themselves.
+
+struct Reader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.buf.len() < n {
+            return Err(WireError::Truncated);
+        }
+        let (head, tail) = self.buf.split_at(n);
+        self.buf = tail;
+        Ok(head)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2 bytes")))
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    fn f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
 }
 
 impl FragmentBatch {
-    /// Extract a rank's batch for `window` from its STG.
+    /// Extract a rank's batch for `window` from its STG: every fragment
+    /// *overlapping* the window. Used for one-shot analyses; periodic
+    /// shipping should use [`FragmentBatch::from_stg_starting_in`] so
+    /// consecutive batches partition the fragments.
     pub fn from_stg(stg: &Stg, rank: usize, window: Window) -> FragmentBatch {
-        let keep = |f: &&Fragment| window.overlaps(f.start, f.end);
-        let mut vertex_fragments: BTreeMap<String, Vec<Fragment>> = BTreeMap::new();
-        for v in stg.vertices() {
-            let frags: Vec<Fragment> =
-                v.fragments.iter().filter(keep).cloned().collect();
-            if !frags.is_empty() {
-                vertex_fragments.insert(v.key.label(), frags);
+        Self::from_stg_filtered(stg, rank, window, |f| window.overlaps(f.start, f.end))
+    }
+
+    /// Extract the batch a client ships for one reporting period: the
+    /// fragments whose *start* lies in `[window.start, window.end)`.
+    /// Unlike [`FragmentBatch::from_stg`], consecutive periods partition
+    /// the fragment population — nothing is shipped twice.
+    pub fn from_stg_starting_in(stg: &Stg, rank: usize, window: Window) -> FragmentBatch {
+        Self::from_stg_filtered(stg, rank, window, |f| {
+            f.start >= window.start && f.start < window.end
+        })
+    }
+
+    fn from_stg_filtered(
+        stg: &Stg,
+        rank: usize,
+        window: Window,
+        keep: impl Fn(&Fragment) -> bool,
+    ) -> FragmentBatch {
+        let mut dict: SymbolTable<String> = SymbolTable::new();
+        // Lazily intern vertex labels: only states that actually appear
+        // (as a non-empty vertex or an edge endpoint) enter the dictionary.
+        let mut syms: Vec<Option<Sym>> = vec![None; stg.num_states()];
+        let mut sym_of = |state: usize, dict: &mut SymbolTable<String>| -> Sym {
+            if let Some(s) = syms[state] {
+                return s;
+            }
+            let s = dict.intern(stg.vertices()[state].key.label());
+            syms[state] = Some(s);
+            s
+        };
+        let mut vertex_groups = Vec::new();
+        for (id, v) in stg.vertices().iter().enumerate() {
+            let fragments: Vec<Fragment> =
+                v.fragments.iter().filter(|f| keep(f)).cloned().collect();
+            if !fragments.is_empty() {
+                let label = sym_of(id, &mut dict);
+                vertex_groups.push(VertexGroup { label, fragments });
             }
         }
-        let mut edge_fragments: BTreeMap<String, Vec<Fragment>> = BTreeMap::new();
+        let mut edge_groups = Vec::new();
         for e in stg.edges() {
-            let frags: Vec<Fragment> =
-                e.fragments.iter().filter(keep).cloned().collect();
-            if !frags.is_empty() {
-                let label = format!(
-                    "{} -> {}",
-                    stg.vertices()[e.from].key.label(),
-                    stg.vertices()[e.to].key.label()
-                );
-                edge_fragments.insert(label, frags);
+            let fragments: Vec<Fragment> =
+                e.fragments.iter().filter(|f| keep(f)).cloned().collect();
+            if !fragments.is_empty() {
+                let from = sym_of(e.from, &mut dict);
+                let to = sym_of(e.to, &mut dict);
+                edge_groups.push(EdgeGroup { from, to, fragments });
             }
         }
         FragmentBatch {
             rank,
             window_start_ns: window.start.ns(),
             window_end_ns: window.end.ns(),
-            vertex_fragments,
-            edge_fragments,
+            labels: dict.into_keys(),
+            vertex_groups,
+            edge_groups,
         }
+    }
+
+    /// Resolve a dictionary id to its label.
+    pub fn label(&self, id: Sym) -> &str {
+        &self.labels[id as usize]
     }
 
     /// Total fragments in the batch.
     pub fn len(&self) -> usize {
-        self.vertex_fragments.values().map(Vec::len).sum::<usize>()
-            + self.edge_fragments.values().map(Vec::len).sum::<usize>()
+        self.vertex_groups.iter().map(|g| g.fragments.len()).sum::<usize>()
+            + self.edge_groups.iter().map(|g| g.fragments.len()).sum::<usize>()
     }
 
     /// Empty batch?
@@ -74,28 +293,343 @@ impl FragmentBatch {
         self.len() == 0
     }
 
-    /// Serialise to the wire (JSON bytes — the storage-rate numbers of
-    /// §6.2 measure a compact binary record; JSON here keeps the format
-    /// inspectable).
-    pub fn to_bytes(&self) -> Vec<u8> {
+    fn fragments(&self) -> impl Iterator<Item = &Fragment> {
+        self.vertex_groups
+            .iter()
+            .flat_map(|g| g.fragments.iter())
+            .chain(self.edge_groups.iter().flat_map(|g| g.fragments.iter()))
+    }
+
+    /// Append one length-prefixed binary frame to `out`. This is the
+    /// allocation-lean streaming entry point: the caller reuses one
+    /// buffer across batches.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        let len_pos = out.len();
+        out.extend_from_slice(&0u32.to_le_bytes()); // patched below
+        let payload_start = out.len();
+
+        out.extend_from_slice(&WIRE_MAGIC);
+        out.push(WIRE_VERSION);
+        out.extend_from_slice(&u32::try_from(self.rank).expect("rank fits u32").to_le_bytes());
+        out.extend_from_slice(&self.window_start_ns.to_le_bytes());
+        out.extend_from_slice(&self.window_end_ns.to_le_bytes());
+
+        out.extend_from_slice(
+            &u32::try_from(self.labels.len()).expect("dictionary fits u32").to_le_bytes(),
+        );
+        for label in &self.labels {
+            let bytes = label.as_bytes();
+            out.extend_from_slice(
+                &u32::try_from(bytes.len()).expect("label fits u32").to_le_bytes(),
+            );
+            out.extend_from_slice(bytes);
+        }
+
+        out.extend_from_slice(
+            &u32::try_from(self.vertex_groups.len()).expect("groups fit u32").to_le_bytes(),
+        );
+        for g in &self.vertex_groups {
+            out.extend_from_slice(&g.label.to_le_bytes());
+            out.extend_from_slice(
+                &u32::try_from(g.fragments.len()).expect("pool fits u32").to_le_bytes(),
+            );
+        }
+        out.extend_from_slice(
+            &u32::try_from(self.edge_groups.len()).expect("groups fit u32").to_le_bytes(),
+        );
+        for g in &self.edge_groups {
+            out.extend_from_slice(&g.from.to_le_bytes());
+            out.extend_from_slice(&g.to.to_le_bytes());
+            out.extend_from_slice(
+                &u32::try_from(g.fragments.len()).expect("pool fits u32").to_le_bytes(),
+            );
+        }
+
+        let nfrags = self.len();
+        out.extend_from_slice(&u32::try_from(nfrags).expect("batch fits u32").to_le_bytes());
+        // Columns. Each pass walks the fragments in group order, so the
+        // column offsets line up on decode without any per-fragment index.
+        for f in self.fragments() {
+            out.extend_from_slice(
+                &u32::try_from(f.rank).expect("rank fits u32").to_le_bytes(),
+            );
+        }
+        for f in self.fragments() {
+            out.push(kind_to_byte(f.kind));
+        }
+        for f in self.fragments() {
+            out.extend_from_slice(&f.start.ns().to_le_bytes());
+        }
+        for f in self.fragments() {
+            out.extend_from_slice(&f.end.ns().to_le_bytes());
+        }
+        for f in self.fragments() {
+            out.extend_from_slice(&counter_set_bits(&f.counters).to_le_bytes());
+        }
+        let ncvals: usize = self.fragments().map(|f| f.counters.entries().count()).sum();
+        out.extend_from_slice(&u32::try_from(ncvals).expect("values fit u32").to_le_bytes());
+        for f in self.fragments() {
+            for (_, v) in f.counters.entries() {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        for f in self.fragments() {
+            out.extend_from_slice(
+                &u16::try_from(f.args.len()).expect("at most 65535 args").to_le_bytes(),
+            );
+        }
+        let nargs: usize = self.fragments().map(|f| f.args.len()).sum();
+        out.extend_from_slice(&u32::try_from(nargs).expect("args fit u32").to_le_bytes());
+        for f in self.fragments() {
+            for a in &f.args {
+                out.extend_from_slice(&a.to_le_bytes());
+            }
+        }
+
+        let payload_len = u32::try_from(out.len() - payload_start).expect("frame fits u32");
+        out[len_pos..len_pos + 4].copy_from_slice(&payload_len.to_le_bytes());
+    }
+
+    /// Serialise to one length-prefixed binary frame.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64 + self.len() * 40);
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Decode exactly one binary frame; trailing bytes are an error.
+    /// For a buffer holding several frames use [`decode_stream`].
+    pub fn decode(bytes: &[u8]) -> Result<FragmentBatch, WireError> {
+        let (batch, consumed) = Self::decode_frame(bytes)?;
+        if consumed != bytes.len() {
+            return Err(WireError::TrailingBytes);
+        }
+        Ok(batch)
+    }
+
+    /// Decode the first frame of `bytes`, returning the batch and the
+    /// number of bytes consumed (frame prefix included).
+    pub fn decode_frame(bytes: &[u8]) -> Result<(FragmentBatch, usize), WireError> {
+        let mut r = Reader { buf: bytes };
+        let payload_len = r.u32()? as usize;
+        let payload = r.take(payload_len)?;
+        let batch = Self::decode_payload(payload)?;
+        Ok((batch, 4 + payload_len))
+    }
+
+    fn decode_payload(payload: &[u8]) -> Result<FragmentBatch, WireError> {
+        let mut r = Reader { buf: payload };
+        if r.take(4)? != WIRE_MAGIC {
+            return Err(WireError::BadMagic);
+        }
+        let version = r.u8()?;
+        if version != WIRE_VERSION {
+            return Err(WireError::UnsupportedVersion(version));
+        }
+        let rank = r.u32()? as usize;
+        let window_start_ns = r.u64()?;
+        let window_end_ns = r.u64()?;
+
+        let nlabels = r.u32()? as usize;
+        let mut labels = Vec::with_capacity(nlabels.min(payload.len()));
+        for _ in 0..nlabels {
+            let len = r.u32()? as usize;
+            let bytes = r.take(len)?;
+            labels.push(
+                std::str::from_utf8(bytes).map_err(|_| WireError::BadUtf8)?.to_string(),
+            );
+        }
+        let check_label = |id: Sym| {
+            if (id as usize) < labels.len() {
+                Ok(id)
+            } else {
+                Err(WireError::BadLabelId(id))
+            }
+        };
+
+        let nvgroups = r.u32()? as usize;
+        let mut vheads = Vec::with_capacity(nvgroups.min(payload.len()));
+        for _ in 0..nvgroups {
+            let label = check_label(r.u32()?)?;
+            let count = r.u32()? as usize;
+            vheads.push((label, count));
+        }
+        let negroups = r.u32()? as usize;
+        let mut eheads = Vec::with_capacity(negroups.min(payload.len()));
+        for _ in 0..negroups {
+            let from = check_label(r.u32()?)?;
+            let to = check_label(r.u32()?)?;
+            let count = r.u32()? as usize;
+            eheads.push((from, to, count));
+        }
+
+        let nfrags = r.u32()? as usize;
+        let expected: usize = vheads.iter().map(|&(_, c)| c).sum::<usize>()
+            + eheads.iter().map(|&(_, _, c)| c).sum::<usize>();
+        if nfrags != expected {
+            return Err(WireError::CountMismatch);
+        }
+
+        // Columns, in layout order.
+        let mut ranks = Vec::with_capacity(nfrags);
+        for _ in 0..nfrags {
+            ranks.push(r.u32()? as usize);
+        }
+        let kind_bytes = r.take(nfrags)?;
+        let mut kinds = Vec::with_capacity(nfrags);
+        for &b in kind_bytes {
+            kinds.push(kind_from_byte(b)?);
+        }
+        let mut starts = Vec::with_capacity(nfrags);
+        for _ in 0..nfrags {
+            starts.push(r.u64()?);
+        }
+        let mut ends = Vec::with_capacity(nfrags);
+        for _ in 0..nfrags {
+            ends.push(r.u64()?);
+        }
+        let mut csets = Vec::with_capacity(nfrags);
+        for _ in 0..nfrags {
+            csets.push(r.u32()?);
+        }
+        let ncvals = r.u32()? as usize;
+        if ncvals != csets.iter().map(|b| b.count_ones() as usize).sum::<usize>() {
+            return Err(WireError::CountMismatch);
+        }
+        let mut counters = Vec::with_capacity(nfrags);
+        for &bits in &csets {
+            let mut delta = CounterDelta::default();
+            for id in CounterId::ALL {
+                if bits & (1 << id.index()) != 0 {
+                    delta.put(id, r.f64()?);
+                }
+            }
+            counters.push(delta);
+        }
+        let mut argcs = Vec::with_capacity(nfrags);
+        for _ in 0..nfrags {
+            argcs.push(r.u16()? as usize);
+        }
+        let nargs = r.u32()? as usize;
+        if nargs != argcs.iter().sum::<usize>() {
+            return Err(WireError::CountMismatch);
+        }
+        let mut args = Vec::with_capacity(nfrags);
+        for &n in &argcs {
+            let mut v = Vec::with_capacity(n);
+            for _ in 0..n {
+                v.push(r.f64()?);
+            }
+            args.push(v);
+        }
+        if !r.buf.is_empty() {
+            return Err(WireError::TrailingBytes);
+        }
+
+        // Reassemble fragments from the columns, in group order.
+        let mut counters = counters.into_iter();
+        let mut args = args.into_iter();
+        let mut idx = 0usize;
+        let mut next = |kinds: &[FragmentKind]| -> Fragment {
+            let f = Fragment {
+                rank: ranks[idx],
+                kind: kinds[idx],
+                start: VirtualTime::from_ns(starts[idx]),
+                end: VirtualTime::from_ns(ends[idx]),
+                counters: counters.next().expect("column length checked"),
+                args: args.next().expect("column length checked"),
+            };
+            idx += 1;
+            f
+        };
+        let vertex_groups = vheads
+            .into_iter()
+            .map(|(label, count)| VertexGroup {
+                label,
+                fragments: (0..count).map(|_| next(&kinds)).collect(),
+            })
+            .collect();
+        let edge_groups = eheads
+            .into_iter()
+            .map(|(from, to, count)| EdgeGroup {
+                from,
+                to,
+                fragments: (0..count).map(|_| next(&kinds)).collect(),
+            })
+            .collect();
+
+        Ok(FragmentBatch {
+            rank,
+            window_start_ns,
+            window_end_ns,
+            labels,
+            vertex_groups,
+            edge_groups,
+        })
+    }
+
+    /// Serialise to JSON (the debugging fallback; the §6.2 storage-rate
+    /// numbers account the binary encoding).
+    pub fn to_json_bytes(&self) -> Vec<u8> {
         serde_json::to_vec(self).expect("serialisable batch")
     }
 
-    /// Parse from the wire.
-    pub fn from_bytes(bytes: &[u8]) -> Result<FragmentBatch, serde_json::Error> {
+    /// Parse the JSON fallback.
+    pub fn from_json_bytes(bytes: &[u8]) -> Result<FragmentBatch, serde_json::Error> {
         serde_json::from_slice(bytes)
+    }
+}
+
+/// Iterate the length-prefixed frames of a byte stream. Yields batches
+/// until the buffer is exhausted; a malformed frame yields its error and
+/// ends the iteration.
+pub fn decode_stream(bytes: &[u8]) -> impl Iterator<Item = Result<FragmentBatch, WireError>> + '_ {
+    let mut rest = bytes;
+    let mut dead = false;
+    std::iter::from_fn(move || {
+        if dead || rest.is_empty() {
+            return None;
+        }
+        match FragmentBatch::decode_frame(rest) {
+            Ok((batch, consumed)) => {
+                rest = &rest[consumed..];
+                Some(Ok(batch))
+            }
+            Err(e) => {
+                dead = true;
+                Some(Err(e))
+            }
+        }
+    })
+}
+
+/// Intern a label into a process-lifetime string. Crossing the
+/// serialisation boundary back into `CallSite` keys needs `&'static str`
+/// sites; interning bounds the leak by the number of *distinct* labels
+/// ever seen, however many batches, windows or arenas are processed.
+pub fn leak_label(label: &str) -> &'static str {
+    static LABELS: OnceLock<Mutex<HashSet<&'static str>>> = OnceLock::new();
+    let mut set = LABELS.get_or_init(Default::default).lock().expect("label interner");
+    match set.get(label) {
+        Some(&leaked) => leaked,
+        None => {
+            let leaked: &'static str = Box::leak(label.to_string().into_boxed_str());
+            set.insert(leaked);
+            leaked
+        }
     }
 }
 
 /// Server-side pools reassembled from many ranks' batches: label →
 /// fragments, merged across ranks — the population the clustering and
-/// detection stages consume.
-#[derive(Debug, Default)]
+/// detection stages consume. Edge pools are keyed by the `(from, to)`
+/// label *pair*, so state labels containing `" -> "` stay unambiguous.
+#[derive(Debug, Default, PartialEq)]
 pub struct ReassembledPools {
     /// Invocation pools by state label.
     pub vertices: BTreeMap<String, Vec<Fragment>>,
-    /// Computation pools by transition label.
-    pub edges: BTreeMap<String, Vec<Fragment>>,
+    /// Computation pools by `(from, to)` transition label pair.
+    pub edges: BTreeMap<(String, String), Vec<Fragment>>,
 }
 
 impl ReassembledPools {
@@ -103,17 +637,17 @@ impl ReassembledPools {
     pub fn from_batches(batches: &[FragmentBatch]) -> ReassembledPools {
         let mut out = ReassembledPools::default();
         for b in batches {
-            for (label, frags) in &b.vertex_fragments {
+            for g in &b.vertex_groups {
                 out.vertices
-                    .entry(label.clone())
+                    .entry(b.label(g.label).to_string())
                     .or_default()
-                    .extend(frags.iter().cloned());
+                    .extend(g.fragments.iter().cloned());
             }
-            for (label, frags) in &b.edge_fragments {
+            for g in &b.edge_groups {
                 out.edges
-                    .entry(label.clone())
+                    .entry((b.label(g.from).to_string(), b.label(g.to).to_string()))
                     .or_default()
-                    .extend(frags.iter().cloned());
+                    .extend(g.fragments.iter().cloned());
             }
         }
         out
@@ -193,15 +727,132 @@ mod tests {
     }
 
     #[test]
-    fn wire_roundtrip_is_lossless() {
+    fn start_partitioned_batches_cover_each_fragment_once() {
+        let stg = sample_stg(0);
+        // 900 ns falls inside the 800..950 fragment, so the boundary is
+        // genuinely straddled.
+        let w1 = Window { start: VirtualTime::ZERO, end: VirtualTime::from_ns(900) };
+        let w2 = Window { start: VirtualTime::from_ns(900), end: VirtualTime::from_secs(1) };
+        let b1 = FragmentBatch::from_stg_starting_in(&stg, 0, w1);
+        let b2 = FragmentBatch::from_stg_starting_in(&stg, 0, w2);
+        assert_eq!(b1.len() + b2.len(), stg.total_fragments());
+        // The overlap extraction, by contrast, double-ships the fragment
+        // straddling the boundary.
+        let o1 = FragmentBatch::from_stg(&stg, 0, w1);
+        let o2 = FragmentBatch::from_stg(&stg, 0, w2);
+        assert!(o1.len() + o2.len() > stg.total_fragments());
+    }
+
+    #[test]
+    fn binary_roundtrip_is_lossless() {
         let batch = FragmentBatch::from_stg(&sample_stg(1), 1, full_window());
-        let bytes = batch.to_bytes();
-        let back = FragmentBatch::from_bytes(&bytes).unwrap();
+        let bytes = batch.encode();
+        let back = FragmentBatch::decode(&bytes).unwrap();
         assert_eq!(batch, back);
-        // Bytes-per-fragment in the ballpark of the §6.2 accounting
-        // (JSON is a few times the binary estimate, same magnitude).
-        let per_frag = bytes.len() / batch.len();
-        assert!(per_frag < 2_000, "batch record size {per_frag} B/fragment");
+    }
+
+    #[test]
+    fn json_fallback_roundtrip_is_lossless() {
+        let batch = FragmentBatch::from_stg(&sample_stg(1), 1, full_window());
+        let back = FragmentBatch::from_json_bytes(&batch.to_json_bytes()).unwrap();
+        assert_eq!(batch, back);
+    }
+
+    #[test]
+    fn binary_is_several_times_smaller_than_json() {
+        let batch = FragmentBatch::from_stg(&sample_stg(1), 1, full_window());
+        let binary = batch.encode().len();
+        let json = batch.to_json_bytes().len();
+        assert!(
+            json as f64 / binary as f64 >= 4.0,
+            "binary {binary} B vs json {json} B"
+        );
+        // And in the ballpark of the §6.2 per-record accounting.
+        let accounted: u64 = batch
+            .vertex_groups
+            .iter()
+            .flat_map(|g| g.fragments.iter())
+            .chain(batch.edge_groups.iter().flat_map(|g| g.fragments.iter()))
+            .map(fragment_wire_bytes)
+            .sum();
+        let overhead = binary as u64 - accounted;
+        assert!(overhead < 200, "fixed overhead {overhead} B");
+    }
+
+    #[test]
+    fn framed_stream_decodes_batch_by_batch() {
+        let mut buf = Vec::new();
+        let batches: Vec<FragmentBatch> = (0..3)
+            .map(|r| FragmentBatch::from_stg(&sample_stg(r), r, full_window()))
+            .collect();
+        for b in &batches {
+            b.encode_into(&mut buf);
+        }
+        let decoded: Vec<FragmentBatch> =
+            decode_stream(&buf).collect::<Result<_, _>>().unwrap();
+        assert_eq!(decoded, batches);
+    }
+
+    #[test]
+    fn malformed_frames_error_instead_of_panicking() {
+        assert_eq!(FragmentBatch::decode(&[]).unwrap_err(), WireError::Truncated);
+        let mut bytes = FragmentBatch::from_stg(&sample_stg(0), 0, full_window()).encode();
+        // Flip the magic.
+        bytes[4] = b'X';
+        assert_eq!(FragmentBatch::decode(&bytes).unwrap_err(), WireError::BadMagic);
+        let mut bytes = FragmentBatch::from_stg(&sample_stg(0), 0, full_window()).encode();
+        bytes[8] = 99; // version byte
+        assert_eq!(
+            FragmentBatch::decode(&bytes).unwrap_err(),
+            WireError::UnsupportedVersion(99)
+        );
+        let bytes = FragmentBatch::from_stg(&sample_stg(0), 0, full_window()).encode();
+        assert_eq!(
+            FragmentBatch::decode(&bytes[..bytes.len() - 3]).unwrap_err(),
+            WireError::Truncated
+        );
+        // Arbitrary truncations never panic.
+        for cut in 0..bytes.len() {
+            let _ = FragmentBatch::decode(&bytes[..cut]);
+        }
+    }
+
+    #[test]
+    fn edge_labels_with_arrow_substrings_do_not_collide() {
+        // A state whose label itself contains " -> " used to collide with
+        // a two-state transition label under the formatted-string scheme.
+        let mut stg = Stg::new();
+        let weird = stg.state(StateKey::Site(CallSite("a -> b")));
+        let a = stg.state(StateKey::Site(CallSite("a")));
+        let b = stg.state(StateKey::Site(CallSite("b")));
+        let self_e = stg.transition(weird, weird);
+        let ab = stg.transition(a, b);
+        let mk = |ins: f64| {
+            let mut c = CounterDelta::default();
+            c.put(CounterId::TotIns, ins);
+            Fragment {
+                rank: 0,
+                kind: FragmentKind::Computation,
+                start: VirtualTime::ZERO,
+                end: VirtualTime::from_ns(100),
+                counters: c,
+                args: vec![],
+            }
+        };
+        stg.attach_edge_fragment(self_e, mk(1.0));
+        stg.attach_edge_fragment(ab, mk(2.0));
+        let batch = FragmentBatch::from_stg(&stg, 0, full_window());
+        let pools = ReassembledPools::from_batches(std::slice::from_ref(&batch));
+        // Two distinct edge pools: ("a -> b","a -> b") and ("a","b").
+        assert_eq!(pools.edges.len(), 2);
+        let weird_pool = &pools.edges[&("a -> b".to_string(), "a -> b".to_string())];
+        assert_eq!(weird_pool.len(), 1);
+        assert_eq!(weird_pool[0].counters.get(CounterId::TotIns), Some(1.0));
+        let plain_pool = &pools.edges[&("a".to_string(), "b".to_string())];
+        assert_eq!(plain_pool[0].counters.get(CounterId::TotIns), Some(2.0));
+        // And the roundtrip preserves the distinction.
+        let back = FragmentBatch::decode(&batch.encode()).unwrap();
+        assert_eq!(back, batch);
     }
 
     #[test]
@@ -214,7 +865,7 @@ mod tests {
         // All ranks' computation fragments share one transition pool.
         let edge_pool = pools
             .edges
-            .get("w:MPI_Barrier -> w:MPI_Barrier")
+            .get(&("w:MPI_Barrier".to_string(), "w:MPI_Barrier".to_string()))
             .expect("pooled edge");
         assert_eq!(edge_pool.len(), 40);
         let ranks: std::collections::BTreeSet<usize> =
@@ -230,7 +881,7 @@ mod tests {
             .map(|r| FragmentBatch::from_stg(&sample_stg(r), r, full_window()))
             .collect();
         let pools = ReassembledPools::from_batches(&batches);
-        let pool = &pools.edges["w:MPI_Barrier -> w:MPI_Barrier"];
+        let pool = &pools.edges[&("w:MPI_Barrier".to_string(), "w:MPI_Barrier".to_string())];
         let outcome = crate::clustering::cluster_fragments(
             pool,
             &crate::fragment::DEFAULT_PROXY,
@@ -239,5 +890,12 @@ mod tests {
         );
         assert_eq!(outcome.usable.len(), 1);
         assert_eq!(outcome.usable[0].len(), 30);
+    }
+
+    #[test]
+    fn leaked_labels_are_interned_once() {
+        let a = leak_label("wire-test-distinct-label");
+        let b = leak_label("wire-test-distinct-label");
+        assert!(std::ptr::eq(a, b));
     }
 }

@@ -1,0 +1,152 @@
+//! Property tests of the columnar wire format: the binary encoding is a
+//! lossless bijection on batches (including labels with `" -> "` inside,
+//! unicode labels, empty windows and zero-counter fragments), malformed
+//! input never panics, and both transport encodings — columnar binary
+//! and the JSON debugging fallback — reassemble identical pooled
+//! populations on the server side.
+
+use proptest::prelude::*;
+use proptest::prop::collection::vec;
+use vapro_core::fragment::{Fragment, FragmentKind};
+use vapro_core::wire::{EdgeGroup, FragmentBatch, ReassembledPools, VertexGroup};
+use vapro_pmu::{CounterDelta, CounterId};
+use vapro_sim::VirtualTime;
+
+/// Labels exercising the separator ambiguity the dictionary removes,
+/// plus unicode and the empty string.
+fn label_strategy() -> impl Strategy<Value = String> {
+    prop_oneof![
+        vec(0u8..26, 1..12)
+            .prop_map(|ix| ix.into_iter().map(|i| (b'a' + i) as char).collect::<String>()),
+        Just("solve -> apply".to_string()),
+        Just("a -> b -> c".to_string()),
+        Just("поток:MPI_Allreduce".to_string()),
+        Just("循环:письмо✓".to_string()),
+        Just(String::new()),
+        Just(" -> ".to_string()),
+    ]
+}
+
+fn kind_strategy() -> impl Strategy<Value = FragmentKind> {
+    prop_oneof![
+        Just(FragmentKind::Computation),
+        Just(FragmentKind::Communication),
+        Just(FragmentKind::Io),
+        Just(FragmentKind::Other),
+    ]
+}
+
+/// Finite values only: NaN breaks `==` without telling us anything about
+/// the codec.
+fn finite() -> impl Strategy<Value = f64> {
+    prop_oneof![Just(0.0), -1e12f64..1e12]
+}
+
+fn fragment_strategy() -> impl Strategy<Value = Fragment> {
+    (
+        0usize..64,
+        kind_strategy(),
+        0u64..1u64 << 48,
+        0u64..1u64 << 20,
+        vec((0usize..CounterId::ALL.len(), finite()), 0..6),
+        vec(finite(), 0..5),
+    )
+        .prop_map(|(rank, kind, start, dur, counters, args)| {
+            let mut delta = CounterDelta::default();
+            for (idx, val) in counters {
+                delta.put(CounterId::ALL[idx], val);
+            }
+            Fragment {
+                rank,
+                kind,
+                start: VirtualTime::from_ns(start),
+                end: VirtualTime::from_ns(start + dur),
+                counters: delta,
+                args,
+            }
+        })
+}
+
+/// An arbitrary batch: every group references a valid dictionary id;
+/// groups (and the whole batch) may be empty — the "empty window" report.
+fn batch_strategy() -> impl Strategy<Value = FragmentBatch> {
+    vec(label_strategy(), 1..6).prop_flat_map(|labels| {
+        let nlabels = labels.len() as u32;
+        (
+            Just(labels),
+            0usize..1024,
+            0u64..1u64 << 48,
+            vec((0..nlabels, vec(fragment_strategy(), 0..8)), 0..4),
+            vec((0..nlabels, 0..nlabels, vec(fragment_strategy(), 0..8)), 0..4),
+        )
+            .prop_map(|(labels, rank, wstart, vgroups, egroups)| FragmentBatch {
+                rank,
+                window_start_ns: wstart,
+                window_end_ns: wstart + 1_000_000,
+                labels,
+                vertex_groups: vgroups
+                    .into_iter()
+                    .map(|(label, fragments)| VertexGroup { label, fragments })
+                    .collect(),
+                edge_groups: egroups
+                    .into_iter()
+                    .map(|(from, to, fragments)| EdgeGroup { from, to, fragments })
+                    .collect(),
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// decode(encode(b)) == b, for arbitrary batches.
+    #[test]
+    fn binary_roundtrip_is_identity(batch in batch_strategy()) {
+        let bytes = batch.encode();
+        let back = FragmentBatch::decode(&bytes).expect("own encoding parses");
+        prop_assert_eq!(&batch, &back);
+    }
+
+    /// The JSON fallback is equally lossless.
+    #[test]
+    fn json_roundtrip_is_identity(batch in batch_strategy()) {
+        let back = FragmentBatch::from_json_bytes(&batch.to_json_bytes())
+            .expect("own JSON parses");
+        prop_assert_eq!(&batch, &back);
+    }
+
+    /// Shipping over binary or over JSON reassembles identical pooled
+    /// populations — the two transports are interchangeable end to end.
+    #[test]
+    fn both_transports_pool_identically(batches in vec(batch_strategy(), 1..4)) {
+        let via_binary: Vec<FragmentBatch> = batches
+            .iter()
+            .map(|b| FragmentBatch::decode(&b.encode()).expect("binary"))
+            .collect();
+        let via_json: Vec<FragmentBatch> = batches
+            .iter()
+            .map(|b| FragmentBatch::from_json_bytes(&b.to_json_bytes()).expect("json"))
+            .collect();
+        let pb = ReassembledPools::from_batches(&via_binary);
+        let pj = ReassembledPools::from_batches(&via_json);
+        prop_assert_eq!(&pb, &pj);
+        prop_assert_eq!(pb.len(), batches.iter().map(|b| b.len()).sum::<usize>());
+    }
+
+    /// Truncating a valid frame anywhere yields an error, never a panic
+    /// and never a silently-wrong batch.
+    #[test]
+    fn truncation_errors_cleanly(batch in batch_strategy(), cut in 0.0f64..1.0) {
+        let bytes = batch.encode();
+        let cut = (bytes.len() as f64 * cut) as usize;
+        if cut < bytes.len() {
+            prop_assert!(FragmentBatch::decode(&bytes[..cut]).is_err());
+        }
+    }
+
+    /// Arbitrary bytes never panic the decoder.
+    #[test]
+    fn garbage_never_panics(bytes in vec((0u16..256).prop_map(|b| b as u8), 0..256)) {
+        let _ = FragmentBatch::decode(&bytes);
+    }
+}

@@ -82,6 +82,112 @@ pub trait Strategy {
     type Value: fmt::Debug;
     /// Draw one value.
     fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Map generated values through `f` (`prop_map` in real proptest).
+    fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        T: fmt::Debug,
+        F: Fn(Self::Value) -> T,
+    {
+        Map { source: self, f }
+    }
+
+    /// Derive a second strategy from each generated value
+    /// (`prop_flat_map` in real proptest).
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { source: self, f }
+    }
+
+    /// Type-erase the strategy (for heterogeneous unions).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Strategy mapping another strategy's values (see [`Strategy::prop_map`]).
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, T, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    T: fmt::Debug,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.source.generate(rng))
+    }
+}
+
+/// Strategy derived per-value (see [`Strategy::prop_flat_map`]).
+pub struct FlatMap<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.source.generate(rng)).generate(rng)
+    }
+}
+
+/// Uniform choice between type-erased strategies — the engine behind
+/// [`prop_oneof!`].
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T: fmt::Debug> Union<T> {
+    /// A union over `arms` (must be non-empty).
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Union<T> {
+        assert!(!arms.is_empty(), "empty prop_oneof");
+        Union { arms }
+    }
+}
+
+impl<T: fmt::Debug> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let arm = (rng.next_u64() % self.arms.len() as u64) as usize;
+        self.arms[arm].generate(rng)
+    }
+}
+
+/// Choose uniformly between strategies of a common value type (the real
+/// crate supports weights; this stub draws arms uniformly).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($arm)),+])
+    };
 }
 
 macro_rules! int_strategy {
@@ -202,8 +308,8 @@ pub fn run_property<S: Strategy>(
 pub mod prelude {
     pub use crate::prop;
     pub use crate::{
-        prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig, Strategy,
-        TestCaseError,
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, BoxedStrategy, Just,
+        ProptestConfig, Strategy, TestCaseError, Union,
     };
 }
 
@@ -312,6 +418,19 @@ mod tests {
         fn tuples_compose(pair in (0usize..4, 0.5f64..1.0)) {
             prop_assert!(pair.0 < 4);
             prop_assert_eq!(pair.0, pair.0);
+        }
+
+        /// `prop_map` transforms, `prop_flat_map` derives, `prop_oneof`
+        /// draws every arm eventually.
+        #[test]
+        fn combinators_compose(
+            doubled in (0u32..50).prop_map(|x| x * 2),
+            sized in (1usize..5).prop_flat_map(|n| prop::collection::vec(0u32..10, n..n + 1)),
+            pick in prop_oneof![Just(1u8), Just(2u8), (3u16..5).prop_map(|x| x as u8)],
+        ) {
+            prop_assert!(doubled % 2 == 0 && doubled < 100);
+            prop_assert!(!sized.is_empty() && sized.len() < 5);
+            prop_assert!((1..5).contains(&pick));
         }
     }
 
