@@ -101,14 +101,14 @@ impl ServerPool {
     /// an [`IngestArena`] and runs detection on the borrowed pools.
     pub fn analyze_batches(
         &self,
-        batches: &[FragmentBatch],
+        batches: Vec<FragmentBatch>,
         nranks: usize,
         bins: usize,
         cfg: &VaproConfig,
     ) -> DetectionResult {
         let mut arena = IngestArena::new();
         for b in batches {
-            arena.push_batch(b.clone());
+            arena.push_batch(b);
         }
         detect_merged(&arena.full_view(), nranks, bins, cfg)
     }
@@ -150,6 +150,32 @@ impl ServerPool {
             })
             .collect()
     }
+}
+
+/// Canonical in-pool fragment order: (rank, time) first, then fragment
+/// content (kind, counters, args) to break ties among identical-
+/// timestamp fragments — so pool order never depends on batch arrival
+/// order, even when timestamps collide. Where (rank, time) is unique —
+/// every rank-indexed STG the one-shot path consumes — the order equals
+/// what `merge_stgs` produces, which is what makes the incremental
+/// reports bit-identical to the one-shot windowed analysis.
+fn fragment_order(a: &Fragment, b: &Fragment) -> std::cmp::Ordering {
+    (a.rank, a.start.ns(), a.end.ns(), a.kind as u8)
+        .cmp(&(b.rank, b.start.ns(), b.end.ns(), b.kind as u8))
+        .then_with(|| {
+            // Ties are rare, so the content comparison stays lazy: no
+            // per-fragment key allocation.
+            a.counters
+                .entries()
+                .map(|(id, v)| (id.index(), v.to_bits()))
+                .cmp(b.counters.entries().map(|(id, v)| (id.index(), v.to_bits())))
+        })
+        .then_with(|| {
+            a.args
+                .iter()
+                .map(|x| x.to_bits())
+                .cmp(b.args.iter().map(|x| x.to_bits()))
+        })
 }
 
 /// Server-side fragment storage: shipped batches decoded **once** into
@@ -255,16 +281,15 @@ impl IngestArena {
                 ));
             }
         }
-        // Pools sort by (rank, time): results don't depend on batch
-        // arrival order, and the order equals what `merge_stgs` produces
-        // from rank-indexed STGs — which is what makes the incremental
-        // reports bit-identical to the one-shot windowed analysis.
+        // Views sort into [`fragment_order`]: (rank, time) first, with a
+        // content tiebreaker, so results never depend on batch arrival
+        // order even when timestamps collide.
         for pool in vertices
             .iter_mut()
             .map(|(_, p)| p)
             .chain(edges.iter_mut().map(|(_, p)| p))
         {
-            pool.sort_by_key(|f| (f.rank, f.start.ns(), f.end.ns()));
+            pool.sort_by(|a, b| fragment_order(a, b));
         }
         // Key-sorted pool order, matching `merge_stgs` exactly.
         vertices.sort_by(|a, b| symbols.key(a.0).cmp(symbols.key(b.0)));
@@ -357,10 +382,14 @@ impl WindowedIngestor {
         self.close_ready()
     }
 
-    /// Decode one binary frame, absorb it, analyse closed windows.
+    /// Decode one binary frame, absorb it, analyse closed windows. The
+    /// decoded batch goes through [`WindowedIngestor::push`], so the
+    /// rank check and shipping-mark advance apply identically on both
+    /// entry points — windows close incrementally whichever one clients
+    /// use.
     pub fn push_encoded(&mut self, bytes: &[u8]) -> Result<Vec<WindowReport>, WireError> {
-        self.arena.push_encoded(bytes)?;
-        Ok(self.close_ready())
+        let batch = FragmentBatch::decode(bytes)?;
+        Ok(self.push(batch))
     }
 
     fn analyze(&self, windows: Vec<Window>) -> Vec<WindowReport> {
@@ -380,14 +409,25 @@ impl WindowedIngestor {
 
     fn close_ready(&mut self) -> Vec<WindowReport> {
         // A window is closeable once no rank owes it fragments (its end
-        // is behind every rank's shipping mark) and it intersects the
-        // data actually seen (no empty reports past the run's end).
+        // is behind every rank's shipping mark) and it provably belongs
+        // to the final cover. `windows_covering(0, t_end)` keeps window
+        // k only when it is the first window or window k-1 ends before
+        // the data watermark; `seen` only grows, so `prev_end < seen`
+        // proves membership now — anything else waits for `finish`,
+        // which knows the final watermark. Without this rule a shipping
+        // mark rounded up past the data end (a client's last, possibly
+        // empty, period) would emit windows the one-shot cover lacks.
         let low = self.rank_shipped_ns.iter().copied().min().unwrap_or(0);
         let seen = self.arena.max_end_ns();
         let mut ready = Vec::new();
         loop {
             let w = self.window(self.closed);
-            if w.end.ns() > low || w.start.ns() >= seen {
+            let in_cover = if self.closed == 0 {
+                seen > 0
+            } else {
+                self.window(self.closed - 1).end.ns() < seen
+            };
+            if w.end.ns() > low || !in_cover {
                 break;
             }
             ready.push(w);
@@ -646,8 +686,11 @@ mod tests {
 
         // Period-major shipping (every rank ships period k before any
         // rank ships k+1) — the paper's reporting pattern. Pool views
-        // sort by (rank, time), so arrival order doesn't matter for the
-        // bit-exactness.
+        // keep (rank, time) order, so arrival order doesn't matter for
+        // the bit-exactness. Empty batches past the data end ship too:
+        // they advance the shipping marks far beyond the watermark, and
+        // the closing rule must still not emit windows the one-shot
+        // cover lacks.
         let mut ingestor = WindowedIngestor::new(3, 8, cfg.clone());
         let mut reports = Vec::new();
         for k in 0..20u64 {
@@ -657,9 +700,6 @@ mod tests {
             };
             for (rank, stg) in stgs.iter().enumerate() {
                 let batch = FragmentBatch::from_stg_starting_in(stg, rank, period);
-                if batch.is_empty() {
-                    continue;
-                }
                 reports.extend(
                     ingestor.push_encoded(&batch.encode()).expect("valid frame"),
                 );
@@ -702,6 +742,85 @@ mod tests {
     }
 
     #[test]
+    fn encoded_frames_close_windows_incrementally() {
+        // The binary entry point must advance the shipping marks like
+        // `push` does: most windows close while frames are still
+        // streaming in, not deferred wholesale to `finish`.
+        let cfg = VaproConfig {
+            report_period: VirtualTime::from_secs(5),
+            ..VaproConfig::default()
+        };
+        let stg = looped_stg(0, 30, 1_000_000_000, 0..0);
+        let mut ingestor = WindowedIngestor::new(1, 8, cfg);
+        let mut closed_during_stream = 0;
+        for k in 0..6u64 {
+            let period = Window {
+                start: VirtualTime::from_secs(5 * k),
+                end: VirtualTime::from_secs(5 * (k + 1)),
+            };
+            let batch = FragmentBatch::from_stg_starting_in(&stg, 0, period);
+            let reports = ingestor.push_encoded(&batch.encode()).expect("valid frame");
+            closed_during_stream += reports.len();
+        }
+        assert!(closed_during_stream >= 4, "only {closed_during_stream} closed early");
+        assert!(ingestor.finish().len() <= 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown rank")]
+    fn encoded_frames_from_unknown_ranks_are_rejected() {
+        let stg = looped_stg(7, 5, 1_000_000, 0..0);
+        let window = Window { start: VirtualTime::ZERO, end: VirtualTime::from_secs(1) };
+        let encoded = FragmentBatch::from_stg(&stg, 7, window).encode();
+        let mut ingestor = WindowedIngestor::new(2, 8, VaproConfig::default());
+        let _ = ingestor.push_encoded(&encoded);
+    }
+
+    #[test]
+    fn arena_views_are_arrival_order_independent_on_timestamp_ties() {
+        // Two fragments from the same rank with identical timestamps but
+        // different content: whichever batch arrives first, the view
+        // must order them identically (content-derived tiebreaker).
+        let mk = |ins: f64| {
+            let mut c = CounterDelta::default();
+            c.put(CounterId::TotIns, ins);
+            Fragment {
+                rank: 0,
+                kind: FragmentKind::Computation,
+                start: VirtualTime::from_ns(100),
+                end: VirtualTime::from_ns(200),
+                counters: c,
+                args: vec![],
+            }
+        };
+        let batch_with = |ins: f64| {
+            let mut stg = Stg::new();
+            let s = stg.state(StateKey::Site(CallSite("w:MPI_Barrier")));
+            let e = stg.transition(s, s);
+            stg.attach_edge_fragment(e, mk(ins));
+            let window = Window { start: VirtualTime::ZERO, end: VirtualTime::from_secs(1) };
+            FragmentBatch::from_stg(&stg, 0, window)
+        };
+        let order_of = |batches: Vec<FragmentBatch>| -> Vec<u64> {
+            let mut arena = IngestArena::new();
+            for b in batches {
+                arena.push_batch(b);
+            }
+            let view = arena.full_view();
+            assert_eq!(view.edges.len(), 1);
+            view.edges[0]
+                .1
+                .iter()
+                .map(|f| f.counters.get(CounterId::TotIns).unwrap().to_bits())
+                .collect()
+        };
+        let forward = order_of(vec![batch_with(1.0), batch_with(2.0)]);
+        let reverse = order_of(vec![batch_with(2.0), batch_with(1.0)]);
+        assert_eq!(forward.len(), 2);
+        assert_eq!(forward, reverse, "tie order depends on arrival order");
+    }
+
+    #[test]
     fn wire_batches_detect_like_direct_stgs() {
         // The networked path (serialise → ship → reassemble → detect)
         // finds the same variance as the in-process path.
@@ -728,7 +847,7 @@ mod tests {
             })
             .collect();
         let pool = ServerPool::new(1, 4);
-        let via_wire = pool.analyze_batches(&batches, 4, 16, &cfg);
+        let via_wire = pool.analyze_batches(batches, 4, 16, &cfg);
 
         assert_eq!(direct.comp_regions.len(), via_wire.comp_regions.len());
         let (a, b) = (&direct.comp_regions[0], &via_wire.comp_regions[0]);

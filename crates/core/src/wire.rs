@@ -469,6 +469,16 @@ impl FragmentBatch {
         if nfrags != expected {
             return Err(WireError::CountMismatch);
         }
+        // Every fragment record occupies at least rank (4) + kind (1) +
+        // start (8) + end (8) + counter set (4) + arg count (2) bytes in
+        // the remaining columns. Reject a claimed count the buffer cannot
+        // possibly hold *before* sizing any column Vec, so a tiny
+        // malformed frame claiming ~4 billion fragments errors out
+        // instead of forcing a multi-GB allocation.
+        const MIN_BYTES_PER_FRAG: u64 = 4 + 1 + 8 + 8 + 4 + 2;
+        if nfrags as u64 * MIN_BYTES_PER_FRAG > r.buf.len() as u64 {
+            return Err(WireError::Truncated);
+        }
 
         // Columns, in layout order.
         let mut ranks = Vec::with_capacity(nfrags);
@@ -815,6 +825,30 @@ mod tests {
         for cut in 0..bytes.len() {
             let _ = FragmentBatch::decode(&bytes[..cut]);
         }
+    }
+
+    #[test]
+    fn huge_claimed_fragment_count_is_rejected_before_allocating() {
+        // A tiny frame whose group heads claim ~4 billion fragments must
+        // return Truncated, not attempt multi-GB column allocations.
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&WIRE_MAGIC);
+        payload.push(WIRE_VERSION);
+        payload.extend_from_slice(&0u32.to_le_bytes()); // rank
+        payload.extend_from_slice(&0u64.to_le_bytes()); // window start
+        payload.extend_from_slice(&0u64.to_le_bytes()); // window end
+        payload.extend_from_slice(&1u32.to_le_bytes()); // nlabels
+        payload.extend_from_slice(&1u32.to_le_bytes()); // label length
+        payload.push(b'a');
+        payload.extend_from_slice(&1u32.to_le_bytes()); // nvgroups
+        payload.extend_from_slice(&0u32.to_le_bytes()); // group label id
+        payload.extend_from_slice(&u32::MAX.to_le_bytes()); // claimed pool size
+        payload.extend_from_slice(&0u32.to_le_bytes()); // negroups
+        payload.extend_from_slice(&u32::MAX.to_le_bytes()); // nfrags
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&u32::try_from(payload.len()).unwrap().to_le_bytes());
+        frame.extend_from_slice(&payload);
+        assert_eq!(FragmentBatch::decode(&frame).unwrap_err(), WireError::Truncated);
     }
 
     #[test]
