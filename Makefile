@@ -4,10 +4,10 @@
 CARGO := cargo
 OFFLINE := --offline
 
-.PHONY: check test perf ingest-perf bench clippy clean
+.PHONY: check test perf ingest-perf diagnose-perf bench clippy clean
 
 # The full gate: release build, tests, workspace clippy with warnings
-# denied, then both throughput harnesses (each compares against its
+# denied, then all three throughput harnesses (each compares against its
 # previous BENCH_*.json and warns on >20% drops).
 check:
 	$(CARGO) build --release $(OFFLINE)
@@ -15,6 +15,7 @@ check:
 	$(CARGO) clippy $(OFFLINE) --workspace -- -D warnings
 	$(CARGO) run --release $(OFFLINE) -p vapro-bench --bin perf
 	$(CARGO) run --release $(OFFLINE) -p vapro-bench --bin ingest_perf
+	$(CARGO) run --release $(OFFLINE) -p vapro-bench --bin diagnose_perf
 
 test:
 	$(CARGO) test -q $(OFFLINE) --workspace
@@ -33,6 +34,12 @@ perf: bench
 # decode than JSON).
 ingest-perf:
 	$(CARGO) run --release $(OFFLINE) -p vapro-bench --bin ingest_perf
+
+# Region-diagnosis harness: writes BENCH_diagnose.json and enforces the
+# release-mode batching targets (>=5x over the naive per-region loop,
+# zero Fragment clones on the batch path).
+diagnose-perf:
+	$(CARGO) run --release $(OFFLINE) -p vapro-bench --bin diagnose_perf
 
 bench:
 	$(CARGO) bench $(OFFLINE) -p vapro-bench --bench clustering

@@ -13,6 +13,7 @@
 
 pub mod ablation;
 pub mod common;
+pub mod diagnose;
 pub mod fig01_cg_repeat;
 pub mod fig04_stg;
 pub mod fig05_pmu_noise;

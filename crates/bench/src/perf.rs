@@ -9,9 +9,10 @@
 //!
 //! The parallel numbers scale with `threads` (recorded in the report):
 //! on a single-core runner the fan-out degenerates to a work queue
-//! drained by two threads on one CPU and the speedup hovers around 1×,
-//! so regression gating keys on the *sequential* throughput while the
-//! speedup is informative only on multi-core machines.
+//! drained by two threads on one CPU, so the parallel-vs-sequential
+//! `speedup` is recorded as `None` there (it would measure scheduler
+//! overhead, not the code) and regression gating keys on the
+//! *sequential* throughput.
 
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -44,8 +45,10 @@ pub struct DetectPerf {
     pub seq_fragments_per_sec: f64,
     /// Parallel throughput, fragments/second.
     pub par_fragments_per_sec: f64,
-    /// `seq_ns / par_ns`.
-    pub speedup: f64,
+    /// `seq_ns / par_ns`, or `None` on single-core runners (1 detected
+    /// thread), where the ratio says nothing about the code. A previous
+    /// report with a plain number still deserialises (into `Some`).
+    pub speedup: Option<f64>,
     /// Vectors in the clustering kernel measurement.
     pub cluster_vectors: usize,
     /// Norm-pruned clustering throughput, vectors/second.
@@ -188,10 +191,11 @@ pub fn measure(
     let pruned_ns = best_of_ns(reps, || cluster_vectors(&vectors, 0.05, 5));
     let unpruned_ns = best_of_ns(reps, || cluster_vectors_unpruned(&vectors, 0.05, 5));
 
+    let threads = detected_threads();
     let per_sec = |count: usize, ns: f64| count as f64 / (ns / 1e9);
     DetectPerf {
         bench: "detect".to_string(),
-        threads: detected_threads(),
+        threads,
         ranks: nranks,
         fragments,
         locations,
@@ -199,7 +203,7 @@ pub fn measure(
         par_ns,
         seq_fragments_per_sec: per_sec(fragments, seq_ns),
         par_fragments_per_sec: per_sec(fragments, par_ns),
-        speedup: seq_ns / par_ns,
+        speedup: (threads > 1).then_some(seq_ns / par_ns),
         cluster_vectors: cluster_n,
         cluster_vectors_per_sec: per_sec(cluster_n, pruned_ns),
         unpruned_cluster_vectors_per_sec: per_sec(cluster_n, unpruned_ns),
@@ -215,10 +219,14 @@ pub fn measure_default() -> DetectPerf {
 
 /// Human summary of one report.
 pub fn summary(p: &DetectPerf) -> String {
+    let speedup = match p.speedup {
+        Some(s) => format!("speedup {s:.2}x"),
+        None => "speedup n/a (1 thread)".to_string(),
+    };
     format!(
         "detect: {} fragments / {} ranks / {} locations / {} threads\n\
          sequential: {:>10.0} fragments/s ({:.2} ms)\n\
-         parallel:   {:>10.0} fragments/s ({:.2} ms)  speedup {:.2}x\n\
+         parallel:   {:>10.0} fragments/s ({:.2} ms)  {}\n\
          clustering: {:>10.0} vectors/s pruned, {:.0} vectors/s unpruned ({:.2}x)\n",
         p.fragments,
         p.ranks,
@@ -228,7 +236,7 @@ pub fn summary(p: &DetectPerf) -> String {
         p.seq_ns / 1e6,
         p.par_fragments_per_sec,
         p.par_ns / 1e6,
-        p.speedup,
+        speedup,
         p.cluster_vectors_per_sec,
         p.unpruned_cluster_vectors_per_sec,
         p.pruned_speedup,
@@ -261,7 +269,15 @@ mod tests {
         assert!(p.locations >= 4);
         assert!(p.seq_fragments_per_sec > 0.0);
         assert!(p.par_fragments_per_sec > 0.0);
-        assert!(p.speedup > 0.0);
+        // Single-core runners omit the parallel-vs-sequential speedup —
+        // it would measure the scheduler, not the code.
+        match p.speedup {
+            Some(s) => {
+                assert!(p.threads > 1);
+                assert!(s > 0.0);
+            }
+            None => assert_eq!(p.threads, 1),
+        }
         assert!(p.cluster_vectors_per_sec > 0.0);
         assert!(p.threads >= 1);
     }

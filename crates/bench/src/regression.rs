@@ -98,6 +98,7 @@ pub fn run(opts: &ExpOpts) -> String {
 // compared against the previous file and any throughput metric that
 // dropped by more than `PERF_REGRESSION_TOLERANCE` is reported.
 
+use crate::diagnose::DiagnosePerf;
 use crate::ingest::IngestPerf;
 use crate::perf::DetectPerf;
 
@@ -112,6 +113,12 @@ pub fn load_previous_perf(path: &str) -> Option<DetectPerf> {
 
 /// Load the previous ingest report, if a readable one exists at `path`.
 pub fn load_previous_ingest(path: &str) -> Option<IngestPerf> {
+    let text = std::fs::read_to_string(path).ok()?;
+    serde_json::from_str(&text).ok()
+}
+
+/// Load the previous diagnosis report, if a readable one exists at `path`.
+pub fn load_previous_diagnose(path: &str) -> Option<DiagnosePerf> {
     let text = std::fs::read_to_string(path).ok()?;
     serde_json::from_str(&text).ok()
 }
@@ -203,6 +210,38 @@ pub fn ingest_regression_warnings(previous: &IngestPerf, current: &IngestPerf) -
     warnings
 }
 
+/// Compare a fresh diagnosis report against the previous one, same
+/// tolerance. The naive baseline and the sequential batch are
+/// single-threaded and always gate; the rayon batch only gates between
+/// same-parallelism runs.
+pub fn diagnose_regression_warnings(
+    previous: &DiagnosePerf,
+    current: &DiagnosePerf,
+) -> Vec<String> {
+    let mut warnings = Vec::new();
+    check_drop(
+        &mut warnings,
+        "naive diagnosis throughput",
+        previous.naive_regions_per_sec,
+        current.naive_regions_per_sec,
+    );
+    check_drop(
+        &mut warnings,
+        "batched diagnosis throughput",
+        previous.batch_seq_regions_per_sec,
+        current.batch_seq_regions_per_sec,
+    );
+    if threads_comparable(previous.threads, current.threads) {
+        check_drop(
+            &mut warnings,
+            "parallel batched diagnosis throughput",
+            previous.batch_regions_per_sec,
+            current.batch_regions_per_sec,
+        );
+    }
+    warnings
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -241,7 +280,7 @@ mod tests {
             par_ns: 1.0,
             seq_fragments_per_sec: seq,
             par_fragments_per_sec: par,
-            speedup: seq / par,
+            speedup: (threads > 1).then_some(seq / par),
             cluster_vectors: 100_000,
             cluster_vectors_per_sec: cluster,
             unpruned_cluster_vectors_per_sec: cluster / 2.0,
@@ -316,6 +355,64 @@ mod tests {
         assert_eq!(ingest_regression_warnings(&prev, &slow_e2e).len(), 1);
         let other_runner = ingest_fixture(9e6, 8e6, 6.0, 1e6, 2);
         assert!(ingest_regression_warnings(&prev, &other_runner).is_empty());
+    }
+
+    fn diagnose_fixture(naive: f64, batch_seq: f64, batch: f64, threads: usize) -> DiagnosePerf {
+        DiagnosePerf {
+            bench: "diagnose".to_string(),
+            threads,
+            ranks: 4,
+            fragments: 1600,
+            locations: 36,
+            regions: 34,
+            diagnosed: 20,
+            naive_ns: 1.0,
+            batch_seq_ns: 1.0,
+            batch_ns: 1.0,
+            naive_regions_per_sec: naive,
+            batch_seq_regions_per_sec: batch_seq,
+            batch_regions_per_sec: batch,
+            batch_speedup: batch_seq / naive,
+            parallel_speedup: (threads > 1).then_some(batch / batch_seq),
+            naive_fragment_clones: 50_000,
+            batch_fragment_clones: 0,
+        }
+    }
+
+    #[test]
+    fn diagnose_gate_is_thread_aware() {
+        let prev = diagnose_fixture(1_000.0, 20_000.0, 60_000.0, 8);
+        // Within tolerance everywhere: silent.
+        assert!(
+            diagnose_regression_warnings(&prev, &diagnose_fixture(900.0, 17_000.0, 55_000.0, 8))
+                .is_empty()
+        );
+        // Sequential batch 40 % down: gates regardless of threads.
+        let bad = diagnose_fixture(1_000.0, 12_000.0, 60_000.0, 8);
+        let warnings = diagnose_regression_warnings(&prev, &bad);
+        assert_eq!(warnings.len(), 1, "{warnings:?}");
+        assert!(warnings[0].contains("batched diagnosis throughput"));
+        // The rayon batch collapsing on a smaller runner is environmental…
+        let other_runner = diagnose_fixture(1_000.0, 20_000.0, 20_000.0, 1);
+        assert!(diagnose_regression_warnings(&prev, &other_runner).is_empty());
+        // …the same collapse on equal threads is a code regression.
+        let same_threads = diagnose_fixture(1_000.0, 20_000.0, 20_000.0, 8);
+        let warnings = diagnose_regression_warnings(&prev, &same_threads);
+        assert_eq!(warnings.len(), 1, "{warnings:?}");
+        assert!(warnings[0].contains("parallel batched diagnosis"));
+    }
+
+    #[test]
+    fn previous_diagnose_loads_from_json_and_tolerates_absence() {
+        assert!(load_previous_diagnose("/nonexistent/BENCH_diagnose.json").is_none());
+        let dir = std::env::temp_dir().join("vapro_diagnose_gate_test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("BENCH_diagnose.json");
+        let prev = diagnose_fixture(1.0, 2.0, 3.0, 4);
+        std::fs::write(&path, serde_json::to_string(&prev).expect("serialises"))
+            .expect("writes");
+        let loaded = load_previous_diagnose(path.to_str().expect("utf8 path")).expect("loads");
+        assert_eq!(loaded, prev);
     }
 
     #[test]

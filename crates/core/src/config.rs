@@ -41,6 +41,9 @@ pub struct VaproConfig {
     pub major_factor_threshold: f64,
     /// Server reporting period (paper: 15 s).
     pub report_period: VirtualTime,
+    /// How many top (by quantified loss) computation regions each closed
+    /// streaming window diagnoses. 0 disables in-window diagnosis.
+    pub diagnose_top_k: usize,
     /// Counters active during plain detection.
     pub detection_counters: CounterSet,
     /// The computation workload proxy: which counters form the workload
@@ -70,6 +73,7 @@ impl Default for VaproConfig {
             ka_abnormal: 1.2,
             major_factor_threshold: 0.25,
             report_period: VirtualTime::from_secs(15),
+            diagnose_top_k: 3,
             detection_counters: events::detection_set(),
             proxy_counters: vec![vapro_pmu::CounterId::TotIns],
             hook_cost_ns: 250.0,

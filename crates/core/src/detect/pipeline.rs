@@ -7,7 +7,7 @@
 //! which is exactly what enables the inter-process detection of §3.5 and
 //! the cross-process comparisons of the HPL case study (§6.5.1).
 
-use crate::clustering::{cluster_fragment_refs, Cluster};
+use crate::clustering::{cluster_fragment_refs, Cluster, ClusterOutcome};
 use crate::config::VaproConfig;
 use crate::detect::heatmap::HeatMap;
 use crate::detect::normalize::{normalize_cluster_outcome_refs, CategorySeries};
@@ -55,6 +55,11 @@ pub struct DetectionResult {
     /// Detection coverage: fraction of total execution time spent inside
     /// usable fixed-workload fragments (the paper's coverage metric, §6.2).
     pub coverage: f64,
+    /// Cluster outcomes of the edge pools, aligned with the merged STG's
+    /// `edges` (key order). Diagnosis clusters with the same parameters,
+    /// so a [`crate::diagnose::DiagnosisBatch`] over the same merged view
+    /// can seed from these and never re-cluster a pool.
+    pub edge_clusters: Vec<ClusterOutcome>,
 }
 
 impl DetectionResult {
@@ -190,6 +195,9 @@ struct LocationAnalysis {
     /// `(count, total_ns)` per rare cluster; labelled during the fold.
     rare: Vec<(usize, f64)>,
     series: CategorySeries,
+    /// The pool's full cluster outcome — kept for edge locations so
+    /// batched diagnosis can reuse it instead of re-clustering.
+    outcome: ClusterOutcome,
 }
 
 /// Cluster → rare-path → normalise chain for one location's pool. Pure
@@ -216,7 +224,7 @@ fn analyze_pool(
         .collect();
     let mut series = CategorySeries::default();
     normalize_cluster_outcome_refs(frags, &outcome, &mut series, rank_override);
-    LocationAnalysis { covered_ns, rare, series }
+    LocationAnalysis { covered_ns, rare, series, outcome }
 }
 
 /// Shared body of [`detect`], [`detect_seq`] and [`detect_intra`].
@@ -290,8 +298,14 @@ pub(crate) fn detect_merged_impl(
     let mut series = CategorySeries::default();
     let mut rare_paths = Vec::new();
     let mut covered_ns = 0.0f64;
+    // Vertex outcomes are dropped (diagnosis pools computation fragments,
+    // which live on edges); edge outcomes are kept in edge order.
+    let mut edge_clusters = Vec::with_capacity(merged.edges.len());
     for ((loc, _), analysis) in locations.iter().zip(analyses) {
         covered_ns += analysis.covered_ns;
+        if matches!(loc, Location::Edge(..)) {
+            edge_clusters.push(analysis.outcome);
+        }
         if !analysis.rare.is_empty() {
             let label = match loc {
                 Location::Vertex(s) => merged.key(*s).label(),
@@ -325,6 +339,9 @@ pub(crate) fn detect_merged_impl(
     let build = |points: &[crate::detect::normalize::PerfPoint]| {
         if points.is_empty() {
             HeatMap::new(vapro_sim::VirtualTime::ZERO, 1, 1, nranks.max(1))
+        } else if parallel {
+            // Bit-identical to the sequential fill (rank-partitioned).
+            HeatMap::spanning_par(points, bins, nranks.max(1))
         } else {
             HeatMap::spanning(points, bins, nranks.max(1))
         }
@@ -348,6 +365,7 @@ pub(crate) fn detect_merged_impl(
         rare_paths,
         series,
         coverage,
+        edge_clusters,
     }
 }
 
@@ -558,6 +576,9 @@ mod tests {
         assert_eq!(par.comm_regions, seq.comm_regions);
         assert_eq!(par.io_regions, seq.io_regions);
         assert_eq!(par.coverage.to_bits(), seq.coverage.to_bits());
+        assert_eq!(par.edge_clusters, seq.edge_clusters);
+        // One outcome per merged edge pool, in edge order.
+        assert_eq!(par.edge_clusters.len(), merge_stgs(&stgs).edges.len());
     }
 
     #[test]

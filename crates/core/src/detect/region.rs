@@ -32,9 +32,12 @@ impl VarianceRegion {
         self.cells.len()
     }
 
-    /// Does the region include this rank?
+    /// Does the region include this rank? O(1): a 4-connected region's
+    /// rank projection is a contiguous interval (any two cells are
+    /// linked by unit rank/bin steps through the region), so covering a
+    /// rank is exactly containment in `rank_range`.
     pub fn covers_rank(&self, rank: usize) -> bool {
-        self.cells.iter().any(|&(r, _)| r == rank)
+        self.rank_range.0 <= rank && rank <= self.rank_range.1
     }
 }
 
@@ -52,7 +55,11 @@ pub fn grow_regions(hm: &HeatMap, threshold: f64) -> Vec<VarianceRegion> {
             if visited[start_idx] || !below(rank, bin) {
                 continue;
             }
-            // BFS flood fill.
+            // DFS flood fill (`queue` is a stack — `Vec::pop` takes the
+            // most recently pushed cell). Kept depth-first on purpose:
+            // the visit order fixes `cells` order, and with it the f64
+            // summation order of `loss_ns` below, which downstream
+            // region ranking depends on bit-for-bit.
             let mut cells = Vec::new();
             let mut queue = vec![(rank, bin)];
             visited[start_idx] = true;
@@ -183,6 +190,29 @@ mod tests {
         let hm = map_with(&pts);
         let regions = grow_regions(&hm, 0.85);
         assert_eq!(regions.len(), 2);
+    }
+
+    #[test]
+    fn covers_rank_agrees_with_the_cell_scan() {
+        // The O(1) rank_range containment must equal the old O(cells)
+        // scan on every grown region — incl. an L-shaped one.
+        let mut pts = vec![];
+        for r in 0..4 {
+            pts.push((r, 0, 1000, 1.0));
+        }
+        pts.push((1, 200, 500, 0.3));
+        pts.push((2, 200, 300, 0.3)); // L: rank 2 only shares bin 2
+        pts.push((3, 700, 800, 0.4)); // separate region on rank 3
+        let hm = map_with(&pts);
+        for region in grow_regions(&hm, 0.85) {
+            for rank in 0..4 {
+                assert_eq!(
+                    region.covers_rank(rank),
+                    region.cells.iter().any(|&(r, _)| r == rank),
+                    "rank {rank} in {region:?}"
+                );
+            }
+        }
     }
 
     #[test]

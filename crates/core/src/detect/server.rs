@@ -22,6 +22,9 @@ use crate::detect::pipeline::{
     detect_merged, merge_stgs_window, DetectionResult, MergedStg,
 };
 use crate::detect::window::{windows_covering, Window};
+use crate::diagnose::batch::DiagnosisBatch;
+use crate::diagnose::driver::RegionOfInterest;
+use crate::diagnose::progressive::DiagnosisReport;
 use crate::fragment::Fragment;
 use crate::intern::{Sym, SymbolTable};
 use crate::stg::{StateKey, Stg};
@@ -55,12 +58,69 @@ pub struct ServerPool {
     pub servers: Vec<AnalysisServer>,
 }
 
-/// The detection output of one analysis window.
+/// One region's diagnosis attached to a window report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegionDiagnosis {
+    /// The diagnosed region of interest (from a detected variance
+    /// region of the window).
+    pub roi: RegionOfInterest,
+    /// The progressive drill-down's outcome.
+    pub report: DiagnosisReport,
+}
+
+/// The analysis output of one window: detection plus the diagnoses of
+/// its top-K (by quantified loss) computation variance regions.
 pub struct WindowReport {
     /// The analysed window.
     pub window: Window,
     /// Detection over the fragments inside the window.
     pub result: DetectionResult,
+    /// Diagnoses of the window's top computation regions (at most
+    /// `cfg.diagnose_top_k`; regions whose drill-down found no usable
+    /// cluster or contrast are skipped).
+    pub diagnoses: Vec<RegionDiagnosis>,
+}
+
+/// Diagnose the top-K computation regions of a detection result over
+/// the same merged view it was detected on. The [`DiagnosisBatch`]
+/// seeds its cluster cache from the detection's own per-edge outcomes,
+/// so no pool is clustered twice — diagnosis costs one interval-index
+/// build plus the drill-downs themselves.
+fn diagnose_top_regions(
+    view: &MergedStg<'_>,
+    result: &DetectionResult,
+    cfg: &VaproConfig,
+) -> Vec<RegionDiagnosis> {
+    if cfg.diagnose_top_k == 0 || result.comp_regions.is_empty() {
+        return Vec::new();
+    }
+    let batch = DiagnosisBatch::with_clusters(view, cfg, &result.edge_clusters);
+    result
+        .comp_regions
+        .iter()
+        .take(cfg.diagnose_top_k)
+        .filter_map(|region| {
+            let roi = RegionOfInterest::from(region);
+            batch.diagnose(&roi).map(|report| RegionDiagnosis { roi, report })
+        })
+        .collect()
+}
+
+/// Shared per-window analysis: detection over the view, then top-K
+/// region diagnosis reusing detection's clusters. Both the one-shot
+/// ([`ServerPool::analyze_windows`]) and streaming
+/// ([`WindowedIngestor`]) paths go through here, which keeps their
+/// reports bit-identical.
+fn analyze_view(
+    view: &MergedStg<'_>,
+    window: Window,
+    nranks: usize,
+    bins: usize,
+    cfg: &VaproConfig,
+) -> WindowReport {
+    let result = detect_merged(view, nranks, bins, cfg);
+    let diagnoses = diagnose_top_regions(view, &result, cfg);
+    WindowReport { window, result, diagnoses }
 }
 
 impl ServerPool {
@@ -139,14 +199,9 @@ impl ServerPool {
 
         windows
             .into_par_iter()
-            .map(|window| WindowReport {
-                window,
-                result: detect_merged(
-                    &merge_stgs_window(stgs, window),
-                    nranks,
-                    bins_per_window,
-                    cfg,
-                ),
+            .map(|window| {
+                let view = merge_stgs_window(stgs, window);
+                analyze_view(&view, window, nranks, bins_per_window, cfg)
             })
             .collect()
     }
@@ -395,14 +450,9 @@ impl WindowedIngestor {
     fn analyze(&self, windows: Vec<Window>) -> Vec<WindowReport> {
         windows
             .into_par_iter()
-            .map(|window| WindowReport {
-                window,
-                result: detect_merged(
-                    &self.arena.window_view(window),
-                    self.nranks,
-                    self.bins_per_window,
-                    &self.cfg,
-                ),
+            .map(|window| {
+                let view = self.arena.window_view(window);
+                analyze_view(&view, window, self.nranks, self.bins_per_window, &self.cfg)
             })
             .collect()
     }
@@ -595,6 +645,7 @@ mod tests {
         assert_eq!(a.comm_regions, b.comm_regions);
         assert_eq!(a.io_regions, b.io_regions);
         assert_eq!(a.coverage.to_bits(), b.coverage.to_bits());
+        assert_eq!(a.edge_clusters, b.edge_clusters);
     }
 
     #[test]
@@ -711,9 +762,72 @@ mod tests {
         for (got, want) in reports.iter().zip(&reference) {
             assert_eq!(got.window, want.window);
             assert_results_identical(&got.result, &want.result);
+            assert_eq!(got.diagnoses, want.diagnoses);
         }
         // And the variance was actually found in some window.
         assert!(reports.iter().any(|r| !r.result.comp_regions.is_empty()));
+    }
+
+    #[test]
+    fn windows_ship_top_k_diagnoses() {
+        // Diagnosable data (full S3 memory counter set, memory contention
+        // on rank 2 mid-run): windows overlapping the noise must ship
+        // region diagnoses, capped at `diagnose_top_k`, and the streaming
+        // ingestor must ship exactly the one-shot reports — detection
+        // output unchanged, diagnoses included.
+        use crate::diagnose::driver::tests::stgs_with_noise;
+        let cfg = VaproConfig {
+            report_period: VirtualTime::from_ms(40),
+            ..VaproConfig::default()
+        };
+        let stgs = stgs_with_noise(4, 30, 2, (10_000_000, 40_000_000));
+        let pool = ServerPool::new(1, 4);
+        let reports = pool.analyze_windows(&stgs, 4, 8, &cfg);
+        assert!(reports.iter().all(|r| r.diagnoses.len() <= cfg.diagnose_top_k));
+        let diagnosed: Vec<&RegionDiagnosis> =
+            reports.iter().flat_map(|r| &r.diagnoses).collect();
+        assert!(!diagnosed.is_empty(), "no window shipped a diagnosis");
+        for d in &diagnosed {
+            assert!(!d.report.culprits.is_empty());
+            assert!(d.roi.ranks.0 <= d.roi.ranks.1);
+        }
+
+        // Stream the same run through the wire-format ingestor.
+        let mut ingestor = WindowedIngestor::new(4, 8, cfg.clone());
+        let mut streamed = Vec::new();
+        for k in 0..5u64 {
+            let period = Window {
+                start: VirtualTime::from_ms(20 * k),
+                end: VirtualTime::from_ms(20 * (k + 1)),
+            };
+            for (rank, stg) in stgs.iter().enumerate() {
+                let batch = FragmentBatch::from_stg_starting_in(stg, rank, period);
+                streamed.extend(ingestor.push_encoded(&batch.encode()).expect("valid frame"));
+            }
+        }
+        streamed.extend(ingestor.finish());
+        assert_eq!(streamed.len(), reports.len());
+        for (got, want) in streamed.iter().zip(&reports) {
+            assert_eq!(got.window, want.window);
+            assert_results_identical(&got.result, &want.result);
+            assert_eq!(got.diagnoses, want.diagnoses);
+        }
+        assert!(streamed.iter().any(|r| !r.diagnoses.is_empty()));
+    }
+
+    #[test]
+    fn diagnosis_can_be_disabled() {
+        use crate::diagnose::driver::tests::stgs_with_noise;
+        let cfg = VaproConfig {
+            report_period: VirtualTime::from_ms(40),
+            diagnose_top_k: 0,
+            ..VaproConfig::default()
+        };
+        let stgs = stgs_with_noise(4, 30, 2, (10_000_000, 40_000_000));
+        let pool = ServerPool::new(1, 4);
+        let reports = pool.analyze_windows(&stgs, 4, 8, &cfg);
+        assert!(reports.iter().any(|r| !r.result.comp_regions.is_empty()));
+        assert!(reports.iter().all(|r| r.diagnoses.is_empty()));
     }
 
     #[test]

@@ -1,0 +1,394 @@
+//! Batched region diagnosis: merge once, index once, cluster once —
+//! then diagnose every region.
+//!
+//! [`diagnose_region`](crate::diagnose::diagnose_region) re-merges all
+//! STGs, re-scans every pool and re-clusters the winning pool *per
+//! region*, which is affordable for a user clicking one heat-map region
+//! but not for a server diagnosing every region of every closed window.
+//! [`DiagnosisBatch`] amortises all three costs across regions:
+//!
+//! * **merge once** — the caller builds (or already has) a
+//!   [`MergedStg`]; the batch only borrows it;
+//! * **interval index** — per edge pool, computation fragments sorted by
+//!   start time with a prefix-maximum of end times, so the in-region
+//!   time of a pool is a binary search plus a short scan instead of a
+//!   full-pool sweep per (region, pool) pair;
+//! * **cluster memoisation** — each pool is clustered at most once per
+//!   batch (two regions choosing the same pool share the outcome), and
+//!   detection's own per-edge [`ClusterOutcome`]s can seed the cache so
+//!   the streaming server never re-clusters at all;
+//! * **report memoisation** — a region only *selects* a pool; the
+//!   drill-down population (the pool's dominant cluster, with its
+//!   cross-rank normal reference) and therefore the whole
+//!   [`DiagnosisReport`] are functions of the pool alone, so each pool
+//!   runs the progressive drill-down at most once per batch no matter
+//!   how many regions land on it.
+//!
+//! The per-region result is bit-identical to `diagnose_region` on the
+//! same merged view: the in-region time is an order-independent `u64`
+//! sum, pool selection keeps the same first-best-wins tie-break, and
+//! clustering is deterministic — property-tested in
+//! `tests/property_tests.rs`.
+
+use crate::clustering::{cluster_fragment_refs, ClusterOutcome};
+use crate::config::VaproConfig;
+use crate::detect::pipeline::MergedStg;
+use crate::diagnose::driver::RegionOfInterest;
+use crate::diagnose::progressive::{
+    diagnose_progressively_with, DiagnosisReport, FragmentProvider,
+};
+use crate::fragment::{Fragment, FragmentKind};
+use rayon::prelude::*;
+use std::sync::OnceLock;
+use vapro_pmu::CounterSet;
+
+/// Interval index over one edge pool's computation fragments.
+///
+/// Fragments are sorted by start time; `prefix_max_end[i]` is the
+/// maximum end time among the first `i + 1` sorted fragments. A region
+/// `[t_start, t_end)` then overlaps exactly the sorted positions in
+/// `[lo, ub)` where `ub` bounds `start < t_end` (binary search on the
+/// sorted starts) and `lo` bounds `prefix_max_end > t_start` (binary
+/// search on the monotone prefix maximum — everything before `lo` ends
+/// at or before `t_start`). Only `[lo, ub)` is scanned for the rank
+/// filter and the duration sum.
+struct PoolIndex {
+    starts: Vec<u64>,
+    ends: Vec<u64>,
+    durations: Vec<u64>,
+    ranks: Vec<usize>,
+    prefix_max_end: Vec<u64>,
+}
+
+impl PoolIndex {
+    fn build(pool: &[&Fragment]) -> PoolIndex {
+        let mut rows: Vec<(u64, u64, u64, usize)> = pool
+            .iter()
+            .filter(|f| f.kind == FragmentKind::Computation)
+            .map(|f| (f.start.ns(), f.end.ns(), f.duration().ns(), f.rank))
+            .collect();
+        rows.sort_by_key(|r| r.0);
+        let mut prefix_max_end = Vec::with_capacity(rows.len());
+        let mut max_end = 0u64;
+        for &(_, end, _, _) in &rows {
+            max_end = max_end.max(end);
+            prefix_max_end.push(max_end);
+        }
+        PoolIndex {
+            starts: rows.iter().map(|r| r.0).collect(),
+            ends: rows.iter().map(|r| r.1).collect(),
+            durations: rows.iter().map(|r| r.2).collect(),
+            ranks: rows.iter().map(|r| r.3).collect(),
+            prefix_max_end,
+        }
+    }
+
+    /// Total time (ns) this pool's computation fragments spend inside the
+    /// region. A `u64` sum, so the answer is independent of summation
+    /// order — which is what keeps the index bit-identical to the naive
+    /// full-pool scan.
+    fn in_region_ns(&self, roi: &RegionOfInterest) -> u64 {
+        let (t_start, t_end) = (roi.t_start.ns(), roi.t_end.ns());
+        let ub = self.starts.partition_point(|&s| s < t_end);
+        let lo = self.prefix_max_end[..ub].partition_point(|&m| m <= t_start);
+        let mut total = 0u64;
+        for i in lo..ub {
+            if self.ends[i] > t_start
+                && self.ranks[i] >= roi.ranks.0
+                && self.ranks[i] <= roi.ranks.1
+            {
+                total += self.durations[i];
+            }
+        }
+        total
+    }
+}
+
+/// Borrow-based [`FragmentProvider`]: holds the chosen cluster's members
+/// as references into the merged pool and projects their counter sets
+/// into one reused scratch buffer per drill-down step — zero
+/// full-population [`Fragment`] clones, ever (the fragments are rebuilt
+/// field by field, bypassing `Fragment::clone` and its debug counter).
+pub struct ScratchProvider<'a> {
+    members: Vec<&'a Fragment>,
+    scratch: Vec<Fragment>,
+}
+
+impl<'a> ScratchProvider<'a> {
+    /// Provider over the given cluster members.
+    pub fn new(members: Vec<&'a Fragment>) -> ScratchProvider<'a> {
+        ScratchProvider { members, scratch: Vec::new() }
+    }
+}
+
+impl FragmentProvider for ScratchProvider<'_> {
+    fn collect(&mut self, set: CounterSet) -> &[Fragment] {
+        self.scratch.clear();
+        self.scratch.extend(self.members.iter().map(|f| Fragment {
+            rank: f.rank,
+            kind: f.kind,
+            start: f.start,
+            end: f.end,
+            counters: f.counters.project(set),
+            args: f.args.clone(),
+        }));
+        &self.scratch
+    }
+}
+
+/// The reusable state of a batch: the merged view, one interval index
+/// per edge pool, and the memoised cluster outcomes.
+pub struct DiagnosisBatch<'a, 'm> {
+    merged: &'m MergedStg<'a>,
+    cfg: &'m VaproConfig,
+    indexes: Vec<PoolIndex>,
+    /// Lazily clustered outcomes, aligned with `merged.edges`. Unused
+    /// when `seeded` is present.
+    clusters: Vec<OnceLock<ClusterOutcome>>,
+    /// Detection's per-edge outcomes, aligned with `merged.edges` —
+    /// exact reuse, since detection clusters each pool with the same
+    /// (proxy-counter, threshold, min-size) parameters.
+    seeded: Option<&'m [ClusterOutcome]>,
+    /// Memoised per-pool drill-down results, aligned with `merged.edges`.
+    reports: Vec<OnceLock<Option<DiagnosisReport>>>,
+}
+
+impl<'a, 'm> DiagnosisBatch<'a, 'm> {
+    /// Index the merged view for batched diagnosis. Clustering is lazy:
+    /// a pool is clustered the first time a region selects it.
+    pub fn new(merged: &'m MergedStg<'a>, cfg: &'m VaproConfig) -> DiagnosisBatch<'a, 'm> {
+        let indexes = merged.edges.iter().map(|(_, pool)| PoolIndex::build(pool)).collect();
+        let clusters = merged.edges.iter().map(|_| OnceLock::new()).collect();
+        let reports = merged.edges.iter().map(|_| OnceLock::new()).collect();
+        DiagnosisBatch { merged, cfg, indexes, clusters, seeded: None, reports }
+    }
+
+    /// Like [`DiagnosisBatch::new`], but reuse cluster outcomes computed
+    /// elsewhere — typically
+    /// [`DetectionResult::edge_clusters`](crate::detect::pipeline::DetectionResult::edge_clusters)
+    /// from a detection pass over the *same* merged view, in which case
+    /// no pool is ever clustered twice.
+    ///
+    /// # Panics
+    /// When `outcomes` is not aligned with the merged view's edge pools.
+    pub fn with_clusters(
+        merged: &'m MergedStg<'a>,
+        cfg: &'m VaproConfig,
+        outcomes: &'m [ClusterOutcome],
+    ) -> DiagnosisBatch<'a, 'm> {
+        assert_eq!(
+            outcomes.len(),
+            merged.edges.len(),
+            "cluster outcomes must align with the merged edge pools"
+        );
+        let mut batch = DiagnosisBatch::new(merged, cfg);
+        batch.seeded = Some(outcomes);
+        batch
+    }
+
+    fn outcome(&self, pool_idx: usize) -> &ClusterOutcome {
+        if let Some(seeded) = self.seeded {
+            return &seeded[pool_idx];
+        }
+        self.clusters[pool_idx].get_or_init(|| {
+            cluster_fragment_refs(
+                &self.merged.edges[pool_idx].1,
+                &self.cfg.proxy_counters,
+                self.cfg.cluster_threshold,
+                self.cfg.min_cluster_size,
+            )
+        })
+    }
+
+    /// Diagnose one region. Same contract as
+    /// [`diagnose_region`](crate::diagnose::diagnose_region): the
+    /// population is the dominant fixed-workload cluster of the edge
+    /// pool with the most in-region computation time; `None` when no
+    /// pool overlaps the region or the winner has no usable cluster.
+    pub fn diagnose(&self, roi: &RegionOfInterest) -> Option<DiagnosisReport> {
+        // First-best-wins on strict improvement, in edge order — the
+        // exact tie-break of the naive per-region scan.
+        let mut best: Option<(usize, u64)> = None;
+        for (i, index) in self.indexes.iter().enumerate() {
+            let in_region = index.in_region_ns(roi);
+            if in_region > 0 && best.is_none_or(|(_, t)| in_region > t) {
+                best = Some((i, in_region));
+            }
+        }
+        let (pool_idx, _) = best?;
+        // The region's only contribution was choosing the pool; the
+        // drill-down is memoised per pool. Deterministic, so concurrent
+        // initialisation under the fan-out cannot change the value.
+        self.reports[pool_idx].get_or_init(|| self.diagnose_pool(pool_idx)).clone()
+    }
+
+    /// The progressive drill-down over one pool's dominant cluster.
+    fn diagnose_pool(&self, pool_idx: usize) -> Option<DiagnosisReport> {
+        let pool = &self.merged.edges[pool_idx].1;
+        let outcome = self.outcome(pool_idx);
+        let cluster = outcome.usable.iter().max_by_key(|c| c.members.len())?;
+        let members: Vec<&Fragment> = cluster.members.iter().map(|&m| pool[m]).collect();
+        let mut provider = ScratchProvider::new(members);
+        diagnose_progressively_with(
+            &mut provider,
+            self.cfg.ka_abnormal,
+            self.cfg.major_factor_threshold,
+            0.05,
+        )
+    }
+
+    /// Diagnose every region, fanning out across the thread pool. The
+    /// per-region work is independent and the memoised clustering is
+    /// deterministic, so the output is identical to
+    /// [`DiagnosisBatch::diagnose_all_seq`].
+    pub fn diagnose_all(&self, rois: &[RegionOfInterest]) -> Vec<Option<DiagnosisReport>> {
+        rois.par_iter().map(|roi| self.diagnose(roi)).collect()
+    }
+
+    /// Single-threaded reference of [`DiagnosisBatch::diagnose_all`], for
+    /// the equivalence property tests and the benchmark baseline.
+    pub fn diagnose_all_seq(&self, rois: &[RegionOfInterest]) -> Vec<Option<DiagnosisReport>> {
+        rois.iter().map(|roi| self.diagnose(roi)).collect()
+    }
+}
+
+/// Diagnose a batch of regions over one merged view: merge once (the
+/// caller's), index once, cluster each pool at most once, fan out over
+/// regions. Element `i` of the result is region `i`'s report.
+pub fn diagnose_regions(
+    merged: &MergedStg<'_>,
+    rois: &[RegionOfInterest],
+    cfg: &VaproConfig,
+) -> Vec<Option<DiagnosisReport>> {
+    DiagnosisBatch::new(merged, cfg).diagnose_all(rois)
+}
+
+/// Single-threaded form of [`diagnose_regions`].
+pub fn diagnose_regions_seq(
+    merged: &MergedStg<'_>,
+    rois: &[RegionOfInterest],
+    cfg: &VaproConfig,
+) -> Vec<Option<DiagnosisReport>> {
+    DiagnosisBatch::new(merged, cfg).diagnose_all_seq(rois)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detect::pipeline::merge_stgs;
+    use crate::diagnose::driver::diagnose_region;
+    use crate::diagnose::driver::tests::stgs_with_noise;
+    use crate::fragment::clone_count;
+    use vapro_sim::VirtualTime;
+
+    fn rois_grid(nranks: usize, t_max: u64, cols: usize) -> Vec<RegionOfInterest> {
+        let mut rois = Vec::new();
+        for r in 0..nranks {
+            for c in 0..cols {
+                let w = t_max / cols as u64;
+                rois.push(RegionOfInterest {
+                    ranks: (r, r),
+                    t_start: VirtualTime::from_ns(c as u64 * w),
+                    t_end: VirtualTime::from_ns((c as u64 + 1) * w),
+                });
+            }
+        }
+        rois
+    }
+
+    #[test]
+    fn batch_matches_per_region_driver() {
+        let stgs = stgs_with_noise(4, 30, 2, (10_000_000, 40_000_000));
+        let cfg = VaproConfig::default();
+        let mut rois = rois_grid(4, 60_000_000, 4);
+        rois.push(RegionOfInterest {
+            ranks: (2, 2),
+            t_start: VirtualTime::from_ms(10),
+            t_end: VirtualTime::from_ms(40),
+        });
+        let merged = merge_stgs(&stgs);
+        let batch = diagnose_regions(&merged, &rois, &cfg);
+        for (roi, got) in rois.iter().zip(&batch) {
+            assert_eq!(got, &diagnose_region(&stgs, roi, &cfg), "roi {roi:?}");
+        }
+        assert!(batch.iter().any(Option::is_some));
+    }
+
+    #[test]
+    fn parallel_and_sequential_batches_are_identical() {
+        let stgs = stgs_with_noise(4, 25, 1, (5_000_000, 30_000_000));
+        let cfg = VaproConfig::default();
+        let rois = rois_grid(4, 50_000_000, 3);
+        let merged = merge_stgs(&stgs);
+        assert_eq!(
+            diagnose_regions(&merged, &rois, &cfg),
+            diagnose_regions_seq(&merged, &rois, &cfg)
+        );
+    }
+
+    #[test]
+    fn interval_index_matches_naive_scan() {
+        let stgs = stgs_with_noise(3, 20, 1, (0, 20_000_000));
+        let merged = merge_stgs(&stgs);
+        for (_, pool) in &merged.edges {
+            let index = PoolIndex::build(pool);
+            for roi in rois_grid(3, 45_000_000, 7) {
+                let naive: u64 = pool
+                    .iter()
+                    .filter(|f| {
+                        f.kind == FragmentKind::Computation
+                            && f.rank >= roi.ranks.0
+                            && f.rank <= roi.ranks.1
+                            && f.start < roi.t_end
+                            && f.end > roi.t_start
+                    })
+                    .map(|f| f.duration().ns())
+                    .sum();
+                assert_eq!(index.in_region_ns(&roi), naive, "roi {roi:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_diagnosis_clones_no_fragments() {
+        let stgs = stgs_with_noise(4, 30, 2, (10_000_000, 40_000_000));
+        let cfg = VaproConfig::default();
+        let rois = vec![RegionOfInterest {
+            ranks: (2, 2),
+            t_start: VirtualTime::from_ms(10),
+            t_end: VirtualTime::from_ms(40),
+        }];
+        let merged = merge_stgs(&stgs);
+        let before = clone_count::on_this_thread();
+        let reports = diagnose_regions_seq(&merged, &rois, &cfg);
+        assert!(reports[0].is_some());
+        assert_eq!(
+            clone_count::on_this_thread() - before,
+            0,
+            "batched diagnosis must not clone fragments"
+        );
+    }
+
+    #[test]
+    fn seeded_clusters_match_lazy_clustering() {
+        let stgs = stgs_with_noise(4, 25, 0, (0, 25_000_000));
+        let cfg = VaproConfig::default();
+        let merged = merge_stgs(&stgs);
+        let outcomes: Vec<ClusterOutcome> = merged
+            .edges
+            .iter()
+            .map(|(_, pool)| {
+                cluster_fragment_refs(
+                    pool,
+                    &cfg.proxy_counters,
+                    cfg.cluster_threshold,
+                    cfg.min_cluster_size,
+                )
+            })
+            .collect();
+        let rois = rois_grid(4, 40_000_000, 3);
+        let seeded = DiagnosisBatch::with_clusters(&merged, &cfg, &outcomes);
+        let lazy = DiagnosisBatch::new(&merged, &cfg);
+        assert_eq!(seeded.diagnose_all_seq(&rois), lazy.diagnose_all_seq(&rois));
+    }
+}

@@ -13,10 +13,10 @@ use crate::clustering::cluster_fragment_refs;
 use crate::config::VaproConfig;
 use crate::detect::pipeline::merge_stgs;
 use crate::detect::region::VarianceRegion;
-use crate::diagnose::progressive::{diagnose_progressively, DiagnosisReport};
+use crate::diagnose::batch::ScratchProvider;
+use crate::diagnose::progressive::{diagnose_progressively_with, DiagnosisReport};
 use crate::fragment::{Fragment, FragmentKind};
 use crate::stg::Stg;
-use vapro_pmu::CounterSet;
 use vapro_sim::VirtualTime;
 
 /// A region of interest on the heat map: ranks × virtual-time window.
@@ -75,9 +75,9 @@ pub fn diagnose_region(
 
     // The diagnosis population: the whole pool's dominant cluster — it
     // contains the region's abnormal fragments plus the out-of-region /
-    // other-rank normal ones that give the reference values. Only the
-    // chosen cluster's members are ever cloned (the provider below has to
-    // re-project their counter sets).
+    // other-rank normal ones that give the reference values. The scratch
+    // provider borrows the members and projects counter sets into one
+    // reused buffer, so no full-population clone happens at any step.
     let outcome = cluster_fragment_refs(
         pool,
         &cfg.proxy_counters,
@@ -88,16 +88,9 @@ pub fn diagnose_region(
         .usable
         .iter()
         .max_by_key(|c| c.members.len())?;
-    let population: Vec<Fragment> =
-        cluster.members.iter().map(|&m| pool[m].clone()).collect();
-
-    let mut provider = move |set: CounterSet| -> Vec<Fragment> {
-        population
-            .iter()
-            .map(|f| Fragment { counters: f.counters.project(set), ..f.clone() })
-            .collect()
-    };
-    diagnose_progressively(
+    let members: Vec<&Fragment> = cluster.members.iter().map(|&m| pool[m]).collect();
+    let mut provider = ScratchProvider::new(members);
+    diagnose_progressively_with(
         &mut provider,
         cfg.ka_abnormal,
         cfg.major_factor_threshold,
@@ -106,9 +99,10 @@ pub fn diagnose_region(
 }
 
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests {
     use super::*;
     use crate::diagnose::factor::Factor;
+    use crate::fragment::clone_count;
     use crate::stg::StateKey;
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
@@ -116,8 +110,9 @@ mod tests {
     use vapro_sim::CallSite;
 
     /// Build per-rank STGs: `nranks` ranks run the same fixed workload;
-    /// `slow_rank` suffers memory contention inside `[t0, t1)`.
-    fn stgs_with_noise(
+    /// `slow_rank` suffers memory contention inside `[t0, t1)`. Shared
+    /// with the batch-diagnosis tests.
+    pub(crate) fn stgs_with_noise(
         nranks: usize,
         n: usize,
         slow_rank: usize,
@@ -180,6 +175,23 @@ mod tests {
             "culprits {:?}",
             rep.culprits
         );
+    }
+
+    #[test]
+    fn region_diagnosis_clones_no_fragments() {
+        // The provider projects counters into a reused scratch buffer;
+        // no step clones the population (driver.rs used to pay
+        // 1 + steps full-population clones here).
+        let stgs = stgs_with_noise(4, 30, 2, (10_000_000, 40_000_000));
+        let roi = RegionOfInterest {
+            ranks: (2, 2),
+            t_start: VirtualTime::from_ms(10),
+            t_end: VirtualTime::from_ms(40),
+        };
+        let before = clone_count::on_this_thread();
+        let rep = diagnose_region(&stgs, &roi, &VaproConfig::default());
+        assert!(rep.is_some());
+        assert_eq!(clone_count::on_this_thread() - before, 0);
     }
 
     #[test]

@@ -3,14 +3,19 @@
 //! analysis, and the progressive drill-down that keeps the active counter
 //! set small.
 
+pub mod batch;
 pub mod contribution;
 pub mod driver;
 pub mod factor;
 pub mod progressive;
 pub mod quantify;
 
+pub use batch::{diagnose_regions, diagnose_regions_seq, DiagnosisBatch, ScratchProvider};
 pub use contribution::{analyze_contributions, ContributionReport, FactorContribution};
 pub use driver::{diagnose_region, RegionOfInterest};
 pub use factor::{Factor, Stage};
-pub use progressive::{diagnose_progressively, DiagnosisReport, StageStep};
+pub use progressive::{
+    diagnose_progressively, diagnose_progressively_with, DiagnosisReport, FragmentProvider,
+    StageStep,
+};
 pub use quantify::{factor_value, ols_impacts, FactorValues, OlsImpact};

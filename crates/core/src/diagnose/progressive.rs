@@ -65,12 +65,54 @@ impl DiagnosisReport {
     }
 }
 
+/// A source of cluster fragments as collected under a given counter set.
+///
+/// Borrow-based twin of the closure form of [`diagnose_progressively`]:
+/// `collect` returns a slice the provider owns, so implementations can
+/// project counters into a reused scratch buffer instead of allocating
+/// (and cloning) a fresh population at every S1→S3 step. In a live
+/// deployment the provider reprograms client PMUs and waits a shipping
+/// period; in this reproduction it re-projects or re-simulates.
+pub trait FragmentProvider {
+    /// The cluster's fragments restricted to `set`. The slice only needs
+    /// to live until the next `collect` call.
+    fn collect(&mut self, set: CounterSet) -> &[Fragment];
+}
+
+/// Adapter giving the closure entry point the borrow-based engine: the
+/// closure's fresh `Vec` is parked in `buf` and lent out.
+struct FnProvider<'a> {
+    f: &'a mut dyn FnMut(CounterSet) -> Vec<Fragment>,
+    buf: Vec<Fragment>,
+}
+
+impl FragmentProvider for FnProvider<'_> {
+    fn collect(&mut self, set: CounterSet) -> &[Fragment] {
+        self.buf = (self.f)(set);
+        &self.buf
+    }
+}
+
 /// Run the drill-down over one cluster. `provider` returns the cluster's
 /// fragments as collected under the given counter set — fragments whose
 /// recorded counters don't include the set are unusable and must be
 /// re-collected, which is what costs a period per stage.
 pub fn diagnose_progressively(
     provider: &mut dyn FnMut(CounterSet) -> Vec<Fragment>,
+    ka: f64,
+    major_threshold: f64,
+    alpha: f64,
+) -> Option<DiagnosisReport> {
+    let mut adapter = FnProvider { f: provider, buf: Vec::new() };
+    diagnose_progressively_with(&mut adapter, ka, major_threshold, alpha)
+}
+
+/// Borrow-based form of [`diagnose_progressively`]: identical descent,
+/// but each stage borrows the provider's population instead of taking an
+/// owned `Vec`. This is what lets the batched driver reuse one scratch
+/// buffer across all steps with zero full-population `Fragment` clones.
+pub fn diagnose_progressively_with(
+    provider: &mut dyn FragmentProvider,
     ka: f64,
     major_threshold: f64,
     alpha: f64,
@@ -86,7 +128,7 @@ pub fn diagnose_progressively(
             .iter()
             .fold(CounterSet::empty(), |acc, f| acc.union(f.required_counters()));
         periods += 1;
-        let fragments = provider(needed);
+        let fragments = provider.collect(needed);
         let refs: Vec<&Fragment> = fragments.iter().collect();
         let Some(fv) = FactorValues::compute(&refs, &frontier) else {
             break;

@@ -27,16 +27,22 @@ pub enum FragmentKind {
     Other,
 }
 
-/// Counts [`Fragment`] clones in debug builds — the instrument behind
-/// the zero-copy guarantees of the merge and windowed-ingestion paths.
-/// Release builds compile the counter out entirely.
-#[cfg(debug_assertions)]
+/// Counts [`Fragment`] clones — the instrument behind the zero-copy
+/// guarantees of the merge, windowed-ingestion and batched-diagnosis
+/// paths. Compiled in for debug builds and for release builds with the
+/// `clone-count` feature (the diagnose bench uses the latter to prove
+/// zero full-population clones at optimised speeds); plain release
+/// builds compile the counter out entirely.
+#[cfg(any(debug_assertions, feature = "clone-count"))]
 pub mod clone_count {
     use std::cell::Cell;
+    use std::sync::atomic::{AtomicU64, Ordering};
 
     thread_local! {
         static CLONES: Cell<u64> = const { Cell::new(0) };
     }
+
+    static TOTAL: AtomicU64 = AtomicU64::new(0);
 
     /// Fragment clones performed *by the current thread* so far. Tests
     /// snapshot this, run a single-threaded pipeline, and assert the
@@ -46,8 +52,16 @@ pub mod clone_count {
         CLONES.with(Cell::get)
     }
 
+    /// Fragment clones performed by *any* thread in this process so far.
+    /// Benches snapshot this around a rayon-parallel pipeline, where the
+    /// thread-local count would miss worker-thread clones.
+    pub fn in_process() -> u64 {
+        TOTAL.load(Ordering::Relaxed)
+    }
+
     pub(super) fn record() {
         CLONES.with(|c| c.set(c.get() + 1));
+        TOTAL.fetch_add(1, Ordering::Relaxed);
     }
 }
 
@@ -70,7 +84,7 @@ pub struct Fragment {
 
 impl Clone for Fragment {
     fn clone(&self) -> Fragment {
-        #[cfg(debug_assertions)]
+        #[cfg(any(debug_assertions, feature = "clone-count"))]
         clone_count::record();
         Fragment {
             rank: self.rank,

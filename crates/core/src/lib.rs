@@ -55,7 +55,11 @@ pub use config::{StgMode, VaproConfig};
 pub use detect::heatmap::HeatMap;
 pub use detect::region::VarianceRegion;
 pub use detect::server::{
-    AnalysisServer, IngestArena, ServerPool, WindowReport, WindowedIngestor,
+    AnalysisServer, IngestArena, RegionDiagnosis, ServerPool, WindowReport, WindowedIngestor,
+};
+pub use diagnose::{
+    diagnose_region, diagnose_regions, diagnose_regions_seq, DiagnosisBatch, DiagnosisReport,
+    RegionOfInterest,
 };
 pub use fragment::{Fragment, FragmentKind};
 pub use report::VaproReport;

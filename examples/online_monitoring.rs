@@ -57,6 +57,14 @@ fn main() {
             r.window.end.as_secs_f64(),
             flagged.unwrap_or_else(|| "clean".into())
         );
+        // Each closed window ships its top-K region diagnoses along with
+        // the detection result — no second pass over the run needed.
+        for d in &r.diagnoses {
+            println!(
+                "    diagnosed ranks {}..={}: culprits {:?}",
+                d.roi.ranks.0, d.roi.ranks.1, d.report.culprits
+            );
+        }
     }
 
     // Tree aggregation (the MRNet-style reduction of §5): each leaf

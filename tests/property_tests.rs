@@ -3,14 +3,20 @@
 //! top-down breakdown — the algebraic backbone of the pipeline.
 
 use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
 use vapro::core::clustering::{cluster_vectors, cluster_vectors_unpruned};
 use vapro::core::detect::heatmap::HeatMap;
 use vapro::core::detect::normalize::PerfPoint;
 use vapro::core::detect::pipeline::{detect, detect_seq};
 use vapro::core::detect::region::grow_regions;
-use vapro::core::{Fragment, FragmentKind, StateKey, Stg, VaproConfig};
+use vapro::core::{
+    diagnose_region, diagnose_regions, diagnose_regions_seq, merge_stgs, Fragment, FragmentKind,
+    RegionOfInterest, StateKey, Stg, VaproConfig,
+};
 use vapro::pmu::{
-    CounterDelta, CounterId, CpuConfig, CpuModel, JitterModel, NoiseEnv, TopDown, WorkloadSpec,
+    events, CounterDelta, CounterId, CpuConfig, CpuModel, JitterModel, NoiseEnv, TopDown,
+    WorkloadSpec,
 };
 use vapro::sim::{CallSite, VirtualTime};
 use vapro::stats::{v_measure, OlsFit};
@@ -159,8 +165,10 @@ proptest! {
         prop_assert!((cell_weight - total).abs() / total < 1e-6, "weight {cell_weight} vs {total}");
     }
 
-    /// Regions contain only below-threshold cells, and no below-threshold
-    /// cell is left out of every region.
+    /// Region growing is an exact partition of the below-threshold
+    /// covered cells: every such cell lands in exactly one region (so
+    /// regions are pairwise disjoint and internally duplicate-free), and
+    /// regions contain nothing else.
     #[test]
     fn region_growing_is_exact(
         points in prop::collection::vec(
@@ -181,21 +189,25 @@ proptest! {
             .collect();
         let hm = HeatMap::spanning(&pts, 12, 4);
         let regions = grow_regions(&hm, threshold);
-        let mut in_region = [false; 4 * 12];
+        let mut covers = [0u32; 4 * 12];
         for r in &regions {
             for &(rank, bin) in &r.cells {
                 let p = hm.perf(rank, bin).expect("region cell covered");
                 prop_assert!(p < threshold, "region cell at {p} >= {threshold}");
-                in_region[rank * 12 + bin] = true;
+                covers[rank * 12 + bin] += 1;
             }
         }
         for rank in 0..4 {
             for bin in 0..12 {
-                if let Some(p) = hm.perf(rank, bin) {
-                    if p < threshold {
-                        prop_assert!(in_region[rank * 12 + bin], "missed cell ({rank},{bin})");
-                    }
-                }
+                let expected =
+                    u32::from(hm.perf(rank, bin).is_some_and(|p| p < threshold));
+                prop_assert_eq!(
+                    covers[rank * 12 + bin],
+                    expected,
+                    "cell ({},{})",
+                    rank,
+                    bin
+                );
             }
         }
     }
@@ -263,6 +275,53 @@ proptest! {
     }
 }
 
+/// A CpuModel-backed run with full stage-3 memory counters — deep enough
+/// for the progressive drill-down to reach real factors. Every rank runs
+/// the same memory-bound workload on one self-loop site; `slow_rank`
+/// suffers 2× memory contention over the middle third of its iterations.
+/// Returns the STGs and the latest fragment end, ns.
+fn noisy_run(nranks: usize, n: usize, slow_rank: usize) -> (Vec<Stg>, u64) {
+    let model = CpuModel::with_jitter(CpuConfig::default(), JitterModel::exact());
+    let spec = WorkloadSpec::memory_bound(2e6);
+    let mut t_max = 0u64;
+    let stgs = (0..nranks)
+        .map(|rank| {
+            let mut rng = ChaCha8Rng::seed_from_u64(rank as u64);
+            let mut stg = Stg::new();
+            let s0 = stg.state(StateKey::Start);
+            let s1 = stg.state(StateKey::Site(CallSite("prop:MPI_Barrier")));
+            stg.transition(s0, s1);
+            let e = stg.transition(s1, s1);
+            let mut t = 0u64;
+            for i in 0..n {
+                let env = if rank == slow_rank && (n / 3..2 * n / 3).contains(&i) {
+                    NoiseEnv { mem_contention: 2.0, ..NoiseEnv::default() }
+                } else {
+                    NoiseEnv::quiet()
+                };
+                let out = model.execute(&spec, &env, &mut rng);
+                let start = VirtualTime::from_ns(t);
+                let end = start + VirtualTime::from_ns_f64(out.wall_ns);
+                t = end.ns() + 500;
+                t_max = t_max.max(end.ns());
+                stg.attach_edge_fragment(
+                    e,
+                    Fragment {
+                        rank,
+                        kind: FragmentKind::Computation,
+                        start,
+                        end,
+                        counters: out.counters.project(events::s3_memory_set()),
+                        args: vec![],
+                    },
+                );
+            }
+            stg
+        })
+        .collect();
+    (stgs, t_max)
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
 
@@ -309,6 +368,44 @@ proptest! {
         let pruned = cluster_vectors(&vectors, threshold, min_cluster_size);
         let unpruned = cluster_vectors_unpruned(&vectors, threshold, min_cluster_size);
         prop_assert_eq!(pruned, unpruned);
+    }
+
+    /// Batched diagnosis is a pure optimisation: over arbitrary noisy
+    /// runs and selection grids, `diagnose_regions` (sequential and under
+    /// the rayon fan-out) returns exactly what a loop over the per-region
+    /// driver returns.
+    #[test]
+    fn batched_diagnosis_matches_the_per_region_driver(
+        nranks in 2usize..4,
+        n in 9usize..20,
+        slow in 0usize..4,
+        cols in 2usize..5,
+    ) {
+        let (stgs, t_max) = noisy_run(nranks, n, slow % nranks);
+        let cfg = VaproConfig::default();
+        let col_ns = (t_max / cols as u64).max(1);
+        let mut rois = Vec::new();
+        for rank in 0..nranks {
+            for c in 0..cols {
+                rois.push(RegionOfInterest {
+                    ranks: (rank, rank),
+                    t_start: VirtualTime::from_ns(c as u64 * col_ns),
+                    t_end: VirtualTime::from_ns((c as u64 + 1) * col_ns),
+                });
+            }
+        }
+        // A whole-run, all-ranks selection on top of the grid.
+        rois.push(RegionOfInterest {
+            ranks: (0, nranks - 1),
+            t_start: VirtualTime::ZERO,
+            t_end: VirtualTime::from_ns(t_max.max(1)),
+        });
+        let merged = merge_stgs(&stgs);
+        let batch_seq = diagnose_regions_seq(&merged, &rois, &cfg);
+        let batch_par = diagnose_regions(&merged, &rois, &cfg);
+        let driver: Vec<_> = rois.iter().map(|r| diagnose_region(&stgs, r, &cfg)).collect();
+        prop_assert_eq!(&batch_seq, &driver);
+        prop_assert_eq!(&batch_seq, &batch_par);
     }
 
     /// Same agreement on multi-dimensional vectors, where norm proximity
