@@ -4,15 +4,17 @@
 CARGO := cargo
 OFFLINE := --offline
 
-.PHONY: check test perf ingest-perf diagnose-perf bench clippy clean
+.PHONY: check test perf ingest-perf diagnose-perf chaos bench clippy clean
 
 # The full gate: release build, tests, workspace clippy with warnings
-# denied, then all three throughput harnesses (each compares against its
-# previous BENCH_*.json and warns on >20% drops).
+# denied, the chaos fault-injection suite, then all three throughput
+# harnesses (each compares against its previous BENCH_*.json and warns
+# on >20% drops).
 check:
 	$(CARGO) build --release $(OFFLINE)
 	$(CARGO) test -q $(OFFLINE)
 	$(CARGO) clippy $(OFFLINE) --workspace -- -D warnings
+	$(CARGO) run --release $(OFFLINE) -p vapro-bench --bin chaos
 	$(CARGO) run --release $(OFFLINE) -p vapro-bench --bin perf
 	$(CARGO) run --release $(OFFLINE) -p vapro-bench --bin ingest_perf
 	$(CARGO) run --release $(OFFLINE) -p vapro-bench --bin diagnose_perf
@@ -40,6 +42,13 @@ ingest-perf:
 # zero Fragment clones on the batch path).
 diagnose-perf:
 	$(CARGO) run --release $(OFFLINE) -p vapro-bench --bin diagnose_perf
+
+# Seeded fault-injection suite against the streaming ingestor: clean
+# transports must stay bit-identical to the one-shot analysis, hostile
+# ones (drops, duplicates, reordering, corruption, rank deaths) must
+# keep the window cover and the coverage accounting sound.
+chaos:
+	$(CARGO) run --release $(OFFLINE) -p vapro-bench --bin chaos
 
 bench:
 	$(CARGO) bench $(OFFLINE) -p vapro-bench --bench clustering

@@ -1,0 +1,103 @@
+//! The `chaos` binary: run the seeded fault-injection suite against the
+//! streaming ingestion pipeline and exit non-zero on any violation.
+//!
+//! ```text
+//! chaos [--plans N] [--seed S]
+//! ```
+//!
+//! The suite is three layers, all deterministic in the seed:
+//!
+//! 1. fault-free equivalence — a clean transport must reproduce the
+//!    one-shot windowed analysis bit for bit;
+//! 2. a rank-death scenario — killing a rank mid-run must leave the full
+//!    window cover intact with the loss visible in coverage;
+//! 3. `N` random hostile plans (drops, duplicates, reordering,
+//!    corruption, delays, deaths) — each must satisfy the robustness
+//!    invariants: no panic, exact window cover of admitted data, sound
+//!    delivery accounting.
+
+use vapro_bench::chaos::{check_invariants, fault_free_equivalence, run_plan, FaultPlan};
+
+fn usage() -> ! {
+    eprintln!("usage: chaos [--plans N] [--seed S]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut plans = 12u64;
+    let mut seed = 0xC4A05u64;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--plans" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => plans = n,
+                None => usage(),
+            },
+            "--seed" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(s) => seed = s,
+                None => usage(),
+            },
+            _ => usage(),
+        }
+    }
+
+    let mut failures = 0usize;
+
+    match fault_free_equivalence(&FaultPlan::fault_free(seed)) {
+        Ok(()) => println!("fault-free equivalence: ok (bit-identical to one-shot)"),
+        Err(e) => {
+            eprintln!("FAIL fault-free equivalence: {e}");
+            failures += 1;
+        }
+    }
+
+    let death = FaultPlan { deaths: vec![(1, 1)], ..FaultPlan::fault_free(seed) };
+    let outcome = run_plan(&death);
+    let mut death_ok = check_invariants(&death, &outcome).err();
+    if death_ok.is_none() {
+        let tail = outcome.reports.last();
+        let degraded = tail.is_some_and(|t| {
+            t.coverage.ranks_dead.contains(&1) && t.coverage.completeness < 1.0
+        });
+        if !degraded {
+            death_ok = Some("killed rank not reflected in tail coverage".to_string());
+        }
+    }
+    match death_ok {
+        None => println!(
+            "rank death: ok ({} windows closed, tail completeness {:.2})",
+            outcome.reports.len(),
+            outcome.reports.last().map(|t| t.coverage.completeness).unwrap_or(0.0),
+        ),
+        Some(e) => {
+            eprintln!("FAIL rank death: {e}");
+            failures += 1;
+        }
+    }
+
+    for i in 0..plans {
+        let plan = FaultPlan::random(seed.wrapping_add(i));
+        let outcome = run_plan(&plan);
+        match check_invariants(&plan, &outcome) {
+            Ok(()) => println!(
+                "plan {i:>3}: ok — {} delivered, {} admitted, {} corrupt, {} duplicate, \
+                 {} windows",
+                outcome.delivered,
+                outcome.admitted,
+                outcome.rejected_corrupt,
+                outcome.rejected_duplicate,
+                outcome.reports.len(),
+            ),
+            Err(e) => {
+                eprintln!("FAIL plan {i} (seed {}): {e}", seed.wrapping_add(i));
+                failures += 1;
+            }
+        }
+    }
+
+    if failures > 0 {
+        eprintln!("{failures} chaos check(s) failed");
+        std::process::exit(1);
+    }
+    println!("all chaos checks passed");
+}

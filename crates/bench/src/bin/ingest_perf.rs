@@ -11,7 +11,8 @@
 //! a previous `BENCH_ingest.json` exists at the output path, throughput
 //! drops beyond 20 % are reported as warnings before the file is
 //! overwritten. The release-mode wire-format targets (≥4× smaller than
-//! JSON, ≥5× faster decode) are checked and failed loudly.
+//! JSON, ≥5× faster decode, integrity checking costing <10 % of the
+//! fault-free end-to-end ingest rate) are checked and failed loudly.
 
 use vapro_bench::{ingest, regression};
 
@@ -67,6 +68,13 @@ fn main() {
         }
         if report.decode_speedup < 5.0 {
             eprintln!("FAIL: binary decode only {:.2}x faster than JSON (target >= 5x)", report.decode_speedup);
+            failed = true;
+        }
+        if report.integrity_overhead_frac >= 0.10 {
+            eprintln!(
+                "FAIL: integrity checking costs {:.1}% of fault-free ingest throughput (target < 10%)",
+                report.integrity_overhead_frac * 100.0
+            );
             failed = true;
         }
         if failed {

@@ -1,0 +1,449 @@
+//! Chaos harness: seeded fault injection against the streaming
+//! ingestion pipeline.
+//!
+//! A [`FaultPlan`] describes — deterministically, from a seed — what the
+//! transport does to each shipped frame: drop it, duplicate it, reorder
+//! it within its reporting period, corrupt a byte, or delay it by whole
+//! periods; and which ranks die mid-run (stop shipping after a given
+//! period). [`run_plan`] builds a synthetic multi-rank run, slices it
+//! into sequenced per-period wire frames, applies the plan, pushes every
+//! surviving delivery through a [`WindowedIngestor`] under a production
+//! straggler policy, and returns what came out.
+//!
+//! Two checks ride on top:
+//!
+//! * [`check_invariants`] — under *any* plan, ingestion must not panic,
+//!   the emitted windows must exactly tile `[0, max admitted fragment
+//!   end)` (windows always eventually close, none invented), and the
+//!   coverage accounting must be internally consistent;
+//! * [`fault_free_equivalence`] — a plan with every intensity at zero
+//!   and no deaths must reproduce the one-shot windowed analysis
+//!   ([`ServerPool::analyze_windows`]) bit for bit, even with the
+//!   straggler policy armed.
+
+use crate::perf::synthetic_stgs;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use vapro_core::detect::window::{windows_covering, Window};
+use vapro_core::wire::FragmentBatch;
+use vapro_core::{
+    FaultTolerance, LateDataPolicy, ServerPool, Stg, VaproConfig, WindowReport,
+    WindowedIngestor, WireError,
+};
+use vapro_sim::VirtualTime;
+
+/// A deterministic fault-injection schedule. Intensities are per-frame
+/// probabilities in `[0, 1]`, drawn from `seed` alone — the same plan
+/// always produces the same byte-level delivery sequence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for every random decision the plan makes.
+    pub seed: u64,
+    /// Ranks in the synthetic run.
+    pub nranks: usize,
+    /// Computation fragments per rank.
+    pub frags_per_rank: usize,
+    /// Reporting periods the run is sliced into.
+    pub periods: usize,
+    /// Probability a frame is silently dropped in transit.
+    pub drop: f64,
+    /// Probability a frame is delivered twice (retransmission).
+    pub duplicate: f64,
+    /// Probability a frame is reordered within its reporting period.
+    pub reorder: f64,
+    /// Probability a random payload byte of a frame is flipped.
+    pub corrupt: f64,
+    /// Probability a frame is delayed by 1–2 whole periods.
+    pub delay: f64,
+    /// `(rank, last_period)`: the rank ships periods `0..=last_period`
+    /// and then dies — nothing further is even generated.
+    pub deaths: Vec<(usize, usize)>,
+}
+
+impl FaultPlan {
+    /// The clean transport: everything delivered exactly once, in order.
+    pub fn fault_free(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            nranks: 3,
+            frags_per_rank: 400,
+            periods: 8,
+            drop: 0.0,
+            duplicate: 0.0,
+            reorder: 0.0,
+            corrupt: 0.0,
+            delay: 0.0,
+            deaths: Vec::new(),
+        }
+    }
+
+    /// A randomly hostile transport: moderate intensities on every fault
+    /// axis and, half the time, one rank dying mid-run — all derived
+    /// from `seed`.
+    pub fn random(seed: u64) -> FaultPlan {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xC4A0_5F00D);
+        let nranks = rng.gen_range(2usize..5);
+        let periods = rng.gen_range(4usize..10);
+        let deaths = if rng.gen_bool(0.5) {
+            vec![(rng.gen_range(0..nranks), rng.gen_range(1..periods.max(2) - 1))]
+        } else {
+            Vec::new()
+        };
+        FaultPlan {
+            seed,
+            nranks,
+            frags_per_rank: rng.gen_range(150usize..500),
+            periods,
+            drop: rng.gen_range(0.0..0.15),
+            duplicate: rng.gen_range(0.0..0.2),
+            reorder: rng.gen_range(0.0..0.5),
+            corrupt: rng.gen_range(0.0..0.1),
+            delay: rng.gen_range(0.0..0.2),
+            deaths,
+        }
+    }
+
+    /// Does the plan inject any fault at all?
+    pub fn is_fault_free(&self) -> bool {
+        self.drop == 0.0
+            && self.duplicate == 0.0
+            && self.reorder == 0.0
+            && self.corrupt == 0.0
+            && self.delay == 0.0
+            && self.deaths.is_empty()
+    }
+
+    /// The period a rank last ships, if it dies.
+    fn last_period_of(&self, rank: usize) -> Option<usize> {
+        self.deaths.iter().find(|(r, _)| *r == rank).map(|&(_, last)| last)
+    }
+}
+
+/// What one chaos run produced.
+#[derive(Debug)]
+pub struct ChaosOutcome {
+    /// Window reports, in window order (mid-stream closes then finish).
+    pub reports: Vec<WindowReport>,
+    /// The synthetic run's reporting period, ns.
+    pub period_ns: u64,
+    /// Frame deliveries attempted (faults applied).
+    pub delivered: usize,
+    /// Deliveries the ingestor admitted into the arena.
+    pub admitted: u64,
+    /// Deliveries rejected with `BadChecksum`.
+    pub rejected_corrupt: usize,
+    /// Deliveries rejected as sequence duplicates.
+    pub rejected_duplicate: usize,
+    /// Deliveries rejected for any other wire error.
+    pub rejected_other: usize,
+    /// Latest fragment end the arena admitted, ns (what the emitted
+    /// window cover must reach).
+    pub max_seen_ns: u64,
+    /// Deliveries discarded under the late-data policy or the
+    /// backpressure cap (accepted calls that admitted nothing).
+    pub discarded: u64,
+}
+
+/// Latest fragment end across the run, ns.
+fn t_end_ns(stgs: &[Stg]) -> u64 {
+    stgs.iter()
+        .flat_map(|s| {
+            s.vertices()
+                .iter()
+                .flat_map(|v| v.fragments.iter())
+                .chain(s.edges().iter().flat_map(|e| e.fragments.iter()))
+        })
+        .map(|f| f.end.ns())
+        .max()
+        .unwrap_or(0)
+}
+
+/// The synthetic STGs a plan runs over.
+fn plan_stgs(plan: &FaultPlan) -> Vec<Stg> {
+    synthetic_stgs(plan.nranks, plan.frags_per_rank, 8, plan.seed ^ 0xBAD_F00D)
+}
+
+/// The ingestion config a plan runs under: production straggler policy
+/// scaled to the plan's period (degrade after 2 periods, dead after 4,
+/// drop late data), unbounded buffering.
+fn plan_config(period_ns: u64) -> VaproConfig {
+    VaproConfig {
+        report_period: VirtualTime::from_ns(period_ns),
+        fault: FaultTolerance {
+            straggler_horizon: Some(VirtualTime::from_ns(period_ns.saturating_mul(2))),
+            dead_horizon: Some(VirtualTime::from_ns(period_ns.saturating_mul(4))),
+            late_data: LateDataPolicy::Drop,
+            max_buffered_bytes: None,
+        },
+        ..VaproConfig::default()
+    }
+}
+
+/// Run one plan end to end.
+pub fn run_plan(plan: &FaultPlan) -> ChaosOutcome {
+    let stgs = plan_stgs(plan);
+    let t_end = t_end_ns(&stgs);
+    let period_ns = (t_end / plan.periods.max(1) as u64).max(1);
+    let cfg = plan_config(period_ns);
+    let mut rng = ChaCha8Rng::seed_from_u64(plan.seed);
+
+    // Generate the per-period sequenced frames and apply the transport
+    // faults. Each delivery carries a sort key (period-with-delay, slot)
+    // so reordering and delaying are pure key perturbations. Shipping
+    // runs to the ceiling of the data end so the tail period ships too.
+    let mut deliveries: Vec<((u64, u64), Vec<u8>)> = Vec::new();
+    let mut slot = 0u64;
+    for k in 0..t_end.div_ceil(period_ns) as usize {
+        let period = Window {
+            start: VirtualTime::from_ns(k as u64 * period_ns),
+            end: VirtualTime::from_ns((k as u64 + 1) * period_ns),
+        };
+        for (rank, stg) in stgs.iter().enumerate() {
+            if plan.last_period_of(rank).is_some_and(|last| k > last) {
+                continue; // the rank is dead: nothing is even generated
+            }
+            slot += 1;
+            if rng.gen_bool(plan.drop) {
+                continue;
+            }
+            let mut bytes = FragmentBatch::from_stg_starting_in(stg, rank, period)
+                .with_seq(k as u64 + 1)
+                .encode();
+            if rng.gen_bool(plan.corrupt) {
+                let pos = rng.gen_range(4..bytes.len());
+                bytes[pos] ^= 1 << rng.gen_range(0..8u32);
+            }
+            let delayed = if rng.gen_bool(plan.delay) { rng.gen_range(1u64..3) } else { 0 };
+            let jitter = if rng.gen_bool(plan.reorder) {
+                rng.gen_range(0..1_000_000u64)
+            } else {
+                slot
+            };
+            if rng.gen_bool(plan.duplicate) {
+                deliveries.push(((k as u64 + delayed, jitter + 1), bytes.clone()));
+            }
+            deliveries.push(((k as u64 + delayed, jitter), bytes));
+        }
+    }
+    deliveries.sort_by_key(|(key, _)| *key);
+
+    let mut ingestor =
+        WindowedIngestor::new(plan.nranks, 8, cfg);
+    let mut reports = Vec::new();
+    let (mut corrupt, mut duplicate, mut other) = (0usize, 0usize, 0usize);
+    let delivered = deliveries.len();
+    for (_, bytes) in &deliveries {
+        match ingestor.push_encoded(bytes) {
+            Ok(closed) => reports.extend(closed),
+            Err(WireError::BadChecksum { .. }) => corrupt += 1,
+            Err(WireError::DuplicateSequence { .. }) => duplicate += 1,
+            Err(_) => other += 1,
+        }
+    }
+    let stats = ingestor.stats().clone();
+    let max_seen_ns = ingestor.arena().max_end_ns();
+    reports.extend(ingestor.finish());
+
+    ChaosOutcome {
+        reports,
+        period_ns,
+        delivered,
+        admitted: stats.frames_admitted,
+        rejected_corrupt: corrupt,
+        rejected_duplicate: duplicate,
+        rejected_other: other,
+        max_seen_ns,
+        discarded: stats.dropped_late_frames + stats.dropped_backpressure_frames,
+    }
+}
+
+/// The robustness invariants every plan must satisfy. Returns the first
+/// violation as a message, `Ok(())` when the outcome is sound.
+pub fn check_invariants(plan: &FaultPlan, outcome: &ChaosOutcome) -> Result<(), String> {
+    let period = VirtualTime::from_ns(outcome.period_ns);
+    // The emitted windows are exactly the canonical cover of the
+    // admitted data: every window closed eventually, none was invented.
+    let expected = windows_covering(
+        VirtualTime::ZERO,
+        VirtualTime::from_ns(outcome.max_seen_ns),
+        period,
+    );
+    if outcome.reports.len() != expected.len() {
+        return Err(format!(
+            "window cover mismatch: {} reports vs {} expected for data up to {} ns (plan {:?})",
+            outcome.reports.len(),
+            expected.len(),
+            outcome.max_seen_ns,
+            plan
+        ));
+    }
+    for (r, w) in outcome.reports.iter().zip(&expected) {
+        if r.window != *w {
+            return Err(format!("window {:?} emitted where {:?} expected", r.window, w));
+        }
+    }
+    // Accounting: every delivery is admitted, rejected or discarded.
+    let handled = outcome.admitted
+        + outcome.discarded
+        + (outcome.rejected_corrupt + outcome.rejected_duplicate + outcome.rejected_other)
+            as u64;
+    if handled != outcome.delivered as u64 {
+        return Err(format!(
+            "{} deliveries but {} accounted (admitted {} + discarded {} + rejected {})",
+            outcome.delivered,
+            handled,
+            outcome.admitted,
+            outcome.discarded,
+            outcome.rejected_corrupt + outcome.rejected_duplicate + outcome.rejected_other,
+        ));
+    }
+    // Coverage sanity, window by window.
+    let mut prev_counters = (0u64, 0u64, 0u64, 0u64);
+    for r in &outcome.reports {
+        let c = &r.coverage;
+        if c.nranks != plan.nranks {
+            return Err(format!("coverage nranks {} != plan {}", c.nranks, plan.nranks));
+        }
+        if c.ranks_complete > c.nranks {
+            return Err(format!("{} of {} ranks complete", c.ranks_complete, c.nranks));
+        }
+        if !(0.0..=1.0).contains(&c.completeness) {
+            return Err(format!("completeness {} out of range", c.completeness));
+        }
+        if c.ranks_absent.iter().chain(&c.ranks_dead).any(|&r| r >= plan.nranks) {
+            return Err(format!("out-of-range rank in coverage {c:?}"));
+        }
+        // Counters are cumulative at close time: nondecreasing in close
+        // order (reports are emitted in window order, closes are
+        // chronological).
+        let counters =
+            (c.corrupt_frames, c.duplicate_frames, c.dropped_late_frames, c.seq_gaps);
+        if counters.0 < prev_counters.0
+            || counters.1 < prev_counters.1
+            || counters.2 < prev_counters.2
+        {
+            return Err(format!(
+                "cumulative coverage counters went backwards: {counters:?} after {prev_counters:?}"
+            ));
+        }
+        prev_counters = counters;
+    }
+    // A clean transport admits everything and rejects nothing.
+    if plan.is_fault_free()
+        && (outcome.admitted != outcome.delivered as u64
+            || outcome.rejected_corrupt + outcome.rejected_duplicate + outcome.rejected_other
+                > 0)
+    {
+        return Err(format!(
+            "fault-free plan lost frames: {} delivered, {} admitted",
+            outcome.delivered, outcome.admitted
+        ));
+    }
+    Ok(())
+}
+
+/// Field-wise equality of two report sequences (streamed vs one-shot),
+/// as a `Result` so harness callers can surface the first divergence.
+pub fn reports_identical(got: &[WindowReport], want: &[WindowReport]) -> Result<(), String> {
+    if got.len() != want.len() {
+        return Err(format!("{} reports vs {} expected", got.len(), want.len()));
+    }
+    for (g, w) in got.iter().zip(want) {
+        if g.window != w.window {
+            return Err(format!("window {:?} vs {:?}", g.window, w.window));
+        }
+        let same = g.result.series == w.result.series
+            && g.result.rare_paths == w.result.rare_paths
+            && g.result.comp_map == w.result.comp_map
+            && g.result.comm_map == w.result.comm_map
+            && g.result.io_map == w.result.io_map
+            && g.result.comp_regions == w.result.comp_regions
+            && g.result.comm_regions == w.result.comm_regions
+            && g.result.io_regions == w.result.io_regions
+            && g.result.coverage.to_bits() == w.result.coverage.to_bits()
+            && g.result.edge_clusters == w.result.edge_clusters;
+        if !same {
+            return Err(format!("detection diverged in window {:?}", g.window));
+        }
+        if g.diagnoses != w.diagnoses {
+            return Err(format!("diagnoses diverged in window {:?}", g.window));
+        }
+        if g.coverage != w.coverage {
+            return Err(format!(
+                "coverage diverged in window {:?}: {:?} vs {:?}",
+                g.window, g.coverage, w.coverage
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// The fault-free equivalence check: a clean plan streamed through the
+/// chaos harness (straggler policy armed but never tripped) must equal
+/// the one-shot windowed analysis bit for bit, including coverage.
+pub fn fault_free_equivalence(plan: &FaultPlan) -> Result<(), String> {
+    assert!(plan.is_fault_free(), "equivalence only holds for clean transports");
+    let outcome = run_plan(plan);
+    check_invariants(plan, &outcome)?;
+    let stgs = plan_stgs(plan);
+    let cfg = plan_config(outcome.period_ns);
+    let reference =
+        ServerPool::new(1, plan.nranks).analyze_windows(&stgs, plan.nranks, 8, &cfg);
+    reports_identical(&outcome.reports, &reference)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_free_plans_are_bit_identical_to_one_shot() {
+        fault_free_equivalence(&FaultPlan::fault_free(7)).expect("clean plan diverged");
+    }
+
+    #[test]
+    fn a_hostile_plan_still_satisfies_the_invariants() {
+        let plan = FaultPlan {
+            drop: 0.1,
+            duplicate: 0.2,
+            reorder: 0.4,
+            corrupt: 0.1,
+            delay: 0.15,
+            deaths: vec![(1, 2)],
+            ..FaultPlan::fault_free(21)
+        };
+        let outcome = run_plan(&plan);
+        check_invariants(&plan, &outcome).expect("invariants violated");
+        assert!(outcome.delivered > 0);
+    }
+
+    #[test]
+    fn a_killed_rank_leaves_degraded_but_complete_window_cover() {
+        // One rank dies after period 1 of 8; every window past its data
+        // still closes, with the rank dead/absent in coverage and
+        // completeness < 1.
+        let plan = FaultPlan { deaths: vec![(2, 1)], ..FaultPlan::fault_free(3) };
+        let outcome = run_plan(&plan);
+        check_invariants(&plan, &outcome).expect("invariants violated");
+        let tail = outcome.reports.last().expect("windows closed");
+        assert!(tail.coverage.ranks_dead.contains(&2), "{:?}", tail.coverage);
+        assert!(tail.coverage.ranks_absent.contains(&2), "{:?}", tail.coverage);
+        assert!(tail.coverage.completeness < 1.0);
+        assert!(tail.coverage.is_degraded());
+        // The cover still reaches the surviving ranks' full data.
+        let last_end = outcome.reports.last().unwrap().window.end.ns();
+        assert!(last_end >= outcome.max_seen_ns, "cover stopped early");
+    }
+
+    #[test]
+    fn plans_are_deterministic_in_their_seed() {
+        let plan = FaultPlan::random(99);
+        assert_eq!(plan, FaultPlan::random(99));
+        let a = run_plan(&plan);
+        let b = run_plan(&plan);
+        assert_eq!(a.delivered, b.delivered);
+        assert_eq!(a.admitted, b.admitted);
+        assert_eq!(a.reports.len(), b.reports.len());
+        reports_identical(&a.reports, &b.reports).expect("same plan diverged");
+    }
+}

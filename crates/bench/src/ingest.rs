@@ -60,8 +60,16 @@ pub struct IngestPerf {
     /// Binary over JSON decode throughput.
     pub decode_speedup: f64,
     /// End-to-end ingest (decode + arena + windowed detection),
-    /// fragments/second.
+    /// fragments/second. Frames are format v2: CRC-32 verified and
+    /// sequence-deduplicated on admission.
     pub ingest_fragments_per_sec: f64,
+    /// The same end-to-end measurement over legacy v1 frames — no
+    /// checksum, no sequence numbers, integrity checking skipped.
+    pub ingest_v1_fragments_per_sec: f64,
+    /// Fractional end-to-end cost of integrity checking:
+    /// `1 − v2_rate / v1_rate`. The robustness acceptance gate requires
+    /// `< 0.10` on release builds.
+    pub integrity_overhead_frac: f64,
 }
 
 /// Latest fragment end across the run, ns.
@@ -80,19 +88,27 @@ fn t_end_ns(stgs: &[Stg]) -> u64 {
 
 /// Slice the run into per-rank, per-period start-partitioned batches —
 /// what each client ships each reporting period, in period-major order.
+/// Each rank's batches carry its monotonic sequence number (period
+/// index + 1), so the v2 frames exercise the full integrity path:
+/// checksum verification plus sequence tracking.
 fn periodic_batches(stgs: &[Stg], period_ns: u64) -> Vec<FragmentBatch> {
     let t_end = t_end_ns(stgs);
     let mut out = Vec::new();
     let mut start = 0u64;
+    let mut period_index = 0u64;
     while start < t_end {
         let period = Window {
             start: VirtualTime::from_ns(start),
             end: VirtualTime::from_ns(start + period_ns),
         };
         for (rank, stg) in stgs.iter().enumerate() {
-            out.push(FragmentBatch::from_stg_starting_in(stg, rank, period));
+            out.push(
+                FragmentBatch::from_stg_starting_in(stg, rank, period)
+                    .with_seq(period_index + 1),
+            );
         }
         start += period_ns;
+        period_index += 1;
     }
     out
 }
@@ -154,7 +170,10 @@ pub fn measure(
     });
 
     // End-to-end: every frame decoded into the arena, windows analysed as
-    // the shipping low-watermark closes them.
+    // the shipping low-watermark closes them. Measured twice — over v2
+    // frames (checksum verified, sequences tracked) and over legacy v1
+    // frames (no integrity work) — to price the integrity checking.
+    let frames_v1: Vec<Vec<u8>> = batches.iter().map(FragmentBatch::encode_v1).collect();
     let mut windows = 0usize;
     let ingest_ns = best_of_ns(reps, || {
         let mut ingestor = WindowedIngestor::new(nranks, 16, cfg.clone());
@@ -164,6 +183,16 @@ pub fn measure(
         }
         reports.extend(ingestor.finish());
         windows = reports.len();
+        reports.len()
+    });
+    let ingest_v1_ns = best_of_ns(reps, || {
+        let mut ingestor = WindowedIngestor::new(nranks, 16, cfg.clone());
+        let mut reports = Vec::new();
+        for frame in &frames_v1 {
+            reports.extend(ingestor.push_encoded(frame).expect("own v1 frame"));
+        }
+        reports.extend(ingestor.finish());
+        assert_eq!(reports.len(), windows, "v1 ingest closed different windows");
         reports.len()
     });
 
@@ -186,6 +215,8 @@ pub fn measure(
         json_decode_fragments_per_sec: per_sec(fragments, json_decode_ns),
         decode_speedup: json_decode_ns / decode_ns,
         ingest_fragments_per_sec: per_sec(fragments, ingest_ns),
+        ingest_v1_fragments_per_sec: per_sec(fragments, ingest_v1_ns),
+        integrity_overhead_frac: 1.0 - ingest_v1_ns / ingest_ns,
     }
 }
 
@@ -202,7 +233,8 @@ pub fn summary(p: &IngestPerf) -> String {
          size:   {:.1} B/fragment binary vs {:.1} B/fragment JSON ({:.1}x smaller)\n\
          encode: {:>10.0} fragments/s binary, {:>10.0} fragments/s JSON\n\
          decode: {:>10.0} fragments/s binary, {:>10.0} fragments/s JSON ({:.1}x faster)\n\
-         ingest: {:>10.0} fragments/s end-to-end (decode + windowed detection)\n",
+         ingest: {:>10.0} fragments/s end-to-end (decode + windowed detection)\n\
+         integrity: {:>7.0} fragments/s without checks (v1), overhead {:.1}%\n",
         p.fragments,
         p.ranks,
         p.batches,
@@ -217,6 +249,8 @@ pub fn summary(p: &IngestPerf) -> String {
         p.json_decode_fragments_per_sec,
         p.decode_speedup,
         p.ingest_fragments_per_sec,
+        p.ingest_v1_fragments_per_sec,
+        p.integrity_overhead_frac * 100.0,
     )
 }
 
@@ -248,6 +282,10 @@ mod tests {
         assert!(p.decode_speedup > 1.0, "decode speedup {:.2}", p.decode_speedup);
         assert!(p.encode_fragments_per_sec > 0.0);
         assert!(p.ingest_fragments_per_sec > 0.0);
+        assert!(p.ingest_v1_fragments_per_sec > 0.0);
+        // Debug builds can't gate the 10 % target, but the fraction must
+        // at least be a sane ratio of the two measured rates.
+        assert!(p.integrity_overhead_frac < 1.0, "{}", p.integrity_overhead_frac);
     }
 
     #[test]

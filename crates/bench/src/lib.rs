@@ -12,6 +12,7 @@
 //! paper's scale.
 
 pub mod ablation;
+pub mod chaos;
 pub mod common;
 pub mod diagnose;
 pub mod fig01_cg_repeat;

@@ -112,9 +112,20 @@ pub fn load_previous_perf(path: &str) -> Option<DetectPerf> {
 }
 
 /// Load the previous ingest report, if a readable one exists at `path`.
+/// Reports written before the integrity fields existed still load: the
+/// missing metrics default to zero, which [`check_drop`] skips (a zero
+/// `prev` gates nothing), so the first post-upgrade run establishes the
+/// baseline instead of failing to parse.
 pub fn load_previous_ingest(path: &str) -> Option<IngestPerf> {
     let text = std::fs::read_to_string(path).ok()?;
-    serde_json::from_str(&text).ok()
+    let mut value: serde_json::Value = serde_json::from_str(&text).ok()?;
+    if let serde_json::Value::Object(map) = &mut value {
+        for key in ["ingest_v1_fragments_per_sec", "integrity_overhead_frac"] {
+            map.entry(key.to_string())
+                .or_insert(serde_json::Value::Number(serde_json::Number::Float(0.0)));
+        }
+    }
+    serde_json::from_value(&value).ok()
 }
 
 /// Load the previous diagnosis report, if a readable one exists at `path`.
@@ -335,6 +346,8 @@ mod tests {
             json_decode_fragments_per_sec: decode / 8.0,
             decode_speedup: 8.0,
             ingest_fragments_per_sec: e2e,
+            ingest_v1_fragments_per_sec: e2e * 1.05,
+            integrity_overhead_frac: 1.0 - 1.0 / 1.05,
         }
     }
 
@@ -400,6 +413,31 @@ mod tests {
         let warnings = diagnose_regression_warnings(&prev, &same_threads);
         assert_eq!(warnings.len(), 1, "{warnings:?}");
         assert!(warnings[0].contains("parallel batched diagnosis"));
+    }
+
+    #[test]
+    fn previous_ingest_loads_reports_predating_the_integrity_fields() {
+        // A BENCH_ingest.json written before the integrity metrics
+        // existed: serialise a current fixture, strip the new keys, and
+        // the loader must still parse it with zeroed (non-gating)
+        // defaults.
+        let fixture = ingest_fixture(9e6, 8e6, 6.0, 2e6, 4);
+        let mut value = serde_json::to_value(&fixture).expect("serialises");
+        if let serde_json::Value::Object(map) = &mut value {
+            map.remove("ingest_v1_fragments_per_sec");
+            map.remove("integrity_overhead_frac");
+        }
+        let dir = std::env::temp_dir().join("vapro_ingest_gate_test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("BENCH_ingest.json");
+        std::fs::write(&path, serde_json::to_string(&value).expect("serialises"))
+            .expect("writes");
+        let loaded = load_previous_ingest(path.to_str().expect("utf8 path")).expect("loads");
+        assert_eq!(loaded.ingest_fragments_per_sec, fixture.ingest_fragments_per_sec);
+        assert_eq!(loaded.ingest_v1_fragments_per_sec, 0.0);
+        assert_eq!(loaded.integrity_overhead_frac, 0.0);
+        // Zero baselines gate nothing.
+        assert!(ingest_regression_warnings(&loaded, &fixture).is_empty());
     }
 
     #[test]

@@ -1,0 +1,69 @@
+//! Property tests of the fault-tolerant ingestion path: arbitrary
+//! seeded fault plans — drops, duplicates, reordering, corruption,
+//! delays, rank deaths — never panic the ingestor, always close the
+//! exact window cover of the data they admitted, and keep the delivery
+//! accounting sound. Clean plans stay bit-identical to the one-shot
+//! analysis.
+
+use proptest::prelude::*;
+use vapro_bench::chaos::{check_invariants, fault_free_equivalence, run_plan, FaultPlan};
+
+/// Small plans: the suite runs on a single-core gate, so each case is a
+/// few hundred fragments over a handful of periods.
+fn plan_strategy() -> impl Strategy<Value = FaultPlan> {
+    (
+        (0u64..1u64 << 32, 2usize..4, 100usize..250, 3usize..7),
+        (0.0f64..0.25, 0.0f64..0.3, 0.0f64..0.6, 0.0f64..0.15, 0.0f64..0.3),
+    )
+        .prop_flat_map(|(shape, faults)| {
+            let (_, nranks, _, periods) = shape;
+            let deaths = prop_oneof![
+                Just(Vec::new()),
+                (0..nranks, 1..periods - 1).prop_map(|(r, p)| vec![(r, p)]),
+            ];
+            (Just(shape), Just(faults), deaths)
+        })
+        .prop_map(
+            |(
+                (seed, nranks, frags, periods),
+                (drop, duplicate, reorder, corrupt, delay),
+                deaths,
+            )| FaultPlan {
+                seed,
+                nranks,
+                frags_per_rank: frags,
+                periods,
+                drop,
+                duplicate,
+                reorder,
+                corrupt,
+                delay,
+                deaths,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Any plan: no panic, exact window cover, sound accounting.
+    #[test]
+    fn arbitrary_fault_plans_satisfy_the_invariants(plan in plan_strategy()) {
+        let outcome = run_plan(&plan);
+        if let Err(e) = check_invariants(&plan, &outcome) {
+            prop_assert!(false, "{}", e);
+        }
+    }
+
+    /// Clean transports are bit-identical to the one-shot analysis even
+    /// with the straggler policy armed.
+    #[test]
+    fn clean_plans_match_one_shot_analysis(seed in 0u64..1u64 << 32) {
+        let mut plan = FaultPlan::fault_free(seed);
+        plan.frags_per_rank = 150;
+        plan.periods = 5;
+        if let Err(e) = fault_free_equivalence(&plan) {
+            prop_assert!(false, "{}", e);
+        }
+    }
+}

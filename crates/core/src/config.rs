@@ -18,6 +18,65 @@ pub enum StgMode {
     ContextAware,
 }
 
+/// What the ingestor does with a frame from a rank already declared
+/// [`Dead`](crate::detect::server::RankHealth::Dead) (it revived, or its
+/// data was badly delayed in transit).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LateDataPolicy {
+    /// Admit the fragments into the arena: still-open windows pick them
+    /// up; windows already closed without them stay closed. The default —
+    /// data is precious on a production run.
+    #[default]
+    Readmit,
+    /// Discard the frame, counting it in the window coverage as
+    /// `dropped_late_frames`. Keeps closed-window provenance simple: a
+    /// dead rank stays absent.
+    Drop,
+}
+
+/// Straggler, death and memory policy for the streaming ingest path
+/// (`WindowedIngestor`). Everything defaults to **off**: with no horizons
+/// set, window closing blocks on the slowest rank exactly as the
+/// fault-free equivalence semantics require, and buffering is unbounded.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultTolerance {
+    /// A rank whose shipping mark trails the fastest rank's by more than
+    /// this is `Degraded`: reported in coverage, but still awaited.
+    pub straggler_horizon: Option<VirtualTime>,
+    /// A rank trailing by more than this is declared `Dead` and excluded
+    /// from the low-watermark, so windows keep closing without it. Death
+    /// is latched: later frames are handled per [`LateDataPolicy`].
+    pub dead_horizon: Option<VirtualTime>,
+    /// What to do with frames from a rank already declared dead.
+    pub late_data: LateDataPolicy,
+    /// Cap on bytes buffered for frames arriving *ahead* of the
+    /// watermark (a fast rank running away from a straggler). Frames
+    /// past the cap are dropped and accounted in coverage instead of
+    /// growing memory without bound.
+    pub max_buffered_bytes: Option<u64>,
+}
+
+impl FaultTolerance {
+    /// A production-style preset: degrade after `period`, declare dead
+    /// after three periods, drop late data, cap ahead-of-watermark
+    /// buffering at 64 MiB.
+    pub fn production(period: VirtualTime) -> Self {
+        FaultTolerance {
+            straggler_horizon: Some(period),
+            dead_horizon: Some(VirtualTime::from_ns(period.ns().saturating_mul(3))),
+            late_data: LateDataPolicy::Drop,
+            max_buffered_bytes: Some(64 << 20),
+        }
+    }
+
+    /// Is any straggler/death handling active?
+    pub fn is_active(&self) -> bool {
+        self.straggler_horizon.is_some()
+            || self.dead_horizon.is_some()
+            || self.max_buffered_bytes.is_some()
+    }
+}
+
 /// Vapro configuration.
 #[derive(Debug, Clone)]
 pub struct VaproConfig {
@@ -61,6 +120,10 @@ pub struct VaproConfig {
     pub sampling_enabled: bool,
     /// Fragments shorter than this are subject to sampling back-off.
     pub sampling_min_ns: f64,
+    /// Straggler/death/backpressure policy for streaming ingestion.
+    /// Defaults to fully off (block on the slowest rank, buffer without
+    /// bound) — the fault-free bit-identical semantics.
+    pub fault: FaultTolerance,
 }
 
 impl Default for VaproConfig {
@@ -80,6 +143,7 @@ impl Default for VaproConfig {
             backtrace_cost_factor: 2.5,
             sampling_enabled: false,
             sampling_min_ns: 2_000.0,
+            fault: FaultTolerance::default(),
         }
     }
 }
@@ -123,6 +187,14 @@ impl VaproConfig {
 
     /// Basic sanity of the thresholds.
     pub fn is_valid(&self) -> bool {
+        // A rank must degrade before (or when) it dies: a dead horizon
+        // tighter than the straggler horizon would skip the Degraded
+        // state's early warning.
+        let horizons_ordered = match (self.fault.straggler_horizon, self.fault.dead_horizon)
+        {
+            (Some(s), Some(d)) => d >= s,
+            _ => true,
+        };
         self.cluster_threshold > 0.0
             && self.cluster_threshold < 1.0
             && self.min_cluster_size >= 2
@@ -130,6 +202,7 @@ impl VaproConfig {
             && self.ka_abnormal > 1.0
             && (0.0..1.0).contains(&self.major_factor_threshold)
             && self.hook_cost_ns >= 0.0
+            && horizons_ordered
     }
 }
 
@@ -147,6 +220,22 @@ mod tests {
         assert_eq!(c.major_factor_threshold, 0.25);
         assert_eq!(c.report_period, VirtualTime::from_secs(15));
         assert!(c.is_valid());
+    }
+
+    #[test]
+    fn fault_tolerance_defaults_to_off_and_orders_horizons() {
+        let c = VaproConfig::default();
+        assert!(!c.fault.is_active());
+        assert_eq!(c.fault.late_data, LateDataPolicy::Readmit);
+        // dead < straggler is rejected.
+        let mut bad = VaproConfig::default();
+        bad.fault.straggler_horizon = Some(VirtualTime::from_secs(10));
+        bad.fault.dead_horizon = Some(VirtualTime::from_secs(5));
+        assert!(!bad.is_valid());
+        let prod = FaultTolerance::production(VirtualTime::from_secs(15));
+        assert!(prod.is_active());
+        let ok = VaproConfig { fault: prod, ..VaproConfig::default() };
+        assert!(ok.is_valid());
     }
 
     #[test]

@@ -13,5 +13,8 @@ pub use heatmap::HeatMap;
 pub use normalize::{CategorySeries, PerfPoint};
 pub use pipeline::{detect, DetectionResult, RarePath};
 pub use region::{grow_regions, VarianceRegion};
-pub use server::{AnalysisServer, IngestArena, ServerPool, WindowReport, WindowedIngestor};
+pub use server::{
+    AnalysisServer, IngestArena, IngestStats, RankHealth, ServerPool, WindowReport,
+    WindowedIngestor,
+};
 pub use window::{windows_covering, Window};

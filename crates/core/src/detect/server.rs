@@ -17,7 +17,7 @@
 //!   windows on rayon as they close, instead of re-pooling everything at
 //!   every report.
 
-use crate::config::VaproConfig;
+use crate::config::{LateDataPolicy, VaproConfig};
 use crate::detect::pipeline::{
     detect_merged, merge_stgs_window, DetectionResult, MergedStg,
 };
@@ -27,10 +27,14 @@ use crate::diagnose::driver::RegionOfInterest;
 use crate::diagnose::progressive::DiagnosisReport;
 use crate::fragment::Fragment;
 use crate::intern::{Sym, SymbolTable};
+use crate::report::WindowCoverage;
 use crate::stg::{StateKey, Stg};
-use crate::wire::{leak_label, FragmentBatch, WireError};
+use crate::wire::{
+    fragment_wire_bytes, leak_label, FragmentBatch, WireError, SEQ_UNSEQUENCED,
+};
 use rayon::prelude::*;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
 use vapro_sim::{CallSite, VirtualTime};
 
 /// One analysis server owning a subset of client ranks.
@@ -69,7 +73,9 @@ pub struct RegionDiagnosis {
 }
 
 /// The analysis output of one window: detection plus the diagnoses of
-/// its top-K (by quantified loss) computation variance regions.
+/// its top-K (by quantified loss) computation variance regions, and the
+/// data provenance the analysis ran on.
+#[derive(Debug)]
 pub struct WindowReport {
     /// The analysed window.
     pub window: Window,
@@ -79,6 +85,133 @@ pub struct WindowReport {
     /// `cfg.diagnose_top_k`; regions whose drill-down found no usable
     /// cluster or contrast are skipped).
     pub diagnoses: Vec<RegionDiagnosis>,
+    /// Which ranks contributed, what the transport lost, and how
+    /// complete this window's data is. One-shot analyses report
+    /// [`WindowCoverage::full`]; the streaming ingestor fills in the
+    /// straggler/fault picture it observed.
+    pub coverage: WindowCoverage,
+}
+
+/// Transport-fault accounting of one ingestor: every frame the decode or
+/// admission path rejected, counted instead of dropped on the floor. The
+/// `Display` impl renders the one-line summary a server would log.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IngestStats {
+    /// Frames decoded and admitted into the arena.
+    pub frames_admitted: u64,
+    /// Frames rejected for a CRC mismatch ([`WireError::BadChecksum`]).
+    pub corrupt_frames: u64,
+    /// Frames with an unknown version byte ([`WireError::BadVersion`]).
+    pub bad_version_frames: u64,
+    /// Frames rejected for any other structural decode error.
+    pub malformed_frames: u64,
+    /// Retransmitted frames deduplicated by their sequence number.
+    pub duplicate_frames: u64,
+    /// Frames from dead ranks discarded under [`LateDataPolicy::Drop`].
+    pub dropped_late_frames: u64,
+    /// Frames dropped by the ahead-of-watermark buffer cap.
+    pub dropped_backpressure_frames: u64,
+    /// Bytes those backpressure drops covered.
+    pub dropped_backpressure_bytes: u64,
+}
+
+impl IngestStats {
+    /// Total frames rejected for any reason.
+    pub fn frames_rejected(&self) -> u64 {
+        self.corrupt_frames
+            + self.bad_version_frames
+            + self.malformed_frames
+            + self.duplicate_frames
+            + self.dropped_late_frames
+            + self.dropped_backpressure_frames
+    }
+
+    fn count_decode_error(&mut self, e: &WireError) {
+        match e {
+            WireError::BadChecksum { .. } => self.corrupt_frames += 1,
+            WireError::BadVersion { .. } => self.bad_version_frames += 1,
+            _ => self.malformed_frames += 1,
+        }
+    }
+}
+
+impl fmt::Display for IngestStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ingest: {} admitted, {} corrupt, {} bad-version, {} malformed, \
+             {} duplicate, {} late-dropped, {} backpressure-dropped ({} B)",
+            self.frames_admitted,
+            self.corrupt_frames,
+            self.bad_version_frames,
+            self.malformed_frames,
+            self.duplicate_frames,
+            self.dropped_late_frames,
+            self.dropped_backpressure_frames,
+            self.dropped_backpressure_bytes,
+        )
+    }
+}
+
+/// Liveness of one client rank, as seen by the straggler policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RankHealth {
+    /// Shipping within the straggler horizon of the fastest rank.
+    Live,
+    /// Trailing the fastest rank by more than `straggler_horizon`:
+    /// reported, but still awaited by the watermark.
+    Degraded,
+    /// Trailing by more than `dead_horizon`: excluded from the
+    /// watermark so windows keep closing. Latched — a dead rank stays
+    /// dead; its late frames follow [`LateDataPolicy`].
+    Dead,
+}
+
+/// Per-rank ingest bookkeeping: the shipping mark, and sequence-number
+/// state for deduplication, reorder tolerance and gap detection.
+#[derive(Debug, Default)]
+struct RankTracker {
+    /// Largest `window_end_ns` this rank has *contiguously* shipped.
+    mark_ns: u64,
+    /// Highest sequence number with every predecessor admitted.
+    contig: u64,
+    /// Out-of-order admissions ahead of the contiguous prefix:
+    /// seq → shipped `window_end_ns`, released into `mark_ns` once the
+    /// gap below them fills.
+    pending: BTreeMap<u64, u64>,
+    /// Latched death flag.
+    dead: bool,
+}
+
+impl RankTracker {
+    fn is_duplicate(&self, seq: u64) -> bool {
+        seq != SEQ_UNSEQUENCED && (seq <= self.contig || self.pending.contains_key(&seq))
+    }
+
+    /// Record an admitted frame. Unsequenced frames advance the mark
+    /// immediately (the legacy contract); sequenced frames advance it
+    /// only along the contiguous prefix, so a reordered early frame can
+    /// never be overtaken by the watermark while still in flight.
+    fn admit(&mut self, seq: u64, window_end_ns: u64) {
+        if seq == SEQ_UNSEQUENCED {
+            self.mark_ns = self.mark_ns.max(window_end_ns);
+            return;
+        }
+        self.pending.insert(seq, window_end_ns);
+        while let Some(end) = self.pending.remove(&(self.contig + 1)) {
+            self.contig += 1;
+            self.mark_ns = self.mark_ns.max(end);
+        }
+    }
+
+    /// Sequence numbers known sent (something later arrived) but never
+    /// received — the frames currently missing below the highest seen.
+    fn gaps(&self) -> u64 {
+        match self.pending.keys().next_back() {
+            Some(&max) => max - self.contig - self.pending.len() as u64,
+            None => 0,
+        }
+    }
 }
 
 /// Diagnose the top-K computation regions of a detection result over
@@ -110,17 +243,34 @@ fn diagnose_top_regions(
 /// region diagnosis reusing detection's clusters. Both the one-shot
 /// ([`ServerPool::analyze_windows`]) and streaming
 /// ([`WindowedIngestor`]) paths go through here, which keeps their
-/// reports bit-identical.
+/// reports bit-identical. The caller supplies the transport-side
+/// coverage; the per-window `ranks_absent` census comes from the view
+/// itself, identically on both paths.
 fn analyze_view(
     view: &MergedStg<'_>,
     window: Window,
     nranks: usize,
     bins: usize,
     cfg: &VaproConfig,
+    mut coverage: WindowCoverage,
 ) -> WindowReport {
+    let mut present = vec![false; nranks];
+    let pools = view
+        .vertices
+        .iter()
+        .map(|(_, p)| p)
+        .chain(view.edges.iter().map(|(_, p)| p));
+    for pool in pools {
+        for f in pool {
+            if f.rank < nranks {
+                present[f.rank] = true;
+            }
+        }
+    }
+    coverage.ranks_absent = (0..nranks).filter(|&r| !present[r]).collect();
     let result = detect_merged(view, nranks, bins, cfg);
     let diagnoses = diagnose_top_regions(view, &result, cfg);
-    WindowReport { window, result, diagnoses }
+    WindowReport { window, result, diagnoses, coverage }
 }
 
 impl ServerPool {
@@ -201,7 +351,14 @@ impl ServerPool {
             .into_par_iter()
             .map(|window| {
                 let view = merge_stgs_window(stgs, window);
-                analyze_view(&view, window, nranks, bins_per_window, cfg)
+                analyze_view(
+                    &view,
+                    window,
+                    nranks,
+                    bins_per_window,
+                    cfg,
+                    WindowCoverage::full(nranks),
+                )
             })
             .collect()
     }
@@ -383,6 +540,17 @@ impl IngestArena {
 /// When clients ship exactly their data span, the union of all reports
 /// (stream + [`WindowedIngestor::finish`]) is bit-identical to the
 /// one-shot [`ServerPool::analyze_windows`] over the same STGs.
+///
+/// **Fault tolerance** (`cfg.fault`, off by default): with a
+/// `dead_horizon` set, a rank whose shipping mark trails the fastest
+/// rank's by more than the horizon is declared [`RankHealth::Dead`] and
+/// excluded from the low-watermark, so one crashed client can no longer
+/// stall window closing forever; its subsequent frames are re-admitted
+/// or dropped per [`LateDataPolicy`]. Sequenced frames (wire v2) are
+/// deduplicated and advance the shipping mark only along the contiguous
+/// sequence prefix, so reordered delivery can never close a window whose
+/// data is still in flight. Every rejected frame is counted in
+/// [`IngestStats`] and every closed window carries a [`WindowCoverage`].
 pub struct WindowedIngestor {
     arena: IngestArena,
     nranks: usize,
@@ -391,9 +559,15 @@ pub struct WindowedIngestor {
     /// Windows emitted so far; window `k` spans
     /// `[k·step, k·step + period)` with `step = period/2`.
     closed: usize,
-    /// Per-rank shipping marks: `rank_shipped_ns[r]` is the largest
-    /// `window_end_ns` rank `r` has shipped.
-    rank_shipped_ns: Vec<u64>,
+    /// Per-rank shipping marks and sequence state.
+    trackers: Vec<RankTracker>,
+    /// Fault accounting across the whole stream.
+    stats: IngestStats,
+    /// Bytes admitted ahead of the watermark, keyed by the shipped
+    /// `window_end_ns` that releases them; bounded by
+    /// `cfg.fault.max_buffered_bytes` when set.
+    buffered_ahead: BTreeMap<u64, u64>,
+    buffered_ahead_bytes: u64,
 }
 
 impl WindowedIngestor {
@@ -402,13 +576,17 @@ impl WindowedIngestor {
     pub fn new(nranks: usize, bins_per_window: usize, cfg: VaproConfig) -> WindowedIngestor {
         assert!(cfg.report_period.ns() > 0, "zero analysis period");
         assert!(nranks > 0, "need at least one client");
+        assert!(cfg.is_valid(), "invalid config (check fault horizons)");
         WindowedIngestor {
             arena: IngestArena::new(),
             nranks,
             bins_per_window,
             cfg,
             closed: 0,
-            rank_shipped_ns: vec![0; nranks],
+            trackers: (0..nranks).map(|_| RankTracker::default()).collect(),
+            stats: IngestStats::default(),
+            buffered_ahead: BTreeMap::new(),
+            buffered_ahead_bytes: 0,
         }
     }
 
@@ -426,48 +604,199 @@ impl WindowedIngestor {
         &self.arena
     }
 
+    /// Fault accounting so far.
+    pub fn stats(&self) -> &IngestStats {
+        &self.stats
+    }
+
+    /// Bytes currently buffered ahead of the watermark.
+    pub fn buffered_ahead_bytes(&self) -> u64 {
+        self.buffered_ahead_bytes
+    }
+
+    /// Per-rank liveness under the configured straggler policy. Without
+    /// horizons every rank is [`RankHealth::Live`].
+    pub fn rank_health(&self) -> Vec<RankHealth> {
+        let fastest = self.trackers.iter().map(|t| t.mark_ns).max().unwrap_or(0);
+        self.trackers
+            .iter()
+            .map(|t| {
+                if t.dead {
+                    RankHealth::Dead
+                } else {
+                    match self.cfg.fault.straggler_horizon {
+                        Some(h) if fastest.saturating_sub(t.mark_ns) > h.ns() => {
+                            RankHealth::Degraded
+                        }
+                        _ => RankHealth::Live,
+                    }
+                }
+            })
+            .collect()
+    }
+
     /// Absorb one batch and analyse every window it closed. Batches past
     /// a rank's last fragment (even empty ones) still advance its
-    /// shipping mark.
+    /// shipping mark. Rejections (duplicates, late data under `Drop`,
+    /// backpressure) are counted in [`IngestStats`], never panics.
     pub fn push(&mut self, batch: FragmentBatch) -> Vec<WindowReport> {
-        assert!(batch.rank < self.nranks, "batch from unknown rank {}", batch.rank);
-        let mark = &mut self.rank_shipped_ns[batch.rank];
-        *mark = (*mark).max(batch.window_end_ns);
-        self.arena.push_batch(batch);
+        let approx = 64
+            + batch.labels.iter().map(|l| l.len() as u64 + 4).sum::<u64>()
+            + batch.fragments().map(fragment_wire_bytes).sum::<u64>();
+        let _ = self.admit(batch, approx); // rejection already counted
         self.close_ready()
     }
 
     /// Decode one binary frame, absorb it, analyse closed windows. The
-    /// decoded batch goes through [`WindowedIngestor::push`], so the
-    /// rank check and shipping-mark advance apply identically on both
-    /// entry points — windows close incrementally whichever one clients
-    /// use.
+    /// decoded batch goes through the same admission as
+    /// [`WindowedIngestor::push`], so the rank check and shipping-mark
+    /// advance apply identically on both entry points. Decode and
+    /// admission failures are returned *and* counted in
+    /// [`IngestStats`] — a server loop can log them without bespoke
+    /// bookkeeping.
     pub fn push_encoded(&mut self, bytes: &[u8]) -> Result<Vec<WindowReport>, WireError> {
-        let batch = FragmentBatch::decode(bytes)?;
-        Ok(self.push(batch))
+        let batch = match FragmentBatch::decode(bytes) {
+            Ok(b) => b,
+            Err(e) => {
+                self.stats.count_decode_error(&e);
+                return Err(e);
+            }
+        };
+        self.admit(batch, bytes.len() as u64)?;
+        Ok(self.close_ready())
     }
 
-    fn analyze(&self, windows: Vec<Window>) -> Vec<WindowReport> {
+    /// Admission control: dedup, dead-rank late policy, backpressure,
+    /// then arena absorption. `Err` only for duplicates (the one
+    /// rejection a sender can act on — stop retransmitting); policy
+    /// drops return `Ok` because they are the server's own choice.
+    fn admit(&mut self, batch: FragmentBatch, frame_bytes: u64) -> Result<(), WireError> {
+        assert!(batch.rank < self.nranks, "batch from unknown rank {}", batch.rank);
+        let (rank, seq) = (batch.rank, batch.seq);
+        if self.trackers[rank].is_duplicate(seq) {
+            self.stats.duplicate_frames += 1;
+            return Err(WireError::DuplicateSequence { rank: rank as u32, seq });
+        }
+        if self.trackers[rank].dead && self.cfg.fault.late_data == LateDataPolicy::Drop {
+            // The frame is acknowledged (its sequence number is recorded,
+            // so retransmits stay duplicates and no gap is reported) but
+            // its data is discarded: the windows it belonged to closed
+            // without this rank.
+            self.trackers[rank].admit(seq, batch.window_end_ns);
+            self.stats.dropped_late_frames += 1;
+            return Ok(());
+        }
+        let ahead = batch.window_start_ns > self.watermark_ns();
+        if ahead {
+            if let Some(cap) = self.cfg.fault.max_buffered_bytes {
+                if self.buffered_ahead_bytes + frame_bytes > cap {
+                    // Accounted drop: the mark still advances (the rank
+                    // *did* ship this span — stalling the watermark would
+                    // turn one overload into permanent blockage), but the
+                    // fragments are not admitted and the loss is visible
+                    // in every subsequent window's coverage.
+                    self.trackers[rank].admit(seq, batch.window_end_ns);
+                    self.stats.dropped_backpressure_frames += 1;
+                    self.stats.dropped_backpressure_bytes += frame_bytes;
+                    return Ok(());
+                }
+            }
+        }
+        self.trackers[rank].admit(seq, batch.window_end_ns);
+        if ahead && self.cfg.fault.max_buffered_bytes.is_some() {
+            *self.buffered_ahead.entry(batch.window_end_ns).or_insert(0) += frame_bytes;
+            self.buffered_ahead_bytes += frame_bytes;
+        }
+        self.stats.frames_admitted += 1;
+        self.arena.push_batch(batch);
+        Ok(())
+    }
+
+    /// The shipping low-watermark: the minimum mark over live ranks —
+    /// or, when every rank is dead, the maximum mark, so the stream can
+    /// still drain.
+    fn watermark_ns(&self) -> u64 {
+        match self.trackers.iter().filter(|t| !t.dead).map(|t| t.mark_ns).min() {
+            Some(low) => low,
+            None => self.trackers.iter().map(|t| t.mark_ns).max().unwrap_or(0),
+        }
+    }
+
+    /// Latch `Dead` onto every rank trailing the fastest mark by more
+    /// than the configured horizon.
+    fn update_liveness(&mut self) {
+        let Some(dead_h) = self.cfg.fault.dead_horizon else { return };
+        let fastest = self.trackers.iter().map(|t| t.mark_ns).max().unwrap_or(0);
+        for t in &mut self.trackers {
+            if !t.dead && fastest.saturating_sub(t.mark_ns) > dead_h.ns() {
+                t.dead = true;
+            }
+        }
+    }
+
+    /// Transport-side coverage of `w` at close time. `ranks_absent` is
+    /// filled later from the window view itself. At `finish` the stream
+    /// is over, so every rank not declared dead has shipped everything
+    /// it ever will — its data is complete even if its final mark
+    /// rounds below the window end.
+    fn coverage_at_close(&self, w: Window, at_finish: bool) -> WindowCoverage {
+        let ranks_dead: Vec<usize> = self
+            .trackers
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.dead)
+            .map(|(r, _)| r)
+            .collect();
+        let ranks_complete = self
+            .trackers
+            .iter()
+            .filter(|t| t.mark_ns >= w.end.ns() || (at_finish && !t.dead))
+            .count();
+        WindowCoverage {
+            nranks: self.nranks,
+            ranks_complete,
+            ranks_absent: Vec::new(),
+            ranks_dead,
+            corrupt_frames: self.stats.corrupt_frames,
+            duplicate_frames: self.stats.duplicate_frames,
+            dropped_late_frames: self.stats.dropped_late_frames,
+            dropped_backpressure_frames: self.stats.dropped_backpressure_frames,
+            dropped_backpressure_bytes: self.stats.dropped_backpressure_bytes,
+            seq_gaps: self.trackers.iter().map(|t| t.gaps()).sum(),
+            completeness: ranks_complete as f64 / self.nranks as f64,
+        }
+    }
+
+    fn analyze(&self, windows: Vec<(Window, WindowCoverage)>) -> Vec<WindowReport> {
         windows
             .into_par_iter()
-            .map(|window| {
+            .map(|(window, coverage)| {
                 let view = self.arena.window_view(window);
-                analyze_view(&view, window, self.nranks, self.bins_per_window, &self.cfg)
+                analyze_view(
+                    &view,
+                    window,
+                    self.nranks,
+                    self.bins_per_window,
+                    &self.cfg,
+                    coverage,
+                )
             })
             .collect()
     }
 
     fn close_ready(&mut self) -> Vec<WindowReport> {
-        // A window is closeable once no rank owes it fragments (its end
-        // is behind every rank's shipping mark) and it provably belongs
-        // to the final cover. `windows_covering(0, t_end)` keeps window
-        // k only when it is the first window or window k-1 ends before
-        // the data watermark; `seen` only grows, so `prev_end < seen`
-        // proves membership now — anything else waits for `finish`,
-        // which knows the final watermark. Without this rule a shipping
-        // mark rounded up past the data end (a client's last, possibly
-        // empty, period) would emit windows the one-shot cover lacks.
-        let low = self.rank_shipped_ns.iter().copied().min().unwrap_or(0);
+        // A window is closeable once no awaited rank owes it fragments
+        // (its end is behind the live low-watermark) and it provably
+        // belongs to the final cover. `windows_covering(0, t_end)` keeps
+        // window k only when it is the first window or window k-1 ends
+        // before the data watermark; `seen` only grows, so `prev_end <
+        // seen` proves membership now — anything else waits for
+        // `finish`, which knows the final watermark. Without this rule a
+        // shipping mark rounded up past the data end (a client's last,
+        // possibly empty, period) would emit windows the one-shot cover
+        // lacks.
+        self.update_liveness();
+        let low = self.watermark_ns();
         let seen = self.arena.max_end_ns();
         let mut ready = Vec::new();
         loop {
@@ -480,17 +809,29 @@ impl WindowedIngestor {
             if w.end.ns() > low || !in_cover {
                 break;
             }
-            ready.push(w);
+            ready.push((w, self.coverage_at_close(w, false)));
             self.closed += 1;
+        }
+        // Frames the watermark has passed are no longer "ahead": release
+        // their bytes from the backpressure budget.
+        while let Some((&end, _)) = self.buffered_ahead.first_key_value() {
+            if end > low {
+                break;
+            }
+            let bytes = self.buffered_ahead.remove(&end).expect("key just seen");
+            self.buffered_ahead_bytes -= bytes;
         }
         self.analyze(ready)
     }
 
     /// End of stream: analyse the remaining windows. The union of all
     /// reports equals exactly what [`ServerPool::analyze_windows`] —
-    /// i.e. [`windows_covering`] up to the data watermark — produces.
-    /// An ingestor that saw no fragments reports nothing.
+    /// i.e. [`windows_covering`] up to the data watermark — produces,
+    /// **regardless of shipping marks**: a rank that went silent without
+    /// ever shipping its final mark cannot strand the tail windows. An
+    /// ingestor that saw no fragments reports nothing.
     pub fn finish(mut self) -> Vec<WindowReport> {
+        self.update_liveness();
         let t_end = self.arena.max_end_ns();
         let mut remaining = Vec::new();
         // Emit up to and including the first window whose end reaches
@@ -498,7 +839,8 @@ impl WindowedIngestor {
         while t_end > 0
             && (self.closed == 0 || self.window(self.closed - 1).end.ns() < t_end)
         {
-            remaining.push(self.window(self.closed));
+            let w = self.window(self.closed);
+            remaining.push((w, self.coverage_at_close(w, true)));
             self.closed += 1;
         }
         self.analyze(remaining)
@@ -968,6 +1310,298 @@ mod tests {
         assert_eq!(a.rank_range, b.rank_range);
         assert!((a.mean_perf - b.mean_perf).abs() < 1e-9);
         assert!((direct.coverage - via_wire.coverage).abs() < 1e-9);
+    }
+
+    /// Ship `stg`'s data period-major as sequenced v2 frames; returns
+    /// the per-rank frames of each period.
+    fn period_frames(stgs: &[Stg], nperiods: u64, period_ns: u64) -> Vec<Vec<Vec<u8>>> {
+        (0..nperiods)
+            .map(|k| {
+                let period = Window {
+                    start: VirtualTime::from_ns(k * period_ns),
+                    end: VirtualTime::from_ns((k + 1) * period_ns),
+                };
+                stgs.iter()
+                    .enumerate()
+                    .map(|(rank, stg)| {
+                        FragmentBatch::from_stg_starting_in(stg, rank, period)
+                            .with_seq(k + 1)
+                            .encode()
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn finish_flushes_tail_windows_despite_silent_straggler() {
+        // Rank 1 never ships a single mark (a silent straggler, no fault
+        // policy configured): the stream closes nothing, but `finish`
+        // must still emit the full one-shot cover — with the straggler
+        // visible in every window's coverage.
+        let cfg = VaproConfig {
+            report_period: VirtualTime::from_secs(5),
+            ..VaproConfig::default()
+        };
+        let stg = looped_stg(0, 30, 1_000_000_000, 0..0);
+        let t_end = stg
+            .edges()
+            .iter()
+            .flat_map(|e| e.fragments.iter())
+            .map(|f| f.end)
+            .max()
+            .unwrap();
+        let expected = windows_covering(VirtualTime::ZERO, t_end, cfg.report_period);
+
+        let mut ingestor = WindowedIngestor::new(2, 8, cfg);
+        let mut reports = Vec::new();
+        for k in 0..6u64 {
+            let period = Window {
+                start: VirtualTime::from_secs(5 * k),
+                end: VirtualTime::from_secs(5 * (k + 1)),
+            };
+            let batch = FragmentBatch::from_stg_starting_in(&stg, 0, period);
+            reports.extend(ingestor.push(batch));
+        }
+        // With rank 1's mark stuck at zero nothing closes mid-stream…
+        assert!(reports.is_empty(), "watermark ignored the straggler");
+        // …but finish flushes every cover window anyway.
+        reports.extend(ingestor.finish());
+        assert_eq!(reports.len(), expected.len(), "tail windows stranded");
+        for (report, window) in reports.iter().zip(expected) {
+            assert_eq!(report.window, window);
+            assert!(report.coverage.ranks_absent.contains(&1), "straggler not flagged");
+            assert!(report.coverage.is_degraded());
+        }
+    }
+
+    #[test]
+    fn dead_rank_is_excluded_and_windows_keep_closing() {
+        // Acceptance scenario: rank 3 dies after period 3 of 12. With a
+        // dead horizon configured, windows past its death keep closing
+        // mid-stream, report the rank dead/absent, and completeness
+        // drops below 1.0. A late frame from the revived rank is dropped
+        // and counted under LateDataPolicy::Drop.
+        let period_ns = 5_000_000_000u64;
+        let mut cfg = VaproConfig {
+            report_period: VirtualTime::from_ns(period_ns),
+            ..VaproConfig::default()
+        };
+        cfg.fault.straggler_horizon = Some(VirtualTime::from_ns(2 * period_ns));
+        cfg.fault.dead_horizon = Some(VirtualTime::from_ns(3 * period_ns));
+        cfg.fault.late_data = LateDataPolicy::Drop;
+        let stgs: Vec<Stg> =
+            (0..4).map(|r| looped_stg(r, 60, 1_000_000_000, 0..0)).collect();
+
+        let mut ingestor = WindowedIngestor::new(4, 8, cfg.clone());
+        let mut reports = Vec::new();
+        let frames = period_frames(&stgs, 12, period_ns);
+        let mut late_frame = None;
+        for (k, period) in frames.into_iter().enumerate() {
+            for (rank, frame) in period.into_iter().enumerate() {
+                if rank == 3 && k >= 3 {
+                    if late_frame.is_none() {
+                        late_frame = Some(frame);
+                    }
+                    continue; // rank 3 died
+                }
+                reports.extend(ingestor.push_encoded(&frame).expect("valid frame"));
+            }
+        }
+        // Windows past rank 3's data kept closing mid-stream.
+        assert_eq!(ingestor.rank_health()[3], RankHealth::Dead);
+        assert!(
+            reports.iter().any(|r| r.window.start.ns() >= 3 * period_ns),
+            "no window past the death closed mid-stream"
+        );
+        // The revived rank's late frame is dropped and accounted.
+        ingestor
+            .push_encoded(&late_frame.unwrap())
+            .expect("late frames are a policy drop, not an error");
+        assert_eq!(ingestor.stats().dropped_late_frames, 1);
+
+        reports.extend(ingestor.finish());
+        // Full cover emitted; windows past the death report the dead
+        // rank absent with completeness < 1.0.
+        let t_end = stgs
+            .iter()
+            .flat_map(|s| s.edges())
+            .flat_map(|e| e.fragments.iter())
+            .map(|f| f.end)
+            .max()
+            .unwrap();
+        let expected = windows_covering(VirtualTime::ZERO, t_end, cfg.report_period);
+        assert_eq!(reports.len(), expected.len());
+        // Windows strictly past rank 3's last straddling fragment: dead,
+        // absent, incomplete.
+        let past_death: Vec<_> = reports
+            .iter()
+            .filter(|r| r.window.start.ns() > 3 * period_ns)
+            .collect();
+        assert!(!past_death.is_empty());
+        for r in past_death {
+            assert!(r.coverage.ranks_dead.contains(&3), "dead rank missing: {:?}", r.coverage);
+            assert!(r.coverage.ranks_absent.contains(&3));
+            assert!(r.coverage.completeness < 1.0);
+            assert!(r.coverage.is_degraded());
+        }
+        // The late-frame drop reaches the coverage of windows closed
+        // after it happened (the tail windows emitted by finish).
+        assert_eq!(reports.last().unwrap().coverage.dropped_late_frames, 1);
+        // Early windows (closed before the death horizon tripped) were
+        // complete.
+        assert!(reports[0].coverage.completeness >= 1.0 - 1e-12);
+    }
+
+    #[test]
+    fn adversarial_delivery_matches_in_order_reports() {
+        // Sequenced frames delivered out of order and with duplicates:
+        // the closed-window reports (stream + finish union) must equal
+        // in-order delivery bit for bit. The contiguous-prefix mark rule
+        // is what makes this safe: a reordered early frame holds the
+        // watermark back until it lands.
+        let period_ns = 5_000_000_000u64;
+        let cfg = VaproConfig {
+            report_period: VirtualTime::from_ns(period_ns),
+            ..VaproConfig::default()
+        };
+        let mut stgs: Vec<Stg> =
+            (0..3).map(|r| looped_stg(r, 30, 1_000_000_000, 0..0)).collect();
+        stgs[2] = looped_stg(2, 30, 1_000_000_000, 12..18);
+        let frames = period_frames(&stgs, 6, period_ns);
+
+        let run = |deliveries: Vec<&Vec<u8>>| -> (Vec<WindowReport>, IngestStats) {
+            let mut ingestor = WindowedIngestor::new(3, 8, cfg.clone());
+            let mut reports = Vec::new();
+            for frame in deliveries {
+                match ingestor.push_encoded(frame) {
+                    Ok(r) => reports.extend(r),
+                    Err(WireError::DuplicateSequence { .. }) => {}
+                    Err(e) => panic!("unexpected rejection: {e}"),
+                }
+            }
+            let stats = ingestor.stats().clone();
+            reports.extend(ingestor.finish());
+            (reports, stats)
+        };
+
+        let in_order: Vec<&Vec<u8>> = frames.iter().flatten().collect();
+        let (reference, ref_stats) = run(in_order);
+        assert_eq!(ref_stats.duplicate_frames, 0);
+
+        // Adversarial: reverse periods pairwise per rank, interleave
+        // ranks back-to-front, duplicate every third frame.
+        let mut adversarial: Vec<&Vec<u8>> = Vec::new();
+        for pair in frames.chunks(2) {
+            for rank in (0..3).rev() {
+                for period in pair.iter().rev() {
+                    adversarial.push(&period[rank]);
+                }
+            }
+        }
+        let dups: Vec<&Vec<u8>> =
+            adversarial.iter().step_by(3).copied().collect();
+        for (i, d) in dups.into_iter().enumerate() {
+            adversarial.insert(i * 4 + 1, d);
+        }
+        let (got, got_stats) = run(adversarial);
+        assert!(got_stats.duplicate_frames > 0, "duplicates not detected");
+
+        assert_eq!(got.len(), reference.len());
+        for (g, w) in got.iter().zip(&reference) {
+            assert_eq!(g.window, w.window);
+            assert_results_identical(&g.result, &w.result);
+            assert_eq!(g.diagnoses, w.diagnoses);
+            // Everything in coverage except the duplicate counter (which
+            // records the retransmissions themselves) matches.
+            assert_eq!(g.coverage.ranks_complete, w.coverage.ranks_complete);
+            assert_eq!(g.coverage.ranks_absent, w.coverage.ranks_absent);
+            assert_eq!(g.coverage.ranks_dead, w.coverage.ranks_dead);
+            assert_eq!(g.coverage.seq_gaps, w.coverage.seq_gaps);
+            assert_eq!(g.coverage.completeness.to_bits(), w.coverage.completeness.to_bits());
+        }
+        assert!(got.iter().any(|r| !r.result.comp_regions.is_empty()));
+    }
+
+    #[test]
+    fn backpressure_cap_drops_and_accounts_ahead_frames() {
+        // Rank 0 races 8 periods ahead of rank 1 under a tiny buffer
+        // cap: ahead frames beyond the cap are dropped and accounted,
+        // marks keep advancing, and once rank 1 catches up all windows
+        // still close (with the loss visible in coverage).
+        let period_ns = 5_000_000_000u64;
+        let mut cfg = VaproConfig {
+            report_period: VirtualTime::from_ns(period_ns),
+            ..VaproConfig::default()
+        };
+        cfg.fault.max_buffered_bytes = Some(600);
+        let stgs: Vec<Stg> =
+            (0..2).map(|r| looped_stg(r, 40, 1_000_000_000, 0..0)).collect();
+        let frames = period_frames(&stgs, 8, period_ns);
+
+        let mut ingestor = WindowedIngestor::new(2, 8, cfg);
+        // All of rank 0 first (everything past the first frames is ahead
+        // of the zero watermark), then all of rank 1.
+        for period in &frames {
+            ingestor.push_encoded(&period[0]).expect("rank 0 frame");
+        }
+        let stats_mid = ingestor.stats().clone();
+        assert!(stats_mid.dropped_backpressure_frames > 0, "cap never tripped");
+        assert!(stats_mid.dropped_backpressure_bytes > 0);
+        assert!(ingestor.buffered_ahead_bytes() <= 600);
+        let mut reports = Vec::new();
+        for period in &frames {
+            reports.extend(ingestor.push_encoded(&period[1]).expect("rank 1 frame"));
+        }
+        assert!(!reports.is_empty(), "watermark stalled after drops");
+        reports.extend(ingestor.finish());
+        let last = reports.last().unwrap();
+        assert!(last.coverage.dropped_backpressure_frames >= 1);
+        assert!(last.coverage.is_degraded());
+    }
+
+    #[test]
+    fn decode_rejections_are_counted_not_swallowed() {
+        let cfg = VaproConfig {
+            report_period: VirtualTime::from_secs(5),
+            ..VaproConfig::default()
+        };
+        let stg = looped_stg(0, 10, 1_000_000_000, 0..0);
+        let window = Window { start: VirtualTime::ZERO, end: VirtualTime::from_secs(5) };
+        let frame = FragmentBatch::from_stg_starting_in(&stg, 0, window)
+            .with_seq(1)
+            .encode();
+
+        let mut ingestor = WindowedIngestor::new(1, 8, cfg);
+        // Corrupt frame: counted as corrupt, error names the claimed
+        // rank and sequence.
+        let mut corrupt = frame.clone();
+        *corrupt.last_mut().unwrap() ^= 0x01;
+        match ingestor.push_encoded(&corrupt) {
+            Err(WireError::BadChecksum { rank, seq }) => {
+                assert_eq!((rank, seq), (0, 1));
+            }
+            other => panic!("expected BadChecksum, got {other:?}"),
+        }
+        // Clean frame admits; its retransmit is a counted duplicate.
+        ingestor.push_encoded(&frame).expect("clean frame");
+        assert_eq!(
+            ingestor.push_encoded(&frame).unwrap_err(),
+            WireError::DuplicateSequence { rank: 0, seq: 1 }
+        );
+        let stats = ingestor.stats();
+        assert_eq!(stats.corrupt_frames, 1);
+        assert_eq!(stats.duplicate_frames, 1);
+        assert_eq!(stats.frames_admitted, 1);
+        assert_eq!(stats.frames_rejected(), 2);
+        let line = stats.to_string();
+        assert!(line.contains("1 corrupt") && line.contains("1 duplicate"), "{line}");
+        // The counters reach the next closed window's coverage.
+        let reports = ingestor.finish();
+        assert!(!reports.is_empty());
+        assert_eq!(reports[0].coverage.corrupt_frames, 1);
+        assert_eq!(reports[0].coverage.duplicate_frames, 1);
+        assert!(reports[0].coverage.is_degraded());
     }
 
     #[test]

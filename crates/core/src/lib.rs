@@ -51,17 +51,18 @@ pub use detect::pipeline::{
 };
 pub use intern::{Sym, SymbolTable};
 pub use collector::Collector;
-pub use config::{StgMode, VaproConfig};
+pub use config::{FaultTolerance, LateDataPolicy, StgMode, VaproConfig};
 pub use detect::heatmap::HeatMap;
 pub use detect::region::VarianceRegion;
 pub use detect::server::{
-    AnalysisServer, IngestArena, RegionDiagnosis, ServerPool, WindowReport, WindowedIngestor,
+    AnalysisServer, IngestArena, IngestStats, RankHealth, RegionDiagnosis, ServerPool,
+    WindowReport, WindowedIngestor,
 };
 pub use diagnose::{
     diagnose_region, diagnose_regions, diagnose_regions_seq, DiagnosisBatch, DiagnosisReport,
     RegionOfInterest,
 };
 pub use fragment::{Fragment, FragmentKind};
-pub use report::VaproReport;
+pub use report::{VaproReport, WindowCoverage};
 pub use stg::{StateKey, Stg};
 pub use wire::{FragmentBatch, ReassembledPools, WireError};

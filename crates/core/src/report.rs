@@ -36,6 +36,72 @@ pub struct RegionReport {
     pub diagnosis_periods: usize,
 }
 
+/// Data provenance of one closed streaming window: which ranks actually
+/// contributed, and what the transport lost on the way. Downstream
+/// consumers use it to distinguish "rank 3 is slow" (a finding) from
+/// "rank 3's data never arrived" (a caveat).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct WindowCoverage {
+    /// Ranks the analysis expected.
+    pub nranks: usize,
+    /// Ranks whose shipping mark had passed the window end when it
+    /// closed — their data for this window is complete.
+    pub ranks_complete: usize,
+    /// Ranks with no fragment overlapping the window at close time.
+    pub ranks_absent: Vec<usize>,
+    /// The subset of ranks declared dead by the straggler policy.
+    pub ranks_dead: Vec<usize>,
+    /// Frames rejected for a checksum mismatch (whole run, attributed to
+    /// windows closed since the previous one).
+    pub corrupt_frames: u64,
+    /// Retransmitted frames deduplicated by sequence number.
+    pub duplicate_frames: u64,
+    /// Frames from dead ranks discarded under `LateDataPolicy::Drop`.
+    pub dropped_late_frames: u64,
+    /// Frames dropped by the ahead-of-watermark buffer cap.
+    pub dropped_backpressure_frames: u64,
+    /// Bytes those backpressure drops accounted for.
+    pub dropped_backpressure_bytes: u64,
+    /// Sequence-number gaps currently outstanding across ranks: frames
+    /// known sent (a later sequence arrived) but never received.
+    pub seq_gaps: u64,
+    /// `ranks_complete / nranks` — 1.0 means every rank's data for this
+    /// window arrived in full.
+    pub completeness: f64,
+}
+
+impl WindowCoverage {
+    /// The fault-free coverage: every rank present and complete, nothing
+    /// dropped. What one-shot (non-streaming) analyses report.
+    pub fn full(nranks: usize) -> WindowCoverage {
+        WindowCoverage {
+            nranks,
+            ranks_complete: nranks,
+            ranks_absent: Vec::new(),
+            ranks_dead: Vec::new(),
+            corrupt_frames: 0,
+            duplicate_frames: 0,
+            dropped_late_frames: 0,
+            dropped_backpressure_frames: 0,
+            dropped_backpressure_bytes: 0,
+            seq_gaps: 0,
+            completeness: 1.0,
+        }
+    }
+
+    /// Anything to caveat? True when data was lost, a rank is missing or
+    /// the window closed without every rank's mark.
+    pub fn is_degraded(&self) -> bool {
+        self.completeness < 1.0
+            || !self.ranks_absent.is_empty()
+            || !self.ranks_dead.is_empty()
+            || self.corrupt_frames > 0
+            || self.dropped_late_frames > 0
+            || self.dropped_backpressure_frames > 0
+            || self.seq_gaps > 0
+    }
+}
+
 /// The complete report of one analysis.
 #[derive(Debug, Serialize)]
 pub struct VaproReport {

@@ -75,12 +75,14 @@ fn batch_strategy() -> impl Strategy<Value = FragmentBatch> {
         (
             Just(labels),
             0usize..1024,
+            0u64..1u64 << 32,
             0u64..1u64 << 48,
             vec((0..nlabels, vec(fragment_strategy(), 0..8)), 0..4),
             vec((0..nlabels, 0..nlabels, vec(fragment_strategy(), 0..8)), 0..4),
         )
-            .prop_map(|(labels, rank, wstart, vgroups, egroups)| FragmentBatch {
+            .prop_map(|(labels, rank, seq, wstart, vgroups, egroups)| FragmentBatch {
                 rank,
+                seq,
                 window_start_ns: wstart,
                 window_end_ns: wstart + 1_000_000,
                 labels,
@@ -148,5 +150,48 @@ proptest! {
     #[test]
     fn garbage_never_panics(bytes in vec((0u16..256).prop_map(|b| b as u8), 0..256)) {
         let _ = FragmentBatch::decode(&bytes);
+    }
+
+    /// Mutating any single byte of a valid v2 frame never panics, and —
+    /// except for the version byte, where a flip can masquerade as the
+    /// uncheckedsummed legacy layout — always returns an error: the frame
+    /// prefix is structurally validated and every payload byte after the
+    /// version is either the CRC field or covered by it.
+    #[test]
+    fn byte_mutations_of_v2_frames_error_cleanly(
+        batch in batch_strategy(),
+        pos in 0.0f64..1.0,
+        mask in 1u16..256,
+    ) {
+        let mut bytes = batch.encode();
+        let pos = ((bytes.len() - 1) as f64 * pos) as usize;
+        bytes[pos] ^= mask as u8;
+        let decoded = FragmentBatch::decode(&bytes);
+        if pos != 8 {
+            prop_assert!(decoded.is_err(), "flip at {} decoded anyway", pos);
+        }
+    }
+
+    /// The same mutation sweep on legacy v1 frames (no checksum): flips
+    /// may decode to a *different* batch, but must never panic and never
+    /// reproduce the original encoding by accident.
+    #[test]
+    fn byte_mutations_of_v1_frames_never_panic(
+        batch in batch_strategy(),
+        pos in 0.0f64..1.0,
+        mask in 1u16..256,
+    ) {
+        let mut bytes = batch.encode_v1();
+        let pos = ((bytes.len() - 1) as f64 * pos) as usize;
+        bytes[pos] ^= mask as u8;
+        let _ = FragmentBatch::decode(&bytes);
+    }
+
+    /// Legacy v1 frames roundtrip losslessly apart from the sequence
+    /// number, which the v1 layout cannot carry.
+    #[test]
+    fn v1_roundtrip_drops_only_the_sequence(batch in batch_strategy()) {
+        let back = FragmentBatch::decode(&batch.encode_v1()).expect("v1 parses");
+        prop_assert_eq!(back, batch.with_seq(vapro_core::wire::SEQ_UNSEQUENCED));
     }
 }
