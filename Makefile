@@ -4,20 +4,58 @@
 CARGO := cargo
 OFFLINE := --offline
 
-.PHONY: check test perf ingest-perf diagnose-perf chaos bench clippy clean
+.PHONY: check test lint lint-accept miri tsan perf ingest-perf diagnose-perf chaos bench clippy clean
 
 # The full gate: release build, tests, workspace clippy with warnings
-# denied, the chaos fault-injection suite, then all three throughput
-# harnesses (each compares against its previous BENCH_*.json and warns
-# on >20% drops).
+# denied, the static-analysis pass, sanitizer runs (skipped gracefully
+# where the toolchain component is absent), the chaos fault-injection
+# suite, then all three throughput harnesses (each compares against its
+# previous BENCH_*.json and warns on >20% drops).
 check:
 	$(CARGO) build --release $(OFFLINE)
 	$(CARGO) test -q $(OFFLINE)
 	$(CARGO) clippy $(OFFLINE) --workspace -- -D warnings
+	$(MAKE) lint
+	$(MAKE) miri
+	$(MAKE) tsan
 	$(CARGO) run --release $(OFFLINE) -p vapro-bench --bin chaos
 	$(CARGO) run --release $(OFFLINE) -p vapro-bench --bin perf
 	$(CARGO) run --release $(OFFLINE) -p vapro-bench --bin ingest_perf
 	$(CARGO) run --release $(OFFLINE) -p vapro-bench --bin diagnose_perf
+
+# Workspace static analysis (R1 no-hot-path-clone, R2 no-panic-decode,
+# R3 float-hygiene; see DESIGN.md §10). Fails on any unwaived finding or
+# on a waiver-count increase over the committed LINT_report.json.
+lint:
+	$(CARGO) run --release $(OFFLINE) -q -p vapro-lint -- --root . --report LINT_report.json
+
+# Deliberately accept a larger waiver budget (rewrites LINT_report.json).
+lint-accept:
+	$(CARGO) run --release $(OFFLINE) -q -p vapro-lint -- --root . --report LINT_report.json --accept-waivers
+
+# Bounded Miri pass over the wire-codec property tests (UB check on the
+# byte-level decode paths). Skips when the miri component is not
+# installed — CI runs it on nightly.
+miri:
+	@if $(CARGO) miri --version >/dev/null 2>&1; then \
+		PROPTEST_CASES=8 MIRIFLAGS="-Zmiri-disable-isolation" \
+			$(CARGO) miri test $(OFFLINE) -p vapro-core --test wire_properties; \
+	else \
+		echo "miri: component not installed, skipping (CI covers this)"; \
+	fi
+
+# ThreadSanitizer build of the rayon detection/diagnosis tests. Needs a
+# nightly toolchain with rust-src; skips when unavailable — CI covers it.
+tsan:
+	@if rustc +nightly --version >/dev/null 2>&1 \
+		&& rustup +nightly component list 2>/dev/null | grep -q "rust-src (installed)"; then \
+		RUSTFLAGS="-Zsanitizer=thread" RUST_TEST_THREADS=2 PROPTEST_CASES=8 \
+			$(CARGO) +nightly test $(OFFLINE) -Zbuild-std -p vapro-core \
+			--target $$(rustc -vV | sed -n 's/host: //p') \
+			--lib parallel; \
+	else \
+		echo "tsan: nightly toolchain with rust-src not installed, skipping (CI covers this)"; \
+	fi
 
 test:
 	$(CARGO) test -q $(OFFLINE) --workspace

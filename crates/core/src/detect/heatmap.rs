@@ -132,15 +132,15 @@ impl HeatMap {
         if p.rank >= self.ranks {
             return;
         }
-        let row = p.rank * self.bins..(p.rank + 1) * self.bins;
+        let (lo, hi) = (p.rank * self.bins, (p.rank + 1) * self.bins);
         deposit(
             p,
             self.t0,
             self.bin_ns,
             self.bins,
-            &mut self.weight[row.clone()],
-            &mut self.weighted_perf[row.clone()],
-            &mut self.loss[row],
+            &mut self.weight[lo..hi],
+            &mut self.weighted_perf[lo..hi],
+            &mut self.loss[lo..hi],
         );
     }
 
@@ -179,10 +179,10 @@ impl HeatMap {
         let rows: Vec<(Vec<f64>, Vec<f64>, Vec<f64>)> = by_rank
             .into_par_iter()
             .map(|(rank, pts)| {
-                let row = rank * bins..(rank + 1) * bins;
-                let mut w = weight[row.clone()].to_vec();
-                let mut wp = weighted_perf[row.clone()].to_vec();
-                let mut l = loss[row].to_vec();
+                let (lo, hi) = (rank * bins, (rank + 1) * bins);
+                let mut w = weight[lo..hi].to_vec(); // vapro-lint: allow(R1, owned O(bins) row copy is the parallel-determinism design)
+                let mut wp = weighted_perf[lo..hi].to_vec(); // vapro-lint: allow(R1, owned O(bins) row copy is the parallel-determinism design)
+                let mut l = loss[lo..hi].to_vec(); // vapro-lint: allow(R1, owned O(bins) row copy is the parallel-determinism design)
                 for p in pts {
                     deposit(p, t0, bin_ns, bins, &mut w, &mut wp, &mut l);
                 }
@@ -190,10 +190,10 @@ impl HeatMap {
             })
             .collect();
         for (rank, (w, wp, l)) in rows.into_iter().enumerate() {
-            let row = rank * bins..(rank + 1) * bins;
-            self.weight[row.clone()].copy_from_slice(&w);
-            self.weighted_perf[row.clone()].copy_from_slice(&wp);
-            self.loss[row].copy_from_slice(&l);
+            let (lo, hi) = (rank * bins, (rank + 1) * bins);
+            self.weight[lo..hi].copy_from_slice(&w);
+            self.weighted_perf[lo..hi].copy_from_slice(&wp);
+            self.loss[lo..hi].copy_from_slice(&l);
         }
     }
 

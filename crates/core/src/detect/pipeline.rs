@@ -314,6 +314,7 @@ pub(crate) fn detect_merged_impl(
                 }
             };
             for (count, total_ns) in analysis.rare {
+                // vapro-lint: allow(R1, one owned label string per rare path in the report; rare by definition)
                 rare_paths.push(RarePath { location: label.clone(), count, total_ns });
             }
         }

@@ -108,7 +108,7 @@ pub fn grow_regions(hm: &HeatMap, threshold: f64) -> Vec<VarianceRegion> {
         }
     }
 
-    regions.sort_by(|a, b| b.loss_ns.partial_cmp(&a.loss_ns).expect("finite loss"));
+    regions.sort_by(|a, b| b.loss_ns.total_cmp(&a.loss_ns));
     regions
 }
 

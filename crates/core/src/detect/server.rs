@@ -105,6 +105,9 @@ pub struct IngestStats {
     pub bad_version_frames: u64,
     /// Frames rejected for any other structural decode error.
     pub malformed_frames: u64,
+    /// Frames claiming a rank outside the configured deployment
+    /// ([`WireError::UnknownRank`]).
+    pub unknown_rank_frames: u64,
     /// Retransmitted frames deduplicated by their sequence number.
     pub duplicate_frames: u64,
     /// Frames from dead ranks discarded under [`LateDataPolicy::Drop`].
@@ -121,6 +124,7 @@ impl IngestStats {
         self.corrupt_frames
             + self.bad_version_frames
             + self.malformed_frames
+            + self.unknown_rank_frames
             + self.duplicate_frames
             + self.dropped_late_frames
             + self.dropped_backpressure_frames
@@ -140,11 +144,13 @@ impl fmt::Display for IngestStats {
         write!(
             f,
             "ingest: {} admitted, {} corrupt, {} bad-version, {} malformed, \
-             {} duplicate, {} late-dropped, {} backpressure-dropped ({} B)",
+             {} unknown-rank, {} duplicate, {} late-dropped, \
+             {} backpressure-dropped ({} B)",
             self.frames_admitted,
             self.corrupt_frames,
             self.bad_version_frames,
             self.malformed_frames,
+            self.unknown_rank_frames,
             self.duplicate_frames,
             self.dropped_late_frames,
             self.dropped_backpressure_frames,
@@ -666,43 +672,57 @@ impl WindowedIngestor {
         Ok(self.close_ready())
     }
 
-    /// Admission control: dedup, dead-rank late policy, backpressure,
-    /// then arena absorption. `Err` only for duplicates (the one
-    /// rejection a sender can act on — stop retransmitting); policy
-    /// drops return `Ok` because they are the server's own choice.
+    /// Admission control: rank validation, dedup, dead-rank late policy,
+    /// backpressure, then arena absorption. `Err` for unknown ranks
+    /// (hostile or misrouted frames) and duplicates (the one rejection a
+    /// sender can act on — stop retransmitting); policy drops return
+    /// `Ok` because they are the server's own choice. Total: hostile
+    /// input is counted and rejected, never a panic.
     fn admit(&mut self, batch: FragmentBatch, frame_bytes: u64) -> Result<(), WireError> {
-        assert!(batch.rank < self.nranks, "batch from unknown rank {}", batch.rank);
         let (rank, seq) = (batch.rank, batch.seq);
-        if self.trackers[rank].is_duplicate(seq) {
+        let Some(tracker) = self.trackers.get(rank) else {
+            self.stats.unknown_rank_frames += 1;
+            return Err(WireError::UnknownRank {
+                rank: rank as u32,
+                nranks: self.nranks as u32,
+            });
+        };
+        if tracker.is_duplicate(seq) {
             self.stats.duplicate_frames += 1;
             return Err(WireError::DuplicateSequence { rank: rank as u32, seq });
         }
-        if self.trackers[rank].dead && self.cfg.fault.late_data == LateDataPolicy::Drop {
+        if tracker.dead && self.cfg.fault.late_data == LateDataPolicy::Drop {
             // The frame is acknowledged (its sequence number is recorded,
             // so retransmits stay duplicates and no gap is reported) but
             // its data is discarded: the windows it belonged to closed
             // without this rank.
-            self.trackers[rank].admit(seq, batch.window_end_ns);
+            if let Some(t) = self.trackers.get_mut(rank) {
+                t.admit(seq, batch.window_end_ns);
+            }
             self.stats.dropped_late_frames += 1;
             return Ok(());
         }
         let ahead = batch.window_start_ns > self.watermark_ns();
         if ahead {
             if let Some(cap) = self.cfg.fault.max_buffered_bytes {
-                if self.buffered_ahead_bytes + frame_bytes > cap {
+                if self.buffered_ahead_bytes.saturating_add(frame_bytes) > cap {
                     // Accounted drop: the mark still advances (the rank
                     // *did* ship this span — stalling the watermark would
                     // turn one overload into permanent blockage), but the
                     // fragments are not admitted and the loss is visible
                     // in every subsequent window's coverage.
-                    self.trackers[rank].admit(seq, batch.window_end_ns);
+                    if let Some(t) = self.trackers.get_mut(rank) {
+                        t.admit(seq, batch.window_end_ns);
+                    }
                     self.stats.dropped_backpressure_frames += 1;
                     self.stats.dropped_backpressure_bytes += frame_bytes;
                     return Ok(());
                 }
             }
         }
-        self.trackers[rank].admit(seq, batch.window_end_ns);
+        if let Some(t) = self.trackers.get_mut(rank) {
+            t.admit(seq, batch.window_end_ns);
+        }
         if ahead && self.cfg.fault.max_buffered_bytes.is_some() {
             *self.buffered_ahead.entry(batch.window_end_ns).or_insert(0) += frame_bytes;
             self.buffered_ahead_bytes += frame_bytes;
@@ -818,8 +838,9 @@ impl WindowedIngestor {
             if end > low {
                 break;
             }
-            let bytes = self.buffered_ahead.remove(&end).expect("key just seen");
-            self.buffered_ahead_bytes -= bytes;
+            if let Some(bytes) = self.buffered_ahead.remove(&end) {
+                self.buffered_ahead_bytes = self.buffered_ahead_bytes.saturating_sub(bytes);
+            }
         }
         self.analyze(ready)
     }
@@ -862,6 +883,7 @@ pub fn tree_aggregate(mut maps: Vec<crate::detect::heatmap::HeatMap>) -> Option<
         maps = maps
             .par_chunks(2)
             .map(|pair| {
+                // vapro-lint: allow(R1, heat-map slab accumulator seeds each pairwise merge; not a fragment population)
                 let mut acc = pair[0].clone();
                 if let Some(second) = pair.get(1) {
                     acc.merge(second);
@@ -1223,13 +1245,24 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "unknown rank")]
     fn encoded_frames_from_unknown_ranks_are_rejected() {
+        // A frame claiming a rank outside the deployment is a structured
+        // rejection — counted, never a panic (hostile input must not be
+        // able to kill the server).
         let stg = looped_stg(7, 5, 1_000_000, 0..0);
         let window = Window { start: VirtualTime::ZERO, end: VirtualTime::from_secs(1) };
         let encoded = FragmentBatch::from_stg(&stg, 7, window).encode();
         let mut ingestor = WindowedIngestor::new(2, 8, VaproConfig::default());
-        let _ = ingestor.push_encoded(&encoded);
+        let err = ingestor.push_encoded(&encoded).unwrap_err();
+        assert_eq!(err, WireError::UnknownRank { rank: 7, nranks: 2 });
+        assert!(err.to_string().contains("unknown rank 7"));
+        assert_eq!(ingestor.stats().unknown_rank_frames, 1);
+        assert_eq!(ingestor.stats().frames_rejected(), 1);
+        assert_eq!(ingestor.stats().frames_admitted, 0);
+        // The stream stays healthy afterwards: a valid rank still admits.
+        let ok = FragmentBatch::from_stg(&looped_stg(1, 5, 1_000_000, 0..0), 1, window);
+        let _ = ingestor.push_encoded(&ok.encode()).expect("valid rank admits");
+        assert_eq!(ingestor.stats().frames_admitted, 1);
     }
 
     #[test]

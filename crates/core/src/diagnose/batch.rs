@@ -130,7 +130,7 @@ impl FragmentProvider for ScratchProvider<'_> {
             start: f.start,
             end: f.end,
             counters: f.counters.project(set),
-            args: f.args.clone(),
+            args: f.args.clone(), // vapro-lint: allow(R1, arg vector copied into the reusable scratch projection; counters themselves are projected)
         }));
         &self.scratch
     }
@@ -219,6 +219,7 @@ impl<'a, 'm> DiagnosisBatch<'a, 'm> {
         // The region's only contribution was choosing the pool; the
         // drill-down is memoised per pool. Deterministic, so concurrent
         // initialisation under the fan-out cannot change the value.
+        // vapro-lint: allow(R1, memoised report fan-out; one owned DiagnosisReport per region)
         self.reports[pool_idx].get_or_init(|| self.diagnose_pool(pool_idx)).clone()
     }
 

@@ -84,7 +84,7 @@ pub fn analyze_contributions(
     if n < 2 {
         return None;
     }
-    let min_dur = fv.durations.iter().cloned().fold(f64::INFINITY, f64::min);
+    let min_dur = fv.durations.iter().copied().fold(f64::INFINITY, f64::min);
     let abnormal: Vec<usize> = (0..n)
         .filter(|&i| fv.durations[i] > ka * min_dur)
         .collect();

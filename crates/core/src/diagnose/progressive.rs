@@ -119,7 +119,7 @@ pub fn diagnose_progressively_with(
 ) -> Option<DiagnosisReport> {
     let mut steps: Vec<StageStep> = Vec::new();
     let mut periods = 0usize;
-    let mut frontier: Vec<Factor> = Factor::S1.to_vec();
+    let mut frontier: Vec<Factor> = Factor::S1.into();
     let mut culprits: Vec<Factor> = Vec::new();
 
     while !frontier.is_empty() {
@@ -153,7 +153,7 @@ pub fn diagnose_progressively_with(
 
         let majors = report.major_factors();
         steps.push(StageStep {
-            factors: frontier.clone(),
+            factors: frontier.clone(), // vapro-lint: allow(R1, per-step factor list has at most five entries)
             counters_used: needed.len(),
             report,
             ols,

@@ -113,6 +113,7 @@ impl FactorValues {
         if values.is_empty() {
             return None;
         }
+        // vapro-lint: allow(R1, owned copy of the at-most-five requested factors)
         Some(FactorValues { factors: factors.to_vec(), values, durations })
     }
 
@@ -176,6 +177,7 @@ pub fn ols_impacts(
     if fg.kept.is_empty() {
         return None;
     }
+    // vapro-lint: allow(R1, kept factor columns are copied once for the OLS design matrix)
     let kept_cols: Vec<Vec<f64>> = fg.kept.iter().map(|&j| columns[j].clone()).collect();
     let fit = OlsFit::fit(&kept_cols, &fv.durations, true)?;
     let terms = fit.var_terms();

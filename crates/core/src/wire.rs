@@ -229,6 +229,14 @@ pub enum WireError {
         /// Claimed sequence number.
         seq: u64,
     },
+    /// A frame claims a rank outside the deployment the ingestor was
+    /// configured for. Hostile or misrouted input, rejected at admission.
+    UnknownRank {
+        /// The rank the frame claimed.
+        rank: u32,
+        /// The configured deployment size.
+        nranks: u32,
+    },
     /// A sequenced frame re-used a sequence number the server has already
     /// admitted for that rank — a retransmission, dropped on arrival.
     DuplicateSequence {
@@ -265,6 +273,9 @@ impl fmt::Display for WireError {
                 f,
                 "checksum mismatch on frame claiming rank {rank} seq {seq}"
             ),
+            WireError::UnknownRank { rank, nranks } => {
+                write!(f, "frame from unknown rank {rank} (deployment has {nranks} ranks)")
+            }
             WireError::DuplicateSequence { rank, seq } => {
                 write!(f, "duplicate frame from rank {rank} seq {seq}")
             }
@@ -317,6 +328,12 @@ pub fn fragment_wire_bytes(f: &Fragment) -> u64 {
     4 + 1 + 8 + 8 + 4 + 8 * counters + 2 + 8 * f.args.len() as u64
 }
 
+/// Every fragment record occupies at least rank (4) + kind (1) +
+/// start (8) + end (8) + counter set (4) + arg count (2) bytes in the
+/// column section; the decoder's anti-OOM guard sizes claimed counts
+/// against this floor.
+const MIN_BYTES_PER_FRAG: u64 = 4 + 1 + 8 + 8 + 4 + 2;
+
 // --------------------------------------------------------------------
 // Little-endian cursor helpers. Encoding writes into one growing Vec;
 // decoding advances a borrowed slice. Both are branch-light and never
@@ -336,24 +353,31 @@ impl<'a> Reader<'a> {
         Ok(head)
     }
 
+    /// Fixed-size read. The `try_into` cannot fail after a successful
+    /// `take`, but the decode path is total by construction: every
+    /// conversion maps to an error instead of trusting a length.
+    fn array<const N: usize>(&mut self) -> Result<[u8; N], WireError> {
+        self.take(N)?.try_into().map_err(|_| WireError::Truncated)
+    }
+
     fn u8(&mut self) -> Result<u8, WireError> {
-        Ok(self.take(1)?[0])
+        self.take(1)?.first().copied().ok_or(WireError::Truncated)
     }
 
     fn u16(&mut self) -> Result<u16, WireError> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2 bytes")))
+        Ok(u16::from_le_bytes(self.array()?))
     }
 
     fn u32(&mut self) -> Result<u32, WireError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+        Ok(u32::from_le_bytes(self.array()?))
     }
 
     fn u64(&mut self) -> Result<u64, WireError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        Ok(u64::from_le_bytes(self.array()?))
     }
 
     fn f64(&mut self) -> Result<f64, WireError> {
-        Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        Ok(f64::from_le_bytes(self.array()?))
     }
 }
 
@@ -396,8 +420,12 @@ impl FragmentBatch {
         };
         let mut vertex_groups = Vec::new();
         for (id, v) in stg.vertices().iter().enumerate() {
-            let fragments: Vec<Fragment> =
-                v.fragments.iter().filter(|f| keep(f)).cloned().collect();
+            let fragments: Vec<Fragment> = v
+                .fragments
+                .iter()
+                .filter(|f| keep(f))
+                .cloned() // vapro-lint: allow(R1, client-side period extraction builds the one owned batch each report ships)
+                .collect();
             if !fragments.is_empty() {
                 let label = sym_of(id, &mut dict);
                 vertex_groups.push(VertexGroup { label, fragments });
@@ -405,8 +433,12 @@ impl FragmentBatch {
         }
         let mut edge_groups = Vec::new();
         for e in stg.edges() {
-            let fragments: Vec<Fragment> =
-                e.fragments.iter().filter(|f| keep(f)).cloned().collect();
+            let fragments: Vec<Fragment> = e
+                .fragments
+                .iter()
+                .filter(|f| keep(f))
+                .cloned() // vapro-lint: allow(R1, client-side period extraction builds the one owned batch each report ships)
+                .collect();
             if !fragments.is_empty() {
                 let from = sym_of(e.from, &mut dict);
                 let to = sym_of(e.to, &mut dict);
@@ -601,16 +633,16 @@ impl FragmentBatch {
     /// Decode the first frame of `bytes`, returning the batch and the
     /// number of bytes consumed (frame prefix included).
     pub fn decode_frame(bytes: &[u8]) -> Result<(FragmentBatch, usize), WireError> {
-        if bytes.len() < 4 {
-            return Err(WireError::ShortFrame { declared: 4, available: bytes.len() });
-        }
-        let payload_len =
-            u32::from_le_bytes(bytes[..4].try_into().expect("4 bytes")) as usize;
+        let prefix: [u8; 4] = bytes
+            .get(..4)
+            .and_then(|p| p.try_into().ok())
+            .ok_or(WireError::ShortFrame { declared: 4, available: bytes.len() })?;
+        let payload_len = u32::from_le_bytes(prefix) as usize;
         let declared = 4usize.saturating_add(payload_len);
-        if bytes.len() < declared {
-            return Err(WireError::ShortFrame { declared, available: bytes.len() });
-        }
-        let batch = Self::decode_payload(&bytes[4..declared])?;
+        let payload = bytes
+            .get(4..declared)
+            .ok_or(WireError::ShortFrame { declared, available: bytes.len() })?;
+        let batch = Self::decode_payload(payload)?;
         Ok((batch, declared))
     }
 
@@ -676,19 +708,16 @@ impl FragmentBatch {
         }
 
         let nfrags = r.u32()? as usize;
-        let expected: usize = vheads.iter().map(|&(_, c)| c).sum::<usize>()
-            + eheads.iter().map(|&(_, _, c)| c).sum::<usize>();
-        if nfrags != expected {
+        let vcount: usize = vheads.iter().map(|&(_, c)| c).sum();
+        let ecount: usize = eheads.iter().map(|&(_, _, c)| c).sum();
+        if nfrags != vcount.saturating_add(ecount) {
             return Err(WireError::CountMismatch);
         }
-        // Every fragment record occupies at least rank (4) + kind (1) +
-        // start (8) + end (8) + counter set (4) + arg count (2) bytes in
-        // the remaining columns. Reject a claimed count the buffer cannot
-        // possibly hold *before* sizing any column Vec, so a tiny
-        // malformed frame claiming ~4 billion fragments errors out
-        // instead of forcing a multi-GB allocation.
-        const MIN_BYTES_PER_FRAG: u64 = 4 + 1 + 8 + 8 + 4 + 2;
-        if nfrags as u64 * MIN_BYTES_PER_FRAG > r.buf.len() as u64 {
+        // Reject a claimed count the buffer cannot possibly hold *before*
+        // sizing any column Vec, so a tiny malformed frame claiming ~4
+        // billion fragments errors out instead of forcing a multi-GB
+        // allocation.
+        if (nfrags as u64).saturating_mul(MIN_BYTES_PER_FRAG) > r.buf.len() as u64 {
             return Err(WireError::Truncated);
         }
 
@@ -748,37 +777,41 @@ impl FragmentBatch {
             return Err(WireError::TrailingBytes);
         }
 
-        // Reassemble fragments from the columns, in group order.
-        let mut counters = counters.into_iter();
-        let mut args = args.into_iter();
-        let mut idx = 0usize;
-        let mut next = |kinds: &[FragmentKind]| -> Fragment {
-            let f = Fragment {
-                rank: ranks[idx],
-                kind: kinds[idx],
-                start: VirtualTime::from_ns(starts[idx]),
-                end: VirtualTime::from_ns(ends[idx]),
-                counters: counters.next().expect("column length checked"),
-                args: args.next().expect("column length checked"),
-            };
-            idx += 1;
-            f
-        };
-        let vertex_groups = vheads
+        // Reassemble fragments from the columns, in group order. The zip
+        // ends with the shortest column; group counts were validated
+        // against nfrags above, so running dry maps to CountMismatch
+        // rather than any panic.
+        let mut cols = ranks
             .into_iter()
-            .map(|(label, count)| VertexGroup {
-                label,
-                fragments: (0..count).map(|_| next(&kinds)).collect(),
-            })
-            .collect();
-        let edge_groups = eheads
-            .into_iter()
-            .map(|(from, to, count)| EdgeGroup {
-                from,
-                to,
-                fragments: (0..count).map(|_| next(&kinds)).collect(),
-            })
-            .collect();
+            .zip(kinds)
+            .zip(starts)
+            .zip(ends)
+            .zip(counters)
+            .zip(args)
+            .map(|(((((rank, kind), start), end), counters), args)| Fragment {
+                rank,
+                kind,
+                start: VirtualTime::from_ns(start),
+                end: VirtualTime::from_ns(end),
+                counters,
+                args,
+            });
+        let mut vertex_groups = Vec::with_capacity(vheads.len());
+        for (label, count) in vheads {
+            let mut fragments = Vec::with_capacity(count);
+            for _ in 0..count {
+                fragments.push(cols.next().ok_or(WireError::CountMismatch)?);
+            }
+            vertex_groups.push(VertexGroup { label, fragments });
+        }
+        let mut edge_groups = Vec::with_capacity(eheads.len());
+        for (from, to, count) in eheads {
+            let mut fragments = Vec::with_capacity(count);
+            for _ in 0..count {
+                fragments.push(cols.next().ok_or(WireError::CountMismatch)?);
+            }
+            edge_groups.push(EdgeGroup { from, to, fragments });
+        }
 
         Ok(FragmentBatch {
             rank,
@@ -815,7 +848,7 @@ pub fn decode_stream(bytes: &[u8]) -> impl Iterator<Item = Result<FragmentBatch,
         }
         match FragmentBatch::decode_frame(rest) {
             Ok((batch, consumed)) => {
-                rest = &rest[consumed..];
+                rest = rest.get(consumed..).unwrap_or_default();
                 Some(Ok(batch))
             }
             Err(e) => {
@@ -856,21 +889,27 @@ pub struct ReassembledPools {
 }
 
 impl ReassembledPools {
-    /// Merge a set of batches (any ranks, same window).
-    pub fn from_batches(batches: &[FragmentBatch]) -> ReassembledPools {
+    /// Merge a set of batches (any ranks, same window). Consumes the
+    /// batches so every fragment *moves* into its pool — reassembly
+    /// never copies a population.
+    pub fn from_batches<I>(batches: I) -> ReassembledPools
+    where
+        I: IntoIterator<Item = FragmentBatch>,
+    {
         let mut out = ReassembledPools::default();
         for b in batches {
-            for g in &b.vertex_groups {
-                out.vertices
-                    .entry(b.label(g.label).to_string())
-                    .or_default()
-                    .extend(g.fragments.iter().cloned());
+            let FragmentBatch { labels, vertex_groups, edge_groups, .. } = b;
+            let name = |id: Sym| -> String {
+                labels.get(id as usize).map(String::as_str).unwrap_or_default().to_string()
+            };
+            for g in vertex_groups {
+                out.vertices.entry(name(g.label)).or_default().extend(g.fragments);
             }
-            for g in &b.edge_groups {
+            for g in edge_groups {
                 out.edges
-                    .entry((b.label(g.from).to_string(), b.label(g.to).to_string()))
+                    .entry((name(g.from), name(g.to)))
                     .or_default()
-                    .extend(g.fragments.iter().cloned());
+                    .extend(g.fragments);
             }
         }
         out
@@ -1177,7 +1216,7 @@ mod tests {
         stg.attach_edge_fragment(self_e, mk(1.0));
         stg.attach_edge_fragment(ab, mk(2.0));
         let batch = FragmentBatch::from_stg(&stg, 0, full_window());
-        let pools = ReassembledPools::from_batches(std::slice::from_ref(&batch));
+        let pools = ReassembledPools::from_batches([batch.clone()]);
         // Two distinct edge pools: ("a -> b","a -> b") and ("a","b").
         assert_eq!(pools.edges.len(), 2);
         let weird_pool = &pools.edges[&("a -> b".to_string(), "a -> b".to_string())];
@@ -1195,7 +1234,7 @@ mod tests {
         let batches: Vec<FragmentBatch> = (0..4)
             .map(|r| FragmentBatch::from_stg(&sample_stg(r), r, full_window()))
             .collect();
-        let pools = ReassembledPools::from_batches(&batches);
+        let pools = ReassembledPools::from_batches(batches);
         assert_eq!(pools.len(), 4 * 20);
         // All ranks' computation fragments share one transition pool.
         let edge_pool = pools
@@ -1215,7 +1254,7 @@ mod tests {
         let batches: Vec<FragmentBatch> = (0..3)
             .map(|r| FragmentBatch::from_stg(&sample_stg(r), r, full_window()))
             .collect();
-        let pools = ReassembledPools::from_batches(&batches);
+        let pools = ReassembledPools::from_batches(batches);
         let pool = &pools.edges[&("w:MPI_Barrier".to_string(), "w:MPI_Barrier".to_string())];
         let outcome = crate::clustering::cluster_fragments(
             pool,

@@ -129,8 +129,8 @@ proptest! {
             .iter()
             .map(|b| FragmentBatch::from_json_bytes(&b.to_json_bytes()).expect("json"))
             .collect();
-        let pb = ReassembledPools::from_batches(&via_binary);
-        let pj = ReassembledPools::from_batches(&via_json);
+        let pb = ReassembledPools::from_batches(via_binary);
+        let pj = ReassembledPools::from_batches(via_json);
         prop_assert_eq!(&pb, &pj);
         prop_assert_eq!(pb.len(), batches.iter().map(|b| b.len()).sum::<usize>());
     }

@@ -1,0 +1,257 @@
+//! Token context: which function each token sits in, and whether it is
+//! test-only code. This is a single forward pass that tracks brace
+//! scopes, `fn`/`mod` items, and `#[test]` / `#[cfg(test)]` attributes —
+//! enough structure for function-scoped rules without a full parser.
+
+use crate::lexer::{Tok, Token};
+
+/// The context of one token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TokenCtx {
+    /// Inside `#[cfg(test)]` / `#[test]` items (or a `mod tests`).
+    pub test: bool,
+    /// Name of the innermost enclosing function, if any. Closures and
+    /// nested blocks inherit their function's name.
+    pub func: Option<String>,
+}
+
+#[derive(Debug, Clone)]
+struct Scope {
+    test: bool,
+    func: Option<String>,
+}
+
+#[derive(Debug)]
+enum PendingKind {
+    /// `fn name` awaiting its body brace.
+    Fn(String),
+    /// `mod name` awaiting its body brace.
+    Mod(String),
+    /// Any other attributed item (`struct`/`impl`/…) whose body must
+    /// inherit a pending `#[cfg(test)]`.
+    Item,
+}
+
+/// Compute the context of every token (parallel to the token slice).
+pub fn contexts(tokens: &[Token]) -> Vec<TokenCtx> {
+    let mut ctxs = Vec::with_capacity(tokens.len());
+    let mut stack: Vec<Scope> = Vec::new();
+    let mut root = Scope { test: false, func: None };
+
+    // Attribute scanning state: Some(depth) while inside `#[...]`.
+    let mut attr_depth: Option<u32> = None;
+    let mut attr_inner = false; // `#![...]`
+    let mut attr_has_test = false;
+    let mut pending_attr_test = false;
+
+    // Item scanning state: between an item keyword and its `{` or `;`.
+    let mut pending: Option<(PendingKind, bool)> = None;
+    let mut pending_nest: i64 = 0; // () and [] depth inside the signature
+
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let top = stack.last().unwrap_or(&root).clone();
+        ctxs.push(TokenCtx { test: top.test, func: top.func.clone() });
+        let t = &tokens[i];
+
+        // Inside an attribute: look for the `test` ident, find the end.
+        if let Some(depth) = attr_depth {
+            match &t.tok {
+                Tok::Ident(s) if s == "test" => attr_has_test = true,
+                Tok::Punct(p) if p == "[" => attr_depth = Some(depth + 1),
+                Tok::Punct(p) if p == "]" => {
+                    if depth == 0 {
+                        attr_depth = None;
+                        if attr_has_test {
+                            if attr_inner {
+                                // `#![cfg(test)]`: marks the enclosing
+                                // scope itself.
+                                match stack.last_mut() {
+                                    Some(s) => s.test = true,
+                                    None => root.test = true,
+                                }
+                            } else {
+                                pending_attr_test = true;
+                            }
+                        }
+                        attr_has_test = false;
+                    } else {
+                        attr_depth = Some(depth - 1);
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+            continue;
+        }
+
+        // Attribute start: `#[` or `#![`.
+        if let Tok::Punct(p) = &t.tok {
+            if p == "#" {
+                let (bang, bracket) = match (tokens.get(i + 1), tokens.get(i + 2)) {
+                    (Some(a), b) => {
+                        if a.tok == Tok::Punct("!".into()) {
+                            (true, b.map(|x| x.tok == Tok::Punct("[".into())).unwrap_or(false))
+                        } else {
+                            (false, a.tok == Tok::Punct("[".into()))
+                        }
+                    }
+                    _ => (false, false),
+                };
+                if bracket {
+                    attr_depth = Some(0);
+                    attr_inner = bang;
+                    attr_has_test = false;
+                    i += if bang { 3 } else { 2 };
+                    // Context entries for the skipped tokens.
+                    while ctxs.len() < i.min(tokens.len()) {
+                        ctxs.push(TokenCtx { test: top.test, func: top.func.clone() });
+                    }
+                    continue;
+                }
+            }
+        }
+
+        // Signature scanning for a pending item.
+        if pending.is_some() {
+            match &t.tok {
+                Tok::Punct(p) if p == "(" || p == "[" => pending_nest += 1,
+                Tok::Punct(p) if p == ")" || p == "]" => pending_nest -= 1,
+                Tok::Punct(p) if p == ";" && pending_nest == 0 => {
+                    pending = None;
+                }
+                Tok::Punct(p) if p == "{" && pending_nest == 0 => {
+                    let (kind, attr_test) = pending.take().unwrap_or((PendingKind::Item, false));
+                    let test = top.test
+                        || attr_test
+                        || matches!(&kind, PendingKind::Mod(n) if n == "tests");
+                    let func = match kind {
+                        PendingKind::Fn(name) => Some(name),
+                        _ => top.func.clone(),
+                    };
+                    stack.push(Scope { test, func });
+                    i += 1;
+                    continue;
+                }
+                _ => {}
+            }
+            i += 1;
+            continue;
+        }
+
+        match &t.tok {
+            Tok::Ident(kw) if kw == "fn" => {
+                // `fn` as an item (next token is the name); `fn(…)`
+                // pointer types have `(` next and are not items.
+                if let Some(Token { tok: Tok::Ident(name), .. }) = tokens.get(i + 1) {
+                    pending = Some((PendingKind::Fn(name.clone()), pending_attr_test));
+                    pending_attr_test = false;
+                    pending_nest = 0;
+                    i += 2;
+                    while ctxs.len() < i.min(tokens.len()) {
+                        ctxs.push(TokenCtx { test: top.test, func: top.func.clone() });
+                    }
+                    continue;
+                }
+            }
+            Tok::Ident(kw) if kw == "mod" => {
+                if let Some(Token { tok: Tok::Ident(name), .. }) = tokens.get(i + 1) {
+                    pending = Some((PendingKind::Mod(name.clone()), pending_attr_test));
+                    pending_attr_test = false;
+                    pending_nest = 0;
+                    i += 2;
+                    while ctxs.len() < i.min(tokens.len()) {
+                        ctxs.push(TokenCtx { test: top.test, func: top.func.clone() });
+                    }
+                    continue;
+                }
+            }
+            Tok::Ident(kw)
+                if pending_attr_test
+                    && matches!(
+                        kw.as_str(),
+                        "struct" | "enum" | "union" | "impl" | "trait" | "macro_rules"
+                    ) =>
+            {
+                // A `#[cfg(test)] struct/impl/…`: its body is test-only.
+                pending = Some((PendingKind::Item, true));
+                pending_attr_test = false;
+                pending_nest = 0;
+            }
+            Tok::Punct(p) if p == "{" => {
+                stack.push(Scope { test: top.test, func: top.func.clone() });
+            }
+            Tok::Punct(p) if p == "}" => {
+                stack.pop();
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    ctxs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn ctx_of(src: &str, ident: &str) -> TokenCtx {
+        let lexed = lex(src);
+        let ctxs = contexts(&lexed.tokens);
+        for (t, c) in lexed.tokens.iter().zip(&ctxs) {
+            if t.tok == Tok::Ident(ident.into()) {
+                return c.clone();
+            }
+        }
+        panic!("ident {ident} not found");
+    }
+
+    #[test]
+    fn function_bodies_are_attributed() {
+        let src = "fn outer() { let marker = 1; }";
+        let c = ctx_of(src, "marker");
+        assert_eq!(c.func.as_deref(), Some("outer"));
+        assert!(!c.test);
+    }
+
+    #[test]
+    fn closures_inherit_the_enclosing_fn() {
+        let src = "fn host() { let f = |x: u32| { let inner_marker = x; }; }";
+        assert_eq!(ctx_of(src, "inner_marker").func.as_deref(), Some("host"));
+    }
+
+    #[test]
+    fn cfg_test_modules_are_test_context() {
+        let src = "
+            fn prod() { let live = 1; }
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn t() { let testy = 2; }
+            }
+        ";
+        assert!(!ctx_of(src, "live").test);
+        assert!(ctx_of(src, "testy").test);
+        assert_eq!(ctx_of(src, "testy").func.as_deref(), Some("t"));
+    }
+
+    #[test]
+    fn test_attribute_marks_single_fns() {
+        let src = "#[test]\nfn alone() { let inside = 3; }\nfn after() { let outside = 4; }";
+        assert!(ctx_of(src, "inside").test);
+        assert!(!ctx_of(src, "outside").test);
+    }
+
+    #[test]
+    fn signatures_with_nested_parens_find_their_body() {
+        let src = "fn f(keep: impl Fn(&str) -> bool, xs: [u8; 4]) -> Vec<u8> { let body_marker = 0; }";
+        assert_eq!(ctx_of(src, "body_marker").func.as_deref(), Some("f"));
+    }
+
+    #[test]
+    fn trait_decls_without_bodies_do_not_leak() {
+        let src = "trait T { fn sig(&self); }\nfn real() { let here = 1; }";
+        assert_eq!(ctx_of(src, "here").func.as_deref(), Some("real"));
+    }
+}

@@ -1,0 +1,368 @@
+//! A minimal Rust lexer — just enough token structure for the lint
+//! rules. Identifiers, punctuation and literals come out as a flat token
+//! stream with line numbers; comments are collected separately so waiver
+//! directives can be matched to the code lines they annotate.
+//!
+//! The lexer is exact about the things that would otherwise cause false
+//! findings: string literals (including raw and byte strings), char
+//! literals vs lifetimes, and nested block comments. A banned token
+//! spelled inside a string or comment can never fire a rule.
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Punctuation, multi-character operators combined (`->`, `..=`, …).
+    Punct(String),
+    /// Any literal (string, char, number); the value is irrelevant to
+    /// the rules, only that it is *not* an identifier.
+    Lit,
+}
+
+/// A token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub tok: Tok,
+    pub line: u32,
+}
+
+/// A comment with its 1-based starting line. `trailing` is true when
+/// code tokens precede it on the same line (a trailing waiver annotates
+/// its own line; a whole-line waiver annotates the next code line).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    pub line: u32,
+    pub text: String,
+    pub trailing: bool,
+}
+
+/// The output of [`lex`].
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Multi-character operators, longest first so maximal munch works.
+const PUNCTS: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "->", "=>", "::", "==", "!=", "<=", ">=", "&&",
+    "||", "<<", ">>", "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=", "..",
+];
+
+/// Lex one source file. The lexer is total: any byte sequence produces
+/// *some* token stream (unterminated literals run to end of input), so
+/// the lint can never panic on source it does not understand.
+pub fn lex(src: &str) -> Lexed {
+    let chars: Vec<char> = src.chars().collect();
+    let n = chars.len();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    let mut out = Lexed::default();
+    let mut line_has_token = false;
+
+    macro_rules! push_tok {
+        ($tok:expr, $line:expr) => {{
+            out.tokens.push(Token { tok: $tok, line: $line });
+            line_has_token = true;
+        }};
+    }
+
+    while i < n {
+        let c = chars[i];
+        if c == '\n' {
+            line += 1;
+            line_has_token = false;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Line comment.
+        if c == '/' && chars.get(i + 1) == Some(&'/') {
+            let start = i;
+            while i < n && chars[i] != '\n' {
+                i += 1;
+            }
+            out.comments.push(Comment {
+                line,
+                text: chars[start..i].iter().collect(),
+                trailing: line_has_token,
+            });
+            continue;
+        }
+        // Block comment, nested.
+        if c == '/' && chars.get(i + 1) == Some(&'*') {
+            let start = i;
+            let start_line = line;
+            let mut depth = 1usize;
+            i += 2;
+            while i < n && depth > 0 {
+                if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                    depth += 1;
+                    i += 2;
+                } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    if chars[i] == '\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+            }
+            out.comments.push(Comment {
+                line: start_line,
+                text: chars[start..i.min(n)].iter().collect(),
+                trailing: line_has_token,
+            });
+            continue;
+        }
+        // Raw strings: r"…", r#"…"#, and byte variants br…; must be
+        // checked before identifiers so `r` / `br` prefixes don't lex as
+        // idents.
+        if c == 'r' || (c == 'b' && chars.get(i + 1) == Some(&'r')) {
+            let mut j = i + if c == 'b' { 2 } else { 1 };
+            let mut hashes = 0usize;
+            while chars.get(j) == Some(&'#') {
+                hashes += 1;
+                j += 1;
+            }
+            if chars.get(j) == Some(&'"') {
+                // Scan for closing quote + same number of hashes.
+                j += 1;
+                let tok_line = line;
+                loop {
+                    match chars.get(j) {
+                        None => break,
+                        Some('\n') => {
+                            line += 1;
+                            j += 1;
+                        }
+                        Some('"') => {
+                            let mut k = j + 1;
+                            let mut seen = 0usize;
+                            while seen < hashes && chars.get(k) == Some(&'#') {
+                                seen += 1;
+                                k += 1;
+                            }
+                            j = k;
+                            if seen == hashes {
+                                break;
+                            }
+                        }
+                        Some(_) => j += 1,
+                    }
+                }
+                i = j;
+                push_tok!(Tok::Lit, tok_line);
+                continue;
+            }
+            // Raw identifier r#foo.
+            if c == 'r' && hashes == 1 && chars.get(j).copied().is_some_and(is_ident_start) {
+                let mut k = j;
+                while k < n && is_ident_continue(chars[k]) {
+                    k += 1;
+                }
+                let ident: String = chars[j..k].iter().collect();
+                i = k;
+                push_tok!(Tok::Ident(ident), line);
+                continue;
+            }
+            // Fall through: plain identifier starting with r/b.
+        }
+        // Plain and byte strings.
+        if c == '"' || (c == 'b' && chars.get(i + 1) == Some(&'"')) {
+            let tok_line = line;
+            let mut j = i + if c == 'b' { 2 } else { 1 };
+            while j < n {
+                match chars[j] {
+                    '\\' => j += 2,
+                    '"' => {
+                        j += 1;
+                        break;
+                    }
+                    '\n' => {
+                        line += 1;
+                        j += 1;
+                    }
+                    _ => j += 1,
+                }
+            }
+            i = j;
+            push_tok!(Tok::Lit, tok_line);
+            continue;
+        }
+        // Byte char b'x'.
+        if c == 'b' && chars.get(i + 1) == Some(&'\'') {
+            let mut j = i + 2;
+            while j < n {
+                match chars[j] {
+                    '\\' => j += 2,
+                    '\'' => {
+                        j += 1;
+                        break;
+                    }
+                    _ => j += 1,
+                }
+            }
+            i = j;
+            push_tok!(Tok::Lit, line);
+            continue;
+        }
+        // Char literal vs lifetime.
+        if c == '\'' {
+            let next = chars.get(i + 1).copied();
+            let is_char = match next {
+                Some('\\') => true,
+                Some(_) => chars.get(i + 2) == Some(&'\''),
+                None => false,
+            };
+            if is_char {
+                let mut j = i + 1;
+                while j < n {
+                    match chars[j] {
+                        '\\' => j += 2,
+                        '\'' => {
+                            j += 1;
+                            break;
+                        }
+                        _ => j += 1,
+                    }
+                }
+                i = j;
+                push_tok!(Tok::Lit, line);
+            } else {
+                // Lifetime: skip the quote and its identifier.
+                i += 1;
+                while i < n && is_ident_continue(chars[i]) {
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // Identifier / keyword.
+        if is_ident_start(c) {
+            let mut j = i;
+            while j < n && is_ident_continue(chars[j]) {
+                j += 1;
+            }
+            let ident: String = chars[i..j].iter().collect();
+            i = j;
+            push_tok!(Tok::Ident(ident), line);
+            continue;
+        }
+        // Number literal: digits, then letters/underscores (suffixes,
+        // hex), a fractional part only when a digit follows the dot (so
+        // `0..x` stays a range), and e+/e- exponents.
+        if c.is_ascii_digit() {
+            let mut j = i;
+            while j < n {
+                let d = chars[j];
+                if d.is_ascii_alphanumeric() || d == '_' {
+                    j += 1;
+                } else if d == '.'
+                    && chars.get(j + 1).is_some_and(|x| x.is_ascii_digit())
+                {
+                    j += 2;
+                } else if (d == '+' || d == '-')
+                    && j > i
+                    && matches!(chars[j - 1], 'e' | 'E')
+                {
+                    j += 1;
+                } else {
+                    break;
+                }
+            }
+            i = j;
+            push_tok!(Tok::Lit, line);
+            continue;
+        }
+        // Punctuation, longest match first.
+        let mut matched = None;
+        for p in PUNCTS {
+            let pc: Vec<char> = p.chars().collect();
+            if chars[i..].starts_with(&pc) {
+                matched = Some(p.to_string());
+                break;
+            }
+        }
+        let p = matched.unwrap_or_else(|| c.to_string());
+        i += p.chars().count();
+        push_tok!(Tok::Punct(p), line);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.tok {
+                Tok::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_their_contents() {
+        let src = r##"
+            let a = "x.clone()"; // .unwrap() in a comment
+            let b = r#"panic!("no")"#;
+            /* block .expect( */
+            let c = 'c';
+        "##;
+        let ids = idents(src);
+        assert!(ids.iter().all(|s| s != "clone" && s != "unwrap" && s != "panic"));
+        assert_eq!(lex(src).comments.len(), 2);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) -> &'a str { x }").tokens;
+        assert!(toks.iter().any(|t| t.tok == Tok::Ident("str".into())));
+        assert!(!toks.iter().any(|t| t.tok == Tok::Lit));
+    }
+
+    #[test]
+    fn ranges_do_not_eat_numbers() {
+        let toks = lex("for i in 0..10 {}").tokens;
+        assert!(toks.iter().any(|t| t.tok == Tok::Punct("..".into())));
+        assert_eq!(toks.iter().filter(|t| t.tok == Tok::Lit).count(), 2);
+    }
+
+    #[test]
+    fn trailing_comments_are_marked() {
+        let lexed = lex("let x = 1; // here\n// whole line\nlet y = 2;");
+        assert!(lexed.comments[0].trailing);
+        assert!(!lexed.comments[1].trailing);
+        assert_eq!(lexed.comments[1].line, 2);
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_literals() {
+        let src = "let s = \"a\nb\nc\";\nlet t = 1;";
+        let lexed = lex(src);
+        let t_line = lexed
+            .tokens
+            .iter()
+            .find(|t| t.tok == Tok::Ident("t".into()))
+            .map(|t| t.line);
+        assert_eq!(t_line, Some(4));
+    }
+}

@@ -1,0 +1,146 @@
+//! vapro-lint: the workspace static-analysis pass.
+//!
+//! PRs 1–4 proved two invariants dynamically — zero full-population
+//! `Fragment` clones on the detection/diagnosis hot paths (runtime clone
+//! counters) and no panics on hostile wire bytes (byte-mutation
+//! proptests). This crate re-states both as *source-level* rules that
+//! every future change is checked against, plus a float-hygiene rule for
+//! the numeric code. See `rules` for the rule definitions and the
+//! waiver grammar, `report` for the `LINT_report.json` budget format.
+//!
+//! The pass is built on a small self-contained lexer rather than `syn`:
+//! the workspace builds fully offline against vendored stubs, and the
+//! rules only need token patterns plus function-scope attribution, which
+//! `lexer` + `analyze` provide exactly (strings, comments, lifetimes and
+//! nested block comments are handled; a banned token spelled inside a
+//! string can never fire).
+
+pub mod analyze;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use rules::{Finding, FnScope, LintConfig};
+
+/// The checked-in rule scope for this workspace.
+///
+/// * R1 covers the hot-path modules named by the design docs:
+///   `detect/`, `diagnose/`, `wire.rs`, `clustering.rs`.
+/// * R2 covers the wire decode functions and the server ingest
+///   admission functions; the arithmetic sub-rule applies to the wire
+///   decoders, where attacker-controlled lengths feed size math.
+/// * `wire.rs` accepts no waivers in its R2 scope at all: the decode
+///   path must be structurally total.
+/// * R3 covers normalization, heatmap, region ranking and clustering —
+///   everywhere a float ordering decides detection output.
+pub fn workspace_config() -> LintConfig {
+    let wire_fns = [
+        "take",
+        "u8",
+        "u16",
+        "u32",
+        "u64",
+        "f64",
+        "array",
+        "decode",
+        "decode_frame",
+        "decode_payload",
+        "decode_stream",
+        "kind_from_byte",
+        "from_json_bytes",
+    ];
+    let server_fns = ["push_encoded", "admit", "is_duplicate", "gaps", "count_decode_error"];
+    let wire_scope = FnScope {
+        file: "crates/core/src/wire.rs".into(),
+        funcs: wire_fns.iter().map(|s| s.to_string()).collect(),
+    };
+    LintConfig {
+        r1_files: vec![
+            "crates/core/src/detect/".into(),
+            "crates/core/src/diagnose/".into(),
+            "crates/core/src/wire.rs".into(),
+            "crates/core/src/clustering.rs".into(),
+        ],
+        r2_scopes: vec![
+            wire_scope.clone(),
+            FnScope {
+                file: "crates/core/src/detect/server.rs".into(),
+                funcs: server_fns.iter().map(|s| s.to_string()).collect(),
+            },
+        ],
+        r2_arith: vec![wire_scope],
+        r2_no_waiver_files: vec!["crates/core/src/wire.rs".into()],
+        r3_files: vec![
+            "crates/core/src/detect/normalize.rs".into(),
+            "crates/core/src/detect/heatmap.rs".into(),
+            "crates/core/src/detect/region.rs".into(),
+            "crates/core/src/clustering.rs".into(),
+        ],
+    }
+}
+
+/// Collect the workspace source files to scan: every `.rs` under
+/// `crates/*/src`, excluding vendored code, integration tests and
+/// fixtures. Returned as sorted `(workspace-relative, absolute)` pairs
+/// so runs are deterministic.
+pub fn collect_sources(root: &Path) -> Vec<(String, PathBuf)> {
+    let mut out = Vec::new();
+    let crates = root.join("crates");
+    let Ok(entries) = fs::read_dir(&crates) else { return out };
+    let mut crate_dirs: Vec<PathBuf> =
+        entries.flatten().map(|e| e.path()).filter(|p| p.is_dir()).collect();
+    crate_dirs.sort();
+    for dir in crate_dirs {
+        walk(&dir.join("src"), root, &mut out);
+    }
+    out.sort();
+    out
+}
+
+fn walk(dir: &Path, root: &Path, out: &mut Vec<(String, PathBuf)>) {
+    let Ok(entries) = fs::read_dir(dir) else { return };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if matches!(name.as_ref(), "tests" | "fixtures" | "benches" | "examples") {
+                continue;
+            }
+            walk(&path, root, out);
+        } else if name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy().into_owned())
+                .collect::<Vec<_>>()
+                .join("/");
+            out.push((rel, path));
+        }
+    }
+}
+
+/// Scan the whole workspace rooted at `root` with the checked-in
+/// configuration. Unreadable files become `LINT` findings rather than
+/// panics.
+pub fn run_workspace(root: &Path) -> Vec<Finding> {
+    let cfg = workspace_config();
+    let mut findings = Vec::new();
+    for (rel, path) in collect_sources(root) {
+        match fs::read_to_string(&path) {
+            Ok(src) => findings.extend(rules::scan_file(&rel, &src, &cfg)),
+            Err(e) => findings.push(Finding {
+                rule: rules::META_RULE.into(),
+                file: rel,
+                line: 0,
+                message: format!("unreadable source file: {e}"),
+                waived: None,
+            }),
+        }
+    }
+    findings
+}

@@ -1,0 +1,87 @@
+//! `vapro-lint` driver.
+//!
+//! Usage: `vapro-lint [--root DIR] [--report FILE] [--accept-waivers]`
+//!
+//! Exit codes: 0 clean, 1 unwaived findings, 2 waiver budget grew
+//! without `--accept-waivers`, 3 bad invocation.
+//!
+//! The report file doubles as the committed waiver baseline: a run that
+//! passes rewrites it; a run that would *increase* the waived count
+//! fails unless the increase is explicitly accepted, so new waivers are
+//! always a reviewed, deliberate act.
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use vapro_lint::report::{baseline_waived, render_json};
+use vapro_lint::run_workspace;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut report_path = PathBuf::from("LINT_report.json");
+    let mut accept_waivers = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(v) => root = PathBuf::from(v),
+                None => return usage("--root needs a value"),
+            },
+            "--report" => match args.next() {
+                Some(v) => report_path = PathBuf::from(v),
+                None => return usage("--report needs a value"),
+            },
+            "--accept-waivers" => accept_waivers = true,
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+    if !report_path.is_absolute() {
+        report_path = root.join(report_path);
+    }
+
+    let findings = run_workspace(&root);
+    let unwaived: Vec<_> = findings.iter().filter(|f| f.waived.is_none()).collect();
+    let waived = findings.len() - unwaived.len();
+
+    for f in &findings {
+        match &f.waived {
+            None => eprintln!("{}: {}:{}: {}", f.rule, f.file, f.line, f.message),
+            Some(reason) => {
+                eprintln!("{}: {}:{}: waived — {}", f.rule, f.file, f.line, reason)
+            }
+        }
+    }
+    eprintln!("vapro-lint: {} unwaived, {} waived", unwaived.len(), waived);
+
+    if !unwaived.is_empty() {
+        eprintln!("vapro-lint: FAIL (unwaived findings above)");
+        return ExitCode::from(1);
+    }
+
+    let baseline = fs::read_to_string(&report_path).ok().and_then(|s| baseline_waived(&s));
+    if let Some(prev) = baseline {
+        if (waived as u64) > prev && !accept_waivers {
+            eprintln!(
+                "vapro-lint: FAIL — waiver budget grew from {prev} to {waived}; \
+                 rerun with --accept-waivers to accept the new budget"
+            );
+            return ExitCode::from(2);
+        }
+    }
+
+    let json = render_json(&findings);
+    if let Err(e) = fs::write(&report_path, json) {
+        eprintln!("vapro-lint: cannot write {}: {e}", report_path.display());
+        return ExitCode::from(3);
+    }
+    eprintln!("vapro-lint: OK — report written to {}", report_path.display());
+    ExitCode::SUCCESS
+}
+
+fn usage(err: &str) -> ExitCode {
+    eprintln!("vapro-lint: {err}");
+    eprintln!("usage: vapro-lint [--root DIR] [--report FILE] [--accept-waivers]");
+    ExitCode::from(3)
+}

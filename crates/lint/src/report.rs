@@ -1,0 +1,152 @@
+//! `LINT_report.json` rendering — hand-rolled so the lint crate carries
+//! zero dependencies. The report is the reviewable waiver budget: the
+//! driver compares the `waived` count against the committed report and
+//! fails on any increase that was not explicitly accepted.
+
+use std::collections::BTreeMap;
+
+use crate::rules::Finding;
+
+/// Render findings as stable, sorted JSON.
+pub fn render_json(findings: &[Finding]) -> String {
+    let mut sorted: Vec<&Finding> = findings.iter().collect();
+    sorted.sort_by(|a, b| {
+        (&a.file, a.line, &a.rule, &a.message).cmp(&(&b.file, b.line, &b.rule, &b.message))
+    });
+
+    let unwaived = sorted.iter().filter(|f| f.waived.is_none()).count();
+    let waived = sorted.len() - unwaived;
+
+    let mut per_rule: BTreeMap<&str, (usize, usize)> = BTreeMap::new();
+    for f in &sorted {
+        let e = per_rule.entry(f.rule.as_str()).or_insert((0, 0));
+        if f.waived.is_none() {
+            e.0 += 1;
+        } else {
+            e.1 += 1;
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"vapro-lint/1\",\n");
+    out.push_str(&format!("  \"unwaived\": {unwaived},\n"));
+    out.push_str(&format!("  \"waived\": {waived},\n"));
+    out.push_str("  \"rules\": {");
+    let mut first = true;
+    for (rule, (u, w)) in &per_rule {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!(
+            "\n    {}: {{\"unwaived\": {u}, \"waived\": {w}}}",
+            json_str(rule)
+        ));
+    }
+    if !per_rule.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("},\n");
+    out.push_str("  \"findings\": [");
+    let mut first = true;
+    for f in &sorted {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let waiver = match &f.waived {
+            Some(r) => json_str(r),
+            None => "null".to_string(),
+        };
+        out.push_str(&format!(
+            "\n    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"message\": {}, \"waiver\": {}}}",
+            json_str(&f.rule),
+            json_str(&f.file),
+            f.line,
+            json_str(&f.message),
+            waiver
+        ));
+    }
+    if !sorted.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+/// Extract the top-level `"waived"` count from a previously written
+/// report (it is the first occurrence by construction). Returns `None`
+/// for missing/foreign content, which callers treat as "no baseline".
+pub fn baseline_waived(json: &str) -> Option<u64> {
+    let pos = json.find("\"waived\":")?;
+    let rest = json[pos + "\"waived\":".len()..].trim_start();
+    let digits: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
+    digits.parse().ok()
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: &str, file: &str, line: u32, waived: Option<&str>) -> Finding {
+        Finding {
+            rule: rule.into(),
+            file: file.into(),
+            line,
+            message: format!("msg {rule}"),
+            waived: waived.map(|s| s.into()),
+        }
+    }
+
+    #[test]
+    fn report_counts_and_baseline_round_trip() {
+        let findings = vec![
+            finding("R1", "b.rs", 3, Some("cold")),
+            finding("R2", "a.rs", 1, None),
+            finding("R1", "a.rs", 2, Some("cold")),
+        ];
+        let json = render_json(&findings);
+        assert!(json.contains("\"unwaived\": 1"));
+        assert!(json.contains("\"waived\": 2"));
+        assert_eq!(baseline_waived(&json), Some(2));
+        // Sorted by file then line.
+        let a1 = json.find("\"a.rs\", \"line\": 1").unwrap();
+        let a2 = json.find("\"a.rs\", \"line\": 2").unwrap();
+        let b3 = json.find("\"b.rs\", \"line\": 3").unwrap();
+        assert!(a1 < a2 && a2 < b3);
+    }
+
+    #[test]
+    fn empty_report_is_valid() {
+        let json = render_json(&[]);
+        assert!(json.contains("\"findings\": []"));
+        assert_eq!(baseline_waived(&json), Some(0));
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let f = finding("R1", "a\"b.rs", 1, Some("line\nbreak"));
+        let json = render_json(&[f]);
+        assert!(json.contains("a\\\"b.rs"));
+        assert!(json.contains("line\\nbreak"));
+    }
+}

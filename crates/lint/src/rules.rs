@@ -1,0 +1,460 @@
+//! The rule set and the waiver machinery.
+//!
+//! Three project rules, each scoped to the files (and for R2, the
+//! functions) where the invariant is load-bearing:
+//!
+//! * **R1 no-hot-path-clone** — `.clone()` / `.cloned()` / `.to_vec()` /
+//!   `.to_owned()` in the detection/diagnosis hot-path modules. `.copied()`
+//!   is deliberately allowed: it only compiles for `Copy` element types,
+//!   so it is its own proof that no allocation happens.
+//! * **R2 no-panic-decode** — `unwrap`/`expect`-family calls, panicking
+//!   macros, direct slice indexing, and unchecked `+ - *` arithmetic in
+//!   the wire decode and server ingest functions.
+//! * **R3 float-hygiene** — `partial_cmp` comparisons and `NAN`
+//!   constants in normalization / heatmap / region / clustering code,
+//!   where a NaN comparison silently corrupts ordering.
+//!
+//! A finding can be waived with `// vapro-lint: allow(R1, reason)` —
+//! trailing on the offending line, or on the whole line directly above
+//! it. Waivers are collected into the report as an explicit budget.
+//! Malformed and unused waivers are themselves (unwaivable) findings, as
+//! is any waiver that tries to touch the R2 decode scope of a
+//! no-waiver file.
+
+use std::collections::HashMap;
+
+use crate::analyze::{contexts, TokenCtx};
+use crate::lexer::{lex, Tok, Token};
+
+/// Rule id for meta findings about the waiver mechanism itself.
+pub const META_RULE: &str = "LINT";
+
+const R1_METHODS: &[&str] = &["clone", "cloned", "to_vec", "to_owned"];
+const R2_METHODS: &[&str] = &[
+    "unwrap",
+    "expect",
+    "unwrap_err",
+    "expect_err",
+    "unwrap_unchecked",
+    "get_unchecked",
+    "get_unchecked_mut",
+];
+const R2_MACROS: &[&str] = &[
+    "panic",
+    "unreachable",
+    "todo",
+    "unimplemented",
+    "assert",
+    "assert_eq",
+    "assert_ne",
+    "debug_assert",
+    "debug_assert_eq",
+    "debug_assert_ne",
+];
+
+/// Keywords that can precede `[` or an operator without being a value
+/// (so `let [a, b] = …` and `return -1` never look like indexing or
+/// arithmetic). `self` is intentionally absent: it is a value.
+const NON_VALUE_KEYWORDS: &[&str] = &[
+    "let", "in", "if", "while", "match", "return", "else", "move", "mut", "ref",
+    "as", "break", "continue", "where", "const", "static", "fn", "pub", "use",
+    "mod", "enum", "struct", "union", "trait", "unsafe", "for", "loop", "impl",
+    "dyn", "box", "type", "crate", "super", "async", "await", "yield",
+];
+
+/// One diagnostic. `waived` carries the reason when a waiver matched.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    pub rule: String,
+    pub file: String,
+    pub line: u32,
+    pub message: String,
+    pub waived: Option<String>,
+}
+
+/// A file (prefix) plus the function names a rule applies to inside it.
+/// An empty `funcs` list means "every function, including module level".
+#[derive(Debug, Clone, Default)]
+pub struct FnScope {
+    pub file: String,
+    pub funcs: Vec<String>,
+}
+
+/// The full rule configuration. File entries are `/`-separated
+/// workspace-relative prefixes (`crates/core/src/detect/` matches the
+/// whole module directory, `…/wire.rs` a single file).
+#[derive(Debug, Clone, Default)]
+pub struct LintConfig {
+    /// R1 applies to files matching these prefixes.
+    pub r1_files: Vec<String>,
+    /// R2 panic/indexing rules apply inside these function scopes.
+    pub r2_scopes: Vec<FnScope>,
+    /// R2 unchecked-arithmetic rule additionally applies here.
+    pub r2_arith: Vec<FnScope>,
+    /// Files whose R2 scope accepts no waivers at all.
+    pub r2_no_waiver_files: Vec<String>,
+    /// R3 applies to files matching these prefixes.
+    pub r3_files: Vec<String>,
+}
+
+fn file_matches(rel: &str, prefixes: &[String]) -> bool {
+    prefixes.iter().any(|p| rel.starts_with(p.as_str()))
+}
+
+fn scope_funcs<'a>(rel: &str, scopes: &'a [FnScope]) -> Option<&'a [String]> {
+    scopes.iter().find(|s| rel.starts_with(s.file.as_str())).map(|s| s.funcs.as_slice())
+}
+
+fn in_scope(ctx: &TokenCtx, funcs: &[String]) -> bool {
+    if ctx.test {
+        return false;
+    }
+    if funcs.is_empty() {
+        return true;
+    }
+    ctx.func.as_ref().is_some_and(|f| funcs.iter().any(|s| s == f))
+}
+
+fn is_value_end(tok: &Tok) -> bool {
+    match tok {
+        Tok::Lit => true,
+        Tok::Punct(p) => p == ")" || p == "]",
+        Tok::Ident(s) => !NON_VALUE_KEYWORDS.iter().any(|k| k == s),
+    }
+}
+
+fn is_value_start(tok: &Tok) -> bool {
+    match tok {
+        Tok::Lit => true,
+        Tok::Punct(p) => p == "(",
+        Tok::Ident(s) => !NON_VALUE_KEYWORDS.iter().any(|k| k == s),
+    }
+}
+
+#[derive(Debug)]
+struct Waiver {
+    rule: String,
+    reason: String,
+    /// Line of the comment itself (for diagnostics).
+    line: u32,
+    /// Code line the waiver annotates.
+    target: Option<u32>,
+    used: bool,
+}
+
+/// Run every configured rule over one file. `rel` is the
+/// workspace-relative path used for scoping and in diagnostics.
+pub fn scan_file(rel: &str, src: &str, cfg: &LintConfig) -> Vec<Finding> {
+    let lexed = lex(src);
+    let toks = &lexed.tokens;
+    let ctxs = contexts(toks);
+    let ctx_at = |i: usize| -> TokenCtx {
+        ctxs.get(i).cloned().unwrap_or(TokenCtx { test: false, func: None })
+    };
+
+    let mut raw: Vec<(String, u32, String)> = Vec::new();
+
+    let r1 = file_matches(rel, &cfg.r1_files);
+    let r2_funcs = scope_funcs(rel, &cfg.r2_scopes);
+    let r2_arith_funcs = scope_funcs(rel, &cfg.r2_arith);
+    let r3 = file_matches(rel, &cfg.r3_files);
+
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        let ctx = ctx_at(i);
+
+        // `.method(` patterns.
+        if let (Tok::Punct(dot), Some(Token { tok: Tok::Ident(m), line }), Some(paren)) =
+            (&t.tok, toks.get(i + 1), toks.get(i + 2))
+        {
+            if dot == "." && paren.tok == Tok::Punct("(".into()) {
+                let mctx = ctx_at(i + 1);
+                if r1 && !mctx.test && R1_METHODS.iter().any(|x| x == m) {
+                    raw.push((
+                        "R1".into(),
+                        *line,
+                        format!(".{m}() allocates an owned copy in a hot-path module"),
+                    ));
+                }
+                if let Some(funcs) = r2_funcs {
+                    if in_scope(&mctx, funcs) && R2_METHODS.iter().any(|x| x == m) {
+                        raw.push((
+                            "R2".into(),
+                            *line,
+                            format!(".{m}() can panic in a decode/ingest path"),
+                        ));
+                    }
+                }
+                if r3 && !mctx.test && m == "partial_cmp" {
+                    raw.push((
+                        "R3".into(),
+                        *line,
+                        "partial_cmp is not a total order under NaN (use total_cmp)".into(),
+                    ));
+                }
+            }
+        }
+
+        // Panicking macros: `ident!`.
+        if let (Tok::Ident(m), Some(Token { tok: Tok::Punct(bang), .. })) =
+            (&t.tok, toks.get(i + 1))
+        {
+            if bang == "!" {
+                if let Some(funcs) = r2_funcs {
+                    if in_scope(&ctx, funcs) && R2_MACROS.iter().any(|x| x == m) {
+                        raw.push((
+                            "R2".into(),
+                            t.line,
+                            format!("{m}! can panic in a decode/ingest path"),
+                        ));
+                    }
+                }
+            }
+        }
+
+        // Direct indexing: `value[`.
+        if t.tok == Tok::Punct("[".into()) && i > 0 {
+            if let Some(funcs) = r2_funcs {
+                if in_scope(&ctx, funcs) && is_value_end(&toks[i - 1].tok) {
+                    raw.push((
+                        "R2".into(),
+                        t.line,
+                        "direct slice indexing can panic in a decode/ingest path (use get)"
+                            .into(),
+                    ));
+                }
+            }
+        }
+
+        // Unchecked binary arithmetic: `value (+|-|*) value`.
+        if let Tok::Punct(op) = &t.tok {
+            if (op == "+" || op == "-" || op == "*") && i > 0 {
+                if let Some(funcs) = r2_arith_funcs {
+                    if in_scope(&ctx, funcs)
+                        && is_value_end(&toks[i - 1].tok)
+                        && toks.get(i + 1).is_some_and(|n| is_value_start(&n.tok))
+                    {
+                        raw.push((
+                            "R2".into(),
+                            t.line,
+                            format!(
+                                "unchecked `{op}` can overflow in a decode path (use checked/saturating forms)"
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+
+        // NaN constant in float-hygiene files.
+        if r3 && !ctx.test {
+            if let Tok::Ident(m) = &t.tok {
+                if m == "NAN" {
+                    raw.push((
+                        "R3".into(),
+                        t.line,
+                        "NAN constant in a numeric path corrupts ordering silently".into(),
+                    ));
+                }
+            }
+        }
+    }
+
+    // ---- waivers ------------------------------------------------------
+    let mut waivers: Vec<Waiver> = Vec::new();
+    let mut findings: Vec<Finding> = Vec::new();
+
+    for c in &lexed.comments {
+        // Doc comments talk *about* the grammar; only plain comments
+        // carry directives.
+        let doc = c.text.starts_with("///")
+            || c.text.starts_with("//!")
+            || c.text.starts_with("/**")
+            || c.text.starts_with("/*!");
+        if doc {
+            continue;
+        }
+        let Some(pos) = c.text.find("vapro-lint") else { continue };
+        let directive = &c.text[pos + "vapro-lint".len()..];
+        let parsed = parse_allow(directive);
+        match parsed {
+            Some((rule, reason)) => {
+                let target = if c.trailing {
+                    Some(c.line)
+                } else {
+                    toks.iter().find(|t| t.line > c.line).map(|t| t.line)
+                };
+                waivers.push(Waiver { rule, reason, line: c.line, target, used: false });
+            }
+            None => findings.push(Finding {
+                rule: META_RULE.into(),
+                file: rel.into(),
+                line: c.line,
+                message: "malformed directive (expected `vapro-lint: allow(RULE, reason)`)"
+                    .into(),
+                waived: None,
+            }),
+        }
+    }
+
+    // In a no-waiver file, any waiver naming R2 — or targeting a line
+    // inside an R2-scoped function — is itself a finding and suppresses
+    // nothing.
+    let no_waiver = file_matches(rel, &cfg.r2_no_waiver_files);
+    let mut line_func: HashMap<u32, Option<String>> = HashMap::new();
+    for (i, t) in toks.iter().enumerate() {
+        line_func.entry(t.line).or_insert_with(|| ctx_at(i).func);
+    }
+    let mut forbidden: Vec<bool> = Vec::with_capacity(waivers.len());
+    for w in &waivers {
+        let mut bad = false;
+        if no_waiver {
+            if w.rule == "R2" {
+                bad = true;
+            } else if let (Some(target), Some(funcs)) = (w.target, r2_funcs) {
+                if let Some(func) = line_func.get(&target) {
+                    bad = funcs.is_empty()
+                        || func.as_ref().is_some_and(|f| funcs.iter().any(|s| s == f));
+                }
+            }
+        }
+        if bad {
+            findings.push(Finding {
+                rule: META_RULE.into(),
+                file: rel.into(),
+                line: w.line,
+                message: format!(
+                    "waiver for {} not permitted inside the no-waiver decode scope",
+                    w.rule
+                ),
+                waived: None,
+            });
+        }
+        forbidden.push(bad);
+    }
+
+    // Apply waivers to raw findings.
+    for (rule, line, message) in raw {
+        let mut waived = None;
+        for (wi, w) in waivers.iter_mut().enumerate() {
+            if forbidden[wi] {
+                continue;
+            }
+            if w.rule == rule && w.target == Some(line) {
+                w.used = true;
+                waived = Some(w.reason.clone());
+                break;
+            }
+        }
+        findings.push(Finding { rule, file: rel.into(), line, message, waived });
+    }
+
+    // Unused waivers (forbidden ones already produced a finding).
+    for (wi, w) in waivers.iter().enumerate() {
+        if !w.used && !forbidden[wi] {
+            findings.push(Finding {
+                rule: META_RULE.into(),
+                file: rel.into(),
+                line: w.line,
+                message: format!("unused waiver for {} (nothing to allow here)", w.rule),
+                waived: None,
+            });
+        }
+    }
+
+    findings.sort_by(|a, b| (a.line, &a.rule).cmp(&(b.line, &b.rule)));
+    findings
+}
+
+/// Parse the tail of a directive: `: allow(RULE, reason)`.
+fn parse_allow(directive: &str) -> Option<(String, String)> {
+    let rest = directive.trim_start().strip_prefix(':')?.trim_start();
+    let rest = rest.strip_prefix("allow")?.trim_start();
+    let rest = rest.strip_prefix('(')?;
+    let inner = &rest[..rest.rfind(')')?];
+    let (rule, reason) = inner.split_once(',')?;
+    let rule = rule.trim();
+    let reason = reason.trim();
+    let rule_ok = !rule.is_empty()
+        && rule.chars().all(|c| c.is_ascii_alphanumeric())
+        && rule.chars().next().is_some_and(|c| c.is_ascii_uppercase());
+    if !rule_ok || reason.is_empty() {
+        return None;
+    }
+    Some((rule.to_string(), reason.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg_all(file: &str) -> LintConfig {
+        LintConfig {
+            r1_files: vec![file.into()],
+            r2_scopes: vec![FnScope { file: file.into(), funcs: vec![] }],
+            r2_arith: vec![FnScope { file: file.into(), funcs: vec![] }],
+            r2_no_waiver_files: vec![],
+            r3_files: vec![file.into()],
+        }
+    }
+
+    #[test]
+    fn trailing_waiver_suppresses_same_line() {
+        let src = "fn f(x: &Vec<u32>) -> Vec<u32> {\n    x.clone() // vapro-lint: allow(R1, cold path)\n}\n";
+        let f = scan_file("a.rs", src, &cfg_all("a.rs"));
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "R1");
+        assert_eq!(f[0].waived.as_deref(), Some("cold path"));
+    }
+
+    #[test]
+    fn whole_line_waiver_covers_next_code_line() {
+        let src = "fn f(x: &Vec<u32>) -> Vec<u32> {\n    // vapro-lint: allow(R1, cold path)\n    x.clone()\n}\n";
+        let f = scan_file("a.rs", src, &cfg_all("a.rs"));
+        assert_eq!(f.len(), 1);
+        assert!(f[0].waived.is_some());
+    }
+
+    #[test]
+    fn unused_and_malformed_waivers_are_findings() {
+        let src = "// vapro-lint: allow(R1, nothing here)\nfn ok() {}\n// vapro-lint: allow(R9)\nfn also_ok() {}\n";
+        let f = scan_file("a.rs", src, &cfg_all("a.rs"));
+        assert_eq!(f.len(), 2);
+        assert!(f.iter().all(|x| x.rule == META_RULE && x.waived.is_none()));
+    }
+
+    #[test]
+    fn waiver_rule_must_match_finding_rule() {
+        let src = "fn f(x: &Vec<u32>) -> Vec<u32> {\n    x.clone() // vapro-lint: allow(R2, wrong rule)\n}\n";
+        let f = scan_file("a.rs", src, &cfg_all("a.rs"));
+        // The R1 finding stays unwaived and the R2 waiver is unused.
+        assert_eq!(f.iter().filter(|x| x.rule == "R1" && x.waived.is_none()).count(), 1);
+        assert_eq!(f.iter().filter(|x| x.rule == META_RULE).count(), 1);
+    }
+
+    #[test]
+    fn no_waiver_files_reject_r2_waivers() {
+        let src = "fn decode(b: &[u8]) -> u8 {\n    b[0] // vapro-lint: allow(R2, trust me)\n}\n";
+        let mut cfg = cfg_all("wire.rs");
+        cfg.r2_no_waiver_files = vec!["wire.rs".into()];
+        let f = scan_file("wire.rs", src, &cfg);
+        // The indexing finding survives unwaived AND the waiver itself is
+        // flagged.
+        assert!(f.iter().any(|x| x.rule == "R2" && x.waived.is_none()));
+        assert!(f.iter().any(|x| x.rule == META_RULE));
+    }
+
+    #[test]
+    fn slice_patterns_and_attrs_are_not_indexing() {
+        let src = "#[derive(Debug)]\nstruct S;\nfn f(v: &[u8]) -> Option<u8> {\n    let [a, _b]: [u8; 2] = [1, 2];\n    let _ = a;\n    v.get(0).copied()\n}\n";
+        let f = scan_file("a.rs", src, &cfg_all("a.rs"));
+        assert!(f.is_empty(), "unexpected findings: {f:?}");
+    }
+
+    #[test]
+    fn test_modules_are_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { let v = vec![1]; let _ = v.clone(); let _ = v[0]; }\n}\n";
+        let f = scan_file("a.rs", src, &cfg_all("a.rs"));
+        assert!(f.is_empty(), "unexpected findings: {f:?}");
+    }
+}

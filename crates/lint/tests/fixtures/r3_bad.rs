@@ -1,0 +1,10 @@
+// R3 fixture: float comparisons that silently misbehave under NaN in
+// numeric ranking code.
+
+pub fn rank(norms: &mut Vec<f64>) {
+    norms.sort_by(|a, b| a.partial_cmp(b).unwrap()); // finding: partial_cmp
+}
+
+pub fn poison() -> f64 {
+    f64::NAN // finding: NaN constant
+}

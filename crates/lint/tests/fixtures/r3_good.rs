@@ -1,0 +1,10 @@
+// R3 fixture twin: total-order float comparison and NaN handled via
+// predicates rather than a NaN constant.
+
+pub fn rank(norms: &mut Vec<f64>) {
+    norms.sort_by(|a, b| a.total_cmp(b));
+}
+
+pub fn finite_only(values: &[f64]) -> Vec<f64> {
+    values.iter().copied().filter(|v| v.is_finite() && !v.is_nan()).collect()
+}

@@ -1,0 +1,104 @@
+//! Fixture-driven rule tests: each rule must fire on its known-bad
+//! fixture and stay silent on the known-good twin, and the waiver
+//! machinery must suppress, report, and complain exactly as specified.
+
+use std::fs;
+use std::path::PathBuf;
+
+use vapro_lint::rules::{scan_file, FnScope, LintConfig, META_RULE};
+
+fn fixture(name: &str) -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name);
+    fs::read_to_string(&path).unwrap_or_else(|e| panic!("fixture {name}: {e}"))
+}
+
+/// Config that applies every rule to exactly one fixture file. R2 is
+/// scoped to the fixture's `decode` function, mirroring the workspace
+/// config's function-level scoping.
+fn cfg_for(file: &str) -> LintConfig {
+    let scope = FnScope { file: file.into(), funcs: vec!["decode".into()] };
+    LintConfig {
+        r1_files: vec![file.into()],
+        r2_scopes: vec![scope.clone()],
+        r2_arith: vec![scope],
+        r2_no_waiver_files: vec![],
+        r3_files: vec![file.into()],
+    }
+}
+
+#[test]
+fn r1_fires_on_every_owned_copy() {
+    let f = scan_file("r1_bad.rs", &fixture("r1_bad.rs"), &cfg_for("r1_bad.rs"));
+    let r1: Vec<_> = f.iter().filter(|x| x.rule == "R1").collect();
+    assert_eq!(r1.len(), 4, "clone/to_vec/cloned/to_owned each fire: {f:#?}");
+    assert!(f.iter().all(|x| x.waived.is_none()));
+}
+
+#[test]
+fn r1_silent_on_borrow_based_twin() {
+    let f = scan_file("r1_good.rs", &fixture("r1_good.rs"), &cfg_for("r1_good.rs"));
+    assert!(f.is_empty(), "good twin must be silent: {f:#?}");
+}
+
+#[test]
+fn r2_fires_on_panicking_decode() {
+    let f = scan_file("r2_bad.rs", &fixture("r2_bad.rs"), &cfg_for("r2_bad.rs"));
+    let r2: Vec<_> = f.iter().filter(|x| x.rule == "R2").collect();
+    assert_eq!(r2.len(), 7, "macro+2 indexing+2 arith+expect+unwrap: {f:#?}");
+    let msgs: Vec<&str> = r2.iter().map(|x| x.message.as_str()).collect();
+    assert!(msgs.iter().any(|m| m.contains("assert!")));
+    assert!(msgs.iter().any(|m| m.contains("slice indexing")));
+    assert!(msgs.iter().any(|m| m.contains("overflow")));
+    assert!(msgs.iter().any(|m| m.contains(".unwrap()")));
+    assert!(msgs.iter().any(|m| m.contains(".expect()")));
+}
+
+#[test]
+fn r2_silent_on_total_decode_twin() {
+    let f = scan_file("r2_good.rs", &fixture("r2_good.rs"), &cfg_for("r2_good.rs"));
+    assert!(f.is_empty(), "good twin must be silent: {f:#?}");
+}
+
+#[test]
+fn r2_ignores_functions_outside_its_scope() {
+    // Same bad source, but scoped to a function that does not exist:
+    // nothing may fire.
+    let scope = FnScope { file: "r2_bad.rs".into(), funcs: vec!["other_fn".into()] };
+    let cfg = LintConfig {
+        r2_scopes: vec![scope.clone()],
+        r2_arith: vec![scope],
+        ..Default::default()
+    };
+    let f = scan_file("r2_bad.rs", &fixture("r2_bad.rs"), &cfg);
+    assert!(f.is_empty(), "out-of-scope fn must be exempt: {f:#?}");
+}
+
+#[test]
+fn r3_fires_on_partial_cmp_and_nan() {
+    let f = scan_file("r3_bad.rs", &fixture("r3_bad.rs"), &cfg_for("r3_bad.rs"));
+    let r3: Vec<_> = f.iter().filter(|x| x.rule == "R3").collect();
+    assert_eq!(r3.len(), 2, "partial_cmp and NAN each fire: {f:#?}");
+}
+
+#[test]
+fn r3_silent_on_total_cmp_twin() {
+    let f = scan_file("r3_good.rs", &fixture("r3_good.rs"), &cfg_for("r3_good.rs"));
+    assert!(f.is_empty(), "good twin must be silent: {f:#?}");
+}
+
+#[test]
+fn waivers_suppress_report_and_complain() {
+    let f = scan_file("waivers.rs", &fixture("waivers.rs"), &cfg_for("waivers.rs"));
+    let waived: Vec<_> = f.iter().filter(|x| x.waived.is_some()).collect();
+    let meta: Vec<_> = f.iter().filter(|x| x.rule == META_RULE).collect();
+    // Trailing + whole-line waivers suppress their R1 findings…
+    assert_eq!(waived.len(), 2, "{f:#?}");
+    assert!(waived.iter().any(|x| x.waived.as_deref() == Some("cold path, runs once per report")));
+    assert!(waived.iter().any(|x| x.waived.as_deref() == Some("snapshot for the report")));
+    // …while the unused and the malformed directives become findings.
+    assert_eq!(meta.len(), 2, "{f:#?}");
+    assert!(meta.iter().any(|x| x.message.contains("unused waiver")));
+    assert!(meta.iter().any(|x| x.message.contains("malformed directive")));
+    // Nothing else slipped through unwaived.
+    assert_eq!(f.len(), 4, "{f:#?}");
+}

@@ -295,11 +295,19 @@ pub fn run_property<S: Strategy>(
         (h ^ b as u64).wrapping_mul(0x100_0000_01b3)
     });
     let mut rng = TestRng::new(seed);
-    for case in 0..config.cases {
+    // `PROPTEST_CASES` caps the per-property case count from the
+    // environment, so expensive interpreters (Miri in CI) can run the
+    // same suites with a bounded budget. It only ever *lowers* the
+    // configured count.
+    let cases = match std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse::<u32>().ok()) {
+        Some(cap) => config.cases.min(cap.max(1)),
+        None => config.cases,
+    };
+    for case in 0..cases {
         let value = strategy.generate(&mut rng);
         let debug = format!("{value:?}");
         if let Err(e) = body(value) {
-            panic!("property {name} failed at case {case}/{}: {e}\ninput: {debug}", config.cases);
+            panic!("property {name} failed at case {case}/{cases}: {e}\ninput: {debug}");
         }
     }
 }
