@@ -15,7 +15,7 @@
 //! throughput drops beyond 20 % are reported as warnings before the file
 //! is overwritten.
 
-use vapro_bench::{diagnose, regression};
+use vapro_bench::{diagnose, regression, stats};
 
 fn usage() -> ! {
     eprintln!(
@@ -58,7 +58,7 @@ fn main() {
         }
     }
 
-    let report = diagnose::measure(ranks, fragments.max(ranks) / ranks, sites, cols, reps);
+    let mut report = diagnose::measure(ranks, fragments.max(ranks) / ranks, sites, cols, reps);
     print!("{}", diagnose::summary(&report));
 
     // The batching acceptance targets, enforced on optimised builds only
@@ -85,8 +85,9 @@ fn main() {
         }
     }
 
-    if let Some(previous) = regression::load_previous_diagnose(&out) {
-        let warnings = regression::diagnose_regression_warnings(&previous, &report);
+    let previous = regression::load_previous_diagnose(&out);
+    if let Some(previous) = &previous {
+        let warnings = regression::diagnose_regression_warnings(previous, &report);
         if warnings.is_empty() {
             println!("no throughput regression vs previous {out}");
         }
@@ -94,6 +95,18 @@ fn main() {
             eprintln!("WARNING: {w}");
         }
     }
+    report.history = stats::extend_history(
+        previous.as_ref().map(|p| p.history.as_slice()),
+        stats::trend_point(
+            report.threads,
+            &[
+                ("naive_regions_per_sec", report.naive_regions_per_sec),
+                ("batch_seq_regions_per_sec", report.batch_seq_regions_per_sec),
+                ("batch_regions_per_sec", report.batch_regions_per_sec),
+                ("batch_speedup", report.batch_speedup),
+            ],
+        ),
+    );
 
     let json = serde_json::to_string(&report).expect("serialisable report");
     match std::fs::write(&out, &json) {

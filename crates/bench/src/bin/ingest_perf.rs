@@ -14,7 +14,7 @@
 //! JSON, ≥5× faster decode, integrity checking costing <10 % of the
 //! fault-free end-to-end ingest rate) are checked and failed loudly.
 
-use vapro_bench::{ingest, regression};
+use vapro_bench::{ingest, regression, stats};
 
 fn usage() -> ! {
     eprintln!(
@@ -55,7 +55,7 @@ fn main() {
         }
     }
 
-    let report = ingest::measure(ranks, fragments.max(ranks) / ranks, 32, periods, reps);
+    let mut report = ingest::measure(ranks, fragments.max(ranks) / ranks, 32, periods, reps);
     print!("{}", ingest::summary(&report));
 
     // The wire-format acceptance targets, enforced on optimised builds
@@ -82,8 +82,9 @@ fn main() {
         }
     }
 
-    if let Some(previous) = regression::load_previous_ingest(&out) {
-        let warnings = regression::ingest_regression_warnings(&previous, &report);
+    let previous = regression::load_previous_ingest(&out);
+    if let Some(previous) = &previous {
+        let warnings = regression::ingest_regression_warnings(previous, &report);
         if warnings.is_empty() {
             println!("no throughput regression vs previous {out}");
         }
@@ -91,6 +92,19 @@ fn main() {
             eprintln!("WARNING: {w}");
         }
     }
+    report.history = stats::extend_history(
+        previous.as_ref().map(|p| p.history.as_slice()),
+        stats::trend_point(
+            report.threads,
+            &[
+                ("encode_fragments_per_sec", report.encode_fragments_per_sec),
+                ("decode_fragments_per_sec", report.decode_fragments_per_sec),
+                ("ingest_fragments_per_sec", report.ingest_fragments_per_sec),
+                ("size_ratio", report.size_ratio),
+                ("integrity_overhead_frac", report.integrity_overhead_frac),
+            ],
+        ),
+    );
 
     let json = serde_json::to_string(&report).expect("serialisable report");
     match std::fs::write(&out, &json) {

@@ -6,12 +6,14 @@
 //! ```
 //!
 //! Defaults measure the acceptance configuration: a 4-rank synthetic run
-//! with 8000 computation fragments fanned over 32 call sites. If a
-//! previous `BENCH_detect.json` exists at the output path, throughput
-//! drops beyond 20 % are reported as warnings before the file is
+//! with 8000 computation fragments fanned over 32 call sites, every
+//! timed metric a median over ≥30 warmed-up samples. If a previous
+//! `BENCH_detect.json` exists at the output path, throughput drops
+//! beyond the measured noise (20 % floor) are reported as warnings and
+//! its trend history is carried into the fresh file before it is
 //! overwritten.
 
-use vapro_bench::{perf, regression};
+use vapro_bench::{perf, regression, stats};
 
 fn usage() -> ! {
     eprintln!("usage: perf [--out PATH] [--fragments N] [--ranks N] [--reps N]");
@@ -48,11 +50,12 @@ fn main() {
         }
     }
 
-    let report = perf::measure(ranks, fragments.max(ranks) / ranks, 32, 64, reps, 100_000);
+    let mut report = perf::measure(ranks, fragments.max(ranks) / ranks, 32, 64, reps, 100_000);
     print!("{}", perf::summary(&report));
 
-    if let Some(previous) = regression::load_previous_perf(&out) {
-        let warnings = regression::perf_regression_warnings(&previous, &report);
+    let previous = regression::load_previous_perf(&out);
+    if let Some(previous) = &previous {
+        let warnings = regression::perf_regression_warnings(previous, &report);
         if warnings.is_empty() {
             println!("no throughput regression vs previous {out}");
         }
@@ -60,6 +63,18 @@ fn main() {
             eprintln!("WARNING: {w}");
         }
     }
+    report.history = stats::extend_history(
+        previous.as_ref().map(|p| p.history.as_slice()),
+        stats::trend_point(
+            report.threads,
+            &[
+                ("seq_fragments_per_sec", report.seq_fragments_per_sec),
+                ("par_fragments_per_sec", report.par_fragments_per_sec),
+                ("cluster_vectors_per_sec", report.cluster_vectors_per_sec),
+                ("pruned_speedup", report.pruned_speedup),
+            ],
+        ),
+    );
 
     let json = serde_json::to_string(&report).expect("serialisable report");
     match std::fs::write(&out, &json) {

@@ -19,9 +19,11 @@
 //! [`Fragment`] clones while the naive loop pays thousands. The
 //! `diagnose_perf` binary writes the result as `BENCH_diagnose.json`;
 //! [`crate::regression`] compares a fresh run against the previous file
-//! under the same 20 % tolerance as the other gates.
+//! under the same noise-aware tolerance as the other gates (every timed
+//! metric is a median over ≥30 warmed-up samples; see [`crate::stats`]).
 
-use crate::perf::{best_of_ns, detected_threads};
+use crate::perf::detected_threads;
+use crate::stats::{self, TrendPoint};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
@@ -53,18 +55,28 @@ pub struct DiagnosePerf {
     pub regions: usize,
     /// Regions that produced a diagnosis report.
     pub diagnosed: usize,
-    /// Best-of-reps wall time of the naive per-region loop, ns.
+    /// Timed samples per metric (after warmup); at least
+    /// [`stats::MIN_SAMPLES`]. Zero on reports predating the
+    /// multi-sample methodology.
+    pub samples: usize,
+    /// Median-of-samples wall time of the naive per-region loop, ns.
     pub naive_ns: f64,
-    /// Best-of-reps wall time of the sequential batch (incl. the merge), ns.
+    /// Median-of-samples wall time of the sequential batch (incl. the merge), ns.
     pub batch_seq_ns: f64,
-    /// Best-of-reps wall time of the parallel batch (incl. the merge), ns.
+    /// Median-of-samples wall time of the parallel batch (incl. the merge), ns.
     pub batch_ns: f64,
-    /// Naive loop throughput, regions/second.
+    /// Naive loop throughput, regions/second (from the median).
     pub naive_regions_per_sec: f64,
-    /// Sequential batch throughput, regions/second.
+    /// Relative noise of the naive timing (MAD/median).
+    pub naive_noise_frac: f64,
+    /// Sequential batch throughput, regions/second (from the median).
     pub batch_seq_regions_per_sec: f64,
-    /// Parallel batch throughput, regions/second.
+    /// Relative noise of the sequential batch timing (MAD/median).
+    pub batch_seq_noise_frac: f64,
+    /// Parallel batch throughput, regions/second (from the median).
     pub batch_regions_per_sec: f64,
+    /// Relative noise of the parallel batch timing (MAD/median).
+    pub batch_noise_frac: f64,
     /// `naive_ns / batch_seq_ns` — the algorithmic win of merge-once +
     /// interval index + cluster reuse, independent of thread count.
     pub batch_speedup: f64,
@@ -75,6 +87,9 @@ pub struct DiagnosePerf {
     pub naive_fragment_clones: u64,
     /// [`Fragment`] clones one full batch pass performs (must be 0).
     pub batch_fragment_clones: u64,
+    /// One headline point per harness run, carried forward from the
+    /// previous BENCH file (bounded; see [`stats::MAX_TREND_POINTS`]).
+    pub history: Vec<TrendPoint>,
 }
 
 /// Build per-rank STGs with enough counter depth to diagnose: `sites`
@@ -236,9 +251,10 @@ pub fn naive_diagnose_region(
 }
 
 /// Run the full measurement: equivalence first, then clone accounting,
-/// then best-of-`reps` timings of all three paths. The batch timings
-/// include their single merge — the naive loop pays one merge *per
-/// region*, and that difference is the point.
+/// then multi-sample timings of all three paths (`reps` requested
+/// samples, floored at [`stats::MIN_SAMPLES`], after a warmup phase).
+/// The batch timings include their single merge — the naive loop pays
+/// one merge *per region*, and that difference is the point.
 pub fn measure(
     nranks: usize,
     frags_per_rank: usize,
@@ -273,14 +289,14 @@ pub fn measure(
     std::hint::black_box(diagnose_regions(&merged, &rois, &cfg).len());
     let batch_fragment_clones = clone_count::in_process() - before;
 
-    let naive_ns = best_of_ns(reps, || {
+    let naive = stats::sample_ns(reps, || {
         rois.iter().filter_map(|r| naive_diagnose_region(&stgs, r, &cfg)).count()
     });
-    let batch_seq_ns = best_of_ns(reps, || {
+    let batch_seq = stats::sample_ns(reps, || {
         let m = merge_stgs(&stgs);
         diagnose_regions_seq(&m, &rois, &cfg).len()
     });
-    let batch_ns = best_of_ns(reps, || {
+    let batch = stats::sample_ns(reps, || {
         let m = merge_stgs(&stgs);
         diagnose_regions(&m, &rois, &cfg).len()
     });
@@ -295,24 +311,30 @@ pub fn measure(
         locations,
         regions: rois.len(),
         diagnosed,
-        naive_ns,
-        batch_seq_ns,
-        batch_ns,
-        naive_regions_per_sec: per_sec(rois.len(), naive_ns),
-        batch_seq_regions_per_sec: per_sec(rois.len(), batch_seq_ns),
-        batch_regions_per_sec: per_sec(rois.len(), batch_ns),
-        batch_speedup: naive_ns / batch_seq_ns,
-        parallel_speedup: (threads > 1).then_some(batch_seq_ns / batch_ns),
+        samples: naive.samples,
+        naive_ns: naive.median_ns,
+        batch_seq_ns: batch_seq.median_ns,
+        batch_ns: batch.median_ns,
+        naive_regions_per_sec: per_sec(rois.len(), naive.median_ns),
+        naive_noise_frac: naive.noise_frac(),
+        batch_seq_regions_per_sec: per_sec(rois.len(), batch_seq.median_ns),
+        batch_seq_noise_frac: batch_seq.noise_frac(),
+        batch_regions_per_sec: per_sec(rois.len(), batch.median_ns),
+        batch_noise_frac: batch.noise_frac(),
+        batch_speedup: naive.median_ns / batch_seq.median_ns,
+        parallel_speedup: (threads > 1).then_some(batch_seq.median_ns / batch.median_ns),
         naive_fragment_clones,
         batch_fragment_clones,
+        history: Vec::new(),
     }
 }
 
 /// The defaults the acceptance measurement uses: 4 ranks × 400
 /// fragments/rank over 18 sites (36 fragment-bearing merged locations),
-/// an 8-column selection grid on top of the detected regions, best of 3.
+/// an 8-column selection grid on top of the detected regions, 30
+/// samples per metric.
 pub fn measure_default() -> DiagnosePerf {
-    measure(4, 400, 18, 8, 3)
+    measure(4, 400, 18, 8, stats::MIN_SAMPLES)
 }
 
 /// Human summary of one report.
@@ -322,25 +344,29 @@ pub fn summary(p: &DiagnosePerf) -> String {
         None => "n/a (1 thread)".to_string(),
     };
     format!(
-        "diagnose: {} regions ({} diagnosed) / {} fragments / {} locations / {} ranks / {} threads\n\
-         naive:     {:>8.0} regions/s ({:.2} ms)  merge+recluster per region, {} Fragment clones\n\
-         batch-seq: {:>8.0} regions/s ({:.2} ms)  {:.1}x over naive, {} Fragment clones\n\
-         batch-par: {:>8.0} regions/s ({:.2} ms)  parallel speedup {}\n",
+        "diagnose: {} regions ({} diagnosed) / {} fragments / {} locations / {} ranks / {} threads / median of {} samples\n\
+         naive:     {:>8.0} regions/s ({:.2} ms, ±{:.1}% MAD)  merge+recluster per region, {} Fragment clones\n\
+         batch-seq: {:>8.0} regions/s ({:.2} ms, ±{:.1}% MAD)  {:.1}x over naive, {} Fragment clones\n\
+         batch-par: {:>8.0} regions/s ({:.2} ms, ±{:.1}% MAD)  parallel speedup {}\n",
         p.regions,
         p.diagnosed,
         p.fragments,
         p.locations,
         p.ranks,
         p.threads,
+        p.samples,
         p.naive_regions_per_sec,
         p.naive_ns / 1e6,
+        p.naive_noise_frac * 100.0,
         p.naive_fragment_clones,
         p.batch_seq_regions_per_sec,
         p.batch_seq_ns / 1e6,
+        p.batch_seq_noise_frac * 100.0,
         p.batch_speedup,
         p.batch_fragment_clones,
         p.batch_regions_per_sec,
         p.batch_ns / 1e6,
+        p.batch_noise_frac * 100.0,
         par,
     )
 }

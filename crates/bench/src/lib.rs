@@ -31,6 +31,7 @@ pub mod fig19_raxml_io;
 pub mod ingest;
 pub mod perf;
 pub mod regression;
+pub mod stats;
 pub mod storage;
 pub mod table1;
 pub mod table2;

@@ -3,9 +3,16 @@
 //! Measures the end-to-end `detect` pipeline — sequential reference vs
 //! the rayon fan-out — on a synthetic multi-rank STG whose size and
 //! location count are controlled, plus the clustering kernel's pruned vs
-//! unpruned throughput. The `perf` binary writes the result as
+//! unpruned throughput. The clustering measurement runs over a prebuilt
+//! contiguous lane matrix — the form [`vapro_core::ColumnarPool`]
+//! actually holds in memory — so the number prices the kernel, not a
+//! per-call AoS→SoA conversion the production path never performs.
+//!
+//! Every timed metric follows the [`crate::stats`] methodology: warmup,
+//! ≥30 samples, median + MAD. The `perf` binary writes the result as
 //! `BENCH_detect.json`; [`crate::regression`] compares a fresh run
-//! against the previous file and warns on >20 % throughput drops.
+//! against the previous file and warns on throughput drops beyond the
+//! measured noise (20 % floor).
 //!
 //! The parallel numbers scale with `threads` (recorded in the report):
 //! on a single-core runner the fan-out degenerates to a work queue
@@ -14,11 +21,11 @@
 //! overhead, not the code) and regression gating keys on the
 //! *sequential* throughput.
 
+use crate::stats::{self, TrendPoint};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
-use std::time::Instant;
-use vapro_core::clustering::{cluster_vectors, cluster_vectors_unpruned};
+use vapro_core::clustering::{cluster_lanes, cluster_vectors_unpruned};
 use vapro_core::detect::pipeline::{detect, detect_seq};
 use vapro_core::{Fragment, FragmentKind, StateKey, Stg, VaproConfig};
 use vapro_pmu::{CounterDelta, CounterId};
@@ -37,26 +44,42 @@ pub struct DetectPerf {
     pub fragments: usize,
     /// Merged STG locations (vertices + edges) the fan-out distributes.
     pub locations: usize,
-    /// Best-of-reps wall time of the sequential pipeline, ns.
+    /// Timed samples per metric (after warmup); at least
+    /// [`stats::MIN_SAMPLES`]. Zero on reports predating the
+    /// multi-sample methodology.
+    pub samples: usize,
+    /// Median-of-samples wall time of the sequential pipeline, ns.
     pub seq_ns: f64,
-    /// Best-of-reps wall time of the parallel pipeline, ns.
+    /// Median-of-samples wall time of the parallel pipeline, ns.
     pub par_ns: f64,
-    /// Sequential throughput, fragments/second.
+    /// Sequential throughput, fragments/second (from the median).
     pub seq_fragments_per_sec: f64,
-    /// Parallel throughput, fragments/second.
+    /// Relative noise of the sequential timing (MAD/median); the
+    /// regression gate widens its tolerance to cover it.
+    pub seq_noise_frac: f64,
+    /// Parallel throughput, fragments/second (from the median).
     pub par_fragments_per_sec: f64,
+    /// Relative noise of the parallel timing (MAD/median).
+    pub par_noise_frac: f64,
     /// `seq_ns / par_ns`, or `None` on single-core runners (1 detected
     /// thread), where the ratio says nothing about the code. A previous
     /// report with a plain number still deserialises (into `Some`).
     pub speedup: Option<f64>,
     /// Vectors in the clustering kernel measurement.
     pub cluster_vectors: usize,
-    /// Norm-pruned clustering throughput, vectors/second.
+    /// Norm-pruned clustering throughput over a prebuilt contiguous
+    /// `n × dim` lane matrix (the columnar in-memory form),
+    /// vectors/second (from the median).
     pub cluster_vectors_per_sec: f64,
+    /// Relative noise of the clustering timing (MAD/median).
+    pub cluster_noise_frac: f64,
     /// Exhaustive-reference clustering throughput, vectors/second.
     pub unpruned_cluster_vectors_per_sec: f64,
     /// Pruned over unpruned throughput.
     pub pruned_speedup: f64,
+    /// One headline point per harness run, carried forward from the
+    /// previous BENCH file (bounded; see [`stats::MAX_TREND_POINTS`]).
+    pub history: Vec<TrendPoint>,
 }
 
 /// Build per-rank STGs for the throughput measurement: `sites` call
@@ -150,18 +173,9 @@ pub fn detected_threads() -> usize {
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
 }
 
-pub(crate) fn best_of_ns<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
-    let mut best = f64::INFINITY;
-    for _ in 0..reps.max(1) {
-        let t = Instant::now();
-        std::hint::black_box(f());
-        best = best.min(t.elapsed().as_nanos() as f64);
-    }
-    best
-}
-
 /// Run the full measurement. `frags_per_rank × nranks` is the fragment
-/// budget; `reps` is best-of repetitions per timed pipeline.
+/// budget; `reps` is the requested timed samples per metric, floored at
+/// [`stats::MIN_SAMPLES`] and preceded by a warmup phase.
 pub fn measure(
     nranks: usize,
     frags_per_rank: usize,
@@ -184,12 +198,21 @@ pub fn measure(
     assert_eq!(seq_out.series, par_out.series, "parallel detect diverged");
     assert_eq!(seq_out.rare_paths, par_out.rare_paths, "parallel detect diverged");
 
-    let seq_ns = best_of_ns(reps, || detect_seq(&stgs, nranks, bins, &cfg));
-    let par_ns = best_of_ns(reps, || detect(&stgs, nranks, bins, &cfg));
+    let seq = stats::sample_ns(reps, || detect_seq(&stgs, nranks, bins, &cfg));
+    let par = stats::sample_ns(reps, || detect(&stgs, nranks, bins, &cfg));
 
-    let vectors = synthetic_vectors(cluster_n, 16, 3, 0x5EED);
-    let pruned_ns = best_of_ns(reps, || cluster_vectors(&vectors, 0.05, 5));
-    let unpruned_ns = best_of_ns(reps, || cluster_vectors_unpruned(&vectors, 0.05, 5));
+    // The clustering kernel is measured over the lane matrix it runs on
+    // in production: the columnar pool already stores workload vectors
+    // row-major and contiguous, so the flatten happens once at build
+    // time, not per clustering pass.
+    let dim = 3;
+    let vectors = synthetic_vectors(cluster_n, 16, dim, 0x5EED);
+    let mut lanes = Vec::with_capacity(cluster_n * dim);
+    for v in &vectors {
+        lanes.extend_from_slice(v);
+    }
+    let pruned = stats::sample_ns(reps, || cluster_lanes(&lanes, cluster_n, dim, 0.05, 5));
+    let unpruned = stats::sample_ns(reps, || cluster_vectors_unpruned(&vectors, 0.05, 5));
 
     let threads = detected_threads();
     let per_sec = |count: usize, ns: f64| count as f64 / (ns / 1e9);
@@ -199,22 +222,28 @@ pub fn measure(
         ranks: nranks,
         fragments,
         locations,
-        seq_ns,
-        par_ns,
-        seq_fragments_per_sec: per_sec(fragments, seq_ns),
-        par_fragments_per_sec: per_sec(fragments, par_ns),
-        speedup: (threads > 1).then_some(seq_ns / par_ns),
+        samples: seq.samples,
+        seq_ns: seq.median_ns,
+        par_ns: par.median_ns,
+        seq_fragments_per_sec: per_sec(fragments, seq.median_ns),
+        seq_noise_frac: seq.noise_frac(),
+        par_fragments_per_sec: per_sec(fragments, par.median_ns),
+        par_noise_frac: par.noise_frac(),
+        speedup: (threads > 1).then_some(seq.median_ns / par.median_ns),
         cluster_vectors: cluster_n,
-        cluster_vectors_per_sec: per_sec(cluster_n, pruned_ns),
-        unpruned_cluster_vectors_per_sec: per_sec(cluster_n, unpruned_ns),
-        pruned_speedup: unpruned_ns / pruned_ns,
+        cluster_vectors_per_sec: per_sec(cluster_n, pruned.median_ns),
+        cluster_noise_frac: pruned.noise_frac(),
+        unpruned_cluster_vectors_per_sec: per_sec(cluster_n, unpruned.median_ns),
+        pruned_speedup: unpruned.median_ns / pruned.median_ns,
+        history: Vec::new(),
     }
 }
 
 /// The defaults the acceptance measurement uses: 4 ranks × 2000
-/// fragments/rank (8k total), 32 sites, 64 heat-map bins, best of 3.
+/// fragments/rank (8k total), 32 sites, 64 heat-map bins, 30 samples
+/// per metric.
 pub fn measure_default() -> DetectPerf {
-    measure(4, 2000, 32, 64, 3, 100_000)
+    measure(4, 2000, 32, 64, stats::MIN_SAMPLES, 100_000)
 }
 
 /// Human summary of one report.
@@ -224,20 +253,24 @@ pub fn summary(p: &DetectPerf) -> String {
         None => "speedup n/a (1 thread)".to_string(),
     };
     format!(
-        "detect: {} fragments / {} ranks / {} locations / {} threads\n\
-         sequential: {:>10.0} fragments/s ({:.2} ms)\n\
-         parallel:   {:>10.0} fragments/s ({:.2} ms)  {}\n\
-         clustering: {:>10.0} vectors/s pruned, {:.0} vectors/s unpruned ({:.2}x)\n",
+        "detect: {} fragments / {} ranks / {} locations / {} threads / median of {} samples\n\
+         sequential: {:>10.0} fragments/s ({:.2} ms, ±{:.1}% MAD)\n\
+         parallel:   {:>10.0} fragments/s ({:.2} ms, ±{:.1}% MAD)  {}\n\
+         clustering: {:>10.0} vectors/s pruned lanes (±{:.1}% MAD), {:.0} vectors/s unpruned ({:.2}x)\n",
         p.fragments,
         p.ranks,
         p.locations,
         p.threads,
+        p.samples,
         p.seq_fragments_per_sec,
         p.seq_ns / 1e6,
+        p.seq_noise_frac * 100.0,
         p.par_fragments_per_sec,
         p.par_ns / 1e6,
+        p.par_noise_frac * 100.0,
         speedup,
         p.cluster_vectors_per_sec,
+        p.cluster_noise_frac * 100.0,
         p.unpruned_cluster_vectors_per_sec,
         p.pruned_speedup,
     )
@@ -280,6 +313,13 @@ mod tests {
         }
         assert!(p.cluster_vectors_per_sec > 0.0);
         assert!(p.threads >= 1);
+        // The multi-sample methodology: at least the floor, with finite
+        // recorded noise for the gate to price in.
+        assert!(p.samples >= crate::stats::MIN_SAMPLES);
+        assert!(p.seq_noise_frac.is_finite() && p.seq_noise_frac >= 0.0);
+        assert!(p.par_noise_frac.is_finite() && p.par_noise_frac >= 0.0);
+        assert!(p.cluster_noise_frac.is_finite() && p.cluster_noise_frac >= 0.0);
+        assert!(p.history.is_empty(), "history is appended by the binary, not measure()");
     }
 
     #[test]

@@ -96,26 +96,57 @@ pub fn run(opts: &ExpOpts) -> String {
 // Harness-throughput regression gate: the same idea applied to the tool
 // itself. The `perf` binary records `BENCH_detect.json`; a later run is
 // compared against the previous file and any throughput metric that
-// dropped by more than `PERF_REGRESSION_TOLERANCE` is reported.
+// dropped beyond what the measured noise can explain is reported. Each
+// timed metric carries its relative MAD (see `crate::stats`); the gate's
+// tolerance is the fixed floor below, widened on noisy metrics so that
+// a drop inside the host's own jitter band never warns — and a real
+// regression on a quiet metric still does.
 
 use crate::diagnose::DiagnosePerf;
 use crate::ingest::IngestPerf;
 use crate::perf::DetectPerf;
+use crate::stats::variance_tolerance;
 
-/// Relative throughput drop beyond which a warning is emitted (20 %).
+/// Relative throughput drop beyond which a warning is emitted on a
+/// noise-free metric (20 %) — the floor of the variance-aware tolerance.
 pub const PERF_REGRESSION_TOLERANCE: f64 = 0.20;
 
+/// Patch the keys the multi-sample methodology added (`samples`, the
+/// per-metric `*_noise_frac`s, `history`) into a report written before
+/// they existed: zeroed noise keeps the gate at its tolerance floor, an
+/// absent history starts empty. The vendored serde derive has no
+/// `#[serde(default)]`, so absence is repaired here, at load time.
+fn patch_missing_stats(value: &mut serde_json::Value, noise_keys: &[&str]) {
+    if let serde_json::Value::Object(map) = value {
+        for key in noise_keys {
+            map.entry(key.to_string())
+                .or_insert(serde_json::Value::Number(serde_json::Number::Float(0.0)));
+        }
+        map.entry("samples".to_string())
+            .or_insert(serde_json::Value::Number(serde_json::Number::PosInt(0)));
+        map.entry("history".to_string()).or_insert(serde_json::Value::Array(Vec::new()));
+    }
+}
+
 /// Load the previous harness report, if a readable one exists at `path`.
+/// Reports predating the multi-sample methodology still load (see
+/// [`patch_missing_stats`]).
 pub fn load_previous_perf(path: &str) -> Option<DetectPerf> {
     let text = std::fs::read_to_string(path).ok()?;
-    serde_json::from_str(&text).ok()
+    let mut value: serde_json::Value = serde_json::from_str(&text).ok()?;
+    patch_missing_stats(
+        &mut value,
+        &["seq_noise_frac", "par_noise_frac", "cluster_noise_frac"],
+    );
+    serde_json::from_value(&value).ok()
 }
 
 /// Load the previous ingest report, if a readable one exists at `path`.
-/// Reports written before the integrity fields existed still load: the
-/// missing metrics default to zero, which [`check_drop`] skips (a zero
-/// `prev` gates nothing), so the first post-upgrade run establishes the
-/// baseline instead of failing to parse.
+/// Reports written before the integrity fields or the multi-sample
+/// methodology existed still load: the missing metrics default to zero,
+/// which [`check_drop`] skips (a zero `prev` gates nothing), so the
+/// first post-upgrade run establishes the baseline instead of failing
+/// to parse.
 pub fn load_previous_ingest(path: &str) -> Option<IngestPerf> {
     let text = std::fs::read_to_string(path).ok()?;
     let mut value: serde_json::Value = serde_json::from_str(&text).ok()?;
@@ -125,22 +156,37 @@ pub fn load_previous_ingest(path: &str) -> Option<IngestPerf> {
                 .or_insert(serde_json::Value::Number(serde_json::Number::Float(0.0)));
         }
     }
+    patch_missing_stats(
+        &mut value,
+        &["encode_noise_frac", "decode_noise_frac", "ingest_noise_frac"],
+    );
     serde_json::from_value(&value).ok()
 }
 
-/// Load the previous diagnosis report, if a readable one exists at `path`.
+/// Load the previous diagnosis report, if a readable one exists at
+/// `path`. Reports predating the multi-sample methodology still load
+/// (see [`patch_missing_stats`]).
 pub fn load_previous_diagnose(path: &str) -> Option<DiagnosePerf> {
     let text = std::fs::read_to_string(path).ok()?;
-    serde_json::from_str(&text).ok()
+    let mut value: serde_json::Value = serde_json::from_str(&text).ok()?;
+    patch_missing_stats(
+        &mut value,
+        &["naive_noise_frac", "batch_seq_noise_frac", "batch_noise_frac"],
+    );
+    serde_json::from_value(&value).ok()
 }
 
-/// One throughput comparison: warn when `cur` dropped more than
-/// [`PERF_REGRESSION_TOLERANCE`] below `prev`.
-fn check_drop(warnings: &mut Vec<String>, metric: &str, prev: f64, cur: f64) {
-    if prev > 0.0 && cur < prev * (1.0 - PERF_REGRESSION_TOLERANCE) {
+/// One throughput comparison: warn when `cur` dropped more than the
+/// variance-aware `tolerance` below `prev` (see
+/// [`crate::stats::variance_tolerance`] — the floor is
+/// [`PERF_REGRESSION_TOLERANCE`], widened by the measured noise of the
+/// two runs being compared).
+fn check_drop(warnings: &mut Vec<String>, metric: &str, prev: f64, cur: f64, tolerance: f64) {
+    if prev > 0.0 && cur < prev * (1.0 - tolerance) {
         warnings.push(format!(
-            "{metric} regressed {:.0}%: {cur:.0}/s vs previous {prev:.0}/s",
-            (1.0 - cur / prev) * 100.0
+            "{metric} regressed {:.0}%: {cur:.0}/s vs previous {prev:.0}/s (tolerance {:.0}%)",
+            (1.0 - cur / prev) * 100.0,
+            tolerance * 100.0
         ));
     }
 }
@@ -164,12 +210,14 @@ pub fn perf_regression_warnings(previous: &DetectPerf, current: &DetectPerf) -> 
         "sequential detect throughput",
         previous.seq_fragments_per_sec,
         current.seq_fragments_per_sec,
+        variance_tolerance(&[previous.seq_noise_frac, current.seq_noise_frac]),
     );
     check_drop(
         &mut warnings,
         "clustering throughput",
         previous.cluster_vectors_per_sec,
         current.cluster_vectors_per_sec,
+        variance_tolerance(&[previous.cluster_noise_frac, current.cluster_noise_frac]),
     );
     if threads_comparable(previous.threads, current.threads) {
         check_drop(
@@ -177,6 +225,7 @@ pub fn perf_regression_warnings(previous: &DetectPerf, current: &DetectPerf) -> 
             "parallel detect throughput",
             previous.par_fragments_per_sec,
             current.par_fragments_per_sec,
+            variance_tolerance(&[previous.par_noise_frac, current.par_noise_frac]),
         );
     }
     warnings
@@ -193,12 +242,14 @@ pub fn ingest_regression_warnings(previous: &IngestPerf, current: &IngestPerf) -
         "wire encode throughput",
         previous.encode_fragments_per_sec,
         current.encode_fragments_per_sec,
+        variance_tolerance(&[previous.encode_noise_frac, current.encode_noise_frac]),
     );
     check_drop(
         &mut warnings,
         "wire decode throughput",
         previous.decode_fragments_per_sec,
         current.decode_fragments_per_sec,
+        variance_tolerance(&[previous.decode_noise_frac, current.decode_noise_frac]),
     );
     // The size advantage regresses when the ratio *shrinks* — same 20 %
     // tolerance, applied to json-bytes-over-binary-bytes.
@@ -216,6 +267,7 @@ pub fn ingest_regression_warnings(previous: &IngestPerf, current: &IngestPerf) -
             "end-to-end ingest throughput",
             previous.ingest_fragments_per_sec,
             current.ingest_fragments_per_sec,
+            variance_tolerance(&[previous.ingest_noise_frac, current.ingest_noise_frac]),
         );
     }
     warnings
@@ -235,12 +287,14 @@ pub fn diagnose_regression_warnings(
         "naive diagnosis throughput",
         previous.naive_regions_per_sec,
         current.naive_regions_per_sec,
+        variance_tolerance(&[previous.naive_noise_frac, current.naive_noise_frac]),
     );
     check_drop(
         &mut warnings,
         "batched diagnosis throughput",
         previous.batch_seq_regions_per_sec,
         current.batch_seq_regions_per_sec,
+        variance_tolerance(&[previous.batch_seq_noise_frac, current.batch_seq_noise_frac]),
     );
     if threads_comparable(previous.threads, current.threads) {
         check_drop(
@@ -248,6 +302,7 @@ pub fn diagnose_regression_warnings(
             "parallel batched diagnosis throughput",
             previous.batch_regions_per_sec,
             current.batch_regions_per_sec,
+            variance_tolerance(&[previous.batch_noise_frac, current.batch_noise_frac]),
         );
     }
     warnings
@@ -287,15 +342,20 @@ mod tests {
             ranks: 4,
             fragments: 8000,
             locations: 64,
+            samples: 30,
             seq_ns: 1.0,
             par_ns: 1.0,
             seq_fragments_per_sec: seq,
+            seq_noise_frac: 0.0,
             par_fragments_per_sec: par,
+            par_noise_frac: 0.0,
             speedup: (threads > 1).then_some(seq / par),
             cluster_vectors: 100_000,
             cluster_vectors_per_sec: cluster,
+            cluster_noise_frac: 0.0,
             unpruned_cluster_vectors_per_sec: cluster / 2.0,
             pruned_speedup: 2.0,
+            history: Vec::new(),
         }
     }
 
@@ -311,6 +371,60 @@ mod tests {
         assert_eq!(warnings.len(), 2, "{warnings:?}");
         assert!(warnings[0].contains("sequential detect throughput"));
         assert!(warnings[1].contains("clustering throughput"));
+    }
+
+    #[test]
+    fn perf_gate_tolerance_is_variance_aware() {
+        // A 30 % drop on a quiet metric warns (floor is 20 %)…
+        let prev = perf_fixture(1_000_000.0, 2_000_000.0, 5_000_000.0, 4);
+        let bad = perf_fixture(700_000.0, 2_000_000.0, 5_000_000.0, 4);
+        assert_eq!(perf_regression_warnings(&prev, &bad).len(), 1);
+        // …but the same drop is silent when the previous run measured
+        // 10 % relative MAD on that metric (4 x 0.10 = 40 % tolerance):
+        // the drop is inside the host's own jitter band.
+        let mut noisy_prev = prev.clone();
+        noisy_prev.seq_noise_frac = 0.10;
+        assert!(perf_regression_warnings(&noisy_prev, &bad).is_empty());
+        // The current run's noise widens the gate symmetrically.
+        let mut noisy_bad = bad.clone();
+        noisy_bad.seq_noise_frac = 0.10;
+        assert!(perf_regression_warnings(&prev, &noisy_bad).is_empty());
+        // A collapse beyond even the widened band still warns.
+        let collapse = perf_fixture(400_000.0, 2_000_000.0, 5_000_000.0, 4);
+        let warnings = perf_regression_warnings(&noisy_prev, &collapse);
+        assert_eq!(warnings.len(), 1, "{warnings:?}");
+        assert!(warnings[0].contains("tolerance 40%"), "{warnings:?}");
+        // Noise on one metric does not loosen the others: clustering
+        // still gates at the floor.
+        let cluster_bad = perf_fixture(1_000_000.0, 2_000_000.0, 3_400_000.0, 4);
+        assert_eq!(perf_regression_warnings(&noisy_prev, &cluster_bad).len(), 1);
+    }
+
+    #[test]
+    fn previous_perf_loads_reports_predating_the_stats_fields() {
+        // A BENCH_detect.json written before the multi-sample
+        // methodology: strip the new keys and the loader must still
+        // parse it, with zeroed noise (gating at the 20 % floor) and an
+        // empty history.
+        let fixture = perf_fixture(1_000_000.0, 2_000_000.0, 5_000_000.0, 4);
+        let mut value = serde_json::to_value(&fixture).expect("serialises");
+        if let serde_json::Value::Object(map) = &mut value {
+            for key in
+                ["samples", "seq_noise_frac", "par_noise_frac", "cluster_noise_frac", "history"]
+            {
+                map.remove(key);
+            }
+        }
+        let dir = std::env::temp_dir().join("vapro_perf_stats_gate_test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("BENCH_detect.json");
+        std::fs::write(&path, serde_json::to_string(&value).expect("serialises"))
+            .expect("writes");
+        let loaded = load_previous_perf(path.to_str().expect("utf8 path")).expect("loads");
+        assert_eq!(loaded.samples, 0);
+        assert_eq!(loaded.seq_noise_frac, 0.0);
+        assert!(loaded.history.is_empty());
+        assert!(perf_regression_warnings(&loaded, &fixture).is_empty());
     }
 
     #[test]
@@ -337,17 +451,22 @@ mod tests {
             windows: 24,
             binary_bytes: 300_000,
             json_bytes: (300_000.0 * ratio) as usize,
+            samples: 30,
             binary_bytes_per_fragment: 37.5,
             json_bytes_per_fragment: 37.5 * ratio,
             size_ratio: ratio,
             encode_fragments_per_sec: encode,
+            encode_noise_frac: 0.0,
             decode_fragments_per_sec: decode,
+            decode_noise_frac: 0.0,
             json_encode_fragments_per_sec: encode / 10.0,
             json_decode_fragments_per_sec: decode / 8.0,
             decode_speedup: 8.0,
             ingest_fragments_per_sec: e2e,
+            ingest_noise_frac: 0.0,
             ingest_v1_fragments_per_sec: e2e * 1.05,
             integrity_overhead_frac: 1.0 - 1.0 / 1.05,
+            history: Vec::new(),
         }
     }
 
@@ -379,16 +498,21 @@ mod tests {
             locations: 36,
             regions: 34,
             diagnosed: 20,
+            samples: 30,
             naive_ns: 1.0,
             batch_seq_ns: 1.0,
             batch_ns: 1.0,
             naive_regions_per_sec: naive,
+            naive_noise_frac: 0.0,
             batch_seq_regions_per_sec: batch_seq,
+            batch_seq_noise_frac: 0.0,
             batch_regions_per_sec: batch,
+            batch_noise_frac: 0.0,
             batch_speedup: batch_seq / naive,
             parallel_speedup: (threads > 1).then_some(batch / batch_seq),
             naive_fragment_clones: 50_000,
             batch_fragment_clones: 0,
+            history: Vec::new(),
         }
     }
 

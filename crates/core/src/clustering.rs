@@ -99,6 +99,20 @@ fn sorted_by_norm(vectors: &[Vec<f64>]) -> (Vec<f64>, Vec<usize>) {
     (norms, order)
 }
 
+/// Map an `f64` to a `u64` whose unsigned order equals the IEEE-754
+/// total order (`f64::total_cmp`). Sorting packed `(key, index)` pairs
+/// with an unstable integer sort then reproduces a *stable*
+/// `sort_by(total_cmp)` exactly: equal keys are ordered by original
+/// index, which is precisely what stability means — while the sort
+/// itself compares plain integers instead of chasing floats through an
+/// indirection.
+#[inline(always)]
+fn total_cmp_key(x: f64) -> u64 {
+    let bits = x.to_bits() as i64;
+    let mapped = bits ^ ((((bits >> 63) as u64) >> 1) as i64);
+    (mapped as u64) ^ (1u64 << 63)
+}
+
 fn check_dimensions(vectors: &[Vec<f64>], threshold: f64) {
     assert!(threshold > 0.0 && threshold < 1.0, "threshold out of range");
     if let Some(first) = vectors.first() {
@@ -151,22 +165,225 @@ pub fn cluster_vectors(
     if n == 0 {
         return ClusterOutcome { usable: vec![], rare: vec![] };
     }
-    let (norms, order) = sorted_by_norm(vectors);
+    let dim = vectors.first().map(Vec::len).unwrap_or(0);
+    let mut data = Vec::with_capacity(n * dim);
+    for v in vectors {
+        data.extend_from_slice(v);
+    }
+    cluster_lanes(&data, n, dim, threshold, min_cluster_size)
+}
 
-    // skip[p] = next possibly-unassigned sorted position ≥ p.
+/// Below this population the norm sort is a plain `sort_unstable` over
+/// the packed records: a counting sort's histogram setup costs more than
+/// it saves, and the detection pipeline sorts thousands of small
+/// per-location pools per run.
+const RADIX_MIN_N: usize = 1 << 12;
+
+/// Radix digit width. 11-bit digits give 2048 scatter streams — the
+/// active destination lines fit comfortably in L2, where the previous
+/// 16-bit digits fanned writes across 65536 streams (and needed 512 KiB
+/// of histogram zeroed per call, which dominated small inputs entirely).
+const RADIX_DIGIT_BITS: u32 = 11;
+const RADIX_BUCKETS: usize = 1 << RADIX_DIGIT_BITS;
+
+/// Cluster a contiguous row-major `n × dim` matrix of workload vectors —
+/// the SoA-native form of [`cluster_vectors`] and the kernel every other
+/// entry point lowers to. The whole pipeline runs over adjacent memory:
+///
+/// 1. norms and sort keys are built in one streaming pass over the flat
+///    strip, packed as `truncated_key << 32 | index` — one `u64` per
+///    vector, where the 32-bit key is the high half of the monotone
+///    [`total_cmp_key`] bit-map (truncating a monotone map is monotone);
+/// 2. the packed records are sorted — `sort_unstable` for small pools, a
+///    three-pass 11-bit LSD radix for large ones (integer order on the
+///    packed record = key order with index tie-break = *stable* key
+///    order) — then the rare equal-truncated-key runs are repaired with
+///    the exact 64-bit total-order key, which together is bit-identical
+///    to a stable `sort_by(total_cmp)` with no float comparisons at all;
+/// 3. the absorb scan walks the sorted norm lane sequentially and
+///    evaluates distances row against row over contiguous memory, with
+///    the kernel specialised for the small dimensions workload proxies
+///    actually have.
+pub fn cluster_lanes(
+    data: &[f64],
+    n: usize,
+    dim: usize,
+    threshold: f64,
+    min_cluster_size: usize,
+) -> ClusterOutcome {
+    assert!(threshold > 0.0 && threshold < 1.0, "threshold out of range");
+    assert_eq!(data.len(), n * dim, "lane data must be a dense n x dim matrix");
+    assert!(n <= u32::MAX as usize, "population exceeds the u32 index space");
+    if n == 0 {
+        return ClusterOutcome { usable: vec![], rare: vec![] };
+    }
+
+    // One streaming pass: norms and packed (truncated key, index) records.
+    let mut norms: Vec<f64> = Vec::with_capacity(n);
+    let mut keyed: Vec<u64> = Vec::with_capacity(n);
+    for i in 0..n {
+        let row = &data[i * dim..(i + 1) * dim];
+        let norm = row.iter().map(|x| x * x).sum::<f64>().sqrt();
+        norms.push(norm);
+        keyed.push((total_cmp_key(norm) & !0xFFFF_FFFF) | i as u64);
+    }
+
+    if n < RADIX_MIN_N {
+        keyed.sort_unstable();
+    } else {
+        radix_sort_packed(&mut keyed);
+    }
+
+    // Repair runs whose truncated keys collide using the exact 64-bit
+    // total-order key (ties broken by original index — the stability
+    // guarantee). Runs are tiny for real norm distributions; a fully
+    // degenerate input degrades to one comparison sort, never to a wrong
+    // order.
+    let mut s = 0usize;
+    while s < n {
+        let mut e = s + 1;
+        while e < n && keyed[e] >> 32 == keyed[s] >> 32 {
+            e += 1;
+        }
+        if e - s > 1 {
+            keyed[s..e].sort_unstable_by_key(|&k| {
+                let i = (k & 0xFFFF_FFFF) as u32;
+                (total_cmp_key(norms[i as usize]), i)
+            });
+        }
+        s = e;
+    }
+
+    // Sorted norm lane: the scan's window check then streams forward.
+    let mut snorms: Vec<f64> = Vec::with_capacity(n);
+    let mut order: Vec<u32> = Vec::with_capacity(n);
+    for &k in &keyed {
+        let idx = (k & 0xFFFF_FFFF) as u32;
+        snorms.push(norms[idx as usize]);
+        order.push(idx);
+    }
+
+    // Large populations additionally permute the rows into sorted order:
+    // the absorb scan then streams *forward* through memory instead of
+    // gathering one out-of-order row (one cache miss) per candidate. The
+    // permute performs the same gathers once, but as an independent
+    // address stream the prefetcher can overlap. Small pools skip the
+    // copy — their rows fit in cache either way.
+    let sdata: Option<Vec<f64>> = (n >= RADIX_MIN_N).then(|| {
+        let mut s = Vec::with_capacity(n * dim);
+        for &idx in &order {
+            let i = idx as usize;
+            s.extend_from_slice(&data[i * dim..(i + 1) * dim]);
+        }
+        s
+    });
+    let sdata = sdata.as_deref();
+
+    let clusters = match dim {
+        1 => greedy_scan(data, sdata, &snorms, &order, 1, threshold, dist_sq_fixed::<1>),
+        2 => greedy_scan(data, sdata, &snorms, &order, 2, threshold, dist_sq_fixed::<2>),
+        3 => greedy_scan(data, sdata, &snorms, &order, 3, threshold, dist_sq_fixed::<3>),
+        4 => greedy_scan(data, sdata, &snorms, &order, 4, threshold, dist_sq_fixed::<4>),
+        _ => greedy_scan(data, sdata, &snorms, &order, dim, threshold, dist_sq),
+    };
+    split_by_size(clusters, min_cluster_size)
+}
+
+/// Three stable counting-scatter passes (LSD radix, 11-bit digits) over
+/// the sort-relevant high 32 bits of the packed records. The low 32 bits
+/// (the original index) ride along untouched, so the integer order this
+/// produces is exactly `sort_unstable`'s: truncated key, then index.
+fn radix_sort_packed(keyed: &mut Vec<u64>) {
+    let n = keyed.len();
+    let mut hist = vec![0u32; 3 * RADIX_BUCKETS];
+    let (h0, rest) = hist.split_at_mut(RADIX_BUCKETS);
+    let (h1, h2) = rest.split_at_mut(RADIX_BUCKETS);
+    let mask = RADIX_BUCKETS as u64 - 1;
+    for &k in keyed.iter() {
+        h0[((k >> 32) & mask) as usize] += 1;
+        h1[((k >> (32 + RADIX_DIGIT_BITS)) & mask) as usize] += 1;
+        h2[((k >> (32 + 2 * RADIX_DIGIT_BITS)) & mask) as usize] += 1;
+    }
+    for h in [&mut *h0, &mut *h1, &mut *h2] {
+        let mut sum = 0u32;
+        for c in h.iter_mut() {
+            let v = *c;
+            *c = sum;
+            sum += v;
+        }
+    }
+    let mut scratch: Vec<u64> = vec![0; n];
+    for &k in keyed.iter() {
+        let d = ((k >> 32) & mask) as usize;
+        scratch[h0[d] as usize] = k;
+        h0[d] += 1;
+    }
+    for &k in scratch.iter() {
+        let d = ((k >> (32 + RADIX_DIGIT_BITS)) & mask) as usize;
+        keyed[h1[d] as usize] = k;
+        h1[d] += 1;
+    }
+    for &k in keyed.iter() {
+        let d = ((k >> (32 + 2 * RADIX_DIGIT_BITS)) & mask) as usize;
+        scratch[h2[d] as usize] = k;
+        h2[d] += 1;
+    }
+    *keyed = scratch;
+}
+
+/// Algorithm 1's greedy absorb scan over the norm-sorted order. The
+/// sorted norm lane streams forward; vector rows are read from `sdata`
+/// (rows pre-permuted into sorted position order, sequential access)
+/// when provided, and gathered from `data` through the sorted index lane
+/// otherwise — the same values either way. The float semantics are the
+/// original ones verbatim — same bound and cutoff formulas, same
+/// left-to-right distance summation, members in
+/// seed-then-ascending-sorted-position order — so the outcome is
+/// bit-identical to the exhaustive reference.
+fn greedy_scan<F: Fn(&[f64], &[f64]) -> f64>(
+    data: &[f64],
+    sdata: Option<&[f64]>,
+    snorms: &[f64],
+    order: &[u32],
+    dim: usize,
+    threshold: f64,
+    dist: F,
+) -> Vec<Cluster> {
+    let n = snorms.len();
+    // Row of the vector at sorted position `p`: position-indexed in the
+    // permuted strip, index-gathered from the original lanes otherwise.
+    let row = |p: usize| match sdata {
+        Some(s) => &s[p * dim..(p + 1) * dim],
+        None => {
+            let i = order[p] as usize;
+            &data[i * dim..(i + 1) * dim]
+        }
+    };
+    // skip[p] = next possibly-unassigned sorted position ≥ p. The hot
+    // loop advances with an inlined fast path — `skip[next] == next`
+    // (the next position was never absorbed) is the overwhelmingly
+    // common case — and only falls back to the path-compressing chain
+    // walk when clusters interleave.
     let mut skip: Vec<u32> = (0..=n as u32).collect();
+    let advance = |skip: &mut [u32], next: u32| {
+        if skip[next as usize] == next {
+            next
+        } else {
+            skip_to(skip, next)
+        }
+    };
     let mut clusters: Vec<Cluster> = Vec::new();
 
     let mut pos = 0u32;
     loop {
         // Seed: smallest-norm unprocessed fragment (Algorithm 1, line 4).
-        pos = skip_to(&mut skip, pos);
-        if pos as usize >= n {
+        pos = advance(&mut skip, pos);
+        let p = pos as usize;
+        if p >= n {
             break;
         }
-        let seed_idx = order[pos as usize];
-        let seed = &vectors[seed_idx];
-        let seed_norm = norms[seed_idx];
+        let seed = row(p);
+        let seed_norm = snorms[p];
         let bound = (threshold * seed_norm).max(1e-9);
         let bound_sq = bound * bound;
         // Break margin: the norm prune must only drop candidates that are
@@ -175,25 +392,38 @@ pub fn cluster_vectors(
         // even at floating-point boundaries.
         let norm_cutoff = bound + (seed_norm + seed_norm * threshold) * 1e-12;
 
-        let mut members = vec![seed_idx];
-        skip[pos as usize] = pos + 1;
-        let mut j = skip_to(&mut skip, pos + 1);
-        while (j as usize) < n {
-            let cand = order[j as usize];
-            if norms[cand] - seed_norm > norm_cutoff {
-                break;
+        // The norm window bounds the membership: reserve once instead of
+        // growing through the realloc ladder (the window end is exact for
+        // a fresh window and an overestimate when parts are absorbed).
+        let window_end = p + 1 + snorms[p + 1..].partition_point(|&v| v - seed_norm <= norm_cutoff);
+        let mut members = Vec::with_capacity(window_end - p);
+        members.push(order[p] as usize);
+        skip[p] = pos + 1;
+        let mut j = advance(&mut skip, pos + 1);
+        while (j as usize) < window_end {
+            let jj = j as usize;
+            if dist(seed, row(jj)) <= bound_sq {
+                members.push(order[jj] as usize);
+                skip[jj] = j + 1;
             }
-            if dist_sq(seed, &vectors[cand]) <= bound_sq {
-                members.push(cand);
-                skip[j as usize] = j + 1;
-            }
-            j = skip_to(&mut skip, j + 1);
+            j = advance(&mut skip, j + 1);
         }
         // vapro-lint: allow(R1, one O(dim) seed vector per emitted cluster; not a fragment population)
-        clusters.push(Cluster { members, seed: seed.clone(), seed_norm });
+        clusters.push(Cluster { members, seed: seed.to_vec(), seed_norm });
     }
+    clusters
+}
 
-    split_by_size(clusters, min_cluster_size)
+/// Distance kernel for a compile-time dimension: the loop fully unrolls,
+/// keeping the accumulation order identical to [`dist_sq`].
+#[inline(always)]
+fn dist_sq_fixed<const D: usize>(a: &[f64], b: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for k in 0..D {
+        let d = a[k] - b[k];
+        acc += d * d;
+    }
+    acc
 }
 
 /// Reference implementation of Algorithm 1 without the norm prune or the
@@ -231,11 +461,13 @@ pub fn cluster_vectors_unpruned(
                 continue;
             }
             if dist_sq(seed, &vectors[j]) <= bound_sq {
+                // vapro-lint: allow(R4, cluster membership is data-dependent; no size is knowable before the scan)
                 members.push(j);
                 assigned[j] = true;
             }
         }
         // vapro-lint: allow(R1, one O(dim) seed vector per emitted cluster; not a fragment population)
+        // vapro-lint: allow(R4, cluster count is data-dependent; one push per emitted cluster)
         clusters.push(Cluster { members, seed: seed.clone(), seed_norm });
     }
 
@@ -259,20 +491,57 @@ pub fn cluster_fragment_refs(
     threshold: f64,
     min_cluster_size: usize,
 ) -> ClusterOutcome {
-    let vectors: Vec<Vec<f64>> = fragments
-        .iter()
-        .map(|f| f.workload_vector(proxy_counters))
-        .collect();
+    cluster_pool(fragments, proxy_counters, threshold, min_cluster_size)
+}
+
+/// Cluster any pooled population through its [`PoolView`] accessors —
+/// the representation-generic entry the detection pipeline calls for
+/// both AoS fragment slices and columnar lane views. Workload values go
+/// straight into one flat matrix; no per-fragment vector is ever
+/// materialised.
+pub fn cluster_pool<P: crate::columnar::PoolView + ?Sized>(
+    pool: &P,
+    proxy_counters: &[CounterId],
+    threshold: f64,
+    min_cluster_size: usize,
+) -> ClusterOutcome {
+    let n = pool.len();
     // Mixed-kind inputs could have ragged dimensions; pad to the max.
-    let dim = vectors.iter().map(Vec::len).max().unwrap_or(0);
-    let padded: Vec<Vec<f64>> = vectors
-        .into_iter()
-        .map(|mut v| {
-            v.resize(dim, 0.0);
-            v
-        })
-        .collect();
-    cluster_vectors(&padded, threshold, min_cluster_size)
+    let dim = pool.workload_dim(proxy_counters);
+    let mut data = Vec::with_capacity(n * dim);
+    for i in 0..n {
+        pool.extend_workload_lane(i, proxy_counters, dim, &mut data);
+    }
+    cluster_lanes(&data, n, dim, threshold, min_cluster_size)
+}
+
+/// Dimension of one fragment's workload vector without building it.
+#[inline]
+pub(crate) fn workload_dim(f: &Fragment, proxy_counters: &[CounterId]) -> usize {
+    match f.kind {
+        crate::fragment::FragmentKind::Computation => proxy_counters.len(),
+        _ => f.args.len(),
+    }
+}
+
+/// Append one fragment's workload vector to a flat lane buffer,
+/// zero-padded to `dim` — the allocation-free twin of
+/// [`Fragment::workload_vector`].
+#[inline]
+pub(crate) fn extend_workload_lane(
+    f: &Fragment,
+    proxy_counters: &[CounterId],
+    dim: usize,
+    out: &mut Vec<f64>,
+) {
+    let before = out.len();
+    match f.kind {
+        crate::fragment::FragmentKind::Computation => {
+            out.extend(proxy_counters.iter().map(|&c| f.counters.get_or_zero(c)));
+        }
+        _ => out.extend_from_slice(&f.args),
+    }
+    out.resize(before + dim, 0.0);
 }
 
 /// Cluster owned fragments — see [`cluster_fragment_refs`].
@@ -436,6 +705,75 @@ mod tests {
         assert_eq!(
             cluster_vectors(&vecs, 0.05, 5),
             cluster_vectors_unpruned(&vecs, 0.05, 5)
+        );
+    }
+
+    #[test]
+    fn total_cmp_key_orders_like_total_cmp() {
+        let samples = [
+            0.0,
+            -0.0,
+            1.0,
+            -1.0,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::NAN,
+            -f64::NAN,
+            f64::MIN_POSITIVE,
+            -f64::MIN_POSITIVE,
+            1e308,
+            -1e308,
+            42.5,
+            f64::EPSILON,
+        ];
+        for &a in &samples {
+            for &b in &samples {
+                assert_eq!(
+                    total_cmp_key(a).cmp(&total_cmp_key(b)),
+                    a.total_cmp(&b),
+                    "key order diverged for {a:?} vs {b:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lanes_and_nested_entry_points_agree() {
+        // The nested-vector API is a thin wrapper over the flat kernel;
+        // feeding the same matrix through both must be identical,
+        // including a zero-dimension population (all-empty vectors form
+        // one cluster).
+        let vectors: Vec<Vec<f64>> = (0..40)
+            .map(|i| {
+                let base = if i % 3 == 0 { 1000.0 } else { 4000.0 };
+                vec![base + i as f64, base * 0.2, 7.0]
+            })
+            .collect();
+        let flat: Vec<f64> = vectors.iter().flatten().copied().collect();
+        assert_eq!(
+            cluster_vectors(&vectors, 0.05, 5),
+            cluster_lanes(&flat, vectors.len(), 3, 0.05, 5)
+        );
+        let empties: Vec<Vec<f64>> = vec![vec![]; 9];
+        let out = cluster_lanes(&[], 9, 0, 0.05, 5);
+        assert_eq!(cluster_vectors(&empties, 0.05, 5), out);
+        assert_eq!(out.usable.len(), 1);
+        assert_eq!(out.usable[0].len(), 9);
+    }
+
+    #[test]
+    fn wide_vectors_use_the_dynamic_distance_kernel() {
+        // dim > 4 exercises the fallback distance path; equivalence with
+        // the unpruned reference still must hold bit-for-bit.
+        let vectors: Vec<Vec<f64>> = (0..60)
+            .map(|i| {
+                let base = 500.0 * 1.4f64.powi(i % 5);
+                (0..7).map(|k| base * (1.0 + 0.002 * ((i + k) % 3) as f64)).collect()
+            })
+            .collect();
+        assert_eq!(
+            cluster_vectors(&vectors, 0.05, 5),
+            cluster_vectors_unpruned(&vectors, 0.05, 5)
         );
     }
 

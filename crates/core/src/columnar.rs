@@ -1,0 +1,635 @@
+//! SoA columnar fragment pools: the wire format has been columnar since
+//! the binary frame work, but decode rehydrated AoS [`Fragment`] structs
+//! that detection then pointer-chased per window. [`ColumnarPool`] keeps
+//! the decoded columns — times, counter lanes, kinds, arg offsets — as
+//! the in-memory form, partitioned into per-location lanes, and
+//! [`LaneView`] hands detection and diagnosis a contiguous window onto
+//! them.
+//!
+//! [`PoolView`] is the abstraction both representations implement: the
+//! analysis pipeline ([`detect_merged`](crate::detect::pipeline::detect_merged),
+//! the batched diagnosis) is generic over it, so the existing
+//! `&[&Fragment]` pools remain a thin compatibility layer over the same
+//! generic code — property-tested bit-identical in
+//! `tests/columnar_equivalence.rs`.
+//!
+//! ## Memory layout
+//!
+//! One pool holds every fragment of a merged view in struct-of-arrays
+//! columns, grouped so each location (STG vertex or edge) owns one
+//! contiguous index range:
+//!
+//! ```text
+//! ranks   : [u32]            one per fragment
+//! kinds   : [FragmentKind]   one per fragment
+//! starts  : [u64]            ns, one per fragment
+//! ends    : [u64]            ns, one per fragment
+//! sets    : [CounterSet]     one per fragment
+//! counters: [f64]            active values only, ascending id order
+//! coff    : [u32]            n+1 fenceposts into `counters`
+//! args    : [f64]            flattened invocation args
+//! aoff    : [u32]            n+1 fenceposts into `args`
+//! ```
+//!
+//! A counter read is `counters[coff[i] + popcount(bits below id)]` —
+//! O(1) via [`CounterSet::bits`]. Lane views are `(lo, hi)` ranges plus
+//! a pool borrow ([`LaneView`] is `Copy`); they never own fragment data,
+//! so building views allocates nothing and the zero-`Fragment`-clone
+//! guarantee holds structurally.
+
+use crate::clustering;
+use crate::detect::pipeline::MergedStg;
+use crate::fragment::{Fragment, FragmentKind};
+use crate::stg::StateKey;
+use vapro_pmu::{CounterDelta, CounterId, CounterSet};
+use vapro_sim::VirtualTime;
+
+/// Read-only access to one pooled fragment population, by index.
+///
+/// Implemented by the AoS compatibility layer (`[&Fragment]`) and by
+/// columnar [`LaneView`]s; everything the detection/diagnosis pipeline
+/// reads from a pool goes through these accessors, which is what keeps
+/// the two representations bit-identical by construction.
+pub trait PoolView {
+    /// Number of fragments in the pool.
+    fn len(&self) -> usize;
+
+    /// True when the pool holds no fragments.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Originating rank of fragment `i`.
+    fn rank(&self, i: usize) -> usize;
+
+    /// Category of fragment `i`.
+    fn kind(&self, i: usize) -> FragmentKind;
+
+    /// Virtual start time of fragment `i`.
+    fn start(&self, i: usize) -> VirtualTime;
+
+    /// Virtual end time of fragment `i`.
+    fn end(&self, i: usize) -> VirtualTime;
+
+    /// Elapsed virtual time of fragment `i` in ns, saturating like
+    /// [`Fragment::duration_ns`].
+    fn duration_ns(&self, i: usize) -> f64 {
+        self.end(i).ns().saturating_sub(self.start(i).ns()) as f64
+    }
+
+    /// Widest workload vector in the pool under `proxy_counters` — the
+    /// padded lane dimension for clustering.
+    fn workload_dim(&self, proxy_counters: &[CounterId]) -> usize;
+
+    /// Append fragment `i`'s workload vector, zero-padded to `dim`, to a
+    /// flat lane buffer (the allocation-free twin of
+    /// [`Fragment::workload_vector`]).
+    fn extend_workload_lane(
+        &self,
+        i: usize,
+        proxy_counters: &[CounterId],
+        dim: usize,
+        out: &mut Vec<f64>,
+    );
+
+    /// Fragment `i`'s counter delta restricted to `keep` — what the
+    /// progressive drill-down rebuilds its scratch fragments from.
+    fn project_counters(&self, i: usize, keep: CounterSet) -> CounterDelta;
+
+    /// Fragment `i`'s invocation arguments.
+    fn args(&self, i: usize) -> &[f64];
+}
+
+impl PoolView for [&Fragment] {
+    fn len(&self) -> usize {
+        <[&Fragment]>::len(self)
+    }
+
+    fn rank(&self, i: usize) -> usize {
+        self[i].rank
+    }
+
+    fn kind(&self, i: usize) -> FragmentKind {
+        self[i].kind
+    }
+
+    fn start(&self, i: usize) -> VirtualTime {
+        self[i].start
+    }
+
+    fn end(&self, i: usize) -> VirtualTime {
+        self[i].end
+    }
+
+    fn duration_ns(&self, i: usize) -> f64 {
+        self[i].duration_ns()
+    }
+
+    fn workload_dim(&self, proxy_counters: &[CounterId]) -> usize {
+        self.iter().map(|f| clustering::workload_dim(f, proxy_counters)).max().unwrap_or(0)
+    }
+
+    fn extend_workload_lane(
+        &self,
+        i: usize,
+        proxy_counters: &[CounterId],
+        dim: usize,
+        out: &mut Vec<f64>,
+    ) {
+        clustering::extend_workload_lane(self[i], proxy_counters, dim, out);
+    }
+
+    fn project_counters(&self, i: usize, keep: CounterSet) -> CounterDelta {
+        self[i].counters.project(keep)
+    }
+
+    fn args(&self, i: usize) -> &[f64] {
+        &self[i].args
+    }
+}
+
+/// References to a pool view see through to the underlying view, so the
+/// pipeline can hold `&[&Fragment]` and `LaneView` under one bound.
+impl<P: PoolView + ?Sized> PoolView for &P {
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+
+    fn rank(&self, i: usize) -> usize {
+        (**self).rank(i)
+    }
+
+    fn kind(&self, i: usize) -> FragmentKind {
+        (**self).kind(i)
+    }
+
+    fn start(&self, i: usize) -> VirtualTime {
+        (**self).start(i)
+    }
+
+    fn end(&self, i: usize) -> VirtualTime {
+        (**self).end(i)
+    }
+
+    fn duration_ns(&self, i: usize) -> f64 {
+        (**self).duration_ns(i)
+    }
+
+    fn workload_dim(&self, proxy_counters: &[CounterId]) -> usize {
+        (**self).workload_dim(proxy_counters)
+    }
+
+    fn extend_workload_lane(
+        &self,
+        i: usize,
+        proxy_counters: &[CounterId],
+        dim: usize,
+        out: &mut Vec<f64>,
+    ) {
+        (**self).extend_workload_lane(i, proxy_counters, dim, out)
+    }
+
+    fn project_counters(&self, i: usize, keep: CounterSet) -> CounterDelta {
+        (**self).project_counters(i, keep)
+    }
+
+    fn args(&self, i: usize) -> &[f64] {
+        (**self).args(i)
+    }
+}
+
+/// One location's contiguous index range in the columns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Lane {
+    lo: u32,
+    hi: u32,
+}
+
+/// SoA storage for a merged view's fragments, lane-partitioned by
+/// location. See the module docs for the column layout.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnarPool {
+    ranks: Vec<u32>,
+    kinds: Vec<FragmentKind>,
+    starts: Vec<u64>,
+    ends: Vec<u64>,
+    sets: Vec<CounterSet>,
+    counters: Vec<f64>,
+    coff: Vec<u32>,
+    args: Vec<f64>,
+    aoff: Vec<u32>,
+    vertices: Vec<(StateKey, Lane)>,
+    edges: Vec<((StateKey, StateKey), Lane)>,
+    /// Which of `vertices`/`edges` is currently absorbing pushes.
+    open_edge: bool,
+}
+
+impl Default for ColumnarPool {
+    fn default() -> Self {
+        ColumnarPool::new()
+    }
+}
+
+impl ColumnarPool {
+    /// An empty pool.
+    pub fn new() -> ColumnarPool {
+        ColumnarPool {
+            ranks: Vec::new(),
+            kinds: Vec::new(),
+            starts: Vec::new(),
+            ends: Vec::new(),
+            sets: Vec::new(),
+            counters: Vec::new(),
+            coff: vec![0],
+            args: Vec::new(),
+            aoff: vec![0],
+            vertices: Vec::new(),
+            edges: Vec::new(),
+            open_edge: false,
+        }
+    }
+
+    /// Drop all fragments and locations but keep every column's
+    /// capacity — the scratch-reuse primitive: a recycled pool refilled
+    /// window after window performs no transient allocations once the
+    /// columns have grown to the high-water mark.
+    pub fn clear(&mut self) {
+        self.ranks.clear();
+        self.kinds.clear();
+        self.starts.clear();
+        self.ends.clear();
+        self.sets.clear();
+        self.counters.clear();
+        self.coff.clear();
+        self.coff.push(0);
+        self.args.clear();
+        self.aoff.clear();
+        self.aoff.push(0);
+        self.vertices.clear();
+        self.edges.clear();
+        self.open_edge = false;
+    }
+
+    /// Total fragments held.
+    pub fn len(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// True when no fragment has been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.ranks.is_empty()
+    }
+
+    /// Number of vertex locations.
+    pub fn num_vertices(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Number of edge locations.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Pre-size the columns for `fragments` fragments carrying
+    /// `counter_values` active counter values and `arg_values` argument
+    /// scalars in total.
+    pub fn reserve(&mut self, fragments: usize, counter_values: usize, arg_values: usize) {
+        self.ranks.reserve(fragments);
+        self.kinds.reserve(fragments);
+        self.starts.reserve(fragments);
+        self.ends.reserve(fragments);
+        self.sets.reserve(fragments);
+        self.coff.reserve(fragments);
+        self.aoff.reserve(fragments);
+        self.counters.reserve(counter_values);
+        self.args.reserve(arg_values);
+    }
+
+    /// Open a new vertex lane; subsequent [`ColumnarPool::push`]es land
+    /// in it until the next `begin_*`.
+    pub fn begin_vertex(&mut self, key: StateKey) {
+        let n = self.ranks.len() as u32;
+        self.vertices.push((key, Lane { lo: n, hi: n }));
+        self.open_edge = false;
+    }
+
+    /// Open a new edge lane.
+    pub fn begin_edge(&mut self, from: StateKey, to: StateKey) {
+        let n = self.ranks.len() as u32;
+        self.edges.push(((from, to), Lane { lo: n, hi: n }));
+        self.open_edge = true;
+    }
+
+    /// Append one fragment's fields to the open lane. Field-by-field
+    /// column pushes — `Fragment::clone` (and its clone counter) is
+    /// structurally unreachable from here.
+    ///
+    /// # Panics
+    /// When no lane has been opened.
+    pub fn push(&mut self, f: &Fragment) {
+        self.ranks.push(f.rank as u32);
+        self.kinds.push(f.kind);
+        self.starts.push(f.start.ns());
+        self.ends.push(f.end.ns());
+        self.sets.push(f.counters.set());
+        // `entries()` yields ascending `id.index()` order (CounterId::ALL
+        // order), which is exactly the popcount-rank order reads assume.
+        self.counters.extend(f.counters.entries().map(|(_, v)| v));
+        self.coff.push(self.counters.len() as u32);
+        self.args.extend_from_slice(&f.args);
+        self.aoff.push(self.args.len() as u32);
+        let n = self.ranks.len() as u32;
+        let lane = if self.open_edge {
+            &mut self.edges.last_mut().expect("push before begin_edge").1
+        } else {
+            &mut self.vertices.last_mut().expect("push before begin_vertex").1
+        };
+        lane.hi = n;
+    }
+
+    /// Refill this pool from a merged AoS view: same locations in the
+    /// same order, every fragment transposed into the columns. Reuses
+    /// the pool's existing capacity (see [`ColumnarPool::clear`]).
+    pub fn refill_from_merged(&mut self, merged: &MergedStg<'_>) {
+        self.clear();
+        let pools = || {
+            merged
+                .vertices
+                .iter()
+                .map(|(_, p)| p)
+                .chain(merged.edges.iter().map(|(_, p)| p))
+        };
+        let fragments: usize = pools().map(|p| p.len()).sum();
+        let counter_values: usize =
+            pools().flat_map(|p| p.iter()).map(|f| f.counters.set().len()).sum();
+        let arg_values: usize = pools().flat_map(|p| p.iter()).map(|f| f.args.len()).sum();
+        self.reserve(fragments, counter_values, arg_values);
+        self.vertices.reserve(merged.vertices.len());
+        self.edges.reserve(merged.edges.len());
+        for (sym, pool) in &merged.vertices {
+            // vapro-lint: allow(R1, one StateKey per location table entry; not a fragment population)
+            self.begin_vertex(merged.key(*sym).clone());
+            for f in pool {
+                self.push(f);
+            }
+        }
+        for ((from, to), pool) in &merged.edges {
+            // vapro-lint: allow(R1, one StateKey pair per edge table entry; not a fragment population)
+            self.begin_edge(merged.key(*from).clone(), merged.key(*to).clone());
+            for f in pool {
+                self.push(f);
+            }
+        }
+    }
+
+    /// Build a fresh pool from a merged view.
+    pub fn from_merged(merged: &MergedStg<'_>) -> ColumnarPool {
+        let mut pool = ColumnarPool::new();
+        pool.refill_from_merged(merged);
+        pool
+    }
+
+    /// The `i`-th vertex location: its state key and lane view.
+    pub fn vertex(&self, i: usize) -> (&StateKey, LaneView<'_>) {
+        let (key, lane) = &self.vertices[i];
+        (key, LaneView { pool: self, lo: lane.lo, hi: lane.hi })
+    }
+
+    /// The `i`-th edge location: its state-key pair and lane view.
+    pub fn edge(&self, i: usize) -> (&StateKey, &StateKey, LaneView<'_>) {
+        let ((from, to), lane) = &self.edges[i];
+        (from, to, LaneView { pool: self, lo: lane.lo, hi: lane.hi })
+    }
+
+    /// One lane view spanning every fragment, location-agnostic.
+    pub fn all(&self) -> LaneView<'_> {
+        LaneView { pool: self, lo: 0, hi: self.ranks.len() as u32 }
+    }
+}
+
+/// A borrowed contiguous window onto a [`ColumnarPool`]'s columns — one
+/// location's fragment population. `Copy`, pointer-sized-ish, and
+/// allocation-free to construct; its lifetime is tied to the pool, which
+/// must outlive every analysis pass run over it (the pipeline borrows
+/// views for the duration of one detection/diagnosis call and never
+/// stores them).
+#[derive(Debug, Clone, Copy)]
+pub struct LaneView<'a> {
+    pool: &'a ColumnarPool,
+    lo: u32,
+    hi: u32,
+}
+
+impl<'a> LaneView<'a> {
+    #[inline]
+    fn at(&self, i: usize) -> usize {
+        debug_assert!(self.lo as usize + i < self.hi as usize + 1);
+        self.lo as usize + i
+    }
+
+    /// One active counter value, or zero when `id` is outside the
+    /// fragment's set: O(1) via the popcount of the mask bits below it.
+    #[inline]
+    fn counter_or_zero(&self, j: usize, id: CounterId) -> f64 {
+        let set = self.pool.sets[j];
+        if !set.contains(id) {
+            return 0.0;
+        }
+        let below = set.bits() & ((1u32 << id.index()) - 1);
+        self.pool.counters[self.pool.coff[j] as usize + below.count_ones() as usize]
+    }
+}
+
+impl PoolView for LaneView<'_> {
+    fn len(&self) -> usize {
+        (self.hi - self.lo) as usize
+    }
+
+    #[inline]
+    fn rank(&self, i: usize) -> usize {
+        self.pool.ranks[self.at(i)] as usize
+    }
+
+    #[inline]
+    fn kind(&self, i: usize) -> FragmentKind {
+        self.pool.kinds[self.at(i)]
+    }
+
+    #[inline]
+    fn start(&self, i: usize) -> VirtualTime {
+        VirtualTime::from_ns(self.pool.starts[self.at(i)])
+    }
+
+    #[inline]
+    fn end(&self, i: usize) -> VirtualTime {
+        VirtualTime::from_ns(self.pool.ends[self.at(i)])
+    }
+
+    #[inline]
+    fn duration_ns(&self, i: usize) -> f64 {
+        let j = self.at(i);
+        self.pool.ends[j].saturating_sub(self.pool.starts[j]) as f64
+    }
+
+    fn workload_dim(&self, proxy_counters: &[CounterId]) -> usize {
+        let (lo, hi) = (self.lo as usize, self.hi as usize);
+        let mut dim = 0;
+        for j in lo..hi {
+            dim = dim.max(match self.pool.kinds[j] {
+                FragmentKind::Computation => proxy_counters.len(),
+                _ => (self.pool.aoff[j + 1] - self.pool.aoff[j]) as usize,
+            });
+        }
+        dim
+    }
+
+    fn extend_workload_lane(
+        &self,
+        i: usize,
+        proxy_counters: &[CounterId],
+        dim: usize,
+        out: &mut Vec<f64>,
+    ) {
+        let j = self.at(i);
+        let before = out.len();
+        match self.pool.kinds[j] {
+            FragmentKind::Computation => {
+                out.extend(proxy_counters.iter().map(|&id| self.counter_or_zero(j, id)));
+            }
+            _ => out.extend_from_slice(self.args(i)),
+        }
+        out.resize(before + dim, 0.0);
+    }
+
+    fn project_counters(&self, i: usize, keep: CounterSet) -> CounterDelta {
+        let j = self.at(i);
+        let mut out = CounterDelta::default();
+        let base = self.pool.coff[j] as usize;
+        for (pos, id) in self.pool.sets[j].iter().enumerate() {
+            if keep.contains(id) {
+                out.put(id, self.pool.counters[base + pos]);
+            }
+        }
+        out
+    }
+
+    fn args(&self, i: usize) -> &[f64] {
+        let j = self.at(i);
+        &self.pool.args[self.pool.aoff[j] as usize..self.pool.aoff[j + 1] as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fragment::DEFAULT_PROXY;
+    use vapro_pmu::CounterDelta;
+
+    fn frag(rank: usize, kind: FragmentKind, t: u64, ins: f64, args: Vec<f64>) -> Fragment {
+        let mut counters = CounterDelta::default();
+        counters.put(CounterId::TotIns, ins);
+        counters.put(CounterId::Stores, ins / 2.0);
+        Fragment {
+            rank,
+            kind,
+            start: VirtualTime::from_ns(t),
+            end: VirtualTime::from_ns(t + 100),
+            counters,
+            args,
+        }
+    }
+
+    fn sample_pool() -> (Vec<Fragment>, ColumnarPool) {
+        let frags = vec![
+            frag(0, FragmentKind::Computation, 0, 1000.0, vec![]),
+            frag(1, FragmentKind::Computation, 50, 2000.0, vec![]),
+            frag(0, FragmentKind::Communication, 120, 0.0, vec![4096.0, 3.0]),
+        ];
+        let mut pool = ColumnarPool::new();
+        pool.begin_edge(
+            StateKey::Start,
+            StateKey::Site(vapro_sim::CallSite("w:MPI_Barrier")),
+        );
+        pool.push(&frags[0]);
+        pool.push(&frags[1]);
+        pool.begin_vertex(StateKey::Site(vapro_sim::CallSite("w:MPI_Barrier")));
+        pool.push(&frags[2]);
+        (frags, pool)
+    }
+
+    #[test]
+    fn lane_views_mirror_the_fragments_they_were_built_from() {
+        let (frags, pool) = sample_pool();
+        assert_eq!(pool.len(), 3);
+        let (_, _, edge) = pool.edge(0);
+        let (_, vertex) = pool.vertex(0);
+        let aos: Vec<&Fragment> = frags.iter().collect();
+        let edge_aos = &aos[..2];
+        let vertex_aos = &aos[2..];
+        for (view, aos) in [(&edge as &dyn PoolView, edge_aos), (&vertex, vertex_aos)] {
+            assert_eq!(view.len(), aos.len());
+            for (i, f) in aos.iter().enumerate() {
+                assert_eq!(view.rank(i), f.rank);
+                assert_eq!(view.kind(i), f.kind);
+                assert_eq!(view.start(i), f.start);
+                assert_eq!(view.end(i), f.end);
+                assert_eq!(view.duration_ns(i).to_bits(), f.duration_ns().to_bits());
+                assert_eq!(view.args(i), &f.args[..]);
+            }
+        }
+    }
+
+    #[test]
+    fn workload_lanes_match_the_aos_helper() {
+        let (frags, pool) = sample_pool();
+        let aos: Vec<&Fragment> = frags.iter().collect();
+        let all = pool.all();
+        let dim = all.workload_dim(&DEFAULT_PROXY);
+        assert_eq!(dim, aos.as_slice().workload_dim(&DEFAULT_PROXY));
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        for i in 0..aos.len() {
+            all.extend_workload_lane(i, &DEFAULT_PROXY, dim, &mut a);
+            aos.as_slice().extend_workload_lane(i, &DEFAULT_PROXY, dim, &mut b);
+        }
+        assert_eq!(a.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                   b.iter().map(|x| x.to_bits()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn projected_counters_round_trip_exactly() {
+        let (frags, pool) = sample_pool();
+        let all = pool.all();
+        let keep = CounterSet::from_ids(&[CounterId::TotIns, CounterId::Tsc]);
+        for (i, f) in frags.iter().enumerate() {
+            assert_eq!(all.project_counters(i, keep), f.counters.project(keep));
+            assert_eq!(all.project_counters(i, CounterSet::all()), f.counters);
+        }
+    }
+
+    #[test]
+    fn clear_keeps_capacity_and_resets_state() {
+        let (frags, mut pool) = sample_pool();
+        let cap = pool.counters.capacity();
+        pool.clear();
+        assert!(pool.is_empty());
+        assert_eq!(pool.num_vertices() + pool.num_edges(), 0);
+        assert_eq!(pool.counters.capacity(), cap);
+        // Refill works after clear.
+        pool.begin_vertex(StateKey::Start);
+        pool.push(&frags[0]);
+        assert_eq!(pool.vertex(0).1.len(), 1);
+    }
+
+    #[test]
+    fn empty_lanes_are_well_formed() {
+        let mut pool = ColumnarPool::new();
+        pool.begin_vertex(StateKey::Start);
+        pool.begin_edge(StateKey::Start, StateKey::Start);
+        let (_, v) = pool.vertex(0);
+        let (_, _, e) = pool.edge(0);
+        assert_eq!(v.len(), 0);
+        assert!(v.is_empty());
+        assert_eq!(e.len(), 0);
+        assert_eq!(v.workload_dim(&DEFAULT_PROXY), 0);
+    }
+}

@@ -10,6 +10,7 @@
 //! fragments dominate bins the way they dominate real time.
 
 use crate::clustering::ClusterOutcome;
+use crate::columnar::PoolView;
 use crate::fragment::{Fragment, FragmentKind};
 use serde::{Deserialize, Serialize};
 use vapro_sim::VirtualTime;
@@ -82,32 +83,44 @@ pub fn normalize_cluster_outcome_refs(
     out: &mut CategorySeries,
     rank_override: Option<usize>,
 ) {
+    normalize_cluster_outcome_view(fragments, outcome, out, rank_override)
+}
+
+/// Representation-generic form of [`normalize_cluster_outcome_refs`]:
+/// the same pass over any [`PoolView`] — AoS fragment slices and
+/// columnar lane views normalise through identical arithmetic, in
+/// identical order, so their outputs are bit-identical.
+pub fn normalize_cluster_outcome_view<P: PoolView + ?Sized>(
+    pool: &P,
+    outcome: &ClusterOutcome,
+    out: &mut CategorySeries,
+    rank_override: Option<usize>,
+) {
     for cluster in &outcome.usable {
         // The fastest fragment in the cluster is the benchmark.
         let min_dur = cluster
             .members
             .iter()
-            .map(|&m| fragments[m].duration_ns())
+            .map(|&m| pool.duration_ns(m))
             .fold(f64::INFINITY, f64::min);
         if !min_dur.is_finite() {
             continue;
         }
         for &m in &cluster.members {
-            let f = fragments[m];
-            let dur = f.duration_ns();
+            let dur = pool.duration_ns(m);
             // Zero-duration fragments carry no performance signal.
             if dur <= 0.0 {
                 continue;
             }
             let perf = if min_dur <= 0.0 { 1.0 } else { (min_dur / dur).min(1.0) };
             let point = PerfPoint {
-                rank: rank_override.unwrap_or(f.rank),
-                start: f.start,
-                end: f.end,
+                rank: rank_override.unwrap_or(pool.rank(m)),
+                start: pool.start(m),
+                end: pool.end(m),
                 perf,
                 loss_ns: (dur - min_dur).max(0.0),
             };
-            match f.kind {
+            match pool.kind(m) {
                 FragmentKind::Computation => out.computation.push(point),
                 FragmentKind::Communication | FragmentKind::Other => {
                     out.communication.push(point)

@@ -7,10 +7,11 @@
 //! which is exactly what enables the inter-process detection of §3.5 and
 //! the cross-process comparisons of the HPL case study (§6.5.1).
 
-use crate::clustering::{cluster_fragment_refs, Cluster, ClusterOutcome};
+use crate::clustering::{cluster_pool, Cluster, ClusterOutcome};
+use crate::columnar::{ColumnarPool, LaneView, PoolView};
 use crate::config::VaproConfig;
 use crate::detect::heatmap::HeatMap;
-use crate::detect::normalize::{normalize_cluster_outcome_refs, CategorySeries};
+use crate::detect::normalize::{normalize_cluster_outcome_view, CategorySeries};
 use crate::detect::region::{grow_regions, VarianceRegion};
 use crate::detect::window::Window;
 use crate::fragment::{Fragment, FragmentKind};
@@ -181,11 +182,13 @@ fn merge_stgs_filtered<'a>(
     MergedStg { symbols, vertices, edges }
 }
 
-/// One pooled location to analyse: a vertex or an edge of the merged STG.
+/// One pooled location to analyse: a vertex or an edge, tagged with the
+/// borrowed state key(s) the rare-path labels are built from. Shared by
+/// the AoS ([`detect_merged`]) and columnar ([`detect_columnar`]) paths.
 #[derive(Clone, Copy)]
-enum Location {
-    Vertex(Sym),
-    Edge(Sym, Sym),
+enum Location<'k> {
+    Vertex(&'k StateKey),
+    Edge(&'k StateKey, &'k StateKey),
 }
 
 /// The per-location analysis output, accumulated sequentially in
@@ -201,29 +204,31 @@ struct LocationAnalysis {
 }
 
 /// Cluster → rare-path → normalise chain for one location's pool. Pure
-/// over its inputs, which is what makes the fan-out safe.
-fn analyze_pool(
-    frags: &[&Fragment],
+/// over its inputs, which is what makes the fan-out safe. Generic over
+/// the pool representation: `&[&Fragment]` slices and columnar
+/// [`LaneView`]s run the identical chain.
+fn analyze_pool<P: PoolView + ?Sized>(
+    pool: &P,
     cfg: &VaproConfig,
     rank_override: Option<usize>,
 ) -> LocationAnalysis {
-    let outcome = cluster_fragment_refs(
-        frags,
+    let outcome = cluster_pool(
+        pool,
         &cfg.proxy_counters,
         cfg.cluster_threshold,
         cfg.min_cluster_size,
     );
     let mut covered_ns = 0.0f64;
     for c in &outcome.usable {
-        covered_ns += cluster_time(frags, c);
+        covered_ns += cluster_time(pool, c);
     }
     let rare = outcome
         .rare
         .iter()
-        .map(|c| (c.len(), cluster_time(frags, c)))
+        .map(|c| (c.len(), cluster_time(pool, c)))
         .collect();
     let mut series = CategorySeries::default();
-    normalize_cluster_outcome_refs(frags, &outcome, &mut series, rank_override);
+    normalize_cluster_outcome_view(pool, &outcome, &mut series, rank_override);
     LocationAnalysis { covered_ns, rare, series, outcome }
 }
 
@@ -265,18 +270,65 @@ pub(crate) fn detect_merged_impl(
     parallel: bool,
     rank_override: Option<usize>,
 ) -> DetectionResult {
-    let locations: Vec<(Location, &[&Fragment])> = merged
+    let locations: Vec<(Location<'_>, &[&Fragment])> = merged
         .vertices
         .iter()
-        .map(|(s, pool)| (Location::Vertex(*s), pool.as_slice()))
-        .chain(
-            merged
-                .edges
-                .iter()
-                .map(|((f, t), pool)| (Location::Edge(*f, *t), pool.as_slice())),
-        )
+        .map(|(s, pool)| (Location::Vertex(merged.key(*s)), pool.as_slice()))
+        .chain(merged.edges.iter().map(|((f, t), pool)| {
+            (Location::Edge(merged.key(*f), merged.key(*t)), pool.as_slice())
+        }))
         .collect();
+    detect_locations_impl(&locations, nranks, bins, cfg, parallel, rank_override)
+}
 
+/// Run detection over a columnar pool: the same generic pipeline as
+/// [`detect_merged`], fed by [`LaneView`]s instead of fragment slices.
+/// Output is bit-identical to [`detect_merged`] over the AoS view the
+/// pool was transposed from.
+pub fn detect_columnar(
+    pool: &ColumnarPool,
+    nranks: usize,
+    bins: usize,
+    cfg: &VaproConfig,
+) -> DetectionResult {
+    detect_columnar_impl(pool, nranks, bins, cfg, true, None)
+}
+
+/// Shared body of [`detect_columnar`] (and its sequential twin used by
+/// the equivalence tests).
+pub(crate) fn detect_columnar_impl(
+    pool: &ColumnarPool,
+    nranks: usize,
+    bins: usize,
+    cfg: &VaproConfig,
+    parallel: bool,
+    rank_override: Option<usize>,
+) -> DetectionResult {
+    let locations: Vec<(Location<'_>, LaneView<'_>)> = (0..pool.num_vertices())
+        .map(|i| {
+            let (key, view) = pool.vertex(i);
+            (Location::Vertex(key), view)
+        })
+        .chain((0..pool.num_edges()).map(|i| {
+            let (from, to, view) = pool.edge(i);
+            (Location::Edge(from, to), view)
+        }))
+        .collect();
+    detect_locations_impl(&locations, nranks, bins, cfg, parallel, rank_override)
+}
+
+/// Locations (vertices, then edges, both in key order) are analysed
+/// independently — in parallel when `parallel` is set — and the
+/// per-location results are folded *sequentially in location order*, so
+/// the output is identical whichever path (or representation) ran.
+fn detect_locations_impl<V: PoolView + Sync>(
+    locations: &[(Location<'_>, V)],
+    nranks: usize,
+    bins: usize,
+    cfg: &VaproConfig,
+    parallel: bool,
+    rank_override: Option<usize>,
+) -> DetectionResult {
     // Fan out: each location's cluster → normalise chain is independent.
     // Results come back in input order either way.
     let analyses: Vec<LocationAnalysis> = if parallel && locations.len() > 1 {
@@ -300,7 +352,8 @@ pub(crate) fn detect_merged_impl(
     let mut covered_ns = 0.0f64;
     // Vertex outcomes are dropped (diagnosis pools computation fragments,
     // which live on edges); edge outcomes are kept in edge order.
-    let mut edge_clusters = Vec::with_capacity(merged.edges.len());
+    let num_edges = locations.iter().filter(|(l, _)| matches!(l, Location::Edge(..))).count();
+    let mut edge_clusters = Vec::with_capacity(num_edges);
     for ((loc, _), analysis) in locations.iter().zip(analyses) {
         covered_ns += analysis.covered_ns;
         if matches!(loc, Location::Edge(..)) {
@@ -308,10 +361,8 @@ pub(crate) fn detect_merged_impl(
         }
         if !analysis.rare.is_empty() {
             let label = match loc {
-                Location::Vertex(s) => merged.key(*s).label(),
-                Location::Edge(f, t) => {
-                    format!("{} -> {}", merged.key(*f).label(), merged.key(*t).label())
-                }
+                Location::Vertex(s) => s.label(),
+                Location::Edge(f, t) => format!("{} -> {}", f.label(), t.label()),
             };
             for (count, total_ns) in analysis.rare {
                 // vapro-lint: allow(R1, one owned label string per rare path in the report; rare by definition)
@@ -329,9 +380,9 @@ pub(crate) fn detect_merged_impl(
     // STG walk did; the BTreeMap keeps the f64 summation order fixed.
     let mut rank_end: BTreeMap<usize, u64> = BTreeMap::new();
     for (_, pool) in locations.iter() {
-        for f in pool.iter() {
-            let e = rank_end.entry(rank_override.unwrap_or(f.rank)).or_insert(0);
-            *e = (*e).max(f.end.ns());
+        for i in 0..pool.len() {
+            let e = rank_end.entry(rank_override.unwrap_or(pool.rank(i))).or_insert(0);
+            *e = (*e).max(pool.end(i).ns());
         }
     }
     let total_ns: f64 = rank_end.values().map(|&e| e as f64).sum();
@@ -384,11 +435,11 @@ pub fn detect_seq(stgs: &[Stg], nranks: usize, bins: usize, cfg: &VaproConfig) -
     detect_impl(stgs, nranks, bins, cfg, false, None)
 }
 
-fn cluster_time(fragments: &[&Fragment], cluster: &Cluster) -> f64 {
+fn cluster_time<P: PoolView + ?Sized>(pool: &P, cluster: &Cluster) -> f64 {
     cluster
         .members
         .iter()
-        .map(|&m| fragments[m].duration_ns())
+        .map(|&m| pool.duration_ns(m))
         .sum()
 }
 

@@ -17,12 +17,13 @@
 //!   windows on rayon as they close, instead of re-pooling everything at
 //!   every report.
 
+use crate::columnar::{ColumnarPool, PoolView};
 use crate::config::{LateDataPolicy, VaproConfig};
 use crate::detect::pipeline::{
-    detect_merged, merge_stgs_window, DetectionResult, MergedStg,
+    detect_columnar, detect_merged, merge_stgs_window, DetectionResult, MergedStg,
 };
 use crate::detect::window::{windows_covering, Window};
-use crate::diagnose::batch::DiagnosisBatch;
+use crate::diagnose::batch::{DiagnosisBatch, EdgePools};
 use crate::diagnose::driver::RegionOfInterest;
 use crate::diagnose::progressive::DiagnosisReport;
 use crate::fragment::Fragment;
@@ -35,6 +36,7 @@ use crate::wire::{
 use rayon::prelude::*;
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
+use std::sync::Mutex;
 use vapro_sim::{CallSite, VirtualTime};
 
 /// One analysis server owning a subset of client ranks.
@@ -225,15 +227,15 @@ impl RankTracker {
 /// seeds its cluster cache from the detection's own per-edge outcomes,
 /// so no pool is clustered twice — diagnosis costs one interval-index
 /// build plus the drill-downs themselves.
-fn diagnose_top_regions(
-    view: &MergedStg<'_>,
+fn diagnose_top_regions<S: EdgePools + Sync>(
+    pools: &S,
     result: &DetectionResult,
     cfg: &VaproConfig,
 ) -> Vec<RegionDiagnosis> {
     if cfg.diagnose_top_k == 0 || result.comp_regions.is_empty() {
         return Vec::new();
     }
-    let batch = DiagnosisBatch::with_clusters(view, cfg, &result.edge_clusters);
+    let batch = DiagnosisBatch::with_clusters(pools, cfg, &result.edge_clusters);
     result
         .comp_regions
         .iter()
@@ -276,6 +278,33 @@ fn analyze_view(
     coverage.ranks_absent = (0..nranks).filter(|&r| !present[r]).collect();
     let result = detect_merged(view, nranks, bins, cfg);
     let diagnoses = diagnose_top_regions(view, &result, cfg);
+    WindowReport { window, result, diagnoses, coverage }
+}
+
+/// Columnar twin of [`analyze_view`]: detection and diagnosis read the
+/// pool's contiguous lanes instead of `&Fragment` slices. The streaming
+/// ingestor routes every closed window through here; the one-shot path
+/// keeps the AoS route, so the streaming-equals-one-shot tests prove the
+/// two representations bit-identical end to end.
+fn analyze_view_columnar(
+    pool: &ColumnarPool,
+    window: Window,
+    nranks: usize,
+    bins: usize,
+    cfg: &VaproConfig,
+    mut coverage: WindowCoverage,
+) -> WindowReport {
+    let mut present = vec![false; nranks];
+    let all = pool.all();
+    for i in 0..all.len() {
+        let r = all.rank(i);
+        if r < nranks {
+            present[r] = true;
+        }
+    }
+    coverage.ranks_absent = (0..nranks).filter(|&r| !present[r]).collect();
+    let result = detect_columnar(pool, nranks, bins, cfg);
+    let diagnoses = diagnose_top_regions(pool, &result, cfg);
     WindowReport { window, result, diagnoses, coverage }
 }
 
@@ -396,6 +425,17 @@ fn fragment_order(a: &Fragment, b: &Fragment) -> std::cmp::Ordering {
         })
 }
 
+/// One arena pool plus its incremental-sort watermark: the prefix
+/// `frags[..sorted_len]` is known to be in [`fragment_order`]. Batches
+/// append to the tail; [`IngestArena::ensure_sorted`] sorts the tail run
+/// and merges it into the prefix, so a window close never re-sorts
+/// fragments that were already in place.
+#[derive(Debug, Default)]
+struct ArenaPool {
+    frags: Vec<Fragment>,
+    sorted_len: usize,
+}
+
 /// Server-side fragment storage: shipped batches decoded **once** into
 /// per-location pools. Locations are keyed by state (for invocation
 /// pools) or state pair (for computation pools); state identity comes
@@ -406,10 +446,16 @@ pub struct IngestArena {
     /// Arena state keys; pool entries index into this.
     keys: Vec<StateKey>,
     key_ids: HashMap<&'static str, usize>,
-    vertex_pools: HashMap<usize, Vec<Fragment>>,
-    edge_pools: HashMap<(usize, usize), Vec<Fragment>>,
+    vertex_pools: HashMap<usize, ArenaPool>,
+    edge_pools: HashMap<(usize, usize), ArenaPool>,
     fragments: usize,
     max_end_ns: u64,
+    /// Persistent merge scratch for [`IngestArena::ensure_sorted`]: the
+    /// unsorted tail run and the merge output. Both keep their
+    /// capacity across calls, so steady-state maintenance sorting does
+    /// no transient allocation.
+    sort_tail: Vec<Fragment>,
+    sort_out: Vec<Fragment>,
 }
 
 impl IngestArena {
@@ -432,13 +478,13 @@ impl IngestArena {
         let ids: Vec<usize> = labels.iter().map(|l| self.key_id(l)).collect();
         for g in vertex_groups {
             self.absorb(g.fragments, |arena, frags| {
-                arena.vertex_pools.entry(ids[g.label as usize]).or_default().extend(frags)
+                arena.vertex_pools.entry(ids[g.label as usize]).or_default().frags.extend(frags)
             });
         }
         for g in edge_groups {
             let key = (ids[g.from as usize], ids[g.to as usize]);
             self.absorb(g.fragments, |arena, frags| {
-                arena.edge_pools.entry(key).or_default().extend(frags)
+                arena.edge_pools.entry(key).or_default().frags.extend(frags)
             });
         }
     }
@@ -476,6 +522,59 @@ impl IngestArena {
         self.max_end_ns
     }
 
+    /// Bring every pool up to its [`fragment_order`] invariant: sort the
+    /// unsorted tail run and move-merge it with the sorted prefix through
+    /// the persistent scratch buffers. After this, views are pure filters
+    /// (filtering preserves order), so closing a window sorts nothing.
+    ///
+    /// Equal elements under [`fragment_order`] are identical in every
+    /// compared field — rank, times, kind, counter bits, arg bits — so
+    /// the unstable tail sort and the merge's tie direction cannot change
+    /// any observable pool order.
+    pub fn ensure_sorted(&mut self) {
+        let IngestArena { vertex_pools, edge_pools, sort_tail, sort_out, .. } = self;
+        let pools =
+            vertex_pools.values_mut().chain(edge_pools.values_mut());
+        for pool in pools {
+            let n = pool.frags.len();
+            if pool.sorted_len == n {
+                continue;
+            }
+            pool.frags[pool.sorted_len..].sort_unstable_by(fragment_order);
+            // The tail often starts past the prefix outright (in-order
+            // shipping); then the concatenation is already sorted.
+            let boundary_ok = pool.sorted_len == 0
+                || fragment_order(
+                    &pool.frags[pool.sorted_len - 1],
+                    &pool.frags[pool.sorted_len],
+                ) != std::cmp::Ordering::Greater;
+            if !boundary_ok {
+                sort_tail.extend(pool.frags.drain(pool.sorted_len..));
+                sort_out.reserve(n);
+                let mut a = pool.frags.drain(..).peekable();
+                let mut b = sort_tail.drain(..).peekable();
+                loop {
+                    let take_a = match (a.peek(), b.peek()) {
+                        (Some(x), Some(y)) => {
+                            fragment_order(x, y) != std::cmp::Ordering::Greater
+                        }
+                        (Some(_), None) => true,
+                        (None, Some(_)) => false,
+                        (None, None) => break,
+                    };
+                    let next = if take_a { a.next() } else { b.next() };
+                    if let Some(f) = next {
+                        sort_out.push(f);
+                    }
+                }
+                drop(a);
+                drop(b);
+                std::mem::swap(&mut pool.frags, sort_out);
+            }
+            pool.sorted_len = pool.frags.len();
+        }
+    }
+
     fn view(&self, window: Option<Window>) -> MergedStg<'_> {
         let keep = |f: &&Fragment| match window {
             Some(w) => w.overlaps(f.start, f.end),
@@ -483,15 +582,18 @@ impl IngestArena {
         };
         let mut symbols: SymbolTable<&StateKey> = SymbolTable::new();
         let mut vertices: Vec<(Sym, Vec<&Fragment>)> = Vec::new();
+        let mut dirty = false;
         for (&id, pool) in &self.vertex_pools {
-            let kept: Vec<&Fragment> = pool.iter().filter(keep).collect();
+            let kept: Vec<&Fragment> = pool.frags.iter().filter(keep).collect();
+            dirty |= pool.sorted_len != pool.frags.len();
             if !kept.is_empty() {
                 vertices.push((symbols.intern(&self.keys[id]), kept));
             }
         }
         let mut edges: Vec<((Sym, Sym), Vec<&Fragment>)> = Vec::new();
         for (&(from, to), pool) in &self.edge_pools {
-            let kept: Vec<&Fragment> = pool.iter().filter(keep).collect();
+            let kept: Vec<&Fragment> = pool.frags.iter().filter(keep).collect();
+            dirty |= pool.sorted_len != pool.frags.len();
             if !kept.is_empty() {
                 edges.push((
                     (symbols.intern(&self.keys[from]), symbols.intern(&self.keys[to])),
@@ -499,15 +601,20 @@ impl IngestArena {
                 ));
             }
         }
-        // Views sort into [`fragment_order`]: (rank, time) first, with a
+        // Views are in [`fragment_order`]: (rank, time) first, with a
         // content tiebreaker, so results never depend on batch arrival
-        // order even when timestamps collide.
-        for pool in vertices
-            .iter_mut()
-            .map(|(_, p)| p)
-            .chain(edges.iter_mut().map(|(_, p)| p))
-        {
-            pool.sort_by(|a, b| fragment_order(a, b));
+        // order even when timestamps collide. When the arena was brought
+        // up to date by [`IngestArena::ensure_sorted`] — the streaming
+        // ingestor does so before every window close — filtering already
+        // preserved that order and this pass is skipped entirely.
+        if dirty {
+            for pool in vertices
+                .iter_mut()
+                .map(|(_, p)| p)
+                .chain(edges.iter_mut().map(|(_, p)| p))
+            {
+                pool.sort_by(|a, b| fragment_order(a, b));
+            }
         }
         // Key-sorted pool order, matching `merge_stgs` exactly.
         vertices.sort_by(|a, b| symbols.key(a.0).cmp(symbols.key(b.0)));
@@ -574,6 +681,10 @@ pub struct WindowedIngestor {
     /// `cfg.fault.max_buffered_bytes` when set.
     buffered_ahead: BTreeMap<u64, u64>,
     buffered_ahead_bytes: u64,
+    /// Recycled per-window columnar scratch: each closing window pops a
+    /// pool, refills it from its view, and pushes it back with capacity
+    /// intact — steady-state window close allocates no new lanes.
+    scratch_pools: Mutex<Vec<ColumnarPool>>,
 }
 
 impl WindowedIngestor {
@@ -593,6 +704,7 @@ impl WindowedIngestor {
             stats: IngestStats::default(),
             buffered_ahead: BTreeMap::new(),
             buffered_ahead_bytes: 0,
+            scratch_pools: Mutex::new(Vec::new()),
         }
     }
 
@@ -792,14 +904,25 @@ impl WindowedIngestor {
             .into_par_iter()
             .map(|(window, coverage)| {
                 let view = self.arena.window_view(window);
-                analyze_view(
-                    &view,
+                let mut pool = self
+                    .scratch_pools
+                    .lock()
+                    .map(|mut pools| pools.pop())
+                    .unwrap_or_default()
+                    .unwrap_or_default();
+                pool.refill_from_merged(&view);
+                let report = analyze_view_columnar(
+                    &pool,
                     window,
                     self.nranks,
                     self.bins_per_window,
                     &self.cfg,
                     coverage,
-                )
+                );
+                if let Ok(mut pools) = self.scratch_pools.lock() {
+                    pools.push(pool);
+                }
+                report
             })
             .collect()
     }
@@ -818,6 +941,9 @@ impl WindowedIngestor {
         self.update_liveness();
         let low = self.watermark_ns();
         let seen = self.arena.max_end_ns();
+        // Maintenance sort before any view is built: window views then
+        // filter already-ordered pools instead of sorting per window.
+        self.arena.ensure_sorted();
         let mut ready = Vec::new();
         loop {
             let w = self.window(self.closed);
@@ -854,6 +980,7 @@ impl WindowedIngestor {
     pub fn finish(mut self) -> Vec<WindowReport> {
         self.update_liveness();
         let t_end = self.arena.max_end_ns();
+        self.arena.ensure_sorted();
         let mut remaining = Vec::new();
         // Emit up to and including the first window whose end reaches
         // `t_end`, mirroring `windows_covering(0, t_end, period)`.

@@ -30,7 +30,8 @@
 //! clustering is deterministic — property-tested in
 //! `tests/property_tests.rs`.
 
-use crate::clustering::{cluster_fragment_refs, ClusterOutcome};
+use crate::clustering::{cluster_pool, ClusterOutcome};
+use crate::columnar::{ColumnarPool, LaneView, PoolView};
 use crate::config::VaproConfig;
 use crate::detect::pipeline::MergedStg;
 use crate::diagnose::driver::RegionOfInterest;
@@ -61,11 +62,13 @@ struct PoolIndex {
 }
 
 impl PoolIndex {
-    fn build(pool: &[&Fragment]) -> PoolIndex {
-        let mut rows: Vec<(u64, u64, u64, usize)> = pool
-            .iter()
-            .filter(|f| f.kind == FragmentKind::Computation)
-            .map(|f| (f.start.ns(), f.end.ns(), f.duration().ns(), f.rank))
+    fn build<V: PoolView>(pool: V) -> PoolIndex {
+        let mut rows: Vec<(u64, u64, u64, usize)> = (0..pool.len())
+            .filter(|&i| pool.kind(i) == FragmentKind::Computation)
+            .map(|i| {
+                let (s, e) = (pool.start(i).ns(), pool.end(i).ns());
+                (s, e, e.saturating_sub(s), pool.rank(i))
+            })
             .collect();
         rows.sort_by_key(|r| r.0);
         let mut prefix_max_end = Vec::with_capacity(rows.len());
@@ -136,52 +139,124 @@ impl FragmentProvider for ScratchProvider<'_> {
     }
 }
 
-/// The reusable state of a batch: the merged view, one interval index
-/// per edge pool, and the memoised cluster outcomes.
-pub struct DiagnosisBatch<'a, 'm> {
-    merged: &'m MergedStg<'a>,
+/// Representation-generic twin of [`ScratchProvider`]: the chosen
+/// cluster's members are *indices* into a [`PoolView`], and each
+/// drill-down step rebuilds the scratch fragments field by field from
+/// the view's accessors — zero full-population [`Fragment`] clones,
+/// identical arithmetic on both the AoS and columnar paths.
+struct ViewScratchProvider<'a, V: PoolView> {
+    pool: V,
+    members: &'a [usize],
+    scratch: Vec<Fragment>,
+}
+
+impl<V: PoolView> FragmentProvider for ViewScratchProvider<'_, V> {
+    fn collect(&mut self, set: CounterSet) -> &[Fragment] {
+        self.scratch.clear();
+        self.scratch.extend(self.members.iter().map(|&m| Fragment {
+            rank: self.pool.rank(m),
+            kind: self.pool.kind(m),
+            start: self.pool.start(m),
+            end: self.pool.end(m),
+            counters: self.pool.project_counters(m, set),
+            args: self.pool.args(m).to_vec(), // vapro-lint: allow(R1, arg vector copied into the reusable scratch projection; counters themselves are projected)
+        }));
+        &self.scratch
+    }
+}
+
+/// A set of diagnosable edge pools, abstracted over the fragment
+/// representation. [`DiagnosisBatch`] is generic over this, so the AoS
+/// [`MergedStg`] and the columnar [`ColumnarPool`] drive the exact same
+/// batched-diagnosis machinery.
+pub trait EdgePools {
+    /// The per-pool view type handed to the index/cluster/drill-down
+    /// stages.
+    type View<'v>: PoolView + Copy + Sync
+    where
+        Self: 'v;
+
+    /// Number of edge pools, in edge (key) order.
+    fn num_edge_pools(&self) -> usize;
+
+    /// The `i`-th edge pool.
+    fn edge_pool(&self, i: usize) -> Self::View<'_>;
+}
+
+impl<'a> EdgePools for MergedStg<'a> {
+    type View<'v>
+        = &'v [&'a Fragment]
+    where
+        Self: 'v;
+
+    fn num_edge_pools(&self) -> usize {
+        self.edges.len()
+    }
+
+    fn edge_pool(&self, i: usize) -> &[&'a Fragment] {
+        &self.edges[i].1
+    }
+}
+
+impl EdgePools for ColumnarPool {
+    type View<'v> = LaneView<'v>;
+
+    fn num_edge_pools(&self) -> usize {
+        self.num_edges()
+    }
+
+    fn edge_pool(&self, i: usize) -> LaneView<'_> {
+        self.edge(i).2
+    }
+}
+
+/// The reusable state of a batch: the pooled view (AoS or columnar),
+/// one interval index per edge pool, and the memoised cluster outcomes.
+pub struct DiagnosisBatch<'m, S: EdgePools> {
+    pools: &'m S,
     cfg: &'m VaproConfig,
     indexes: Vec<PoolIndex>,
-    /// Lazily clustered outcomes, aligned with `merged.edges`. Unused
+    /// Lazily clustered outcomes, aligned with the edge pools. Unused
     /// when `seeded` is present.
     clusters: Vec<OnceLock<ClusterOutcome>>,
-    /// Detection's per-edge outcomes, aligned with `merged.edges` —
+    /// Detection's per-edge outcomes, aligned with the edge pools —
     /// exact reuse, since detection clusters each pool with the same
     /// (proxy-counter, threshold, min-size) parameters.
     seeded: Option<&'m [ClusterOutcome]>,
-    /// Memoised per-pool drill-down results, aligned with `merged.edges`.
+    /// Memoised per-pool drill-down results, aligned with the edge pools.
     reports: Vec<OnceLock<Option<DiagnosisReport>>>,
 }
 
-impl<'a, 'm> DiagnosisBatch<'a, 'm> {
-    /// Index the merged view for batched diagnosis. Clustering is lazy:
+impl<'m, S: EdgePools + Sync> DiagnosisBatch<'m, S> {
+    /// Index the pooled view for batched diagnosis. Clustering is lazy:
     /// a pool is clustered the first time a region selects it.
-    pub fn new(merged: &'m MergedStg<'a>, cfg: &'m VaproConfig) -> DiagnosisBatch<'a, 'm> {
-        let indexes = merged.edges.iter().map(|(_, pool)| PoolIndex::build(pool)).collect();
-        let clusters = merged.edges.iter().map(|_| OnceLock::new()).collect();
-        let reports = merged.edges.iter().map(|_| OnceLock::new()).collect();
-        DiagnosisBatch { merged, cfg, indexes, clusters, seeded: None, reports }
+    pub fn new(pools: &'m S, cfg: &'m VaproConfig) -> DiagnosisBatch<'m, S> {
+        let n = pools.num_edge_pools();
+        let indexes = (0..n).map(|i| PoolIndex::build(pools.edge_pool(i))).collect();
+        let clusters = (0..n).map(|_| OnceLock::new()).collect();
+        let reports = (0..n).map(|_| OnceLock::new()).collect();
+        DiagnosisBatch { pools, cfg, indexes, clusters, seeded: None, reports }
     }
 
     /// Like [`DiagnosisBatch::new`], but reuse cluster outcomes computed
     /// elsewhere — typically
     /// [`DetectionResult::edge_clusters`](crate::detect::pipeline::DetectionResult::edge_clusters)
-    /// from a detection pass over the *same* merged view, in which case
+    /// from a detection pass over the *same* pooled view, in which case
     /// no pool is ever clustered twice.
     ///
     /// # Panics
-    /// When `outcomes` is not aligned with the merged view's edge pools.
+    /// When `outcomes` is not aligned with the view's edge pools.
     pub fn with_clusters(
-        merged: &'m MergedStg<'a>,
+        pools: &'m S,
         cfg: &'m VaproConfig,
         outcomes: &'m [ClusterOutcome],
-    ) -> DiagnosisBatch<'a, 'm> {
+    ) -> DiagnosisBatch<'m, S> {
         assert_eq!(
             outcomes.len(),
-            merged.edges.len(),
+            pools.num_edge_pools(),
             "cluster outcomes must align with the merged edge pools"
         );
-        let mut batch = DiagnosisBatch::new(merged, cfg);
+        let mut batch = DiagnosisBatch::new(pools, cfg);
         batch.seeded = Some(outcomes);
         batch
     }
@@ -191,8 +266,8 @@ impl<'a, 'm> DiagnosisBatch<'a, 'm> {
             return &seeded[pool_idx];
         }
         self.clusters[pool_idx].get_or_init(|| {
-            cluster_fragment_refs(
-                &self.merged.edges[pool_idx].1,
+            cluster_pool(
+                &self.pools.edge_pool(pool_idx),
                 &self.cfg.proxy_counters,
                 self.cfg.cluster_threshold,
                 self.cfg.min_cluster_size,
@@ -225,11 +300,11 @@ impl<'a, 'm> DiagnosisBatch<'a, 'm> {
 
     /// The progressive drill-down over one pool's dominant cluster.
     fn diagnose_pool(&self, pool_idx: usize) -> Option<DiagnosisReport> {
-        let pool = &self.merged.edges[pool_idx].1;
+        let pool = self.pools.edge_pool(pool_idx);
         let outcome = self.outcome(pool_idx);
         let cluster = outcome.usable.iter().max_by_key(|c| c.members.len())?;
-        let members: Vec<&Fragment> = cluster.members.iter().map(|&m| pool[m]).collect();
-        let mut provider = ScratchProvider::new(members);
+        let mut provider =
+            ViewScratchProvider { pool, members: &cluster.members, scratch: Vec::new() };
         diagnose_progressively_with(
             &mut provider,
             self.cfg.ka_abnormal,
@@ -273,9 +348,21 @@ pub fn diagnose_regions_seq(
     DiagnosisBatch::new(merged, cfg).diagnose_all_seq(rois)
 }
 
+/// [`diagnose_regions`] over a columnar pool: the same batched machinery
+/// reading contiguous lanes instead of `&Fragment` slices. Bit-identical
+/// to the AoS path over the same fragment population.
+pub fn diagnose_regions_columnar(
+    pool: &ColumnarPool,
+    rois: &[RegionOfInterest],
+    cfg: &VaproConfig,
+) -> Vec<Option<DiagnosisReport>> {
+    DiagnosisBatch::new(pool, cfg).diagnose_all(rois)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::clustering::cluster_fragment_refs;
     use crate::detect::pipeline::merge_stgs;
     use crate::diagnose::driver::diagnose_region;
     use crate::diagnose::driver::tests::stgs_with_noise;
@@ -332,7 +419,7 @@ mod tests {
         let stgs = stgs_with_noise(3, 20, 1, (0, 20_000_000));
         let merged = merge_stgs(&stgs);
         for (_, pool) in &merged.edges {
-            let index = PoolIndex::build(pool);
+            let index = PoolIndex::build(pool.as_slice());
             for roi in rois_grid(3, 45_000_000, 7) {
                 let naive: u64 = pool
                     .iter()

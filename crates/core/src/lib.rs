@@ -29,6 +29,7 @@
 pub mod baseline;
 pub mod clustering;
 pub mod collector;
+pub mod columnar;
 pub mod config;
 pub mod detect;
 pub mod diagnose;
@@ -42,12 +43,13 @@ pub mod wire;
 
 pub use baseline::{BaselineProfile, RunComparison};
 pub use clustering::{
-    cluster_fragment_refs, cluster_fragments, cluster_vectors, cluster_vectors_unpruned, Cluster,
-    ClusterOutcome,
+    cluster_fragment_refs, cluster_fragments, cluster_lanes, cluster_pool, cluster_vectors,
+    cluster_vectors_unpruned, Cluster, ClusterOutcome,
 };
+pub use columnar::{ColumnarPool, LaneView, PoolView};
 pub use detect::pipeline::{
-    detect, detect_intra, detect_merged, detect_seq, merge_stgs, merge_stgs_window,
-    DetectionResult, MergedStg,
+    detect, detect_columnar, detect_intra, detect_merged, detect_seq, merge_stgs,
+    merge_stgs_window, DetectionResult, MergedStg,
 };
 pub use intern::{Sym, SymbolTable};
 pub use collector::Collector;
@@ -59,8 +61,8 @@ pub use detect::server::{
     WindowReport, WindowedIngestor,
 };
 pub use diagnose::{
-    diagnose_region, diagnose_regions, diagnose_regions_seq, DiagnosisBatch, DiagnosisReport,
-    RegionOfInterest,
+    diagnose_region, diagnose_regions, diagnose_regions_columnar, diagnose_regions_seq,
+    DiagnosisBatch, EdgePools, DiagnosisReport, RegionOfInterest,
 };
 pub use fragment::{Fragment, FragmentKind};
 pub use report::{VaproReport, WindowCoverage};

@@ -1,0 +1,218 @@
+//! Property tests of the columnar core: [`ColumnarPool`] lane views must
+//! drive detection and diagnosis to **bit-identical** results versus the
+//! AoS `&[&Fragment]` path over the same fragment population — the
+//! columnar representation is an optimisation, never a semantic change.
+//! Populations come in over the real wire-ingest path (arena pools),
+//! including empty groups, single-fragment locations and colliding
+//! timestamps; a dedicated case checks that explicitly empty lanes are
+//! inert.
+
+use proptest::prelude::*;
+use proptest::prop::collection::vec;
+use vapro_core::fragment::{Fragment, FragmentKind};
+use vapro_core::wire::{EdgeGroup, FragmentBatch, VertexGroup};
+use vapro_core::{
+    detect_columnar, detect_merged, diagnose_regions_columnar, diagnose_regions_seq,
+    ColumnarPool, IngestArena, RegionOfInterest, StateKey, VaproConfig,
+};
+use vapro_pmu::{CounterDelta, CounterId};
+use vapro_sim::{CallSite, VirtualTime};
+
+const NRANKS: usize = 4;
+const BINS: usize = 8;
+
+fn kind_strategy() -> impl Strategy<Value = FragmentKind> {
+    prop_oneof![
+        Just(FragmentKind::Computation),
+        Just(FragmentKind::Communication),
+        Just(FragmentKind::Io),
+        Just(FragmentKind::Other),
+    ]
+}
+
+fn finite() -> impl Strategy<Value = f64> {
+    prop_oneof![Just(0.0), -1e9f64..1e9]
+}
+
+/// Fragments over a small rank set and a narrow time range, so windows,
+/// clusters and regions all actually form. Coarse start/duration grids
+/// make timestamp collisions (the content-tiebreak path) common.
+fn fragment_strategy() -> impl Strategy<Value = Fragment> {
+    (
+        0usize..NRANKS,
+        kind_strategy(),
+        (0u64..40).prop_map(|t| t * 1_000_000),
+        (1u64..20).prop_map(|d| d * 100_000),
+        vec((0usize..CounterId::ALL.len(), finite()), 0..5),
+        vec(finite(), 0..4),
+    )
+        .prop_map(|(rank, kind, start, dur, counters, args)| {
+            let mut delta = CounterDelta::default();
+            for (idx, val) in counters {
+                delta.put(CounterId::ALL[idx], val);
+            }
+            Fragment {
+                rank,
+                kind,
+                start: VirtualTime::from_ns(start),
+                end: VirtualTime::from_ns(start + dur),
+                counters: delta,
+                args,
+            }
+        })
+}
+
+/// A valid batch over a tiny label alphabet: group sizes span empty,
+/// single-fragment and clusterable populations.
+fn batch_strategy() -> impl Strategy<Value = FragmentBatch> {
+    let labels = ["solve", "halo", "reduce"];
+    (
+        0usize..NRANKS,
+        vec((0u32..3, vec(fragment_strategy(), 0..12)), 0..3),
+        vec((0u32..3, 0u32..3, vec(fragment_strategy(), 0..12)), 0..3),
+    )
+        .prop_map(move |(rank, vgroups, egroups)| FragmentBatch {
+            rank,
+            seq: 0,
+            window_start_ns: 0,
+            window_end_ns: 40_000_000,
+            labels: labels.iter().map(|l| l.to_string()).collect(),
+            vertex_groups: vgroups
+                .into_iter()
+                .map(|(label, fragments)| VertexGroup { label, fragments })
+                .collect(),
+            edge_groups: egroups
+                .into_iter()
+                .map(|(from, to, fragments)| EdgeGroup { from, to, fragments })
+                .collect(),
+        })
+}
+
+fn pooled(batches: Vec<FragmentBatch>) -> IngestArena {
+    let mut arena = IngestArena::new();
+    for b in batches {
+        arena.push_batch(b);
+    }
+    arena
+}
+
+fn rois() -> Vec<RegionOfInterest> {
+    let mut rois = Vec::new();
+    for r in 0..NRANKS {
+        for c in 0..4u64 {
+            rois.push(RegionOfInterest {
+                ranks: (r, r),
+                t_start: VirtualTime::from_ns(c * 15_000_000),
+                t_end: VirtualTime::from_ns((c + 1) * 15_000_000),
+            });
+        }
+    }
+    rois
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// detect over lanes == detect over fragment slices, to the bit.
+    /// `Debug` formatting of `f64` is shortest-roundtrip, so equal debug
+    /// strings mean equal bits in every heat-map cell, region bound,
+    /// series point and cluster seed.
+    #[test]
+    fn columnar_detection_is_bit_identical(batches in vec(batch_strategy(), 1..4)) {
+        let arena = pooled(batches);
+        let view = arena.full_view();
+        let cfg = VaproConfig::default();
+        let aos = detect_merged(&view, NRANKS, BINS, &cfg);
+        let pool = ColumnarPool::from_merged(&view);
+        let col = detect_columnar(&pool, NRANKS, BINS, &cfg);
+        prop_assert_eq!(format!("{aos:?}"), format!("{col:?}"));
+    }
+
+    /// Batched diagnosis over lanes == over fragment slices, for every
+    /// region of a grid covering the population.
+    #[test]
+    fn columnar_diagnosis_is_bit_identical(batches in vec(batch_strategy(), 1..4)) {
+        let arena = pooled(batches);
+        let view = arena.full_view();
+        let cfg = VaproConfig::default();
+        let pool = ColumnarPool::from_merged(&view);
+        prop_assert_eq!(
+            diagnose_regions_seq(&view, &rois(), &cfg),
+            diagnose_regions_columnar(&pool, &rois(), &cfg)
+        );
+    }
+
+    /// Refilling a recycled pool (the streaming server's scratch path)
+    /// leaves no trace of the previous population.
+    #[test]
+    fn refill_forgets_the_previous_population(
+        first in vec(batch_strategy(), 1..3),
+        second in vec(batch_strategy(), 1..3),
+    ) {
+        let cfg = VaproConfig::default();
+        let arena_a = pooled(first);
+        let arena_b = pooled(second);
+        let (va, vb) = (arena_a.full_view(), arena_b.full_view());
+        let mut recycled = ColumnarPool::from_merged(&va);
+        recycled.refill_from_merged(&vb);
+        let fresh = ColumnarPool::from_merged(&vb);
+        prop_assert_eq!(&recycled, &fresh);
+        prop_assert_eq!(
+            format!("{:?}", detect_columnar(&recycled, NRANKS, BINS, &cfg)),
+            format!("{:?}", detect_columnar(&fresh, NRANKS, BINS, &cfg))
+        );
+    }
+}
+
+/// Explicitly empty lanes — locations that exist in the pool but hold no
+/// fragments, which the AoS view path can never even produce — must be
+/// inert: same heat maps, regions, rare paths, series and coverage as
+/// the pool without them (empty edge lanes still occupy a slot in
+/// `edge_clusters`, whose alignment is positional by design).
+#[test]
+fn empty_lanes_are_inert() {
+    let cfg = VaproConfig::default();
+    let frag = |rank: usize, start: u64, dur: u64, ins: f64| {
+        let mut counters = CounterDelta::default();
+        counters.put(CounterId::TotIns, ins);
+        Fragment {
+            rank,
+            kind: FragmentKind::Computation,
+            start: VirtualTime::from_ns(start),
+            end: VirtualTime::from_ns(start + dur),
+            counters,
+            args: vec![],
+        }
+    };
+    let key = |l: &'static str| StateKey::Site(CallSite(l));
+
+    let mut dense = ColumnarPool::new();
+    dense.begin_edge(key("a"), key("b"));
+    for i in 0..8u64 {
+        dense.push(&frag((i % 2) as usize, i * 1_000_000, 500_000 + (i % 3) * 1_000, 1000.0));
+    }
+    dense.begin_vertex(key("solo"));
+    dense.push(&frag(1, 2_000_000, 300_000, 64.0)); // single-fragment location
+
+    let mut sparse = ColumnarPool::new();
+    sparse.begin_vertex(key("ghost")); // empty vertex lane
+    sparse.begin_edge(key("a"), key("b"));
+    for i in 0..8u64 {
+        sparse.push(&frag((i % 2) as usize, i * 1_000_000, 500_000 + (i % 3) * 1_000, 1000.0));
+    }
+    sparse.begin_edge(key("x"), key("y")); // empty edge lane
+    sparse.begin_vertex(key("solo"));
+    sparse.push(&frag(1, 2_000_000, 300_000, 64.0));
+
+    let a = detect_columnar(&dense, 2, 4, &cfg);
+    let b = detect_columnar(&sparse, 2, 4, &cfg);
+    assert_eq!(format!("{:?}", a.comp_map), format!("{:?}", b.comp_map));
+    assert_eq!(format!("{:?}", a.comm_map), format!("{:?}", b.comm_map));
+    assert_eq!(format!("{:?}", a.io_map), format!("{:?}", b.io_map));
+    assert_eq!(format!("{:?}", a.comp_regions), format!("{:?}", b.comp_regions));
+    assert_eq!(format!("{:?}", a.rare_paths), format!("{:?}", b.rare_paths));
+    assert_eq!(format!("{:?}", a.series), format!("{:?}", b.series));
+    assert_eq!(a.coverage.to_bits(), b.coverage.to_bits());
+    assert_eq!(a.edge_clusters.len() + 1, b.edge_clusters.len());
+    assert!(b.edge_clusters.iter().any(|o| o.usable.is_empty() && o.rare.is_empty()));
+}

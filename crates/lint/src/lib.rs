@@ -28,7 +28,7 @@ use rules::{Finding, FnScope, LintConfig};
 /// The checked-in rule scope for this workspace.
 ///
 /// * R1 covers the hot-path modules named by the design docs:
-///   `detect/`, `diagnose/`, `wire.rs`, `clustering.rs`.
+///   `detect/`, `diagnose/`, `wire.rs`, `clustering.rs`, `columnar.rs`.
 /// * R2 covers the wire decode functions and the server ingest
 ///   admission functions; the arithmetic sub-rule applies to the wire
 ///   decoders, where attacker-controlled lengths feed size math.
@@ -36,6 +36,9 @@ use rules::{Finding, FnScope, LintConfig};
 ///   path must be structurally total.
 /// * R3 covers normalization, heatmap, region ranking and clustering —
 ///   everywhere a float ordering decides detection output.
+/// * R4 covers the lane-building modules (`columnar.rs`,
+///   `clustering.rs`): per-element pushes in loops must be preceded by a
+///   capacity reservation somewhere in the same function.
 pub fn workspace_config() -> LintConfig {
     let wire_fns = [
         "take",
@@ -63,6 +66,7 @@ pub fn workspace_config() -> LintConfig {
             "crates/core/src/diagnose/".into(),
             "crates/core/src/wire.rs".into(),
             "crates/core/src/clustering.rs".into(),
+            "crates/core/src/columnar.rs".into(),
         ],
         r2_scopes: vec![
             wire_scope.clone(),
@@ -77,6 +81,10 @@ pub fn workspace_config() -> LintConfig {
             "crates/core/src/detect/normalize.rs".into(),
             "crates/core/src/detect/heatmap.rs".into(),
             "crates/core/src/detect/region.rs".into(),
+            "crates/core/src/clustering.rs".into(),
+        ],
+        r4_files: vec![
+            "crates/core/src/columnar.rs".into(),
             "crates/core/src/clustering.rs".into(),
         ],
     }

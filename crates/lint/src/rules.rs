@@ -13,6 +13,12 @@
 //! * **R3 float-hygiene** — `partial_cmp` comparisons and `NAN`
 //!   constants in normalization / heatmap / region / clustering code,
 //!   where a NaN comparison silently corrupts ordering.
+//! * **R4 reserve-before-push** — a per-element `.push(…)` inside a
+//!   `for`/`while`/`loop` body, in a function that never calls
+//!   `with_capacity` / `reserve` / `reserve_exact`, in the lane-building
+//!   modules. Growing a lane one doubling at a time is exactly the
+//!   allocation churn the columnar layout exists to avoid; size the
+//!   buffer first or waive with the reason it cannot be sized.
 //!
 //! A finding can be waived with `// vapro-lint: allow(R1, reason)` —
 //! trailing on the offending line, or on the whole line directly above
@@ -95,7 +101,13 @@ pub struct LintConfig {
     pub r2_no_waiver_files: Vec<String>,
     /// R3 applies to files matching these prefixes.
     pub r3_files: Vec<String>,
+    /// R4 applies to files matching these prefixes.
+    pub r4_files: Vec<String>,
 }
+
+/// Function names whose presence in a function body counts as "the
+/// buffer was sized" for R4.
+const R4_RESERVERS: &[&str] = &["with_capacity", "reserve", "reserve_exact"];
 
 fn file_matches(rel: &str, prefixes: &[String]) -> bool {
     prefixes.iter().any(|p| rel.starts_with(p.as_str()))
@@ -158,10 +170,61 @@ pub fn scan_file(rel: &str, src: &str, cfg: &LintConfig) -> Vec<Finding> {
     let r2_funcs = scope_funcs(rel, &cfg.r2_scopes);
     let r2_arith_funcs = scope_funcs(rel, &cfg.r2_arith);
     let r3 = file_matches(rel, &cfg.r3_files);
+    let r4 = file_matches(rel, &cfg.r4_files);
+
+    // R4 pre-pass: which functions size their buffers at all? A single
+    // `with_capacity`/`reserve` anywhere in the function is taken as
+    // evidence the author thought about growth.
+    let mut reserving: std::collections::HashSet<Option<String>> =
+        std::collections::HashSet::new();
+    if r4 {
+        for (i, t) in toks.iter().enumerate() {
+            if let Tok::Ident(m) = &t.tok {
+                if R4_RESERVERS.iter().any(|x| x == m) {
+                    reserving.insert(ctx_at(i).func);
+                }
+            }
+        }
+    }
+
+    // Loop-body tracking for R4: brace depth plus the depths at which
+    // `for`/`while`/`loop` bodies opened.
+    let mut depth = 0u32;
+    let mut pending_loop = false;
+    let mut loop_depths: Vec<u32> = Vec::new();
 
     for i in 0..toks.len() {
         let t = &toks[i];
         let ctx = ctx_at(i);
+
+        match &t.tok {
+            Tok::Ident(s) if s == "for" || s == "while" || s == "loop" => {
+                // `for<'a>` HRTBs are type syntax, not loops.
+                let hrtb = s == "for"
+                    && toks.get(i + 1).is_some_and(|n| n.tok == Tok::Punct("<".into()));
+                // `.for_each`-style method names never lex as bare `for`,
+                // but a `loop` struct field access (`x.loop`) cannot occur
+                // (keyword), so no dot guard is needed.
+                if !hrtb {
+                    pending_loop = true;
+                }
+            }
+            Tok::Punct(p) if p == ";" => pending_loop = false,
+            Tok::Punct(p) if p == "{" => {
+                depth += 1;
+                if pending_loop {
+                    loop_depths.push(depth);
+                    pending_loop = false;
+                }
+            }
+            Tok::Punct(p) if p == "}" => {
+                if loop_depths.last() == Some(&depth) {
+                    loop_depths.pop();
+                }
+                depth = depth.saturating_sub(1);
+            }
+            _ => {}
+        }
 
         // `.method(` patterns.
         if let (Tok::Punct(dot), Some(Token { tok: Tok::Ident(m), line }), Some(paren)) =
@@ -190,6 +253,18 @@ pub fn scan_file(rel: &str, src: &str, cfg: &LintConfig) -> Vec<Finding> {
                         "R3".into(),
                         *line,
                         "partial_cmp is not a total order under NaN (use total_cmp)".into(),
+                    ));
+                }
+                if r4
+                    && !mctx.test
+                    && m == "push"
+                    && !loop_depths.is_empty()
+                    && !reserving.contains(&mctx.func)
+                {
+                    raw.push((
+                        "R4".into(),
+                        *line,
+                        "per-element .push() in a loop without with_capacity/reserve grows the lane one doubling at a time".into(),
                     ));
                 }
             }
@@ -395,6 +470,7 @@ mod tests {
             r2_arith: vec![FnScope { file: file.into(), funcs: vec![] }],
             r2_no_waiver_files: vec![],
             r3_files: vec![file.into()],
+            r4_files: vec![file.into()],
         }
     }
 

@@ -23,7 +23,13 @@ fn cfg_for(file: &str) -> LintConfig {
         r2_arith: vec![scope],
         r2_no_waiver_files: vec![],
         r3_files: vec![file.into()],
+        r4_files: vec![],
     }
+}
+
+/// Config that applies only R4 to one fixture file.
+fn cfg_r4(file: &str) -> LintConfig {
+    LintConfig { r4_files: vec![file.into()], ..Default::default() }
 }
 
 #[test]
@@ -83,6 +89,20 @@ fn r3_fires_on_partial_cmp_and_nan() {
 #[test]
 fn r3_silent_on_total_cmp_twin() {
     let f = scan_file("r3_good.rs", &fixture("r3_good.rs"), &cfg_for("r3_good.rs"));
+    assert!(f.is_empty(), "good twin must be silent: {f:#?}");
+}
+
+#[test]
+fn r4_fires_on_unreserved_push_loops() {
+    let f = scan_file("r4_bad.rs", &fixture("r4_bad.rs"), &cfg_r4("r4_bad.rs"));
+    let r4: Vec<_> = f.iter().filter(|x| x.rule == "R4").collect();
+    assert_eq!(r4.len(), 3, "for-, while- and nested-loop pushes each fire: {f:#?}");
+    assert!(r4.iter().all(|x| x.message.contains("with_capacity/reserve")));
+}
+
+#[test]
+fn r4_silent_on_reserving_twin() {
+    let f = scan_file("r4_good.rs", &fixture("r4_good.rs"), &cfg_r4("r4_good.rs"));
     assert!(f.is_empty(), "good twin must be silent: {f:#?}");
 }
 

@@ -44,7 +44,7 @@ fn wire_decode_scope_has_zero_waivers() {
 fn waiver_budget_stays_reviewed() {
     // The budget cap mirrors the committed LINT_report.json; bumping it
     // is a deliberate, reviewed act (run `make lint-accept`).
-    const BUDGET: usize = 16;
+    const BUDGET: usize = 22;
     let findings = run_workspace(&workspace_root());
     let waived = findings.iter().filter(|f| f.waived.is_some()).count();
     assert!(waived <= BUDGET, "waiver budget exceeded: {waived} > {BUDGET}");

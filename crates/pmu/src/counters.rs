@@ -246,6 +246,22 @@ impl CounterSet {
     pub fn iter(self) -> impl Iterator<Item = CounterId> {
         CounterId::ALL.into_iter().filter(move |id| self.contains(*id))
     }
+
+    /// The raw membership bitmask (bit `id.index()` set per member).
+    /// Columnar fragment storage packs each fragment's active counter
+    /// values contiguously in `CounterId::ALL` order; the popcount of
+    /// the bits below an id recovers that value's position in O(1).
+    #[inline]
+    pub fn bits(self) -> u32 {
+        self.0
+    }
+
+    /// Rebuild a set from a raw bitmask previously taken with
+    /// [`CounterSet::bits`]. Bits beyond `NUM_COUNTERS` are dropped.
+    #[inline]
+    pub fn from_bits(bits: u32) -> CounterSet {
+        CounterSet(bits & ((1u32 << NUM_COUNTERS) - 1))
+    }
 }
 
 /// A dense vector of counter values; unset entries are zero.
