@@ -4,7 +4,7 @@
 CARGO := cargo
 OFFLINE := --offline
 
-.PHONY: check test lint lint-accept miri tsan perf ingest-perf diagnose-perf chaos bench clippy clean
+.PHONY: check test lint lint-accept miri tsan perf ingest-perf diagnose-perf fleet-perf chaos bench clippy clean
 
 # The full gate: release build, tests, workspace clippy with warnings
 # denied, the static-analysis pass, sanitizer runs (skipped gracefully
@@ -22,6 +22,7 @@ check:
 	$(CARGO) run --release $(OFFLINE) -p vapro-bench --bin perf
 	$(CARGO) run --release $(OFFLINE) -p vapro-bench --bin ingest_perf
 	$(CARGO) run --release $(OFFLINE) -p vapro-bench --bin diagnose_perf
+	$(CARGO) run --release $(OFFLINE) -p vapro-bench --bin fleet_perf
 
 # Workspace static analysis (R1 no-hot-path-clone, R2 no-panic-decode,
 # R3 float-hygiene; see DESIGN.md §10). Fails on any unwaived finding or
@@ -80,6 +81,13 @@ ingest-perf:
 # zero Fragment clones on the batch path).
 diagnose-perf:
 	$(CARGO) run --release $(OFFLINE) -p vapro-bench --bin diagnose_perf
+
+# Sharded fleet ingest-plane harness: writes BENCH_fleet.json and
+# enforces the release-mode fleet targets (single-job overhead < 10%;
+# >=1.5x aggregate throughput at 4 shards, gated only on runners with
+# enough hardware threads).
+fleet-perf:
+	$(CARGO) run --release $(OFFLINE) -p vapro-bench --bin fleet_perf
 
 # Seeded fault-injection suite against the streaming ingestor: clean
 # transports must stay bit-identical to the one-shot analysis, hostile

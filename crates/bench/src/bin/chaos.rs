@@ -14,9 +14,17 @@
 //! 3. `N` random hostile plans (drops, duplicates, reordering,
 //!    corruption, delays, deaths) — each must satisfy the robustness
 //!    invariants: no panic, exact window cover of admitted data, sound
-//!    delivery accounting.
+//!    delivery accounting;
+//! 4. the same suite aimed at the fleet plane — a clean multi-job fleet
+//!    and `N` random fleet plans where each job carries its own fault
+//!    mix (job 0 always clean). Every job's fleet output must be
+//!    bit-identical to a solo ingestor fed the same deliveries: chaos on
+//!    one tenant can neither corrupt nor stall another.
 
-use vapro_bench::chaos::{check_invariants, fault_free_equivalence, run_plan, FaultPlan};
+use vapro_bench::chaos::{
+    check_fleet_invariants, check_invariants, fault_free_equivalence, run_fleet_plan, run_plan,
+    FaultPlan, FleetPlan,
+};
 
 fn usage() -> ! {
     eprintln!("usage: chaos [--plans N] [--seed S]");
@@ -90,6 +98,35 @@ fn main() {
             ),
             Err(e) => {
                 eprintln!("FAIL plan {i} (seed {}): {e}", seed.wrapping_add(i));
+                failures += 1;
+            }
+        }
+    }
+
+    let clean_fleet = FleetPlan::fault_free(seed, 3);
+    match check_fleet_invariants(&clean_fleet, &run_fleet_plan(&clean_fleet)) {
+        Ok(()) => println!("clean fleet: ok (3 jobs, each bit-identical to its solo run)"),
+        Err(e) => {
+            eprintln!("FAIL clean fleet: {e}");
+            failures += 1;
+        }
+    }
+
+    for i in 0..plans {
+        let plan = FleetPlan::random(seed.wrapping_add(i));
+        let outcome = run_fleet_plan(&plan);
+        match check_fleet_invariants(&plan, &outcome) {
+            Ok(()) => println!(
+                "fleet plan {i:>3}: ok — {} jobs / {} shards, {} delivered, {} decode-rejected, \
+                 {} windows",
+                plan.jobs.len(),
+                plan.shards,
+                outcome.delivered,
+                outcome.per_job.iter().map(|j| j.rejected_decode).sum::<usize>(),
+                outcome.per_job.iter().map(|j| j.reports.len()).sum::<usize>(),
+            ),
+            Err(e) => {
+                eprintln!("FAIL fleet plan {i} (seed {}): {e}", seed.wrapping_add(i));
                 failures += 1;
             }
         }

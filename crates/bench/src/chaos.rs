@@ -392,6 +392,413 @@ pub fn fault_free_equivalence(plan: &FaultPlan) -> Result<(), String> {
     reports_identical(&outcome.reports, &reference)
 }
 
+// ---------------------------------------------------------------------
+// Fleet chaos: the same seeded fault injection aimed at the sharded
+// multi-tenant plane. A [`FleetPlan`] interleaves several jobs' frame
+// streams — each job with its *own* fault axes — through one
+// [`FleetIngestor`]. The check is isolation by construction: every
+// job's fleet output must be bit-identical to a solo [`WindowedIngestor`]
+// fed exactly that job's delivery sequence, so a chaotic tenant can
+// neither corrupt nor stall a clean one; and every job's solo reference
+// must itself tile its admitted data exactly.
+
+use std::collections::BTreeMap;
+use vapro_core::{FleetConfig, FleetIngestor, FleetReport, FleetWindow, JobKey};
+
+/// One job inside a fleet plan: its routing identity, its synthetic-run
+/// shape, and its private transport fault axes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobPlan {
+    /// Owning tenant (registered with an unlimited budget by the runner).
+    pub tenant: u32,
+    /// Job id within the tenant.
+    pub job: u32,
+    /// Ranks in this job's synthetic run.
+    pub nranks: usize,
+    /// Computation fragments per rank.
+    pub frags_per_rank: usize,
+    /// Probability a frame is silently dropped in transit.
+    pub drop: f64,
+    /// Probability a frame is delivered twice.
+    pub duplicate: f64,
+    /// Probability a frame is reordered within its reporting period.
+    pub reorder: f64,
+    /// Probability a frame has a CRC-covered payload byte flipped.
+    pub corrupt: f64,
+    /// Probability a frame is delayed by 1–2 whole periods.
+    pub delay: f64,
+    /// `(rank, last_period)` deaths, as in [`FaultPlan::deaths`].
+    pub deaths: Vec<(usize, usize)>,
+}
+
+impl JobPlan {
+    /// A clean job: everything delivered exactly once, in order.
+    pub fn clean(tenant: u32, job: u32) -> JobPlan {
+        JobPlan {
+            tenant,
+            job,
+            nranks: 2,
+            frags_per_rank: 200,
+            drop: 0.0,
+            duplicate: 0.0,
+            reorder: 0.0,
+            corrupt: 0.0,
+            delay: 0.0,
+            deaths: Vec::new(),
+        }
+    }
+
+    /// Does this job's transport inject any fault at all?
+    pub fn is_fault_free(&self) -> bool {
+        self.drop == 0.0
+            && self.duplicate == 0.0
+            && self.reorder == 0.0
+            && self.corrupt == 0.0
+            && self.delay == 0.0
+            && self.deaths.is_empty()
+    }
+
+    /// The fleet routing key.
+    pub fn key(&self) -> JobKey {
+        JobKey { tenant: self.tenant, job: self.job }
+    }
+
+    fn last_period_of(&self, rank: usize) -> Option<usize> {
+        self.deaths.iter().find(|(r, _)| *r == rank).map(|&(_, last)| last)
+    }
+}
+
+/// A deterministic multi-job fault schedule over the fleet plane.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetPlan {
+    /// Seed for every random decision the plan makes.
+    pub seed: u64,
+    /// Ingest shards of the fleet under test.
+    pub shards: usize,
+    /// Per-shard queue capacity (small values force frequent drains).
+    pub queue_capacity_frames: usize,
+    /// Reporting periods every job is sliced into (shared cadence).
+    pub periods: usize,
+    /// The jobs and their private fault axes.
+    pub jobs: Vec<JobPlan>,
+}
+
+impl FleetPlan {
+    /// A clean fleet: `jobs` fault-free jobs across distinct tenants.
+    pub fn fault_free(seed: u64, jobs: usize) -> FleetPlan {
+        FleetPlan {
+            seed,
+            shards: 2,
+            queue_capacity_frames: 8,
+            periods: 6,
+            jobs: (0..jobs).map(|j| JobPlan::clean(1 + j as u32 % 3, j as u32)).collect(),
+        }
+    }
+
+    /// A randomly hostile fleet: 2–4 jobs, each with its own random
+    /// fault mix — except job 0, which is always clean so every random
+    /// plan also probes the isolation claim — all derived from `seed`.
+    pub fn random(seed: u64) -> FleetPlan {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x000F_1EE7_C4A0);
+        let njobs = rng.gen_range(2usize..5);
+        let periods = rng.gen_range(4usize..8);
+        let jobs = (0..njobs)
+            .map(|j| {
+                let mut jp = JobPlan {
+                    tenant: 1 + rng.gen_range(0u32..3),
+                    job: j as u32,
+                    nranks: rng.gen_range(2usize..4),
+                    frags_per_rank: rng.gen_range(120usize..300),
+                    drop: rng.gen_range(0.0..0.15),
+                    duplicate: rng.gen_range(0.0..0.2),
+                    reorder: rng.gen_range(0.0..0.5),
+                    corrupt: rng.gen_range(0.0..0.1),
+                    delay: rng.gen_range(0.0..0.2),
+                    deaths: if rng.gen_bool(0.4) {
+                        vec![(0, rng.gen_range(1..periods.max(3) - 1))]
+                    } else {
+                        Vec::new()
+                    },
+                };
+                jp.deaths = jp
+                    .deaths
+                    .iter()
+                    .map(|&(_, p)| (rng.gen_range(0..jp.nranks), p))
+                    .collect();
+                if j == 0 {
+                    jp = JobPlan { nranks: jp.nranks, frags_per_rank: jp.frags_per_rank, ..JobPlan::clean(jp.tenant, 0) };
+                }
+                jp
+            })
+            .collect();
+        FleetPlan {
+            seed,
+            shards: rng.gen_range(1usize..5),
+            queue_capacity_frames: rng.gen_range(1usize..17),
+            periods,
+            jobs,
+        }
+    }
+}
+
+/// What one job saw in a fleet chaos run.
+#[derive(Debug)]
+pub struct FleetJobOutcome {
+    /// The job's routing key.
+    pub key: JobKey,
+    /// The job's window reports, in window order.
+    pub reports: Vec<WindowReport>,
+    /// Frame deliveries attempted for this job.
+    pub delivered: usize,
+    /// Deliveries the fleet rejected at decode (corruption).
+    pub rejected_decode: usize,
+}
+
+/// What one fleet chaos run produced.
+#[derive(Debug)]
+pub struct FleetChaosOutcome {
+    /// The shared reporting period, ns.
+    pub period_ns: u64,
+    /// Total frame deliveries attempted, all jobs.
+    pub delivered: usize,
+    /// Per-job outcomes, in plan order.
+    pub per_job: Vec<FleetJobOutcome>,
+    /// The fleet's final aggregate report.
+    pub report: FleetReport,
+}
+
+/// This job's synthetic STGs (seeded off the plan and the job identity).
+fn fleet_job_stgs(plan: &FleetPlan, jp: &JobPlan) -> Vec<Stg> {
+    let salt = ((jp.tenant as u64) << 32) | jp.job as u64;
+    synthetic_stgs(jp.nranks, jp.frags_per_rank, 8, plan.seed ^ salt ^ 0xBAD_F00D)
+}
+
+/// The shared reporting period: the longest job's data split into the
+/// plan's period count (every job analyses on the same cadence, as the
+/// fleet's single `VaproConfig` requires).
+fn fleet_period_ns(plan: &FleetPlan) -> u64 {
+    let t_end = plan
+        .jobs
+        .iter()
+        .map(|jp| t_end_ns(&fleet_job_stgs(plan, jp)))
+        .max()
+        .unwrap_or(0);
+    (t_end / plan.periods.max(1) as u64).max(1)
+}
+
+/// Generate one job's faulted delivery sequence: sequenced per-period v3
+/// frames with the job's routing stamp, faults applied, sorted into
+/// arrival order. Deterministic in the plan seed and the job identity.
+/// Corruption only ever flips bytes the CRC covers (never the version
+/// byte, where a flip can masquerade as a different frame layout instead
+/// of failing), so every corrupted frame is rejected at decode — on the
+/// fleet path and the solo reference alike.
+fn fleet_job_deliveries(plan: &FleetPlan, jp: &JobPlan, period_ns: u64) -> Vec<Vec<u8>> {
+    let stgs = fleet_job_stgs(plan, jp);
+    let t_end = t_end_ns(&stgs);
+    let salt = ((jp.tenant as u64) << 32) | jp.job as u64;
+    let mut rng = ChaCha8Rng::seed_from_u64(plan.seed ^ salt);
+    let mut deliveries: Vec<((u64, u64), Vec<u8>)> = Vec::new();
+    let mut slot = 0u64;
+    for k in 0..t_end.div_ceil(period_ns) as usize {
+        let period = Window {
+            start: VirtualTime::from_ns(k as u64 * period_ns),
+            end: VirtualTime::from_ns((k as u64 + 1) * period_ns),
+        };
+        for (rank, stg) in stgs.iter().enumerate() {
+            if jp.last_period_of(rank).is_some_and(|last| k > last) {
+                continue;
+            }
+            slot += 1;
+            if rng.gen_bool(jp.drop) {
+                continue;
+            }
+            let mut bytes = FragmentBatch::from_stg_starting_in(stg, rank, period)
+                .with_seq(k as u64 + 1)
+                .with_job(jp.tenant, jp.job)
+                .encode_v3();
+            if rng.gen_bool(jp.corrupt) {
+                let pos = rng.gen_range(9..bytes.len());
+                bytes[pos] ^= 1 << rng.gen_range(0..8u32);
+            }
+            let delayed = if rng.gen_bool(jp.delay) { rng.gen_range(1u64..3) } else { 0 };
+            let jitter = if rng.gen_bool(jp.reorder) {
+                rng.gen_range(0..1_000_000u64)
+            } else {
+                slot
+            };
+            if rng.gen_bool(jp.duplicate) {
+                deliveries.push(((k as u64 + delayed, jitter + 1), bytes.clone()));
+            }
+            deliveries.push(((k as u64 + delayed, jitter), bytes));
+        }
+    }
+    deliveries.sort_by_key(|(key, _)| *key);
+    deliveries.into_iter().map(|(_, bytes)| bytes).collect()
+}
+
+/// Run one fleet plan end to end: every job's faulted stream generated,
+/// the streams interleaved round-robin, pushed through a sharded
+/// [`FleetIngestor`], all windows flushed and attributed back per job.
+pub fn run_fleet_plan(plan: &FleetPlan) -> FleetChaosOutcome {
+    let period_ns = fleet_period_ns(plan);
+    let cfg = plan_config(period_ns);
+    let streams: Vec<Vec<Vec<u8>>> =
+        plan.jobs.iter().map(|jp| fleet_job_deliveries(plan, jp, period_ns)).collect();
+
+    let mut fleet = FleetIngestor::new(FleetConfig {
+        shards: plan.shards,
+        default_nranks: 1,
+        bins_per_window: 8,
+        vapro: cfg,
+        queue_capacity_frames: plan.queue_capacity_frames,
+        default_tenant_budget_bytes: u64::MAX,
+    });
+    for jp in &plan.jobs {
+        fleet.register_tenant(jp.tenant, u64::MAX);
+        fleet.register_job(jp.key(), jp.nranks, jp.tenant);
+    }
+
+    let mut rejected_decode = vec![0usize; plan.jobs.len()];
+    let mut windows: Vec<FleetWindow> = Vec::new();
+    let mut delivered = 0usize;
+    let longest = streams.iter().map(Vec::len).max().unwrap_or(0);
+    for i in 0..longest {
+        for (j, stream) in streams.iter().enumerate() {
+            let Some(bytes) = stream.get(i) else { continue };
+            delivered += 1;
+            match fleet.push_encoded(bytes) {
+                Ok(closed) => windows.extend(closed),
+                Err(_) => rejected_decode[j] += 1,
+            }
+        }
+    }
+    let (report, flushed) = fleet.into_report();
+    windows.extend(flushed);
+
+    let mut by_key: BTreeMap<JobKey, Vec<WindowReport>> = BTreeMap::new();
+    for w in windows {
+        by_key.entry(w.key).or_default().push(w.report);
+    }
+    let per_job = plan
+        .jobs
+        .iter()
+        .enumerate()
+        .map(|(j, jp)| {
+            let key = jp.key();
+            FleetJobOutcome {
+                key,
+                reports: by_key.remove(&key).unwrap_or_default(),
+                delivered: streams[j].len(),
+                rejected_decode: rejected_decode[j],
+            }
+        })
+        .collect();
+
+    FleetChaosOutcome { period_ns, delivered, per_job, report }
+}
+
+/// The fleet isolation invariants. For every job, a solo
+/// [`WindowedIngestor`] fed exactly that job's delivery sequence (same
+/// decode-then-push admission as the fleet's shard path) must produce a
+/// bit-identical report stream — so no amount of chaos on *other*
+/// tenants can corrupt or stall this one — and the solo reference must
+/// tile its admitted data exactly. Clean jobs must additionally admit
+/// every delivery. Returns the first violation, `Ok(())` when sound.
+pub fn check_fleet_invariants(plan: &FleetPlan, outcome: &FleetChaosOutcome) -> Result<(), String> {
+    let cfg = plan_config(outcome.period_ns);
+    let period = VirtualTime::from_ns(outcome.period_ns);
+    for (jp, job_outcome) in plan.jobs.iter().zip(&outcome.per_job) {
+        let deliveries = fleet_job_deliveries(plan, jp, outcome.period_ns);
+        if deliveries.len() != job_outcome.delivered {
+            return Err(format!(
+                "job {:?}: {} deliveries regenerated vs {} recorded",
+                job_outcome.key,
+                deliveries.len(),
+                job_outcome.delivered
+            ));
+        }
+        let mut solo = WindowedIngestor::new(jp.nranks, 8, cfg.clone());
+        let mut solo_reports = Vec::new();
+        let mut solo_rejected = 0usize;
+        for bytes in &deliveries {
+            match FragmentBatch::decode(bytes) {
+                Ok(batch) => solo_reports.extend(solo.push(batch)),
+                Err(_) => solo_rejected += 1,
+            }
+        }
+        let admitted = solo.stats().frames_admitted;
+        let max_seen_ns = solo.arena().max_end_ns();
+        solo_reports.extend(solo.finish());
+
+        if solo_rejected != job_outcome.rejected_decode {
+            return Err(format!(
+                "job {:?}: fleet rejected {} frames at decode, solo rejected {}",
+                job_outcome.key, job_outcome.rejected_decode, solo_rejected
+            ));
+        }
+        // Isolation: the fleet's per-job output equals the solo run.
+        reports_identical(&job_outcome.reports, &solo_reports)
+            .map_err(|e| format!("job {:?} diverged from its solo run: {e}", job_outcome.key))?;
+        // The solo reference tiles its admitted data exactly.
+        let expected =
+            windows_covering(VirtualTime::ZERO, VirtualTime::from_ns(max_seen_ns), period);
+        if solo_reports.len() != expected.len() {
+            return Err(format!(
+                "job {:?}: {} windows closed vs {} expected for data up to {} ns",
+                job_outcome.key,
+                solo_reports.len(),
+                expected.len(),
+                max_seen_ns
+            ));
+        }
+        for (r, w) in solo_reports.iter().zip(&expected) {
+            if r.window != *w {
+                return Err(format!(
+                    "job {:?}: window {:?} emitted where {:?} expected",
+                    job_outcome.key, r.window, w
+                ));
+            }
+        }
+        // A clean job's transport loses nothing.
+        if jp.is_fault_free()
+            && (solo_rejected > 0 || admitted != deliveries.len() as u64)
+        {
+            return Err(format!(
+                "clean job {:?} lost frames: {} delivered, {} admitted, {} rejected",
+                job_outcome.key,
+                deliveries.len(),
+                admitted,
+                solo_rejected
+            ));
+        }
+        // The fleet report attributes the job with the right close count.
+        let Some(summary) = outcome.report.jobs.iter().find(|s| s.key == job_outcome.key)
+        else {
+            return Err(format!("job {:?} missing from the fleet report", job_outcome.key));
+        };
+        if summary.windows_closed != job_outcome.reports.len() {
+            return Err(format!(
+                "job {:?}: report says {} windows closed, {} observed",
+                job_outcome.key,
+                summary.windows_closed,
+                job_outcome.reports.len()
+            ));
+        }
+    }
+    // Every decode rejection is accounted to the unattributed bucket —
+    // a corrupted frame names no trustworthy tenant.
+    let total_rejected: usize = outcome.per_job.iter().map(|j| j.rejected_decode).sum();
+    if outcome.report.unattributed.frames_rejected() != total_rejected as u64 {
+        return Err(format!(
+            "{} decode rejections but the unattributed bucket counted {}",
+            total_rejected,
+            outcome.report.unattributed.frames_rejected()
+        ));
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -433,6 +840,60 @@ mod tests {
         // The cover still reaches the surviving ranks' full data.
         let last_end = outcome.reports.last().unwrap().window.end.ns();
         assert!(last_end >= outcome.max_seen_ns, "cover stopped early");
+    }
+
+    #[test]
+    fn a_clean_fleet_plan_is_isolated_and_complete() {
+        let plan = FleetPlan::fault_free(11, 3);
+        let outcome = run_fleet_plan(&plan);
+        check_fleet_invariants(&plan, &outcome).expect("clean fleet violated invariants");
+        assert_eq!(outcome.per_job.len(), 3);
+        for j in &outcome.per_job {
+            assert!(!j.reports.is_empty(), "job {:?} closed no windows", j.key);
+            assert_eq!(j.rejected_decode, 0);
+        }
+    }
+
+    #[test]
+    fn a_chaotic_tenant_cannot_corrupt_or_stall_a_clean_one() {
+        // Job 0 is clean; job 1 shares the fleet and suffers every fault
+        // axis at once. The invariant check proves job 0's output equals
+        // its solo run bit for bit — and that job 1, for all its losses,
+        // still tiles whatever data survived its transport.
+        let mut plan = FleetPlan::fault_free(29, 2);
+        plan.shards = 3;
+        plan.queue_capacity_frames = 4;
+        plan.jobs[1] = JobPlan {
+            drop: 0.15,
+            duplicate: 0.25,
+            reorder: 0.5,
+            corrupt: 0.5,
+            delay: 0.2,
+            deaths: vec![(1, 1)],
+            ..plan.jobs[1].clone()
+        };
+        let outcome = run_fleet_plan(&plan);
+        check_fleet_invariants(&plan, &outcome).expect("isolation violated");
+        let chaotic = &outcome.per_job[1];
+        assert!(chaotic.rejected_decode > 0, "corruption axis never fired");
+        assert!(
+            outcome.report.unattributed.corrupt_frames >= chaotic.rejected_decode as u64 / 2,
+            "decode rejections not surfaced in the fleet report"
+        );
+    }
+
+    #[test]
+    fn fleet_plans_are_deterministic_in_their_seed() {
+        let plan = FleetPlan::random(77);
+        assert_eq!(plan, FleetPlan::random(77));
+        let a = run_fleet_plan(&plan);
+        let b = run_fleet_plan(&plan);
+        assert_eq!(a.delivered, b.delivered);
+        for (ja, jb) in a.per_job.iter().zip(&b.per_job) {
+            assert_eq!(ja.key, jb.key);
+            assert_eq!(ja.rejected_decode, jb.rejected_decode);
+            reports_identical(&ja.reports, &jb.reports).expect("same fleet plan diverged");
+        }
     }
 
     #[test]

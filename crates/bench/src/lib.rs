@@ -28,6 +28,7 @@ pub mod fig16_hpl_cdf;
 pub mod fig17_nekbone;
 pub mod fig18_raxml;
 pub mod fig19_raxml_io;
+pub mod fleet;
 pub mod ingest;
 pub mod perf;
 pub mod regression;

@@ -103,6 +103,7 @@ pub fn run(opts: &ExpOpts) -> String {
 // regression on a quiet metric still does.
 
 use crate::diagnose::DiagnosePerf;
+use crate::fleet::FleetPerf;
 use crate::ingest::IngestPerf;
 use crate::perf::DetectPerf;
 use crate::stats::variance_tolerance;
@@ -159,6 +160,26 @@ pub fn load_previous_ingest(path: &str) -> Option<IngestPerf> {
     patch_missing_stats(
         &mut value,
         &["encode_noise_frac", "decode_noise_frac", "ingest_noise_frac"],
+    );
+    serde_json::from_value(&value).ok()
+}
+
+/// Load the previous fleet report, if a readable one exists at `path`.
+/// A missing or unreadable file returns `None` — the first `fleet_perf`
+/// run on a fresh checkout seeds the baseline instead of failing — and
+/// reports written by a build predating any later noise field still
+/// load (see [`patch_missing_stats`]).
+pub fn load_previous_fleet(path: &str) -> Option<FleetPerf> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let mut value: serde_json::Value = serde_json::from_str(&text).ok()?;
+    patch_missing_stats(
+        &mut value,
+        &[
+            "fleet_1shard_noise_frac",
+            "fleet_nshard_noise_frac",
+            "bare_noise_frac",
+            "single_job_noise_frac",
+        ],
     );
     serde_json::from_value(&value).ok()
 }
@@ -303,6 +324,50 @@ pub fn diagnose_regression_warnings(
             previous.batch_regions_per_sec,
             current.batch_regions_per_sec,
             variance_tolerance(&[previous.batch_noise_frac, current.batch_noise_frac]),
+        );
+    }
+    warnings
+}
+
+/// Compare a fresh fleet report against the previous one, same
+/// tolerance. The single-shard aggregate rate and the single-job
+/// (fleet and bare) rates are effectively single-threaded and always
+/// gate; the N-shard aggregate rate only gates between runs on the same
+/// hardware parallelism — and only when both measured the same shard
+/// count, since "4 shards" and "8 shards" are different benchmarks.
+pub fn fleet_regression_warnings(previous: &FleetPerf, current: &FleetPerf) -> Vec<String> {
+    let mut warnings = Vec::new();
+    check_drop(
+        &mut warnings,
+        "fleet 1-shard aggregate throughput",
+        previous.fleet_1shard_fragments_per_sec,
+        current.fleet_1shard_fragments_per_sec,
+        variance_tolerance(&[previous.fleet_1shard_noise_frac, current.fleet_1shard_noise_frac]),
+    );
+    check_drop(
+        &mut warnings,
+        "single-job fleet throughput",
+        previous.single_job_fragments_per_sec,
+        current.single_job_fragments_per_sec,
+        variance_tolerance(&[previous.single_job_noise_frac, current.single_job_noise_frac]),
+    );
+    check_drop(
+        &mut warnings,
+        "bare single-job ingest throughput",
+        previous.bare_fragments_per_sec,
+        current.bare_fragments_per_sec,
+        variance_tolerance(&[previous.bare_noise_frac, current.bare_noise_frac]),
+    );
+    if threads_comparable(previous.threads, current.threads) && previous.shards == current.shards {
+        check_drop(
+            &mut warnings,
+            "fleet sharded aggregate throughput",
+            previous.fleet_nshard_fragments_per_sec,
+            current.fleet_nshard_fragments_per_sec,
+            variance_tolerance(&[
+                previous.fleet_nshard_noise_frac,
+                current.fleet_nshard_noise_frac,
+            ]),
         );
     }
     warnings
@@ -537,6 +602,76 @@ mod tests {
         let warnings = diagnose_regression_warnings(&prev, &same_threads);
         assert_eq!(warnings.len(), 1, "{warnings:?}");
         assert!(warnings[0].contains("parallel batched diagnosis"));
+    }
+
+    fn fleet_fixture(one: f64, n: f64, solo: f64, threads: usize) -> FleetPerf {
+        FleetPerf {
+            bench: "fleet".to_string(),
+            threads,
+            shards: 4,
+            jobs: 8,
+            ranks_per_job: 2,
+            fragments: 19_200,
+            frames: 160,
+            windows: 80,
+            samples: 30,
+            fleet_1shard_fragments_per_sec: one,
+            fleet_1shard_noise_frac: 0.0,
+            fleet_nshard_fragments_per_sec: n,
+            fleet_nshard_noise_frac: 0.0,
+            shard_speedup: (threads >= 4).then_some(n / one),
+            bare_fragments_per_sec: solo * 1.02,
+            bare_noise_frac: 0.0,
+            single_job_fragments_per_sec: solo,
+            single_job_noise_frac: 0.0,
+            fleet_overhead_frac: 1.0 - 1.0 / 1.02,
+            history: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn fleet_gate_is_thread_and_shard_aware() {
+        let prev = fleet_fixture(1e6, 2.2e6, 9e5, 8);
+        // Within tolerance everywhere: silent.
+        assert!(fleet_regression_warnings(&prev, &fleet_fixture(9e5, 2e6, 8.5e5, 8)).is_empty());
+        // Single-shard aggregate 40 % down: gates regardless of threads.
+        let bad = fleet_fixture(6e5, 2.2e6, 9e5, 8);
+        let warnings = fleet_regression_warnings(&prev, &bad);
+        assert_eq!(warnings.len(), 1, "{warnings:?}");
+        assert!(warnings[0].contains("fleet 1-shard aggregate"));
+        // The sharded rate collapsing on a smaller runner is
+        // environmental, not a code regression…
+        let small_runner = fleet_fixture(1e6, 1e6, 9e5, 1);
+        assert!(fleet_regression_warnings(&prev, &small_runner).is_empty());
+        // …the same collapse on equal threads gates.
+        let same_threads = fleet_fixture(1e6, 1e6, 9e5, 8);
+        let warnings = fleet_regression_warnings(&prev, &same_threads);
+        assert_eq!(warnings.len(), 1, "{warnings:?}");
+        assert!(warnings[0].contains("fleet sharded aggregate"), "{warnings:?}");
+        // A different shard count is a different benchmark: skipped.
+        let mut other_shards = same_threads.clone();
+        other_shards.shards = 8;
+        assert!(fleet_regression_warnings(&prev, &other_shards).is_empty());
+    }
+
+    #[test]
+    fn previous_fleet_loads_from_json_and_tolerates_absence() {
+        // A missing baseline seeds cleanly: the very first fleet_perf
+        // run must not fail for lack of a BENCH_fleet.json.
+        assert!(load_previous_fleet("/nonexistent/BENCH_fleet.json").is_none());
+        let dir = std::env::temp_dir().join("vapro_fleet_gate_test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        // Unreadable garbage also seeds cleanly instead of crashing.
+        let garbage = dir.join("garbage.json");
+        std::fs::write(&garbage, "{not json").expect("writes");
+        assert!(load_previous_fleet(garbage.to_str().expect("utf8 path")).is_none());
+        let path = dir.join("BENCH_fleet.json");
+        let prev = fleet_fixture(1e6, 2.2e6, 9e5, 8);
+        std::fs::write(&path, serde_json::to_string(&prev).expect("serialises"))
+            .expect("writes");
+        let loaded = load_previous_fleet(path.to_str().expect("utf8 path")).expect("loads");
+        assert_eq!(loaded, prev);
+        assert!(fleet_regression_warnings(&loaded, &prev).is_empty());
     }
 
     #[test]

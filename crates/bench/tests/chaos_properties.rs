@@ -6,7 +6,10 @@
 //! analysis.
 
 use proptest::prelude::*;
-use vapro_bench::chaos::{check_invariants, fault_free_equivalence, run_plan, FaultPlan};
+use vapro_bench::chaos::{
+    check_fleet_invariants, check_invariants, fault_free_equivalence, run_fleet_plan, run_plan,
+    FaultPlan, FleetPlan,
+};
 
 /// Small plans: the suite runs on a single-core gate, so each case is a
 /// few hundred fragments over a handful of periods.
@@ -63,6 +66,19 @@ proptest! {
         plan.frags_per_rank = 150;
         plan.periods = 5;
         if let Err(e) = fault_free_equivalence(&plan) {
+            prop_assert!(false, "{}", e);
+        }
+    }
+
+    /// Any random fleet plan — several jobs with private fault mixes
+    /// (job 0 always clean) interleaved through a sharded fleet — keeps
+    /// every job bit-identical to its solo run: no cross-tenant
+    /// corruption, no cross-tenant stalls, exact per-job window tiling.
+    #[test]
+    fn arbitrary_fleet_plans_stay_isolated(seed in 0u64..1u64 << 32) {
+        let plan = FleetPlan::random(seed);
+        let outcome = run_fleet_plan(&plan);
+        if let Err(e) = check_fleet_invariants(&plan, &outcome) {
             prop_assert!(false, "{}", e);
         }
     }

@@ -118,6 +118,14 @@ pub struct IngestStats {
     pub dropped_backpressure_frames: u64,
     /// Bytes those backpressure drops covered.
     pub dropped_backpressure_bytes: u64,
+    /// Frames claiming a tenant the fleet has no registration for
+    /// ([`WireError::UnknownTenant`]).
+    pub unknown_tenant_frames: u64,
+    /// Frames rejected by fleet admission because the tenant's in-flight
+    /// bytes would exceed its budget ([`WireError::TenantOverBudget`]).
+    pub over_budget_frames: u64,
+    /// Bytes those budget rejections covered.
+    pub over_budget_bytes: u64,
 }
 
 impl IngestStats {
@@ -130,12 +138,16 @@ impl IngestStats {
             + self.duplicate_frames
             + self.dropped_late_frames
             + self.dropped_backpressure_frames
+            + self.unknown_tenant_frames
+            + self.over_budget_frames
     }
 
-    fn count_decode_error(&mut self, e: &WireError) {
+    pub(crate) fn count_decode_error(&mut self, e: &WireError) {
         match e {
             WireError::BadChecksum { .. } => self.corrupt_frames += 1,
             WireError::BadVersion { .. } => self.bad_version_frames += 1,
+            WireError::UnknownTenant { .. } => self.unknown_tenant_frames += 1,
+            WireError::TenantOverBudget { .. } => self.over_budget_frames += 1,
             _ => self.malformed_frames += 1,
         }
     }
@@ -147,7 +159,8 @@ impl fmt::Display for IngestStats {
             f,
             "ingest: {} admitted, {} corrupt, {} bad-version, {} malformed, \
              {} unknown-rank, {} duplicate, {} late-dropped, \
-             {} backpressure-dropped ({} B)",
+             {} backpressure-dropped ({} B), {} unknown-tenant, \
+             {} over-budget ({} B)",
             self.frames_admitted,
             self.corrupt_frames,
             self.bad_version_frames,
@@ -157,6 +170,9 @@ impl fmt::Display for IngestStats {
             self.dropped_late_frames,
             self.dropped_backpressure_frames,
             self.dropped_backpressure_bytes,
+            self.unknown_tenant_frames,
+            self.over_budget_frames,
+            self.over_budget_bytes,
         )
     }
 }

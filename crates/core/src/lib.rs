@@ -33,6 +33,7 @@ pub mod columnar;
 pub mod config;
 pub mod detect;
 pub mod diagnose;
+pub mod fleet;
 pub mod fragment;
 pub mod intern;
 pub mod report;
@@ -63,6 +64,10 @@ pub use detect::server::{
 pub use diagnose::{
     diagnose_region, diagnose_regions, diagnose_regions_columnar, diagnose_regions_seq,
     DiagnosisBatch, EdgePools, DiagnosisReport, RegionOfInterest,
+};
+pub use fleet::{
+    FleetConfig, FleetIngestor, FleetReport, FleetWindow, InterferenceFinding, JobKey,
+    JobSummary, TenantSummary,
 };
 pub use fragment::{Fragment, FragmentKind};
 pub use report::{VaproReport, WindowCoverage};

@@ -69,9 +69,19 @@ pub const WIRE_MAGIC: [u8; 4] = *b"VPRW";
 pub const WIRE_VERSION: u8 = 2;
 /// The legacy pre-integrity version byte; still decodable.
 pub const WIRE_VERSION_V1: u8 = 1;
+/// The fleet version byte: the v2 layout plus a `(tenant_id, job_id)`
+/// routing header between the sequence number and the body, so one
+/// ingest plane can serve many jobs across tenants. v1/v2 frames still
+/// decode, mapping to [`DEFAULT_TENANT`]/[`DEFAULT_JOB`].
+pub const WIRE_VERSION_V3: u8 = 3;
 /// The sequence number meaning "unsequenced": the sender opted out of
 /// duplicate and gap tracking. Decoded v1 frames always carry it.
 pub const SEQ_UNSEQUENCED: u64 = 0;
+/// The tenant every pre-v3 frame decodes to: single-tenant deployments
+/// never mention tenancy and keep working unchanged.
+pub const DEFAULT_TENANT: u32 = 0;
+/// The job every pre-v3 frame decodes to.
+pub const DEFAULT_JOB: u32 = 0;
 
 /// IEEE CRC-32 (the Ethernet/zlib polynomial), slice-by-8 so checksum
 /// cost stays a small fraction of the columnar decode itself. Tables are
@@ -184,6 +194,11 @@ pub struct FragmentBatch {
     /// Per-rank monotonic sequence number; [`SEQ_UNSEQUENCED`] (0) opts
     /// out of duplicate/gap tracking. Sequenced senders start at 1.
     pub seq: u64,
+    /// Owning tenant, for fleet routing and admission. Only carried on
+    /// the wire by v3 frames; v1/v2 decode to [`DEFAULT_TENANT`].
+    pub tenant_id: u32,
+    /// Job within the tenant; v1/v2 frames decode to [`DEFAULT_JOB`].
+    pub job_id: u32,
     /// Window start, ns.
     pub window_start_ns: u64,
     /// Window end, ns.
@@ -237,6 +252,24 @@ pub enum WireError {
         /// The configured deployment size.
         nranks: u32,
     },
+    /// A frame claims a tenant the fleet has no registration for.
+    /// Hostile or misrouted input, rejected at fleet admission.
+    UnknownTenant {
+        /// The tenant the frame claimed.
+        tenant: u32,
+    },
+    /// A frame would push its tenant past the byte budget the fleet
+    /// admitted it with. Structured fair-backpressure rejection: the
+    /// sender must back off, other tenants are unaffected.
+    TenantOverBudget {
+        /// The over-budget tenant.
+        tenant: u32,
+        /// The tenant's configured budget, bytes.
+        budget_bytes: u64,
+        /// Bytes the tenant would have had in flight had the frame
+        /// been admitted.
+        requested_bytes: u64,
+    },
     /// A sequenced frame re-used a sequence number the server has already
     /// admitted for that rank — a retransmission, dropped on arrival.
     DuplicateSequence {
@@ -276,6 +309,14 @@ impl fmt::Display for WireError {
             WireError::UnknownRank { rank, nranks } => {
                 write!(f, "frame from unknown rank {rank} (deployment has {nranks} ranks)")
             }
+            WireError::UnknownTenant { tenant } => {
+                write!(f, "frame from unregistered tenant {tenant}")
+            }
+            WireError::TenantOverBudget { tenant, budget_bytes, requested_bytes } => write!(
+                f,
+                "tenant {tenant} over budget: {requested_bytes} B in flight \
+                 would exceed the {budget_bytes} B admission budget"
+            ),
             WireError::DuplicateSequence { rank, seq } => {
                 write!(f, "duplicate frame from rank {rank} seq {seq}")
             }
@@ -448,6 +489,8 @@ impl FragmentBatch {
         FragmentBatch {
             rank,
             seq: SEQ_UNSEQUENCED,
+            tenant_id: DEFAULT_TENANT,
+            job_id: DEFAULT_JOB,
             window_start_ns: window.start.ns(),
             window_end_ns: window.end.ns(),
             labels: dict.into_keys(),
@@ -461,6 +504,16 @@ impl FragmentBatch {
     /// batch unsequenced.
     pub fn with_seq(mut self, seq: u64) -> FragmentBatch {
         self.seq = seq;
+        self
+    }
+
+    /// Stamp the batch with its fleet routing identity (builder style).
+    /// Only v3 frames carry the stamp on the wire; encoding a stamped
+    /// batch as v1/v2 silently drops it (the decoder restores the
+    /// defaults), so fleet senders must encode v3.
+    pub fn with_job(mut self, tenant_id: u32, job_id: u32) -> FragmentBatch {
+        self.tenant_id = tenant_id;
+        self.job_id = job_id;
         self
     }
 
@@ -507,6 +560,39 @@ impl FragmentBatch {
         out[crc_pos..crc_pos + 4].copy_from_slice(&crc.to_le_bytes());
         let payload_len = u32::try_from(out.len() - payload_start).expect("frame fits u32");
         out[len_pos..len_pos + 4].copy_from_slice(&payload_len.to_le_bytes());
+    }
+
+    /// Append one length-prefixed **v3** frame: the v2 layout plus the
+    /// `(tenant_id, job_id)` routing header between the sequence number
+    /// and the body, both covered by the checksum. The entry point fleet
+    /// senders use; single-tenant senders can keep shipping v2.
+    pub fn encode_into_v3(&self, out: &mut Vec<u8>) {
+        let len_pos = out.len();
+        out.extend_from_slice(&0u32.to_le_bytes()); // patched below
+        let payload_start = out.len();
+
+        out.extend_from_slice(&WIRE_MAGIC);
+        out.push(WIRE_VERSION_V3);
+        let crc_pos = out.len();
+        out.extend_from_slice(&0u32.to_le_bytes()); // checksum, patched below
+        let checked_start = out.len();
+        out.extend_from_slice(&self.seq.to_le_bytes());
+        out.extend_from_slice(&self.tenant_id.to_le_bytes());
+        out.extend_from_slice(&self.job_id.to_le_bytes());
+        self.encode_body(out);
+
+        let crc = crc32::checksum(&out[checked_start..]);
+        out[crc_pos..crc_pos + 4].copy_from_slice(&crc.to_le_bytes());
+        let payload_len = u32::try_from(out.len() - payload_start).expect("frame fits u32");
+        out[len_pos..len_pos + 4].copy_from_slice(&payload_len.to_le_bytes());
+    }
+
+    /// Serialise to one length-prefixed **v3** binary frame (see
+    /// [`FragmentBatch::encode_into_v3`]).
+    pub fn encode_v3(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64 + self.len() * 40);
+        self.encode_into_v3(&mut out);
+        out
     }
 
     /// Append one frame in the **legacy v1 layout** (no checksum, no
@@ -652,9 +738,9 @@ impl FragmentBatch {
             return Err(WireError::BadMagic);
         }
         let version = r.u8()?;
-        let seq = match version {
-            WIRE_VERSION_V1 => SEQ_UNSEQUENCED,
-            WIRE_VERSION => {
+        let (seq, tenant_id, job_id) = match version {
+            WIRE_VERSION_V1 => (SEQ_UNSEQUENCED, DEFAULT_TENANT, DEFAULT_JOB),
+            WIRE_VERSION | WIRE_VERSION_V3 => {
                 let claimed_crc = r.u32()?;
                 // Everything after the checksum field is covered: verify
                 // before trusting a single body byte.
@@ -663,12 +749,22 @@ impl FragmentBatch {
                     // for log lines; zeros if the frame is too short.
                     let mut peek = Reader { buf: r.buf };
                     let seq = peek.u64().unwrap_or(0);
+                    if version == WIRE_VERSION_V3 {
+                        // Skip the routing header to reach the rank.
+                        let _ = peek.u32();
+                        let _ = peek.u32();
+                    }
                     let rank = peek.u32().unwrap_or(0);
                     return Err(WireError::BadChecksum { rank, seq });
                 }
-                r.u64()?
+                let seq = r.u64()?;
+                if version == WIRE_VERSION_V3 {
+                    (seq, r.u32()?, r.u32()?)
+                } else {
+                    (seq, DEFAULT_TENANT, DEFAULT_JOB)
+                }
             }
-            got => return Err(WireError::BadVersion { got, supported: WIRE_VERSION }),
+            got => return Err(WireError::BadVersion { got, supported: WIRE_VERSION_V3 }),
         };
         let rank = r.u32()? as usize;
         let window_start_ns = r.u64()?;
@@ -816,6 +912,8 @@ impl FragmentBatch {
         Ok(FragmentBatch {
             rank,
             seq,
+            tenant_id,
+            job_id,
             window_start_ns,
             window_end_ns,
             labels,
@@ -1069,7 +1167,7 @@ mod tests {
         bytes[8] = 99; // version byte
         assert_eq!(
             FragmentBatch::decode(&bytes).unwrap_err(),
-            WireError::BadVersion { got: 99, supported: WIRE_VERSION }
+            WireError::BadVersion { got: 99, supported: WIRE_VERSION_V3 }
         );
         let bytes = FragmentBatch::from_stg(&sample_stg(0), 0, full_window()).encode();
         assert_eq!(
@@ -1139,13 +1237,76 @@ mod tests {
     }
 
     #[test]
+    fn v3_routing_header_roundtrips() {
+        let batch = FragmentBatch::from_stg(&sample_stg(1), 1, full_window())
+            .with_seq(42)
+            .with_job(7, u32::MAX);
+        let v3 = batch.encode_v3();
+        assert_eq!(v3[8], WIRE_VERSION_V3);
+        let back = FragmentBatch::decode(&v3).unwrap();
+        assert_eq!((back.tenant_id, back.job_id, back.seq), (7, u32::MAX, 42));
+        assert_eq!(back, batch);
+        // The routing header costs exactly tenant (4) + job (4) over v2.
+        assert_eq!(v3.len(), batch.encode().len() + 8);
+    }
+
+    #[test]
+    fn pre_v3_frames_decode_to_the_default_tenant() {
+        // A stamped batch encoded as v1 or v2 loses the stamp on the
+        // wire; the decoder restores the default identity, so legacy
+        // single-tenant senders route to the default job unchanged.
+        let batch = FragmentBatch::from_stg(&sample_stg(2), 2, full_window())
+            .with_seq(3)
+            .with_job(9, 12);
+        let v2 = FragmentBatch::decode(&batch.encode()).unwrap();
+        assert_eq!((v2.tenant_id, v2.job_id), (DEFAULT_TENANT, DEFAULT_JOB));
+        assert_eq!(v2.seq, 3);
+        let v1 = FragmentBatch::decode(&batch.encode_v1()).unwrap();
+        assert_eq!((v1.tenant_id, v1.job_id), (DEFAULT_TENANT, DEFAULT_JOB));
+    }
+
+    #[test]
+    fn corrupted_v3_bytes_fail_the_checksum_with_attribution() {
+        let batch = FragmentBatch::from_stg(&sample_stg(2), 2, full_window())
+            .with_seq(7)
+            .with_job(5, 6);
+        let clean = batch.encode_v3();
+        assert_eq!(FragmentBatch::decode(&clean).unwrap(), batch);
+        // Checksum coverage starts after prefix (4) + magic (4) +
+        // version (1) + crc (4) = byte 13, as in v2.
+        for pos in 13..clean.len() {
+            let mut bytes = clean.clone();
+            bytes[pos] ^= 0x40;
+            match FragmentBatch::decode(&bytes).unwrap_err() {
+                WireError::BadChecksum { rank, seq } => {
+                    if pos >= 13 + 20 {
+                        // seq + tenant + job + rank untouched: the error
+                        // still attributes the true rank and sequence.
+                        assert_eq!((rank, seq), (2, 7), "flip at {pos}");
+                    }
+                }
+                other => panic!("flip at {pos}: unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
     fn display_messages_name_rank_and_sequence() {
         let msg = WireError::BadChecksum { rank: 3, seq: 17 }.to_string();
         assert!(msg.contains("rank 3") && msg.contains("seq 17"), "{msg}");
         let msg = WireError::DuplicateSequence { rank: 5, seq: 9 }.to_string();
         assert!(msg.contains("rank 5") && msg.contains("seq 9"), "{msg}");
-        let msg = WireError::BadVersion { got: 9, supported: WIRE_VERSION }.to_string();
-        assert!(msg.contains('9') && msg.contains('2'), "{msg}");
+        let msg = WireError::BadVersion { got: 9, supported: WIRE_VERSION_V3 }.to_string();
+        assert!(msg.contains('9') && msg.contains('3'), "{msg}");
+        let msg = WireError::UnknownTenant { tenant: 11 }.to_string();
+        assert!(msg.contains("tenant 11"), "{msg}");
+        let msg = WireError::TenantOverBudget {
+            tenant: 4,
+            budget_bytes: 1024,
+            requested_bytes: 2048,
+        }
+        .to_string();
+        assert!(msg.contains("tenant 4") && msg.contains("1024") && msg.contains("2048"), "{msg}");
     }
 
     #[test]

@@ -74,6 +74,8 @@ fn batch_strategy() -> impl Strategy<Value = FragmentBatch> {
         .prop_map(move |(rank, vgroups, egroups)| FragmentBatch {
             rank,
             seq: 0,
+            tenant_id: 0,
+            job_id: 0,
             window_start_ns: 0,
             window_end_ns: 40_000_000,
             labels: labels.iter().map(|l| l.to_string()).collect(),

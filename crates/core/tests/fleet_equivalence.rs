@@ -1,0 +1,333 @@
+//! Fleet-plane equivalence and fairness properties.
+//!
+//! * A single-job fleet — any shard count, any queue capacity — is
+//!   bit-identical to a bare `WindowedIngestor` fed the same frames.
+//! * Pre-v3 frames route to the default tenant/job and close the same
+//!   windows they would on a bare ingestor.
+//! * An over-budget tenant is rejected with structured errors while a
+//!   clean tenant's windows keep closing on time.
+//! * Unknown tenants are structured rejections, never panics and never
+//!   silent drops.
+//! * Same-node jobs with correlated variance produce an interference
+//!   finding; isolated jobs do not.
+
+use proptest::prelude::*;
+use vapro_core::detect::window::Window;
+use vapro_core::detect::server::{WindowReport, WindowedIngestor};
+use vapro_core::fleet::{FleetConfig, FleetIngestor, FleetWindow, JobKey};
+use vapro_core::fragment::{Fragment, FragmentKind};
+use vapro_core::stg::{StateKey, Stg};
+use vapro_core::wire::{FragmentBatch, WireError};
+use vapro_core::VaproConfig;
+use vapro_pmu::{CounterDelta, CounterId};
+use vapro_sim::{CallSite, VirtualTime};
+
+/// A single-site looping STG: `n` iterations of ~`period_ns`, the
+/// `slow_range` iterations 3x slower (same shape the server tests use).
+fn looped_stg(rank: usize, n: usize, period_ns: u64, slow_range: std::ops::Range<usize>) -> Stg {
+    let mut stg = Stg::new();
+    let start = stg.state(StateKey::Start);
+    let site = stg.state(StateKey::Site(CallSite("w:MPI_Barrier")));
+    stg.transition(start, site);
+    let e = stg.transition(site, site);
+    let mut t = 0u64;
+    for i in 0..n {
+        let d = if slow_range.contains(&i) { period_ns * 3 } else { period_ns };
+        let mut c = CounterDelta::default();
+        c.put(CounterId::TotIns, 1000.0);
+        stg.attach_edge_fragment(
+            e,
+            Fragment {
+                rank,
+                kind: FragmentKind::Computation,
+                start: VirtualTime::from_ns(t),
+                end: VirtualTime::from_ns(t + d),
+                counters: c,
+                args: vec![],
+            },
+        );
+        t += d + 10;
+    }
+    stg
+}
+
+/// Period-major v3 frames for one job: every rank ships period `k`
+/// before any rank ships `k+1`, sequenced from 1.
+fn job_frames(stgs: &[Stg], periods: u64, period: VirtualTime, key: JobKey) -> Vec<Vec<u8>> {
+    let mut frames = Vec::new();
+    for k in 0..periods {
+        let w = Window {
+            start: VirtualTime::from_ns(period.ns() * k),
+            end: VirtualTime::from_ns(period.ns() * (k + 1)),
+        };
+        for (rank, stg) in stgs.iter().enumerate() {
+            frames.push(
+                FragmentBatch::from_stg_starting_in(stg, rank, w)
+                    .with_seq(k + 1)
+                    .with_job(key.tenant, key.job)
+                    .encode_v3(),
+            );
+        }
+    }
+    frames
+}
+
+fn assert_reports_identical(got: &[WindowReport], want: &[WindowReport]) {
+    assert_eq!(got.len(), want.len(), "window count diverged");
+    for (g, w) in got.iter().zip(want) {
+        assert_eq!(g.window, w.window);
+        assert_eq!(g.result.series, w.result.series);
+        assert_eq!(g.result.rare_paths, w.result.rare_paths);
+        assert_eq!(g.result.comp_map, w.result.comp_map);
+        assert_eq!(g.result.comm_map, w.result.comm_map);
+        assert_eq!(g.result.io_map, w.result.io_map);
+        assert_eq!(g.result.comp_regions, w.result.comp_regions);
+        assert_eq!(g.result.comm_regions, w.result.comm_regions);
+        assert_eq!(g.result.io_regions, w.result.io_regions);
+        assert_eq!(g.result.coverage.to_bits(), w.result.coverage.to_bits());
+        assert_eq!(g.result.edge_clusters, w.result.edge_clusters);
+        assert_eq!(g.diagnoses, w.diagnoses);
+        assert_eq!(g.coverage, w.coverage);
+    }
+}
+
+/// Run frames through a fleet, returning every closed window in order.
+fn run_fleet(mut fleet: FleetIngestor, frames: &[Vec<u8>]) -> Vec<FleetWindow> {
+    let mut windows = Vec::new();
+    for f in frames {
+        windows.extend(fleet.push_encoded(f).expect("valid frame"));
+    }
+    windows.extend(fleet.finish());
+    windows
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The acceptance property: one job through the fleet — whatever the
+    /// shard count or queue capacity — closes exactly the windows the
+    /// bare `WindowedIngestor` closes, bit for bit.
+    #[test]
+    fn single_job_fleet_is_bit_identical(
+        nranks in 1usize..4,
+        slow_from in 0usize..20,
+        shards in 1usize..5,
+        queue_capacity in 1usize..17,
+        tenant in prop_oneof![Just(0u32), Just(3u32)],
+        job in prop_oneof![Just(0u32), Just(41u32)],
+    ) {
+        let cfg = VaproConfig {
+            report_period: VirtualTime::from_secs(5),
+            ..VaproConfig::default()
+        };
+        let mut stgs: Vec<Stg> =
+            (0..nranks).map(|r| looped_stg(r, 24, 1_000_000_000, 0..0)).collect();
+        stgs[nranks - 1] = looped_stg(nranks - 1, 24, 1_000_000_000, slow_from..slow_from + 6);
+        let key = JobKey { tenant, job };
+        let frames = job_frames(&stgs, 14, cfg.report_period, key);
+
+        let mut bare = WindowedIngestor::new(nranks, 8, cfg.clone());
+        let mut want = Vec::new();
+        for f in &frames {
+            // The bare ingestor sees the identical decoded batches: v3
+            // decode differs from the fleet path only in the routing
+            // stamp, which the ingestor ignores.
+            want.extend(bare.push(FragmentBatch::decode(f).expect("valid")));
+        }
+        want.extend(bare.finish());
+
+        let mut fleet_cfg = FleetConfig::new(cfg);
+        fleet_cfg.shards = shards;
+        fleet_cfg.default_nranks = nranks;
+        fleet_cfg.queue_capacity_frames = queue_capacity;
+        let mut fleet = FleetIngestor::new(fleet_cfg);
+        if tenant != 0 {
+            fleet.register_tenant(tenant, u64::MAX);
+        }
+        let got = run_fleet(fleet, &frames);
+
+        prop_assert!(got.iter().all(|w| w.key == key), "windows tagged with the job key");
+        let got_reports: Vec<WindowReport> = got.into_iter().map(|w| w.report).collect();
+        assert_reports_identical(&got_reports, &want);
+    }
+}
+
+#[test]
+fn pre_v3_frames_route_to_the_default_job() {
+    let cfg = VaproConfig {
+        report_period: VirtualTime::from_secs(5),
+        ..VaproConfig::default()
+    };
+    let stgs: Vec<Stg> = (0..2).map(|r| looped_stg(r, 20, 1_000_000_000, 5..9)).collect();
+
+    let mut bare = WindowedIngestor::new(2, 8, cfg.clone());
+    let mut fleet_cfg = FleetConfig::new(cfg.clone());
+    fleet_cfg.shards = 3;
+    fleet_cfg.default_nranks = 2;
+    let mut fleet = FleetIngestor::new(fleet_cfg);
+
+    let mut want = Vec::new();
+    let mut got = Vec::new();
+    for k in 0..10u64 {
+        let w = Window {
+            start: VirtualTime::from_secs(5 * k),
+            end: VirtualTime::from_secs(5 * (k + 1)),
+        };
+        for (rank, stg) in stgs.iter().enumerate() {
+            let batch = FragmentBatch::from_stg_starting_in(stg, rank, w).with_seq(k + 1);
+            // Alternate v1 and v2 encodings: both predate tenancy and
+            // must land on the default job.
+            let bytes = if (k as usize + rank).is_multiple_of(2) { batch.encode() } else { batch.encode_v1() };
+            want.extend(bare.push_encoded(&bytes).expect("valid"));
+            got.extend(fleet.push_encoded(&bytes).expect("valid"));
+        }
+    }
+    want.extend(bare.finish());
+    got.extend(fleet.finish());
+
+    assert!(!got.is_empty(), "windows closed through the fleet");
+    assert!(got.iter().all(|w| w.key == JobKey::default_job()));
+    let got_reports: Vec<WindowReport> = got.into_iter().map(|w| w.report).collect();
+    assert_reports_identical(&got_reports, &want);
+}
+
+#[test]
+fn over_budget_tenant_is_rejected_while_clean_tenant_closes_windows() {
+    let cfg = VaproConfig {
+        report_period: VirtualTime::from_secs(5),
+        ..VaproConfig::default()
+    };
+    let clean_key = JobKey { tenant: 1, job: 1 };
+    let greedy_key = JobKey { tenant: 2, job: 1 };
+    let stg_clean = looped_stg(0, 24, 1_000_000_000, 6..10);
+    let stg_greedy = looped_stg(0, 24, 1_000_000_000, 0..0);
+    let clean_frames = job_frames(std::slice::from_ref(&stg_clean), 14, cfg.report_period, clean_key);
+    let greedy_frames =
+        job_frames(std::slice::from_ref(&stg_greedy), 14, cfg.report_period, greedy_key);
+
+    // The clean tenant alone, as the reference timeline.
+    let mut bare = WindowedIngestor::new(1, 8, cfg.clone());
+    let mut want = Vec::new();
+    for f in &clean_frames {
+        want.extend(bare.push(FragmentBatch::decode(f).expect("valid")));
+    }
+    want.extend(bare.finish());
+
+    let mut fleet_cfg = FleetConfig::new(cfg);
+    fleet_cfg.shards = 2;
+    let mut fleet = FleetIngestor::new(fleet_cfg);
+    fleet.register_tenant(1, u64::MAX);
+    // A budget below one frame: every greedy frame is over budget.
+    fleet.register_tenant(2, 16);
+
+    let mut got = Vec::new();
+    let mut rejections = 0u64;
+    for (c, g) in clean_frames.iter().zip(&greedy_frames) {
+        got.extend(fleet.push_encoded(c).expect("clean tenant admitted"));
+        match fleet.push_encoded(g) {
+            Err(WireError::TenantOverBudget { tenant, budget_bytes, requested_bytes }) => {
+                assert_eq!(tenant, 2);
+                assert_eq!(budget_bytes, 16);
+                assert!(requested_bytes > budget_bytes);
+                rejections += 1;
+            }
+            other => panic!("expected structured budget rejection, got {other:?}"),
+        }
+    }
+    assert_eq!(rejections, greedy_frames.len() as u64);
+    let greedy_stats = fleet.tenant_stats(2).expect("registered").clone();
+    assert_eq!(greedy_stats.over_budget_frames, rejections);
+    assert!(greedy_stats.over_budget_bytes > 0);
+    assert_eq!(greedy_stats.frames_admitted, 0);
+    let clean_stats = fleet.tenant_stats(1).expect("registered").clone();
+    assert_eq!(clean_stats.frames_admitted, clean_frames.len() as u64);
+    assert_eq!(clean_stats.frames_rejected(), 0);
+
+    let (report, tail) = fleet.into_report();
+    got.extend(tail);
+
+    // The clean tenant's windows are exactly what it would have closed
+    // alone — the greedy tenant never stalled or corrupted it.
+    assert!(got.iter().all(|w| w.key == clean_key));
+    let got_reports: Vec<WindowReport> = got.into_iter().map(|w| w.report).collect();
+    assert_reports_identical(&got_reports, &want);
+
+    // And the report attributes the rejections to the greedy tenant.
+    let greedy = report.tenants.iter().find(|t| t.tenant == 2).expect("summarised");
+    assert_eq!(greedy.stats.over_budget_frames, rejections);
+}
+
+#[test]
+fn unknown_tenant_is_a_structured_rejection() {
+    let cfg = VaproConfig {
+        report_period: VirtualTime::from_secs(5),
+        ..VaproConfig::default()
+    };
+    let stg = looped_stg(0, 12, 1_000_000_000, 0..0);
+    let frames =
+        job_frames(std::slice::from_ref(&stg), 6, cfg.report_period, JobKey { tenant: 9, job: 0 });
+
+    let mut fleet = FleetIngestor::new(FleetConfig::new(cfg));
+    for f in &frames {
+        match fleet.push_encoded(f) {
+            Err(WireError::UnknownTenant { tenant }) => assert_eq!(tenant, 9),
+            other => panic!("expected unknown-tenant rejection, got {other:?}"),
+        }
+    }
+    assert_eq!(fleet.unattributed_stats().unknown_tenant_frames, frames.len() as u64);
+    assert_eq!(fleet.queued_frames(), 0, "rejected frames are never enqueued");
+
+    // The plane still serves registered tenants afterwards.
+    let default_frames =
+        job_frames(std::slice::from_ref(&stg), 6, VirtualTime::from_secs(5), JobKey::default_job());
+    let mut windows = Vec::new();
+    for f in &default_frames {
+        windows.extend(fleet.push_encoded(f).expect("default tenant admitted"));
+    }
+    windows.extend(fleet.finish());
+    assert!(!windows.is_empty(), "default tenant still closes windows");
+}
+
+#[test]
+fn same_node_jobs_with_correlated_variance_are_flagged() {
+    let cfg = VaproConfig {
+        report_period: VirtualTime::from_secs(5),
+        ..VaproConfig::default()
+    };
+    // Both jobs slow over the same iterations — the co-located pair —
+    // and a third job on another node with the same pattern.
+    let key_a = JobKey { tenant: 1, job: 1 };
+    let key_b = JobKey { tenant: 1, job: 2 };
+    let key_c = JobKey { tenant: 1, job: 3 };
+    let mut fleet_cfg = FleetConfig::new(cfg.clone());
+    fleet_cfg.shards = 2;
+    let mut fleet = FleetIngestor::new(fleet_cfg);
+    fleet.register_tenant(1, u64::MAX);
+    fleet.register_job(key_a, 2, 0);
+    fleet.register_job(key_b, 2, 0);
+    fleet.register_job(key_c, 2, 7);
+
+    for key in [key_a, key_b, key_c] {
+        let mut stgs: Vec<Stg> =
+            (0..2).map(|r| looped_stg(r, 24, 1_000_000_000, 0..0)).collect();
+        stgs[1] = looped_stg(1, 24, 1_000_000_000, 8..14);
+        for f in job_frames(&stgs, 14, cfg.report_period, key) {
+            fleet.push_encoded(&f).expect("valid frame");
+        }
+    }
+    let (report, _) = fleet.into_report();
+
+    assert_eq!(report.jobs.len(), 3);
+    assert!(
+        report.jobs.iter().all(|j| j.windows_closed > 0),
+        "every job closed windows: {:?}",
+        report.jobs.iter().map(|j| j.windows_closed).collect::<Vec<_>>()
+    );
+    // Exactly the co-located pair is flagged, and their identical slow
+    // phases overlap near-fully.
+    assert_eq!(report.interference.len(), 1, "findings: {:?}", report.interference);
+    let f = &report.interference[0];
+    assert_eq!((f.node, f.a, f.b), (0, key_a, key_b));
+    assert!(f.overlap_ns > 0);
+    assert!(f.overlap_frac > 0.9, "identical phases should overlap: {}", f.overlap_frac);
+}

@@ -8,7 +8,9 @@
 use proptest::prelude::*;
 use proptest::prop::collection::vec;
 use vapro_core::fragment::{Fragment, FragmentKind};
-use vapro_core::wire::{EdgeGroup, FragmentBatch, ReassembledPools, VertexGroup};
+use vapro_core::wire::{
+    EdgeGroup, FragmentBatch, ReassembledPools, VertexGroup, DEFAULT_JOB, DEFAULT_TENANT,
+};
 use vapro_pmu::{CounterDelta, CounterId};
 use vapro_sim::VirtualTime;
 
@@ -83,6 +85,8 @@ fn batch_strategy() -> impl Strategy<Value = FragmentBatch> {
             .prop_map(|(labels, rank, seq, wstart, vgroups, egroups)| FragmentBatch {
                 rank,
                 seq,
+                tenant_id: (seq >> 16) as u32,
+                job_id: (seq >> 24) as u32,
                 window_start_ns: wstart,
                 window_end_ns: wstart + 1_000_000,
                 labels,
@@ -101,12 +105,16 @@ fn batch_strategy() -> impl Strategy<Value = FragmentBatch> {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
 
-    /// decode(encode(b)) == b, for arbitrary batches.
+    /// decode(encode_v3(b)) == b, for arbitrary batches — v3 carries
+    /// every field including the routing stamp. The v2 layout is equally
+    /// lossless except for the stamp it cannot carry, which the decoder
+    /// restores to the default identity.
     #[test]
     fn binary_roundtrip_is_identity(batch in batch_strategy()) {
-        let bytes = batch.encode();
-        let back = FragmentBatch::decode(&bytes).expect("own encoding parses");
+        let back = FragmentBatch::decode(&batch.encode_v3()).expect("own v3 parses");
         prop_assert_eq!(&batch, &back);
+        let v2 = FragmentBatch::decode(&batch.encode()).expect("own v2 parses");
+        prop_assert_eq!(v2, batch.clone().with_job(DEFAULT_TENANT, DEFAULT_JOB));
     }
 
     /// The JSON fallback is equally lossless.
@@ -172,6 +180,24 @@ proptest! {
         }
     }
 
+    /// The same single-byte mutation sweep on v3 frames: the routing
+    /// header sits inside checksum coverage, so a flipped tenant or job
+    /// id is caught like any other payload corruption.
+    #[test]
+    fn byte_mutations_of_v3_frames_error_cleanly(
+        batch in batch_strategy(),
+        pos in 0.0f64..1.0,
+        mask in 1u16..256,
+    ) {
+        let mut bytes = batch.encode_v3();
+        let pos = ((bytes.len() - 1) as f64 * pos) as usize;
+        bytes[pos] ^= mask as u8;
+        let decoded = FragmentBatch::decode(&bytes);
+        if pos != 8 {
+            prop_assert!(decoded.is_err(), "flip at {} decoded anyway", pos);
+        }
+    }
+
     /// The same mutation sweep on legacy v1 frames (no checksum): flips
     /// may decode to a *different* batch, but must never panic and never
     /// reproduce the original encoding by accident.
@@ -188,10 +214,15 @@ proptest! {
     }
 
     /// Legacy v1 frames roundtrip losslessly apart from the sequence
-    /// number, which the v1 layout cannot carry.
+    /// number and routing stamp, which the v1 layout cannot carry.
     #[test]
     fn v1_roundtrip_drops_only_the_sequence(batch in batch_strategy()) {
         let back = FragmentBatch::decode(&batch.encode_v1()).expect("v1 parses");
-        prop_assert_eq!(back, batch.with_seq(vapro_core::wire::SEQ_UNSEQUENCED));
+        prop_assert_eq!(
+            back,
+            batch
+                .with_seq(vapro_core::wire::SEQ_UNSEQUENCED)
+                .with_job(DEFAULT_TENANT, DEFAULT_JOB)
+        );
     }
 }

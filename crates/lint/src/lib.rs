@@ -29,9 +29,10 @@ use rules::{Finding, FnScope, LintConfig};
 ///
 /// * R1 covers the hot-path modules named by the design docs:
 ///   `detect/`, `diagnose/`, `wire.rs`, `clustering.rs`, `columnar.rs`.
-/// * R2 covers the wire decode functions and the server ingest
-///   admission functions; the arithmetic sub-rule applies to the wire
-///   decoders, where attacker-controlled lengths feed size math.
+/// * R2 covers the wire decode functions, the server ingest admission
+///   functions and the fleet plane's admission/routing functions; the
+///   arithmetic sub-rule applies to the wire decoders, where
+///   attacker-controlled lengths feed size math.
 /// * `wire.rs` accepts no waivers in its R2 scope at all: the decode
 ///   path must be structurally total.
 /// * R3 covers normalization, heatmap, region ranking and clustering —
@@ -56,6 +57,14 @@ pub fn workspace_config() -> LintConfig {
         "from_json_bytes",
     ];
     let server_fns = ["push_encoded", "admit", "is_duplicate", "gaps", "count_decode_error"];
+    let fleet_fns = [
+        "push_encoded",
+        "push_batch",
+        "register_job",
+        "shard_of",
+        "drain",
+        "refresh_in_flight",
+    ];
     let wire_scope = FnScope {
         file: "crates/core/src/wire.rs".into(),
         funcs: wire_fns.iter().map(|s| s.to_string()).collect(),
@@ -73,6 +82,10 @@ pub fn workspace_config() -> LintConfig {
             FnScope {
                 file: "crates/core/src/detect/server.rs".into(),
                 funcs: server_fns.iter().map(|s| s.to_string()).collect(),
+            },
+            FnScope {
+                file: "crates/core/src/fleet.rs".into(),
+                funcs: fleet_fns.iter().map(|s| s.to_string()).collect(),
             },
         ],
         r2_arith: vec![wire_scope],
