@@ -4,7 +4,7 @@
 CARGO := cargo
 OFFLINE := --offline
 
-.PHONY: check test lint lint-accept miri tsan perf ingest-perf diagnose-perf fleet-perf chaos bench clippy clean
+.PHONY: check test lint lint-accept miri tsan perf ingest-perf diagnose-perf fleet-perf chaos soak bench clippy clean
 
 # The full gate: release build, tests, workspace clippy with warnings
 # denied, the static-analysis pass, sanitizer runs (skipped gracefully
@@ -19,6 +19,7 @@ check:
 	$(MAKE) miri
 	$(MAKE) tsan
 	$(CARGO) run --release $(OFFLINE) -p vapro-bench --bin chaos
+	$(MAKE) soak
 	$(CARGO) run --release $(OFFLINE) -p vapro-bench --bin perf
 	$(CARGO) run --release $(OFFLINE) -p vapro-bench --bin ingest_perf
 	$(CARGO) run --release $(OFFLINE) -p vapro-bench --bin diagnose_perf
@@ -95,6 +96,14 @@ fleet-perf:
 # keep the window cover and the coverage accounting sound.
 chaos:
 	$(CARGO) run --release $(OFFLINE) -p vapro-bench --bin chaos
+
+# Release-mode long-stream soak: >=1000 half-overlapped windows through
+# the streaming ingestor plus a ~900-window 3-job fleet, proving
+# bit-identity to the one-shot analysis, a shrinking arena peak under
+# finer windowing (eviction works), and zero Fragment clones — with an
+# internal wall-clock cap so a super-linear regression fails loudly.
+soak:
+	$(CARGO) test -q --release $(OFFLINE) -p vapro-bench --test soak -- --include-ignored
 
 bench:
 	$(CARGO) bench $(OFFLINE) -p vapro-bench --bench clustering

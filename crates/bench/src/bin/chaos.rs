@@ -14,7 +14,9 @@
 //! 3. `N` random hostile plans (drops, duplicates, reordering,
 //!    corruption, delays, deaths) — each must satisfy the robustness
 //!    invariants: no panic, exact window cover of admitted data, sound
-//!    delivery accounting;
+//!    delivery accounting, consistent arena eviction byte counters —
+//!    and must produce bit-identical reports whether windows are
+//!    analysed inline or through the pipelined stage;
 //! 4. the same suite aimed at the fleet plane — a clean multi-job fleet
 //!    and `N` random fleet plans where each job carries its own fault
 //!    mix (job 0 always clean). Every job's fleet output must be
@@ -22,8 +24,8 @@
 //!    one tenant can neither corrupt nor stall another.
 
 use vapro_bench::chaos::{
-    check_fleet_invariants, check_invariants, fault_free_equivalence, run_fleet_plan, run_plan,
-    FaultPlan, FleetPlan,
+    check_fleet_invariants, check_invariants, fault_free_equivalence, pipeline_equivalence,
+    run_fleet_plan, run_plan, FaultPlan, FleetPlan,
 };
 
 fn usage() -> ! {
@@ -86,15 +88,17 @@ fn main() {
     for i in 0..plans {
         let plan = FaultPlan::random(seed.wrapping_add(i));
         let outcome = run_plan(&plan);
-        match check_invariants(&plan, &outcome) {
+        match check_invariants(&plan, &outcome).and_then(|()| pipeline_equivalence(&plan)) {
             Ok(()) => println!(
                 "plan {i:>3}: ok — {} delivered, {} admitted, {} corrupt, {} duplicate, \
-                 {} windows",
+                 {} windows, arena {}/{} B (pipeline ≡ inline)",
                 outcome.delivered,
                 outcome.admitted,
                 outcome.rejected_corrupt,
                 outcome.rejected_duplicate,
                 outcome.reports.len(),
+                outcome.arena_resident_bytes,
+                outcome.arena_high_water_bytes,
             ),
             Err(e) => {
                 eprintln!("FAIL plan {i} (seed {}): {e}", seed.wrapping_add(i));

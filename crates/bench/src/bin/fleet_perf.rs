@@ -112,6 +112,8 @@ fn main() {
                 ("fleet_nshard_fragments_per_sec", report.fleet_nshard_fragments_per_sec),
                 ("single_job_fragments_per_sec", report.single_job_fragments_per_sec),
                 ("fleet_overhead_frac", report.fleet_overhead_frac),
+                ("steady_state_flatness", report.steady_state_flatness),
+                ("arena_high_water_bytes", report.arena_high_water_bytes as f64),
             ],
         ),
     );

@@ -12,7 +12,11 @@
 //! drops beyond 20 % are reported as warnings before the file is
 //! overwritten. The release-mode wire-format targets (≥4× smaller than
 //! JSON, ≥5× faster decode, integrity checking costing <10 % of the
-//! fault-free end-to-end ingest rate) are checked and failed loudly.
+//! fault-free end-to-end ingest rate) are checked and failed loudly, as
+//! are the bounded-memory streaming targets: a ≥200-window long stream
+//! with flat per-period cost (late-quarter median within the
+//! noise-scaled tolerance of the early-quarter median) and an arena
+//! high water that plateaus after warmup (≤1.5× the midpoint peak).
 
 use vapro_bench::{ingest, regression, stats};
 
@@ -77,6 +81,35 @@ fn main() {
             );
             failed = true;
         }
+        // The bounded-memory streaming targets: the long stream must be
+        // long (≥200 half-overlapped windows), per-period cost must stay
+        // flat — late-quarter median within the host's noise-scaled
+        // tolerance of the early-quarter median — and the arena's high
+        // water must plateau after warmup instead of tracking the stream.
+        if report.long_stream_windows < 200 {
+            eprintln!(
+                "FAIL: long stream closed only {} windows (target >= 200)",
+                report.long_stream_windows
+            );
+            failed = true;
+        }
+        let flatness_limit = 1.0 + stats::variance_tolerance(&[report.long_stream_noise_frac]);
+        if report.steady_state_flatness > flatness_limit {
+            eprintln!(
+                "FAIL: per-period cost grew {:.2}x from early to late stream (limit {:.2}x): \
+                 per-window work is not O(window)",
+                report.steady_state_flatness, flatness_limit
+            );
+            failed = true;
+        }
+        if report.arena_plateau_ratio > 1.5 {
+            eprintln!(
+                "FAIL: arena high water grew {:.2}x after the stream midpoint (limit 1.5x): \
+                 watermark eviction is not holding a plateau",
+                report.arena_plateau_ratio
+            );
+            failed = true;
+        }
         if failed {
             std::process::exit(1);
         }
@@ -102,6 +135,9 @@ fn main() {
                 ("ingest_fragments_per_sec", report.ingest_fragments_per_sec),
                 ("size_ratio", report.size_ratio),
                 ("integrity_overhead_frac", report.integrity_overhead_frac),
+                ("steady_state_flatness", report.steady_state_flatness),
+                ("arena_high_water_bytes", report.arena_high_water_bytes as f64),
+                ("arena_plateau_ratio", report.arena_plateau_ratio),
             ],
         ),
     );

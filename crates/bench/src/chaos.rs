@@ -19,7 +19,16 @@
 //! * [`fault_free_equivalence`] — a plan with every intensity at zero
 //!   and no deaths must reproduce the one-shot windowed analysis
 //!   ([`ServerPool::analyze_windows`]) bit for bit, even with the
-//!   straggler policy armed.
+//!   straggler policy armed;
+//! * [`pipeline_equivalence`] — *any* plan, hostile or clean, must
+//!   produce the same report sequence whether windows are analysed
+//!   inline (`pipeline_depth: 0`) or through the bounded pipelined
+//!   stage (the default depth), with identical delivery accounting.
+//!
+//! Every run also executes with watermark arena eviction armed (it is
+//! unconditional), so the invariants double as a reclamation soak: the
+//! outcome carries the arena's resident/high-water byte counters and
+//! [`check_invariants`] insists they stay internally consistent.
 
 use crate::perf::synthetic_stgs;
 use rand::{Rng, SeedableRng};
@@ -142,6 +151,11 @@ pub struct ChaosOutcome {
     /// Deliveries discarded under the late-data policy or the
     /// backpressure cap (accepted calls that admitted nothing).
     pub discarded: u64,
+    /// Arena bytes still resident when the stream ended (before the
+    /// final `finish`): the watermark-eviction steady state.
+    pub arena_resident_bytes: u64,
+    /// Peak arena bytes across the run.
+    pub arena_high_water_bytes: u64,
 }
 
 /// Latest fragment end across the run, ns.
@@ -179,12 +193,18 @@ fn plan_config(period_ns: u64) -> VaproConfig {
     }
 }
 
-/// Run one plan end to end.
+/// Run one plan end to end under the default (pipelined) configuration.
 pub fn run_plan(plan: &FaultPlan) -> ChaosOutcome {
+    run_plan_with_depth(plan, VaproConfig::default().pipeline_depth)
+}
+
+/// Run one plan end to end with an explicit analysis-pipeline depth
+/// (`0` = inline analysis on the admission thread).
+pub fn run_plan_with_depth(plan: &FaultPlan, pipeline_depth: usize) -> ChaosOutcome {
     let stgs = plan_stgs(plan);
     let t_end = t_end_ns(&stgs);
     let period_ns = (t_end / plan.periods.max(1) as u64).max(1);
-    let cfg = plan_config(period_ns);
+    let cfg = VaproConfig { pipeline_depth, ..plan_config(period_ns) };
     let mut rng = ChaCha8Rng::seed_from_u64(plan.seed);
 
     // Generate the per-period sequenced frames and apply the transport
@@ -242,6 +262,8 @@ pub fn run_plan(plan: &FaultPlan) -> ChaosOutcome {
     }
     let stats = ingestor.stats().clone();
     let max_seen_ns = ingestor.arena().max_end_ns();
+    let arena_resident_bytes = ingestor.arena().resident_bytes();
+    let arena_high_water_bytes = ingestor.arena().high_water_bytes();
     reports.extend(ingestor.finish());
 
     ChaosOutcome {
@@ -254,6 +276,8 @@ pub fn run_plan(plan: &FaultPlan) -> ChaosOutcome {
         rejected_other: other,
         max_seen_ns,
         discarded: stats.dropped_late_frames + stats.dropped_backpressure_frames,
+        arena_resident_bytes,
+        arena_high_water_bytes,
     }
 }
 
@@ -328,6 +352,18 @@ pub fn check_invariants(plan: &FaultPlan, outcome: &ChaosOutcome) -> Result<(), 
         }
         prev_counters = counters;
     }
+    // Arena accounting: the eviction bookkeeping can never leave more
+    // bytes resident than the recorded peak, and a run that admitted
+    // anything must have registered a peak.
+    if outcome.arena_resident_bytes > outcome.arena_high_water_bytes {
+        return Err(format!(
+            "arena resident {} bytes above its own high water {}",
+            outcome.arena_resident_bytes, outcome.arena_high_water_bytes
+        ));
+    }
+    if outcome.admitted > 0 && outcome.arena_high_water_bytes == 0 {
+        return Err("frames admitted but arena high water never moved".to_string());
+    }
     // A clean transport admits everything and rejects nothing.
     if plan.is_fault_free()
         && (outcome.admitted != outcome.delivered as u64
@@ -374,6 +410,45 @@ pub fn reports_identical(got: &[WindowReport], want: &[WindowReport]) -> Result<
                 g.window, g.coverage, w.coverage
             ));
         }
+    }
+    Ok(())
+}
+
+/// The pipeline equivalence check: under *any* plan — faults, deaths,
+/// rejections and all — the bounded pipelined stage must produce the
+/// same report sequence and the same delivery accounting as inline
+/// analysis. Deferred emission may shift *when* reports surface during
+/// the stream, but the ordered union is bit-identical.
+pub fn pipeline_equivalence(plan: &FaultPlan) -> Result<(), String> {
+    let pipelined = run_plan(plan);
+    let inline = run_plan_with_depth(plan, 0);
+    check_invariants(plan, &pipelined)?;
+    check_invariants(plan, &inline)?;
+    reports_identical(&pipelined.reports, &inline.reports)
+        .map_err(|e| format!("pipelined reports diverged from inline: {e}"))?;
+    let acct = |o: &ChaosOutcome| {
+        (o.admitted, o.discarded, o.rejected_corrupt, o.rejected_duplicate, o.rejected_other)
+    };
+    if acct(&pipelined) != acct(&inline) {
+        return Err(format!(
+            "pipelined accounting {:?} diverged from inline {:?}",
+            acct(&pipelined),
+            acct(&inline)
+        ));
+    }
+    // Sealing snapshots windows out of the arena, so reclamation — and
+    // therefore the resident/high-water trajectory — is independent of
+    // where analysis runs.
+    if pipelined.arena_high_water_bytes != inline.arena_high_water_bytes
+        || pipelined.arena_resident_bytes != inline.arena_resident_bytes
+    {
+        return Err(format!(
+            "arena bytes diverged across pipeline depths: pipelined {}/{} vs inline {}/{}",
+            pipelined.arena_resident_bytes,
+            pipelined.arena_high_water_bytes,
+            inline.arena_resident_bytes,
+            inline.arena_high_water_bytes
+        ));
     }
     Ok(())
 }
@@ -806,6 +881,20 @@ mod tests {
     #[test]
     fn fault_free_plans_are_bit_identical_to_one_shot() {
         fault_free_equivalence(&FaultPlan::fault_free(7)).expect("clean plan diverged");
+    }
+
+    #[test]
+    fn pipelined_and_inline_analysis_agree_under_chaos() {
+        let plan = FaultPlan {
+            drop: 0.1,
+            duplicate: 0.2,
+            reorder: 0.4,
+            corrupt: 0.1,
+            delay: 0.15,
+            deaths: vec![(0, 2)],
+            ..FaultPlan::fault_free(41)
+        };
+        pipeline_equivalence(&plan).expect("pipeline diverged from inline");
     }
 
     #[test]

@@ -80,6 +80,16 @@ pub struct FleetPerf {
     /// bare path win, i.e. the overhead is below the noise floor. The
     /// release-mode acceptance gate requires `< 0.10`.
     pub fleet_overhead_frac: f64,
+    /// Peak per-job arena resident bytes across one instrumented
+    /// N-shard fleet run (the worst job): with watermark eviction this
+    /// stays O(watermark lag + open windows) per job, not O(stream).
+    pub arena_high_water_bytes: u64,
+    /// Steady-state flatness of the fleet admission path: the median
+    /// per-chunk push cost over the last quarter of the instrumented run
+    /// divided by the median over the second quarter (the first quarter
+    /// is warmup). ≈1.0 when per-frame cost is independent of how much
+    /// history the plane has absorbed.
+    pub steady_state_flatness: f64,
     /// One headline point per harness run, carried forward from the
     /// previous BENCH file (bounded; see [`stats::MAX_TREND_POINTS`]).
     pub history: Vec<TrendPoint>,
@@ -276,6 +286,25 @@ pub fn measure(
     let bare = stats::summarize(&mut bare_times);
     let solo_fragments: usize = job_stgs[0].iter().map(Stg::total_fragments).sum();
 
+    // One instrumented N-shard run for the steady-state metrics: the
+    // whole interleaved stream pushed in chronological chunks, each
+    // chunk timed, the per-job arena peaks read off the final report.
+    let chunk_len = frames.len().div_ceil(40).max(1);
+    let mut instrumented = new_fleet(shards);
+    let mut per_chunk = Vec::with_capacity(frames.len().div_ceil(chunk_len));
+    for chunk in frames.chunks(chunk_len) {
+        per_chunk.push(stats::time_ns(|| {
+            for frame in chunk {
+                std::hint::black_box(
+                    instrumented.push_encoded(frame).expect("own frame admitted").len(),
+                );
+            }
+        }));
+    }
+    let (instrumented_report, _flushed) = instrumented.into_report();
+    let arena_high_water_bytes = instrumented_report.arena_high_water_bytes();
+    let (steady_state_flatness, _) = stats::steady_state_flatness(&per_chunk);
+
     let threads = detected_threads();
     let per_sec = |count: usize, ns: f64| count as f64 / (ns / 1e9);
     FleetPerf {
@@ -298,6 +327,8 @@ pub fn measure(
         single_job_fragments_per_sec: per_sec(solo_fragments, solo_fleet.median_ns),
         single_job_noise_frac: solo_fleet.noise_frac(),
         fleet_overhead_frac: overhead_frac,
+        arena_high_water_bytes,
+        steady_state_flatness,
         history: Vec::new(),
     }
 }
@@ -320,7 +351,8 @@ pub fn summary(p: &FleetPerf) -> String {
          1 shard:  {:>10.0} fragments/s aggregate (±{:.1}% MAD)\n\
          {} shards: {:>10.0} fragments/s aggregate (±{:.1}% MAD), shard speedup {}\n\
          solo job: {:>10.0} fragments/s through the fleet vs {:>10.0} fragments/s bare,\n\
-                   overhead {:.1}% (best pair, unclamped)\n",
+                   overhead {:.1}% (best pair, unclamped)\n\
+         steady state: worst-job arena high water {} B, admission flatness {:.3}\n",
         p.jobs,
         p.ranks_per_job,
         p.fragments,
@@ -337,6 +369,8 @@ pub fn summary(p: &FleetPerf) -> String {
         p.single_job_fragments_per_sec,
         p.bare_fragments_per_sec,
         p.fleet_overhead_frac * 100.0,
+        p.arena_high_water_bytes,
+        p.steady_state_flatness,
     )
 }
 
@@ -390,6 +424,8 @@ mod tests {
         }
         assert!(p.samples >= crate::stats::MIN_SAMPLES);
         assert!(p.fleet_nshard_noise_frac.is_finite() && p.fleet_nshard_noise_frac >= 0.0);
+        assert!(p.arena_high_water_bytes > 0, "no job registered an arena peak");
+        assert!(p.steady_state_flatness.is_finite() && p.steady_state_flatness > 0.0);
     }
 
     #[test]

@@ -89,6 +89,30 @@ pub struct IngestPerf {
     /// measurable gap.) The robustness acceptance gate requires `< 0.10`
     /// on release builds.
     pub integrity_overhead_frac: f64,
+    /// Reporting periods in the long-stream steady-state measurement
+    /// (the run re-sliced so the stream closes ≥200 half-overlapped
+    /// windows).
+    pub long_stream_periods: usize,
+    /// Windows the long-stream run closed.
+    pub long_stream_windows: usize,
+    /// Steady-state flatness: the median per-period admission+analysis
+    /// cost over the **last** quarter of the long stream divided by the
+    /// median over the **second** quarter (the first quarter is warmup).
+    /// ≈1.0 when per-window cost is O(window); it grows with the stream
+    /// when any per-push cost scales with the total resident history
+    /// (full-arena scans, unbounded buffering). The release gate allows
+    /// `1 + variance_tolerance(long_stream_noise_frac)` at most.
+    pub steady_state_flatness: f64,
+    /// Relative noise (MAD/median) of the steady-state per-period
+    /// timings (first quarter excluded).
+    pub long_stream_noise_frac: f64,
+    /// Peak arena resident bytes across the long stream: with watermark
+    /// eviction this is O(watermark lag + open windows), not O(stream).
+    pub arena_high_water_bytes: u64,
+    /// The arena's high water at the end of the stream over its high
+    /// water at the midpoint: ≈1.0 when eviction holds the arena at a
+    /// plateau after warmup. The release gate requires ≤ 1.5.
+    pub arena_plateau_ratio: f64,
     /// One headline point per harness run, carried forward from the
     /// previous BENCH file (bounded; see [`stats::MAX_TREND_POINTS`]).
     pub history: Vec<TrendPoint>,
@@ -242,6 +266,48 @@ pub fn measure(
     let ingest = stats::summarize(&mut v2_times);
     let ingest_v1 = stats::summarize(&mut v1_times);
 
+    // Long-stream steady state: the same run re-sliced into enough
+    // reporting periods for ≥200 half-overlapped windows, streamed once
+    // with per-period timing. Flat per-period cost and an arena-byte
+    // plateau are what bounded-memory streaming must show: watermark
+    // eviction keeps the resident set O(open windows) and the ranged
+    // window views keep per-close cost O(window), so neither admission
+    // nor analysis may slow down as history accumulates.
+    let long_periods = periods.max(101);
+    let long_period_ns = (t_end_ns(&stgs) / long_periods as u64).max(1);
+    let long_frames: Vec<Vec<u8>> =
+        periodic_batches(&stgs, long_period_ns).iter().map(FragmentBatch::encode).collect();
+    let long_cfg = VaproConfig {
+        report_period: VirtualTime::from_ns(long_period_ns),
+        ..VaproConfig::default()
+    };
+    let mut long_ingestor = WindowedIngestor::new(nranks, 16, long_cfg);
+    let nperiods = long_frames.len() / nranks;
+    let mut per_period = Vec::with_capacity(nperiods);
+    let mut long_windows = 0usize;
+    let mut hw_mid = 0u64;
+    for (k, chunk) in long_frames.chunks(nranks).enumerate() {
+        let mut closed = 0usize;
+        per_period.push(stats::time_ns(|| {
+            for frame in chunk {
+                closed += long_ingestor.push_encoded(frame).expect("own frame").len();
+            }
+        }));
+        long_windows += closed;
+        if k + 1 == nperiods / 2 {
+            hw_mid = long_ingestor.arena().high_water_bytes();
+        }
+    }
+    let arena_high_water_bytes = long_ingestor.arena().high_water_bytes();
+    let arena_plateau_ratio = if hw_mid > 0 {
+        arena_high_water_bytes as f64 / hw_mid as f64
+    } else {
+        1.0
+    };
+    long_windows += long_ingestor.finish().len();
+    let (steady_state_flatness, long_stream_noise_frac) =
+        stats::steady_state_flatness(&per_period);
+
     let per_sec = |count: usize, ns: f64| count as f64 / (ns / 1e9);
     IngestPerf {
         bench: "ingest".to_string(),
@@ -267,6 +333,12 @@ pub fn measure(
         ingest_noise_frac: ingest.noise_frac(),
         ingest_v1_fragments_per_sec: per_sec(fragments, ingest_v1.median_ns),
         integrity_overhead_frac: overhead_frac,
+        long_stream_periods: per_period.len(),
+        long_stream_windows: long_windows,
+        steady_state_flatness,
+        long_stream_noise_frac,
+        arena_high_water_bytes,
+        arena_plateau_ratio,
         history: Vec::new(),
     }
 }
@@ -286,7 +358,9 @@ pub fn summary(p: &IngestPerf) -> String {
          encode: {:>10.0} fragments/s binary (±{:.1}% MAD), {:>10.0} fragments/s JSON\n\
          decode: {:>10.0} fragments/s binary (±{:.1}% MAD), {:>10.0} fragments/s JSON ({:.1}x faster)\n\
          ingest: {:>10.0} fragments/s end-to-end (±{:.1}% MAD, decode + windowed detection)\n\
-         integrity: {:>7.0} fragments/s without checks (v1), overhead {:.1}% (best pair, unclamped)\n",
+         integrity: {:>7.0} fragments/s without checks (v1), overhead {:.1}% (best pair, unclamped)\n\
+         steady state: {} windows over {} periods, flatness {:.3} (±{:.1}% MAD),\n\
+                       arena high water {} B, plateau ratio {:.3}\n",
         p.fragments,
         p.ranks,
         p.batches,
@@ -307,6 +381,12 @@ pub fn summary(p: &IngestPerf) -> String {
         p.ingest_noise_frac * 100.0,
         p.ingest_v1_fragments_per_sec,
         p.integrity_overhead_frac * 100.0,
+        p.long_stream_windows,
+        p.long_stream_periods,
+        p.steady_state_flatness,
+        p.long_stream_noise_frac * 100.0,
+        p.arena_high_water_bytes,
+        p.arena_plateau_ratio,
     )
 }
 
@@ -347,6 +427,16 @@ mod tests {
         assert!(p.integrity_overhead_frac.is_finite());
         assert!(p.samples >= crate::stats::MIN_SAMPLES);
         assert!(p.ingest_noise_frac.is_finite() && p.ingest_noise_frac >= 0.0);
+        // The long stream must actually be long: ≥200 half-overlapped
+        // windows, a registered arena peak, and sane steady-state ratios
+        // (debug builds can't gate the release thresholds, but the
+        // values must be finite and positive).
+        assert!(p.long_stream_periods >= 100, "periods {}", p.long_stream_periods);
+        assert!(p.long_stream_windows >= 200, "windows {}", p.long_stream_windows);
+        assert!(p.arena_high_water_bytes > 0);
+        assert!(p.steady_state_flatness.is_finite() && p.steady_state_flatness > 0.0);
+        assert!(p.arena_plateau_ratio.is_finite() && p.arena_plateau_ratio > 0.0);
+        assert!(p.long_stream_noise_frac.is_finite() && p.long_stream_noise_frac >= 0.0);
     }
 
     #[test]

@@ -156,10 +156,27 @@ pub fn load_previous_ingest(path: &str) -> Option<IngestPerf> {
             map.entry(key.to_string())
                 .or_insert(serde_json::Value::Number(serde_json::Number::Float(0.0)));
         }
+        // Steady-state fields (long-stream flatness + arena plateau):
+        // reports predating bounded-memory streaming load with neutral
+        // values — counts at zero (gating nothing), ratios at 0.0 so the
+        // first post-upgrade run seeds the baseline.
+        for key in ["steady_state_flatness", "arena_plateau_ratio"] {
+            map.entry(key.to_string())
+                .or_insert(serde_json::Value::Number(serde_json::Number::Float(0.0)));
+        }
+        for key in ["long_stream_periods", "long_stream_windows", "arena_high_water_bytes"] {
+            map.entry(key.to_string())
+                .or_insert(serde_json::Value::Number(serde_json::Number::PosInt(0)));
+        }
     }
     patch_missing_stats(
         &mut value,
-        &["encode_noise_frac", "decode_noise_frac", "ingest_noise_frac"],
+        &[
+            "encode_noise_frac",
+            "decode_noise_frac",
+            "ingest_noise_frac",
+            "long_stream_noise_frac",
+        ],
     );
     serde_json::from_value(&value).ok()
 }
@@ -172,6 +189,14 @@ pub fn load_previous_ingest(path: &str) -> Option<IngestPerf> {
 pub fn load_previous_fleet(path: &str) -> Option<FleetPerf> {
     let text = std::fs::read_to_string(path).ok()?;
     let mut value: serde_json::Value = serde_json::from_str(&text).ok()?;
+    if let serde_json::Value::Object(map) = &mut value {
+        // Steady-state fields added with bounded-memory streaming: see
+        // the matching patch in [`load_previous_ingest`].
+        map.entry("steady_state_flatness".to_string())
+            .or_insert(serde_json::Value::Number(serde_json::Number::Float(0.0)));
+        map.entry("arena_high_water_bytes".to_string())
+            .or_insert(serde_json::Value::Number(serde_json::Number::PosInt(0)));
+    }
     patch_missing_stats(
         &mut value,
         &[
@@ -531,6 +556,12 @@ mod tests {
             ingest_noise_frac: 0.0,
             ingest_v1_fragments_per_sec: e2e * 1.05,
             integrity_overhead_frac: 1.0 - 1.0 / 1.05,
+            long_stream_periods: 101,
+            long_stream_windows: 202,
+            steady_state_flatness: 1.02,
+            long_stream_noise_frac: 0.0,
+            arena_high_water_bytes: 40_000,
+            arena_plateau_ratio: 1.05,
             history: Vec::new(),
         }
     }
@@ -625,6 +656,8 @@ mod tests {
             single_job_fragments_per_sec: solo,
             single_job_noise_frac: 0.0,
             fleet_overhead_frac: 1.0 - 1.0 / 1.02,
+            arena_high_water_bytes: 30_000,
+            steady_state_flatness: 1.01,
             history: Vec::new(),
         }
     }
@@ -683,8 +716,18 @@ mod tests {
         let fixture = ingest_fixture(9e6, 8e6, 6.0, 2e6, 4);
         let mut value = serde_json::to_value(&fixture).expect("serialises");
         if let serde_json::Value::Object(map) = &mut value {
-            map.remove("ingest_v1_fragments_per_sec");
-            map.remove("integrity_overhead_frac");
+            for key in [
+                "ingest_v1_fragments_per_sec",
+                "integrity_overhead_frac",
+                "long_stream_periods",
+                "long_stream_windows",
+                "steady_state_flatness",
+                "long_stream_noise_frac",
+                "arena_high_water_bytes",
+                "arena_plateau_ratio",
+            ] {
+                map.remove(key);
+            }
         }
         let dir = std::env::temp_dir().join("vapro_ingest_gate_test");
         std::fs::create_dir_all(&dir).expect("temp dir");
@@ -695,8 +738,32 @@ mod tests {
         assert_eq!(loaded.ingest_fragments_per_sec, fixture.ingest_fragments_per_sec);
         assert_eq!(loaded.ingest_v1_fragments_per_sec, 0.0);
         assert_eq!(loaded.integrity_overhead_frac, 0.0);
+        // The steady-state fields added with bounded-memory streaming
+        // default to their neutral values.
+        assert_eq!(loaded.long_stream_windows, 0);
+        assert_eq!(loaded.steady_state_flatness, 0.0);
+        assert_eq!(loaded.arena_high_water_bytes, 0);
         // Zero baselines gate nothing.
         assert!(ingest_regression_warnings(&loaded, &fixture).is_empty());
+    }
+
+    #[test]
+    fn previous_fleet_loads_reports_predating_the_steady_state_fields() {
+        let fixture = fleet_fixture(1e6, 2.2e6, 9e5, 8);
+        let mut value = serde_json::to_value(&fixture).expect("serialises");
+        if let serde_json::Value::Object(map) = &mut value {
+            map.remove("arena_high_water_bytes");
+            map.remove("steady_state_flatness");
+        }
+        let dir = std::env::temp_dir().join("vapro_fleet_gate_test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("BENCH_fleet_presteady.json");
+        std::fs::write(&path, serde_json::to_string(&value).expect("serialises"))
+            .expect("writes");
+        let loaded = load_previous_fleet(path.to_str().expect("utf8 path")).expect("loads");
+        assert_eq!(loaded.arena_high_water_bytes, 0);
+        assert_eq!(loaded.steady_state_flatness, 0.0);
+        assert!(fleet_regression_warnings(&loaded, &fixture).is_empty());
     }
 
     #[test]

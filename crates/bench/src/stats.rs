@@ -128,6 +128,26 @@ pub fn sample_ns<R>(samples: usize, mut f: impl FnMut() -> R) -> SampleStats {
     summarize(&mut times)
 }
 
+/// Steady-state flatness of a chronological per-step timing series:
+/// `(median of the last quarter / median of the second quarter, relative
+/// MAD of everything past the first quarter)`. The first quarter is
+/// treated as warmup (cold caches, first allocations) and excluded from
+/// both numbers. A flat series — per-step cost independent of how much
+/// history the stream has accumulated — reports ≈1.0; any cost that
+/// grows with the stream shows up as a ratio above 1. Series too short
+/// to quarter (<8 samples) report `(1.0, 0.0)`.
+pub fn steady_state_flatness(per_step_ns: &[f64]) -> (f64, f64) {
+    let q = per_step_ns.len() / 4;
+    if q < 2 {
+        return (1.0, 0.0);
+    }
+    let early = summarize(&mut per_step_ns[q..2 * q].to_vec());
+    let late = summarize(&mut per_step_ns[3 * q..].to_vec());
+    let steady = summarize(&mut per_step_ns[q..].to_vec());
+    let flatness = if early.median_ns > 0.0 { late.median_ns / early.median_ns } else { 1.0 };
+    (flatness, steady.noise_frac())
+}
+
 /// The regression tolerance for a metric whose runs measured the given
 /// relative noise levels (MAD/median, typically previous and current):
 /// the fixed floor [`crate::regression::PERF_REGRESSION_TOLERANCE`]
@@ -213,6 +233,22 @@ mod tests {
         assert_eq!(s.samples, MIN_SAMPLES);
         assert_eq!(calls, MIN_SAMPLES + WARMUP_SAMPLES);
         assert!(s.min_ns <= s.median_ns && s.median_ns <= s.max_ns);
+    }
+
+    #[test]
+    fn steady_state_flatness_separates_flat_from_growing_series() {
+        // Flat series with a noisy warmup quarter: ≈1.0, warmup ignored.
+        let mut flat: Vec<f64> = vec![500.0; 10];
+        flat.extend(std::iter::repeat_n(100.0, 90));
+        let (f, noise) = steady_state_flatness(&flat);
+        assert!((f - 1.0).abs() < 1e-9, "flatness {f}");
+        assert_eq!(noise, 0.0);
+        // Linearly growing cost (an O(history) scan): well above 1.
+        let growing: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let (f, _) = steady_state_flatness(&growing);
+        assert!(f > 2.0, "growing series reported flat: {f}");
+        // Too short to quarter: the neutral report.
+        assert_eq!(steady_state_flatness(&[1.0, 2.0, 3.0]), (1.0, 0.0));
     }
 
     #[test]

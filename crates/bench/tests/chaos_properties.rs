@@ -7,8 +7,8 @@
 
 use proptest::prelude::*;
 use vapro_bench::chaos::{
-    check_fleet_invariants, check_invariants, fault_free_equivalence, run_fleet_plan, run_plan,
-    FaultPlan, FleetPlan,
+    check_fleet_invariants, check_invariants, fault_free_equivalence, pipeline_equivalence,
+    run_fleet_plan, run_plan, FaultPlan, FleetPlan,
 };
 
 /// Small plans: the suite runs on a single-core gate, so each case is a
@@ -54,6 +54,16 @@ proptest! {
     fn arbitrary_fault_plans_satisfy_the_invariants(plan in plan_strategy()) {
         let outcome = run_plan(&plan);
         if let Err(e) = check_invariants(&plan, &outcome) {
+            prop_assert!(false, "{}", e);
+        }
+    }
+
+    /// Any plan: the bounded pipelined analysis stage produces the same
+    /// ordered report union, the same delivery accounting, and the same
+    /// arena byte trajectory as inline analysis.
+    #[test]
+    fn pipelined_analysis_is_equivalent_to_inline(plan in plan_strategy()) {
+        if let Err(e) = pipeline_equivalence(&plan) {
             prop_assert!(false, "{}", e);
         }
     }

@@ -124,6 +124,15 @@ pub struct VaproConfig {
     /// Defaults to fully off (block on the slowest rank, buffer without
     /// bound) — the fault-free bit-identical semantics.
     pub fault: FaultTolerance,
+    /// How many sealed windows the streaming ingestor may hold in its
+    /// pipelined analysis stage at once. With a positive depth,
+    /// admission keeps draining frames while clustering runs on stage
+    /// workers; reports are still emitted strictly in window order, so
+    /// the union of all reports stays bit-identical to the one-shot
+    /// analysis. `0` analyses windows inline on the admission thread
+    /// (the pre-pipeline behaviour — useful when per-push report
+    /// latency must be deterministic).
+    pub pipeline_depth: usize,
 }
 
 impl Default for VaproConfig {
@@ -144,6 +153,7 @@ impl Default for VaproConfig {
             sampling_enabled: false,
             sampling_min_ns: 2_000.0,
             fault: FaultTolerance::default(),
+            pipeline_depth: 8,
         }
     }
 }

@@ -7,6 +7,7 @@ pub mod normalize;
 pub mod pipeline;
 pub mod region;
 pub mod server;
+pub(crate) mod stage;
 pub mod window;
 
 pub use heatmap::HeatMap;

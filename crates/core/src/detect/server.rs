@@ -33,10 +33,13 @@ use crate::stg::{StateKey, Stg};
 use crate::wire::{
     fragment_wire_bytes, leak_label, FragmentBatch, WireError, SEQ_UNSEQUENCED,
 };
+use crate::detect::stage::AnalysisStage;
+use parking_lot::Mutex;
 use rayon::prelude::*;
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use vapro_sim::{CallSite, VirtualTime};
 
 /// One analysis server owning a subset of client ranks.
@@ -302,7 +305,7 @@ fn analyze_view(
 /// ingestor routes every closed window through here; the one-shot path
 /// keeps the AoS route, so the streaming-equals-one-shot tests prove the
 /// two representations bit-identical end to end.
-fn analyze_view_columnar(
+pub(crate) fn analyze_view_columnar(
     pool: &ColumnarPool,
     window: Window,
     nranks: usize,
@@ -450,6 +453,52 @@ fn fragment_order(a: &Fragment, b: &Fragment) -> std::cmp::Ordering {
 struct ArenaPool {
     frags: Vec<Fragment>,
     sorted_len: usize,
+    /// Largest fragment duration this pool has ever held, ns. Monotone
+    /// (eviction never lowers it — a stale bound only widens the ranged
+    /// scan, never narrows it), which is what makes the O(window) view
+    /// below safe: a fragment overlapping `[ws, we)` must start after
+    /// `ws - max_dur_ns`, so the scan can skip everything earlier.
+    max_dur_ns: u64,
+}
+
+impl ArenaPool {
+    /// Append the fragments overlapping `w` to `out` via `partition_point`
+    /// range lookups, touching O(ranks·log n + rows-in-window) elements
+    /// instead of filtering the whole pool. Requires the pool to be fully
+    /// sorted ([`fragment_order`]: rank first, then start time), which is
+    /// what bounds each rank's candidates to one contiguous run:
+    ///
+    /// * the upper cut keeps `start < w.end` (any later start cannot
+    ///   overlap);
+    /// * the lower cut keeps `start > w.start − max_dur_ns` (any earlier
+    ///   start has `end ≤ start + max_dur_ns ≤ w.start`, so it cannot
+    ///   overlap either);
+    /// * the remaining candidates are filtered by the exact overlap
+    ///   predicate `end > w.start`, yielding precisely the set — and,
+    ///   because the scan walks pool order, precisely the order — the
+    ///   full `filter(keep)` pass produced.
+    fn window_overlaps<'a>(&'a self, w: Window, out: &mut Vec<&'a Fragment>) {
+        debug_assert_eq!(self.sorted_len, self.frags.len(), "ranged scan needs a sorted pool");
+        let ws = w.start.ns();
+        let we = w.end.ns();
+        let earliest_start = ws.saturating_sub(self.max_dur_ns);
+        let frags = self.frags.as_slice();
+        let mut run_start = 0;
+        while run_start < frags.len() {
+            let rank = frags[run_start].rank;
+            let run = &frags[run_start..];
+            let run_len = run.partition_point(|f| f.rank == rank);
+            let run = &run[..run_len];
+            let lo = run.partition_point(|f| f.start.ns() < earliest_start);
+            let hi = run.partition_point(|f| f.start.ns() < we);
+            for f in &run[lo.min(hi)..hi] {
+                if f.end.ns() > ws {
+                    out.push(f);
+                }
+            }
+            run_start += run_len;
+        }
+    }
 }
 
 /// Server-side fragment storage: shipped batches decoded **once** into
@@ -472,6 +521,26 @@ pub struct IngestArena {
     /// no transient allocation.
     sort_tail: Vec<Fragment>,
     sort_out: Vec<Fragment>,
+    /// Fragment `Vec`s reclaimed from pools the watermark fully drained;
+    /// the next pool for a fresh location reuses their capacity instead
+    /// of allocating — the arena-level twin of the ingestor's columnar
+    /// scratch recycling.
+    free_pools: Vec<Vec<Fragment>>,
+    /// Approximate bytes of fragment data currently resident (struct +
+    /// arg payloads), maintained by absorption and eviction.
+    resident_bytes: u64,
+    /// The highest `resident_bytes` ever observed — the stat the
+    /// long-stream bench gates on to prove eviction caps memory at
+    /// O(watermark lag + open windows) instead of O(stream).
+    high_water_bytes: u64,
+}
+
+/// Approximate resident footprint of one fragment: the inline struct
+/// plus its argument payload. An accounting measure (allocator slack and
+/// counter storage are not chased), but evict/absorb use the same
+/// formula, so the resident gauge is exact relative to itself.
+fn fragment_resident_bytes(f: &Fragment) -> u64 {
+    (std::mem::size_of::<Fragment>() + f.args.len() * std::mem::size_of::<f64>()) as u64
 }
 
 impl IngestArena {
@@ -493,28 +562,59 @@ impl IngestArena {
         let FragmentBatch { labels, vertex_groups, edge_groups, .. } = batch;
         let ids: Vec<usize> = labels.iter().map(|l| self.key_id(l)).collect();
         for g in vertex_groups {
-            self.absorb(g.fragments, |arena, frags| {
-                arena.vertex_pools.entry(ids[g.label as usize]).or_default().frags.extend(frags)
-            });
+            if !self.vertex_pools.contains_key(&ids[g.label as usize]) {
+                let recycled = self.recycled_pool();
+                self.vertex_pools.insert(ids[g.label as usize], recycled);
+            }
+            if let Some(pool) = self.vertex_pools.get_mut(&ids[g.label as usize]) {
+                Self::absorb(
+                    pool,
+                    g.fragments,
+                    &mut self.fragments,
+                    &mut self.max_end_ns,
+                    &mut self.resident_bytes,
+                );
+            }
         }
         for g in edge_groups {
             let key = (ids[g.from as usize], ids[g.to as usize]);
-            self.absorb(g.fragments, |arena, frags| {
-                arena.edge_pools.entry(key).or_default().frags.extend(frags)
-            });
+            if !self.edge_pools.contains_key(&key) {
+                let recycled = self.recycled_pool();
+                self.edge_pools.insert(key, recycled);
+            }
+            if let Some(pool) = self.edge_pools.get_mut(&key) {
+                Self::absorb(
+                    pool,
+                    g.fragments,
+                    &mut self.fragments,
+                    &mut self.max_end_ns,
+                    &mut self.resident_bytes,
+                );
+            }
         }
+        self.high_water_bytes = self.high_water_bytes.max(self.resident_bytes);
+    }
+
+    /// A fresh pool reusing reclaimed `Vec` capacity when available.
+    fn recycled_pool(&mut self) -> ArenaPool {
+        let frags = self.free_pools.pop().unwrap_or_default();
+        ArenaPool { frags, sorted_len: 0, max_dur_ns: 0 }
     }
 
     fn absorb(
-        &mut self,
+        pool: &mut ArenaPool,
         frags: Vec<Fragment>,
-        place: impl FnOnce(&mut Self, std::vec::IntoIter<Fragment>),
+        fragments: &mut usize,
+        max_end_ns: &mut u64,
+        resident_bytes: &mut u64,
     ) {
-        self.fragments += frags.len();
+        *fragments += frags.len();
         for f in &frags {
-            self.max_end_ns = self.max_end_ns.max(f.end.ns());
+            *max_end_ns = (*max_end_ns).max(f.end.ns());
+            *resident_bytes += fragment_resident_bytes(f);
+            pool.max_dur_ns = pool.max_dur_ns.max(f.end.ns().saturating_sub(f.start.ns()));
         }
-        place(self, frags.into_iter());
+        pool.frags.extend(frags);
     }
 
     /// Decode one binary frame and absorb it.
@@ -536,6 +636,96 @@ impl IngestArena {
     /// Latest fragment end observed, ns — the arena's time watermark.
     pub fn max_end_ns(&self) -> u64 {
         self.max_end_ns
+    }
+
+    /// Approximate bytes of fragment data currently resident.
+    pub fn resident_bytes(&self) -> u64 {
+        self.resident_bytes
+    }
+
+    /// The highest [`IngestArena::resident_bytes`] ever observed. With
+    /// watermark eviction running, this plateaus at O(watermark lag +
+    /// open windows) instead of growing with the stream.
+    pub fn high_water_bytes(&self) -> u64 {
+        self.high_water_bytes
+    }
+
+    /// Watermark-driven reclamation: drop every fragment whose end is at
+    /// or before `horizon_ns`, the start of the earliest window that can
+    /// still close.
+    ///
+    /// **Safety argument.** Windows are emitted in index order and
+    /// window `k` starts at `k·step`, so once windows `0..closed` have
+    /// been sealed, every window that can still be analysed has
+    /// `start ≥ window(closed).start = horizon`. A fragment feeds a
+    /// window only when it overlaps it — `f.start < w.end` and
+    /// `f.end > w.start ≥ horizon` — so a fragment with
+    /// `f.end ≤ horizon` is unreachable by *any* future window,
+    /// half-overlap included (the half-overlap only means a fragment
+    /// can feed two windows; both of them have closed by the time the
+    /// horizon passes its end). Closed windows can never reopen: the
+    /// `closed` counter is monotone and `close_ready`/`finish` only
+    /// ever analyse window indices ≥ `closed`. Late frames readmitted
+    /// under [`LateDataPolicy::Readmit`] are unaffected — data for
+    /// still-open windows ends after the horizon and is retained;
+    /// data only closed windows could have used is exactly what this
+    /// reclaims.
+    ///
+    /// `max_end_ns` is deliberately untouched (the window cover is
+    /// defined by the data watermark, not by what is resident), as are
+    /// the key tables (bounded by distinct code locations, not stream
+    /// length). Pools drained empty donate their `Vec` capacity to the
+    /// free list for the next fresh location.
+    pub fn evict_before(&mut self, horizon_ns: u64) {
+        let IngestArena {
+            vertex_pools, edge_pools, free_pools, fragments, resident_bytes, ..
+        } = self;
+        let mut evict_pool = |pool: &mut ArenaPool| {
+            let mut kept = 0;
+            let mut kept_sorted = 0;
+            for i in 0..pool.frags.len() {
+                if pool.frags[i].end.ns() > horizon_ns {
+                    pool.frags.swap(kept, i);
+                    if i < pool.sorted_len {
+                        kept_sorted += 1;
+                    }
+                    kept += 1;
+                } else {
+                    *fragments = fragments.saturating_sub(1);
+                    *resident_bytes =
+                        resident_bytes.saturating_sub(fragment_resident_bytes(&pool.frags[i]));
+                }
+            }
+            // Kept fragments keep their relative order (each moves only
+            // left), so the kept part of the sorted prefix stays sorted
+            // and the watermark shrinks to exactly that count.
+            pool.frags.truncate(kept);
+            pool.sorted_len = kept_sorted;
+        };
+        for pool in vertex_pools.values_mut().chain(edge_pools.values_mut()) {
+            evict_pool(pool);
+        }
+        let mut reclaim = |pool: &mut ArenaPool| {
+            let mut empty = std::mem::take(&mut pool.frags);
+            empty.clear();
+            free_pools.push(empty);
+        };
+        vertex_pools.retain(|_, pool| {
+            if pool.frags.is_empty() {
+                reclaim(pool);
+                false
+            } else {
+                true
+            }
+        });
+        edge_pools.retain(|_, pool| {
+            if pool.frags.is_empty() {
+                reclaim(pool);
+                false
+            } else {
+                true
+            }
+        });
     }
 
     /// Bring every pool up to its [`fragment_order`] invariant: sort the
@@ -592,24 +782,47 @@ impl IngestArena {
     }
 
     fn view(&self, window: Option<Window>) -> MergedStg<'_> {
-        let keep = |f: &&Fragment| match window {
-            Some(w) => w.overlaps(f.start, f.end),
-            None => true,
-        };
+        // Per-pool collection: a window view over a fully-sorted pool
+        // goes through the `partition_point` ranged scan — O(ranks·log n
+        // + rows-in-window) instead of filtering the whole pool. Pools
+        // with an unsorted tail (direct arena use without
+        // `ensure_sorted`) and full views keep the linear filter; the
+        // ranged scan is proven to produce the identical set *and*
+        // order ([`ArenaPool::window_overlaps`]), so which path ran is
+        // unobservable.
+        fn collect<'a>(
+            pool: &'a ArenaPool,
+            window: Option<Window>,
+            dirty: &mut bool,
+        ) -> Vec<&'a Fragment> {
+            match window {
+                Some(w) if pool.sorted_len == pool.frags.len() => {
+                    let mut kept = Vec::new();
+                    pool.window_overlaps(w, &mut kept);
+                    kept
+                }
+                Some(w) => {
+                    *dirty = true;
+                    pool.frags.iter().filter(|f| w.overlaps(f.start, f.end)).collect()
+                }
+                None => {
+                    *dirty |= pool.sorted_len != pool.frags.len();
+                    pool.frags.iter().collect()
+                }
+            }
+        }
+        let mut dirty = false;
         let mut symbols: SymbolTable<&StateKey> = SymbolTable::new();
         let mut vertices: Vec<(Sym, Vec<&Fragment>)> = Vec::new();
-        let mut dirty = false;
         for (&id, pool) in &self.vertex_pools {
-            let kept: Vec<&Fragment> = pool.frags.iter().filter(keep).collect();
-            dirty |= pool.sorted_len != pool.frags.len();
+            let kept = collect(pool, window, &mut dirty);
             if !kept.is_empty() {
                 vertices.push((symbols.intern(&self.keys[id]), kept));
             }
         }
         let mut edges: Vec<((Sym, Sym), Vec<&Fragment>)> = Vec::new();
         for (&(from, to), pool) in &self.edge_pools {
-            let kept: Vec<&Fragment> = pool.frags.iter().filter(keep).collect();
-            dirty |= pool.sorted_len != pool.frags.len();
+            let kept = collect(pool, window, &mut dirty);
             if !kept.is_empty() {
                 edges.push((
                     (symbols.intern(&self.keys[from]), symbols.intern(&self.keys[to])),
@@ -699,8 +912,20 @@ pub struct WindowedIngestor {
     buffered_ahead_bytes: u64,
     /// Recycled per-window columnar scratch: each closing window pops a
     /// pool, refills it from its view, and pushes it back with capacity
-    /// intact — steady-state window close allocates no new lanes.
-    scratch_pools: Mutex<Vec<ColumnarPool>>,
+    /// intact — steady-state window close allocates no new lanes. Shared
+    /// with the analysis stage's workers (they return finished pools),
+    /// and guarded by the vendored non-poisoning `parking_lot::Mutex`:
+    /// recycling can never be silently disabled by a poisoned lock.
+    scratch_pools: Arc<Mutex<Vec<ColumnarPool>>>,
+    /// How many scratch pools have ever been allocated (pop found the
+    /// stack empty). Bounded by the pipeline depth + worker count in
+    /// steady state — the recycling proof the tests assert.
+    scratch_pools_allocated: AtomicU64,
+    /// The bounded in-order analysis pipeline (tentpole layer 3),
+    /// spawned lazily on the first sealed window when
+    /// `cfg.pipeline_depth > 0`. `None` until then, and always `None`
+    /// at depth 0 (inline analysis).
+    stage: Option<AnalysisStage>,
 }
 
 impl WindowedIngestor {
@@ -720,7 +945,9 @@ impl WindowedIngestor {
             stats: IngestStats::default(),
             buffered_ahead: BTreeMap::new(),
             buffered_ahead_bytes: 0,
-            scratch_pools: Mutex::new(Vec::new()),
+            scratch_pools: Arc::new(Mutex::new(Vec::new())),
+            scratch_pools_allocated: AtomicU64::new(0),
+            stage: None,
         }
     }
 
@@ -915,17 +1142,35 @@ impl WindowedIngestor {
         }
     }
 
+    /// Pop a recycled columnar pool, or allocate (and count) a fresh one.
+    fn scratch_pool(&self) -> ColumnarPool {
+        match self.scratch_pools.lock().pop() {
+            Some(pool) => pool,
+            None => {
+                self.scratch_pools_allocated.fetch_add(1, Ordering::Relaxed);
+                ColumnarPool::new()
+            }
+        }
+    }
+
+    /// How many columnar scratch pools were ever allocated. Recycling
+    /// keeps this bounded by the stage's concurrency, not the window
+    /// count — the test-visible proof that a steady-state window close
+    /// reuses lanes instead of allocating.
+    pub fn scratch_pools_allocated(&self) -> u64 {
+        self.scratch_pools_allocated.load(Ordering::Relaxed)
+    }
+
+    /// Inline (depth-0) analysis: seal and analyse on the calling
+    /// thread, windows fanning out on rayon. The pipelined path routes
+    /// the identical seal + [`analyze_view_columnar`] sequence through
+    /// stage workers instead.
     fn analyze(&self, windows: Vec<(Window, WindowCoverage)>) -> Vec<WindowReport> {
         windows
             .into_par_iter()
             .map(|(window, coverage)| {
                 let view = self.arena.window_view(window);
-                let mut pool = self
-                    .scratch_pools
-                    .lock()
-                    .map(|mut pools| pools.pop())
-                    .unwrap_or_default()
-                    .unwrap_or_default();
+                let mut pool = self.scratch_pool();
                 pool.refill_from_merged(&view);
                 let report = analyze_view_columnar(
                     &pool,
@@ -935,12 +1180,58 @@ impl WindowedIngestor {
                     &self.cfg,
                     coverage,
                 );
-                if let Ok(mut pools) = self.scratch_pools.lock() {
-                    pools.push(pool);
-                }
+                self.scratch_pools.lock().push(pool);
                 report
             })
             .collect()
+    }
+
+    /// Seal `windows` into owned columnar pools on this thread and hand
+    /// them to the analysis stage, spawning it on first use. Sealing
+    /// must precede both eviction (a ready window may still need
+    /// fragments at the reclamation horizon) and the next admission
+    /// (the snapshot defines bit-identity), which is why it stays
+    /// synchronous while only the analysis itself is pipelined.
+    fn seal_into_stage(&mut self, windows: Vec<(Window, WindowCoverage)>) {
+        if windows.is_empty() {
+            return;
+        }
+        if self.stage.is_none() {
+            self.stage = Some(AnalysisStage::new(
+                self.cfg.pipeline_depth,
+                // vapro-lint: allow(R1, one config snapshot at stage spawn; not a fragment population)
+                self.cfg.clone(),
+                self.nranks,
+                self.bins_per_window,
+                Arc::clone(&self.scratch_pools),
+            ));
+        }
+        for (window, coverage) in windows {
+            let mut pool = self.scratch_pool();
+            pool.refill_from_merged(&self.arena.window_view(window));
+            if let Some(stage) = self.stage.as_mut() {
+                stage.submit(window, coverage, pool);
+            }
+        }
+    }
+
+    /// Harvest reports whose analysis completed since the last call,
+    /// without blocking — always the contiguous next run of windows, so
+    /// concatenating everything `push`/`poll_reports`/`finish` return
+    /// yields reports in exact window order. Fleet drains call this to
+    /// pick up windows that finished between frames.
+    pub fn poll_reports(&mut self) -> Vec<WindowReport> {
+        match self.stage.as_mut() {
+            Some(stage) => stage.take_completed(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Windows sealed into the pipeline but not yet emitted (in flight
+    /// on a worker, or parked awaiting an earlier window). Bounded by
+    /// `cfg.pipeline_depth`; always 0 on the inline path.
+    pub fn pending_windows(&self) -> u64 {
+        self.stage.as_ref().map_or(0, AnalysisStage::pending)
     }
 
     fn close_ready(&mut self) -> Vec<WindowReport> {
@@ -984,7 +1275,23 @@ impl WindowedIngestor {
                 self.buffered_ahead_bytes = self.buffered_ahead_bytes.saturating_sub(bytes);
             }
         }
-        self.analyze(ready)
+        let closed_any = !ready.is_empty();
+        let reports = if self.cfg.pipeline_depth == 0 {
+            self.analyze(ready)
+        } else {
+            self.seal_into_stage(ready);
+            self.poll_reports()
+        };
+        // Reclaim fragments no future window can reach. Only after the
+        // ready windows were sealed (inline analysis or stage hand-off
+        // both copy the window's fragments out first), and only when
+        // `closed` advanced — the horizon is monotone, so an unchanged
+        // watermark has nothing new to release.
+        if closed_any {
+            let horizon = self.window(self.closed).start.ns();
+            self.arena.evict_before(horizon);
+        }
+        reports
     }
 
     /// End of stream: analyse the remaining windows. The union of all
@@ -1007,7 +1314,17 @@ impl WindowedIngestor {
             remaining.push((w, self.coverage_at_close(w, true)));
             self.closed += 1;
         }
-        self.analyze(remaining)
+        if self.cfg.pipeline_depth == 0 {
+            return self.analyze(remaining);
+        }
+        // Seal the tail, then join the stage: every submitted window —
+        // including ones still in flight from earlier pushes — is
+        // analysed and emitted in window order before this returns.
+        self.seal_into_stage(remaining);
+        match self.stage.take() {
+            Some(mut stage) => stage.drain(),
+            None => Vec::new(),
+        }
     }
 }
 
@@ -1339,8 +1656,13 @@ mod tests {
 
     #[test]
     fn ingestor_closes_windows_incrementally() {
+        // Inline analysis (depth 0): per-push emission is deterministic,
+        // so the close-as-they-stream property can be asserted exactly.
+        // The pipelined default emits the same reports with bounded
+        // deferral — `pipelined_reports_match_inline_reports` covers it.
         let cfg = VaproConfig {
             report_period: VirtualTime::from_secs(5),
+            pipeline_depth: 0,
             ..VaproConfig::default()
         };
         let stg = looped_stg(0, 30, 1_000_000_000, 0..0);
@@ -1366,9 +1688,12 @@ mod tests {
     fn encoded_frames_close_windows_incrementally() {
         // The binary entry point must advance the shipping marks like
         // `push` does: most windows close while frames are still
-        // streaming in, not deferred wholesale to `finish`.
+        // streaming in, not deferred wholesale to `finish`. Inline
+        // analysis keeps per-push emission deterministic (see
+        // `ingestor_closes_windows_incrementally`).
         let cfg = VaproConfig {
             report_period: VirtualTime::from_secs(5),
+            pipeline_depth: 0,
             ..VaproConfig::default()
         };
         let stg = looped_stg(0, 30, 1_000_000_000, 0..0);
@@ -1385,6 +1710,183 @@ mod tests {
         }
         assert!(closed_during_stream >= 4, "only {closed_during_stream} closed early");
         assert!(ingestor.finish().len() <= 2);
+    }
+
+    fn assert_report_sequences_identical(got: &[WindowReport], want: &[WindowReport]) {
+        assert_eq!(got.len(), want.len(), "window count diverged");
+        for (g, w) in got.iter().zip(want) {
+            assert_eq!(g.window, w.window);
+            assert_eq!(g.result.series, w.result.series);
+            assert_eq!(g.result.rare_paths, w.result.rare_paths);
+            assert_eq!(g.result.comp_map, w.result.comp_map);
+            assert_eq!(g.result.comm_map, w.result.comm_map);
+            assert_eq!(g.result.io_map, w.result.io_map);
+            assert_eq!(g.result.comp_regions, w.result.comp_regions);
+            assert_eq!(g.result.comm_regions, w.result.comm_regions);
+            assert_eq!(g.result.io_regions, w.result.io_regions);
+            assert_eq!(g.result.edge_clusters, w.result.edge_clusters);
+            assert_eq!(g.diagnoses, w.diagnoses);
+            assert_eq!(g.coverage, w.coverage);
+        }
+    }
+
+    #[test]
+    fn pipelined_reports_match_inline_reports() {
+        // The tentpole invariant for layer 3: the pipelined default and
+        // the inline depth-0 path emit bit-identical report sequences
+        // over the same stream — workers may finish out of order, the
+        // reorder buffer may defer emission across pushes, but the
+        // concatenation of everything push + finish return is the same
+        // window-ordered sequence. The stage also never holds more than
+        // `pipeline_depth` windows.
+        let period_ns = 5_000_000_000u64;
+        let mut stgs: Vec<Stg> =
+            (0..3).map(|r| looped_stg(r, 30, 1_000_000_000, 0..0)).collect();
+        stgs[2] = looped_stg(2, 30, 1_000_000_000, 10..20);
+        let frames = period_frames(&stgs, 6, period_ns);
+        let run = |depth: usize| -> Vec<WindowReport> {
+            let cfg = VaproConfig {
+                report_period: VirtualTime::from_ns(period_ns),
+                pipeline_depth: depth,
+                ..VaproConfig::default()
+            };
+            let mut ingestor = WindowedIngestor::new(3, 8, cfg);
+            let mut reports = Vec::new();
+            for period in &frames {
+                for frame in period {
+                    reports.extend(ingestor.push_encoded(frame).expect("valid frame"));
+                    assert!(
+                        ingestor.pending_windows() <= depth as u64,
+                        "stage exceeded its depth bound"
+                    );
+                }
+            }
+            reports.extend(ingestor.finish());
+            reports
+        };
+        let inline = run(0);
+        let piped = run(8);
+        let narrow = run(1);
+        assert!(!inline.is_empty());
+        assert_report_sequences_identical(&piped, &inline);
+        assert_report_sequences_identical(&narrow, &inline);
+    }
+
+    #[test]
+    fn eviction_keeps_resident_bytes_bounded() {
+        // Layer 1: a long single-config stream must not retain the whole
+        // run. After many closed windows the arena holds only fragments
+        // still reachable from open windows, and the high-water mark
+        // sits far below the no-eviction total.
+        let cfg = VaproConfig {
+            report_period: VirtualTime::from_secs(5),
+            ..VaproConfig::default()
+        };
+        let nperiods = 40u64;
+        let stgs: Vec<Stg> =
+            (0..2).map(|r| looped_stg(r, 40 * 5, 1_000_000_000, 0..0)).collect();
+        let frames = period_frames(&stgs, nperiods, 5_000_000_000);
+        let naive_total: u64 = stgs
+            .iter()
+            .flat_map(|s| s.edges())
+            .flat_map(|e| e.fragments.iter())
+            .map(fragment_resident_bytes)
+            .sum();
+        let mut ingestor = WindowedIngestor::new(2, 8, cfg);
+        let mut reports = Vec::new();
+        for period in &frames {
+            for frame in period {
+                reports.extend(ingestor.push_encoded(frame).expect("valid frame"));
+            }
+        }
+        let arena = ingestor.arena();
+        assert!(arena.max_end_ns() > 0);
+        // Steady state: resident ≈ the half-overlap neighbourhood of the
+        // next closeable window, nowhere near the whole stream.
+        assert!(
+            arena.resident_bytes() <= naive_total / 4,
+            "resident {} vs naive total {naive_total}",
+            arena.resident_bytes()
+        );
+        assert!(
+            arena.high_water_bytes() <= naive_total / 4,
+            "high water {} vs naive total {naive_total}",
+            arena.high_water_bytes()
+        );
+        assert!(arena.high_water_bytes() >= arena.resident_bytes());
+        reports.extend(ingestor.finish());
+        assert!(reports.len() as u64 >= 2 * nperiods - 2, "full cover emitted");
+    }
+
+    #[test]
+    fn ranged_window_views_match_linear_filter_views() {
+        // Layer 2: the partition_point ranged scan (sorted pools) and
+        // the linear filter (unsorted pools) must produce identical
+        // views — same fragments, same order — including zero-duration
+        // fragments, duration outliers and window-boundary ties.
+        let mut stgs: Vec<Stg> =
+            (0..3).map(|r| looped_stg(r, 25, 1_000_000_000, 0..0)).collect();
+        stgs[1] = looped_stg(1, 25, 1_000_000_000, 5..9);
+        let mut sorted_arena = IngestArena::new();
+        let mut lazy_arena = IngestArena::new();
+        for (rank, stg) in stgs.iter().enumerate() {
+            let span = Window {
+                start: VirtualTime::ZERO,
+                end: VirtualTime::from_ns(u64::MAX),
+            };
+            let batch = FragmentBatch::from_stg(stg, rank, span);
+            sorted_arena.push_batch(FragmentBatch::decode(&batch.encode()).unwrap());
+            lazy_arena.push_batch(batch);
+        }
+        sorted_arena.ensure_sorted();
+        // lazy_arena is left unsorted: its views take the filter path.
+        let period = 5_000_000_000u64;
+        for k in 0..10u64 {
+            let w = Window {
+                start: VirtualTime::from_ns(k * period / 2),
+                end: VirtualTime::from_ns(k * period / 2 + period),
+            };
+            let fast = sorted_arena.window_view(w);
+            let slow = lazy_arena.window_view(w);
+            assert_eq!(fast.vertices.len(), slow.vertices.len());
+            assert_eq!(fast.edges.len(), slow.edges.len());
+            for (f, s) in fast.edges.iter().zip(slow.edges.iter()) {
+                assert_eq!(f.1.len(), s.1.len(), "window {k} pool size diverged");
+                for (a, b) in f.1.iter().zip(s.1.iter()) {
+                    assert_eq!(a, b, "window {k} fragment order diverged");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_pools_recycle_across_pipelined_closes() {
+        // The poisoning-proof recycling satellite: across many closed
+        // windows, pool allocations stay bounded by the stage's
+        // concurrency (depth + the one being sealed), not the window
+        // count — a lost pool would show up as one extra allocation per
+        // window.
+        let cfg = VaproConfig {
+            report_period: VirtualTime::from_secs(5),
+            ..VaproConfig::default()
+        };
+        let depth = cfg.pipeline_depth as u64;
+        let stg = looped_stg(0, 100, 1_000_000_000, 0..0);
+        let frames = period_frames(std::slice::from_ref(&stg), 20, 5_000_000_000);
+        let mut ingestor = WindowedIngestor::new(1, 8, cfg);
+        let mut reports = Vec::new();
+        for period in &frames {
+            reports.extend(ingestor.push_encoded(&period[0]).expect("valid frame"));
+        }
+        let allocated = ingestor.scratch_pools_allocated();
+        assert!(allocated >= 1, "no pool was ever allocated?");
+        assert!(
+            allocated <= depth + 1,
+            "recycling failed: {allocated} pools allocated for {} closes",
+            reports.len()
+        );
+        reports.extend(ingestor.finish());
+        assert!(reports.len() >= 30, "expected a long stream of closes");
     }
 
     #[test]
@@ -1772,12 +2274,16 @@ mod tests {
         assert_eq!(stats.frames_rejected(), 2);
         let line = stats.to_string();
         assert!(line.contains("1 corrupt") && line.contains("1 duplicate"), "{line}");
-        // The counters reach the next closed window's coverage.
+        // The counters reach the next closed window's coverage. The
+        // pipeline may defer the first window's report (sealed before
+        // the duplicate arrived) to `finish`, so the window that closed
+        // *after* the rejections is the last one.
         let reports = ingestor.finish();
         assert!(!reports.is_empty());
-        assert_eq!(reports[0].coverage.corrupt_frames, 1);
-        assert_eq!(reports[0].coverage.duplicate_frames, 1);
-        assert!(reports[0].coverage.is_degraded());
+        let last = reports.last().unwrap();
+        assert_eq!(last.coverage.corrupt_frames, 1);
+        assert_eq!(last.coverage.duplicate_frames, 1);
+        assert!(last.coverage.is_degraded());
     }
 
     #[test]

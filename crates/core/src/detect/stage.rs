@@ -1,0 +1,281 @@
+//! The pipelined window-analysis stage: a bounded, strictly in-order
+//! hand-off between window *sealing* (snapshotting a closed window's
+//! fragments into a [`ColumnarPool`] on the admission thread) and window
+//! *analysis* (clustering + detection + diagnosis on stage workers).
+//!
+//! The stage exists so admission never serialises behind clustering:
+//! `WindowedIngestor::close_ready` seals each ready window, submits it,
+//! and immediately returns to draining frames while workers analyse in
+//! the background. Three properties make this safe for the repo's
+//! load-bearing stream ≡ one-shot bit-identity invariant:
+//!
+//! * **Sealing is synchronous.** The window view and its columnar
+//!   refill happen on the admission thread *before* the arena evicts
+//!   anything or absorbs another batch, so a sealed window's input is
+//!   exactly what the inline path would have analysed.
+//! * **Emission is in window order.** Every submission gets a dense
+//!   sequence number; completed reports park in a reorder buffer and
+//!   only the contiguous prefix is ever released. Workers may finish
+//!   out of order, callers never observe it.
+//! * **The stage is bounded.** At most `depth` windows are in flight;
+//!   submission blocks past that, so a slow analysis stage exerts
+//!   backpressure instead of queueing unboundedly.
+//!
+//! Worker threads recycle every finished window's [`ColumnarPool`] back
+//! into the ingestor's shared scratch stack, so steady-state sealing
+//! allocates no new lanes (PR 6's recycling guarantee, now across
+//! threads).
+
+use crate::columnar::ColumnarPool;
+use crate::config::VaproConfig;
+use crate::detect::server::{analyze_view_columnar, WindowReport};
+use crate::detect::window::Window;
+use crate::report::WindowCoverage;
+use parking_lot::{Condvar, Mutex};
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Cap on stage worker threads. Fleet planes run one ingestor per job,
+/// so per-job stages stay small and the shards provide the wide
+/// parallelism; within one job, window closes arrive at most a few per
+/// period and four workers already cover the half-overlap fan-out.
+const MAX_WORKERS: usize = 4;
+
+/// One sealed window travelling through the stage: the immutable
+/// analysis input snapshotted at close time.
+struct SealedWindow {
+    /// Dense submission index; emission releases exactly this order.
+    seq: u64,
+    window: Window,
+    /// Transport-side coverage, snapshotted when the window closed (the
+    /// cumulative drop counters must reflect close time, not whenever a
+    /// worker happens to run).
+    coverage: WindowCoverage,
+    /// The window's fragments in columnar form, owned by the task.
+    pool: ColumnarPool,
+}
+
+/// Mutable stage state behind one mutex: the task queue, the reorder
+/// buffer, and the in-flight count that implements the depth bound.
+#[derive(Default)]
+struct StageState {
+    queue: VecDeque<SealedWindow>,
+    completed: BTreeMap<u64, WindowReport>,
+    /// Sealed windows submitted but not yet completed (queued or
+    /// running). Bounded by the configured depth.
+    in_flight: usize,
+    shutdown: bool,
+}
+
+/// Everything workers share with the submitting ingestor.
+struct StageShared {
+    state: Mutex<StageState>,
+    /// Signalled when a task is queued or shutdown is flagged.
+    task_ready: Condvar,
+    /// Signalled when a worker completes a window: capacity freed for
+    /// submitters, a result possibly available for drainers.
+    window_done: Condvar,
+    /// Immutable analysis context, identical to what the inline path
+    /// would pass to [`analyze_view_columnar`].
+    cfg: VaproConfig,
+    nranks: usize,
+    bins: usize,
+    /// The ingestor's recycled columnar scratch: finished pools return
+    /// here with their lane capacity intact.
+    scratch: Arc<Mutex<Vec<ColumnarPool>>>,
+}
+
+/// A bounded in-order analysis pipeline owned by one
+/// [`WindowedIngestor`](crate::detect::server::WindowedIngestor).
+pub(crate) struct AnalysisStage {
+    shared: Arc<StageShared>,
+    workers: Vec<JoinHandle<()>>,
+    depth: usize,
+    /// Next submission sequence number.
+    next_seq: u64,
+    /// Next sequence number to emit; everything below has been released.
+    next_emit: u64,
+}
+
+impl std::fmt::Debug for AnalysisStage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AnalysisStage")
+            .field("depth", &self.depth)
+            .field("workers", &self.workers.len())
+            .field("next_seq", &self.next_seq)
+            .field("next_emit", &self.next_emit)
+            .finish()
+    }
+}
+
+impl AnalysisStage {
+    /// Spawn a stage with at most `depth` windows in flight. Worker
+    /// count adapts to the host but never exceeds the depth (extra
+    /// workers could never all be busy) or [`MAX_WORKERS`].
+    pub(crate) fn new(
+        depth: usize,
+        cfg: VaproConfig,
+        nranks: usize,
+        bins: usize,
+        scratch: Arc<Mutex<Vec<ColumnarPool>>>,
+    ) -> AnalysisStage {
+        debug_assert!(depth > 0, "depth 0 means the inline path, not a stage");
+        let shared = Arc::new(StageShared {
+            state: Mutex::new(StageState::default()),
+            task_ready: Condvar::new(),
+            window_done: Condvar::new(),
+            cfg,
+            nranks,
+            bins,
+            scratch,
+        });
+        let nworkers = rayon::current_num_threads().min(depth).clamp(1, MAX_WORKERS);
+        let workers = (0..nworkers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("vapro-stage-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn analysis stage worker")
+            })
+            .collect();
+        AnalysisStage { shared, workers, depth, next_seq: 0, next_emit: 0 }
+    }
+
+    /// Submit one sealed window. Blocks while the stage is at depth —
+    /// bounded memory beats unbounded queueing when analysis lags.
+    pub(crate) fn submit(&mut self, window: Window, coverage: WindowCoverage, pool: ColumnarPool) {
+        let mut state = self.shared.state.lock();
+        while state.in_flight >= self.depth {
+            self.shared.window_done.wait(&mut state);
+        }
+        state.queue.push_back(SealedWindow { seq: self.next_seq, window, coverage, pool });
+        state.in_flight += 1;
+        self.next_seq += 1;
+        drop(state);
+        self.shared.task_ready.notify_one();
+    }
+
+    /// Release every report whose predecessors have all been released —
+    /// the contiguous completed prefix, in window order. Never blocks.
+    pub(crate) fn take_completed(&mut self) -> Vec<WindowReport> {
+        let mut state = self.shared.state.lock();
+        let mut out = Vec::with_capacity(state.completed.len());
+        while let Some(report) = state.completed.remove(&self.next_emit) {
+            out.push(report);
+            self.next_emit += 1;
+        }
+        out
+    }
+
+    /// Block until every submitted window has been analysed and return
+    /// the remaining reports in window order. `finish` and fleet drains
+    /// join the stage through here.
+    pub(crate) fn drain(&mut self) -> Vec<WindowReport> {
+        let mut state = self.shared.state.lock();
+        let pending = (self.next_seq - self.next_emit) as usize;
+        let mut out = Vec::with_capacity(pending);
+        while self.next_emit < self.next_seq {
+            match state.completed.remove(&self.next_emit) {
+                Some(report) => {
+                    out.push(report);
+                    self.next_emit += 1;
+                }
+                None => self.shared.window_done.wait(&mut state),
+            }
+        }
+        out
+    }
+
+    /// Windows submitted but not yet emitted (in flight or parked in
+    /// the reorder buffer awaiting a predecessor).
+    pub(crate) fn pending(&self) -> u64 {
+        self.next_seq - self.next_emit
+    }
+}
+
+impl Drop for AnalysisStage {
+    fn drop(&mut self) {
+        {
+            let mut state = self.shared.state.lock();
+            state.shutdown = true;
+        }
+        self.shared.task_ready.notify_all();
+        for worker in self.workers.drain(..) {
+            // A worker only panics if analysis itself panicked; the
+            // report was already lost, so surfacing the join error here
+            // would add nothing.
+            let _ = worker.join();
+        }
+    }
+}
+
+/// Worker body: pop a sealed window, analyse it exactly as the inline
+/// path would, recycle its pool, park the report for in-order release.
+fn worker_loop(shared: &StageShared) {
+    loop {
+        let task = {
+            let mut state = shared.state.lock();
+            loop {
+                if let Some(task) = state.queue.pop_front() {
+                    break task;
+                }
+                if state.shutdown {
+                    return;
+                }
+                shared.task_ready.wait(&mut state);
+            }
+        };
+        let report = analyze_view_columnar(
+            &task.pool,
+            task.window,
+            shared.nranks,
+            shared.bins,
+            &shared.cfg,
+            task.coverage,
+        );
+        // Capacity goes back to the sealing side before the report is
+        // parked: the next seal can reuse these lanes immediately.
+        // vapro-lint: allow(R4, recycle stack holds at most `depth` pools; not a per-element lane build)
+        shared.scratch.lock().push(task.pool);
+        {
+            let mut state = shared.state.lock();
+            state.completed.insert(task.seq, report);
+            state.in_flight -= 1;
+        }
+        shared.window_done.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The reorder buffer releases only contiguous prefixes: a stage
+    /// fed windows that complete out of order must still emit them in
+    /// submission order.
+    #[test]
+    fn emission_is_in_submission_order() {
+        let cfg = VaproConfig::default();
+        let scratch = Arc::new(Mutex::new(Vec::new()));
+        let mut stage = AnalysisStage::new(4, cfg.clone(), 2, 8, Arc::clone(&scratch));
+        let period = cfg.report_period.ns();
+        for k in 0..6u64 {
+            let start = k * (period / 2);
+            let window = Window {
+                start: vapro_sim::VirtualTime::from_ns(start),
+                end: vapro_sim::VirtualTime::from_ns(start + period),
+            };
+            stage.submit(window, WindowCoverage::full(2), ColumnarPool::new());
+        }
+        let reports = stage.drain();
+        assert_eq!(reports.len(), 6);
+        for (k, report) in reports.iter().enumerate() {
+            assert_eq!(report.window.start.ns(), k as u64 * (period / 2));
+        }
+        assert_eq!(stage.pending(), 0);
+        // Every pool came back to the scratch stack.
+        assert_eq!(scratch.lock().len(), 6);
+    }
+}

@@ -185,6 +185,17 @@ impl Shard {
             job.record(&reports);
             out.extend(reports.into_iter().map(|report| FleetWindow { key: q.key, report }));
         }
+        // Join the analysis stages: windows whose pipelined analysis
+        // completed since the last drain are harvested here (still in
+        // per-job window order), including for jobs that had no frames
+        // queued this round — a drain leaves no finished report parked.
+        for (&key, job) in self.jobs.iter_mut() {
+            let reports = job.ingestor.poll_reports();
+            if !reports.is_empty() {
+                job.record(&reports);
+                out.extend(reports.into_iter().map(|report| FleetWindow { key, report }));
+            }
+        }
         out
     }
 }
@@ -204,6 +215,10 @@ pub struct JobSummary {
     pub windows_closed: usize,
     /// The job ingestor's admission statistics.
     pub stats: IngestStats,
+    /// Peak resident fragment bytes of the job's arena over its
+    /// lifetime. With watermark eviction this plateaus at O(watermark
+    /// lag + open windows) per job, independent of stream length.
+    pub arena_high_water_bytes: u64,
 }
 
 /// Summary of one tenant in the [`FleetReport`].
@@ -248,6 +263,14 @@ pub struct FleetReport {
     /// Rejections that could not be attributed to any tenant: structural
     /// decode failures and unknown-tenant frames.
     pub unattributed: IngestStats,
+}
+
+impl FleetReport {
+    /// The largest per-job arena high-water mark in the plane — the
+    /// fleet-level memory-bound stat the bench reports.
+    pub fn arena_high_water_bytes(&self) -> u64 {
+        self.jobs.iter().map(|j| j.arena_high_water_bytes).max().unwrap_or(0)
+    }
 }
 
 /// The sharded multi-tenant ingest plane. See the module docs.
@@ -458,6 +481,7 @@ impl FleetIngestor {
                     .into_iter()
                     .map(|(key, mut job)| {
                         let stats = job.ingestor.stats().clone();
+                        let arena_high_water_bytes = job.ingestor.arena().high_water_bytes();
                         let final_windows = job.ingestor.finish();
                         job.windows_closed += final_windows.len();
                         // `record` needs the struct, but the ingestor is
@@ -482,6 +506,7 @@ impl FleetIngestor {
                             final_windows,
                             windows_closed: job.windows_closed,
                             stats,
+                            arena_high_water_bytes,
                         }
                         .with_spans(job.variance_spans)
                     })

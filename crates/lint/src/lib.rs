@@ -38,8 +38,10 @@ use rules::{Finding, FnScope, LintConfig};
 /// * R3 covers normalization, heatmap, region ranking and clustering —
 ///   everywhere a float ordering decides detection output.
 /// * R4 covers the lane-building modules (`columnar.rs`,
-///   `clustering.rs`): per-element pushes in loops must be preceded by a
-///   capacity reservation somewhere in the same function.
+///   `clustering.rs`) and the pipelined analysis stage
+///   (`detect/stage.rs`, whose reorder buffer and worker queues sit on
+///   the per-window hot path): per-element pushes in loops must be
+///   preceded by a capacity reservation somewhere in the same function.
 pub fn workspace_config() -> LintConfig {
     let wire_fns = [
         "take",
@@ -99,6 +101,7 @@ pub fn workspace_config() -> LintConfig {
         r4_files: vec![
             "crates/core/src/columnar.rs".into(),
             "crates/core/src/clustering.rs".into(),
+            "crates/core/src/detect/stage.rs".into(),
         ],
     }
 }
