@@ -4,7 +4,7 @@
 CARGO := cargo
 OFFLINE := --offline
 
-.PHONY: check test lint lint-accept miri tsan perf ingest-perf diagnose-perf fleet-perf chaos soak bench clippy clean
+.PHONY: check test lint lint-accept miri tsan perf ingest-perf diagnose-perf fleet-perf chaos soak vopr vopr-nightly bench clippy clean
 
 # The full gate: release build, tests, workspace clippy with warnings
 # denied, the static-analysis pass, sanitizer runs (skipped gracefully
@@ -24,6 +24,7 @@ check:
 	$(CARGO) run --release $(OFFLINE) -p vapro-bench --bin ingest_perf
 	$(CARGO) run --release $(OFFLINE) -p vapro-bench --bin diagnose_perf
 	$(CARGO) run --release $(OFFLINE) -p vapro-bench --bin fleet_perf
+	$(MAKE) vopr
 
 # Workspace static analysis (R1 no-hot-path-clone, R2 no-panic-decode,
 # R3 float-hygiene; see DESIGN.md §10). Fails on any unwaived finding or
@@ -96,6 +97,19 @@ fleet-perf:
 # keep the window cover and the coverage accounting sound.
 chaos:
 	$(CARGO) run --release $(OFFLINE) -p vapro-bench --bin chaos
+
+# VOPR deterministic simulation run (PR profile, canaries compiled):
+# gates on >=80% fault-point coverage, every required invariant
+# executed, zero violations, same-seed determinism and a 100%
+# canary-mutation score; rewrites the committed VOPR_report.json so CI
+# can `git diff --exit-code` it as a ratchet.
+vopr:
+	$(CARGO) run --release $(OFFLINE) -p vapro-vopr --features canary --bin vopr -- --report VOPR_report.json
+
+# The wider nightly seed sweep (no report rewrite: seeds differ from the
+# committed PR-profile report by design).
+vopr-nightly:
+	$(CARGO) run --release $(OFFLINE) -p vapro-vopr --features canary --bin vopr -- --profile nightly
 
 # Release-mode long-stream soak: >=1000 half-overlapped windows through
 # the streaming ingestor plus a ~900-window 3-job fleet, proving

@@ -2,40 +2,65 @@
 //! streaming ingestion pipeline and exit non-zero on any violation.
 //!
 //! ```text
-//! chaos [--plans N] [--seed S]
+//! chaos [--plans N] [--seed S] [-v]
 //! ```
 //!
-//! The suite is three layers, all deterministic in the seed:
+//! The suite is deterministic in the seed and layered:
 //!
 //! 1. fault-free equivalence — a clean transport must reproduce the
 //!    one-shot windowed analysis bit for bit;
 //! 2. a rank-death scenario — killing a rank mid-run must leave the full
 //!    window cover intact with the loss visible in coverage;
-//! 3. `N` random hostile plans (drops, duplicates, reordering,
-//!    corruption, delays, deaths) — each must satisfy the robustness
-//!    invariants: no panic, exact window cover of admitted data, sound
-//!    delivery accounting, consistent arena eviction byte counters —
-//!    and must produce bit-identical reports whether windows are
-//!    analysed inline or through the pipelined stage;
-//! 4. the same suite aimed at the fleet plane — a clean multi-job fleet
+//! 3. a rank-birth scenario — a rank joining mid-run must make every
+//!    post-birth window bit-identical to a run where it was always
+//!    present, with coverage widening exactly at the birth;
+//! 4. `N` random hostile plans (drops, duplicates, reordering,
+//!    corruption, delays, deaths, births, buffer caps) — each must
+//!    satisfy the robustness invariants: no panic, exact window cover
+//!    of admitted data, sound delivery accounting, consistent arena
+//!    eviction byte counters — and must produce bit-identical reports
+//!    whether windows are analysed inline or through the pipelined
+//!    stage;
+//! 5. the same suite aimed at the fleet plane — a clean multi-job fleet
 //!    and `N` random fleet plans where each job carries its own fault
 //!    mix (job 0 always clean). Every job's fleet output must be
 //!    bit-identical to a solo ingestor fed the same deliveries: chaos on
 //!    one tenant can neither corrupt nor stall another.
+//!
+//! Every failure prints the offending seed, a one-line plan summary,
+//! and a copy-pasteable repro command. `-v` additionally dumps the full
+//! per-event transport log (delivery order, fault tags, admission
+//! outcome, window closes) for each solo plan — the first thing to
+//! reach for when bisecting a failing seed.
 
 use vapro_bench::chaos::{
-    check_fleet_invariants, check_invariants, fault_free_equivalence, pipeline_equivalence,
-    run_fleet_plan, run_plan, FaultPlan, FleetPlan,
+    birth_equivalence, check_fleet_invariants, check_invariants, fault_free_equivalence,
+    pipeline_equivalence, plan_summary, run_fleet_plan, run_plan, run_plan_verbose, FaultPlan,
+    FleetPlan,
 };
 
 fn usage() -> ! {
-    eprintln!("usage: chaos [--plans N] [--seed S]");
+    eprintln!("usage: chaos [--plans N] [--seed S] [-v]");
     std::process::exit(2);
+}
+
+/// The copy-pasteable command that replays exactly one failing seed
+/// with the verbose event log on.
+fn repro_line(seed: u64) -> String {
+    format!("cargo run --release -p vapro-bench --bin chaos -- --seed {seed} --plans 1 -v")
+}
+
+/// Report one solo-plan failure with everything needed to reproduce it.
+fn report_solo_failure(what: &str, plan: &FaultPlan, err: &str) {
+    eprintln!("FAIL {what}: {err}");
+    eprintln!("  plan: {}", plan_summary(plan));
+    eprintln!("  repro: {}", repro_line(plan.seed));
 }
 
 fn main() {
     let mut plans = 12u64;
     let mut seed = 0xC4A05u64;
+    let mut verbose = false;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         match flag.as_str() {
@@ -47,47 +72,69 @@ fn main() {
                 Some(s) => seed = s,
                 None => usage(),
             },
+            "-v" | "--verbose" => verbose = true,
             _ => usage(),
         }
     }
 
     let mut failures = 0usize;
 
-    match fault_free_equivalence(&FaultPlan::fault_free(seed)) {
+    let clean = FaultPlan::fault_free(seed);
+    match fault_free_equivalence(&clean) {
         Ok(()) => println!("fault-free equivalence: ok (bit-identical to one-shot)"),
         Err(e) => {
-            eprintln!("FAIL fault-free equivalence: {e}");
+            report_solo_failure("fault-free equivalence", &clean, &e);
             failures += 1;
         }
     }
 
     let death = FaultPlan { deaths: vec![(1, 1)], ..FaultPlan::fault_free(seed) };
     let outcome = run_plan(&death);
-    let mut death_ok = check_invariants(&death, &outcome).err();
-    if death_ok.is_none() {
+    let mut death_err = check_invariants(&death, &outcome).err();
+    if death_err.is_none() {
         let tail = outcome.reports.last();
         let degraded = tail.is_some_and(|t| {
             t.coverage.ranks_dead.contains(&1) && t.coverage.completeness < 1.0
         });
         if !degraded {
-            death_ok = Some("killed rank not reflected in tail coverage".to_string());
+            death_err = Some("killed rank not reflected in tail coverage".to_string());
         }
     }
-    match death_ok {
+    match death_err {
         None => println!(
             "rank death: ok ({} windows closed, tail completeness {:.2})",
             outcome.reports.len(),
             outcome.reports.last().map(|t| t.coverage.completeness).unwrap_or(0.0),
         ),
         Some(e) => {
-            eprintln!("FAIL rank death: {e}");
+            report_solo_failure("rank death", &death, &e);
+            failures += 1;
+        }
+    }
+
+    let birth = FaultPlan { births: vec![2], ..FaultPlan::fault_free(seed) };
+    match birth_equivalence(&birth) {
+        Ok(()) => println!(
+            "rank birth: ok (post-birth windows bit-identical to an always-present reference)"
+        ),
+        Err(e) => {
+            report_solo_failure("rank birth", &birth, &e);
             failures += 1;
         }
     }
 
     for i in 0..plans {
         let plan = FaultPlan::random(seed.wrapping_add(i));
-        let outcome = run_plan(&plan);
+        let outcome = if verbose {
+            let (outcome, log) = run_plan_verbose(&plan);
+            println!("plan {i:>3} event log ({}):", plan_summary(&plan));
+            for line in &log {
+                println!("    {line}");
+            }
+            outcome
+        } else {
+            run_plan(&plan)
+        };
         match check_invariants(&plan, &outcome).and_then(|()| pipeline_equivalence(&plan)) {
             Ok(()) => println!(
                 "plan {i:>3}: ok — {} delivered, {} admitted, {} corrupt, {} duplicate, \
@@ -101,7 +148,7 @@ fn main() {
                 outcome.arena_high_water_bytes,
             ),
             Err(e) => {
-                eprintln!("FAIL plan {i} (seed {}): {e}", seed.wrapping_add(i));
+                report_solo_failure(&format!("plan {i}"), &plan, &e);
                 failures += 1;
             }
         }
@@ -111,7 +158,8 @@ fn main() {
     match check_fleet_invariants(&clean_fleet, &run_fleet_plan(&clean_fleet)) {
         Ok(()) => println!("clean fleet: ok (3 jobs, each bit-identical to its solo run)"),
         Err(e) => {
-            eprintln!("FAIL clean fleet: {e}");
+            eprintln!("FAIL clean fleet (seed {seed}): {e}");
+            eprintln!("  repro: {}", repro_line(seed));
             failures += 1;
         }
     }
@@ -131,6 +179,7 @@ fn main() {
             ),
             Err(e) => {
                 eprintln!("FAIL fleet plan {i} (seed {}): {e}", seed.wrapping_add(i));
+                eprintln!("  repro: {}", repro_line(seed.wrapping_add(i)));
                 failures += 1;
             }
         }

@@ -4,11 +4,17 @@
 //! A [`FaultPlan`] describes — deterministically, from a seed — what the
 //! transport does to each shipped frame: drop it, duplicate it, reorder
 //! it within its reporting period, corrupt a byte, or delay it by whole
-//! periods; and which ranks die mid-run (stop shipping after a given
-//! period). [`run_plan`] builds a synthetic multi-rank run, slices it
-//! into sequenced per-period wire frames, applies the plan, pushes every
-//! surviving delivery through a [`WindowedIngestor`] under a production
-//! straggler policy, and returns what came out.
+//! periods; which ranks die mid-run (stop shipping after a given
+//! period); which ranks are *born* mid-run (join the deployment at a
+//! given period); and whether a backpressure byte cap is armed.
+//! [`plan_events`] materialises the plan as an explicit, inspectable
+//! [`TransportEvent`] schedule — every frame delivery annotated with
+//! what the transport did to it ([`FrameMeta`]), plus rank births —
+//! which is what the VOPR driver (`crates/vopr`) replays against its
+//! admission oracle. [`run_plan`] pushes that schedule through a
+//! [`WindowedIngestor`] under a production straggler policy and returns
+//! what came out; [`run_plan_verbose`] additionally yields a per-event
+//! log for seed-repro debugging.
 //!
 //! Two checks ride on top:
 //!
@@ -67,6 +73,15 @@ pub struct FaultPlan {
     /// `(rank, last_period)`: the rank ships periods `0..=last_period`
     /// and then dies — nothing further is even generated.
     pub deaths: Vec<(usize, usize)>,
+    /// Ranks joining mid-stream: each entry is the first period the
+    /// newborn ships. Born rank ids follow the initial ranks, assigned
+    /// in ascending birth order, and each newborn's sequence numbering
+    /// starts fresh at 1.
+    pub births: Vec<usize>,
+    /// Backpressure cap forwarded to the ingestor's
+    /// `fault.max_buffered_bytes`: ahead-of-watermark frames past this
+    /// many buffered bytes are accounted drops.
+    pub max_buffered_bytes: Option<u64>,
 }
 
 impl FaultPlan {
@@ -83,6 +98,8 @@ impl FaultPlan {
             corrupt: 0.0,
             delay: 0.0,
             deaths: Vec::new(),
+            births: Vec::new(),
+            max_buffered_bytes: None,
         }
     }
 
@@ -98,7 +115,7 @@ impl FaultPlan {
         } else {
             Vec::new()
         };
-        FaultPlan {
+        let mut plan = FaultPlan {
             seed,
             nranks,
             frags_per_rank: rng.gen_range(150usize..500),
@@ -109,7 +126,18 @@ impl FaultPlan {
             corrupt: rng.gen_range(0.0..0.1),
             delay: rng.gen_range(0.0..0.2),
             deaths,
+            births: Vec::new(),
+            max_buffered_bytes: None,
+        };
+        // Drawn after every pre-existing axis so older seeds keep their
+        // exact historical plans on those axes.
+        if plan.periods >= 4 && rng.gen_bool(0.25) {
+            plan.births = vec![rng.gen_range(1..=3usize.min(plan.periods - 2))];
         }
+        if rng.gen_bool(0.2) {
+            plan.max_buffered_bytes = Some(rng.gen_range(4_096u64..65_536));
+        }
+        plan
     }
 
     /// Does the plan inject any fault at all?
@@ -120,12 +148,45 @@ impl FaultPlan {
             && self.corrupt == 0.0
             && self.delay == 0.0
             && self.deaths.is_empty()
+            && self.births.is_empty()
+            && self.max_buffered_bytes.is_none()
     }
 
-    /// The period a rank last ships, if it dies.
-    fn last_period_of(&self, rank: usize) -> Option<usize> {
-        self.deaths.iter().find(|(r, _)| *r == rank).map(|&(_, last)| last)
+    /// Ranks present by the end of the run: initial plus born.
+    pub fn total_ranks(&self) -> usize {
+        self.nranks + self.births.len()
     }
+
+    /// Born ranks as `(rank_id, first_period)`, in birth order: born
+    /// rank ids follow the initial ranks, earliest birth first.
+    pub fn birth_schedule(&self) -> Vec<(usize, usize)> {
+        let mut firsts = self.births.clone();
+        firsts.sort_unstable();
+        firsts.iter().enumerate().map(|(i, &p)| (self.nranks + i, p)).collect()
+    }
+}
+
+/// One-line human summary of a plan, printed with the seed on any
+/// invariant violation so a failure is understandable before it is
+/// reproduced.
+pub fn plan_summary(plan: &FaultPlan) -> String {
+    format!(
+        "seed={} ranks={}(+{} born) frags={} periods={} drop={:.2} dup={:.2} \
+         reorder={:.2} corrupt={:.2} delay={:.2} deaths={:?} births={:?} cap={:?}",
+        plan.seed,
+        plan.nranks,
+        plan.births.len(),
+        plan.frags_per_rank,
+        plan.periods,
+        plan.drop,
+        plan.duplicate,
+        plan.reorder,
+        plan.corrupt,
+        plan.delay,
+        plan.deaths,
+        plan.births,
+        plan.max_buffered_bytes,
+    )
 }
 
 /// What one chaos run produced.
@@ -172,15 +233,19 @@ fn t_end_ns(stgs: &[Stg]) -> u64 {
         .unwrap_or(0)
 }
 
-/// The synthetic STGs a plan runs over.
+/// The synthetic STGs a plan runs over: one per rank, born ranks
+/// included (their data exists from t=0; they just don't *ship* it
+/// until their birth period).
 fn plan_stgs(plan: &FaultPlan) -> Vec<Stg> {
-    synthetic_stgs(plan.nranks, plan.frags_per_rank, 8, plan.seed ^ 0xBAD_F00D)
+    synthetic_stgs(plan.total_ranks(), plan.frags_per_rank, 8, plan.seed ^ 0xBAD_F00D)
 }
 
 /// The ingestion config a plan runs under: production straggler policy
-/// scaled to the plan's period (degrade after 2 periods, dead after 4,
-/// drop late data), unbounded buffering.
-fn plan_config(period_ns: u64) -> VaproConfig {
+/// scaled to `period_ns` (degrade after 2 periods, dead after 4, drop
+/// late data), unbounded buffering unless the caller arms a cap.
+/// Public so the VOPR driver replays scenarios under the exact same
+/// policy the chaos harness uses.
+pub fn plan_config(period_ns: u64) -> VaproConfig {
     VaproConfig {
         report_period: VirtualTime::from_ns(period_ns),
         fault: FaultTolerance {
@@ -193,6 +258,220 @@ fn plan_config(period_ns: u64) -> VaproConfig {
     }
 }
 
+/// The plan's reporting period: the synthetic data end split into the
+/// requested period count.
+pub fn plan_period_ns(plan: &FaultPlan) -> u64 {
+    (t_end_ns(&plan_stgs(plan)) / plan.periods.max(1) as u64).max(1)
+}
+
+// ---------------------------------------------------------------------
+// The transport event model. A plan materialises into an explicit
+// schedule of events — frames with injection metadata, plus rank
+// births — that both the chaos runner and the VOPR driver replay. The
+// metadata is what makes per-delivery *prediction* possible: an
+// independent admission oracle can say what the server must do with
+// each delivery before pushing it.
+
+/// What the transport did to one delivered frame, alongside its bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrameMeta {
+    /// The encoded frame as delivered (corruption applied).
+    pub bytes: Vec<u8>,
+    /// Shipping rank (as stamped in the frame before corruption).
+    pub rank: usize,
+    /// Reporting period the frame belongs to.
+    pub period: usize,
+    /// Stamped sequence number.
+    pub seq: u64,
+    /// The shipped span's window start, ns.
+    pub window_start_ns: u64,
+    /// The shipped span's window end, ns.
+    pub window_end_ns: u64,
+    /// A CRC-covered byte was flipped in transit.
+    pub corrupted: bool,
+    /// This delivery is a retransmission of an already-sent frame.
+    pub retransmit: bool,
+    /// Whole periods of transit delay.
+    pub delayed: u64,
+    /// The frame was reordered within its arrival period.
+    pub reordered: bool,
+    /// The frame is structurally malformed (truncated or garbage) —
+    /// never produced by plans, injected directly by the VOPR driver.
+    pub malformed: bool,
+}
+
+/// One event of a materialised transport schedule, in arrival order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransportEvent {
+    /// A frame arrives at the ingestor.
+    Frame(FrameMeta),
+    /// A rank joins the deployment (`WindowedIngestor::add_rank`).
+    Birth {
+        /// The rank id the newborn will ship under.
+        rank: usize,
+    },
+}
+
+/// Transport-side injection tallies of one generated schedule, for
+/// fault-point coverage accounting (a dropped frame leaves no event, so
+/// the schedule alone can't show the drop axis fired).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct InjectionCounts {
+    /// Frames silently dropped (never delivered).
+    pub dropped: u64,
+    /// Extra retransmitted deliveries.
+    pub duplicated: u64,
+    /// Frames reordered within their arrival period.
+    pub reordered: u64,
+    /// Frames with a CRC-covered byte flipped.
+    pub corrupted: u64,
+    /// Frames delayed by whole periods.
+    pub delayed: u64,
+    /// Ranks that die mid-run.
+    pub deaths: u64,
+    /// Ranks born mid-run.
+    pub births: u64,
+}
+
+/// One transport's fault axes, shared by the solo and fleet generators.
+struct TransportAxes<'a> {
+    drop: f64,
+    duplicate: f64,
+    reorder: f64,
+    corrupt: f64,
+    delay: f64,
+    deaths: &'a [(usize, usize)],
+    /// `(rank_id, first_period)` in birth order; empty for fleet jobs.
+    birth_schedule: Vec<(usize, usize)>,
+}
+
+/// Generate one transport's event schedule: sequenced per-period frames
+/// with faults applied, plus birth events, sorted into arrival order.
+/// Each delivery carries a sort key (period-with-delay, slot) so
+/// reordering and delaying are pure key perturbations; births sort at
+/// slot 0 of their period, ahead of that period's frames. Shipping runs
+/// to the ceiling of the data end so the tail period ships too.
+/// Corruption only ever flips bytes the CRC covers (crc field onward —
+/// never the magic or version byte, where a flip can masquerade as a
+/// different frame layout instead of failing the checksum), so every
+/// corrupted frame is predictably rejected at decode.
+fn generate_events(
+    stgs: &[Stg],
+    period_ns: u64,
+    rng_seed: u64,
+    axes: &TransportAxes<'_>,
+    encode: &dyn Fn(FragmentBatch) -> Vec<u8>,
+) -> (Vec<TransportEvent>, InjectionCounts) {
+    let t_end = t_end_ns(stgs);
+    let mut rng = ChaCha8Rng::seed_from_u64(rng_seed);
+    let mut counts = InjectionCounts {
+        deaths: axes.deaths.len() as u64,
+        births: axes.birth_schedule.len() as u64,
+        ..InjectionCounts::default()
+    };
+    let mut keyed: Vec<((u64, u64), TransportEvent)> = Vec::new();
+    for &(rank, first) in &axes.birth_schedule {
+        keyed.push(((first as u64, 0), TransportEvent::Birth { rank }));
+    }
+    let mut slot = 0u64;
+    for k in 0..t_end.div_ceil(period_ns) as usize {
+        let period = Window {
+            start: VirtualTime::from_ns(k as u64 * period_ns),
+            end: VirtualTime::from_ns((k as u64 + 1) * period_ns),
+        };
+        for (rank, stg) in stgs.iter().enumerate() {
+            if axes.deaths.iter().any(|&(r, last)| r == rank && k > last) {
+                continue; // the rank is dead: nothing is even generated
+            }
+            let first = axes
+                .birth_schedule
+                .iter()
+                .find(|&&(r, _)| r == rank)
+                .map_or(0, |&(_, f)| f);
+            if k < first {
+                continue; // not born yet: nothing shipped
+            }
+            slot += 1;
+            if rng.gen_bool(axes.drop) {
+                counts.dropped += 1;
+                continue;
+            }
+            // A newborn's sequence numbering starts fresh at 1.
+            let seq = (k - first) as u64 + 1;
+            let mut bytes =
+                encode(FragmentBatch::from_stg_starting_in(stg, rank, period).with_seq(seq));
+            let corrupted = rng.gen_bool(axes.corrupt);
+            if corrupted {
+                counts.corrupted += 1;
+                let pos = rng.gen_range(9..bytes.len());
+                bytes[pos] ^= 1 << rng.gen_range(0..8u32);
+            }
+            let delayed = if rng.gen_bool(axes.delay) {
+                counts.delayed += 1;
+                rng.gen_range(1u64..3)
+            } else {
+                0
+            };
+            let reordered = rng.gen_bool(axes.reorder);
+            let jitter = if reordered {
+                counts.reordered += 1;
+                rng.gen_range(0..1_000_000u64)
+            } else {
+                slot
+            };
+            let meta = FrameMeta {
+                bytes,
+                rank,
+                period: k,
+                seq,
+                window_start_ns: period.start.ns(),
+                window_end_ns: period.end.ns(),
+                corrupted,
+                retransmit: false,
+                delayed,
+                reordered,
+                malformed: false,
+            };
+            if rng.gen_bool(axes.duplicate) {
+                counts.duplicated += 1;
+                let dup = FrameMeta { retransmit: true, ..meta.clone() };
+                keyed.push(((k as u64 + delayed, jitter + 1), TransportEvent::Frame(dup)));
+            }
+            keyed.push(((k as u64 + delayed, jitter), TransportEvent::Frame(meta)));
+        }
+    }
+    // Stable by key: equal keys keep push order, so the whole schedule
+    // is a pure function of (stgs, axes, seed).
+    keyed.sort_by_key(|a| a.0);
+    (keyed.into_iter().map(|(_, e)| e).collect(), counts)
+}
+
+/// Materialise a plan's transport schedule and injection tallies.
+/// Deterministic in the plan alone.
+pub fn plan_events(plan: &FaultPlan) -> (Vec<TransportEvent>, InjectionCounts) {
+    let stgs = plan_stgs(plan);
+    let period_ns = (t_end_ns(&stgs) / plan.periods.max(1) as u64).max(1);
+    let axes = TransportAxes {
+        drop: plan.drop,
+        duplicate: plan.duplicate,
+        reorder: plan.reorder,
+        corrupt: plan.corrupt,
+        delay: plan.delay,
+        deaths: &plan.deaths,
+        birth_schedule: plan.birth_schedule(),
+    };
+    generate_events(&stgs, period_ns, plan.seed, &axes, &|b| b.encode())
+}
+
+/// Whether the reference ingestor registers born ranks at their birth
+/// event or as (silent) members from the start — the two sides of the
+/// birth-equivalence invariant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Membership {
+    AtBirth,
+    FromStart,
+}
+
 /// Run one plan end to end under the default (pipelined) configuration.
 pub fn run_plan(plan: &FaultPlan) -> ChaosOutcome {
     run_plan_with_depth(plan, VaproConfig::default().pipeline_depth)
@@ -201,63 +480,84 @@ pub fn run_plan(plan: &FaultPlan) -> ChaosOutcome {
 /// Run one plan end to end with an explicit analysis-pipeline depth
 /// (`0` = inline analysis on the admission thread).
 pub fn run_plan_with_depth(plan: &FaultPlan, pipeline_depth: usize) -> ChaosOutcome {
-    let stgs = plan_stgs(plan);
-    let t_end = t_end_ns(&stgs);
-    let period_ns = (t_end / plan.periods.max(1) as u64).max(1);
-    let cfg = VaproConfig { pipeline_depth, ..plan_config(period_ns) };
-    let mut rng = ChaCha8Rng::seed_from_u64(plan.seed);
+    run_plan_with_options(plan, pipeline_depth, Membership::AtBirth, None)
+}
 
-    // Generate the per-period sequenced frames and apply the transport
-    // faults. Each delivery carries a sort key (period-with-delay, slot)
-    // so reordering and delaying are pure key perturbations. Shipping
-    // runs to the ceiling of the data end so the tail period ships too.
-    let mut deliveries: Vec<((u64, u64), Vec<u8>)> = Vec::new();
-    let mut slot = 0u64;
-    for k in 0..t_end.div_ceil(period_ns) as usize {
-        let period = Window {
-            start: VirtualTime::from_ns(k as u64 * period_ns),
-            end: VirtualTime::from_ns((k as u64 + 1) * period_ns),
-        };
-        for (rank, stg) in stgs.iter().enumerate() {
-            if plan.last_period_of(rank).is_some_and(|last| k > last) {
-                continue; // the rank is dead: nothing is even generated
-            }
-            slot += 1;
-            if rng.gen_bool(plan.drop) {
-                continue;
-            }
-            let mut bytes = FragmentBatch::from_stg_starting_in(stg, rank, period)
-                .with_seq(k as u64 + 1)
-                .encode();
-            if rng.gen_bool(plan.corrupt) {
-                let pos = rng.gen_range(4..bytes.len());
-                bytes[pos] ^= 1 << rng.gen_range(0..8u32);
-            }
-            let delayed = if rng.gen_bool(plan.delay) { rng.gen_range(1u64..3) } else { 0 };
-            let jitter = if rng.gen_bool(plan.reorder) {
-                rng.gen_range(0..1_000_000u64)
-            } else {
-                slot
-            };
-            if rng.gen_bool(plan.duplicate) {
-                deliveries.push(((k as u64 + delayed, jitter + 1), bytes.clone()));
-            }
-            deliveries.push(((k as u64 + delayed, jitter), bytes));
-        }
-    }
-    deliveries.sort_by_key(|(key, _)| *key);
+/// Run one plan under the default depth, also producing a per-event log
+/// (one line per delivery with its injection annotations and admission
+/// outcome, plus window-close lines) — the `-v` seed-repro workflow.
+pub fn run_plan_verbose(plan: &FaultPlan) -> (ChaosOutcome, Vec<String>) {
+    let mut log = Vec::new();
+    let outcome = run_plan_with_options(
+        plan,
+        VaproConfig::default().pipeline_depth,
+        Membership::AtBirth,
+        Some(&mut log),
+    );
+    (outcome, log)
+}
 
-    let mut ingestor =
-        WindowedIngestor::new(plan.nranks, 8, cfg);
+fn run_plan_with_options(
+    plan: &FaultPlan,
+    pipeline_depth: usize,
+    membership: Membership,
+    mut log: Option<&mut Vec<String>>,
+) -> ChaosOutcome {
+    let period_ns = plan_period_ns(plan);
+    let mut cfg = VaproConfig { pipeline_depth, ..plan_config(period_ns) };
+    cfg.fault.max_buffered_bytes = plan.max_buffered_bytes;
+    let (events, _) = plan_events(plan);
+
+    let initial = match membership {
+        Membership::AtBirth => plan.nranks,
+        Membership::FromStart => plan.total_ranks(),
+    };
+    let mut ingestor = WindowedIngestor::new(initial, 8, cfg);
     let mut reports = Vec::new();
     let (mut corrupt, mut duplicate, mut other) = (0usize, 0usize, 0usize);
-    let delivered = deliveries.len();
-    for (_, bytes) in &deliveries {
-        match ingestor.push_encoded(bytes) {
-            Ok(closed) => reports.extend(closed),
-            Err(WireError::BadChecksum { .. }) => corrupt += 1,
-            Err(WireError::DuplicateSequence { .. }) => duplicate += 1,
-            Err(_) => other += 1,
+    let mut delivered = 0usize;
+    for event in &events {
+        match event {
+            TransportEvent::Birth { rank } => {
+                if membership == Membership::AtBirth {
+                    let got = ingestor.add_rank();
+                    if let Some(log) = log.as_deref_mut() {
+                        log.push(format!("birth rank={got}"));
+                    }
+                } else if let Some(log) = log.as_deref_mut() {
+                    log.push(format!("birth rank={rank} (member from start)"));
+                }
+            }
+            TransportEvent::Frame(f) => {
+                delivered += 1;
+                let (label, closed) = match ingestor.push_encoded(&f.bytes) {
+                    Ok(closed) => ("admitted", closed),
+                    Err(WireError::BadChecksum { .. }) => {
+                        corrupt += 1;
+                        ("rejected: corrupt", Vec::new())
+                    }
+                    Err(WireError::DuplicateSequence { .. }) => {
+                        duplicate += 1;
+                        ("rejected: duplicate", Vec::new())
+                    }
+                    Err(_) => {
+                        other += 1;
+                        ("rejected: other", Vec::new())
+                    }
+                };
+                if let Some(log) = log.as_deref_mut() {
+                    log.push(frame_log_line(f, label));
+                    for r in &closed {
+                        log.push(format!(
+                            "close window [{}..{}) completeness={:.3}",
+                            r.window.start.ns(),
+                            r.window.end.ns(),
+                            r.coverage.completeness
+                        ));
+                    }
+                }
+                reports.extend(closed);
+            }
         }
     }
     let stats = ingestor.stats().clone();
@@ -279,6 +579,30 @@ pub fn run_plan_with_depth(plan: &FaultPlan, pipeline_depth: usize) -> ChaosOutc
         arena_resident_bytes,
         arena_high_water_bytes,
     }
+}
+
+/// One verbose-log line for a delivered frame.
+fn frame_log_line(f: &FrameMeta, outcome: &str) -> String {
+    let mut tags = String::new();
+    if f.corrupted {
+        tags.push_str(" [corrupt]");
+    }
+    if f.retransmit {
+        tags.push_str(" [dup]");
+    }
+    if f.delayed > 0 {
+        tags.push_str(&format!(" [delay={}]", f.delayed));
+    }
+    if f.reordered {
+        tags.push_str(" [reorder]");
+    }
+    if f.malformed {
+        tags.push_str(" [malformed]");
+    }
+    format!(
+        "frame rank={} period={} seq={} span=[{}..{}){} -> {}",
+        f.rank, f.period, f.seq, f.window_start_ns, f.window_end_ns, tags, outcome
+    )
 }
 
 /// The robustness invariants every plan must satisfy. Returns the first
@@ -321,20 +645,35 @@ pub fn check_invariants(plan: &FaultPlan, outcome: &ChaosOutcome) -> Result<(), 
             outcome.rejected_corrupt + outcome.rejected_duplicate + outcome.rejected_other,
         ));
     }
-    // Coverage sanity, window by window.
+    // Coverage sanity, window by window. With births the deployment
+    // width is monotone: it starts at the plan's initial rank count,
+    // never exceeds initial+born, and never shrinks across close order.
     let mut prev_counters = (0u64, 0u64, 0u64, 0u64);
+    let mut prev_nranks = plan.nranks;
     for r in &outcome.reports {
         let c = &r.coverage;
-        if c.nranks != plan.nranks {
-            return Err(format!("coverage nranks {} != plan {}", c.nranks, plan.nranks));
+        if c.nranks < plan.nranks || c.nranks > plan.total_ranks() {
+            return Err(format!(
+                "coverage nranks {} outside [{}, {}]",
+                c.nranks,
+                plan.nranks,
+                plan.total_ranks()
+            ));
         }
+        if c.nranks < prev_nranks {
+            return Err(format!(
+                "deployment width went backwards: {} after {}",
+                c.nranks, prev_nranks
+            ));
+        }
+        prev_nranks = c.nranks;
         if c.ranks_complete > c.nranks {
             return Err(format!("{} of {} ranks complete", c.ranks_complete, c.nranks));
         }
         if !(0.0..=1.0).contains(&c.completeness) {
             return Err(format!("completeness {} out of range", c.completeness));
         }
-        if c.ranks_absent.iter().chain(&c.ranks_dead).any(|&r| r >= plan.nranks) {
+        if c.ranks_absent.iter().chain(&c.ranks_dead).any(|&r| r >= c.nranks) {
             return Err(format!("out-of-range rank in coverage {c:?}"));
         }
         // Counters are cumulative at close time: nondecreasing in close
@@ -378,6 +717,37 @@ pub fn check_invariants(plan: &FaultPlan, outcome: &ChaosOutcome) -> Result<(), 
     Ok(())
 }
 
+/// Field-wise equality of one report pair, as a `Result` naming the
+/// first diverging field group.
+pub fn report_pair_identical(g: &WindowReport, w: &WindowReport) -> Result<(), String> {
+    if g.window != w.window {
+        return Err(format!("window {:?} vs {:?}", g.window, w.window));
+    }
+    let same = g.result.series == w.result.series
+        && g.result.rare_paths == w.result.rare_paths
+        && g.result.comp_map == w.result.comp_map
+        && g.result.comm_map == w.result.comm_map
+        && g.result.io_map == w.result.io_map
+        && g.result.comp_regions == w.result.comp_regions
+        && g.result.comm_regions == w.result.comm_regions
+        && g.result.io_regions == w.result.io_regions
+        && g.result.coverage.to_bits() == w.result.coverage.to_bits()
+        && g.result.edge_clusters == w.result.edge_clusters;
+    if !same {
+        return Err(format!("detection diverged in window {:?}", g.window));
+    }
+    if g.diagnoses != w.diagnoses {
+        return Err(format!("diagnoses diverged in window {:?}", g.window));
+    }
+    if g.coverage != w.coverage {
+        return Err(format!(
+            "coverage diverged in window {:?}: {:?} vs {:?}",
+            g.window, g.coverage, w.coverage
+        ));
+    }
+    Ok(())
+}
+
 /// Field-wise equality of two report sequences (streamed vs one-shot),
 /// as a `Result` so harness callers can surface the first divergence.
 pub fn reports_identical(got: &[WindowReport], want: &[WindowReport]) -> Result<(), String> {
@@ -385,31 +755,7 @@ pub fn reports_identical(got: &[WindowReport], want: &[WindowReport]) -> Result<
         return Err(format!("{} reports vs {} expected", got.len(), want.len()));
     }
     for (g, w) in got.iter().zip(want) {
-        if g.window != w.window {
-            return Err(format!("window {:?} vs {:?}", g.window, w.window));
-        }
-        let same = g.result.series == w.result.series
-            && g.result.rare_paths == w.result.rare_paths
-            && g.result.comp_map == w.result.comp_map
-            && g.result.comm_map == w.result.comm_map
-            && g.result.io_map == w.result.io_map
-            && g.result.comp_regions == w.result.comp_regions
-            && g.result.comm_regions == w.result.comm_regions
-            && g.result.io_regions == w.result.io_regions
-            && g.result.coverage.to_bits() == w.result.coverage.to_bits()
-            && g.result.edge_clusters == w.result.edge_clusters;
-        if !same {
-            return Err(format!("detection diverged in window {:?}", g.window));
-        }
-        if g.diagnoses != w.diagnoses {
-            return Err(format!("diagnoses diverged in window {:?}", g.window));
-        }
-        if g.coverage != w.coverage {
-            return Err(format!(
-                "coverage diverged in window {:?}: {:?} vs {:?}",
-                g.window, g.coverage, w.coverage
-            ));
-        }
+        report_pair_identical(g, w)?;
     }
     Ok(())
 }
@@ -453,6 +799,15 @@ pub fn pipeline_equivalence(plan: &FaultPlan) -> Result<(), String> {
     Ok(())
 }
 
+/// The one-shot windowed analysis of a plan's full synthetic data —
+/// the bit-identity reference for clean streamed runs. Public so the
+/// VOPR driver can compare its own replays against it window by window.
+pub fn one_shot_reference(plan: &FaultPlan) -> Vec<WindowReport> {
+    let stgs = plan_stgs(plan);
+    let cfg = plan_config(plan_period_ns(plan));
+    ServerPool::new(1, plan.total_ranks()).analyze_windows(&stgs, plan.total_ranks(), 8, &cfg)
+}
+
 /// The fault-free equivalence check: a clean plan streamed through the
 /// chaos harness (straggler policy armed but never tripped) must equal
 /// the one-shot windowed analysis bit for bit, including coverage.
@@ -460,11 +815,79 @@ pub fn fault_free_equivalence(plan: &FaultPlan) -> Result<(), String> {
     assert!(plan.is_fault_free(), "equivalence only holds for clean transports");
     let outcome = run_plan(plan);
     check_invariants(plan, &outcome)?;
-    let stgs = plan_stgs(plan);
-    let cfg = plan_config(outcome.period_ns);
-    let reference =
-        ServerPool::new(1, plan.nranks).analyze_windows(&stgs, plan.nranks, 8, &cfg);
-    reports_identical(&outcome.reports, &reference)
+    reports_identical(&outcome.reports, &one_shot_reference(plan))
+}
+
+/// The rank-birth invariant. On an otherwise clean transport, ranks
+/// joining mid-stream must not perturb anything from their join point
+/// on: every window starting at or after the last birth must be
+/// bit-identical — detection, diagnoses and coverage — to a reference
+/// run where the same ranks were registered members from the start
+/// (shipping the exact same frames). Windows closing entirely before a
+/// birth may legitimately differ in deployment width (that is the
+/// elastic-membership contract), which is why the comparison is anchored
+/// at the birth boundary rather than window zero.
+pub fn birth_equivalence(plan: &FaultPlan) -> Result<(), String> {
+    assert!(!plan.births.is_empty(), "birth equivalence needs at least one birth");
+    assert!(
+        plan.drop == 0.0
+            && plan.duplicate == 0.0
+            && plan.reorder == 0.0
+            && plan.corrupt == 0.0
+            && plan.delay == 0.0
+            && plan.deaths.is_empty()
+            && plan.max_buffered_bytes.is_none(),
+        "birth equivalence needs an otherwise clean transport"
+    );
+    assert!(
+        plan.births.iter().all(|&p| (1..=3).contains(&p)) && plan.periods >= 6,
+        "births must land within the dead horizon (4 periods) with room to compare after"
+    );
+    let born = run_plan(plan);
+    check_invariants(plan, &born)?;
+    let reference = run_plan_with_options(
+        plan,
+        VaproConfig::default().pipeline_depth,
+        Membership::FromStart,
+        None,
+    );
+    if born.reports.len() != reference.reports.len() {
+        return Err(format!(
+            "born run closed {} windows, always-present reference closed {}",
+            born.reports.len(),
+            reference.reports.len()
+        ));
+    }
+    // The transport is clean, so the born run loses nothing.
+    if born.admitted != born.delivered as u64 {
+        return Err(format!(
+            "clean birth plan lost frames: {} delivered, {} admitted",
+            born.delivered, born.admitted
+        ));
+    }
+    let birth_ns =
+        plan.births.iter().max().map_or(0, |&p| p as u64) * born.period_ns;
+    let mut compared = 0usize;
+    for (g, w) in born.reports.iter().zip(&reference.reports) {
+        if g.window.start.ns() < birth_ns {
+            continue;
+        }
+        compared += 1;
+        if g.coverage.nranks != plan.total_ranks() {
+            return Err(format!(
+                "post-birth window {:?} closed with width {} (expected {})",
+                g.window,
+                g.coverage.nranks,
+                plan.total_ranks()
+            ));
+        }
+        report_pair_identical(g, w)
+            .map_err(|e| format!("born run diverged from always-present reference: {e}"))?;
+    }
+    if compared == 0 {
+        return Err("no post-birth windows to compare; grow the plan's periods".to_string());
+    }
+    Ok(())
 }
 
 // ---------------------------------------------------------------------
@@ -536,10 +959,6 @@ impl JobPlan {
     /// The fleet routing key.
     pub fn key(&self) -> JobKey {
         JobKey { tenant: self.tenant, job: self.job }
-    }
-
-    fn last_period_of(&self, rank: usize) -> Option<usize> {
-        self.deaths.iter().find(|(r, _)| *r == rank).map(|&(_, last)| last)
     }
 }
 
@@ -650,8 +1069,9 @@ fn fleet_job_stgs(plan: &FleetPlan, jp: &JobPlan) -> Vec<Stg> {
 
 /// The shared reporting period: the longest job's data split into the
 /// plan's period count (every job analyses on the same cadence, as the
-/// fleet's single `VaproConfig` requires).
-fn fleet_period_ns(plan: &FleetPlan) -> u64 {
+/// fleet's single `VaproConfig` requires). Public for the VOPR driver's
+/// per-job oracle replays.
+pub fn fleet_period_ns(plan: &FleetPlan) -> u64 {
     let t_end = plan
         .jobs
         .iter()
@@ -661,55 +1081,42 @@ fn fleet_period_ns(plan: &FleetPlan) -> u64 {
     (t_end / plan.periods.max(1) as u64).max(1)
 }
 
-/// Generate one job's faulted delivery sequence: sequenced per-period v3
-/// frames with the job's routing stamp, faults applied, sorted into
-/// arrival order. Deterministic in the plan seed and the job identity.
-/// Corruption only ever flips bytes the CRC covers (never the version
-/// byte, where a flip can masquerade as a different frame layout instead
-/// of failing), so every corrupted frame is rejected at decode — on the
-/// fleet path and the solo reference alike.
-fn fleet_job_deliveries(plan: &FleetPlan, jp: &JobPlan, period_ns: u64) -> Vec<Vec<u8>> {
+/// Materialise one job's faulted event schedule: sequenced per-period
+/// v3 frames with the job's routing stamp, faults applied, sorted into
+/// arrival order (see [`generate_events`] for the corruption-range
+/// contract). Deterministic in the plan seed and the job identity.
+/// Public for the VOPR driver's per-job oracle replays.
+pub fn fleet_job_events(
+    plan: &FleetPlan,
+    jp: &JobPlan,
+    period_ns: u64,
+) -> (Vec<TransportEvent>, InjectionCounts) {
     let stgs = fleet_job_stgs(plan, jp);
-    let t_end = t_end_ns(&stgs);
     let salt = ((jp.tenant as u64) << 32) | jp.job as u64;
-    let mut rng = ChaCha8Rng::seed_from_u64(plan.seed ^ salt);
-    let mut deliveries: Vec<((u64, u64), Vec<u8>)> = Vec::new();
-    let mut slot = 0u64;
-    for k in 0..t_end.div_ceil(period_ns) as usize {
-        let period = Window {
-            start: VirtualTime::from_ns(k as u64 * period_ns),
-            end: VirtualTime::from_ns((k as u64 + 1) * period_ns),
-        };
-        for (rank, stg) in stgs.iter().enumerate() {
-            if jp.last_period_of(rank).is_some_and(|last| k > last) {
-                continue;
-            }
-            slot += 1;
-            if rng.gen_bool(jp.drop) {
-                continue;
-            }
-            let mut bytes = FragmentBatch::from_stg_starting_in(stg, rank, period)
-                .with_seq(k as u64 + 1)
-                .with_job(jp.tenant, jp.job)
-                .encode_v3();
-            if rng.gen_bool(jp.corrupt) {
-                let pos = rng.gen_range(9..bytes.len());
-                bytes[pos] ^= 1 << rng.gen_range(0..8u32);
-            }
-            let delayed = if rng.gen_bool(jp.delay) { rng.gen_range(1u64..3) } else { 0 };
-            let jitter = if rng.gen_bool(jp.reorder) {
-                rng.gen_range(0..1_000_000u64)
-            } else {
-                slot
-            };
-            if rng.gen_bool(jp.duplicate) {
-                deliveries.push(((k as u64 + delayed, jitter + 1), bytes.clone()));
-            }
-            deliveries.push(((k as u64 + delayed, jitter), bytes));
-        }
-    }
-    deliveries.sort_by_key(|(key, _)| *key);
-    deliveries.into_iter().map(|(_, bytes)| bytes).collect()
+    let axes = TransportAxes {
+        drop: jp.drop,
+        duplicate: jp.duplicate,
+        reorder: jp.reorder,
+        corrupt: jp.corrupt,
+        delay: jp.delay,
+        deaths: &jp.deaths,
+        birth_schedule: Vec::new(),
+    };
+    generate_events(&stgs, period_ns, plan.seed ^ salt, &axes, &|b| {
+        b.with_job(jp.tenant, jp.job).encode_v3()
+    })
+}
+
+/// One job's delivery bytes, in arrival order.
+fn fleet_job_deliveries(plan: &FleetPlan, jp: &JobPlan, period_ns: u64) -> Vec<Vec<u8>> {
+    fleet_job_events(plan, jp, period_ns)
+        .0
+        .into_iter()
+        .filter_map(|e| match e {
+            TransportEvent::Frame(f) => Some(f.bytes),
+            TransportEvent::Birth { .. } => None,
+        })
+        .collect()
 }
 
 /// Run one fleet plan end to end: every job's faulted stream generated,
@@ -983,6 +1390,78 @@ mod tests {
             assert_eq!(ja.rejected_decode, jb.rejected_decode);
             reports_identical(&ja.reports, &jb.reports).expect("same fleet plan diverged");
         }
+    }
+
+    #[test]
+    fn a_rank_born_mid_stream_matches_an_always_present_reference() {
+        // One rank joins at period 2: every post-birth window must be
+        // bit-identical to a run where the rank existed from the start
+        // (sending the same frames), and the coverage width must step up
+        // exactly once.
+        let plan = FaultPlan { births: vec![2], ..FaultPlan::fault_free(13) };
+        birth_equivalence(&plan).expect("birth diverged from always-present reference");
+    }
+
+    #[test]
+    fn a_birth_under_chaos_still_satisfies_the_invariants() {
+        let plan = FaultPlan {
+            drop: 0.1,
+            duplicate: 0.2,
+            reorder: 0.4,
+            delay: 0.15,
+            births: vec![2],
+            ..FaultPlan::fault_free(57)
+        };
+        let outcome = run_plan(&plan);
+        check_invariants(&plan, &outcome).expect("invariants violated");
+        let tail = outcome.reports.last().expect("windows closed");
+        assert_eq!(tail.coverage.nranks, plan.total_ranks(), "born rank never widened coverage");
+    }
+
+    #[test]
+    fn a_buffer_cap_forces_drops_without_breaking_the_tiling() {
+        // A tiny admission buffer plus heavy delay/reorder must shed
+        // frames via backpressure, yet the surviving windows still tile.
+        let plan = FaultPlan {
+            reorder: 0.6,
+            delay: 0.5,
+            max_buffered_bytes: Some(4_096),
+            ..FaultPlan::fault_free(31)
+        };
+        let outcome = run_plan(&plan);
+        check_invariants(&plan, &outcome).expect("invariants violated");
+        assert!(outcome.admitted < outcome.delivered as u64, "cap never shed a frame");
+    }
+
+    #[test]
+    fn event_schedules_are_deterministic_and_expose_injections() {
+        let plan = FaultPlan {
+            drop: 0.2,
+            duplicate: 0.2,
+            corrupt: 0.2,
+            reorder: 0.3,
+            delay: 0.2,
+            births: vec![1],
+            ..FaultPlan::fault_free(101)
+        };
+        let (ev_a, counts_a) = plan_events(&plan);
+        let (ev_b, counts_b) = plan_events(&plan);
+        assert_eq!(counts_a, counts_b);
+        assert_eq!(ev_a.len(), ev_b.len());
+        for (a, b) in ev_a.iter().zip(&ev_b) {
+            match (a, b) {
+                (TransportEvent::Frame(fa), TransportEvent::Frame(fb)) => {
+                    assert_eq!(fa.bytes, fb.bytes);
+                    assert_eq!(fa.corrupted, fb.corrupted);
+                }
+                (TransportEvent::Birth { rank: ra }, TransportEvent::Birth { rank: rb }) => {
+                    assert_eq!(ra, rb)
+                }
+                _ => panic!("event kinds diverged between identical plans"),
+            }
+        }
+        assert_eq!(counts_a.births, 1);
+        assert!(counts_a.dropped > 0 && counts_a.corrupted > 0, "{counts_a:?}");
     }
 
     #[test]

@@ -7,15 +7,15 @@
 
 use proptest::prelude::*;
 use vapro_bench::chaos::{
-    check_fleet_invariants, check_invariants, fault_free_equivalence, pipeline_equivalence,
-    run_fleet_plan, run_plan, FaultPlan, FleetPlan,
+    birth_equivalence, check_fleet_invariants, check_invariants, fault_free_equivalence,
+    pipeline_equivalence, run_fleet_plan, run_plan, FaultPlan, FleetPlan,
 };
 
 /// Small plans: the suite runs on a single-core gate, so each case is a
 /// few hundred fragments over a handful of periods.
 fn plan_strategy() -> impl Strategy<Value = FaultPlan> {
     (
-        (0u64..1u64 << 32, 2usize..4, 100usize..250, 3usize..7),
+        (0u64..1u64 << 32, 2usize..4, 100usize..250, 4usize..7),
         (0.0f64..0.25, 0.0f64..0.3, 0.0f64..0.6, 0.0f64..0.15, 0.0f64..0.3),
     )
         .prop_flat_map(|(shape, faults)| {
@@ -24,13 +24,20 @@ fn plan_strategy() -> impl Strategy<Value = FaultPlan> {
                 Just(Vec::new()),
                 (0..nranks, 1..periods - 1).prop_map(|(r, p)| vec![(r, p)]),
             ];
-            (Just(shape), Just(faults), deaths)
+            let births = prop_oneof![
+                Just(Vec::new()),
+                (1..3usize.min(periods - 2) + 1).prop_map(|p| vec![p]),
+            ];
+            let cap = prop_oneof![Just(None), (4_096u64..65_536).prop_map(Some)];
+            (Just(shape), Just(faults), deaths, births, cap)
         })
         .prop_map(
             |(
                 (seed, nranks, frags, periods),
                 (drop, duplicate, reorder, corrupt, delay),
                 deaths,
+                births,
+                max_buffered_bytes,
             )| FaultPlan {
                 seed,
                 nranks,
@@ -42,6 +49,8 @@ fn plan_strategy() -> impl Strategy<Value = FaultPlan> {
                 corrupt,
                 delay,
                 deaths,
+                births,
+                max_buffered_bytes,
             },
         )
 }
@@ -76,6 +85,20 @@ proptest! {
         plan.frags_per_rank = 150;
         plan.periods = 5;
         if let Err(e) = fault_free_equivalence(&plan) {
+            prop_assert!(false, "{}", e);
+        }
+    }
+
+    /// A rank born at any admissible period, on an otherwise clean
+    /// transport, leaves every post-birth window bit-identical to a run
+    /// where the rank was always present.
+    #[test]
+    fn births_are_equivalent_to_always_present_ranks(
+        seed in 0u64..1u64 << 32,
+        first in 1usize..4,
+    ) {
+        let plan = FaultPlan { births: vec![first], ..FaultPlan::fault_free(seed) };
+        if let Err(e) = birth_equivalence(&plan) {
             prop_assert!(false, "{}", e);
         }
     }

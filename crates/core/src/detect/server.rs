@@ -30,6 +30,8 @@ use crate::fragment::Fragment;
 use crate::intern::{Sym, SymbolTable};
 use crate::report::WindowCoverage;
 use crate::stg::{StateKey, Stg};
+use crate::vopr::canary;
+use crate::vopr::fault_points::{hit, FaultPoint};
 use crate::wire::{
     fragment_wire_bytes, leak_label, FragmentBatch, WireError, SEQ_UNSEQUENCED,
 };
@@ -212,6 +214,12 @@ struct RankTracker {
 
 impl RankTracker {
     fn is_duplicate(&self, seq: u64) -> bool {
+        // The `DedupDisabled` canary (vopr-canary builds only) waves
+        // every retransmit through; the VOPR delivery-accounting
+        // invariant must flag the double admissions.
+        if crate::vopr::canary::armed(crate::vopr::canary::Canary::DedupDisabled) {
+            return false;
+        }
         seq != SEQ_UNSEQUENCED && (seq <= self.contig || self.pending.contains_key(&seq))
     }
 
@@ -234,8 +242,13 @@ impl RankTracker {
     /// Sequence numbers known sent (something later arrived) but never
     /// received — the frames currently missing below the highest seen.
     fn gaps(&self) -> u64 {
+        // Saturating: with dedup suppressed (canary builds) `pending`
+        // can hold stale seqs at or below `contig`, and a gap count
+        // must degrade to zero rather than underflow.
         match self.pending.keys().next_back() {
-            Some(&max) => max - self.contig - self.pending.len() as u64,
+            Some(&max) => {
+                max.saturating_sub(self.contig).saturating_sub(self.pending.len() as u64)
+            }
             None => 0,
         }
     }
@@ -996,6 +1009,26 @@ impl WindowedIngestor {
             .collect()
     }
 
+    /// Grow the deployment by one rank mid-stream (elastic membership):
+    /// returns the new rank id, which the joining client must stamp on
+    /// its frames. The newcomer's shipping mark starts at the current
+    /// watermark, so it owes nothing behind what has already closed —
+    /// windows at or below the watermark stay closed, later windows
+    /// wait for it like any other rank. Its sequence numbering starts
+    /// fresh at 1. Windows sealed before the birth keep their original
+    /// rank count; windows closing after it analyse with the widened
+    /// deployment.
+    pub fn add_rank(&mut self) -> usize {
+        let rank = self.nranks;
+        self.nranks += 1;
+        self.trackers.push(RankTracker {
+            mark_ns: self.watermark_ns(),
+            ..RankTracker::default()
+        });
+        hit(FaultPoint::RankBirth);
+        rank
+    }
+
     /// Absorb one batch and analyse every window it closed. Batches past
     /// a rank's last fragment (even empty ones) still advance its
     /// shipping mark. Rejections (duplicates, late data under `Drop`,
@@ -1037,6 +1070,7 @@ impl WindowedIngestor {
         let (rank, seq) = (batch.rank, batch.seq);
         let Some(tracker) = self.trackers.get(rank) else {
             self.stats.unknown_rank_frames += 1;
+            hit(FaultPoint::UnknownRankReject);
             return Err(WireError::UnknownRank {
                 rank: rank as u32,
                 nranks: self.nranks as u32,
@@ -1044,6 +1078,7 @@ impl WindowedIngestor {
         };
         if tracker.is_duplicate(seq) {
             self.stats.duplicate_frames += 1;
+            hit(FaultPoint::SeqDuplicateReject);
             return Err(WireError::DuplicateSequence { rank: rank as u32, seq });
         }
         if tracker.dead && self.cfg.fault.late_data == LateDataPolicy::Drop {
@@ -1055,6 +1090,7 @@ impl WindowedIngestor {
                 t.admit(seq, batch.window_end_ns);
             }
             self.stats.dropped_late_frames += 1;
+            hit(FaultPoint::LateDataDrop);
             return Ok(());
         }
         let ahead = batch.window_start_ns > self.watermark_ns();
@@ -1071,6 +1107,7 @@ impl WindowedIngestor {
                     }
                     self.stats.dropped_backpressure_frames += 1;
                     self.stats.dropped_backpressure_bytes += frame_bytes;
+                    hit(FaultPoint::BackpressureDrop);
                     return Ok(());
                 }
             }
@@ -1090,11 +1127,20 @@ impl WindowedIngestor {
     /// The shipping low-watermark: the minimum mark over live ranks —
     /// or, when every rank is dead, the maximum mark, so the stream can
     /// still drain.
-    fn watermark_ns(&self) -> u64 {
-        match self.trackers.iter().filter(|t| !t.dead).map(|t| t.mark_ns).min() {
+    pub fn watermark_ns(&self) -> u64 {
+        let low = match self.trackers.iter().filter(|t| !t.dead).map(|t| t.mark_ns).min() {
             Some(low) => low,
             None => self.trackers.iter().map(|t| t.mark_ns).max().unwrap_or(0),
+        };
+        // The `WatermarkOffByOne` canary (vopr-canary builds only) skews
+        // the watermark half a report period ahead of what ranks
+        // actually shipped, closing windows before their data arrives.
+        // The VOPR stream ≡ one-shot and watermark-agreement invariants
+        // must flag it.
+        if canary::armed(canary::Canary::WatermarkOffByOne) {
+            return low.saturating_add((self.cfg.report_period.ns() / 2).max(1));
         }
+        low
     }
 
     /// Latch `Dead` onto every rank trailing the fastest mark by more
@@ -1105,6 +1151,7 @@ impl WindowedIngestor {
         for t in &mut self.trackers {
             if !t.dead && fastest.saturating_sub(t.mark_ns) > dead_h.ns() {
                 t.dead = true;
+                hit(FaultPoint::DeadRankLatch);
             }
         }
     }
@@ -1201,7 +1248,6 @@ impl WindowedIngestor {
                 self.cfg.pipeline_depth,
                 // vapro-lint: allow(R1, one config snapshot at stage spawn; not a fragment population)
                 self.cfg.clone(),
-                self.nranks,
                 self.bins_per_window,
                 Arc::clone(&self.scratch_pools),
             ));
@@ -1210,7 +1256,10 @@ impl WindowedIngestor {
             let mut pool = self.scratch_pool();
             pool.refill_from_merged(&self.arena.window_view(window));
             if let Some(stage) = self.stage.as_mut() {
-                stage.submit(window, coverage, pool);
+                // nranks travels per sealed window: a rank born between
+                // two closes must widen later windows' heatmaps but not
+                // retroactively widen ones already sealed.
+                stage.submit(window, coverage, self.nranks, pool);
             }
         }
     }
@@ -1288,8 +1337,20 @@ impl WindowedIngestor {
         // `closed` advanced — the horizon is monotone, so an unchanged
         // watermark has nothing new to release.
         if closed_any {
-            let horizon = self.window(self.closed).start.ns();
+            // The `EvictLive` canary (vopr-canary builds only) pushes
+            // the reclamation horizon a full window ahead, evicting
+            // fragments that open windows still need; the VOPR
+            // stream ≡ one-shot identity must flag the data loss.
+            let horizon = if canary::armed(canary::Canary::EvictLive) {
+                self.window(self.closed).end.ns()
+            } else {
+                self.window(self.closed).start.ns()
+            };
+            let resident_before = self.arena.resident_bytes();
             self.arena.evict_before(horizon);
+            if self.arena.resident_bytes() < resident_before {
+                hit(FaultPoint::ArenaEviction);
+            }
         }
         reports
     }

@@ -52,7 +52,21 @@ struct SealedWindow {
     /// cumulative drop counters must reflect close time, not whenever a
     /// worker happens to run).
     coverage: WindowCoverage,
+    /// Deployment width at close time. Travels per window because a
+    /// rank born mid-stream widens later windows without retroactively
+    /// widening ones already sealed.
+    nranks: usize,
     /// The window's fragments in columnar form, owned by the task.
+    pool: ColumnarPool,
+}
+
+/// A sealed window's inputs before sequence assignment — what the
+/// `ReorderRelease` canary parks to force an out-of-order release.
+#[cfg(feature = "vopr-canary")]
+struct SealedInput {
+    window: Window,
+    coverage: WindowCoverage,
+    nranks: usize,
     pool: ColumnarPool,
 }
 
@@ -79,7 +93,6 @@ struct StageShared {
     /// Immutable analysis context, identical to what the inline path
     /// would pass to [`analyze_view_columnar`].
     cfg: VaproConfig,
-    nranks: usize,
     bins: usize,
     /// The ingestor's recycled columnar scratch: finished pools return
     /// here with their lane capacity intact.
@@ -96,6 +109,12 @@ pub(crate) struct AnalysisStage {
     next_seq: u64,
     /// Next sequence number to emit; everything below has been released.
     next_emit: u64,
+    /// `ReorderRelease` canary state: a parked submission awaiting its
+    /// successor, which is then sequenced *before* it — deliberately
+    /// breaking the submission-order contract for the VOPR harness to
+    /// catch.
+    #[cfg(feature = "vopr-canary")]
+    canary_parked: Option<SealedInput>,
 }
 
 impl std::fmt::Debug for AnalysisStage {
@@ -116,7 +135,6 @@ impl AnalysisStage {
     pub(crate) fn new(
         depth: usize,
         cfg: VaproConfig,
-        nranks: usize,
         bins: usize,
         scratch: Arc<Mutex<Vec<ColumnarPool>>>,
     ) -> AnalysisStage {
@@ -126,7 +144,6 @@ impl AnalysisStage {
             task_ready: Condvar::new(),
             window_done: Condvar::new(),
             cfg,
-            nranks,
             bins,
             scratch,
         });
@@ -140,17 +157,60 @@ impl AnalysisStage {
                     .expect("spawn analysis stage worker")
             })
             .collect();
-        AnalysisStage { shared, workers, depth, next_seq: 0, next_emit: 0 }
+        AnalysisStage {
+            shared,
+            workers,
+            depth,
+            next_seq: 0,
+            next_emit: 0,
+            #[cfg(feature = "vopr-canary")]
+            canary_parked: None,
+        }
     }
 
     /// Submit one sealed window. Blocks while the stage is at depth —
     /// bounded memory beats unbounded queueing when analysis lags.
-    pub(crate) fn submit(&mut self, window: Window, coverage: WindowCoverage, pool: ColumnarPool) {
+    pub(crate) fn submit(
+        &mut self,
+        window: Window,
+        coverage: WindowCoverage,
+        nranks: usize,
+        pool: ColumnarPool,
+    ) {
+        #[cfg(feature = "vopr-canary")]
+        if crate::vopr::canary::armed(crate::vopr::canary::Canary::ReorderRelease) {
+            // Park every other submission and sequence it *after* its
+            // successor: the stage then releases windows out of
+            // submission order deterministically, regardless of worker
+            // timing. The VOPR tiling and pipeline ≡ inline invariants
+            // must catch the swap.
+            match self.canary_parked.take() {
+                None => {
+                    self.canary_parked = Some(SealedInput { window, coverage, nranks, pool });
+                    return;
+                }
+                Some(parked) => {
+                    self.submit_now(window, coverage, nranks, pool);
+                    self.submit_now(parked.window, parked.coverage, parked.nranks, parked.pool);
+                    return;
+                }
+            }
+        }
+        self.submit_now(window, coverage, nranks, pool);
+    }
+
+    fn submit_now(
+        &mut self,
+        window: Window,
+        coverage: WindowCoverage,
+        nranks: usize,
+        pool: ColumnarPool,
+    ) {
         let mut state = self.shared.state.lock();
         while state.in_flight >= self.depth {
             self.shared.window_done.wait(&mut state);
         }
-        state.queue.push_back(SealedWindow { seq: self.next_seq, window, coverage, pool });
+        state.queue.push_back(SealedWindow { seq: self.next_seq, window, coverage, nranks, pool });
         state.in_flight += 1;
         self.next_seq += 1;
         drop(state);
@@ -173,6 +233,12 @@ impl AnalysisStage {
     /// the remaining reports in window order. `finish` and fleet drains
     /// join the stage through here.
     pub(crate) fn drain(&mut self) -> Vec<WindowReport> {
+        // A parked canary submission must flush before the join below,
+        // or drain would wait forever on a sequence number never issued.
+        #[cfg(feature = "vopr-canary")]
+        if let Some(parked) = self.canary_parked.take() {
+            self.submit_now(parked.window, parked.coverage, parked.nranks, parked.pool);
+        }
         let mut state = self.shared.state.lock();
         let pending = (self.next_seq - self.next_emit) as usize;
         let mut out = Vec::with_capacity(pending);
@@ -230,7 +296,7 @@ fn worker_loop(shared: &StageShared) {
         let report = analyze_view_columnar(
             &task.pool,
             task.window,
-            shared.nranks,
+            task.nranks,
             shared.bins,
             &shared.cfg,
             task.coverage,
@@ -259,7 +325,7 @@ mod tests {
     fn emission_is_in_submission_order() {
         let cfg = VaproConfig::default();
         let scratch = Arc::new(Mutex::new(Vec::new()));
-        let mut stage = AnalysisStage::new(4, cfg.clone(), 2, 8, Arc::clone(&scratch));
+        let mut stage = AnalysisStage::new(4, cfg.clone(), 8, Arc::clone(&scratch));
         let period = cfg.report_period.ns();
         for k in 0..6u64 {
             let start = k * (period / 2);
@@ -267,7 +333,7 @@ mod tests {
                 start: vapro_sim::VirtualTime::from_ns(start),
                 end: vapro_sim::VirtualTime::from_ns(start + period),
             };
-            stage.submit(window, WindowCoverage::full(2), ColumnarPool::new());
+            stage.submit(window, WindowCoverage::full(2), 2, ColumnarPool::new());
         }
         let reports = stage.drain();
         assert_eq!(reports.len(), 6);

@@ -382,6 +382,7 @@ impl FleetIngestor {
         let Some(tenant) = self.tenants.get_mut(&key.tenant) else {
             let e = WireError::UnknownTenant { tenant: key.tenant };
             self.unattributed.count_decode_error(&e);
+            crate::vopr::fault_points::hit(crate::vopr::fault_points::FaultPoint::UnknownTenantReject);
             return Err(e);
         };
         let requested = tenant.in_flight_bytes.saturating_add(frame_bytes);
@@ -393,6 +394,9 @@ impl FleetIngestor {
             };
             tenant.stats.count_decode_error(&e);
             tenant.stats.over_budget_bytes += frame_bytes;
+            crate::vopr::fault_points::hit(
+                crate::vopr::fault_points::FaultPoint::TenantOverBudgetReject,
+            );
             return Err(e);
         }
         tenant.in_flight_bytes = requested;

@@ -40,6 +40,7 @@ pub mod report;
 pub mod sampling;
 pub mod stg;
 pub mod viz;
+pub mod vopr;
 pub mod wire;
 
 pub use baseline::{BaselineProfile, RunComparison};

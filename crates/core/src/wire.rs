@@ -708,9 +708,25 @@ impl FragmentBatch {
 
     /// Decode exactly one binary frame; trailing bytes are an error.
     /// For a buffer holding several frames use [`decode_stream`].
+    ///
+    /// This is the ingest-facing entry point (solo and fleet admission
+    /// both come through here), so it is where wire rejections register
+    /// as VOPR fault points: corrupt (checksum) and structural
+    /// (everything else) rejects are counted separately.
     pub fn decode(bytes: &[u8]) -> Result<FragmentBatch, WireError> {
-        let (batch, consumed) = Self::decode_frame(bytes)?;
+        use crate::vopr::fault_points::{hit, FaultPoint};
+        let (batch, consumed) = match Self::decode_frame(bytes) {
+            Ok(ok) => ok,
+            Err(e) => {
+                hit(match e {
+                    WireError::BadChecksum { .. } => FaultPoint::WireCorruptReject,
+                    _ => FaultPoint::WireStructuralReject,
+                });
+                return Err(e);
+            }
+        };
         if consumed != bytes.len() {
+            hit(FaultPoint::WireStructuralReject);
             return Err(WireError::TrailingBytes);
         }
         Ok(batch)
@@ -743,8 +759,13 @@ impl FragmentBatch {
             WIRE_VERSION | WIRE_VERSION_V3 => {
                 let claimed_crc = r.u32()?;
                 // Everything after the checksum field is covered: verify
-                // before trusting a single body byte.
-                if crc32::checksum(r.buf) != claimed_crc {
+                // before trusting a single body byte. The `SkipCrcCheck`
+                // canary (vopr-canary builds only) suppresses exactly
+                // this rejection; the VOPR harness must notice the
+                // corrupt frames it then admits.
+                if crc32::checksum(r.buf) != claimed_crc
+                    && !crate::vopr::canary::armed(crate::vopr::canary::Canary::SkipCrcCheck)
+                {
                     // Best-effort attribution from the (untrusted) header
                     // for log lines; zeros if the frame is too short.
                     let mut peek = Reader { buf: r.buf };

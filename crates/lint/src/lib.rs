@@ -30,9 +30,12 @@ use rules::{Finding, FnScope, LintConfig};
 /// * R1 covers the hot-path modules named by the design docs:
 ///   `detect/`, `diagnose/`, `wire.rs`, `clustering.rs`, `columnar.rs`.
 /// * R2 covers the wire decode functions, the server ingest admission
-///   functions and the fleet plane's admission/routing functions; the
-///   arithmetic sub-rule applies to the wire decoders, where
-///   attacker-controlled lengths feed size math.
+///   functions, the fleet plane's admission/routing functions and the
+///   VOPR admission oracle (`crates/vopr/src/model.rs` — it faces the
+///   same hostile deliveries the server does, and an oracle that
+///   panics cannot falsify anything); the arithmetic sub-rule applies
+///   to the wire decoders, where attacker-controlled lengths feed size
+///   math.
 /// * `wire.rs` accepts no waivers in its R2 scope at all: the decode
 ///   path must be structurally total.
 /// * R3 covers normalization, heatmap, region ranking and clustering —
@@ -67,6 +70,16 @@ pub fn workspace_config() -> LintConfig {
         "drain",
         "refresh_in_flight",
     ];
+    let vopr_model_fns = [
+        "accept",
+        "predict",
+        "classify",
+        "absorb",
+        "record_birth",
+        "watermark_ns",
+        "update_liveness",
+        "outcome_name",
+    ];
     let wire_scope = FnScope {
         file: "crates/core/src/wire.rs".into(),
         funcs: wire_fns.iter().map(|s| s.to_string()).collect(),
@@ -88,6 +101,10 @@ pub fn workspace_config() -> LintConfig {
             FnScope {
                 file: "crates/core/src/fleet.rs".into(),
                 funcs: fleet_fns.iter().map(|s| s.to_string()).collect(),
+            },
+            FnScope {
+                file: "crates/vopr/src/model.rs".into(),
+                funcs: vopr_model_fns.iter().map(|s| s.to_string()).collect(),
             },
         ],
         r2_arith: vec![wire_scope],

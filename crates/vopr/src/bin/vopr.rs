@@ -1,0 +1,130 @@
+//! The VOPR driver binary.
+//!
+//! ```text
+//! vopr [--profile pr|nightly] [--seed N] [-v] [--report PATH]
+//! ```
+//!
+//! Runs the deterministic simulation suite, prints the gate verdicts,
+//! optionally writes the byte-stable `VOPR_report.json`, and exits
+//! non-zero on any failed gate. Every failure prints the seed and a
+//! copy-pasteable repro line.
+
+use std::process::ExitCode;
+use vapro_vopr::{repro_line, run_vopr, Profile};
+
+fn main() -> ExitCode {
+    let mut profile = Profile::Pr;
+    let mut seeds: Option<Vec<u64>> = None;
+    let mut verbose = false;
+    let mut report_path: Option<String> = None;
+
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--profile" => match argv.next().as_deref() {
+                Some("pr") => profile = Profile::Pr,
+                Some("nightly") => profile = Profile::Nightly,
+                Some("quick") => profile = Profile::Quick,
+                other => return usage(&format!("unknown profile {other:?}")),
+            },
+            "--seed" => match argv.next().and_then(|s| s.parse::<u64>().ok()) {
+                Some(seed) => seeds = Some(vec![seed]),
+                None => return usage("--seed needs an unsigned integer"),
+            },
+            "-v" | "--verbose" => verbose = true,
+            "--report" => match argv.next() {
+                Some(path) => report_path = Some(path),
+                None => return usage("--report needs a path"),
+            },
+            "-h" | "--help" => return usage(""),
+            other => return usage(&format!("unknown argument {other:?}")),
+        }
+    }
+
+    let mut log: Vec<String> = Vec::new();
+    let report = run_vopr(profile, seeds.clone(), verbose.then_some(&mut log));
+    if verbose {
+        for line in &log {
+            println!("  {line}");
+        }
+    }
+
+    println!(
+        "vopr: profile={} seeds={:?} canaries={}",
+        report.profile,
+        report.seeds,
+        if report.canaries.is_some() { "compiled" } else { "not compiled" },
+    );
+    println!(
+        "vopr: fault-point coverage {:.0}% ({} of {} hit)",
+        report.coverage * 100.0,
+        report.fault_points.values().filter(|&&n| n > 0).count(),
+        report.fault_points.len(),
+    );
+    let executions: u64 = report.invariants.values().sum();
+    println!(
+        "vopr: {} invariants executed {} times, {} violation(s)",
+        report.invariants.len(),
+        executions,
+        report.violations.len(),
+    );
+    println!(
+        "vopr: determinism {} (journal {:#018x}, {} events)",
+        if report.determinism_ok { "ok" } else { "FAILED" },
+        report.journal_hash,
+        report.journal_events,
+    );
+    if let Some(canaries) = &report.canaries {
+        for c in canaries {
+            println!(
+                "vopr: canary {:<28} {} in {} seed(s)",
+                c.name,
+                if c.caught { "caught" } else { "MISSED" },
+                c.attempts,
+            );
+        }
+        println!(
+            "vopr: canary-mutation score {:.2}",
+            report.canary_score().unwrap_or(0.0)
+        );
+    }
+
+    for v in &report.violations {
+        eprintln!("vopr: FAIL {v}");
+        eprintln!("vopr:   repro: {}", repro_line(v.seed));
+    }
+
+    if let Some(path) = report_path {
+        if let Err(e) = std::fs::write(&path, report.to_json()) {
+            eprintln!("vopr: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("vopr: wrote {path}");
+    }
+
+    let failed = report.failed_gates();
+    if failed.is_empty() {
+        println!("vopr: PASS");
+        ExitCode::SUCCESS
+    } else {
+        for gate in &failed {
+            eprintln!("vopr: GATE FAILED: {gate}");
+        }
+        if let Some(&seed) = report.seeds.first() {
+            eprintln!("vopr: repro: {}", repro_line(seed));
+        }
+        ExitCode::FAILURE
+    }
+}
+
+fn usage(error: &str) -> ExitCode {
+    if !error.is_empty() {
+        eprintln!("vopr: {error}");
+    }
+    eprintln!("usage: vopr [--profile pr|nightly|quick] [--seed N] [-v] [--report PATH]");
+    if error.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,79 @@
+//! The event journal: a running FNV-1a 64 hash over every observable
+//! event of a VOPR run (frame outcomes, watermarks, window closes,
+//! report fingerprints). Two runs of the same seed are *defined* as
+//! deterministic iff their journal hashes and event counts are equal —
+//! the hash is the whole history compressed to one comparable word, so
+//! the determinism gate costs one `u64` comparison instead of a
+//! transcript diff.
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// An append-only event hash. Recording is infallible and allocation
+/// free; the journal never stores the lines themselves (the verbose
+/// log, when requested, is kept separately by the driver).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Journal {
+    hash: u64,
+    events: u64,
+}
+
+impl Default for Journal {
+    fn default() -> Journal {
+        Journal::new()
+    }
+}
+
+impl Journal {
+    pub fn new() -> Journal {
+        Journal { hash: FNV_OFFSET, events: 0 }
+    }
+
+    /// Fold one event line into the hash. A newline separator is mixed
+    /// in after the payload so `"ab" + "c"` and `"a" + "bc"` diverge.
+    pub fn record(&mut self, line: &str) {
+        for &byte in line.as_bytes() {
+            self.hash ^= u64::from(byte);
+            self.hash = self.hash.wrapping_mul(FNV_PRIME);
+        }
+        self.hash ^= u64::from(b'\n');
+        self.hash = self.hash.wrapping_mul(FNV_PRIME);
+        self.events += 1;
+    }
+
+    pub fn hash(&self) -> u64 {
+        self.hash
+    }
+
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_histories_hash_identically() {
+        let mut a = Journal::new();
+        let mut b = Journal::new();
+        for line in ["frame rank=0 -> admitted", "close [0..10)"] {
+            a.record(line);
+            b.record(line);
+        }
+        assert_eq!(a, b);
+        assert_eq!(a.events(), 2);
+    }
+
+    #[test]
+    fn boundary_shifts_change_the_hash() {
+        let mut a = Journal::new();
+        a.record("ab");
+        a.record("c");
+        let mut b = Journal::new();
+        b.record("a");
+        b.record("bc");
+        assert_ne!(a.hash(), b.hash());
+    }
+}
