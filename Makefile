@@ -26,15 +26,23 @@ check:
 	$(CARGO) run --release $(OFFLINE) -p vapro-bench --bin fleet_perf
 	$(MAKE) vopr
 
-# Workspace static analysis (R1 no-hot-path-clone, R2 no-panic-decode,
-# R3 float-hygiene; see DESIGN.md §10). Fails on any unwaived finding or
-# on a waiver-count increase over the committed LINT_report.json.
+# Workspace static analysis: per-body rules (R1 no-hot-path-clone,
+# R2 no-panic-decode, R3 float-hygiene, R4 reserve-before-push) plus the
+# call-graph rules (R5 transitive panic-freedom, R6 transitive hot-path
+# allocation, R7 lock hygiene); see DESIGN.md §10 and §15. Fails on any
+# unwaived finding or on a per-rule waiver-count increase over the
+# committed LINT_report.json. Unchanged files are served from the
+# content-hash cache; SARIF goes next to it for code-scanning upload.
 lint:
-	$(CARGO) run --release $(OFFLINE) -q -p vapro-lint -- --root . --report LINT_report.json
+	$(CARGO) run --release $(OFFLINE) -q -p vapro-lint -- --root . \
+		--report LINT_report.json --cache target/vapro-lint-cache.tsv \
+		--sarif target/vapro-lint.sarif
 
 # Deliberately accept a larger waiver budget (rewrites LINT_report.json).
 lint-accept:
-	$(CARGO) run --release $(OFFLINE) -q -p vapro-lint -- --root . --report LINT_report.json --accept-waivers
+	$(CARGO) run --release $(OFFLINE) -q -p vapro-lint -- --root . \
+		--report LINT_report.json --cache target/vapro-lint-cache.tsv \
+		--sarif target/vapro-lint.sarif --accept-waivers
 
 # Bounded Miri pass over the wire-codec property tests (UB check on the
 # byte-level decode paths). Skips when the miri component is not

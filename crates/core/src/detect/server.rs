@@ -571,15 +571,22 @@ impl IngestArena {
     }
 
     /// Absorb one decoded batch, *moving* its fragments into the pools.
+    ///
+    /// Group label ids are re-checked against the batch's own label
+    /// table: the binary decoder validates them (`check_label`), but the
+    /// JSON fallback deserialises `FragmentBatch` structurally, so an
+    /// out-of-range id can arrive here. Such groups are dropped — a
+    /// malformed monitoring batch must never panic the ingest plane.
     pub fn push_batch(&mut self, batch: FragmentBatch) {
         let FragmentBatch { labels, vertex_groups, edge_groups, .. } = batch;
         let ids: Vec<usize> = labels.iter().map(|l| self.key_id(l)).collect();
         for g in vertex_groups {
-            if !self.vertex_pools.contains_key(&ids[g.label as usize]) {
+            let Some(&id) = ids.get(g.label as usize) else { continue };
+            if !self.vertex_pools.contains_key(&id) {
                 let recycled = self.recycled_pool();
-                self.vertex_pools.insert(ids[g.label as usize], recycled);
+                self.vertex_pools.insert(id, recycled);
             }
-            if let Some(pool) = self.vertex_pools.get_mut(&ids[g.label as usize]) {
+            if let Some(pool) = self.vertex_pools.get_mut(&id) {
                 Self::absorb(
                     pool,
                     g.fragments,
@@ -590,7 +597,12 @@ impl IngestArena {
             }
         }
         for g in edge_groups {
-            let key = (ids[g.from as usize], ids[g.to as usize]);
+            let (Some(&from), Some(&to)) =
+                (ids.get(g.from as usize), ids.get(g.to as usize))
+            else {
+                continue;
+            };
+            let key = (from, to);
             if !self.edge_pools.contains_key(&key) {
                 let recycled = self.recycled_pool();
                 self.edge_pools.insert(key, recycled);
@@ -697,6 +709,7 @@ impl IngestArena {
             let mut kept = 0;
             let mut kept_sorted = 0;
             for i in 0..pool.frags.len() {
+                // vapro-lint: allow(R5, i ranges over 0..len and swap targets kept <= i)
                 if pool.frags[i].end.ns() > horizon_ns {
                     pool.frags.swap(kept, i);
                     if i < pool.sorted_len {
@@ -706,6 +719,7 @@ impl IngestArena {
                 } else {
                     *fragments = fragments.saturating_sub(1);
                     *resident_bytes =
+                        // vapro-lint: allow(R5, i ranges over 0..len; kept branch above keeps it valid)
                         resident_bytes.saturating_sub(fragment_resident_bytes(&pool.frags[i]));
                 }
             }
@@ -759,12 +773,15 @@ impl IngestArena {
             if pool.sorted_len == n {
                 continue;
             }
+            // vapro-lint: allow(R5, sorted_len <= frags.len() is the pool invariant)
             pool.frags[pool.sorted_len..].sort_unstable_by(fragment_order);
             // The tail often starts past the prefix outright (in-order
             // shipping); then the concatenation is already sorted.
             let boundary_ok = pool.sorted_len == 0
                 || fragment_order(
+                    // vapro-lint: allow(R5, guarded by sorted_len > 0 and sorted_len < len on this branch)
                     &pool.frags[pool.sorted_len - 1],
+                    // vapro-lint: allow(R5, sorted_len < len whenever the prefix check ran)
                     &pool.frags[pool.sorted_len],
                 ) != std::cmp::Ordering::Greater;
             if !boundary_ok {
@@ -830,6 +847,7 @@ impl IngestArena {
         for (&id, pool) in &self.vertex_pools {
             let kept = collect(pool, window, &mut dirty);
             if !kept.is_empty() {
+                // vapro-lint: allow(R5, pool ids are issued by key_id and index keys by construction)
                 vertices.push((symbols.intern(&self.keys[id]), kept));
             }
         }
@@ -838,6 +856,7 @@ impl IngestArena {
             let kept = collect(pool, window, &mut dirty);
             if !kept.is_empty() {
                 edges.push((
+                    // vapro-lint: allow(R5, edge-pool keys are issued by key_id and index keys by construction)
                     (symbols.intern(&self.keys[from]), symbols.intern(&self.keys[to])),
                     kept,
                 ));
@@ -945,8 +964,11 @@ impl WindowedIngestor {
     /// A fresh ingestor analysing windows of `cfg.report_period` for a
     /// population of `nranks` clients.
     pub fn new(nranks: usize, bins_per_window: usize, cfg: VaproConfig) -> WindowedIngestor {
+        // vapro-lint: allow(R5, fail-fast constructor contract on operator config, before any ingest)
         assert!(cfg.report_period.ns() > 0, "zero analysis period");
+        // vapro-lint: allow(R5, fail-fast constructor contract on operator config, before any ingest)
         assert!(nranks > 0, "need at least one client");
+        // vapro-lint: allow(R5, fail-fast constructor contract on operator config, before any ingest)
         assert!(cfg.is_valid(), "invalid config (check fault horizons)");
         WindowedIngestor {
             arena: IngestArena::new(),

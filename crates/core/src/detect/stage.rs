@@ -138,6 +138,7 @@ impl AnalysisStage {
         bins: usize,
         scratch: Arc<Mutex<Vec<ColumnarPool>>>,
     ) -> AnalysisStage {
+        // vapro-lint: allow(R5, crate-internal constructor contract; callers gate on depth > 0)
         debug_assert!(depth > 0, "depth 0 means the inline path, not a stage");
         let shared = Arc::new(StageShared {
             state: Mutex::new(StageState::default()),
@@ -154,6 +155,7 @@ impl AnalysisStage {
                 std::thread::Builder::new()
                     .name(format!("vapro-stage-{i}"))
                     .spawn(move || worker_loop(&shared))
+                    // vapro-lint: allow(R5, thread-spawn failure is unrecoverable resource exhaustion at startup)
                     .expect("spawn analysis stage worker")
             })
             .collect();

@@ -117,23 +117,31 @@ pub mod crc32 {
 
     static TABLES: [[u32; 256]; 8] = build_tables();
 
+    /// One slicing-table lookup with both indices masked into range.
+    #[inline]
+    fn tab(t: usize, b: u64) -> u32 {
+        // vapro-lint: allow(R5, mask-bounded lookup: t & 7 < 8 and b & 0xFF < 256)
+        TABLES[t & 7][(b & 0xFF) as usize]
+    }
+
     /// Checksum of `bytes`.
     pub fn checksum(bytes: &[u8]) -> u32 {
         let mut crc = !0u32;
         let mut chunks = bytes.chunks_exact(8);
         for chunk in &mut chunks {
+            // vapro-lint: allow(R5, chunks_exact(8) yields exactly 8 bytes)
             let v = u64::from_le_bytes(chunk.try_into().expect("8 bytes")) ^ crc as u64;
-            crc = TABLES[7][(v & 0xFF) as usize]
-                ^ TABLES[6][((v >> 8) & 0xFF) as usize]
-                ^ TABLES[5][((v >> 16) & 0xFF) as usize]
-                ^ TABLES[4][((v >> 24) & 0xFF) as usize]
-                ^ TABLES[3][((v >> 32) & 0xFF) as usize]
-                ^ TABLES[2][((v >> 40) & 0xFF) as usize]
-                ^ TABLES[1][((v >> 48) & 0xFF) as usize]
-                ^ TABLES[0][(v >> 56) as usize];
+            crc = tab(7, v)
+                ^ tab(6, v >> 8)
+                ^ tab(5, v >> 16)
+                ^ tab(4, v >> 24)
+                ^ tab(3, v >> 32)
+                ^ tab(2, v >> 40)
+                ^ tab(1, v >> 48)
+                ^ tab(0, v >> 56);
         }
         for &b in chunks.remainder() {
-            crc = TABLES[0][((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+            crc = tab(0, (crc ^ b as u32) as u64) ^ (crc >> 8);
         }
         !crc
     }
@@ -386,10 +394,7 @@ struct Reader<'a> {
 
 impl<'a> Reader<'a> {
     fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
-        if self.buf.len() < n {
-            return Err(WireError::Truncated);
-        }
-        let (head, tail) = self.buf.split_at(n);
+        let (head, tail) = self.buf.split_at_checked(n).ok_or(WireError::Truncated)?;
         self.buf = tail;
         Ok(head)
     }
@@ -984,7 +989,12 @@ pub fn decode_stream(bytes: &[u8]) -> impl Iterator<Item = Result<FragmentBatch,
 /// ever seen, however many batches, windows or arenas are processed.
 pub fn leak_label(label: &str) -> &'static str {
     static LABELS: OnceLock<Mutex<HashSet<&'static str>>> = OnceLock::new();
-    let mut set = LABELS.get_or_init(Default::default).lock().expect("label interner");
+    // A panicking holder can only have been between `get` and `insert`;
+    // both leave the set coherent, so the poisoned state is usable.
+    let mut set = LABELS
+        .get_or_init(Default::default)
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     match set.get(label) {
         Some(&leaked) => leaked,
         None => {

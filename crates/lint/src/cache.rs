@@ -1,0 +1,464 @@
+//! Per-file result caching keyed by content hash.
+//!
+//! A cache entry stores everything `scan_file_deferred` produces for one
+//! file — local findings, the waiver table, and the item index — so an
+//! unchanged file skips lexing and extraction entirely on the next run.
+//! The key is FNV-1a over the file bytes; the whole cache is salted with
+//! a schema version and a fingerprint of the active `LintConfig`, so a
+//! rule-scope change invalidates every entry at once. The global
+//! call-graph phase is always recomputed: it is cheap relative to
+//! lexing, and its inputs span files.
+//!
+//! The format is a line-oriented, tab-separated text file (hand-rolled:
+//! the lint crate stays serde-free). Unreadable or version-mismatched
+//! caches are silently treated as empty — the cache can only make the
+//! run faster, never change its result.
+
+use std::collections::HashMap;
+use std::fs;
+use std::path::Path;
+
+use crate::items::{CallSite, FieldDef, FnItem, LockRegion, Recv, Site};
+use crate::rules::{FileScan, Finding, LintConfig, Waiver};
+
+/// Bump when the serialized shape changes.
+const VERSION: &str = "vapro-lint-cache/2";
+
+/// FNV-1a over arbitrary bytes — same construction the fleet router
+/// uses for shard keys.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Salt derived from the rule configuration: any scope change must miss.
+pub fn config_fingerprint(cfg: &LintConfig) -> u64 {
+    fnv1a(format!("{cfg:?}").as_bytes())
+}
+
+#[derive(Default)]
+pub struct Cache {
+    entries: HashMap<(String, u64), FileScan>,
+    pub hits: usize,
+    pub misses: usize,
+}
+
+impl Cache {
+    /// Load a cache written by [`Cache::store`]. Anything unexpected —
+    /// missing file, stale version, wrong config salt, torn write —
+    /// yields an empty cache.
+    pub(crate) fn load(path: &Path, cfg: &LintConfig) -> Cache {
+        let Ok(text) = fs::read_to_string(path) else { return Cache::default() };
+        let mut lines = text.lines();
+        let expected = format!("{VERSION}\t{:016x}", config_fingerprint(cfg));
+        if lines.next() != Some(expected.as_str()) {
+            return Cache::default();
+        }
+        let mut cache = Cache::default();
+        let mut cur: Option<((String, u64), FileScan)> = None;
+        for line in lines {
+            let fields: Vec<String> = decode_fields(line);
+            let Some(tag) = fields.first() else { continue };
+            if tag == "FILE" {
+                if let Some(entry) = cur.take() {
+                    cache.entries.insert(entry.0, entry.1);
+                }
+                let (Some(rel), Some(hash)) = (fields.get(1), fields.get(2)) else {
+                    return Cache::default();
+                };
+                let Ok(hash) = u64::from_str_radix(hash, 16) else {
+                    return Cache::default();
+                };
+                cur = Some(((rel.clone(), hash), FileScan::default()));
+                continue;
+            }
+            let Some((_, scan)) = cur.as_mut() else { return Cache::default() };
+            if !decode_record(tag, &fields, scan) {
+                return Cache::default();
+            }
+        }
+        if let Some(entry) = cur.take() {
+            cache.entries.insert(entry.0, entry.1);
+        }
+        cache
+    }
+
+    pub(crate) fn get(&mut self, rel: &str, hash: u64) -> Option<FileScan> {
+        match self.entries.get(&(rel.to_string(), hash)) {
+            Some(scan) => {
+                self.hits += 1;
+                Some(scan.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Write the cache for the given scans (pairs of `(rel, hash)` keys
+    /// and their results). Failures are ignored: a read-only target
+    /// directory costs speed, not correctness.
+    pub(crate) fn store(path: &Path, cfg: &LintConfig, scans: &[((String, u64), &FileScan)]) {
+        let mut out = String::new();
+        out.push_str(&format!("{VERSION}\t{:016x}\n", config_fingerprint(cfg)));
+        for ((rel, hash), scan) in scans {
+            encode_line(&mut out, &["FILE", rel, &format!("{hash:016x}")]);
+            encode_scan(&mut out, scan);
+        }
+        if let Some(parent) = path.parent() {
+            let _ = fs::create_dir_all(parent);
+        }
+        let _ = fs::write(path, out);
+    }
+}
+
+fn encode_scan(out: &mut String, scan: &FileScan) {
+    for f in &scan.findings {
+        encode_line(
+            out,
+            &[
+                "FIND",
+                &f.rule,
+                &f.file,
+                &f.line.to_string(),
+                f.waived.as_deref().unwrap_or("\u{1}"),
+                &f.message,
+            ],
+        );
+    }
+    for w in &scan.waivers {
+        encode_line(
+            out,
+            &[
+                "WAIV",
+                &w.rule,
+                &w.line.to_string(),
+                &w.target.map(|t| t.to_string()).unwrap_or_else(|| "-".into()),
+                if w.used { "1" } else { "0" },
+                if w.forbidden { "1" } else { "0" },
+                &w.reason,
+            ],
+        );
+    }
+    for fd in &scan.index.fields {
+        encode_line(out, &["FIELD", &fd.owner, &fd.field, &fd.ty]);
+    }
+    for (name, target) in &scan.index.aliases {
+        encode_line(out, &["ALIAS", name, target]);
+    }
+    for f in &scan.index.fns {
+        encode_line(
+            out,
+            &[
+                "FN",
+                &f.name,
+                f.impl_type.as_deref().unwrap_or("\u{1}"),
+                &f.line.to_string(),
+                if f.test { "1" } else { "0" },
+                if f.reserves { "1" } else { "0" },
+            ],
+        );
+        for (n, t) in &f.locals {
+            encode_line(out, &["LOCAL", n, t]);
+        }
+        for c in &f.calls {
+            encode_call(out, "CALL", c);
+        }
+        for s in &f.panic_sites {
+            encode_line(out, &["PANIC", &s.line.to_string(), &s.what]);
+        }
+        for s in &f.alloc_sites {
+            encode_line(out, &["ALLOC", &s.line.to_string(), &s.what]);
+        }
+        for s in &f.push_loops {
+            encode_line(out, &["PUSHL", &s.line.to_string(), &s.what]);
+        }
+        for r in &f.lock_regions {
+            encode_line(out, &["REGION", &r.lock_id, &r.line.to_string()]);
+            for c in &r.calls {
+                encode_call(out, "RCALL", c);
+            }
+            for s in &r.rayon_sites {
+                encode_line(out, &["RRAY", &s.line.to_string(), &s.what]);
+            }
+            for s in &r.send_sites {
+                encode_line(out, &["RSEND", &s.line.to_string(), &s.what]);
+            }
+            for (id, line) in &r.nested_locks {
+                encode_line(out, &["RNEST", id, &line.to_string()]);
+            }
+        }
+    }
+}
+
+fn encode_call(out: &mut String, tag: &str, c: &CallSite) {
+    let (kind, detail) = match &c.recv {
+        Recv::Free { qualifier } => ("free", qualifier.clone().unwrap_or_else(|| "\u{1}".into())),
+        Recv::Chain(chain) => ("chain", chain.join("\u{2}")),
+        Recv::Opaque => ("opaque", String::new()),
+        Recv::FnRef => ("fnref", String::new()),
+    };
+    encode_line(out, &[tag, &c.line.to_string(), &c.callee, kind, &detail]);
+}
+
+/// Apply one record line to the in-progress scan. Returns false on any
+/// malformed record (the whole cache is then discarded).
+fn decode_record(tag: &str, fields: &[String], scan: &mut FileScan) -> bool {
+    let get = |i: usize| fields.get(i).map(|s| s.as_str());
+    let num = |i: usize| get(i).and_then(|s| s.parse::<u32>().ok());
+    let flag = |i: usize| get(i) == Some("1");
+    let opt = |i: usize| match get(i) {
+        Some("\u{1}") | None => None,
+        Some(s) => Some(s.to_string()),
+    };
+    match tag {
+        "FIND" => {
+            let (Some(rule), Some(file), Some(line), Some(message)) =
+                (get(1), get(2), num(3), get(5))
+            else {
+                return false;
+            };
+            scan.findings.push(Finding {
+                rule: rule.into(),
+                file: file.into(),
+                line,
+                message: message.into(),
+                waived: opt(4),
+            });
+        }
+        "WAIV" => {
+            let (Some(rule), Some(line), Some(target), Some(reason)) =
+                (get(1), num(2), get(3), get(6))
+            else {
+                return false;
+            };
+            scan.waivers.push(Waiver {
+                rule: rule.into(),
+                reason: reason.into(),
+                line,
+                target: if target == "-" { None } else { target.parse().ok() },
+                used: flag(4),
+                forbidden: flag(5),
+            });
+        }
+        "FIELD" => {
+            let (Some(owner), Some(field), Some(ty)) = (get(1), get(2), get(3)) else {
+                return false;
+            };
+            scan.index.fields.push(FieldDef {
+                owner: owner.into(),
+                field: field.into(),
+                ty: ty.into(),
+            });
+        }
+        "ALIAS" => {
+            let (Some(name), Some(target)) = (get(1), get(2)) else { return false };
+            scan.index.aliases.push((name.into(), target.into()));
+        }
+        "FN" => {
+            let (Some(name), Some(line)) = (get(1), num(3)) else { return false };
+            scan.index.fns.push(FnItem {
+                name: name.into(),
+                impl_type: opt(2),
+                line,
+                test: flag(4),
+                reserves: flag(5),
+                ..FnItem::default()
+            });
+        }
+        "LOCAL" | "CALL" | "PANIC" | "ALLOC" | "PUSHL" | "REGION" => {
+            let Some(f) = scan.index.fns.last_mut() else { return false };
+            match tag {
+                "LOCAL" => {
+                    let (Some(n), Some(t)) = (get(1), get(2)) else { return false };
+                    f.locals.push((n.into(), t.into()));
+                }
+                "CALL" => match decode_call(fields) {
+                    Some(c) => f.calls.push(c),
+                    None => return false,
+                },
+                "PANIC" | "ALLOC" | "PUSHL" => {
+                    let (Some(line), Some(what)) = (num(1), get(2)) else { return false };
+                    let site = Site { line, what: what.into() };
+                    match tag {
+                        "PANIC" => f.panic_sites.push(site),
+                        "ALLOC" => f.alloc_sites.push(site),
+                        _ => f.push_loops.push(site),
+                    }
+                }
+                _ => {
+                    let (Some(id), Some(line)) = (get(1), num(2)) else { return false };
+                    f.lock_regions.push(LockRegion {
+                        lock_id: id.into(),
+                        line,
+                        ..LockRegion::default()
+                    });
+                }
+            }
+        }
+        "RCALL" | "RRAY" | "RSEND" | "RNEST" => {
+            let Some(r) = scan
+                .index
+                .fns
+                .last_mut()
+                .and_then(|f| f.lock_regions.last_mut())
+            else {
+                return false;
+            };
+            match tag {
+                "RCALL" => match decode_call(fields) {
+                    Some(c) => r.calls.push(c),
+                    None => return false,
+                },
+                "RNEST" => {
+                    let (Some(id), Some(line)) = (get(1), num(2)) else { return false };
+                    r.nested_locks.push((id.into(), line));
+                }
+                _ => {
+                    let (Some(line), Some(what)) = (num(1), get(2)) else { return false };
+                    let site = Site { line, what: what.into() };
+                    if tag == "RRAY" {
+                        r.rayon_sites.push(site);
+                    } else {
+                        r.send_sites.push(site);
+                    }
+                }
+            }
+        }
+        _ => return false,
+    }
+    true
+}
+
+fn decode_call(fields: &[String]) -> Option<CallSite> {
+    let line: u32 = fields.get(1)?.parse().ok()?;
+    let callee = fields.get(2)?.clone();
+    let recv = match fields.get(3)?.as_str() {
+        "free" => Recv::Free {
+            qualifier: match fields.get(4).map(|s| s.as_str()) {
+                Some("\u{1}") | None => None,
+                Some(q) => Some(q.to_string()),
+            },
+        },
+        "chain" => Recv::Chain(
+            fields.get(4)?.split('\u{2}').map(|s| s.to_string()).collect(),
+        ),
+        "opaque" => Recv::Opaque,
+        "fnref" => Recv::FnRef,
+        _ => return None,
+    };
+    Some(CallSite { callee, recv, line })
+}
+
+fn encode_line(out: &mut String, fields: &[&str]) {
+    for (i, f) in fields.iter().enumerate() {
+        if i > 0 {
+            out.push('\t');
+        }
+        for c in f.chars() {
+            match c {
+                '\\' => out.push_str("\\\\"),
+                '\t' => out.push_str("\\t"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                c => out.push(c),
+            }
+        }
+    }
+    out.push('\n');
+}
+
+fn decode_fields(line: &str) -> Vec<String> {
+    let mut fields = vec![String::new()];
+    let mut chars = line.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '\t' => fields.push(String::new()),
+            '\\' => {
+                let Some(f) = fields.last_mut() else { break };
+                match chars.next() {
+                    Some('t') => f.push('\t'),
+                    Some('n') => f.push('\n'),
+                    Some('r') => f.push('\r'),
+                    Some('\\') => f.push('\\'),
+                    Some(other) => f.push(other),
+                    None => {}
+                }
+            }
+            c => {
+                if let Some(f) = fields.last_mut() {
+                    f.push(c);
+                }
+            }
+        }
+    }
+    fields
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::scan_file_deferred;
+
+    #[test]
+    fn round_trips_a_real_scan() {
+        let src = "
+            struct S { inner: Vec<u32>, m: Mutex<u32> }
+            impl S {
+                fn f(&self, n: usize) {
+                    let mut out = Vec::new();
+                    for i in 0..n { out.push(i); }
+                    let g = self.m.lock();
+                    helper(n); // vapro-lint: allow(R7, test waiver)
+                    drop(g);
+                    self.inner.clone();
+                }
+            }
+            fn helper(_n: usize) {}
+        ";
+        let cfg = LintConfig {
+            r1_files: vec!["s.rs".into()],
+            ..LintConfig::default()
+        };
+        let scan = scan_file_deferred("s.rs", src, &cfg);
+        let dir = std::env::temp_dir().join("vapro-lint-cache-test");
+        let path = dir.join("cache.tsv");
+        let key = ("s.rs".to_string(), fnv1a(src.as_bytes()));
+        Cache::store(&path, &cfg, &[(key.clone(), &scan)]);
+        let mut loaded = Cache::load(&path, &cfg);
+        let hit = loaded.get("s.rs", key.1).expect("cache hit");
+        assert_eq!(hit.findings, scan.findings);
+        assert_eq!(hit.waivers, scan.waivers);
+        assert_eq!(hit.index.fields, scan.index.fields);
+        assert_eq!(hit.index.fns.len(), scan.index.fns.len());
+        let (a, b) = (&hit.index.fns[0], &scan.index.fns[0]);
+        assert_eq!(a.calls, b.calls);
+        assert_eq!(a.lock_regions.len(), b.lock_regions.len());
+        assert_eq!(a.lock_regions[0].calls, b.lock_regions[0].calls);
+        assert_eq!(a.push_loops, b.push_loops);
+        // Wrong config salt must miss.
+        let other = LintConfig::default();
+        let mut stale = Cache::load(&path, &other);
+        assert!(stale.get("s.rs", key.1).is_none());
+    }
+
+    #[test]
+    fn corrupt_cache_is_empty_not_fatal() {
+        let dir = std::env::temp_dir().join("vapro-lint-cache-test2");
+        let path = dir.join("cache.tsv");
+        let _ = std::fs::create_dir_all(&dir);
+        let cfg = LintConfig::default();
+        std::fs::write(
+            &path,
+            format!("{VERSION}\t{:016x}\nGARBAGE\trecord\n", config_fingerprint(&cfg)),
+        )
+        .unwrap();
+        let mut c = Cache::load(&path, &cfg);
+        assert!(c.get("x.rs", 1).is_none());
+    }
+}

@@ -5,25 +5,64 @@
 //! counters) and no panics on hostile wire bytes (byte-mutation
 //! proptests). This crate re-states both as *source-level* rules that
 //! every future change is checked against, plus a float-hygiene rule for
-//! the numeric code. See `rules` for the rule definitions and the
-//! waiver grammar, `report` for the `LINT_report.json` budget format.
+//! the numeric code. See `rules` for the per-body rule definitions and
+//! the waiver grammar, `items`/`callgraph` for the whole-workspace item
+//! index and conservative call graph behind the transitive rules
+//! (R5 panic-freedom, R6 hot-path allocation, R7 lock hygiene),
+//! `report` for the `LINT_report.json` budget format, `sarif` for the
+//! code-scanning output, and `cache` for the content-hash result cache.
 //!
 //! The pass is built on a small self-contained lexer rather than `syn`:
 //! the workspace builds fully offline against vendored stubs, and the
 //! rules only need token patterns plus function-scope attribution, which
 //! `lexer` + `analyze` provide exactly (strings, comments, lifetimes and
 //! nested block comments are handled; a banned token spelled inside a
-//! string can never fire).
+//! string can never fire). Per-file scans run in parallel on the
+//! vendored rayon pool; the call-graph phase is global and sequential.
 
 pub mod analyze;
+pub mod cache;
+pub mod callgraph;
+pub mod items;
 pub mod lexer;
 pub mod report;
 pub mod rules;
+pub mod sarif;
 
+use std::collections::HashMap;
 use std::fs;
 use std::path::{Path, PathBuf};
 
-use rules::{Finding, FnScope, LintConfig};
+use rayon::prelude::*;
+
+pub use callgraph::{EntryStat, Hop};
+use rules::{FileScan, Finding, FnScope, LintConfig};
+
+/// One finding plus (for transitive rules) the call path from the entry
+/// point to the function containing the site.
+#[derive(Debug, Clone)]
+pub struct ReportFinding {
+    pub finding: Finding,
+    pub path: Vec<Hop>,
+}
+
+/// Everything one workspace run produced.
+#[derive(Debug, Clone, Default)]
+pub struct WorkspaceReport {
+    pub findings: Vec<ReportFinding>,
+    /// Per-entry-point reachability + finding counts (R5/R6).
+    pub entries: Vec<EntryLine>,
+    pub files_scanned: usize,
+    pub cache_hits: usize,
+}
+
+/// An [`EntryStat`] with waiver-resolved finding counts.
+#[derive(Debug, Clone)]
+pub struct EntryLine {
+    pub stat: EntryStat,
+    pub unwaived: usize,
+    pub waived: usize,
+}
 
 /// The checked-in rule scope for this workspace.
 ///
@@ -39,12 +78,27 @@ use rules::{Finding, FnScope, LintConfig};
 /// * `wire.rs` accepts no waivers in its R2 scope at all: the decode
 ///   path must be structurally total.
 /// * R3 covers normalization, heatmap, region ranking and clustering —
-///   everywhere a float ordering decides detection output.
+///   everywhere a float ordering decides detection output — plus the
+///   `crates/stats` estimators and the bench variance gates
+///   (noise-fraction and trend comparisons), where a NaN comparison
+///   silently corrupts a CI verdict.
 /// * R4 covers the lane-building modules (`columnar.rs`,
 ///   `clustering.rs`) and the pipelined analysis stage
 ///   (`detect/stage.rs`, whose reorder buffer and worker queues sit on
 ///   the per-window hot path): per-element pushes in loops must be
 ///   preceded by a capacity reservation somewhere in the same function.
+/// * R5 extends R2's panic-freedom *transitively*: the wire-decode,
+///   server-admission, fleet-routing and VOPR-oracle entry points must
+///   be panic-free across their whole reachable call trees. The walk
+///   stops at the sealed-data frontier (`analyze_view_columnar`,
+///   `refill_from_merged`): past admission, data is validated and the
+///   analysis tree is covered dynamically by chaos/VOPR/soak instead.
+/// * R6 extends R1/R4 along the steady-state window-close tree rooted
+///   at `close_ready`; files already under per-body R1/R4 budgets are
+///   skipped so one allocation never needs two waivers.
+/// * R7 applies workspace-wide: no lock guard held across a rayon
+///   region, a channel send, or a call into another lock-taking
+///   function, and no lock-order cycles.
 pub fn workspace_config() -> LintConfig {
     let wire_fns = [
         "take",
@@ -84,42 +138,60 @@ pub fn workspace_config() -> LintConfig {
         file: "crates/core/src/wire.rs".into(),
         funcs: wire_fns.iter().map(|s| s.to_string()).collect(),
     };
+    let server_scope = FnScope {
+        file: "crates/core/src/detect/server.rs".into(),
+        funcs: server_fns.iter().map(|s| s.to_string()).collect(),
+    };
+    let fleet_scope = FnScope {
+        file: "crates/core/src/fleet.rs".into(),
+        funcs: fleet_fns.iter().map(|s| s.to_string()).collect(),
+    };
+    let vopr_scope = FnScope {
+        file: "crates/vopr/src/model.rs".into(),
+        funcs: vopr_model_fns.iter().map(|s| s.to_string()).collect(),
+    };
+    let r1_files = vec![
+        "crates/core/src/detect/".to_string(),
+        "crates/core/src/diagnose/".to_string(),
+        "crates/core/src/wire.rs".to_string(),
+        "crates/core/src/clustering.rs".to_string(),
+        "crates/core/src/columnar.rs".to_string(),
+    ];
+    let r4_files = vec![
+        "crates/core/src/columnar.rs".to_string(),
+        "crates/core/src/clustering.rs".to_string(),
+        "crates/core/src/detect/stage.rs".to_string(),
+    ];
+    let mut r6_budgeted = r1_files.clone();
+    r6_budgeted.extend(r4_files.iter().cloned());
     LintConfig {
-        r1_files: vec![
-            "crates/core/src/detect/".into(),
-            "crates/core/src/diagnose/".into(),
-            "crates/core/src/wire.rs".into(),
-            "crates/core/src/clustering.rs".into(),
-            "crates/core/src/columnar.rs".into(),
-        ],
+        r1_files,
         r2_scopes: vec![
             wire_scope.clone(),
-            FnScope {
-                file: "crates/core/src/detect/server.rs".into(),
-                funcs: server_fns.iter().map(|s| s.to_string()).collect(),
-            },
-            FnScope {
-                file: "crates/core/src/fleet.rs".into(),
-                funcs: fleet_fns.iter().map(|s| s.to_string()).collect(),
-            },
-            FnScope {
-                file: "crates/vopr/src/model.rs".into(),
-                funcs: vopr_model_fns.iter().map(|s| s.to_string()).collect(),
-            },
+            server_scope.clone(),
+            fleet_scope.clone(),
+            vopr_scope.clone(),
         ],
-        r2_arith: vec![wire_scope],
+        r2_arith: vec![wire_scope.clone()],
         r2_no_waiver_files: vec!["crates/core/src/wire.rs".into()],
         r3_files: vec![
             "crates/core/src/detect/normalize.rs".into(),
             "crates/core/src/detect/heatmap.rs".into(),
             "crates/core/src/detect/region.rs".into(),
             "crates/core/src/clustering.rs".into(),
+            "crates/stats/src/".into(),
+            "crates/bench/src/stats.rs".into(),
+            "crates/bench/src/regression.rs".into(),
         ],
-        r4_files: vec![
-            "crates/core/src/columnar.rs".into(),
-            "crates/core/src/clustering.rs".into(),
-            "crates/core/src/detect/stage.rs".into(),
-        ],
+        r4_files,
+        r5_entries: vec![wire_scope, server_scope, fleet_scope, vopr_scope],
+        r5_frontier: vec!["analyze_view_columnar".into(), "refill_from_merged".into()],
+        r6_entries: vec![FnScope {
+            file: "crates/core/src/detect/server.rs".into(),
+            funcs: vec!["close_ready".into()],
+        }],
+        r6_budgeted_files: r6_budgeted,
+        r7_files: vec!["crates/".into()],
     }
 }
 
@@ -166,22 +238,151 @@ fn walk(dir: &Path, root: &Path, out: &mut Vec<(String, PathBuf)>) {
 }
 
 /// Scan the whole workspace rooted at `root` with the checked-in
-/// configuration. Unreadable files become `LINT` findings rather than
-/// panics.
-pub fn run_workspace(root: &Path) -> Vec<Finding> {
+/// configuration. `cache_path`, when given, is read before and written
+/// after the per-file phase. Unreadable files become `LINT` findings
+/// rather than panics.
+pub fn run_workspace_cached(root: &Path, cache_path: Option<&Path>) -> WorkspaceReport {
     let cfg = workspace_config();
-    let mut findings = Vec::new();
+    let mut meta: Vec<ReportFinding> = Vec::new();
+    let mut inputs: Vec<(String, String, u64)> = Vec::new();
     for (rel, path) in collect_sources(root) {
         match fs::read_to_string(&path) {
-            Ok(src) => findings.extend(rules::scan_file(&rel, &src, &cfg)),
-            Err(e) => findings.push(Finding {
-                rule: rules::META_RULE.into(),
-                file: rel,
-                line: 0,
-                message: format!("unreadable source file: {e}"),
-                waived: None,
+            Ok(src) => {
+                let hash = cache::fnv1a(src.as_bytes());
+                inputs.push((rel, src, hash));
+            }
+            Err(e) => meta.push(ReportFinding {
+                finding: Finding {
+                    rule: rules::META_RULE.into(),
+                    file: rel,
+                    line: 0,
+                    message: format!("unreadable source file: {e}"),
+                    waived: None,
+                },
+                path: Vec::new(),
             }),
         }
     }
-    findings
+
+    let mut loaded = cache_path.map(|p| cache::Cache::load(p, &cfg));
+    // Pull cache hits first (sequential: the cache is one mutable map),
+    // then fan the misses out over the rayon pool.
+    let mut scans: Vec<Option<FileScan>> = Vec::with_capacity(inputs.len());
+    for (rel, _, hash) in &inputs {
+        scans.push(loaded.as_mut().and_then(|c| c.get(rel, *hash)));
+    }
+    let cache_hits = scans.iter().filter(|s| s.is_some()).count();
+    let missing: Vec<(usize, &str, &str)> = inputs
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| scans[*i].is_none())
+        .map(|(i, (rel, src, _))| (i, rel.as_str(), src.as_str()))
+        .collect();
+    let fresh: Vec<(usize, FileScan)> = missing
+        .into_par_iter()
+        .map(|(i, rel, src)| (i, rules::scan_file_deferred(rel, src, &cfg)))
+        .collect();
+    for (i, scan) in fresh {
+        scans[i] = Some(scan);
+    }
+    let keyed: Vec<((String, u64), FileScan)> = inputs
+        .into_iter()
+        .zip(scans)
+        .map(|((rel, _, hash), scan)| ((rel, hash), scan.unwrap_or_default()))
+        .collect();
+    if let Some(path) = cache_path {
+        let refs: Vec<((String, u64), &FileScan)> =
+            keyed.iter().map(|(k, s)| (k.clone(), s)).collect();
+        cache::Cache::store(path, &cfg, &refs);
+    }
+    let scans: Vec<(String, FileScan)> =
+        keyed.into_iter().map(|((rel, _), scan)| (rel, scan)).collect();
+    finish_workspace(scans, meta, &cfg, cache_hits)
+}
+
+/// Run the full pipeline over in-memory sources — used by the fixture
+/// tests for the transitive rules.
+pub fn run_files(files: &[(&str, &str)], cfg: &LintConfig) -> WorkspaceReport {
+    let scans: Vec<(String, FileScan)> = files
+        .iter()
+        .map(|(rel, src)| (rel.to_string(), rules::scan_file_deferred(rel, src, cfg)))
+        .collect();
+    finish_workspace(scans, Vec::new(), cfg, 0)
+}
+
+/// Scan the whole workspace with no cache.
+pub fn run_workspace(root: &Path) -> WorkspaceReport {
+    run_workspace_cached(root, None)
+}
+
+/// The global phase: transitive rules over the merged item index,
+/// waiver application (transitive findings may consume waivers), then
+/// unused-waiver detection.
+fn finish_workspace(
+    scans: Vec<(String, FileScan)>,
+    mut findings: Vec<ReportFinding>,
+    cfg: &LintConfig,
+    cache_hits: usize,
+) -> WorkspaceReport {
+    let files_scanned = scans.len();
+    let mut waivers: HashMap<String, Vec<rules::Waiver>> = HashMap::new();
+    let mut indexes: Vec<(String, items::FileIndex)> = Vec::with_capacity(scans.len());
+    for (rel, scan) in scans {
+        findings.extend(
+            scan.findings.into_iter().map(|finding| ReportFinding { finding, path: Vec::new() }),
+        );
+        waivers.insert(rel.clone(), scan.waivers);
+        indexes.push((rel, scan.index));
+    }
+
+    let (raws, stats) = callgraph::run_transitive(&indexes, cfg);
+    let mut entry_counts: HashMap<String, (usize, usize)> = HashMap::new();
+    for raw in raws {
+        let waived = waivers
+            .get_mut(&raw.file)
+            .and_then(|ws| rules::consume_waiver(ws, raw.rule, raw.line));
+        for entry in &raw.entries {
+            let counts = entry_counts.entry(format!("{}\u{0}{}", raw.rule, entry)).or_insert((0, 0));
+            if waived.is_some() {
+                counts.1 += 1;
+            } else {
+                counts.0 += 1;
+            }
+        }
+        findings.push(ReportFinding {
+            finding: Finding {
+                rule: raw.rule.into(),
+                file: raw.file,
+                line: raw.line,
+                message: raw.message,
+                waived,
+            },
+            path: raw.path,
+        });
+    }
+
+    for (rel, ws) in &waivers {
+        let mut extra = Vec::new();
+        rules::finish_waivers(rel, ws, &mut extra);
+        findings
+            .extend(extra.into_iter().map(|finding| ReportFinding { finding, path: Vec::new() }));
+    }
+
+    findings.sort_by(|a, b| {
+        (&a.finding.file, a.finding.line, &a.finding.rule, &a.finding.message)
+            .cmp(&(&b.finding.file, b.finding.line, &b.finding.rule, &b.finding.message))
+    });
+
+    let entries = stats
+        .into_iter()
+        .map(|stat| {
+            let (unwaived, waived) = entry_counts
+                .get(&format!("{}\u{0}{}", stat.rule, stat.entry))
+                .copied()
+                .unwrap_or((0, 0));
+            EntryLine { stat, unwaived, waived }
+        })
+        .collect();
+
+    WorkspaceReport { findings, entries, files_scanned, cache_hits }
 }

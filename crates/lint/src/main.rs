@@ -1,25 +1,36 @@
 //! `vapro-lint` driver.
 //!
-//! Usage: `vapro-lint [--root DIR] [--report FILE] [--accept-waivers]`
+//! Usage: `vapro-lint [--root DIR] [--report FILE] [--sarif FILE]
+//! [--cache FILE | --no-cache] [--accept-waivers]`
 //!
 //! Exit codes: 0 clean, 1 unwaived findings, 2 waiver budget grew
 //! without `--accept-waivers`, 3 bad invocation.
 //!
 //! The report file doubles as the committed waiver baseline: a run that
-//! passes rewrites it; a run that would *increase* the waived count
-//! fails unless the increase is explicitly accepted, so new waivers are
-//! always a reviewed, deliberate act.
+//! passes rewrites it; a run that would *increase* any rule's waived
+//! count fails unless the increase is explicitly accepted, so new
+//! waivers are always a reviewed, deliberate act. The ratchet is
+//! per-rule — an R1 decrease can no longer mask an R4 increase.
+//!
+//! `--cache` points at the content-hash result cache (default
+//! `target/vapro-lint-cache.tsv` under the root); unchanged files skip
+//! lexing and extraction. `--sarif` additionally writes a SARIF 2.1 log
+//! for code scanning.
 
 use std::fs;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use vapro_lint::report::{baseline_waived, render_json};
-use vapro_lint::run_workspace;
+use vapro_lint::report::{baseline_rule_waived, baseline_waived, render_json};
+use vapro_lint::sarif::render_sarif;
+use vapro_lint::{run_workspace_cached, WorkspaceReport};
 
 fn main() -> ExitCode {
     let mut root = PathBuf::from(".");
     let mut report_path = PathBuf::from("LINT_report.json");
+    let mut sarif_path: Option<PathBuf> = None;
+    let mut cache_path: Option<PathBuf> = None;
+    let mut no_cache = false;
     let mut accept_waivers = false;
 
     let mut args = std::env::args().skip(1);
@@ -33,45 +44,103 @@ fn main() -> ExitCode {
                 Some(v) => report_path = PathBuf::from(v),
                 None => return usage("--report needs a value"),
             },
+            "--sarif" => match args.next() {
+                Some(v) => sarif_path = Some(PathBuf::from(v)),
+                None => return usage("--sarif needs a value"),
+            },
+            "--cache" => match args.next() {
+                Some(v) => cache_path = Some(PathBuf::from(v)),
+                None => return usage("--cache needs a value"),
+            },
+            "--no-cache" => no_cache = true,
             "--accept-waivers" => accept_waivers = true,
             other => return usage(&format!("unknown argument `{other}`")),
         }
     }
-    if !report_path.is_absolute() {
-        report_path = root.join(report_path);
-    }
+    let abs = |p: PathBuf| if p.is_absolute() { p } else { root.join(p) };
+    report_path = abs(report_path);
+    sarif_path = sarif_path.map(abs);
+    let cache_path = if no_cache {
+        None
+    } else {
+        Some(abs(cache_path.unwrap_or_else(|| PathBuf::from("target/vapro-lint-cache.tsv"))))
+    };
 
-    let findings = run_workspace(&root);
-    let unwaived: Vec<_> = findings.iter().filter(|f| f.waived.is_none()).collect();
-    let waived = findings.len() - unwaived.len();
+    let report: WorkspaceReport = run_workspace_cached(&root, cache_path.as_deref());
+    let unwaived =
+        report.findings.iter().filter(|f| f.finding.waived.is_none()).count();
+    let waived = report.findings.len() - unwaived;
 
-    for f in &findings {
-        match &f.waived {
-            None => eprintln!("{}: {}:{}: {}", f.rule, f.file, f.line, f.message),
+    for f in &report.findings {
+        let fin = &f.finding;
+        match &fin.waived {
+            None => eprintln!("{}: {}:{}: {}", fin.rule, fin.file, fin.line, fin.message),
             Some(reason) => {
-                eprintln!("{}: {}:{}: waived — {}", f.rule, f.file, f.line, reason)
+                eprintln!("{}: {}:{}: waived — {}", fin.rule, fin.file, fin.line, reason)
             }
         }
     }
-    eprintln!("vapro-lint: {} unwaived, {} waived", unwaived.len(), waived);
+    for e in &report.entries {
+        eprintln!(
+            "vapro-lint: {} {}: {} reachable fns, {} unwaived, {} waived",
+            e.stat.rule, e.stat.entry, e.stat.reachable_fns, e.unwaived, e.waived
+        );
+    }
+    eprintln!(
+        "vapro-lint: {} files ({} cached), {} unwaived, {} waived",
+        report.files_scanned, report.cache_hits, unwaived, waived
+    );
 
-    if !unwaived.is_empty() {
+    if let Some(path) = &sarif_path {
+        if let Err(e) = fs::write(path, render_sarif(&report)) {
+            eprintln!("vapro-lint: cannot write {}: {e}", path.display());
+            return ExitCode::from(3);
+        }
+        eprintln!("vapro-lint: SARIF written to {}", path.display());
+    }
+
+    if unwaived > 0 {
         eprintln!("vapro-lint: FAIL (unwaived findings above)");
         return ExitCode::from(1);
     }
 
-    let baseline = fs::read_to_string(&report_path).ok().and_then(|s| baseline_waived(&s));
-    if let Some(prev) = baseline {
-        if (waived as u64) > prev && !accept_waivers {
+    // Per-rule ratchet: every rule's waived count is its own budget.
+    let baseline_text = fs::read_to_string(&report_path).ok();
+    if let Some(text) = &baseline_text {
+        let prev_rules = baseline_rule_waived(text);
+        let mut grew: Vec<String> = Vec::new();
+        let mut current: std::collections::BTreeMap<&str, u64> =
+            std::collections::BTreeMap::new();
+        for f in &report.findings {
+            if f.finding.waived.is_some() {
+                *current.entry(f.finding.rule.as_str()).or_insert(0) += 1;
+            }
+        }
+        for (rule, now) in &current {
+            let prev = prev_rules.get(*rule).copied().unwrap_or(0);
+            if *now > prev {
+                grew.push(format!("{rule} {prev} → {now}"));
+            }
+        }
+        // A baseline without a rules section still ratchets the total.
+        if prev_rules.is_empty() {
+            if let Some(prev) = baseline_waived(text) {
+                if (waived as u64) > prev {
+                    grew.push(format!("total {prev} → {waived}"));
+                }
+            }
+        }
+        if !grew.is_empty() && !accept_waivers {
             eprintln!(
-                "vapro-lint: FAIL — waiver budget grew from {prev} to {waived}; \
-                 rerun with --accept-waivers to accept the new budget"
+                "vapro-lint: FAIL — waiver budget grew ({}); \
+                 rerun with --accept-waivers to accept the new budget",
+                grew.join(", ")
             );
             return ExitCode::from(2);
         }
     }
 
-    let json = render_json(&findings);
+    let json = render_json(&report);
     if let Err(e) = fs::write(&report_path, json) {
         eprintln!("vapro-lint: cannot write {}: {e}", report_path.display());
         return ExitCode::from(3);
@@ -82,6 +151,9 @@ fn main() -> ExitCode {
 
 fn usage(err: &str) -> ExitCode {
     eprintln!("vapro-lint: {err}");
-    eprintln!("usage: vapro-lint [--root DIR] [--report FILE] [--accept-waivers]");
+    eprintln!(
+        "usage: vapro-lint [--root DIR] [--report FILE] [--sarif FILE] \
+         [--cache FILE | --no-cache] [--accept-waivers]"
+    );
     ExitCode::from(3)
 }

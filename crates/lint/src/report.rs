@@ -1,26 +1,34 @@
 //! `LINT_report.json` rendering — hand-rolled so the lint crate carries
-//! zero dependencies. The report is the reviewable waiver budget: the
-//! driver compares the `waived` count against the committed report and
-//! fails on any increase that was not explicitly accepted.
+//! zero external dependencies. The report is the reviewable waiver
+//! budget: the driver compares waived counts against the committed
+//! report — per rule, not just in total — and fails on any increase
+//! that was not explicitly accepted.
+//!
+//! Schema v2 adds an `entry_points` section (per-entry reachability and
+//! finding counts for the transitive rules) and a `path` array on
+//! transitive findings (`entry → helper → site` function names). The
+//! `rules` section keeps its v1 shape so baselines parse across the
+//! schema bump.
 
 use std::collections::BTreeMap;
 
-use crate::rules::Finding;
+use crate::{ReportFinding, WorkspaceReport};
 
-/// Render findings as stable, sorted JSON.
-pub fn render_json(findings: &[Finding]) -> String {
-    let mut sorted: Vec<&Finding> = findings.iter().collect();
+/// Render a workspace run as stable, sorted JSON.
+pub fn render_json(report: &WorkspaceReport) -> String {
+    let mut sorted: Vec<&ReportFinding> = report.findings.iter().collect();
     sorted.sort_by(|a, b| {
-        (&a.file, a.line, &a.rule, &a.message).cmp(&(&b.file, b.line, &b.rule, &b.message))
+        (&a.finding.file, a.finding.line, &a.finding.rule, &a.finding.message)
+            .cmp(&(&b.finding.file, b.finding.line, &b.finding.rule, &b.finding.message))
     });
 
-    let unwaived = sorted.iter().filter(|f| f.waived.is_none()).count();
+    let unwaived = sorted.iter().filter(|f| f.finding.waived.is_none()).count();
     let waived = sorted.len() - unwaived;
 
     let mut per_rule: BTreeMap<&str, (usize, usize)> = BTreeMap::new();
     for f in &sorted {
-        let e = per_rule.entry(f.rule.as_str()).or_insert((0, 0));
-        if f.waived.is_none() {
+        let e = per_rule.entry(f.finding.rule.as_str()).or_insert((0, 0));
+        if f.finding.waived.is_none() {
             e.0 += 1;
         } else {
             e.1 += 1;
@@ -29,7 +37,7 @@ pub fn render_json(findings: &[Finding]) -> String {
 
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"schema\": \"vapro-lint/1\",\n");
+    out.push_str("  \"schema\": \"vapro-lint/2\",\n");
     out.push_str(&format!("  \"unwaived\": {unwaived},\n"));
     out.push_str(&format!("  \"waived\": {waived},\n"));
     out.push_str("  \"rules\": {");
@@ -48,6 +56,28 @@ pub fn render_json(findings: &[Finding]) -> String {
         out.push_str("\n  ");
     }
     out.push_str("},\n");
+
+    out.push_str("  \"entry_points\": [");
+    let mut first = true;
+    for e in &report.entries {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!(
+            "\n    {{\"rule\": {}, \"entry\": {}, \"reachable_fns\": {}, \"unwaived\": {}, \"waived\": {}}}",
+            json_str(&e.stat.rule),
+            json_str(&e.stat.entry),
+            e.stat.reachable_fns,
+            e.unwaived,
+            e.waived
+        ));
+    }
+    if !report.entries.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("],\n");
+
     out.push_str("  \"findings\": [");
     let mut first = true;
     for f in &sorted {
@@ -55,17 +85,26 @@ pub fn render_json(findings: &[Finding]) -> String {
             out.push(',');
         }
         first = false;
-        let waiver = match &f.waived {
+        let waiver = match &f.finding.waived {
             Some(r) => json_str(r),
             None => "null".to_string(),
         };
+        let path = if f.path.len() > 1 {
+            format!(
+                ", \"path\": [{}]",
+                f.path.iter().map(|h| json_str(&h.func)).collect::<Vec<_>>().join(", ")
+            )
+        } else {
+            String::new()
+        };
         out.push_str(&format!(
-            "\n    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"message\": {}, \"waiver\": {}}}",
-            json_str(&f.rule),
-            json_str(&f.file),
-            f.line,
-            json_str(&f.message),
-            waiver
+            "\n    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"message\": {}, \"waiver\": {}{}}}",
+            json_str(&f.finding.rule),
+            json_str(&f.finding.file),
+            f.finding.line,
+            json_str(&f.finding.message),
+            waiver,
+            path
         ));
     }
     if !sorted.is_empty() {
@@ -85,7 +124,36 @@ pub fn baseline_waived(json: &str) -> Option<u64> {
     digits.parse().ok()
 }
 
-fn json_str(s: &str) -> String {
+/// Extract the per-rule waived counts from the `rules` section of a
+/// committed report (v1 or v2: the section shape is identical). The
+/// parse targets exactly what [`render_json`] writes; anything foreign
+/// yields an empty map, which callers treat as "no baseline".
+pub fn baseline_rule_waived(json: &str) -> BTreeMap<String, u64> {
+    let mut out = BTreeMap::new();
+    let Some(start) = json.find("\"rules\": {") else { return out };
+    let body = &json[start + "\"rules\": {".len()..];
+    // The section closes with a brace at two-space indent; the per-rule
+    // lines sit at four spaces, so this cannot match one of them.
+    let Some(end) = body.find("\n  }") else { return out };
+    for line in body[..end].lines() {
+        let line = line.trim().trim_end_matches(',');
+        // `"R1": {"unwaived": 0, "waived": 19}`
+        let Some(rest) = line.strip_prefix('"') else { continue };
+        let Some((rule, rest)) = rest.split_once('"') else { continue };
+        let Some(pos) = rest.find("\"waived\":") else { continue };
+        let digits: String = rest[pos + "\"waived\":".len()..]
+            .trim_start()
+            .chars()
+            .take_while(|c| c.is_ascii_digit())
+            .collect();
+        if let Ok(n) = digits.parse() {
+            out.insert(rule.to_string(), n);
+        }
+    }
+    out
+}
+
+pub(crate) fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -106,15 +174,24 @@ fn json_str(s: &str) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::rules::Finding;
+    use crate::Hop;
 
-    fn finding(rule: &str, file: &str, line: u32, waived: Option<&str>) -> Finding {
-        Finding {
-            rule: rule.into(),
-            file: file.into(),
-            line,
-            message: format!("msg {rule}"),
-            waived: waived.map(|s| s.into()),
+    fn finding(rule: &str, file: &str, line: u32, waived: Option<&str>) -> ReportFinding {
+        ReportFinding {
+            finding: Finding {
+                rule: rule.into(),
+                file: file.into(),
+                line,
+                message: format!("msg {rule}"),
+                waived: waived.map(|s| s.into()),
+            },
+            path: Vec::new(),
         }
+    }
+
+    fn report(findings: Vec<ReportFinding>) -> WorkspaceReport {
+        WorkspaceReport { findings, ..WorkspaceReport::default() }
     }
 
     #[test]
@@ -124,10 +201,13 @@ mod tests {
             finding("R2", "a.rs", 1, None),
             finding("R1", "a.rs", 2, Some("cold")),
         ];
-        let json = render_json(&findings);
+        let json = render_json(&report(findings));
         assert!(json.contains("\"unwaived\": 1"));
         assert!(json.contains("\"waived\": 2"));
         assert_eq!(baseline_waived(&json), Some(2));
+        let per_rule = baseline_rule_waived(&json);
+        assert_eq!(per_rule.get("R1"), Some(&2));
+        assert_eq!(per_rule.get("R2"), Some(&0));
         // Sorted by file then line.
         let a1 = json.find("\"a.rs\", \"line\": 1").unwrap();
         let a2 = json.find("\"a.rs\", \"line\": 2").unwrap();
@@ -137,16 +217,38 @@ mod tests {
 
     #[test]
     fn empty_report_is_valid() {
-        let json = render_json(&[]);
+        let json = render_json(&report(vec![]));
         assert!(json.contains("\"findings\": []"));
+        assert!(json.contains("\"entry_points\": []"));
         assert_eq!(baseline_waived(&json), Some(0));
+        assert!(baseline_rule_waived(&json).is_empty());
     }
 
     #[test]
     fn strings_are_escaped() {
         let f = finding("R1", "a\"b.rs", 1, Some("line\nbreak"));
-        let json = render_json(&[f]);
+        let json = render_json(&report(vec![f]));
         assert!(json.contains("a\\\"b.rs"));
         assert!(json.contains("line\\nbreak"));
+    }
+
+    #[test]
+    fn transitive_findings_carry_their_path() {
+        let mut f = finding("R5", "a.rs", 9, None);
+        f.path = vec![
+            Hop { file: "a.rs".into(), line: 1, func: "entry".into() },
+            Hop { file: "a.rs".into(), line: 5, func: "helper".into() },
+        ];
+        let json = render_json(&report(vec![f]));
+        assert!(json.contains("\"path\": [\"entry\", \"helper\"]"), "{json}");
+    }
+
+    #[test]
+    fn v1_rules_section_still_parses_as_baseline() {
+        let v1 = "{\n  \"schema\": \"vapro-lint/1\",\n  \"unwaived\": 0,\n  \"waived\": 22,\n  \"rules\": {\n    \"R1\": {\"unwaived\": 0, \"waived\": 19},\n    \"R4\": {\"unwaived\": 0, \"waived\": 3}\n  },\n  \"findings\": []\n}\n";
+        let per_rule = baseline_rule_waived(v1);
+        assert_eq!(per_rule.get("R1"), Some(&19));
+        assert_eq!(per_rule.get("R4"), Some(&3));
+        assert_eq!(baseline_waived(v1), Some(22));
     }
 }

@@ -35,8 +35,8 @@ use crate::lexer::{lex, Tok, Token};
 /// Rule id for meta findings about the waiver mechanism itself.
 pub const META_RULE: &str = "LINT";
 
-const R1_METHODS: &[&str] = &["clone", "cloned", "to_vec", "to_owned"];
-const R2_METHODS: &[&str] = &[
+pub(crate) const R1_METHODS: &[&str] = &["clone", "cloned", "to_vec", "to_owned"];
+pub(crate) const R2_METHODS: &[&str] = &[
     "unwrap",
     "expect",
     "unwrap_err",
@@ -45,7 +45,7 @@ const R2_METHODS: &[&str] = &[
     "get_unchecked",
     "get_unchecked_mut",
 ];
-const R2_MACROS: &[&str] = &[
+pub(crate) const R2_MACROS: &[&str] = &[
     "panic",
     "unreachable",
     "todo",
@@ -103,11 +103,27 @@ pub struct LintConfig {
     pub r3_files: Vec<String>,
     /// R4 applies to files matching these prefixes.
     pub r4_files: Vec<String>,
+    /// R5 transitive panic-freedom entry points: every function named
+    /// here must be panic-free across its entire reachable call tree.
+    pub r5_entries: Vec<FnScope>,
+    /// Function names at which the R5 walk stops descending: the
+    /// sealed-data boundary where the hostile-input contract ends and
+    /// dynamically-verified analysis code begins.
+    pub r5_frontier: Vec<String>,
+    /// R6 transitive hot-path-allocation entry points (the steady-state
+    /// window-close tree).
+    pub r6_entries: Vec<FnScope>,
+    /// Files R6 skips because their allocation sites are already
+    /// budgeted per-body by R1/R4 (normally `r1_files` ∪ `r4_files`).
+    pub r6_budgeted_files: Vec<String>,
+    /// R7 lock hygiene applies to files matching these prefixes
+    /// (empty = disabled; `["crates/"]` = the whole workspace).
+    pub r7_files: Vec<String>,
 }
 
 /// Function names whose presence in a function body counts as "the
 /// buffer was sized" for R4.
-const R4_RESERVERS: &[&str] = &["with_capacity", "reserve", "reserve_exact"];
+pub(crate) const R4_RESERVERS: &[&str] = &["with_capacity", "reserve", "reserve_exact"];
 
 fn file_matches(rel: &str, prefixes: &[String]) -> bool {
     prefixes.iter().any(|p| rel.starts_with(p.as_str()))
@@ -127,7 +143,7 @@ fn in_scope(ctx: &TokenCtx, funcs: &[String]) -> bool {
     ctx.func.as_ref().is_some_and(|f| funcs.iter().any(|s| s == f))
 }
 
-fn is_value_end(tok: &Tok) -> bool {
+pub(crate) fn is_value_end(tok: &Tok) -> bool {
     match tok {
         Tok::Lit => true,
         Tok::Punct(p) => p == ")" || p == "]",
@@ -143,20 +159,59 @@ fn is_value_start(tok: &Tok) -> bool {
     }
 }
 
-#[derive(Debug)]
-struct Waiver {
-    rule: String,
-    reason: String,
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct Waiver {
+    pub(crate) rule: String,
+    pub(crate) reason: String,
     /// Line of the comment itself (for diagnostics).
-    line: u32,
+    pub(crate) line: u32,
     /// Code line the waiver annotates.
-    target: Option<u32>,
-    used: bool,
+    pub(crate) target: Option<u32>,
+    pub(crate) used: bool,
+    /// The waiver sits in a no-waiver scope: it already produced a meta
+    /// finding and suppresses nothing, locally or transitively.
+    pub(crate) forbidden: bool,
+}
+
+/// Everything one file contributes to the workspace pass: its local
+/// findings (waivers applied), the waiver table for the global
+/// transitive rules to consume, and the item index the call graph is
+/// built from. Unused-waiver detection is deferred until after the
+/// transitive rules have had their chance to use each waiver.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct FileScan {
+    pub(crate) findings: Vec<Finding>,
+    pub(crate) waivers: Vec<Waiver>,
+    pub(crate) index: crate::items::FileIndex,
 }
 
 /// Run every configured rule over one file. `rel` is the
 /// workspace-relative path used for scoping and in diagnostics.
+/// Single-file entry point: unused waivers are flagged immediately.
 pub fn scan_file(rel: &str, src: &str, cfg: &LintConfig) -> Vec<Finding> {
+    let mut scan = scan_file_deferred(rel, src, cfg);
+    finish_waivers(rel, &scan.waivers, &mut scan.findings);
+    scan.findings.sort_by(|a, b| (a.line, &a.rule).cmp(&(b.line, &b.rule)));
+    scan.findings
+}
+
+/// Append unused-waiver findings for every waiver still unconsumed.
+pub(crate) fn finish_waivers(rel: &str, waivers: &[Waiver], findings: &mut Vec<Finding>) {
+    for w in waivers {
+        if !w.used && !w.forbidden {
+            findings.push(Finding {
+                rule: META_RULE.into(),
+                file: rel.into(),
+                line: w.line,
+                message: format!("unused waiver for {} (nothing to allow here)", w.rule),
+                waived: None,
+            });
+        }
+    }
+}
+
+/// The per-file phase: local rules + waiver collection + item index.
+pub(crate) fn scan_file_deferred(rel: &str, src: &str, cfg: &LintConfig) -> FileScan {
     let lexed = lex(src);
     let toks = &lexed.tokens;
     let ctxs = contexts(toks);
@@ -359,7 +414,14 @@ pub fn scan_file(rel: &str, src: &str, cfg: &LintConfig) -> Vec<Finding> {
                 } else {
                     toks.iter().find(|t| t.line > c.line).map(|t| t.line)
                 };
-                waivers.push(Waiver { rule, reason, line: c.line, target, used: false });
+                waivers.push(Waiver {
+                    rule,
+                    reason,
+                    line: c.line,
+                    target,
+                    used: false,
+                    forbidden: false,
+                });
             }
             None => findings.push(Finding {
                 rule: META_RULE.into(),
@@ -380,8 +442,7 @@ pub fn scan_file(rel: &str, src: &str, cfg: &LintConfig) -> Vec<Finding> {
     for (i, t) in toks.iter().enumerate() {
         line_func.entry(t.line).or_insert_with(|| ctx_at(i).func);
     }
-    let mut forbidden: Vec<bool> = Vec::with_capacity(waivers.len());
-    for w in &waivers {
+    for w in &mut waivers {
         let mut bad = false;
         if no_waiver {
             if w.rule == "R2" {
@@ -405,40 +466,33 @@ pub fn scan_file(rel: &str, src: &str, cfg: &LintConfig) -> Vec<Finding> {
                 waived: None,
             });
         }
-        forbidden.push(bad);
+        w.forbidden = bad;
     }
 
     // Apply waivers to raw findings.
     for (rule, line, message) in raw {
-        let mut waived = None;
-        for (wi, w) in waivers.iter_mut().enumerate() {
-            if forbidden[wi] {
-                continue;
-            }
-            if w.rule == rule && w.target == Some(line) {
-                w.used = true;
-                waived = Some(w.reason.clone());
-                break;
-            }
-        }
+        let waived = consume_waiver(&mut waivers, &rule, line);
         findings.push(Finding { rule, file: rel.into(), line, message, waived });
     }
 
-    // Unused waivers (forbidden ones already produced a finding).
-    for (wi, w) in waivers.iter().enumerate() {
-        if !w.used && !forbidden[wi] {
-            findings.push(Finding {
-                rule: META_RULE.into(),
-                file: rel.into(),
-                line: w.line,
-                message: format!("unused waiver for {} (nothing to allow here)", w.rule),
-                waived: None,
-            });
+    FileScan { findings, waivers, index: crate::items::index_tokens(toks) }
+}
+
+/// Mark the first matching waiver used and return its reason. A waiver
+/// suppresses any number of findings of its rule on its target line
+/// (several findings can share a line).
+pub(crate) fn consume_waiver(
+    waivers: &mut [Waiver],
+    rule: &str,
+    line: u32,
+) -> Option<String> {
+    for w in waivers.iter_mut() {
+        if !w.forbidden && w.rule == rule && w.target == Some(line) {
+            w.used = true;
+            return Some(w.reason.clone());
         }
     }
-
-    findings.sort_by(|a, b| (a.line, &a.rule).cmp(&(b.line, &b.rule)));
-    findings
+    None
 }
 
 /// Parse the tail of a directive: `: allow(RULE, reason)`.
@@ -471,6 +525,7 @@ mod tests {
             r2_no_waiver_files: vec![],
             r3_files: vec![file.into()],
             r4_files: vec![file.into()],
+            ..Default::default()
         }
     }
 

@@ -1,0 +1,16 @@
+//! R5 bad fixture: the panic sits two calls below the entry point, so
+//! only the transitive walk can see it — a per-body scan of `entry`
+//! finds nothing.
+
+pub fn entry(bytes: &[u8]) -> u32 {
+    helper(bytes)
+}
+
+fn helper(bytes: &[u8]) -> u32 {
+    leaf(bytes)
+}
+
+fn leaf(bytes: &[u8]) -> u32 {
+    let first = bytes.first().unwrap();
+    u32::from(*first)
+}

@@ -1,0 +1,17 @@
+//! R5 good fixture: the same two-hop call shape, but the leaf handles
+//! the empty case instead of unwrapping.
+
+pub fn entry(bytes: &[u8]) -> u32 {
+    helper(bytes)
+}
+
+fn helper(bytes: &[u8]) -> u32 {
+    leaf(bytes)
+}
+
+fn leaf(bytes: &[u8]) -> u32 {
+    match bytes.first() {
+        Some(b) => u32::from(*b),
+        None => 0,
+    }
+}

@@ -1,0 +1,14 @@
+//! R6 bad fixture: the allocation is two calls below the window-close
+//! entry point — invisible to R1's per-body scan, caught transitively.
+
+pub fn close_entry(ready: &[u64]) -> Vec<u64> {
+    finalize(ready)
+}
+
+fn finalize(ready: &[u64]) -> Vec<u64> {
+    snapshot(ready)
+}
+
+fn snapshot(ready: &[u64]) -> Vec<u64> {
+    ready.to_vec()
+}

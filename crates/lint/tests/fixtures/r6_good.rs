@@ -1,0 +1,18 @@
+//! R6 good fixture: the same call shape reduces in place — no owned
+//! copies anywhere on the tree.
+
+pub fn close_entry(ready: &[u64]) -> u64 {
+    finalize(ready)
+}
+
+fn finalize(ready: &[u64]) -> u64 {
+    snapshot(ready)
+}
+
+fn snapshot(ready: &[u64]) -> u64 {
+    let mut acc = 0;
+    for v in ready.iter() {
+        acc += *v;
+    }
+    acc
+}

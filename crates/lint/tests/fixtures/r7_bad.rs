@@ -1,0 +1,7 @@
+//! R7 bad fixture: a mutex guard stays live across `rayon::join` — the
+//! closures run on pool threads while the caller holds the lock.
+
+pub fn rebalance(m: &std::sync::Mutex<Vec<u64>>) -> u64 {
+    let guard = m.lock();
+    rayon::join(|| guard.len() as u64, || 0).0
+}

@@ -1,0 +1,9 @@
+//! R7 good fixture: the guard is dropped before the rayon region, so
+//! the parallel closures never contend with a held lock.
+
+pub fn rebalance(m: &std::sync::Mutex<Vec<u64>>) -> u64 {
+    let guard = m.lock();
+    let n = guard.len() as u64;
+    drop(guard);
+    rayon::join(|| n, || 0).0
+}

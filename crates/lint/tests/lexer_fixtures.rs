@@ -1,0 +1,152 @@
+//! Lexer regression fixtures: the exact token streams for the corners
+//! that historically produce false findings in token-based linters —
+//! multi-hash raw strings, byte and byte-raw strings, nested block
+//! comments containing quotes, and lifetime-vs-char disambiguation
+//! after `::` and `<`. Each test asserts the *whole* stream, so any
+//! drift in the lexer shows up as a diff here, not as a phantom
+//! finding three crates away.
+
+use vapro_lint::lexer::{lex, Tok, Token};
+
+fn ident(s: &str, line: u32) -> Token {
+    Token { tok: Tok::Ident(s.into()), line }
+}
+
+fn punct(s: &str, line: u32) -> Token {
+    Token { tok: Tok::Punct(s.into()), line }
+}
+
+fn lit(line: u32) -> Token {
+    Token { tok: Tok::Lit, line }
+}
+
+#[test]
+fn multi_hash_raw_string_swallows_quotes_and_hashes() {
+    // The `"#` inside the r##"..."## body must not terminate the
+    // literal, and `.unwrap()` spelled inside it must never tokenize.
+    let src = "let s = r##\"quote \" and hash-quote \"# and .unwrap() stay inside\"##;\nlet t = r\"plain raw\";\n";
+    let lexed = lex(src);
+    assert_eq!(
+        lexed.tokens,
+        vec![
+            ident("let", 1),
+            ident("s", 1),
+            punct("=", 1),
+            lit(1),
+            punct(";", 1),
+            ident("let", 2),
+            ident("t", 2),
+            punct("=", 2),
+            lit(2),
+            punct(";", 2),
+        ]
+    );
+}
+
+#[test]
+fn byte_and_byte_raw_strings_are_single_literals() {
+    let src = "let a = b\"bytes with \\\" escape\";\nlet b2 = br#\"raw bytes \" inside\"#;\nlet c = b'x';\n";
+    let lexed = lex(src);
+    assert_eq!(
+        lexed.tokens,
+        vec![
+            ident("let", 1),
+            ident("a", 1),
+            punct("=", 1),
+            lit(1),
+            punct(";", 1),
+            ident("let", 2),
+            ident("b2", 2),
+            punct("=", 2),
+            lit(2),
+            punct(";", 2),
+            ident("let", 3),
+            ident("c", 3),
+            punct("=", 3),
+            lit(3),
+            punct(";", 3),
+        ]
+    );
+}
+
+#[test]
+fn nested_block_comments_with_quotes_never_leak_tokens() {
+    // The unbalanced quote inside the outer comment must not open a
+    // string that swallows the following code, and the inner /* */
+    // nesting must be tracked.
+    let src = "/* outer \" quote /* inner .expect(\" */ still comment */ fn after() {}\n";
+    let lexed = lex(src);
+    assert_eq!(
+        lexed.tokens,
+        vec![
+            ident("fn", 1),
+            ident("after", 1),
+            punct("(", 1),
+            punct(")", 1),
+            punct("{", 1),
+            punct("}", 1),
+        ]
+    );
+    // The comment text is preserved (waiver scanning reads it) and is
+    // marked leading: no code precedes it on the line.
+    assert_eq!(lexed.comments.len(), 1);
+    assert!(!lexed.comments[0].trailing);
+    assert!(lexed.comments[0].text.contains("inner .expect("));
+}
+
+#[test]
+fn lifetime_after_path_sep_and_angle_is_not_a_char_literal() {
+    // `'a` in `<'a>` and `&'a` is a lifetime (no token at all); `'a'`
+    // is a char literal. Getting this wrong desynchronizes the stream
+    // for the rest of the file.
+    let src = "fn f<'a>(x: &'a str) -> Foo::<'a> { 'q' }\n";
+    let lexed = lex(src);
+    assert_eq!(
+        lexed.tokens,
+        vec![
+            ident("fn", 1),
+            ident("f", 1),
+            punct("<", 1),
+            punct(">", 1),
+            punct("(", 1),
+            ident("x", 1),
+            punct(":", 1),
+            punct("&", 1),
+            ident("str", 1),
+            punct(")", 1),
+            punct("->", 1),
+            ident("Foo", 1),
+            punct("::", 1),
+            punct("<", 1),
+            punct(">", 1),
+            punct("{", 1),
+            lit(1),
+            punct("}", 1),
+        ]
+    );
+}
+
+#[test]
+fn labelled_loops_and_static_lifetimes_stay_silent() {
+    let src = "'outer: loop { break 'outer; }\nconst S: &'static str = \"s\";\n";
+    let lexed = lex(src);
+    assert_eq!(
+        lexed.tokens,
+        vec![
+            punct(":", 1),
+            ident("loop", 1),
+            punct("{", 1),
+            ident("break", 1),
+            punct(";", 1),
+            punct("}", 1),
+            ident("const", 2),
+            ident("S", 2),
+            punct(":", 2),
+            punct("&", 2),
+            ident("str", 2),
+            punct("=", 2),
+            lit(2),
+            punct(";", 2),
+        ]
+    );
+}

@@ -24,6 +24,7 @@ fn cfg_for(file: &str) -> LintConfig {
         r2_no_waiver_files: vec![],
         r3_files: vec![file.into()],
         r4_files: vec![],
+        ..Default::default()
     }
 }
 

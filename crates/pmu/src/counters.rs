@@ -314,6 +314,7 @@ impl CounterVector {
     /// Write a counter value, activating it in the set.
     pub fn put(&mut self, id: CounterId, value: f64) {
         self.set.insert(id);
+        // vapro-lint: allow(R5, CounterId::index() < NUM_COUNTERS by the enum definition)
         self.values[id.index()] = value;
     }
 
@@ -356,6 +357,7 @@ impl CounterVector {
 
     /// Iterate over `(id, value)` pairs of active counters.
     pub fn entries(&self) -> impl Iterator<Item = (CounterId, f64)> + '_ {
+        // vapro-lint: allow(R5, CounterId::index() < NUM_COUNTERS by the enum definition)
         self.set.iter().map(move |id| (id, self.values[id.index()]))
     }
 }

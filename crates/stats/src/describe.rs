@@ -33,7 +33,7 @@ pub fn percentile(xs: &[f64], p: f64) -> f64 {
     assert!(!xs.is_empty(), "percentile of empty slice");
     assert!((0.0..=100.0).contains(&p), "percentile out of range: {p}");
     let mut v: Vec<f64> = xs.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    v.sort_by(|a, b| a.total_cmp(b));
     let rank = p / 100.0 * (v.len() - 1) as f64;
     let lo = rank.floor() as usize;
     let hi = rank.ceil() as usize;
@@ -63,8 +63,8 @@ pub fn min_max_normalize(xs: &mut [f64]) -> (f64, f64) {
     if xs.is_empty() {
         return (0.0, 0.0);
     }
-    let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
-    let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let lo = xs.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
     let span = hi - lo;
     if span <= 0.0 {
         xs.iter_mut().for_each(|x| *x = 0.0);

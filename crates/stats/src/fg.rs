@@ -119,8 +119,8 @@ pub const VIF_REMOVAL_THRESHOLD: f64 = 5.0;
 /// Constant (zero-variance) columns are removed first: they carry no
 /// information for OLS and break the correlation matrix.
 pub fn remove_multicollinear(x: &[Vec<f64>], alpha: f64) -> FgOutcome {
-    let mut kept: Vec<usize> = Vec::new();
-    let mut removed: Vec<RemovedFactor> = Vec::new();
+    let mut kept: Vec<usize> = Vec::with_capacity(x.len());
+    let mut removed: Vec<RemovedFactor> = Vec::with_capacity(x.len());
 
     for (j, col) in x.iter().enumerate() {
         if crate::describe::variance(col) > 0.0 {
@@ -134,6 +134,7 @@ pub fn remove_multicollinear(x: &[Vec<f64>], alpha: f64) -> FgOutcome {
         if kept.len() < 2 {
             break;
         }
+        // vapro-lint: allow(R6, per-round column copies for the FG test; factor count is bounded by counters, not stream size)
         let cols: Vec<Vec<f64>> = kept.iter().map(|&j| x[j].clone()).collect();
         let fg = match FarrarGlauber::test(&cols) {
             Some(fg) => fg,

@@ -33,6 +33,7 @@ impl Matrix {
     /// Build from a row-major slice; panics if the length mismatches.
     pub fn from_rows(rows: usize, cols: usize, data: &[f64]) -> Self {
         assert_eq!(data.len(), rows * cols, "data length mismatch");
+        // vapro-lint: allow(R6, Matrix owns its storage; one O(n*k) buffer per OLS fit, k bounded by counters)
         Matrix { rows, cols, data: data.to_vec() }
     }
 
@@ -85,6 +86,7 @@ impl Matrix {
     pub fn inverse(&self) -> Option<Matrix> {
         assert_eq!(self.rows, self.cols, "inverse of non-square matrix");
         let n = self.rows;
+        // vapro-lint: allow(R6, Gauss-Jordan scratch copy; O(k^2) per fit with k bounded by counters)
         let mut a = self.clone();
         let mut inv = Matrix::identity(n);
         for col in 0..n {
@@ -130,6 +132,7 @@ impl Matrix {
     pub fn determinant(&self) -> f64 {
         assert_eq!(self.rows, self.cols, "determinant of non-square matrix");
         let n = self.rows;
+        // vapro-lint: allow(R6, LU scratch copy; O(k^2) per fit with k bounded by counters)
         let mut a = self.clone();
         let mut det = 1.0;
         for col in 0..n {
@@ -195,7 +198,9 @@ impl std::ops::Index<(usize, usize)> for Matrix {
     type Output = f64;
     #[inline]
     fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        // vapro-lint: allow(R5, Index contract: bounds asserted in debug, callers iterate 0..rows/cols)
         debug_assert!(i < self.rows && j < self.cols);
+        // vapro-lint: allow(R5, i * cols + j < rows * cols = data.len() under the asserted bounds)
         &self.data[i * self.cols + j]
     }
 }
